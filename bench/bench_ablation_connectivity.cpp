@@ -1,0 +1,91 @@
+// Ablation: topology-connectivity grouping in the locator (§4.2).
+//
+// Two unrelated failures in the same region at once: with connectivity
+// grouping, SkyNet separates them into two incidents rooted near their
+// real scopes (the Figure 5c behaviour); without it, the alerts weld
+// into one blob at their common ancestor and localization precision
+// collapses.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace skynet;
+
+namespace {
+
+struct outcome {
+    int episodes{0};
+    int separated{0};      // both failures got their own incident
+    int merged_blobs{0};   // a single incident spans both scopes
+    double mean_root_depth{0.0};
+};
+
+outcome run(bench::world& w, bool use_connectivity) {
+    outcome out;
+    int roots = 0;
+    double depth_sum = 0.0;
+
+    for (int e = 0; e < 15; ++e) {
+        bench::episode_options opts;
+        opts.seed = static_cast<std::uint64_t>(11000 + e);
+        opts.failure_duration = minutes(6);
+        opts.noise_rate = 0.02;
+        opts.benign_events = 0;
+        opts.skynet.loc.use_connectivity = use_connectivity;
+
+        // Two failures with disjoint scopes, same seed-driven picks per
+        // variant.
+        rng srand(opts.seed * 31 + 7);
+        std::vector<std::unique_ptr<scenario>> failures;
+        failures.push_back(make_device_hardware_failure(w.topo, srand, true));
+        failures.push_back(make_infrastructure_failure(w.topo, srand, false));
+        const location scope_a = failures[0]->scope();
+        const location scope_b = failures[1]->scope();
+        if (scope_a.contains(scope_b) || scope_b.contains(scope_a)) continue;  // overlapping pick
+
+        const bench::episode_result r = bench::run_episode(w, std::move(failures), opts);
+        ++out.episodes;
+
+        bool a_own = false;
+        bool b_own = false;
+        bool blob = false;
+        for (const incident_report& rep : r.reports) {
+            const bool covers_a = rep.inc.root.contains(scope_a) || scope_a.contains(rep.inc.root);
+            const bool covers_b = rep.inc.root.contains(scope_b) || scope_b.contains(rep.inc.root);
+            if (covers_a && covers_b) blob = true;
+            if (covers_a && !covers_b) a_own = true;
+            if (covers_b && !covers_a) b_own = true;
+            depth_sum += static_cast<double>(rep.inc.root.depth());
+            ++roots;
+        }
+        if (a_own && b_own && !blob) ++out.separated;
+        if (blob) ++out.merged_blobs;
+    }
+    out.mean_root_depth = roots == 0 ? 0.0 : depth_sum / roots;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Ablation: connectivity grouping in the locator ===\n\n");
+    bench::world w(generator_params::small(), 400, 43);
+
+    const outcome with_conn = run(w, true);
+    const outcome without_conn = run(w, false);
+
+    std::printf("%-26s %14s %17s\n", "", "connectivity", "no connectivity");
+    std::printf("%-26s %14d %17d\n", "episodes (2 failures)", with_conn.episodes,
+                without_conn.episodes);
+    std::printf("%-26s %14d %17d\n", "cleanly separated", with_conn.separated,
+                without_conn.separated);
+    std::printf("%-26s %14d %17d\n", "merged into one blob", with_conn.merged_blobs,
+                without_conn.merged_blobs);
+    std::printf("%-26s %14.2f %17.2f\n", "mean incident-root depth", with_conn.mean_root_depth,
+                without_conn.mean_root_depth);
+    std::printf("\nDeeper roots = more precise localization. Without the\n"
+                "connectivity check, concurrent failures weld at their common\n"
+                "ancestor (Figure 5c's 'device n' would be blamed on the wrong\n"
+                "root cause).\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: first-alert time-series attribution vs category-based (§7.3).
+//
+// For gray hardware failures the behavioural alerts (BGP jitter seen by
+// neighbors, packet loss) precede the hardware-error syslog by minutes.
+// Blaming the chronologically first alert regularly points at the wrong
+// device; preferring root-cause-category alerts points at the culprit.
+#include <cstdio>
+
+#include "harness.h"
+#include "skynet/heuristics/time_series_baseline.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Ablation: time-series vs category-based attribution (7.3) ===\n\n");
+    bench::world w(generator_params::small(), 400, 47);
+
+    int episodes = 0;
+    int first_alert_correct = 0;
+    int category_correct = 0;
+
+    for (int e = 0; e < 30; ++e) {
+        bench::episode_options opts;
+        opts.seed = static_cast<std::uint64_t>(12000 + e);
+        opts.failure_duration = minutes(7);  // room for the delayed log
+        opts.noise_rate = 0.0;
+        opts.benign_events = 0;
+
+        rng srand(opts.seed * 31 + 7);
+        std::vector<std::unique_ptr<scenario>> failures;
+        failures.push_back(make_device_hardware_failure(w.topo, srand, e % 2 == 0));
+        const std::optional<device_id> culprit = failures[0]->culprit();
+        const bench::episode_result r = bench::run_episode(w, std::move(failures), opts);
+        if (!culprit) continue;
+
+        // Attribute within the incident covering the failure.
+        for (const incident_report& rep : r.reports) {
+            if (!bench::matches(rep.inc, r.truth.front())) continue;
+            ++episodes;
+            const attribution naive = attribute_first_alert(rep.inc.alerts);
+            const attribution tree = attribute_by_category(rep.inc.alerts);
+            if (naive.valid && naive.device == culprit) ++first_alert_correct;
+            if (tree.valid && tree.device == culprit) ++category_correct;
+            break;
+        }
+    }
+
+    std::printf("incidents attributed: %d\n\n", episodes);
+    std::printf("%-34s %10s\n", "attribution strategy", "correct");
+    std::printf("%-34s %6d/%d\n", "first alert (time series)", first_alert_correct, episodes);
+    std::printf("%-34s %6d/%d\n", "category-based (SkyNet, 7.3)", category_correct, episodes);
+    std::printf("\nThe paper's design choice: 'we choose not to use time series to\n"
+                "decide the relationship between alerts, but use a alert tree with\n"
+                "time-out window to associate alerts'.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 1: the proportion of network failure root causes.
+//
+// The scenario generator samples root-cause classes from the published
+// distribution; this bench verifies the sampled mix against the paper's
+// chart and shows the concrete scenario each class instantiates.
+#include <array>
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Figure 1: proportion of network failure root causes ===\n\n");
+
+    rng rand(2024);
+    constexpr int samples = 200000;
+    std::array<int, root_cause_count> counts{};
+    for (int i = 0; i < samples; ++i) {
+        counts[static_cast<std::size_t>(sample_root_cause(rand))]++;
+    }
+
+    std::printf("%-32s %8s %10s\n", "root cause", "paper %", "sampled %");
+    constexpr std::array<root_cause, root_cause_count> causes = {
+        root_cause::device_hardware, root_cause::link_error,  root_cause::modification_error,
+        root_cause::device_software, root_cause::infrastructure, root_cause::route_error,
+        root_cause::security,        root_cause::configuration,
+    };
+    for (root_cause c : causes) {
+        std::printf("%-32s %7.1f%% %9.2f%%\n", std::string(to_string(c)).c_str(),
+                    root_cause_share(c) * 100.0,
+                    100.0 * counts[static_cast<std::size_t>(c)] / samples);
+    }
+
+    // Show one instantiated scenario per class.
+    std::printf("\nExample scenario per class (small topology):\n");
+    bench::world w;
+    rng srand(7);
+    for (root_cause c : causes) {
+        const auto s = make_scenario(c, w.topo, srand, /*severe=*/false);
+        std::printf("  %-32s -> %s (scope: %s)\n", std::string(to_string(c)).c_str(),
+                    s->name().c_str(), s->scope().to_string().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 3: network failure coverage of each monitoring tool.
+//
+// Injects a stream of failures drawn from the Figure 1 root-cause mix
+// (severe and minor) and measures, per data source, the fraction of
+// failures during which that source raised at least one alert. The paper
+// reports 3 %-84 % across tools, with no tool covering everything — the
+// motivation for integrating all twelve.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Figure 3: network failure coverage of monitoring tools ===\n\n");
+
+    bench::world w(generator_params::small(), 300, 5);
+    constexpr int episodes = 40;
+
+    std::map<data_source, int> detected;
+    for (data_source src : all_data_sources()) detected[src] = 0;
+
+    for (int e = 0; e < episodes; ++e) {
+        rng srand(1000 + e);
+        const bool severe = e % 3 == 0;
+        auto scenario_ptr = make_random_scenario(w.topo, srand, severe);
+
+        simulation_engine sim(&w.topo, &w.customers,
+                              engine_params{.tick = seconds(2),
+                                            .seed = static_cast<std::uint64_t>(2000 + e)});
+        sim.add_default_monitors();
+        sim.inject(std::move(scenario_ptr), minutes(1), minutes(4));
+
+        std::set<data_source> fired;
+        sim.run_until(minutes(6), [&fired](const raw_alert& a, sim_time) {
+            fired.insert(a.source);
+        });
+        for (data_source src : fired) ++detected[src];
+    }
+
+    std::printf("%-22s %10s   (over %d failures from the Figure 1 mix)\n", "data source",
+                "coverage", episodes);
+    std::vector<std::pair<data_source, int>> rows(detected.begin(), detected.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second > b.second;
+    });
+    for (const auto& [src, hits] : rows) {
+        const double pct = 100.0 * hits / episodes;
+        std::printf("%-22s %9.1f%%  |", std::string(to_string(src)).c_str(), pct);
+        for (int i = 0; i < static_cast<int>(pct / 2.5); ++i) std::printf("#");
+        std::printf("\n");
+    }
+    std::printf("\nNo single source covers every failure; the spread motivates\n"
+                "integrating all of them (the paper reports 3%%-84%%).\n");
+    return 0;
+}

@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark) for the pipeline hot paths backing
+// the §6.2 performance claims: preprocessing throughput, locator
+// insertion + tree checking, FT-tree classification, and path probing.
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+#include "skynet/syslog/message_catalog.h"
+
+namespace skynet {
+namespace {
+
+bench::world& shared_world() {
+    static bench::world w(generator_params::small(), 300, 41);
+    return w;
+}
+
+/// A recorded severe flood, reused across iterations.
+const std::vector<raw_alert>& flood() {
+    static const std::vector<raw_alert> alerts = [] {
+        bench::world& w = shared_world();
+        simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 3});
+        sim.add_default_monitors(monitor_options{.noise_rate = 0.02});
+        rng srand(4);
+        sim.inject(make_random_scenario(w.topo, srand, true), minutes(1), minutes(4));
+        std::vector<raw_alert> out;
+        sim.run_until(minutes(6), [&out](const raw_alert& a, sim_time) { out.push_back(a); });
+        return out;
+    }();
+    return alerts;
+}
+
+void BM_PreprocessorThroughput(benchmark::State& state) {
+    bench::world& w = shared_world();
+    const std::vector<raw_alert>& alerts = flood();
+    for (auto _ : state) {
+        preprocessor pre(&w.topo, &w.registry, &w.syslog, {});
+        std::size_t emitted = 0;
+        for (const raw_alert& a : alerts) {
+            emitted += pre.process(a, a.timestamp).size();
+        }
+        benchmark::DoNotOptimize(emitted);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(alerts.size()));
+}
+BENCHMARK(BM_PreprocessorThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_LocatorInsertAndCheck(benchmark::State& state) {
+    bench::world& w = shared_world();
+    const std::vector<raw_alert>& alerts = flood();
+    // Pre-structure the alerts once.
+    preprocessor pre(&w.topo, &w.registry, &w.syslog, {});
+    std::vector<structured_alert> structured;
+    for (const raw_alert& a : alerts) {
+        for (auto& ev : pre.process(a, a.timestamp)) {
+            if (!ev.is_update) structured.push_back(std::move(ev.alert));
+        }
+    }
+    for (auto _ : state) {
+        locator loc(&w.topo);
+        sim_time last_check = 0;
+        for (const structured_alert& a : structured) {
+            loc.insert(a, a.when.begin);
+            if (a.when.begin - last_check >= seconds(10)) {
+                benchmark::DoNotOptimize(loc.check(a.when.begin));
+                last_check = a.when.begin;
+            }
+        }
+        benchmark::DoNotOptimize(loc.drain(last_check));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(structured.size()));
+}
+BENCHMARK(BM_LocatorInsertAndCheck)->Unit(benchmark::kMillisecond);
+
+void BM_SyslogClassify(benchmark::State& state) {
+    bench::world& w = shared_world();
+    rng rand(5);
+    std::vector<std::string> messages;
+    for (const syslog_format& fmt : syslog_message_catalog()) {
+        for (int i = 0; i < 8; ++i) messages.push_back(render_syslog(fmt.pattern, rand));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(w.syslog.classify(messages[i++ % messages.size()]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyslogClassify);
+
+void BM_PathProbe(benchmark::State& state) {
+    bench::world& w = shared_world();
+    network_state net(&w.topo, &w.customers);
+    const std::vector<location> clusters = w.topo.clusters_under(location{});
+    rng rand(6);
+    for (auto _ : state) {
+        const auto src = net.representative(rand.pick(clusters));
+        const auto dst = net.representative(rand.pick(clusters));
+        if (src && dst) benchmark::DoNotOptimize(net.probe(*src, *dst));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathProbe);
+
+void BM_SeverityEvaluation(benchmark::State& state) {
+    bench::world& w = shared_world();
+    network_state net(&w.topo, &w.customers);
+    evaluator eval(&w.topo, &w.customers);
+    incident inc;
+    inc.root = w.topo.devices().front().loc.ancestor_at(hierarchy_level::logic_site);
+    inc.when = time_range{0, minutes(5)};
+    structured_alert a;
+    a.category = alert_category::failure;
+    a.metric = 0.2;
+    a.loc = inc.root;
+    inc.alerts.push_back(a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.evaluate(inc, net, minutes(6)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeverityEvaluation);
+
+void BM_TopologyGenerate(benchmark::State& state) {
+    generator_params params = generator_params::medium();
+    for (auto _ : state) {
+        params.seed = static_cast<std::uint64_t>(state.iterations());
+        benchmark::DoNotOptimize(generate_topology(params));
+    }
+}
+BENCHMARK(BM_TopologyGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectivityGrouping(benchmark::State& state) {
+    // The locator's per-check grouping cost over a flood-sized alert set.
+    bench::world& w = shared_world();
+    const std::vector<raw_alert>& alerts = flood();
+    preprocessor pre(&w.topo, &w.registry, &w.syslog, {});
+    locator loc(&w.topo);
+    sim_time last = 0;
+    for (const raw_alert& a : alerts) {
+        for (auto& ev : pre.process(a, a.timestamp)) {
+            if (!ev.is_update) loc.insert(ev.alert, a.timestamp);
+        }
+        last = a.timestamp;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(loc.check(last + seconds(1)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConnectivityGrouping);
+
+void BM_ZoomIn(benchmark::State& state) {
+    bench::world& w = shared_world();
+    evaluator eval(&w.topo, &w.customers);
+    // A matrix-rich incident.
+    incident inc;
+    inc.root = location{};
+    const std::vector<location> clusters = w.topo.clusters_under(location{});
+    rng rand(8);
+    for (int i = 0; i < 200; ++i) {
+        structured_alert a;
+        a.category = alert_category::failure;
+        a.metric = rand.uniform_real(0.0, 0.3);
+        a.src_loc = rand.pick(clusters);
+        a.dst_loc = rand.pick(clusters);
+        a.loc = *a.src_loc;
+        inc.alerts.push_back(a);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.zoom_in(inc));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZoomIn);
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,98 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skynet::bench {
+
+world::world(generator_params params, int n_customers, std::uint64_t seed) {
+    params.seed = seed;
+    topo = generate_topology(params);
+    rng crand(seed + 1);
+    customers = customer_registry::generate(topo, n_customers, crand);
+}
+
+episode_result run_episode(world& w, std::vector<std::unique_ptr<scenario>> failures,
+                           const episode_options& opts) {
+    simulation_engine sim(&w.topo, &w.customers,
+                          engine_params{.tick = opts.tick, .seed = opts.seed});
+    sim.add_default_monitors(monitor_options{.noise_rate = opts.noise_rate});
+
+    const sim_time failure_start = minutes(1);
+    sim_duration longest = opts.failure_duration;
+    for (auto& f : failures) {
+        sim.inject(std::move(f), failure_start, opts.failure_duration);
+    }
+    rng noise_rand(opts.seed * 977 + 13);
+    for (int i = 0; i < opts.benign_events; ++i) {
+        const sim_time at = failure_start + seconds(20) * i;
+        sim.inject(make_flash_crowd(w.topo, noise_rand), at, opts.failure_duration);
+    }
+
+    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog, opts.skynet);
+
+    episode_result result;
+    const auto sink = [&](const raw_alert& a, sim_time arrival) {
+        if (!opts.enabled_sources.empty() && !opts.enabled_sources.contains(a.source)) return;
+        ++result.raw_alerts;
+        const stopwatch timer;
+        skynet.ingest(a, arrival);
+        result.skynet_wall_seconds += timer.seconds();
+    };
+    const auto hook = [&](sim_time now) {
+        const stopwatch timer;
+        skynet.tick(now, sim.state());
+        result.skynet_wall_seconds += timer.seconds();
+    };
+    sim.run_until(failure_start + longest + opts.settle, sink, hook);
+
+    const stopwatch timer;
+    skynet.finish(sim.clock().now(), sim.state());
+    result.skynet_wall_seconds += timer.seconds();
+
+    result.reports = skynet.take_reports();
+    result.truth = sim.ground_truth();
+    result.pre = skynet.preprocessing_stats();
+    result.structured_alerts = result.pre.emitted_new;
+    for (const incident_report& r : result.reports) {
+        if (r.inc.type_count(alert_category::root_cause) > 0) {
+            result.root_cause_alert_present = true;
+        }
+    }
+    return result;
+}
+
+episode_result run_random_episode(world& w, bool severe, const episode_options& opts) {
+    rng srand(opts.seed * 31 + 7);
+    std::vector<std::unique_ptr<scenario>> failures;
+    failures.push_back(make_random_scenario(w.topo, srand, severe));
+    return run_episode(w, std::move(failures), opts);
+}
+
+accuracy_counts score(const episode_result& result) {
+    std::vector<incident> incidents;
+    incidents.reserve(result.reports.size());
+    for (const incident_report& r : result.reports) incidents.push_back(r.inc);
+    return score_incidents(incidents, result.truth);
+}
+
+accuracy_counts score_all(const std::vector<episode_result>& results) {
+    accuracy_counts total;
+    for (const episode_result& r : results) total += score(r);
+    return total;
+}
+
+double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace skynet::bench

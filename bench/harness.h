@@ -1,0 +1,115 @@
+// Shared experiment harness for the figure-reproduction benches.
+//
+// Every evaluation figure is regenerated from *episodes*: a failure
+// scenario (plus optional benign noise) injected into the simulated
+// network, the twelve monitors observing it, and SkyNet processing the
+// resulting alert stream. The harness runs episodes, collects incident
+// reports and counters, and scores them against ground truth.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "skynet/core/accuracy.h"
+#include "skynet/core/pipeline.h"
+#include "skynet/sim/engine.h"
+#include "skynet/sim/operator_model.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet::bench {
+
+/// Static world shared across the episodes of one experiment (building
+/// the topology and training the syslog classifier once).
+struct world {
+    topology topo;
+    customer_registry customers;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    explicit world(generator_params params = generator_params::small(), int n_customers = 300,
+                   std::uint64_t seed = 1);
+};
+
+struct episode_options {
+    std::uint64_t seed = 1;
+    sim_duration failure_duration = minutes(4);
+    /// Simulated time past the failure end (lets incidents close).
+    sim_duration settle = minutes(2);
+    sim_duration tick = seconds(2);
+    /// Background glitch probability handed to the monitors.
+    double noise_rate = 0.01;
+    /// Number of concurrent benign flash crowds injected as noise.
+    int benign_events = 1;
+    /// Data sources whose alerts reach SkyNet; empty = all twelve
+    /// (the Figure 8a source-removal experiment trims this).
+    std::set<data_source> enabled_sources;
+    skynet_config skynet;
+};
+
+struct episode_result {
+    std::vector<incident_report> reports;
+    std::vector<scenario_record> truth;
+    preprocessor_stats pre;
+    /// Raw alerts that reached SkyNet.
+    std::int64_t raw_alerts{0};
+    /// Structured alerts after preprocessing (new emissions).
+    std::int64_t structured_alerts{0};
+    /// Whether any root-cause-category alert existed in the stream.
+    bool root_cause_alert_present{false};
+    /// Wall-clock seconds spent inside SkyNet (ingest + tick), i.e. the
+    /// "locating time" of Figure 8c.
+    double skynet_wall_seconds{0.0};
+};
+
+/// Runs one episode: injects `failures` (ownership taken) one minute in,
+/// plus `benign_events` flash crowds, and streams everything through a
+/// fresh skynet_engine.
+[[nodiscard]] episode_result run_episode(world& w,
+                                         std::vector<std::unique_ptr<scenario>> failures,
+                                         const episode_options& opts);
+
+/// Convenience: one random failure of the Figure 1 mix.
+[[nodiscard]] episode_result run_random_episode(world& w, bool severe,
+                                                const episode_options& opts);
+
+// --- ground-truth scoring -----------------------------------------------------
+// (thin wrappers over skynet::incident_matches / skynet::score_incidents)
+
+using skynet::accuracy_counts;
+
+/// True when the incident plausibly reports this record.
+[[nodiscard]] inline bool matches(const incident& inc, const scenario_record& truth,
+                                  sim_duration slack = minutes(16)) {
+    return incident_matches(inc, truth, slack);
+}
+
+/// Scores one episode: every non-benign injected failure must be covered
+/// by some incident (else FN); every incident covering no real failure is
+/// an FP.
+[[nodiscard]] accuracy_counts score(const episode_result& result);
+
+/// Accumulates scores across episodes.
+[[nodiscard]] accuracy_counts score_all(const std::vector<episode_result>& results);
+
+// --- small stats helpers ---------------------------------------------------------
+
+[[nodiscard]] double median(std::vector<double> values);
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Minimal stopwatch for wall-clock sections.
+class stopwatch {
+public:
+    stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace skynet::bench

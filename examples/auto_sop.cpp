@@ -1,0 +1,68 @@
+// §5.1 "automatic SOP for known failures": a single device misbehaves in
+// a textbook way (packet loss, quiet group, manageable traffic); the
+// heuristic rule engine recognizes the pattern and isolates the device
+// with a rollback plan prepared — no human in the loop, mitigation in
+// about a minute.
+#include <cstdio>
+
+#include "skynet/core/preprocessor.h"
+#include "skynet/heuristics/sop.h"
+#include "skynet/sim/engine.h"
+#include "skynet/topology/generator.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Automatic SOP for a known failure (paper 5.1) ===\n\n");
+
+    const topology topo = generate_topology(generator_params::tiny());
+    rng rand(3);
+    const customer_registry customers = customer_registry::generate(topo, 50, rand);
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    simulation_engine sim(&topo, &customers, engine_params{.tick = seconds(2), .seed = 6});
+    sim.add_default_monitors();
+    sim.state().reset_traffic(0.3);  // group traffic manageable
+
+    rng srand(8);
+    auto failure = make_device_hardware_failure(topo, srand, false);
+    const device_id victim = failure->culprit().value();
+    std::printf("injected: %s on %s\n\n", failure->name().c_str(),
+                topo.device_at(victim).name.c_str());
+    sim.inject(std::move(failure), seconds(10), minutes(10));
+
+    preprocessor pre(&topo, &registry, &syslog, {});
+    const sop_engine sop = sop_engine::with_default_rules(&topo);
+    std::printf("rule engine loaded with %zu rules\n", sop.rule_count());
+
+    std::vector<structured_alert> recent;
+    bool done = false;
+    sim.run_until(
+        minutes(10),
+        [&](const raw_alert& a, sim_time arrival) {
+            for (auto& ev : pre.process(a, arrival)) recent.push_back(ev.alert);
+        },
+        [&](sim_time now) {
+            (void)pre.flush(now);
+            if (done) return;
+            for (const sop_match& m : sop.match(recent, sim.state())) {
+                std::printf("\n[%s] rule fired: \"%s\"\n", format_time(now).c_str(),
+                            m.rule->name.c_str());
+                std::printf("  action:   %s (%s)\n", std::string(to_string(m.action)).c_str(),
+                            topo.device_at(m.device).name.c_str());
+                std::printf("  rollback: %s (prepared, not executed)\n",
+                            m.rollback_note.c_str());
+                auto rollback = sop.execute(m, sim.state());
+                (void)rollback;  // kept by the operator in case the call was wrong
+                std::printf("  device isolated: %s\n",
+                            sim.state().device_state(m.device).isolated ? "yes" : "no");
+                done = true;
+            }
+        });
+
+    std::printf("\n%s\n", done ? "Known failure mitigated automatically — the severe/unknown "
+                                 "ones are what SkyNet itself exists for."
+                               : "No rule matched (unexpected for this scripted failure).");
+    return 0;
+}

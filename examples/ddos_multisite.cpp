@@ -1,0 +1,54 @@
+// §5.1 "multiple scene detection": a DDoS attack hits several locations
+// at once. SkyNet clusters the alerts by location into separate
+// incidents, so the operator sees every attack point instead of chasing
+// one and overlooking the rest.
+#include <cstdio>
+#include <set>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/sim/engine.h"
+#include "skynet/topology/generator.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Multi-site DDoS (paper 5.1, multiple scene detection) ===\n\n");
+
+    const topology topo = generate_topology(generator_params::small());
+    rng rand(123);
+    const customer_registry customers = customer_registry::generate(topo, 600, rand);
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    simulation_engine sim(&topo, &customers, engine_params{.tick = seconds(2), .seed = 17});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.02});
+    rng srand(18);
+    sim.inject(make_security_ddos(topo, srand, 4), minutes(1), minutes(6));
+
+    std::printf("attacked sites (ground truth):\n");
+    for (const location& site : sim.ground_truth().front().scopes) {
+        std::printf("  %s\n", site.to_string().c_str());
+    }
+    std::printf("\n");
+
+    skynet_engine skynet(&topo, &customers, &registry, &syslog);
+    sim.run_until(minutes(8),
+                  [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
+                  [&](sim_time now) { skynet.tick(now, sim.state()); });
+    skynet.finish(sim.clock().now(), sim.state());
+
+    const auto reports = skynet.take_reports();
+    std::printf("SkyNet produced %zu incidents:\n", reports.size());
+    std::set<std::string> sites;
+    for (const incident_report& r : reports) {
+        const location site = r.inc.root.ancestor_at(hierarchy_level::logic_site);
+        sites.insert(site.to_string());
+        std::printf("  incident %llu at %s (score %.1f)\n",
+                    static_cast<unsigned long long>(r.inc.id), r.inc.root.to_string().c_str(),
+                    r.severity.score);
+    }
+    std::printf("\ndistinct logic sites reported: %zu\n", sites.size());
+    std::printf("Each attack point appears as its own incident -> operators can\n"
+                "block all of them at once instead of discovering them serially.\n");
+    return 0;
+}

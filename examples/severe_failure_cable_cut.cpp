@@ -1,0 +1,68 @@
+// The §2.2 / §5.1 severe failure: half the cables of a data center's
+// Internet entrance fail at once.
+//
+// Pre-SkyNet this took hours: the congestion alert was buried in a flood
+// of 10,000+ alerts and operators chased device failures and cable
+// repairs. With SkyNet the flood collapses into one incident pinned at
+// the data center entrance, root-cause congestion alerts grouped and
+// visible, and the reachability matrix zooming in on the failure point.
+#include <cstdio>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/sim/engine.h"
+#include "skynet/topology/generator.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Severe failure: internet entrance cable cut (paper 2.2) ===\n\n");
+
+    const topology topo = generate_topology(generator_params::small());
+    rng rand(99);
+    const customer_registry customers = customer_registry::generate(topo, 600, rand);
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    // Pick a data center (logic site) and cut 60 % of its entry circuits.
+    location dc;
+    for (const device& d : topo.devices()) {
+        if (d.role == device_role::isr) {
+            dc = d.loc.ancestor_at(hierarchy_level::logic_site);
+            break;
+        }
+    }
+    std::printf("target data center: %s\n\n", dc.to_string().c_str());
+
+    simulation_engine sim(&topo, &customers, engine_params{.tick = seconds(2), .seed = 5});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.02});
+    sim.inject(make_internet_entry_cut(topo, dc, 0.6), minutes(1), minutes(8));
+
+    skynet_engine skynet(&topo, &customers, &registry, &syslog);
+    std::int64_t raw = 0;
+    sim.run_until(minutes(9),
+                  [&](const raw_alert& a, sim_time arrival) {
+                      ++raw;
+                      skynet.ingest(a, arrival);
+                  },
+                  [&](sim_time now) { skynet.tick(now, sim.state()); });
+    skynet.finish(sim.clock().now(), sim.state());
+
+    const preprocessor_stats& stats = skynet.preprocessing_stats();
+    std::printf("raw alert flood:        %lld alerts\n", static_cast<long long>(raw));
+    std::printf("after preprocessing:    %lld structured alerts\n",
+                static_cast<long long>(stats.emitted_new));
+
+    const auto reports = skynet.take_reports();
+    std::printf("incidents produced:     %zu\n\n", reports.size());
+    for (const incident_report& r : reports) {
+        if (!(r.inc.root.contains(dc) || dc.contains(r.inc.root))) continue;
+        std::printf("%s\n", r.render().c_str());
+        std::printf("The incident pins the failure at the data center entrance;\n"
+                    "the congestion root-cause alerts that were 'obscured by a\n"
+                    "flood of alerts' in the paper's war story are grouped under\n"
+                    "Root cause alerts above. Mitigation: reduce bandwidth /\n"
+                    "migrate services, then repair the cables.\n");
+        break;
+    }
+    return 0;
+}

@@ -1,0 +1,280 @@
+// skynet_cli — command-line driver for the whole stack.
+//
+// Builds (or imports) a topology, injects a failure scenario, streams the
+// monitoring flood through SkyNet and prints the ranked incident reports,
+// optionally as JSON digests. A practical entry point for exploring the
+// system without writing code.
+//
+//   skynet_cli                                  # random severe failure
+//   skynet_cli --scenario ddos --severe
+//   skynet_cli --topo medium --duration 6 --json
+//   skynet_cli --export-topo inventory.topo     # dump the topology format
+//   skynet_cli --topo-file inventory.topo       # ... and load it back
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "skynet/core/digest.h"
+#include "skynet/viz/timeline.h"
+#include "skynet/core/pipeline.h"
+#include "skynet/monitors/extended_monitors.h"
+#include "skynet/sim/engine.h"
+#include "skynet/sim/trace.h"
+#include "skynet/topology/generator.h"
+#include "skynet/topology/serialization.h"
+
+using namespace skynet;
+
+namespace {
+
+struct options {
+    std::string topo_preset = "small";
+    std::string topo_file;
+    std::string export_topo;
+    std::string record_file;
+    std::string replay_file;
+    std::string scenario_name = "random";
+    bool severe = true;
+    bool json = false;
+    bool timeline = false;
+    bool extended = false;
+    int duration_min = 5;
+    int customers = 400;
+    double noise = 0.02;
+    std::uint64_t seed = 1;
+};
+
+void usage() {
+    std::printf(
+        "usage: skynet_cli [options]\n"
+        "  --topo tiny|small|medium|large   topology preset (default small)\n"
+        "  --topo-file FILE                 import topology from the text format\n"
+        "  --export-topo FILE               write the topology and exit\n"
+        "  --scenario NAME                  random|hardware|link|modification|software|\n"
+        "                                   infrastructure|route|ddos|config|cable-cut\n"
+        "  --minor                          inject the minor variant (default severe)\n"
+        "  --duration MIN                   failure duration in minutes (default 5)\n"
+        "  --customers N                    synthetic customers (default 400)\n"
+        "  --noise R                        monitor glitch rate (default 0.02)\n"
+        "  --seed N                         simulation seed (default 1)\n"
+        "  --extended                       also run the user-telemetry/SRTE sources\n"
+        "  --json                           print incidents as JSON digests\n"
+        "  --timeline                       print an ASCII incident timeline\n"
+        "  --record FILE                    save the raw alert trace\n"
+        "  --replay FILE                    replay a recorded trace (skips the simulator)\n");
+}
+
+std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo, rng& rand) {
+    const std::string& n = opt.scenario_name;
+    if (n == "random") return make_random_scenario(topo, rand, opt.severe);
+    if (n == "hardware") return make_device_hardware_failure(topo, rand, opt.severe);
+    if (n == "link") return make_link_failure(topo, rand, opt.severe);
+    if (n == "modification") return make_modification_error(topo, rand, opt.severe);
+    if (n == "software") return make_device_software_failure(topo, rand, opt.severe);
+    if (n == "infrastructure") return make_infrastructure_failure(topo, rand, opt.severe);
+    if (n == "route") return make_route_error(topo, rand, opt.severe);
+    if (n == "ddos") return make_security_ddos(topo, rand, opt.severe ? 3 : 1);
+    if (n == "config") return make_configuration_error(topo, rand, opt.severe);
+    if (n == "cable-cut") {
+        for (const device& d : topo.devices()) {
+            if (d.role == device_role::isr) {
+                return make_internet_entry_cut(
+                    topo, d.loc.ancestor_at(hierarchy_level::logic_site), 0.5);
+            }
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--topo") {
+            opt.topo_preset = value();
+        } else if (arg == "--topo-file") {
+            opt.topo_file = value();
+        } else if (arg == "--export-topo") {
+            opt.export_topo = value();
+        } else if (arg == "--scenario") {
+            opt.scenario_name = value();
+        } else if (arg == "--minor") {
+            opt.severe = false;
+        } else if (arg == "--duration") {
+            opt.duration_min = std::atoi(value());
+        } else if (arg == "--customers") {
+            opt.customers = std::atoi(value());
+        } else if (arg == "--noise") {
+            opt.noise = std::atof(value());
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--extended") {
+            opt.extended = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--timeline") {
+            opt.timeline = true;
+        } else if (arg == "--record") {
+            opt.record_file = value();
+        } else if (arg == "--replay") {
+            opt.replay_file = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            usage();
+            return 2;
+        }
+    }
+
+    // Topology: preset, or imported file.
+    topology topo;
+    if (!opt.topo_file.empty()) {
+        std::ifstream in(opt.topo_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", opt.topo_file.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        topology_parse_result parsed = import_topology(buffer.str());
+        for (const topology_parse_error& e : parsed.errors) {
+            std::fprintf(stderr, "%s:%d: %s\n", opt.topo_file.c_str(), e.line,
+                         e.message.c_str());
+        }
+        if (!parsed.ok()) return 1;
+        topo = std::move(parsed.topo);
+    } else {
+        generator_params params = opt.topo_preset == "tiny"     ? generator_params::tiny()
+                                  : opt.topo_preset == "medium" ? generator_params::medium()
+                                  : opt.topo_preset == "large"  ? generator_params::large()
+                                                                : generator_params::small();
+        params.seed = opt.seed;
+        topo = generate_topology(params);
+    }
+    std::printf("topology: %zu devices, %zu links, %zu circuit sets\n", topo.devices().size(),
+                topo.links().size(), topo.circuit_sets().size());
+
+    if (!opt.export_topo.empty()) {
+        std::ofstream out(opt.export_topo);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", opt.export_topo.c_str());
+            return 1;
+        }
+        out << export_topology(topo);
+        std::printf("wrote %s\n", opt.export_topo.c_str());
+        return 0;
+    }
+
+    rng crand(opt.seed + 1);
+    const customer_registry customers = customer_registry::generate(topo, opt.customers, crand);
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    if (opt.extended) register_extended_alert_types(registry);
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    skynet_engine engine(&topo, &customers, &registry, &syslog);
+    std::int64_t raw = 0;
+
+    if (!opt.replay_file.empty()) {
+        std::ifstream in(opt.replay_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", opt.replay_file.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const trace_parse_result trace = parse_trace(buffer.str());
+        for (const trace_parse_error& e : trace.errors) {
+            std::fprintf(stderr, "%s:%d: %s\n", opt.replay_file.c_str(), e.line,
+                         e.message.c_str());
+        }
+        std::printf("replaying %zu alerts from %s\n", trace.alerts.size(),
+                    opt.replay_file.c_str());
+        network_state idle(&topo, &customers);
+        sim_time last_tick = 0;
+        sim_time last_arrival = 0;
+        for (const traced_alert& t : trace.alerts) {
+            ++raw;
+            engine.ingest(t.alert, t.arrival);
+            last_arrival = t.arrival;
+            if (t.arrival - last_tick >= seconds(2)) {
+                engine.tick(t.arrival, idle);
+                last_tick = t.arrival;
+            }
+        }
+        engine.finish(last_arrival + minutes(20), idle);
+    } else {
+        simulation_engine sim(&topo, &customers,
+                              engine_params{.tick = seconds(2), .seed = opt.seed});
+        sim.add_default_monitors(monitor_options{.noise_rate = opt.noise});
+        if (opt.extended) {
+            for (auto& tool : make_extended_monitors(topo)) sim.add_monitor(std::move(tool));
+        }
+
+        rng srand(opt.seed + 2);
+        auto failure = pick_scenario(opt, topo, srand);
+        if (!failure) {
+            std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario_name.c_str());
+            return 2;
+        }
+        std::printf("injecting: %s (%s, %s) for %d min\n", failure->name().c_str(),
+                    std::string(to_string(failure->cause())).c_str(),
+                    opt.severe ? "severe" : "minor", opt.duration_min);
+        sim.inject(std::move(failure), minutes(1), minutes(opt.duration_min));
+
+        std::vector<traced_alert> recorded;
+        sim.run_until(minutes(1 + opt.duration_min) + minutes(2),
+                      [&](const raw_alert& a, sim_time arrival) {
+                          ++raw;
+                          engine.ingest(a, arrival);
+                          if (!opt.record_file.empty()) {
+                              recorded.push_back(traced_alert{.alert = a, .arrival = arrival});
+                          }
+                      },
+                      [&](sim_time now) { engine.tick(now, sim.state()); });
+        engine.finish(sim.clock().now(), sim.state());
+
+        if (!opt.record_file.empty()) {
+            std::ofstream out(opt.record_file);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", opt.record_file.c_str());
+                return 1;
+            }
+            out << serialize_trace(recorded);
+            std::printf("recorded %zu alerts to %s\n", recorded.size(),
+                        opt.record_file.c_str());
+        }
+    }
+
+    const preprocessor_stats& stats = engine.preprocessing_stats();
+    std::printf("alerts: %lld raw -> %lld structured\n", static_cast<long long>(raw),
+                static_cast<long long>(stats.emitted_new));
+
+    auto reports = engine.take_reports();
+    std::sort(reports.begin(), reports.end(), [](const auto& a, const auto& b) {
+        return a.severity.score > b.severity.score;
+    });
+    std::printf("incidents: %zu\n\n", reports.size());
+    if (opt.timeline && !reports.empty()) {
+        std::printf("%s\n", render_timeline(reports).c_str());
+    }
+    for (const incident_report& r : reports) {
+        if (opt.json) {
+            std::printf("%s\n", incident_digest_json(r).c_str());
+        } else {
+            std::printf("%s\n", r.render().c_str());
+        }
+    }
+    return 0;
+}

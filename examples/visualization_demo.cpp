@@ -1,0 +1,63 @@
+// §7.1 visualization: the alert-voting graph.
+//
+// Reproduces the logic-site case where the highest-voted device turned
+// out to be a route reflector — not a common device at that level — and
+// pointed operators straight at the root cause. Prints the ranked ASCII
+// table and the Graphviz DOT rendering.
+#include <cstdio>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/topology/generator.h"
+#include "skynet/viz/vote_graph.h"
+
+using namespace skynet;
+
+int main() {
+    std::printf("=== Alert-voting visualization (paper 7.1) ===\n\n");
+
+    const topology topo = generate_topology(generator_params::tiny());
+
+    // The reflector fails: it reports BGP jitter, and every DCBR peering
+    // with it reports the session dropping.
+    device_id rr = invalid_device;
+    for (const device& d : topo.devices()) {
+        if (d.role == device_role::reflector) rr = d.id;
+    }
+    if (rr == invalid_device) {
+        std::printf("no reflector in this topology\n");
+        return 1;
+    }
+
+    incident inc;
+    inc.id = 1;
+    inc.root = topo.device_at(rr).loc.ancestor_at(hierarchy_level::logic_site);
+    inc.when = time_range{0, minutes(3)};
+    auto add = [&](device_id dev, const char* type, alert_category cat) {
+        structured_alert a;
+        a.type_name = type;
+        a.category = cat;
+        a.when = inc.when;
+        a.loc = topo.device_at(dev).loc;
+        a.device = dev;
+        inc.alerts.push_back(a);
+    };
+    add(rr, "bgp link jitter", alert_category::root_cause);
+    for (device_id nb : topo.neighbors(rr)) {
+        add(nb, "bgp peer down", alert_category::abnormal);
+        add(nb, "route churn", alert_category::abnormal);
+    }
+
+    vote_graph graph(&topo);
+    graph.add_incident(inc);
+
+    std::printf("vote ranking:\n%s\n", graph.to_ascii().c_str());
+    const vote_graph::ranked_device top = graph.ranking().front();
+    std::printf("highest-voted device: %s (role %s)\n", topo.device_at(top.id).name.c_str(),
+                std::string(to_string(topo.device_at(top.id).role)).c_str());
+    std::printf("-> a route reflector at logic-site level is unusual; operators\n"
+                "   isolate it first, which is exactly how the paper's incident\n"
+                "   was cut short.\n\n");
+
+    std::printf("Graphviz rendering (pipe into `dot -Tsvg`):\n\n%s", graph.to_dot().c_str());
+    return 0;
+}

@@ -1,0 +1,159 @@
+#include "skynet/alert/type_registry.h"
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+std::string_view to_string(data_source source) noexcept {
+    switch (source) {
+        case data_source::ping: return "Ping";
+        case data_source::traceroute: return "Traceroute";
+        case data_source::out_of_band: return "Out-of-band";
+        case data_source::traffic_stats: return "Traffic";
+        case data_source::internet_telemetry: return "Internet";
+        case data_source::syslog: return "Syslog";
+        case data_source::snmp: return "SNMP";
+        case data_source::inband_telemetry: return "INT";
+        case data_source::ptp: return "PTP";
+        case data_source::route_monitoring: return "Route";
+        case data_source::modification_events: return "Modification";
+        case data_source::patrol_inspection: return "Patrol";
+    }
+    return "?";
+}
+
+std::string_view to_string(alert_category category) noexcept {
+    switch (category) {
+        case alert_category::failure: return "failure";
+        case alert_category::abnormal: return "abnormal";
+        case alert_category::root_cause: return "root cause";
+    }
+    return "?";
+}
+
+std::string alert_type_registry::key(data_source source, std::string_view name) {
+    std::string k(to_string(source));
+    k += '\x1f';
+    k += name;
+    return k;
+}
+
+alert_type_id alert_type_registry::register_type(data_source source, std::string name,
+                                                 alert_category category) {
+    const std::string k = key(source, name);
+    if (const auto it = by_key_.find(k); it != by_key_.end()) {
+        if (types_[it->second].category != category) {
+            throw skynet_error("alert type re-registered with conflicting category: " + name);
+        }
+        return it->second;
+    }
+    const auto id = static_cast<alert_type_id>(types_.size());
+    types_.push_back(
+        alert_type{.id = id, .name = std::move(name), .source = source, .category = category});
+    by_key_.emplace(k, id);
+    return id;
+}
+
+std::optional<alert_type_id> alert_type_registry::find(data_source source,
+                                                       std::string_view name) const {
+    const auto it = by_key_.find(key(source, name));
+    if (it == by_key_.end()) return std::nullopt;
+    return it->second;
+}
+
+const alert_type& alert_type_registry::at(alert_type_id id) const {
+    if (id >= types_.size()) throw skynet_error("alert_type_registry::at: bad id");
+    return types_[id];
+}
+
+alert_type_registry alert_type_registry::with_builtin_catalog() {
+    alert_type_registry reg;
+    using ds = data_source;
+    using cat = alert_category;
+
+    // Ping mesh: end-to-end reachability and latency between server pairs.
+    reg.register_type(ds::ping, "packet loss", cat::failure);
+    reg.register_type(ds::ping, "high latency", cat::failure);
+    reg.register_type(ds::ping, "unreachable pair", cat::failure);
+    reg.register_type(ds::ping, "latency jitter", cat::abnormal);
+
+    // Traceroute.
+    reg.register_type(ds::traceroute, "hop loss", cat::failure);
+    reg.register_type(ds::traceroute, "hop latency spike", cat::abnormal);
+    reg.register_type(ds::traceroute, "path change", cat::abnormal);
+
+    // Out-of-band.
+    reg.register_type(ds::out_of_band, "device inaccessible", cat::abnormal);
+    reg.register_type(ds::out_of_band, "high cpu", cat::abnormal);
+    reg.register_type(ds::out_of_band, "high ram", cat::abnormal);
+    reg.register_type(ds::out_of_band, "temperature high", cat::abnormal);
+    reg.register_type(ds::out_of_band, "fan failure", cat::root_cause);
+    reg.register_type(ds::out_of_band, "power anomaly", cat::root_cause);
+
+    // Traffic statistics (sFlow / netFlow).
+    reg.register_type(ds::traffic_stats, "sflow packet loss", cat::failure);
+    reg.register_type(ds::traffic_stats, "traffic surge", cat::abnormal);
+    reg.register_type(ds::traffic_stats, "traffic drop", cat::abnormal);
+    reg.register_type(ds::traffic_stats, "abnormal traffic decline", cat::abnormal);
+    reg.register_type(ds::traffic_stats, "sla flow beyond limit", cat::abnormal);
+
+    // Internet telemetry.
+    reg.register_type(ds::internet_telemetry, "internet unreachable", cat::failure);
+    reg.register_type(ds::internet_telemetry, "internet packet loss", cat::failure);
+    reg.register_type(ds::internet_telemetry, "internet high latency", cat::failure);
+
+    // Syslog templates (categories per the Figure 6 example).
+    reg.register_type(ds::syslog, "link down", cat::root_cause);
+    reg.register_type(ds::syslog, "port down", cat::root_cause);
+    reg.register_type(ds::syslog, "interface down", cat::root_cause);
+    reg.register_type(ds::syslog, "link flapping", cat::abnormal);
+    reg.register_type(ds::syslog, "port flapping", cat::abnormal);
+    reg.register_type(ds::syslog, "bgp peer down", cat::abnormal);
+    reg.register_type(ds::syslog, "bgp link jitter", cat::root_cause);
+    reg.register_type(ds::syslog, "traffic blackhole", cat::abnormal);
+    reg.register_type(ds::syslog, "hardware error", cat::root_cause);
+    reg.register_type(ds::syslog, "software error", cat::root_cause);
+    reg.register_type(ds::syslog, "out of memory", cat::root_cause);
+    reg.register_type(ds::syslog, "crc error", cat::root_cause);
+    reg.register_type(ds::syslog, "bit flip", cat::failure);
+    reg.register_type(ds::syslog, "config commit failed", cat::root_cause);
+    reg.register_type(ds::syslog, "protocol adjacency loss", cat::abnormal);
+
+    // SNMP & GRPC counters.
+    reg.register_type(ds::snmp, "traffic congestion", cat::root_cause);
+    reg.register_type(ds::snmp, "link down", cat::root_cause);
+    reg.register_type(ds::snmp, "port down", cat::root_cause);
+    reg.register_type(ds::snmp, "rx errors", cat::root_cause);
+    reg.register_type(ds::snmp, "interface flap", cat::abnormal);
+    reg.register_type(ds::snmp, "high cpu", cat::abnormal);
+    reg.register_type(ds::snmp, "high ram", cat::abnormal);
+    reg.register_type(ds::snmp, "traffic drop", cat::abnormal);
+    reg.register_type(ds::snmp, "traffic surge", cat::abnormal);
+
+    // In-band network telemetry.
+    reg.register_type(ds::inband_telemetry, "int packet loss", cat::failure);
+    reg.register_type(ds::inband_telemetry, "rate discrepancy", cat::failure);
+    reg.register_type(ds::inband_telemetry, "queue buildup", cat::abnormal);
+
+    // PTP.
+    reg.register_type(ds::ptp, "clock desync", cat::abnormal);
+
+    // Route monitoring (control plane only).
+    reg.register_type(ds::route_monitoring, "default route loss", cat::root_cause);
+    reg.register_type(ds::route_monitoring, "aggregate route loss", cat::root_cause);
+    reg.register_type(ds::route_monitoring, "route hijack", cat::root_cause);
+    reg.register_type(ds::route_monitoring, "route leak", cat::root_cause);
+    reg.register_type(ds::route_monitoring, "route churn", cat::abnormal);
+
+    // Modification events.
+    reg.register_type(ds::modification_events, "modification failed", cat::root_cause);
+    reg.register_type(ds::modification_events, "rollback executed", cat::abnormal);
+
+    // Patrol inspection.
+    reg.register_type(ds::patrol_inspection, "patrol command error", cat::root_cause);
+    reg.register_type(ds::patrol_inspection, "patrol timeout", cat::abnormal);
+
+    return reg;
+}
+
+}  // namespace skynet

@@ -1,0 +1,27 @@
+#include "skynet/common/rng.h"
+
+#include <numeric>
+
+namespace skynet {
+
+std::size_t rng::weighted_index(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("rng::weighted_index: negative weight");
+        total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("rng::weighted_index: all weights zero");
+
+    double target = uniform_real(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0) return i;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0) return i;
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace skynet

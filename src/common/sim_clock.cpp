@@ -1,0 +1,42 @@
+#include "skynet/common/time.h"
+
+#include <cstdio>
+
+namespace skynet {
+
+std::string format_time(sim_time t) {
+    const bool negative = t < 0;
+    if (negative) t = -t;
+    const std::int64_t ms = t % 1000;
+    const std::int64_t total_s = t / 1000;
+    const std::int64_t s = total_s % 60;
+    const std::int64_t m = (total_s / 60) % 60;
+    const std::int64_t h = total_s / 3600;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02lld.%03lld", negative ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s), static_cast<long long>(ms));
+    return buf;
+}
+
+std::string format_duration(sim_duration d) {
+    const bool negative = d < 0;
+    if (negative) d = -d;
+    char buf[48];
+    if (d < 1000) {
+        std::snprintf(buf, sizeof buf, "%s%lldms", negative ? "-" : "", static_cast<long long>(d));
+    } else if (d < 60 * 1000) {
+        std::snprintf(buf, sizeof buf, "%s%.1fs", negative ? "-" : "",
+                      static_cast<double>(d) / 1000.0);
+    } else if (d < 60 * 60 * 1000) {
+        std::snprintf(buf, sizeof buf, "%s%lldm%llds", negative ? "-" : "",
+                      static_cast<long long>(d / 60000), static_cast<long long>((d / 1000) % 60));
+    } else {
+        std::snprintf(buf, sizeof buf, "%s%lldh%lldm", negative ? "-" : "",
+                      static_cast<long long>(d / 3600000),
+                      static_cast<long long>((d / 60000) % 60));
+    }
+    return buf;
+}
+
+}  // namespace skynet

@@ -1,0 +1,39 @@
+#include "skynet/core/accuracy.h"
+
+namespace skynet {
+
+bool incident_matches(const incident& inc, const scenario_record& truth, sim_duration slack) {
+    const time_range window{truth.active.begin - slack, truth.active.end + slack};
+    if (!window.overlaps(inc.when)) return false;
+    for (const location& scope : truth.scopes) {
+        if (inc.root.contains(scope) || scope.contains(inc.root)) return true;
+    }
+    return false;
+}
+
+accuracy_counts score_incidents(std::span<const incident> incidents,
+                                std::span<const scenario_record> truth, sim_duration slack) {
+    accuracy_counts counts;
+    for (const scenario_record& record : truth) {
+        if (record.benign || !record.must_detect) continue;
+        bool covered = false;
+        for (const incident& inc : incidents) {
+            if (incident_matches(inc, record, slack)) covered = true;
+        }
+        if (covered) {
+            ++counts.true_positives;
+        } else {
+            ++counts.false_negatives;
+        }
+    }
+    for (const incident& inc : incidents) {
+        bool real = false;
+        for (const scenario_record& record : truth) {
+            if (!record.benign && incident_matches(inc, record, slack)) real = true;
+        }
+        if (!real) ++counts.false_positives;
+    }
+    return counts;
+}
+
+}  // namespace skynet

@@ -1,0 +1,56 @@
+#include "skynet/core/incident_log.h"
+
+#include <algorithm>
+#include <map>
+
+namespace skynet {
+
+void incident_log::append(incident_report report, sim_time closed_at) {
+    entries_.push_back(entry{.report = std::move(report),
+                             .closed_at = closed_at,
+                             .attributed_to_failure = std::nullopt});
+}
+
+bool incident_log::label(std::uint64_t incident_id, bool is_failure) {
+    bool found = false;
+    for (entry& e : entries_) {
+        if (e.report.inc.id == incident_id) {
+            e.attributed_to_failure = is_failure;
+            found = true;
+        }
+    }
+    return found;
+}
+
+std::vector<const incident_log::entry*> incident_log::query(const query_filter& filter) const {
+    std::vector<const entry*> out;
+    const bool use_window = !(filter.window.begin == 0 && filter.window.end == 0);
+    for (const entry& e : entries_) {
+        if (use_window && !filter.window.overlaps(e.report.inc.when)) continue;
+        if (!filter.scope.is_root() && !filter.scope.contains(e.report.inc.root)) continue;
+        if (e.report.severity.score < filter.min_score) continue;
+        if (filter.only_actionable && !e.report.actionable) continue;
+        out.push_back(&e);
+    }
+    return out;
+}
+
+std::vector<incident_log::monthly_stats> incident_log::monthly_rollup(
+    sim_duration month_length) const {
+    std::map<int, monthly_stats> buckets;
+    for (const entry& e : entries_) {
+        const int month = static_cast<int>(e.closed_at / std::max<sim_duration>(1, month_length));
+        monthly_stats& stats = buckets[month];
+        stats.month = month;
+        ++stats.total;
+        if (e.report.actionable) ++stats.actionable;
+        if (e.attributed_to_failure.value_or(false)) ++stats.labeled_failures;
+        stats.max_score = std::max(stats.max_score, e.report.severity.score);
+    }
+    std::vector<monthly_stats> out;
+    out.reserve(buckets.size());
+    for (const auto& [month, stats] : buckets) out.push_back(stats);
+    return out;
+}
+
+}  // namespace skynet

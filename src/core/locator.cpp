@@ -1,0 +1,315 @@
+#include "skynet/core/locator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "skynet/alert/type_registry.h"
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+std::string incident_thresholds::to_string() const {
+    return std::to_string(pure_failure) + "/" + std::to_string(combo_failure) + "+" +
+           std::to_string(combo_other) + "/" + std::to_string(any);
+}
+
+int incident::type_count(alert_category category) const {
+    std::unordered_set<alert_type_id> types;
+    for (const structured_alert& a : alerts) {
+        if (a.category == category) types.insert(a.type);
+    }
+    return static_cast<int>(types.size());
+}
+
+int incident::total_type_count() const {
+    std::unordered_set<alert_type_id> types;
+    for (const structured_alert& a : alerts) types.insert(a.type);
+    return static_cast<int>(types.size());
+}
+
+double incident::avg_failure_loss() const {
+    double sum = 0.0;
+    int n = 0;
+    for (const structured_alert& a : alerts) {
+        if (a.category != alert_category::failure) continue;
+        if (a.metric <= 0.0 || a.metric > 1.0) continue;  // latency metrics excluded
+        sum += a.metric;
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+std::string incident::render() const {
+    std::string out = "Incident " + std::to_string(id) + ":\n[" + root.to_string() + "][" +
+                      format_time(when.begin) + " - " + format_time(when.end) + "]\n";
+    static constexpr alert_category order[] = {alert_category::failure, alert_category::abnormal,
+                                               alert_category::root_cause};
+    for (alert_category cat : order) {
+        // type -> (source label, occurrence count)
+        std::map<std::string, std::pair<std::string, int>> by_type;
+        for (const structured_alert& a : alerts) {
+            if (a.category != cat) continue;
+            auto& entry = by_type[a.type_name];
+            entry.first = std::string(to_string(a.source));
+            entry.second += a.count;
+        }
+        if (by_type.empty()) continue;
+        out += "\n";
+        out += (cat == alert_category::failure     ? "Failure alerts\n"
+                : cat == alert_category::abnormal ? "Abnormal alerts\n"
+                                                  : "Root cause alerts\n");
+        for (const auto& [type_name, entry] : by_type) {
+            out += "  " + entry.first + " |- " + type_name + " (" +
+                   std::to_string(entry.second) + ")\n";
+        }
+    }
+    return out;
+}
+
+locator::locator(const topology* topo, locator_config config)
+    : topo_(topo), config_(config) {
+    if (topo_ == nullptr) throw skynet_error("locator: null topology");
+}
+
+void locator::add_to_main(const structured_alert& alert, sim_time now) {
+    auto [it, inserted] = nodes_.try_emplace(alert.loc);
+    tree_node& node = it->second;
+    if (inserted) node.loc = alert.loc;
+    node.alerts.push_back(stored_alert{.alert = alert, .inserted = now});
+    node.last_update = now;
+}
+
+void locator::insert(const structured_alert& alert, sim_time now) {
+    // Algorithm 1: route into matching incident trees first.
+    for (incident_state& st : incident_states_) {
+        if (st.inc.closed) continue;
+        if (auto it = st.nodes.find(alert.loc); it != st.nodes.end()) {
+            it->second.push_back(stored_alert{.alert = alert, .inserted = now});
+            st.inc.alerts.push_back(alert);
+            st.inc.when.extend(alert.when.end);
+            st.update_time = now;
+        } else if (st.inc.root.contains(alert.loc)) {
+            st.nodes[alert.loc].push_back(stored_alert{.alert = alert, .inserted = now});
+            st.inc.alerts.push_back(alert);
+            st.inc.when.extend(alert.when.end);
+            st.update_time = now;
+        }
+    }
+    // ... and always into the main tree.
+    add_to_main(alert, now);
+}
+
+void locator::refresh(const structured_alert& alert, sim_time now) {
+    // Consolidation update: same (type, location) alert recurred; extend
+    // the stored alert and keep the node alive.
+    if (auto it = nodes_.find(alert.loc); it != nodes_.end()) {
+        it->second.last_update = now;
+        for (stored_alert& s : it->second.alerts) {
+            if (s.alert.type == alert.type) {
+                s.alert.when = alert.when;
+                s.alert.count = alert.count;
+                s.alert.metric = alert.metric;
+            }
+        }
+    } else {
+        // Node expired between the original emission and this update:
+        // treat as a fresh insertion.
+        add_to_main(alert, now);
+    }
+    for (incident_state& st : incident_states_) {
+        if (st.inc.closed || !st.inc.root.contains(alert.loc)) continue;
+        st.update_time = now;
+        st.inc.when.extend(alert.when.end);
+        auto it = st.nodes.find(alert.loc);
+        if (it == st.nodes.end()) continue;
+        for (stored_alert& s : it->second) {
+            if (s.alert.type == alert.type) {
+                s.alert.when = alert.when;
+                s.alert.count = alert.count;
+                s.alert.metric = alert.metric;
+            }
+        }
+        for (structured_alert& a : st.inc.alerts) {
+            if (a.type == alert.type && a.loc == alert.loc) {
+                a.when = alert.when;
+                a.count = alert.count;
+                a.metric = alert.metric;
+            }
+        }
+    }
+}
+
+std::pair<int, int> locator::count_types(const std::vector<const tree_node*>& group) const {
+    std::unordered_set<std::string> failure_keys;
+    std::unordered_set<std::string> all_keys;
+    for (const tree_node* node : group) {
+        for (const stored_alert& s : node->alerts) {
+            std::string key = std::to_string(s.alert.type);
+            if (!config_.count_by_type) key += '@' + s.alert.loc.to_string();
+            all_keys.insert(key);
+            if (s.alert.category == alert_category::failure) failure_keys.insert(std::move(key));
+        }
+    }
+    return {static_cast<int>(failure_keys.size()), static_cast<int>(all_keys.size())};
+}
+
+std::vector<std::vector<const locator::tree_node*>> locator::connectivity_groups(
+    std::vector<const tree_node*> members) const {
+    const std::size_t n = members.size();
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    auto find = [&parent](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+    // Resolve device ids for device-level nodes.
+    std::vector<std::optional<device_id>> dev(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const stored_alert& s : members[i]->alerts) {
+            if (s.alert.device) {
+                dev[i] = s.alert.device;
+                break;
+            }
+        }
+        if (!dev[i] && members[i]->loc.level() == hierarchy_level::device) {
+            dev[i] = topo_->find_device(members[i]->loc.leaf());
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const location& li = members[i]->loc;
+            const location& lj = members[j]->loc;
+            // Aggregate glue: containment joins.
+            if (li.contains(lj) || lj.contains(li)) {
+                unite(i, j);
+                continue;
+            }
+            if (dev[i] && dev[j]) {
+                const location ci =
+                    topo_->device_at(*dev[i]).loc.ancestor_at(hierarchy_level::cluster);
+                const location cj =
+                    topo_->device_at(*dev[j]).loc.ancestor_at(hierarchy_level::cluster);
+                const bool same_cluster =
+                    ci.depth() == depth_of(hierarchy_level::cluster) && ci == cj;
+                if (same_cluster || topo_->adjacent(*dev[i], *dev[j])) unite(i, j);
+            }
+        }
+    }
+
+    std::unordered_map<std::size_t, std::vector<const tree_node*>> by_root;
+    for (std::size_t i = 0; i < n; ++i) by_root[find(i)].push_back(members[i]);
+    std::vector<std::vector<const tree_node*>> out;
+    out.reserve(by_root.size());
+    for (auto& [root, group] : by_root) out.push_back(std::move(group));
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.front()->loc < b.front()->loc;
+    });
+    return out;
+}
+
+void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_time now) {
+    location root = group.front()->loc;
+    for (const tree_node* node : group) root = location::common_ancestor(root, node->loc);
+
+    // Algorithm 2 lines 2-3: the root already has an incident tree — or
+    // sits inside one, whose tree is already absorbing these alerts
+    // (nested incident trees would double-report).
+    for (const incident_state& st : incident_states_) {
+        if (!st.inc.closed && st.inc.root.contains(root)) return;
+    }
+
+    incident_state st;
+    st.inc.id = next_incident_id_++;
+    st.inc.root = root;
+    st.update_time = now;
+
+    // Replicate the subtree beneath the root from the main tree.
+    sim_time begin = now;
+    sim_time end = 0;
+    for (const auto& [loc, node] : nodes_) {
+        if (!root.contains(loc)) continue;
+        st.nodes.emplace(loc, node.alerts);
+        for (const stored_alert& s : node.alerts) {
+            st.inc.alerts.push_back(s.alert);
+            begin = std::min(begin, s.alert.when.begin);
+            end = std::max(end, s.alert.when.end);
+        }
+    }
+    st.inc.when = time_range{begin, std::max(begin, end)};
+
+    // Algorithm 2 lines 7-9: absorb incidents rooted inside the subtree.
+    std::erase_if(incident_states_, [&root](const incident_state& old) {
+        return !old.inc.closed && root.contains(old.inc.root) && old.inc.root != root;
+    });
+
+    incident_states_.push_back(std::move(st));
+}
+
+std::vector<incident> locator::check(sim_time now) {
+    // Algorithm 3, main tree: drop nodes idle past the node timeout.
+    for (auto it = nodes_.begin(); it != nodes_.end();) {
+        if (now > it->second.last_update + config_.node_timeout) {
+            it = nodes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Algorithm 2: group alert-bearing nodes, check thresholds, spawn.
+    std::vector<const tree_node*> members;
+    members.reserve(nodes_.size());
+    for (const auto& [loc, node] : nodes_) {
+        if (!node.alerts.empty()) members.push_back(&node);
+    }
+    std::vector<std::vector<const tree_node*>> groups;
+    if (config_.use_connectivity) {
+        groups = connectivity_groups(std::move(members));
+    } else if (!members.empty()) {
+        groups.push_back(std::move(members));
+    }
+    for (const auto& group : groups) {
+        const auto [failure_types, total_types] = count_types(group);
+        if (config_.thresholds.met(failure_types, total_types)) {
+            spawn_incident(group, now);
+        }
+    }
+
+    // Algorithm 3, incident trees: close idle incidents.
+    std::vector<incident> closed;
+    for (incident_state& st : incident_states_) {
+        if (st.inc.closed) continue;
+        if (now > st.update_time + config_.incident_timeout) {
+            st.inc.closed = true;
+            closed.push_back(st.inc);
+        }
+    }
+    std::erase_if(incident_states_, [](const incident_state& st) { return st.inc.closed; });
+    return closed;
+}
+
+std::vector<incident> locator::drain(sim_time now) {
+    std::vector<incident> closed;
+    for (incident_state& st : incident_states_) {
+        st.inc.closed = true;
+        closed.push_back(st.inc);
+    }
+    incident_states_.clear();
+    (void)now;
+    return closed;
+}
+
+std::vector<incident> locator::open_incidents() const {
+    std::vector<incident> out;
+    out.reserve(incident_states_.size());
+    for (const incident_state& st : incident_states_) out.push_back(st.inc);
+    return out;
+}
+
+}  // namespace skynet

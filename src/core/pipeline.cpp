@@ -1,0 +1,108 @@
+#include "skynet/core/pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace skynet {
+
+std::string incident_report::render() const {
+    std::string out = inc.render();
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "Risk score: %.1f%s\n", severity.score,
+                  actionable ? "" : " (below threshold, filtered)");
+    out += buf;
+    if (zoomed) {
+        out += "Zoomed location: " + zoomed->to_string() + "\n";
+    }
+    return out;
+}
+
+skynet_engine::skynet_engine(const topology* topo, const customer_registry* customers,
+                             const alert_type_registry* registry, const syslog_classifier* syslog,
+                             skynet_config config)
+    : pre_(topo, registry, syslog, config.pre),
+      locator_(topo, config.loc),
+      evaluator_(topo, customers, config.eval) {}
+
+void skynet_engine::ingest(const raw_alert& raw, sim_time now) {
+    for (preprocess_event& ev : pre_.process(raw, now)) {
+        ++structured_count_;
+        if (ev.is_update) {
+            locator_.refresh(ev.alert, now);
+        } else {
+            locator_.insert(ev.alert, now);
+        }
+    }
+}
+
+void skynet_engine::tick(sim_time now, const network_state& state) {
+    for (preprocess_event& ev : pre_.flush(now)) {
+        ++structured_count_;
+        if (ev.is_update) {
+            locator_.refresh(ev.alert, now);
+        } else {
+            locator_.insert(ev.alert, now);
+        }
+    }
+
+    for (incident& closed : locator_.check(now)) {
+        finished_.push_back(finalize(closed, now, state));
+    }
+
+    // Live severity: keep the peak score seen while open.
+    for (const incident& open : locator_.open_incidents()) {
+        const severity_breakdown s = evaluator_.evaluate(open, state, now);
+        auto [it, inserted] = live_scores_.try_emplace(open.id, s);
+        if (!inserted && s.score > it->second.score) it->second = s;
+    }
+}
+
+void skynet_engine::finish(sim_time now, const network_state& state) {
+    tick(now, state);
+    for (incident& closed : locator_.drain(now)) {
+        finished_.push_back(finalize(closed, now, state));
+    }
+}
+
+incident_report skynet_engine::finalize(const incident& inc, sim_time now,
+                                        const network_state& state) {
+    incident_report report;
+    report.inc = inc;
+    report.severity = evaluator_.evaluate(inc, state, now);
+    if (const auto it = live_scores_.find(inc.id); it != live_scores_.end()) {
+        if (it->second.score > report.severity.score) report.severity = it->second;
+        live_scores_.erase(it);
+    }
+    report.zoomed = evaluator_.zoom_in(inc);
+    report.actionable = evaluator_.passes_filter(report.severity);
+    return report;
+}
+
+std::vector<incident_report> skynet_engine::take_reports() {
+    std::vector<incident_report> out = std::move(finished_);
+    finished_.clear();
+    return out;
+}
+
+std::vector<incident_report> skynet_engine::open_reports(sim_time now,
+                                                         const network_state& state) const {
+    std::vector<incident_report> out;
+    for (const incident& open : locator_.open_incidents()) {
+        incident_report report;
+        report.inc = open;
+        report.severity = evaluator_.evaluate(open, state, now);
+        if (const auto it = live_scores_.find(open.id); it != live_scores_.end()) {
+            if (it->second.score > report.severity.score) report.severity = it->second;
+        }
+        report.zoomed = evaluator_.zoom_in(open);
+        report.actionable = evaluator_.passes_filter(report.severity);
+        out.push_back(std::move(report));
+    }
+    // Ranked view: most severe first (the paper's incident ranking).
+    std::sort(out.begin(), out.end(), [](const incident_report& a, const incident_report& b) {
+        return a.severity.score > b.severity.score;
+    });
+    return out;
+}
+
+}  // namespace skynet

@@ -1,0 +1,272 @@
+#include "skynet/core/preprocessor.h"
+
+#include <algorithm>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+preprocessor::preprocessor(const topology* topo, const alert_type_registry* registry,
+                           const syslog_classifier* syslog, preprocessor_config config)
+    : topo_(topo), registry_(registry), syslog_(syslog), config_(config) {
+    if (topo_ == nullptr || registry_ == nullptr) {
+        throw skynet_error("preprocessor: null topology or registry");
+    }
+}
+
+std::optional<structured_alert> preprocessor::to_structured(const raw_alert& raw) const {
+    structured_alert s;
+    s.source = raw.source;
+    s.when = time_range{raw.timestamp, raw.timestamp};
+    s.loc = raw.loc;
+    s.metric = raw.metric;
+    s.device = raw.device;
+    s.src_loc = raw.src_loc;
+    s.dst_loc = raw.dst_loc;
+
+    std::string type_name = raw.kind;
+    if (raw.source == data_source::syslog) {
+        // Free text: recover the type through the FT-tree templates.
+        if (syslog_ == nullptr) return std::nullopt;
+        const auto r = syslog_->classify(raw.message);
+        if (!r) return std::nullopt;  // benign / unknown log line
+        type_name = r->type_name;
+    }
+    if (type_name.empty()) return std::nullopt;
+
+    const auto id = registry_->find(raw.source, type_name);
+    if (!id) return std::nullopt;  // type not in the catalog
+    const alert_type& t = registry_->at(*id);
+    s.type = t.id;
+    s.type_name = t.name;
+    s.category = t.category;
+    return s;
+}
+
+std::string preprocessor::key_of(const structured_alert& alert) {
+    return std::to_string(alert.type) + '@' + alert.loc.to_string();
+}
+
+bool preprocessor::corroborated(const location& loc, sim_time now) const {
+    for (const sighting& s : sightings_) {
+        if (now - s.at > config_.correlation_window) continue;
+        // Corroboration counts when the witnesses share scope: one
+        // contains the other.
+        if (s.loc.contains(loc) || loc.contains(s.loc)) return true;
+    }
+    return false;
+}
+
+void preprocessor::note_sighting(const structured_alert& alert, sim_time now) {
+    if (alert.category == alert_category::failure ||
+        alert.category == alert_category::root_cause) {
+        sightings_.push_back(sighting{.loc = alert.loc, .at = now});
+    }
+}
+
+void preprocessor::emit(structured_alert alert, sim_time now, std::vector<preprocess_event>& out) {
+    note_sighting(alert, now);
+    const std::string key = key_of(alert);
+    auto [it, inserted] = open_.try_emplace(key);
+    if (inserted || now - it->second.last_seen > config_.dedup_window) {
+        it->second = open_alert{.alert = alert, .last_seen = now};
+        ++stats_.emitted_new;
+        out.push_back(preprocess_event{.alert = std::move(alert), .is_update = false});
+        return;
+    }
+    // Identical-alert consolidation: refresh the open alert.
+    open_alert& open = it->second;
+    open.alert.when.extend(alert.when.begin);
+    open.alert.when.extend(alert.when.end);
+    open.alert.count += alert.count;
+    open.alert.metric = std::max(open.alert.metric, alert.metric);
+    open.last_seen = now;
+    ++stats_.merged_identical;
+    ++stats_.emitted_update;
+    out.push_back(preprocess_event{.alert = open.alert, .is_update = true});
+}
+
+void preprocessor::route(structured_alert alert, sim_time now,
+                         std::vector<preprocess_event>& out) {
+    // Single-source persistence rule: end-to-end loss probes and
+    // liveness-probe results must recur across *distinct observations*
+    // before they count (sporadic loss is ignored; a glitching prober
+    // that floods identical device-down alerts in a single sweep counts
+    // as one observation, §4.2).
+    const bool probe_loss =
+        (alert.source == data_source::ping || alert.source == data_source::internet_telemetry) &&
+        alert.category == alert_category::failure;
+    const bool liveness_probe =
+        alert.source == data_source::out_of_band && alert.type_name == "device inaccessible";
+    if ((probe_loss || liveness_probe) && config_.persistence_threshold > 1) {
+        const std::string key = key_of(alert);
+        auto [it, inserted] = pending_persistence_.try_emplace(
+            key, pending_alert{.alert = alert, .occurrences = 0, .first_seen = now, .last_seen = now});
+        pending_alert& p = it->second;
+        if (!inserted && now - p.last_seen > config_.persistence_window) {
+            // Stale entry: restart the observation window.
+            ++stats_.dropped_sporadic;
+            p = pending_alert{.alert = alert, .occurrences = 0, .first_seen = now, .last_seen = now};
+        }
+        if (alert.when.begin != p.last_counted_ts) {
+            ++p.occurrences;
+            p.last_counted_ts = alert.when.begin;
+        }
+        p.last_seen = now;
+        p.alert.when.extend(alert.when.begin);
+        p.alert.when.extend(alert.when.end);
+        p.alert.metric = std::max(p.alert.metric, alert.metric);
+        if (p.occurrences < config_.persistence_threshold) return;  // hold
+        structured_alert ready = p.alert;
+        pending_persistence_.erase(it);
+        emit(std::move(ready), now, out);
+        return;
+    }
+
+    // Cross-source rule: a traffic drop alone is expected behaviour.
+    const bool is_traffic_drop = alert.type_name == "traffic drop";
+    if (is_traffic_drop && config_.cross_source) {
+        if (corroborated(alert.loc, now)) {
+            // Reclassify: the combination means an abnormal decline.
+            if (const auto id = registry_->find(data_source::traffic_stats,
+                                                "abnormal traffic decline")) {
+                const alert_type& t = registry_->at(*id);
+                alert.type = t.id;
+                alert.type_name = t.name;
+                alert.category = t.category;
+            }
+            emit(std::move(alert), now, out);
+            return;
+        }
+        const std::string key = key_of(alert);
+        auto [it, inserted] = pending_correlation_.try_emplace(
+            key, pending_alert{.alert = alert, .occurrences = 1, .first_seen = now, .last_seen = now});
+        if (!inserted) {
+            it->second.last_seen = now;
+            it->second.alert.when.extend(alert.when.end);
+        }
+        return;  // waits for corroboration or expiry
+    }
+
+    // Related-alert rule: a surge at one location implies surges on the
+    // paths around it; merge a surge into any open surge at an adjacent
+    // (ancestor/descendant/sibling-parent) location.
+    if (config_.consolidate_related && alert.type_name == "traffic surge") {
+        for (auto& [key, open] : open_) {
+            if (open.alert.type_name != "traffic surge") continue;
+            if (now - open.last_seen > config_.persistence_window) continue;
+            const location& other = open.alert.loc;
+            const bool adjacent = other.contains(alert.loc) || alert.loc.contains(other) ||
+                                  other.parent() == alert.loc.parent();
+            if (adjacent && other != alert.loc) {
+                open.alert.count += 1;
+                open.alert.when.extend(alert.when.end);
+                open.last_seen = now;
+                ++stats_.merged_related;
+                return;
+            }
+        }
+    }
+
+    emit(std::move(alert), now, out);
+}
+
+std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_time now) {
+    ++stats_.raw_in;
+    std::vector<preprocess_event> out;
+
+    auto structured = to_structured(raw);
+    if (!structured) {
+        ++stats_.dropped_unclassified;
+        if (miner_ != nullptr && raw.source == data_source::syslog) {
+            miner_->observe(raw.message, now);
+        }
+        return out;
+    }
+
+    // Link alerts split into one alert per endpoint device (§4.1).
+    if (config_.split_link_alerts && raw.link.has_value() && !structured->device.has_value()) {
+        const link& l = topo_->link_at(*raw.link);
+        for (device_id endpoint : {l.a, l.b}) {
+            const device& d = topo_->device_at(endpoint);
+            if (d.role == device_role::isp) continue;  // outside our hierarchy
+            structured_alert split = *structured;
+            split.loc = d.loc;
+            split.device = endpoint;
+            route(std::move(split), now, out);
+        }
+        return out;
+    }
+
+    // End-to-end pair alerts are the same shape as link alerts — the
+    // "link" is the path between the endpoints — so they split onto both
+    // endpoint locations too (§4.1), instead of landing at a coarse
+    // common ancestor that would weld unrelated incidents together.
+    if (config_.split_link_alerts && structured->src_loc && structured->dst_loc &&
+        structured->loc.is_ancestor_of(*structured->src_loc) &&
+        structured->loc.is_ancestor_of(*structured->dst_loc)) {
+        for (const location* endpoint : {&*structured->src_loc, &*structured->dst_loc}) {
+            structured_alert split = *structured;
+            split.loc = *endpoint;
+            route(std::move(split), now, out);
+        }
+        return out;
+    }
+
+    route(std::move(*structured), now, out);
+    return out;
+}
+
+std::vector<preprocess_event> preprocessor::flush(sim_time now) {
+    std::vector<preprocess_event> out;
+
+    // Resolve pending traffic drops: corroborated ones are upgraded and
+    // released, expired loners are discarded.
+    for (auto it = pending_correlation_.begin(); it != pending_correlation_.end();) {
+        pending_alert& p = it->second;
+        if (corroborated(p.alert.loc, now)) {
+            structured_alert alert = p.alert;
+            if (const auto id =
+                    registry_->find(data_source::traffic_stats, "abnormal traffic decline")) {
+                const alert_type& t = registry_->at(*id);
+                alert.type = t.id;
+                alert.type_name = t.name;
+                alert.category = t.category;
+            }
+            it = pending_correlation_.erase(it);
+            emit(std::move(alert), now, out);
+        } else if (now - p.first_seen > config_.correlation_window) {
+            ++stats_.dropped_uncorroborated;
+            it = pending_correlation_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Expire stale persistence buffers (the sporadic blips).
+    for (auto it = pending_persistence_.begin(); it != pending_persistence_.end();) {
+        if (now - it->second.last_seen > config_.persistence_window) {
+            ++stats_.dropped_sporadic;
+            it = pending_persistence_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Expire open alerts past the dedup window.
+    for (auto it = open_.begin(); it != open_.end();) {
+        if (now - it->second.last_seen > config_.dedup_window) {
+            it = open_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Prune the corroboration history.
+    while (!sightings_.empty() && now - sightings_.front().at > config_.correlation_window) {
+        sightings_.pop_front();
+    }
+    return out;
+}
+
+}  // namespace skynet

@@ -1,0 +1,114 @@
+#include "skynet/core/threshold_tuner.h"
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+tuning_episode make_tuning_episode(const topology& topo, const alert_type_registry& registry,
+                                   const syslog_classifier& syslog,
+                                   std::span<const traced_alert> trace,
+                                   std::vector<scenario_record> truth, sim_time end,
+                                   const preprocessor_config& pre_config) {
+    tuning_episode episode;
+    episode.truth = std::move(truth);
+
+    preprocessor pre(&topo, &registry, &syslog, pre_config);
+    sim_time last_arrival = 0;
+    sim_time last_flush = 0;
+    auto take = [&episode](std::vector<preprocess_event> events, sim_time at) {
+        for (preprocess_event& ev : events) {
+            if (!ev.is_update) episode.alerts.emplace_back(std::move(ev.alert), at);
+        }
+    };
+    for (const traced_alert& t : trace) {
+        take(pre.process(t.alert, t.arrival), t.arrival);
+        last_arrival = t.arrival;
+        if (t.arrival - last_flush >= seconds(2)) {
+            take(pre.flush(t.arrival), t.arrival);
+            last_flush = t.arrival;
+        }
+    }
+    take(pre.flush(last_arrival + seconds(2)), last_arrival + seconds(2));
+
+    episode.end = end > 0 ? end : last_arrival + minutes(20);
+    return episode;
+}
+
+std::vector<incident_thresholds> default_threshold_grid() {
+    auto t = [](int a, int b, int c, int d) {
+        return incident_thresholds{.pure_failure = a, .combo_failure = b, .combo_other = c,
+                                   .any = d};
+    };
+    return {
+        t(0, 1, 2, 5), t(2, 0, 0, 5), t(2, 1, 2, 0), t(1, 1, 2, 5), t(2, 1, 2, 4),
+        t(2, 1, 1, 5), t(2, 1, 2, 5), t(2, 1, 3, 5), t(2, 1, 2, 6), t(3, 2, 2, 6),
+    };
+}
+
+namespace {
+
+/// Strictness: larger thresholds spawn fewer incidents. Used only for
+/// tie-breaking among equal-accuracy candidates.
+int strictness(const incident_thresholds& t) {
+    auto clause = [](int v) { return v == 0 ? 100 : v; };  // disabled = strictest
+    return clause(t.pure_failure) + clause(t.combo_failure) + clause(t.combo_other) +
+           clause(t.any);
+}
+
+accuracy_counts replay(const topology& topo, const tuning_episode& episode,
+                       const locator_config& cfg) {
+    locator loc(&topo, cfg);
+    sim_time last_check = 0;
+    sim_time last_arrival = 0;
+    std::vector<incident> incidents;
+    for (const auto& [alert, arrival] : episode.alerts) {
+        loc.insert(alert, arrival);
+        last_arrival = arrival;
+        if (arrival - last_check >= seconds(10)) {
+            for (incident& inc : loc.check(arrival)) incidents.push_back(std::move(inc));
+            last_check = arrival;
+        }
+    }
+    // One check while the alerts are still fresh (short episodes may
+    // never hit the periodic cadence), then run out the clock.
+    for (incident& inc : loc.check(last_arrival + seconds(2))) incidents.push_back(std::move(inc));
+    for (incident& inc : loc.check(episode.end)) incidents.push_back(std::move(inc));
+    for (incident& inc : loc.drain(episode.end)) incidents.push_back(std::move(inc));
+    return score_incidents(incidents, episode.truth);
+}
+
+}  // namespace
+
+tuning_result tune_thresholds(const topology& topo, std::span<const tuning_episode> episodes,
+                              std::span<const incident_thresholds> candidates,
+                              const locator_config& base) {
+    if (candidates.empty()) throw skynet_error("tune_thresholds: no candidates");
+
+    tuning_result result;
+    for (const incident_thresholds& candidate : candidates) {
+        locator_config cfg = base;
+        cfg.thresholds = candidate;
+        accuracy_counts total;
+        for (const tuning_episode& episode : episodes) {
+            total += replay(topo, episode, cfg);
+        }
+        result.all.push_back(
+            threshold_candidate_result{.thresholds = candidate, .accuracy = total});
+    }
+
+    // Selection: FN first (must be minimal, ideally zero), then FP, then
+    // strictness.
+    const threshold_candidate_result* best = &result.all.front();
+    for (const threshold_candidate_result& c : result.all) {
+        const auto key = [](const threshold_candidate_result& r) {
+            return std::tuple(r.accuracy.false_negatives, r.accuracy.false_positives,
+                              -strictness(r.thresholds));
+        };
+        if (key(c) < key(*best)) best = &c;
+    }
+    result.best = best->thresholds;
+    result.best_accuracy = best->accuracy;
+    return result;
+}
+
+}  // namespace skynet

@@ -1,0 +1,170 @@
+#include "skynet/heuristics/rule_parser.h"
+
+#include <cstdio>
+
+#include "skynet/common/strings.h"
+
+namespace skynet {
+namespace {
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Strips a trailing `# comment` (not inside quotes).
+std::string_view strip_comment(std::string_view s) {
+    bool quoted = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '"') quoted = !quoted;
+        if (s[i] == '#' && !quoted) return s.substr(0, i);
+    }
+    return s;
+}
+
+bool consume_keyword(std::string_view& s, std::string_view keyword) {
+    if (!starts_with(s, keyword)) return false;
+    const std::string_view rest = s.substr(keyword.size());
+    if (!rest.empty() && rest.front() != ' ' && rest.front() != '\t') return false;
+    s = trim(rest);
+    return true;
+}
+
+}  // namespace
+
+rule_parse_result parse_sop_rules(std::string_view text) {
+    rule_parse_result result;
+    sop_rule current;
+    bool in_rule = false;
+    bool rule_bad = false;
+    bool has_action = false;
+
+    auto fail = [&](int line, std::string message) {
+        result.errors.push_back(rule_parse_error{.line = line, .message = std::move(message)});
+        rule_bad = true;
+    };
+    auto finish_rule = [&](int line) {
+        if (!in_rule) return;
+        if (!rule_bad && !has_action) {
+            result.errors.push_back(
+                rule_parse_error{.line = line, .message = "rule '" + current.name +
+                                                          "' has no action"});
+            rule_bad = true;
+        }
+        if (!rule_bad) result.rules.push_back(std::move(current));
+        current = sop_rule{};
+        in_rule = false;
+        rule_bad = false;
+        has_action = false;
+    };
+
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        std::string_view line = text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                                              : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++line_no;
+
+        std::string_view body = trim(strip_comment(line));
+        if (body.empty()) continue;
+
+        if (consume_keyword(body, "rule")) {
+            finish_rule(line_no);
+            // Expect: "name":
+            if (body.size() < 3 || body.front() != '"') {
+                fail(line_no, "expected rule \"name\":");
+                in_rule = true;  // swallow the body lines of the bad rule
+                continue;
+            }
+            const std::size_t close = body.find('"', 1);
+            if (close == std::string_view::npos || trim(body.substr(close + 1)) != ":") {
+                fail(line_no, "expected rule \"name\":");
+                in_rule = true;
+                continue;
+            }
+            current.name = std::string(body.substr(1, close - 1));
+            // Defaults: conditions opt in.
+            current.condition = sop_condition{.required_types = {},
+                                              .forbidden_types = {},
+                                              .require_group_quiet = false,
+                                              .max_group_utilization = 1.0};
+            in_rule = true;
+            continue;
+        }
+
+        if (!in_rule) {
+            fail(line_no, "directive outside a rule: '" + std::string(body) + "'");
+            rule_bad = false;  // nothing to skip; the error is recorded
+            continue;
+        }
+        if (rule_bad) continue;  // skipping the rest of a bad rule
+
+        if (consume_keyword(body, "require")) {
+            if (body.empty()) {
+                fail(line_no, "require needs an alert type");
+                continue;
+            }
+            current.condition.required_types.emplace_back(body);
+        } else if (consume_keyword(body, "forbid")) {
+            if (body.empty()) {
+                fail(line_no, "forbid needs an alert type");
+                continue;
+            }
+            current.condition.forbidden_types.emplace_back(body);
+        } else if (body == "group quiet") {
+            current.condition.require_group_quiet = true;
+        } else if (consume_keyword(body, "max group utilization")) {
+            char* end = nullptr;
+            const std::string value(body);
+            const double v = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || !trim(std::string_view(end)).empty() || v < 0.0 ||
+                v > 1.0) {
+                fail(line_no, "max group utilization needs a number in [0,1]");
+                continue;
+            }
+            current.condition.max_group_utilization = v;
+        } else if (consume_keyword(body, "action")) {
+            if (body == "isolate device") {
+                current.action = sop_action_kind::isolate_device;
+            } else if (body == "disable interface") {
+                current.action = sop_action_kind::disable_interface;
+            } else if (body == "rollback modification") {
+                current.action = sop_action_kind::rollback_modification;
+            } else {
+                fail(line_no, "unknown action: '" + std::string(body) + "'");
+                continue;
+            }
+            has_action = true;
+        } else {
+            fail(line_no, "unknown directive: '" + std::string(body) + "'");
+        }
+    }
+    finish_rule(line_no);
+    return result;
+}
+
+std::string render_sop_rule(const sop_rule& rule) {
+    std::string out = "rule \"" + rule.name + "\":\n";
+    for (const std::string& t : rule.condition.required_types) {
+        out += "  require " + t + "\n";
+    }
+    for (const std::string& t : rule.condition.forbidden_types) {
+        out += "  forbid " + t + "\n";
+    }
+    if (rule.condition.require_group_quiet) out += "  group quiet\n";
+    if (rule.condition.max_group_utilization < 1.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "  max group utilization %.2f\n",
+                      rule.condition.max_group_utilization);
+        out += buf;
+    }
+    out += "  action " + std::string(to_string(rule.action)) + "\n";
+    return out;
+}
+
+}  // namespace skynet

@@ -1,0 +1,166 @@
+#include "skynet/heuristics/sop.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "skynet/common/error.h"
+#include "skynet/heuristics/rule_parser.h"
+
+namespace skynet {
+
+std::string_view to_string(sop_action_kind kind) noexcept {
+    switch (kind) {
+        case sop_action_kind::isolate_device: return "isolate device";
+        case sop_action_kind::disable_interface: return "disable interface";
+        case sop_action_kind::rollback_modification: return "rollback modification";
+    }
+    return "?";
+}
+
+sop_engine::sop_engine(const topology* topo) : topo_(topo) {
+    if (topo_ == nullptr) throw skynet_error("sop_engine: null topology");
+}
+
+void sop_engine::add_rule(sop_rule rule) { rules_.push_back(std::move(rule)); }
+
+std::string_view sop_engine::default_rulebook() {
+    // Device-level isolation signatures distilled from historical known
+    // failures (the production system grew to ~1000 of these; the ones
+    // below cover the single-device patterns our simulator produces).
+    // Authored in the operator text format and parsed at load, like the
+    // real rulebook.
+    return R"(# SkyNet default SOP rulebook
+rule "device packet loss isolation":
+  require sflow packet loss
+  group quiet
+  max group utilization 0.7
+  action isolate device
+
+rule "hardware error isolation":
+  require hardware error
+  group quiet
+  max group utilization 0.7
+  action isolate device
+
+rule "software crash isolation":
+  require software error
+  group quiet
+  max group utilization 0.7
+  action isolate device
+
+rule "crc interface disable":
+  require crc error
+  forbid hardware error
+  group quiet
+  max group utilization 0.8
+  action disable interface
+
+rule "failed modification rollback":
+  require modification failed
+  action rollback modification
+)";
+}
+
+sop_engine sop_engine::with_default_rules(const topology* topo) {
+    sop_engine engine(topo);
+    const rule_parse_result parsed = parse_sop_rules(default_rulebook());
+    if (!parsed.ok()) {
+        throw skynet_error("default rulebook failed to parse: " +
+                           parsed.errors.front().message);
+    }
+    for (const sop_rule& rule : parsed.rules) engine.add_rule(rule);
+    return engine;
+}
+
+std::vector<sop_match> sop_engine::match(std::span<const structured_alert> recent,
+                                         const network_state& state) const {
+    // Index the recent alerts per device.
+    std::unordered_map<device_id, std::unordered_set<std::string>> types_by_device;
+    std::unordered_set<device_id> alerting;
+    for (const structured_alert& a : recent) {
+        if (!a.device) continue;
+        types_by_device[*a.device].insert(a.type_name);
+        alerting.insert(*a.device);
+    }
+
+    std::vector<sop_match> out;
+    for (const auto& [dev, types] : types_by_device) {
+        const device& d = topo_->device_at(dev);
+        for (const sop_rule& rule : rules_) {
+            const sop_condition& c = rule.condition;
+            const bool required_ok =
+                std::all_of(c.required_types.begin(), c.required_types.end(),
+                            [&types](const std::string& t) { return types.contains(t); });
+            if (!required_ok) continue;
+
+            bool forbidden_hit = false;
+            if (d.group != invalid_group) {
+                for (device_id member : topo_->group_at(d.group).members) {
+                    const auto it = types_by_device.find(member);
+                    if (it == types_by_device.end()) continue;
+                    for (const std::string& t : c.forbidden_types) {
+                        if (it->second.contains(t)) forbidden_hit = true;
+                    }
+                }
+            }
+            if (forbidden_hit) continue;
+
+            if (c.require_group_quiet && d.group != invalid_group) {
+                bool group_quiet = true;
+                for (device_id member : topo_->group_at(d.group).members) {
+                    if (member != dev && alerting.contains(member)) group_quiet = false;
+                }
+                if (!group_quiet) continue;
+            }
+
+            if (d.group != invalid_group && c.max_group_utilization < 1.0) {
+                double util_sum = 0.0;
+                int util_n = 0;
+                for (device_id member : topo_->group_at(d.group).members) {
+                    for (circuit_set_id cs : topo_->circuit_sets_of(member)) {
+                        util_sum += std::min(2.0, state.utilization(cs));
+                        ++util_n;
+                    }
+                }
+                const double mean_util = util_n == 0 ? 0.0 : util_sum / util_n;
+                if (mean_util > c.max_group_utilization) continue;
+            }
+
+            out.push_back(sop_match{.rule = &rule,
+                                    .device = dev,
+                                    .action = rule.action,
+                                    .rollback_note = "re-enable " + d.name});
+            break;  // first matching rule wins for a device
+        }
+    }
+    return out;
+}
+
+std::function<void(network_state&)> sop_engine::execute(const sop_match& m,
+                                                        network_state& state) const {
+    switch (m.action) {
+        case sop_action_kind::isolate_device: {
+            state.device_state(m.device).isolated = true;
+            const device_id dev = m.device;
+            return [dev](network_state& s) { s.device_state(dev).isolated = false; };
+        }
+        case sop_action_kind::disable_interface: {
+            // Drain the first corrupting circuit of the device.
+            for (link_id lid : topo_->links_of(m.device)) {
+                if (state.link_state(lid).corruption_loss > 0.0) {
+                    state.link_state(lid).up = false;
+                    return [lid](network_state& s) { s.link_state(lid).up = true; };
+                }
+            }
+            return [](network_state&) {};
+        }
+        case sop_action_kind::rollback_modification:
+            // The rollback itself is modeled by the scenario's on_end; the
+            // SOP records the intent.
+            return [](network_state&) {};
+    }
+    return [](network_state&) {};
+}
+
+}  // namespace skynet

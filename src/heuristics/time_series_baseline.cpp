@@ -1,0 +1,56 @@
+#include "skynet/heuristics/time_series_baseline.h"
+
+namespace skynet {
+namespace {
+
+attribution to_attribution(const structured_alert& alert) {
+    return attribution{.device = alert.device,
+                       .type_name = alert.type_name,
+                       .at = alert.when.begin,
+                       .valid = true};
+}
+
+int category_rank(alert_category category) {
+    switch (category) {
+        case alert_category::root_cause: return 0;  // names the fix
+        case alert_category::failure: return 1;
+        case alert_category::abnormal: return 2;
+    }
+    return 3;
+}
+
+}  // namespace
+
+attribution attribute_first_alert(std::span<const structured_alert> alerts) {
+    const structured_alert* first = nullptr;
+    for (const structured_alert& a : alerts) {
+        if (first == nullptr || a.when.begin < first->when.begin) first = &a;
+    }
+    return first == nullptr ? attribution{} : to_attribution(*first);
+}
+
+attribution attribute_by_category(std::span<const structured_alert> alerts) {
+    const structured_alert* best = nullptr;
+    for (const structured_alert& a : alerts) {
+        if (best == nullptr) {
+            best = &a;
+            continue;
+        }
+        const int ra = category_rank(a.category);
+        const int rb = category_rank(best->category);
+        // Prefer better category; within a category prefer device-level
+        // evidence, then earliest.
+        if (ra != rb) {
+            if (ra < rb) best = &a;
+            continue;
+        }
+        if (a.device.has_value() != best->device.has_value()) {
+            if (a.device.has_value()) best = &a;
+            continue;
+        }
+        if (a.when.begin < best->when.begin) best = &a;
+    }
+    return best == nullptr ? attribution{} : to_attribution(*best);
+}
+
+}  // namespace skynet

@@ -1,0 +1,83 @@
+// Alert data model: raw alerts from monitoring tools and the uniform
+// structured alerts the preprocessor emits (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "skynet/alert/data_source.h"
+#include "skynet/common/time.h"
+#include "skynet/topology/model.h"
+
+namespace skynet {
+
+/// The three alert importance levels of §4.2.
+enum class alert_category : std::uint8_t {
+    /// Network behaviour is definitively abnormal: packet loss, bit flips,
+    /// high transmission latency. Most authoritative for detection.
+    failure,
+    /// Irregular but possibly benign behaviour: jitter, sudden latency
+    /// increase, abrupt traffic change, device unreachable.
+    abnormal,
+    /// Failures of network entities that point at the fix: device/NIC
+    /// failure, link outage, CRC errors, risky routes, error logs.
+    root_cause,
+};
+
+[[nodiscard]] std::string_view to_string(alert_category category) noexcept;
+
+/// Identifier of a registered alert type (see alert_type_registry).
+using alert_type_id = std::uint32_t;
+inline constexpr alert_type_id invalid_alert_type = 0xffffffffu;
+
+/// What a monitoring tool emits, before preprocessing. Tools disagree on
+/// structure: syslog carries free text, ping carries a server pair, SNMP
+/// carries a device counter — hence the optional fields.
+struct raw_alert {
+    data_source source{data_source::ping};
+    sim_time timestamp{0};
+    /// Tool-specific kind tag ("packet_loss", "link_down", ...). Empty for
+    /// syslog, whose kind is recovered by template classification.
+    std::string kind;
+    /// Human-readable payload (the full syslog line, probe detail, ...).
+    std::string message;
+    /// Hierarchy location the tool attributes the event to. End-to-end
+    /// tools report an aggregate location (e.g. common ancestor of the
+    /// probe endpoints); device tools report the device location.
+    location loc;
+    /// Set when the alert is attributable to a single device.
+    std::optional<device_id> device;
+    /// Set when the alert concerns a link; the preprocessor splits it into
+    /// two device-attributed alerts (§4.1).
+    std::optional<link_id> link;
+    /// Tool metric: loss ratio for ping/sFlow, utilization for SNMP, ...
+    double metric{0.0};
+    /// Endpoints for end-to-end probes (reachability matrix input).
+    std::optional<location> src_loc;
+    std::optional<location> dst_loc;
+};
+
+/// The uniform format every data source is converted into: when, where,
+/// what (type + category), plus consolidation metadata.
+struct structured_alert {
+    alert_type_id type{invalid_alert_type};
+    std::string type_name;
+    data_source source{data_source::ping};
+    alert_category category{alert_category::abnormal};
+    /// Aggregated time range: begin = first occurrence, end = latest
+    /// occurrence (the "duration" attribute of §4.1).
+    time_range when;
+    location loc;
+    /// Occurrences consolidated into this alert.
+    int count{1};
+    /// Representative metric (e.g. mean packet-loss ratio).
+    double metric{0.0};
+    std::optional<device_id> device;
+    /// Probe endpoints, preserved from end-to-end sources so the
+    /// evaluator can build reachability matrices (Figure 7).
+    std::optional<location> src_loc;
+    std::optional<location> dst_loc;
+};
+
+}  // namespace skynet

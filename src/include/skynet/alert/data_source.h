@@ -1,0 +1,49 @@
+// Monitoring data sources (Table 2 of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace skynet {
+
+/// The twelve monitoring data sources SkyNet integrates. Each has its own
+/// simulated tool in `skynet::monitors`, with the coverage limitations
+/// described in §2.1.
+enum class data_source : std::uint8_t {
+    ping,                 ///< server-pair latency/reachability probes
+    traceroute,           ///< per-hop latency between server pairs
+    out_of_band,          ///< device liveness / CPU / RAM via OOB channel
+    traffic_stats,        ///< sFlow / netFlow traffic monitoring
+    internet_telemetry,   ///< pings from DC servers to Internet addresses
+    syslog,               ///< errors reported by the devices themselves
+    snmp,                 ///< interface status & counters, RX errors, CPU/RAM
+    inband_telemetry,     ///< INT test packets through supporting devices
+    ptp,                  ///< device clock out of synchronization
+    route_monitoring,     ///< route loss / hijack / leaking (control plane)
+    modification_events,  ///< failed automatic or manual network changes
+    patrol_inspection,    ///< periodic scripted CLI command sweeps
+};
+
+inline constexpr std::size_t data_source_count = 12;
+
+[[nodiscard]] std::string_view to_string(data_source source) noexcept;
+
+/// All sources, in enum order (useful for sweeps such as the Figure 8a
+/// source-removal experiment).
+[[nodiscard]] constexpr std::array<data_source, data_source_count> all_data_sources() noexcept {
+    return {data_source::ping,
+            data_source::traceroute,
+            data_source::out_of_band,
+            data_source::traffic_stats,
+            data_source::internet_telemetry,
+            data_source::syslog,
+            data_source::snmp,
+            data_source::inband_telemetry,
+            data_source::ptp,
+            data_source::route_monitoring,
+            data_source::modification_events,
+            data_source::patrol_inspection};
+}
+
+}  // namespace skynet

@@ -1,0 +1,17 @@
+// Library error type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace skynet {
+
+/// Thrown for violated preconditions and malformed inputs throughout the
+/// library. Derives from std::runtime_error so callers that do not care
+/// about the distinction can catch the standard hierarchy.
+class skynet_error : public std::runtime_error {
+public:
+    explicit skynet_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace skynet

@@ -1,0 +1,75 @@
+// Deterministic random source for the simulator.
+//
+// Everything stochastic in the reproduction (failure scenario sampling,
+// alert jitter, noise glitches, topology generation) draws from an rng
+// seeded explicitly, so every experiment is replayable from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace skynet {
+
+class rng {
+public:
+    explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform real in [lo, hi).
+    [[nodiscard]] double uniform_real(double lo = 0.0, double hi = 1.0) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// True with probability p (clamped to [0, 1]).
+    [[nodiscard]] bool chance(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /// Exponentially distributed inter-arrival gap with the given mean.
+    [[nodiscard]] double exponential(double mean) {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /// Normal sample.
+    [[nodiscard]] double normal(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Uniformly chosen index into a container of the given size (> 0).
+    [[nodiscard]] std::size_t index(std::size_t size) {
+        if (size == 0) throw std::invalid_argument("rng::index: empty range");
+        return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+    }
+
+    /// Uniformly chosen element.
+    template <typename T>
+    [[nodiscard]] const T& pick(std::span<const T> items) {
+        return items[index(items.size())];
+    }
+    template <typename T>
+    [[nodiscard]] const T& pick(const std::vector<T>& items) {
+        return items[index(items.size())];
+    }
+
+    /// Index sampled according to non-negative weights (at least one > 0).
+    [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+    /// Derives an independent child generator (stable given call order).
+    [[nodiscard]] rng fork() { return rng(engine_()); }
+
+    [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,33 @@
+// Injectable simulated clock.
+#pragma once
+
+#include "skynet/common/time.h"
+
+namespace skynet {
+
+/// The single source of "now" for every component. The simulation engine
+/// owns one and advances it; SkyNet's locator reads it for timeout checks.
+/// Monotone by construction: advancing backwards is a programming error and
+/// is clamped.
+class sim_clock {
+public:
+    sim_clock() = default;
+    explicit sim_clock(sim_time start) : now_(start) {}
+
+    [[nodiscard]] sim_time now() const noexcept { return now_; }
+
+    /// Moves the clock forward by `d` (non-negative).
+    void advance(sim_duration d) noexcept {
+        if (d > 0) now_ += d;
+    }
+
+    /// Jumps the clock to `t` if `t` is in the future; no-op otherwise.
+    void advance_to(sim_time t) noexcept {
+        if (t > now_) now_ = t;
+    }
+
+private:
+    sim_time now_{0};
+};
+
+}  // namespace skynet

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skynet {
+
+/// Splits `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Joins the elements with `sep` between them.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] bool contains(std::string_view text, std::string_view needle) noexcept;
+
+/// Lowercases ASCII characters.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+}  // namespace skynet

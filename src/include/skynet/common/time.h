@@ -1,0 +1,59 @@
+// Simulated-time primitives.
+//
+// SkyNet's algorithms (alert aggregation windows, node expiry, incident
+// timeouts) are defined on wall-clock timestamps carried by alerts. The
+// reproduction runs against a discrete-event simulator, so all components
+// use an explicit simulated timeline instead of the system clock: time is
+// never read ambiently, it always flows in through alert timestamps or an
+// injected sim_clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace skynet {
+
+/// A point on the simulated timeline, in milliseconds since the simulation
+/// epoch. Plain integer semantics: comparable, subtractable.
+using sim_time = std::int64_t;
+
+/// A span of simulated time, in milliseconds.
+using sim_duration = std::int64_t;
+
+constexpr sim_duration milliseconds(std::int64_t n) noexcept { return n; }
+constexpr sim_duration seconds(std::int64_t n) noexcept { return n * 1000; }
+constexpr sim_duration minutes(std::int64_t n) noexcept { return n * 60 * 1000; }
+constexpr sim_duration hours(std::int64_t n) noexcept { return n * 60 * 60 * 1000; }
+constexpr sim_duration days(std::int64_t n) noexcept { return n * 24 * 60 * 60 * 1000; }
+
+constexpr double to_seconds(sim_duration d) noexcept { return static_cast<double>(d) / 1000.0; }
+
+/// A closed interval [begin, end] on the simulated timeline. Used for the
+/// "duration" attribute the preprocessor attaches to aggregated alerts
+/// (start of packet loss .. last observation).
+struct time_range {
+    sim_time begin{0};
+    sim_time end{0};
+
+    [[nodiscard]] constexpr sim_duration length() const noexcept { return end - begin; }
+    [[nodiscard]] constexpr bool contains(sim_time t) const noexcept {
+        return t >= begin && t <= end;
+    }
+    /// Extends the range to cover `t` (used when consolidating repeats).
+    constexpr void extend(sim_time t) noexcept {
+        if (t < begin) begin = t;
+        if (t > end) end = t;
+    }
+    [[nodiscard]] constexpr bool overlaps(const time_range& other) const noexcept {
+        return begin <= other.end && other.begin <= end;
+    }
+    constexpr bool operator==(const time_range&) const noexcept = default;
+};
+
+/// Renders a sim_time as "HH:MM:SS.mmm" relative to the simulation epoch.
+[[nodiscard]] std::string format_time(sim_time t);
+
+/// Renders a duration as e.g. "3m42s" / "512ms".
+[[nodiscard]] std::string format_duration(sim_duration d);
+
+}  // namespace skynet

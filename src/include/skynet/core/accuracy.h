@@ -1,0 +1,50 @@
+// Ground-truth scoring of incidents against injected scenarios.
+//
+// Used by the evaluation benches (Figures 8a, 9) and by the threshold
+// tuner: every non-benign, must-detect failure needs a covering incident
+// (else a false negative); every incident covering no real failure is a
+// false positive.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "skynet/core/locator.h"
+#include "skynet/sim/scenario.h"
+
+namespace skynet {
+
+/// True when the incident plausibly reports this record: hierarchy
+/// containment either way against any ground-truth scope, and time
+/// overlap within `slack` (detection and closure lag).
+[[nodiscard]] bool incident_matches(const incident& inc, const scenario_record& truth,
+                                    sim_duration slack = minutes(16));
+
+struct accuracy_counts {
+    int true_positives{0};
+    int false_positives{0};
+    int false_negatives{0};
+
+    [[nodiscard]] double false_positive_rate() const {
+        const int denom = true_positives + false_positives;
+        return denom == 0 ? 0.0 : static_cast<double>(false_positives) / denom;
+    }
+    [[nodiscard]] double false_negative_rate() const {
+        const int denom = true_positives + false_negatives;
+        return denom == 0 ? 0.0 : static_cast<double>(false_negatives) / denom;
+    }
+
+    accuracy_counts& operator+=(const accuracy_counts& other) {
+        true_positives += other.true_positives;
+        false_positives += other.false_positives;
+        false_negatives += other.false_negatives;
+        return *this;
+    }
+};
+
+/// Scores one episode's incidents against its ground truth.
+[[nodiscard]] accuracy_counts score_incidents(std::span<const incident> incidents,
+                                              std::span<const scenario_record> truth,
+                                              sim_duration slack = minutes(16));
+
+}  // namespace skynet

@@ -1,0 +1,36 @@
+// Incident digests for downstream consumers (§9 "integration with LLM").
+//
+// SkyNet's incidents carry exactly the time and location context an
+// LLM-based root-cause analyzer needs, but monitoring results must be
+// truncated to fit model input limits "without sacrificing valuable
+// information". These renderers produce a bounded plain-text digest
+// (category-ordered, root-cause alerts first within the budget) and a
+// machine-readable JSON form for programmatic consumers.
+#pragma once
+
+#include <string>
+
+#include "skynet/core/pipeline.h"
+
+namespace skynet {
+
+struct digest_options {
+    /// Hard upper bound on the rendered size. The digest degrades
+    /// gracefully: root-cause alert types survive longest.
+    std::size_t max_chars = 4000;
+    /// At most this many alert types listed per category.
+    int max_types_per_category = 8;
+};
+
+/// Bounded plain-text digest of an incident report.
+[[nodiscard]] std::string incident_digest(const incident_report& report,
+                                          const digest_options& options = {});
+
+/// JSON rendering of an incident report (self-contained, no external
+/// dependencies; strings are escaped per RFC 8259).
+[[nodiscard]] std::string incident_digest_json(const incident_report& report);
+
+/// Escapes a string for embedding in JSON (exposed for reuse/testing).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace skynet

@@ -1,0 +1,65 @@
+// Incident history log.
+//
+// §6.4's methodology: "over the past nine months, we gathered network
+// incidents identified by SkyNet, then had our network operators select
+// those attributable to network failures". This append-only store keeps
+// closed incident reports queryable by time, location and severity, and
+// produces the month-bucketed rollups behind Figure 10b.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "skynet/core/pipeline.h"
+
+namespace skynet {
+
+class incident_log {
+public:
+    struct entry {
+        incident_report report;
+        sim_time closed_at{0};
+        /// Operator labeling (the §6.4 manual selection); unset until
+        /// reviewed.
+        std::optional<bool> attributed_to_failure;
+    };
+
+    /// Appends a closed incident.
+    void append(incident_report report, sim_time closed_at);
+
+    /// Operator labeling by incident id; false if the id is unknown.
+    bool label(std::uint64_t incident_id, bool is_failure);
+
+    [[nodiscard]] const std::vector<entry>& entries() const noexcept { return entries_; }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+    struct query_filter {
+        /// Only incidents whose window overlaps this (ignored when both 0).
+        time_range window{0, 0};
+        /// Only incidents rooted at/under this location (root = any).
+        location scope;
+        double min_score{0.0};
+        bool only_actionable{false};
+    };
+
+    /// Matching entries, append order.
+    [[nodiscard]] std::vector<const entry*> query(const query_filter& filter) const;
+
+    struct monthly_stats {
+        int month{0};  // 0-based bucket index from the log epoch
+        int total{0};
+        int actionable{0};
+        int labeled_failures{0};
+        double max_score{0.0};
+    };
+
+    /// Buckets closed incidents by `month_length` (only non-empty months
+    /// are listed, ascending).
+    [[nodiscard]] std::vector<monthly_stats> monthly_rollup(
+        sim_duration month_length = days(30)) const;
+
+private:
+    std::vector<entry> entries_;
+};
+
+}  // namespace skynet

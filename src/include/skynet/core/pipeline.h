@@ -1,0 +1,88 @@
+// SkyNet engine facade: raw alert streams in, ranked incident reports out.
+//
+// Wires the three modules of Figure 5a together: the preprocessor
+// normalizes and consolidates, the locator clusters alerts into incidents
+// on the hierarchical tree, and the evaluator scores severity live while
+// an incident is open (operations prioritize on the running score) and
+// zooms in on the failure location.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/core/evaluator.h"
+#include "skynet/core/locator.h"
+#include "skynet/core/preprocessor.h"
+
+namespace skynet {
+
+struct skynet_config {
+    preprocessor_config pre{};
+    locator_config loc{};
+    evaluator_config eval{};
+};
+
+/// A finished (or snapshot of an open) incident with its evaluation.
+struct incident_report {
+    incident inc;
+    severity_breakdown severity;
+    /// Refined location from zoom-in; nullopt when emergency procedures
+    /// fall back to the incident root.
+    std::optional<location> zoomed;
+    /// True when the severity filter keeps this incident in the operator
+    /// view (score >= threshold).
+    bool actionable{false};
+
+    /// Figure 6-style rendering with the risk score and zoomed location.
+    [[nodiscard]] std::string render() const;
+};
+
+class skynet_engine {
+public:
+    skynet_engine(const topology* topo, const customer_registry* customers,
+                  const alert_type_registry* registry, const syslog_classifier* syslog,
+                  skynet_config config = {});
+
+    /// Feeds one raw alert at its arrival time.
+    void ingest(const raw_alert& raw, sim_time now);
+
+    /// Periodic maintenance (call ~once per simulated tick): preprocessor
+    /// flush, locator timeout checks, live severity evaluation of open
+    /// incidents against `state`. Closed incidents move to the finished
+    /// buffer.
+    void tick(sim_time now, const network_state& state);
+
+    /// Force-closes open incidents (end of an experiment episode).
+    void finish(sim_time now, const network_state& state);
+
+    /// Drains finished incident reports.
+    [[nodiscard]] std::vector<incident_report> take_reports();
+
+    /// Snapshot reports of currently open incidents (live ranking view).
+    [[nodiscard]] std::vector<incident_report> open_reports(sim_time now,
+                                                            const network_state& state) const;
+
+    [[nodiscard]] const preprocessor_stats& preprocessing_stats() const noexcept {
+        return pre_.stats();
+    }
+    [[nodiscard]] std::int64_t structured_alert_count() const noexcept { return structured_count_; }
+    [[nodiscard]] const locator& tree() const noexcept { return locator_; }
+    [[nodiscard]] const evaluator& scorer() const noexcept { return evaluator_; }
+
+private:
+    [[nodiscard]] incident_report finalize(const incident& inc, sim_time now,
+                                           const network_state& state);
+
+    preprocessor pre_;
+    locator locator_;
+    evaluator evaluator_;
+    std::int64_t structured_count_{0};
+    /// Best severity observed while each incident was open (scores decay
+    /// once the underlying breakage heals; operations act on the peak).
+    std::unordered_map<std::uint64_t, severity_breakdown> live_scores_;
+    std::vector<incident_report> finished_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,144 @@
+// The preprocessor (§4.1).
+//
+// Converts the twelve heterogeneous raw-alert streams into the uniform
+// structured format (type, category, time range, hierarchy location) and
+// fights the volume problem with three consolidation methods:
+//   1. identical alerts   — same (type, location) within a window merge
+//      into one alert whose time range and count grow;
+//   2. single-source      — sporadic probe blips are held until they
+//      persist; related traffic anomalies at adjacent locations merge;
+//   3. cross-source       — a traffic drop alone is expected behaviour;
+//      it is emitted (as "abnormal traffic decline") only when a failure
+//      or root-cause alert corroborates it nearby, otherwise discarded.
+// Syslog free text is classified to a type via the FT-tree classifier;
+// link alerts are split onto both endpoint devices.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/alert/type_registry.h"
+#include "skynet/syslog/classifier.h"
+#include "skynet/syslog/template_miner.h"
+#include "skynet/topology/topology.h"
+
+namespace skynet {
+
+struct preprocessor_config {
+    /// Identical-alert consolidation window: a repeat within this window
+    /// updates the open alert instead of creating a new one.
+    sim_duration dedup_window = minutes(5);
+    /// Probe-type failure alerts (ping/internet loss) must recur this many
+    /// times ...
+    int persistence_threshold = 2;
+    /// ... within this window before they are emitted (sporadic loss is
+    /// ignored, persistent loss recorded).
+    sim_duration persistence_window = seconds(45);
+    /// How long a lone traffic-drop waits for corroboration before being
+    /// discarded.
+    sim_duration correlation_window = seconds(60);
+    /// Merge traffic surge/drop alerts at adjacent locations.
+    bool consolidate_related = true;
+    /// Enable the cross-source rule (traffic drop needs corroboration).
+    bool cross_source = true;
+    /// Split link-attributed alerts onto both endpoint devices.
+    bool split_link_alerts = true;
+};
+
+/// Counters for the Figure 8b before/after comparison.
+struct preprocessor_stats {
+    std::int64_t raw_in{0};
+    std::int64_t emitted_new{0};
+    std::int64_t emitted_update{0};
+    std::int64_t merged_identical{0};
+    std::int64_t dropped_sporadic{0};
+    std::int64_t dropped_unclassified{0};
+    std::int64_t dropped_uncorroborated{0};
+    std::int64_t merged_related{0};
+};
+
+/// One output of a process() call.
+struct preprocess_event {
+    structured_alert alert;
+    /// False: a brand-new structured alert. True: consolidation update of
+    /// a previously emitted alert (same type+location); the locator
+    /// refreshes node timestamps instead of inserting again.
+    bool is_update{false};
+};
+
+class preprocessor {
+public:
+    preprocessor(const topology* topo, const alert_type_registry* registry,
+                 const syslog_classifier* syslog, preprocessor_config config = {});
+
+    /// Feeds one raw alert; returns zero or more structured outputs.
+    /// `now` is the arrival time (>= alert timestamp under delivery
+    /// delays).
+    [[nodiscard]] std::vector<preprocess_event> process(const raw_alert& raw, sim_time now);
+
+    /// Periodic maintenance: expires open alerts, resolves pending
+    /// correlation buffers. Returns alerts released by the flush (e.g.
+    /// corroborated traffic declines).
+    [[nodiscard]] std::vector<preprocess_event> flush(sim_time now);
+
+    [[nodiscard]] const preprocessor_stats& stats() const noexcept { return stats_; }
+    void reset_stats() noexcept { stats_ = {}; }
+
+    /// Optional: unclassified syslog lines are fed to `miner` so new
+    /// templates surface for manual labeling (§4.1's classification
+    /// backlog, kept alive in production). Not owned; may be null.
+    void set_template_miner(template_miner* miner) noexcept { miner_ = miner; }
+
+private:
+    struct open_alert {
+        structured_alert alert;
+        sim_time last_seen{0};
+    };
+    struct pending_alert {
+        structured_alert alert;
+        int occurrences{1};
+        sim_time first_seen{0};
+        sim_time last_seen{0};
+        /// Generation timestamp of the last counted occurrence: a burst
+        /// of identical alerts from one poll (the probe-glitch pattern)
+        /// counts once.
+        sim_time last_counted_ts{-1};
+    };
+    /// Recent failure/root-cause sightings used for cross-source
+    /// corroboration, pruned by time.
+    struct sighting {
+        location loc;
+        sim_time at{0};
+    };
+
+    /// Converts one raw alert into (type, category, location); nullopt
+    /// when the alert cannot be classified (dropped).
+    [[nodiscard]] std::optional<structured_alert> to_structured(const raw_alert& raw) const;
+
+    [[nodiscard]] static std::string key_of(const structured_alert& alert);
+
+    /// Routes a classified alert through dedup / persistence /
+    /// correlation; appends outputs.
+    void route(structured_alert alert, sim_time now, std::vector<preprocess_event>& out);
+
+    void emit(structured_alert alert, sim_time now, std::vector<preprocess_event>& out);
+    [[nodiscard]] bool corroborated(const location& loc, sim_time now) const;
+    void note_sighting(const structured_alert& alert, sim_time now);
+
+    const topology* topo_;
+    const alert_type_registry* registry_;
+    const syslog_classifier* syslog_;
+    template_miner* miner_{nullptr};
+    preprocessor_config config_;
+    preprocessor_stats stats_;
+
+    std::unordered_map<std::string, open_alert> open_;
+    std::unordered_map<std::string, pending_alert> pending_persistence_;
+    std::unordered_map<std::string, pending_alert> pending_correlation_;
+    std::deque<sighting> sightings_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,64 @@
+// Data-driven threshold tuning (§9 "better thresholds").
+//
+// The production thresholds (2/1+2/5, severity 10) were distilled from
+// experience by the exact methodology of §6.3: replay labeled episodes
+// under candidate settings, never accept false negatives, minimize false
+// positives. This module automates that search over recorded episodes so
+// accumulated experience keeps the knobs honest as the network evolves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "skynet/core/accuracy.h"
+#include "skynet/core/locator.h"
+#include "skynet/core/preprocessor.h"
+#include "skynet/sim/trace.h"
+
+namespace skynet {
+
+/// A recorded episode for offline replay: the structured alerts with
+/// their arrival times, the injected ground truth, and when it ended.
+struct tuning_episode {
+    /// (alert, arrival time), arrival-ordered.
+    std::vector<std::pair<structured_alert, sim_time>> alerts;
+    std::vector<scenario_record> truth;
+    sim_time end{0};
+};
+
+/// Accuracy of one candidate across all episodes.
+struct threshold_candidate_result {
+    incident_thresholds thresholds;
+    accuracy_counts accuracy;
+};
+
+struct tuning_result {
+    /// The winner: zero false negatives (if any candidate achieves it)
+    /// with the fewest false positives; ties prefer stricter settings
+    /// (fewer incidents).
+    incident_thresholds best;
+    accuracy_counts best_accuracy;
+    /// Every candidate's score, in candidate order.
+    std::vector<threshold_candidate_result> all;
+};
+
+/// Builds a tuning episode from a recorded raw-alert trace: runs the
+/// trace through a preprocessor (fresh, with the given config) and keeps
+/// the structured alerts. `truth` labels the episode; `end` bounds the
+/// replay clock (defaults to the last arrival plus the incident timeout).
+[[nodiscard]] tuning_episode make_tuning_episode(
+    const topology& topo, const alert_type_registry& registry, const syslog_classifier& syslog,
+    std::span<const traced_alert> trace, std::vector<scenario_record> truth, sim_time end = 0,
+    const preprocessor_config& pre_config = {});
+
+/// The default candidate grid: the Figure 9 variants.
+[[nodiscard]] std::vector<incident_thresholds> default_threshold_grid();
+
+/// Replays every episode through a locator per candidate and scores it.
+/// `base` supplies the non-threshold knobs (timeouts, counting mode).
+[[nodiscard]] tuning_result tune_thresholds(const topology& topo,
+                                            std::span<const tuning_episode> episodes,
+                                            std::span<const incident_thresholds> candidates,
+                                            const locator_config& base = {});
+
+}  // namespace skynet

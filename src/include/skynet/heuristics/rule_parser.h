@@ -1,0 +1,47 @@
+// Text format for SOP rules (§7.2).
+//
+// Production accumulated nearly 1,000 heuristic rules; operators author
+// them as text, not C++. This parser reads a small declarative format:
+//
+//   rule "device packet loss isolation":
+//     require sflow packet loss
+//     require hardware error        # all required types must be present
+//     forbid  software error        # none of these may appear in the group
+//     group quiet                   # other group members silent
+//     max group utilization 0.7
+//     action isolate device         # or: disable interface,
+//                                   #     rollback modification
+//
+//   # comments and blank lines are ignored; several rules per file.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skynet/heuristics/sop.h"
+
+namespace skynet {
+
+/// Parse error with 1-based line information.
+struct rule_parse_error {
+    int line{0};
+    std::string message;
+};
+
+struct rule_parse_result {
+    std::vector<sop_rule> rules;
+    std::vector<rule_parse_error> errors;
+
+    [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses rule text. Recovers after a bad rule (reports the error, skips
+/// to the next `rule` header) so one typo does not take down the rulebook.
+[[nodiscard]] rule_parse_result parse_sop_rules(std::string_view text);
+
+/// Renders a rule back to the text format (round-trips through the
+/// parser).
+[[nodiscard]] std::string render_sop_rule(const sop_rule& rule);
+
+}  // namespace skynet

@@ -1,0 +1,91 @@
+// Heuristic SOP rule engine (§7.2).
+//
+// The pre-SkyNet diagnosis system: rules manually formulated from
+// historical failures. The canonical example —
+//   * a device in a group is losing packets,
+//   * the other group members are silent,
+//   * group traffic is below a threshold
+// -> isolate the device, with a rollback plan prepared. Rules only cover
+// known failures; the unprecedented ones (all entry links broken) match
+// nothing, which is exactly the gap SkyNet fills. The engine doubles as
+// the automatic-SOP stage of Figure 5a and as the baseline system in the
+// mitigation-time comparison.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "skynet/alert/alert.h"
+#include "skynet/sim/network_state.h"
+
+namespace skynet {
+
+enum class sop_action_kind : std::uint8_t {
+    isolate_device,
+    disable_interface,
+    rollback_modification,
+};
+
+[[nodiscard]] std::string_view to_string(sop_action_kind kind) noexcept;
+
+struct sop_condition {
+    /// Alert type names that must all be present on one device.
+    std::vector<std::string> required_types;
+    /// Alert type names that must NOT appear anywhere in the group.
+    std::vector<std::string> forbidden_types;
+    /// Other devices of the group must have produced no alerts.
+    bool require_group_quiet = true;
+    /// The group's mean circuit-set utilization must stay below this, so
+    /// isolating a member is safe.
+    double max_group_utilization = 0.7;
+};
+
+struct sop_rule {
+    std::string name;
+    sop_condition condition;
+    sop_action_kind action{sop_action_kind::isolate_device};
+};
+
+/// A rule that fired for a specific device, with its prepared rollback.
+struct sop_match {
+    const sop_rule* rule{nullptr};
+    device_id device{invalid_device};
+    sop_action_kind action{sop_action_kind::isolate_device};
+    std::string rollback_note;
+};
+
+class sop_engine {
+public:
+    explicit sop_engine(const topology* topo);
+
+    void add_rule(sop_rule rule);
+    [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+    /// Engine loaded with the production-style rule set: isolation rules
+    /// for the common single-device failure signatures. The rules are
+    /// authored in the text format (see rule_parser.h) and parsed at
+    /// construction, exactly like an operator-maintained rulebook.
+    [[nodiscard]] static sop_engine with_default_rules(const topology* topo);
+
+    /// The default rulebook source text.
+    [[nodiscard]] static std::string_view default_rulebook();
+
+    /// Evaluates every rule against the recent structured alerts and the
+    /// live state. Alerts must be device-attributed to participate.
+    [[nodiscard]] std::vector<sop_match> match(std::span<const structured_alert> recent,
+                                               const network_state& state) const;
+
+    /// Applies a match (isolates the device / re-enables on rollback).
+    /// Returns a rollback closure so operators can revert a wrong call.
+    [[nodiscard]] std::function<void(network_state&)> execute(const sop_match& m,
+                                                              network_state& state) const;
+
+private:
+    const topology* topo_;
+    std::vector<sop_rule> rules_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,37 @@
+// First-alert time-series attribution — the §7.3 strawman.
+//
+// "In common sense, time series analysis is employed to establish causal
+// relationships between alerts, where the first alert is seen as the root
+// cause." The paper shows this is unreliable: network *behaviour* is
+// affected first; the root-cause log (hardware error, interface failure)
+// is often collected minutes later. This module implements both the
+// strawman and SkyNet's category-based alternative so the ablation bench
+// can compare their attribution accuracy.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "skynet/alert/alert.h"
+
+namespace skynet {
+
+/// An attribution verdict: which device (if determinable) and which alert
+/// the analyzer blames.
+struct attribution {
+    std::optional<device_id> device;
+    std::string type_name;
+    sim_time at{0};
+    bool valid{false};
+};
+
+/// The strawman: the chronologically first alert is the root cause.
+[[nodiscard]] attribution attribute_first_alert(std::span<const structured_alert> alerts);
+
+/// SkyNet's approach: alert *categories* outrank arrival order — prefer
+/// root-cause-category alerts (they name the thing to fix), then failure,
+/// then abnormal; ties break on earliest arrival.
+[[nodiscard]] attribution attribute_by_category(std::span<const structured_alert> alerts);
+
+}  // namespace skynet

@@ -1,0 +1,131 @@
+// Device-centric monitoring tools: out-of-band, SNMP/GRPC, the device
+// syslog stream, in-band telemetry, PTP and patrol inspection.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/monitors/monitor.h"
+#include "skynet/syslog/message_catalog.h"
+
+namespace skynet {
+
+/// Out-of-band monitor: device liveness, CPU, RAM through the management
+/// plane. Sees infrastructure problems even when the device itself cannot
+/// report. Subject to the probe-glitch false alarm of §4.2: a broken
+/// liveness probe occasionally floods identical "device inaccessible"
+/// alerts for a healthy device.
+class oob_monitor final : public monitor_tool {
+public:
+    oob_monitor(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::out_of_band; }
+    sim_duration period() const override { return seconds(10); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+};
+
+/// SNMP & GRPC counters: interface status, RX errors, congestion
+/// (utilization), per-device traffic against a learned baseline, CPU/RAM.
+/// Level-triggered (re-reports every poll while the condition holds),
+/// which is why the preprocessor's identical-alert consolidation matters.
+class snmp_monitor final : public monitor_tool {
+public:
+    snmp_monitor(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::snmp; }
+    sim_duration period() const override { return seconds(30); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+    /// EWMA of carried traffic per device, for drop/surge detection.
+    std::unordered_map<device_id, double> traffic_baseline_;
+};
+
+/// The devices' own log stream. Edge-triggered on state transitions (a
+/// link going down logs once) plus recurring messages while a condition
+/// persists (flapping). Dead devices cannot log — the §2.1 blind spot —
+/// and silent loss never appears here at all.
+class syslog_source final : public monitor_tool {
+public:
+    syslog_source(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::syslog; }
+    sim_duration period() const override { return seconds(2); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    /// Emits a rendered catalog message of `type_name` for `dev`.
+    void emit(const device& dev, std::string_view type_name, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) const;
+
+    const topology* topo_;
+    monitor_options opts_;
+    bool primed_{false};
+    std::vector<bool> prev_link_up_;
+    std::vector<bool> prev_cp_ok_;
+    std::vector<bool> prev_hw_fault_;
+    std::vector<bool> prev_sw_fault_;
+    std::vector<bool> prev_oom_;
+    std::vector<bool> prev_crc_;
+};
+
+/// In-band network telemetry: DSCP-marked test flows through supporting
+/// devices, comparing input and output rates per circuit set. Only covers
+/// sets whose both endpoints support INT (§2.1).
+class int_monitor final : public monitor_tool {
+public:
+    int_monitor(const topology& topo, monitor_options opts);
+
+    data_source source() const override { return data_source::inband_telemetry; }
+    sim_duration period() const override { return seconds(10); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+    std::vector<circuit_set_id> covered_sets_;
+};
+
+/// PTP: reports devices whose system clock fell out of synchronization.
+class ptp_monitor final : public monitor_tool {
+public:
+    ptp_monitor(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::ptp; }
+    sim_duration period() const override { return seconds(60); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+};
+
+/// Patrol inspection: slow periodic sweep running scripted commands on
+/// every device. Catches faults the event-driven tools miss (including
+/// gray failures, probabilistically) but at a five-minute cadence.
+class patrol_monitor final : public monitor_tool {
+public:
+    patrol_monitor(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::patrol_inspection; }
+    sim_duration period() const override { return minutes(5); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+};
+
+}  // namespace skynet

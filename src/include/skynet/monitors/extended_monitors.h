@@ -1,0 +1,77 @@
+// Extended data sources (§9 "more data sources").
+//
+// The paper's future-work section names two sources being onboarded:
+// user-side telemetry (probe packets from customers' clients into the
+// data center) and an SRTE label-based tester that periodically verifies
+// link reachability in the segment-routed network. Both demonstrate the
+// §5.2 extensibility claim: once structured, their alerts "can be simply
+// injected into SkyNet" — no pipeline changes, only new registry types.
+#pragma once
+
+#include <vector>
+
+#include "skynet/alert/type_registry.h"
+#include "skynet/monitors/monitor.h"
+
+namespace skynet {
+
+/// Registers the alert types these tools emit (idempotent). Call once on
+/// the registry handed to the preprocessor.
+void register_extended_alert_types(alert_type_registry& registry);
+
+/// User-side telemetry: clients outside our network probe into the data
+/// centers. Sees the internet path from the *user* direction — including
+/// troubles beyond our border that internal tools cannot observe.
+class user_telemetry_monitor final : public monitor_tool {
+public:
+    struct config {
+        double loss_threshold = 0.05;
+        double latency_threshold_ms = 20.0;
+        sim_duration poll_period = seconds(20);
+    };
+
+    user_telemetry_monitor(const topology& topo, config cfg, monitor_options opts);
+
+    data_source source() const override { return data_source::internet_telemetry; }
+    sim_duration period() const override { return cfg_.poll_period; }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    config cfg_;
+    monitor_options opts_;
+    /// (ISP vantage, target cluster) probe pairs.
+    std::vector<std::pair<device_id, location>> probes_;
+};
+
+/// SRTE label-based reachability tester: steers a test packet over every
+/// circuit set via explicit segment labels and verifies it arrives. Gives
+/// a direct per-bundle up/degraded verdict — faster and more precise than
+/// inferring breaks from counters.
+class srte_probe_monitor final : public monitor_tool {
+public:
+    struct config {
+        sim_duration poll_period = seconds(30);
+        /// Break ratio above which the bundle is reported degraded.
+        double degraded_threshold = 0.25;
+    };
+
+    srte_probe_monitor(const topology& topo, config cfg, monitor_options opts);
+
+    data_source source() const override { return data_source::inband_telemetry; }
+    sim_duration period() const override { return cfg_.poll_period; }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    config cfg_;
+    monitor_options opts_;
+};
+
+/// Builds both extended tools.
+[[nodiscard]] std::vector<std::unique_ptr<monitor_tool>> make_extended_monitors(
+    const topology& topo, monitor_options opts = {});
+
+}  // namespace skynet

@@ -1,0 +1,42 @@
+// Monitoring tool interface.
+//
+// Each of the twelve data sources (Table 2) is a monitor_tool: the
+// simulation engine polls it at its native cadence and it emits raw
+// alerts describing what its real counterpart could observe — no more.
+// The per-tool blind spots of §2.1 (syslog can't see silent loss, route
+// monitoring can't see the data plane, INT only on supporting devices,
+// ...) fall out of what each implementation reads from network_state.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "skynet/alert/alert.h"
+#include "skynet/common/rng.h"
+#include "skynet/sim/network_state.h"
+
+namespace skynet {
+
+struct monitor_options {
+    /// Probability per poll of an unrelated glitch alert (the concurrent
+    /// minor noise of §1 that complicates manual localization).
+    double noise_rate = 0.0;
+};
+
+class monitor_tool {
+public:
+    virtual ~monitor_tool() = default;
+
+    [[nodiscard]] virtual data_source source() const = 0;
+    /// Native polling / reporting cadence.
+    [[nodiscard]] virtual sim_duration period() const = 0;
+    /// Observes the network and appends raw alerts.
+    virtual void poll(const network_state& state, sim_time now, rng& rand,
+                      std::vector<raw_alert>& out) = 0;
+};
+
+/// Builds all twelve tools over `topo` with the given noise level.
+[[nodiscard]] std::vector<std::unique_ptr<monitor_tool>> make_all_monitors(
+    const topology& topo, monitor_options opts = {});
+
+}  // namespace skynet

@@ -1,0 +1,66 @@
+// Traffic-plane and control-plane monitors: sFlow/netFlow traffic
+// statistics, route monitoring, modification events.
+#pragma once
+
+#include <unordered_map>
+
+#include "skynet/monitors/monitor.h"
+
+namespace skynet {
+
+/// sFlow/netFlow traffic statistics per circuit set: packet loss seen in
+/// sampled flows, traffic drop/surge against a learned baseline, SLA
+/// flows beyond their committed rate. Alerts carry the link so the
+/// preprocessor can attribute endpoints, enabling the evaluator's sFlow
+/// trace-back zoom-in.
+class traffic_monitor final : public monitor_tool {
+public:
+    traffic_monitor(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::traffic_stats; }
+    sim_duration period() const override { return seconds(10); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+    std::unordered_map<circuit_set_id, double> baseline_;
+};
+
+/// Route monitoring: control-plane anomalies only (default/aggregate
+/// route loss, hijack, leak, churn). Blind to everything in the data
+/// plane (§2.1).
+class route_monitor final : public monitor_tool {
+public:
+    route_monitor(const topology& topo, monitor_options opts) : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::route_monitoring; }
+    sim_duration period() const override { return seconds(30); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+};
+
+/// Modification events: reports failed or rolled-back network changes the
+/// moment the change system records them.
+class modification_monitor final : public monitor_tool {
+public:
+    modification_monitor(const topology& topo, monitor_options opts)
+        : topo_(&topo), opts_(opts) {}
+
+    data_source source() const override { return data_source::modification_events; }
+    sim_duration period() const override { return seconds(10); }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    monitor_options opts_;
+    std::size_t seen_{0};
+};
+
+}  // namespace skynet

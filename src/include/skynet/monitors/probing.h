@@ -1,0 +1,91 @@
+// End-to-end probing tools: ping mesh, traceroute, internet telemetry.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/monitors/monitor.h"
+
+namespace skynet {
+
+/// Pingmesh-style server-pair probing. Samples random cluster pairs each
+/// round and reports loss / unreachability / latency between them. Limited
+/// to reachability phenomena (§2.1): a broken circuit inside a redundant
+/// bundle that reroutes cleanly is invisible here.
+class ping_mesh final : public monitor_tool {
+public:
+    struct config {
+        int pairs_per_poll = 50;
+        double loss_threshold = 0.01;
+        double latency_threshold_ms = 10.0;
+        sim_duration poll_period = seconds(2);
+    };
+
+    ping_mesh(const topology& topo, config cfg, monitor_options opts);
+
+    data_source source() const override { return data_source::ping; }
+    sim_duration period() const override { return cfg_.poll_period; }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    config cfg_;
+    monitor_options opts_;
+    std::vector<location> clusters_;
+};
+
+/// Periodic traceroute between sampled pairs; detects path changes against
+/// the first path it saw and attributes latency spikes to hops. Loses
+/// effectiveness with asymmetric paths — it only sees the forward path.
+class traceroute_monitor final : public monitor_tool {
+public:
+    struct config {
+        int pairs_per_poll = 10;
+        double hop_loss_threshold = 0.05;
+        sim_duration poll_period = seconds(30);
+    };
+
+    traceroute_monitor(const topology& topo, config cfg, monitor_options opts);
+
+    data_source source() const override { return data_source::traceroute; }
+    sim_duration period() const override { return cfg_.poll_period; }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    config cfg_;
+    monitor_options opts_;
+    std::vector<location> clusters_;
+    /// Baseline path signature per "src|dst" key.
+    std::unordered_map<std::string, std::vector<device_id>> baseline_paths_;
+};
+
+/// Pings Internet addresses from DC servers: per logic site, probes from a
+/// ToR through the ISRs to the region's ISP peer.
+class internet_telemetry_monitor final : public monitor_tool {
+public:
+    struct config {
+        double loss_threshold = 0.05;
+        double latency_threshold_ms = 15.0;
+        sim_duration poll_period = seconds(15);
+    };
+
+    internet_telemetry_monitor(const topology& topo, config cfg, monitor_options opts);
+
+    data_source source() const override { return data_source::internet_telemetry; }
+    sim_duration period() const override { return cfg_.poll_period; }
+    void poll(const network_state& state, sim_time now, rng& rand,
+              std::vector<raw_alert>& out) override;
+
+private:
+    const topology* topo_;
+    config cfg_;
+    monitor_options opts_;
+    /// (logic site, its region's ISP device).
+    std::vector<std::pair<location, device_id>> probes_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,102 @@
+// Discrete-event simulation engine.
+//
+// Advances a simulated clock in ticks; on each tick, active scenarios
+// progress, traffic rebalances, and every monitoring tool whose period
+// elapsed polls the network. Emitted alerts go through a delivery queue
+// modeling per-source delays — notably the up-to-2-minute SNMP delay on
+// legacy devices that motivates the locator's 5-minute node timeout —
+// and reach the sink in arrival order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "skynet/common/sim_clock.h"
+#include "skynet/monitors/monitor.h"
+#include "skynet/sim/scenario.h"
+
+namespace skynet {
+
+struct engine_params {
+    sim_duration tick = seconds(2);
+    std::uint64_t seed = 1;
+    /// Maximum SNMP delivery delay on legacy devices (§4.2: ~2 minutes).
+    sim_duration legacy_snmp_max_delay = minutes(2);
+};
+
+class simulation_engine {
+public:
+    simulation_engine(const topology* topo, const customer_registry* customers,
+                      engine_params params = {});
+
+    [[nodiscard]] network_state& state() noexcept { return state_; }
+    [[nodiscard]] const network_state& state() const noexcept { return state_; }
+    [[nodiscard]] sim_clock& clock() noexcept { return clock_; }
+    [[nodiscard]] rng& random() noexcept { return rand_; }
+
+    void add_monitor(std::unique_ptr<monitor_tool> tool);
+    /// Installs all twelve Table 2 tools.
+    void add_default_monitors(monitor_options opts = {});
+    /// Number of installed monitors.
+    [[nodiscard]] std::size_t monitor_count() const noexcept { return monitors_.size(); }
+
+    /// Schedules a failure: active during [start, start + duration).
+    void inject(std::unique_ptr<scenario> s, sim_time start, sim_duration duration);
+
+    /// Alert arrival callback: (alert, arrival_time).
+    using alert_sink = std::function<void(const raw_alert&, sim_time)>;
+    /// Per-tick callback after delivery (SkyNet maintenance hook).
+    using tick_hook = std::function<void(sim_time)>;
+
+    /// Runs the simulation until `end`, delivering alerts in arrival
+    /// order to `sink` and invoking `hook` once per tick.
+    void run_until(sim_time end, const alert_sink& sink, const tick_hook& hook = nullptr);
+
+    /// Ground-truth records of every injected scenario (for accuracy
+    /// scoring).
+    [[nodiscard]] const std::vector<scenario_record>& ground_truth() const noexcept {
+        return records_;
+    }
+
+private:
+    struct scheduled {
+        std::unique_ptr<scenario> s;
+        sim_time start{0};
+        sim_time end{0};
+        bool started{false};
+        bool finished{false};
+        std::size_t record{0};
+    };
+    struct pending_delivery {
+        sim_time arrival{0};
+        std::uint64_t seq{0};
+        raw_alert alert;
+        bool operator>(const pending_delivery& other) const noexcept {
+            if (arrival != other.arrival) return arrival > other.arrival;
+            return seq > other.seq;
+        }
+    };
+    struct monitor_slot {
+        std::unique_ptr<monitor_tool> tool;
+        sim_time next_due{0};
+    };
+
+    [[nodiscard]] sim_duration delivery_delay(const raw_alert& alert);
+
+    const topology* topo_;
+    network_state state_;
+    sim_clock clock_;
+    rng rand_;
+    engine_params params_;
+    std::vector<monitor_slot> monitors_;
+    std::vector<scheduled> scheduled_;
+    std::vector<scenario_record> records_;
+    std::priority_queue<pending_delivery, std::vector<pending_delivery>,
+                        std::greater<pending_delivery>>
+        queue_;
+    std::uint64_t seq_{0};
+};
+
+}  // namespace skynet

@@ -1,0 +1,183 @@
+// Dynamic network state over a static topology.
+//
+// Failure scenarios mutate this state; monitoring tools observe it. The
+// model captures exactly the phenomena the paper's alert flood is made
+// of: device death and degradation, circuit breaks, traffic shift onto
+// surviving circuits, congestion loss, SLA-flow overload, control-plane
+// damage, and end-to-end reachability along live paths.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "skynet/common/time.h"
+#include "skynet/telemetry/customer.h"
+#include "skynet/topology/topology.h"
+
+namespace skynet {
+
+struct device_health {
+    /// Device answers its out-of-band channel and forwards traffic.
+    bool alive{true};
+    /// Routing processes are up (BGP sessions, route advertisement).
+    bool control_plane_ok{true};
+    /// Hardware fault present (ASIC/linecard); causes silent loss.
+    bool hardware_fault{false};
+    /// Software fault present (process crash / OOM).
+    bool software_fault{false};
+    /// PTP clock synchronized.
+    bool clock_synced{true};
+    /// Operator or SOP isolated the device (drained, not a fault).
+    bool isolated{false};
+    /// BGP sessions flapping (the early symptom preceding hardware-error
+    /// syslogs in the §7.3 incident).
+    bool bgp_flapping{false};
+    double cpu{0.3};
+    double ram{0.4};
+    /// Silent loss ratio introduced on every link of this device (gray
+    /// failure — invisible to the device's own syslog).
+    double silent_loss{0.0};
+};
+
+struct link_health {
+    bool up{true};
+    /// Interface bouncing between up and down.
+    bool flapping{false};
+    /// Physical-layer corruption (CRC) ratio on this circuit.
+    double corruption_loss{0.0};
+};
+
+/// Control-plane anomaly observable by route monitoring.
+struct route_incident {
+    enum class kind : std::uint8_t { default_route_loss, aggregate_route_loss, hijack, leak, churn };
+    kind what{kind::churn};
+    location where;
+    sim_time since{0};
+};
+
+/// A network modification (automatic or manual) whose outcome the
+/// modification-events source reports.
+struct modification_event {
+    location where;
+    bool failed{false};
+    bool rolled_back{false};
+    sim_time at{0};
+    bool consumed{false};  // set once the monitor has reported it
+};
+
+/// Mutable runtime state; cheap value-semantics snapshotting (copyable)
+/// so the evaluator can be fed a frozen view.
+class network_state {
+public:
+    network_state(const topology* topo, const customer_registry* customers);
+
+    [[nodiscard]] const topology& topo() const noexcept { return *topo_; }
+    [[nodiscard]] const customer_registry& customers() const noexcept { return *customers_; }
+
+    // --- element health ---------------------------------------------------
+    [[nodiscard]] device_health& device_state(device_id id);
+    [[nodiscard]] const device_health& device_state(device_id id) const;
+    [[nodiscard]] link_health& link_state(link_id id);
+    [[nodiscard]] const link_health& link_state(link_id id) const;
+
+    /// A link forwards only if it is up and both endpoints are alive and
+    /// not isolated.
+    [[nodiscard]] bool link_usable(link_id id) const;
+
+    // --- circuit sets -----------------------------------------------------
+    /// Fraction of the set's circuits currently not usable (d_i).
+    [[nodiscard]] double break_ratio(circuit_set_id cset) const;
+    /// Live capacity: usable circuits x per-circuit capacity.
+    [[nodiscard]] double live_capacity_gbps(circuit_set_id cset) const;
+    /// Effective load riding the set (demand plus spillover from dead
+    /// sibling sets).
+    [[nodiscard]] double offered_gbps(circuit_set_id cset) const;
+    /// Sets the set's base demand (scenarios use this for DDoS surges,
+    /// peak-hour bumps, ...). Takes effect immediately; spillover is
+    /// recomputed by apply_traffic_shift().
+    void set_offered_gbps(circuit_set_id cset, double gbps);
+    /// offered / live capacity; infinite when capacity is zero but load
+    /// is offered (represented as a large sentinel).
+    [[nodiscard]] double utilization(circuit_set_id cset) const;
+    /// Loss caused by overload: 0 below `congestion_knee`, then rising to
+    /// (util-1)/util when offered exceeds capacity.
+    [[nodiscard]] double congestion_loss(circuit_set_id cset) const;
+    /// Total loss ratio a packet crossing this set experiences
+    /// (congestion + mean corruption + endpoint silent loss).
+    [[nodiscard]] double traversal_loss(circuit_set_id cset) const;
+
+    // --- SLA flows ----------------------------------------------------------
+    [[nodiscard]] double flow_rate_gbps(sla_flow_id id) const;
+    void set_flow_rate_gbps(sla_flow_id id, double gbps);
+    /// l_i: fraction of the set's SLA flows beyond limit — rate above
+    /// commitment, or service degraded past the SLA loss bound by the
+    /// set's traversal loss.
+    [[nodiscard]] double sla_overload_ratio(circuit_set_id cset) const;
+    /// L_k: maximum violation magnitude across flows on the given sets —
+    /// relative rate overshoot or normalized loss violation, capped at 1.
+    [[nodiscard]] double max_sla_overload(std::span<const circuit_set_id> csets) const;
+
+    /// Loss bound an SLA flow tolerates before it counts as violated.
+    static constexpr double sla_loss_limit = 0.001;
+
+    // --- end-to-end probing -------------------------------------------------
+    struct probe_result {
+        bool reachable{false};
+        /// End-to-end loss ratio along the path.
+        double loss{0.0};
+        /// One-way latency estimate in ms (hops + queueing).
+        double latency_ms{0.0};
+        std::vector<device_id> hops;
+    };
+    /// Shortest live path (BFS) with multiplicative loss accumulation.
+    [[nodiscard]] probe_result probe(device_id src, device_id dst) const;
+
+    /// A stable probing endpoint inside a cluster (its first ToR);
+    /// nullopt when the cluster has no devices.
+    [[nodiscard]] std::optional<device_id> representative(const location& cluster) const;
+
+    /// Initializes baseline traffic: every circuit set loaded to
+    /// `baseline_util` of capacity, every SLA flow to 70 % of commitment.
+    void reset_traffic(double baseline_util = 0.45);
+
+    /// Recomputes effective loads: each set carries its own demand
+    /// (traffic shifts between circuits *within* a set implicitly since
+    /// capacity shrinks), plus the demand of fully-dead sets spilled onto
+    /// sibling sets of the same device group (backup-path congestion —
+    /// the §2.2 mechanism). Idempotent; the engine calls it every tick.
+    void apply_traffic_shift();
+
+    // --- control plane ------------------------------------------------------
+    [[nodiscard]] std::vector<route_incident>& route_incidents() noexcept {
+        return route_incidents_;
+    }
+    [[nodiscard]] const std::vector<route_incident>& route_incidents() const noexcept {
+        return route_incidents_;
+    }
+    void clear_route_incidents(const location& scope);
+
+    [[nodiscard]] std::vector<modification_event>& modifications() noexcept {
+        return modifications_;
+    }
+    [[nodiscard]] const std::vector<modification_event>& modifications() const noexcept {
+        return modifications_;
+    }
+
+    /// Congestion knee: utilization above which queues start dropping.
+    static constexpr double congestion_knee = 0.9;
+
+private:
+    const topology* topo_;
+    const customer_registry* customers_;
+    std::vector<device_health> devices_;
+    std::vector<link_health> links_;
+    std::vector<double> offered_;  // effective (demand + spillover)
+    std::vector<double> demand_;
+    std::vector<double> flow_rates_;
+    std::vector<route_incident> route_incidents_;
+    std::vector<modification_event> modifications_;
+};
+
+}  // namespace skynet

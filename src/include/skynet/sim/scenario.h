@@ -1,0 +1,140 @@
+// Failure scenarios.
+//
+// A scenario is an injected network failure: it mutates network_state at
+// start, may progress over ticks (cascades, delayed symptoms), and heals
+// at end. Every scenario carries ground truth (root-cause class per
+// Figure 1, scope location, severity) against which the locator's and
+// evaluator's output is scored in the accuracy experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "skynet/common/rng.h"
+#include "skynet/common/time.h"
+#include "skynet/sim/network_state.h"
+
+namespace skynet {
+
+/// Root-cause classes and their observed shares (Figure 1).
+enum class root_cause : std::uint8_t {
+    device_hardware,     // 42.6 %
+    link_error,          // 18.5 %
+    modification_error,  // 16.7 %
+    device_software,     //  9.3 %
+    infrastructure,      //  9.3 %
+    route_error,         //  1.9 %
+    security,            //  1.9 %
+    configuration,       //  1.9 %
+};
+
+inline constexpr std::size_t root_cause_count = 8;
+
+[[nodiscard]] std::string_view to_string(root_cause cause) noexcept;
+
+/// The Figure 1 proportion for a class (sums to 1 across classes).
+[[nodiscard]] double root_cause_share(root_cause cause) noexcept;
+
+/// Samples a root-cause class according to the Figure 1 distribution.
+[[nodiscard]] root_cause sample_root_cause(rng& rand);
+
+class scenario {
+public:
+    virtual ~scenario() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual root_cause cause() const = 0;
+    /// Ground-truth hierarchy scope of the failure. Multi-site failures
+    /// (e.g. a coordinated DDoS) report their primary site here and the
+    /// full list via scopes().
+    [[nodiscard]] virtual location scope() const = 0;
+    /// All ground-truth scopes; one entry per independent blast site.
+    [[nodiscard]] virtual std::vector<location> scopes() const { return {scope()}; }
+    /// Severe failures impact extensive areas (alert floods); minor ones
+    /// a single device or circuit.
+    [[nodiscard]] virtual bool severe() const = 0;
+    /// Benign events (flash crowds, maintenance) perturb the network and
+    /// generate alerts but are NOT failures: detecting them is a false
+    /// positive.
+    [[nodiscard]] virtual bool benign() const { return false; }
+    /// False for faults fully absorbed by redundancy (a broken circuit
+    /// inside a healthy bundle): they are repair tickets, not incidents —
+    /// missing them is not a false negative, reporting them is not a
+    /// false positive.
+    [[nodiscard]] virtual bool must_detect() const { return true; }
+    /// The device to repair, when the failure has a single culprit.
+    [[nodiscard]] virtual std::optional<device_id> culprit() const { return std::nullopt; }
+
+    virtual void on_start(network_state& state, rng& rand, sim_time now) = 0;
+    /// Called every engine tick while active (cascade progression).
+    virtual void on_tick(network_state& state, rng& rand, sim_time now) { (void)state, (void)rand, (void)now; }
+    virtual void on_end(network_state& state, rng& rand, sim_time now) = 0;
+};
+
+/// Ground-truth record the engine keeps per injected scenario.
+struct scenario_record {
+    std::string name;
+    root_cause cause{root_cause::device_hardware};
+    location scope;
+    /// All blast sites (== {scope} for single-site failures).
+    std::vector<location> scopes;
+    time_range active;
+    bool severe{false};
+    /// True for injected non-failures (flash crowds): an incident matching
+    /// only benign records is a false positive.
+    bool benign{false};
+    /// False for redundancy-absorbed faults (see scenario::must_detect).
+    bool must_detect{true};
+    std::optional<device_id> culprit;
+};
+
+// --- concrete scenario factories -----------------------------------------
+// Each picks its victim(s) from the topology with the provided rng.
+// `severe` selects the wide-blast-radius variant of the class.
+
+[[nodiscard]] std::unique_ptr<scenario> make_device_hardware_failure(const topology& topo,
+                                                                     rng& rand, bool severe);
+[[nodiscard]] std::unique_ptr<scenario> make_link_failure(const topology& topo, rng& rand,
+                                                          bool severe);
+/// The §2.2 severe case: cuts `fraction` of a logic site's internet-entry
+/// circuits; backup congestion follows.
+[[nodiscard]] std::unique_ptr<scenario> make_internet_entry_cut(const topology& topo,
+                                                                const location& logic_site,
+                                                                double fraction);
+[[nodiscard]] std::unique_ptr<scenario> make_modification_error(const topology& topo, rng& rand,
+                                                                bool severe);
+[[nodiscard]] std::unique_ptr<scenario> make_device_software_failure(const topology& topo,
+                                                                     rng& rand, bool severe);
+[[nodiscard]] std::unique_ptr<scenario> make_infrastructure_failure(const topology& topo,
+                                                                    rng& rand, bool severe);
+[[nodiscard]] std::unique_ptr<scenario> make_route_error(const topology& topo, rng& rand,
+                                                         bool severe);
+/// DDoS against internet entries; `sites` > 1 reproduces the five-site
+/// multi-scene case study of §5.1.
+[[nodiscard]] std::unique_ptr<scenario> make_security_ddos(const topology& topo, rng& rand,
+                                                           int sites);
+[[nodiscard]] std::unique_ptr<scenario> make_configuration_error(const topology& topo, rng& rand,
+                                                                 bool severe);
+
+/// A WAN partition: every backbone circuit between two cities is cut at
+/// once (backhoe through the long-haul conduit). Cross-city traffic
+/// reroutes over the remaining ring and congests it; in the worst case a
+/// region islands.
+[[nodiscard]] std::unique_ptr<scenario> make_wan_partition(const topology& topo, rng& rand);
+
+/// A benign flash crowd: CPU climbs and traffic surges in one cluster
+/// without any failure — alert-generating noise that the per-type
+/// counting rule must not turn into an incident.
+[[nodiscard]] std::unique_ptr<scenario> make_flash_crowd(const topology& topo, rng& rand);
+
+/// Samples a scenario of class `cause`.
+[[nodiscard]] std::unique_ptr<scenario> make_scenario(root_cause cause, const topology& topo,
+                                                      rng& rand, bool severe);
+
+/// Samples class per Figure 1, then builds it.
+[[nodiscard]] std::unique_ptr<scenario> make_random_scenario(const topology& topo, rng& rand,
+                                                             bool severe);
+
+}  // namespace skynet

@@ -1,0 +1,57 @@
+// Alert trace recording and replay.
+//
+// Serializes a stream of (raw alert, arrival time) to a line-oriented,
+// tab-separated text format and loads it back. Together with the
+// topology format (topology/serialization.h) this makes experiments
+// portable: record a production-like flood once, replay it through
+// different SkyNet configurations, feed it to the threshold tuner.
+//
+// Format (one alert per line, 11 tab-separated fields):
+//   arrival_ms  source  timestamp_ms  kind  metric  loc  device  link  src  dst  message
+// Empty optional fields are `-`. Device/link ids are indices into the
+// accompanying topology; traces only replay against the topology they
+// were recorded on.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skynet/alert/alert.h"
+
+namespace skynet {
+
+/// One recorded delivery.
+struct traced_alert {
+    raw_alert alert;
+    sim_time arrival{0};
+};
+
+/// Serializes one record (no trailing newline).
+[[nodiscard]] std::string serialize_alert_record(const raw_alert& alert, sim_time arrival);
+
+struct trace_parse_error {
+    int line{0};
+    std::string message;
+};
+
+struct trace_parse_result {
+    std::vector<traced_alert> alerts;
+    std::vector<trace_parse_error> errors;
+
+    [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses a whole trace. Bad lines are reported and skipped.
+[[nodiscard]] trace_parse_result parse_trace(std::string_view text);
+
+/// Serializes a whole trace.
+[[nodiscard]] std::string serialize_trace(std::span<const traced_alert> alerts);
+
+/// Data-source token helpers used by the format.
+[[nodiscard]] std::string_view source_token(data_source source) noexcept;
+[[nodiscard]] std::optional<data_source> parse_source(std::string_view token) noexcept;
+
+}  // namespace skynet

@@ -1,0 +1,46 @@
+// Syslog-to-alert-type classifier built on the FT-tree.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "skynet/syslog/ft_tree.h"
+
+namespace skynet {
+
+/// Converts raw syslog lines into alert type names by FT-tree template
+/// matching. Trained from a labeled corpus; unmatched or unlabeled
+/// messages classify to nullopt (the preprocessor maps those to a generic
+/// "unknown syslog" type).
+class syslog_classifier {
+public:
+    /// Builds the tree from the built-in message catalog: renders
+    /// `samples_per_format` randomized instances of every format as the
+    /// corpus, then labels each template from one more rendered example.
+    [[nodiscard]] static syslog_classifier train_from_catalog(int samples_per_format = 8,
+                                                              std::uint64_t seed = 7);
+
+    /// Builds from an arbitrary labeled corpus: each entry is
+    /// (message, type name). Messages with empty type contribute corpus
+    /// statistics without labeling a template.
+    [[nodiscard]] static syslog_classifier train(
+        const std::vector<std::pair<std::string, std::string>>& labeled_corpus,
+        ft_tree::options opts = {});
+
+    struct result {
+        std::string type_name;
+        template_id tmpl{invalid_template};
+    };
+
+    /// Classifies a message; nullopt when no labeled template matches.
+    [[nodiscard]] std::optional<result> classify(std::string_view message) const;
+
+    [[nodiscard]] const ft_tree& tree() const noexcept { return tree_; }
+
+private:
+    explicit syslog_classifier(ft_tree tree) : tree_(std::move(tree)) {}
+    ft_tree tree_;
+};
+
+}  // namespace skynet

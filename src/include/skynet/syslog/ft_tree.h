@@ -1,0 +1,105 @@
+// FT-tree syslog template extraction (§4.1, after Zhang et al. [56]).
+//
+// Syslog has thousands of distinct CLI output formats; SkyNet converts
+// them into alert types by template matching. The pipeline:
+//   1. tokenize each message into words,
+//   2. strip variable words (addresses, interfaces, numbers) with
+//      predefined regular expressions,
+//   3. order the remaining words by corpus frequency (descending) and
+//      insert them as a path into a frequency tree,
+//   4. prune rare subtrees; the surviving paths are the templates.
+// Classification walks a message's frequency-ordered words down the tree;
+// the deepest template node reached is the message's template.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace skynet {
+
+/// Splits a syslog message into words and removes variable tokens
+/// (IPv4/IPv6 addresses, interface paths like `TenGigE0/1/0/25`, plain
+/// and hex numbers, MAC addresses, bracketed timestamps). Mnemonic tokens
+/// such as `%LINK-3-UPDOWN:` survive — they identify the template.
+[[nodiscard]] std::vector<std::string> strip_variables(std::string_view message);
+
+using template_id = std::uint32_t;
+inline constexpr template_id invalid_template = 0xffffffffu;
+
+struct syslog_template {
+    template_id id{invalid_template};
+    /// Frequency-ordered constant words forming the template path.
+    std::vector<std::string> words;
+    /// Messages in the training corpus matching this template.
+    int support{0};
+    /// Alert type name assigned by manual labeling (empty = unclassified).
+    std::string assigned_type;
+};
+
+/// FT-tree tuning knobs; defaults follow the FT-tree paper's spirit.
+struct ft_tree_options {
+    /// Maximum template path length (deeper words are detail).
+    int max_depth = 6;
+    /// Minimum corpus support for a node to survive pruning.
+    int min_support = 2;
+};
+
+class ft_tree {
+public:
+    using options = ft_tree_options;
+
+    explicit ft_tree(options opts = {}) : opts_(opts) {}
+
+    /// Corpus accumulation phase: feed raw messages.
+    void add_message(std::string_view message);
+    [[nodiscard]] std::size_t corpus_size() const noexcept { return corpus_.size(); }
+
+    /// Finalizes word frequencies, builds and prunes the tree, and
+    /// enumerates templates. Must be called once after accumulation.
+    void build();
+    [[nodiscard]] bool built() const noexcept { return built_; }
+
+    /// Templates discovered by build().
+    [[nodiscard]] const std::vector<syslog_template>& templates() const noexcept {
+        return templates_;
+    }
+
+    /// Matches a message to its template; nullopt when no template path
+    /// covers it (rare message or tree not built).
+    [[nodiscard]] std::optional<template_id> classify(std::string_view message) const;
+
+    /// Assigns an alert type name to the template that `example_message`
+    /// classifies to (the "manual classification" step the paper spread
+    /// over months). Returns the template id, or nullopt if unmatched.
+    std::optional<template_id> label(std::string_view example_message, std::string_view type_name);
+
+    [[nodiscard]] const syslog_template& template_at(template_id id) const;
+
+private:
+    struct node {
+        std::map<std::string, std::unique_ptr<node>> children;
+        int support{0};
+        /// Corpus messages whose word path terminates exactly here.
+        int ends{0};
+        template_id tmpl{invalid_template};
+    };
+
+    /// Message words ordered by descending corpus frequency, truncated to
+    /// max_depth. Ties break lexicographically for determinism.
+    [[nodiscard]] std::vector<std::string> ordered_words(std::string_view message) const;
+
+    options opts_;
+    bool built_{false};
+    std::vector<std::vector<std::string>> corpus_;
+    std::unordered_map<std::string, int> word_freq_;
+    std::unique_ptr<node> root_;
+    std::vector<syslog_template> templates_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,33 @@
+// Catalog of syslog message formats.
+//
+// Substitutes for the production syslog corpus: realistic vendor-style
+// CLI messages with variable fields (interfaces, addresses, counters).
+// Both sides of the pipeline share it — the simulated syslog source
+// renders concrete messages from it, and the classifier trainer uses it
+// as the labeled example set (the paper's months-long manual
+// classification, compressed).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skynet/common/rng.h"
+
+namespace skynet {
+
+struct syslog_format {
+    /// Alert type name this format maps to (must exist in the registry
+    /// under data_source::syslog).
+    std::string type_name;
+    /// Format string with placeholders: {intf} {ip} {num} {hex} {proc}.
+    std::string pattern;
+};
+
+/// All formats the simulator can emit, several per alert type.
+[[nodiscard]] const std::vector<syslog_format>& syslog_message_catalog();
+
+/// Renders `pattern` with randomized variable fields.
+[[nodiscard]] std::string render_syslog(std::string_view pattern, rng& rand);
+
+}  // namespace skynet

@@ -1,0 +1,65 @@
+// Online discovery of unclassified syslog templates.
+//
+// The paper's manual classification took months and covered hundreds of
+// types, prioritized by criticality — and the corpus keeps growing as
+// vendors ship new firmware. The miner watches the lines the classifier
+// could not map, groups them by their FT-tree word signature, and
+// surfaces the highest-volume candidates so operators label the
+// templates that matter first (exactly the prioritize-by-frequency
+// process §4.1 describes).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/common/time.h"
+
+namespace skynet {
+
+/// A candidate template awaiting manual classification.
+struct mined_template {
+    /// Frequency-ordered constant-word signature.
+    std::string signature;
+    /// Messages matching it so far.
+    int occurrences{0};
+    /// A verbatim example for the labeling operator.
+    std::string example;
+    sim_time first_seen{0};
+    sim_time last_seen{0};
+};
+
+struct template_miner_options {
+    /// Candidates below this support are noise, not templates.
+    int min_occurrences = 5;
+    /// Cap on tracked distinct signatures (oldest-evicted beyond it).
+    std::size_t max_tracked = 10000;
+};
+
+class template_miner {
+public:
+    using options = template_miner_options;
+
+    explicit template_miner(options opts = {}) : opts_(opts) {}
+
+    /// Feeds one unclassified syslog line.
+    void observe(std::string_view message, sim_time now);
+
+    [[nodiscard]] std::int64_t observed_count() const noexcept { return observed_; }
+    [[nodiscard]] std::size_t tracked_signatures() const noexcept { return tracked_.size(); }
+
+    /// Candidates at/above min_occurrences, highest-volume first — the
+    /// labeling worklist.
+    [[nodiscard]] std::vector<mined_template> candidates() const;
+
+    /// Drops a signature once it has been labeled (or dismissed).
+    void resolve(std::string_view signature);
+
+private:
+    options opts_;
+    std::int64_t observed_{0};
+    std::unordered_map<std::string, mined_template> tracked_;
+};
+
+}  // namespace skynet

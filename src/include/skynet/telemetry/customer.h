@@ -1,0 +1,96 @@
+// Customer and SLA-flow registry.
+//
+// The evaluator's severity equation (Table 3) consumes business data the
+// paper pulls from Netflow: which customers ride which circuit sets, how
+// important they are (g_i), how many there are (u_i), and which SLA flows
+// are committed where. This registry is the synthetic stand-in for that
+// production database.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "skynet/common/rng.h"
+#include "skynet/topology/topology.h"
+
+namespace skynet {
+
+using customer_id = std::uint32_t;
+using sla_flow_id = std::uint32_t;
+
+/// Stability expectation a customer purchased; maps to the importance
+/// factor g_i of Equation 1.
+enum class customer_tier : std::uint8_t { standard, premium, critical };
+
+[[nodiscard]] std::string_view to_string(customer_tier tier) noexcept;
+
+/// Importance factor contributed by a tier.
+[[nodiscard]] constexpr double tier_importance(customer_tier tier) noexcept {
+    switch (tier) {
+        case customer_tier::standard: return 1.0;
+        case customer_tier::premium: return 5.0;
+        case customer_tier::critical: return 20.0;
+    }
+    return 1.0;
+}
+
+struct customer {
+    customer_id id{};
+    std::string name;
+    customer_tier tier{customer_tier::standard};
+    std::vector<circuit_set_id> circuit_sets;
+};
+
+/// A flow with a committed rate (the SLA) pinned to a circuit set. The
+/// simulator varies its current rate; a flow whose rate exceeds the
+/// committed limit on a degraded set contributes to l_i and L_k.
+struct sla_flow {
+    sla_flow_id id{};
+    customer_id owner{};
+    circuit_set_id cset{invalid_circuit_set};
+    double committed_gbps{1.0};
+};
+
+class customer_registry {
+public:
+    customer_id add_customer(std::string name, customer_tier tier);
+    void attach(customer_id c, circuit_set_id cset);
+    sla_flow_id add_sla_flow(customer_id owner, circuit_set_id cset, double committed_gbps);
+
+    [[nodiscard]] const std::vector<customer>& customers() const noexcept { return customers_; }
+    [[nodiscard]] const std::vector<sla_flow>& sla_flows() const noexcept { return flows_; }
+    [[nodiscard]] const customer& customer_at(customer_id id) const;
+    [[nodiscard]] const sla_flow& flow_at(sla_flow_id id) const;
+
+    /// Customers attached to a circuit set.
+    [[nodiscard]] std::span<const customer_id> customers_on(circuit_set_id cset) const;
+    /// SLA flows pinned to a circuit set.
+    [[nodiscard]] std::span<const sla_flow_id> flows_on(circuit_set_id cset) const;
+
+    /// g_i: importance factor of the customers on the set (max of tier
+    /// factors; 0 when nobody is attached).
+    [[nodiscard]] double importance_factor(circuit_set_id cset) const;
+    /// u_i: number of customers on the set.
+    [[nodiscard]] int customer_count(circuit_set_id cset) const;
+    /// Customers above standard tier across the given sets (U_k).
+    [[nodiscard]] int important_customer_count(std::span<const circuit_set_id> csets) const;
+
+    /// Populates a registry over `topo`: customers attach to the
+    /// aggregation-tier and internet-entry circuit sets near their
+    /// workloads; premium and critical customers also get SLA flows.
+    /// Tier mix: ~80 % standard, ~15 % premium, ~5 % critical.
+    [[nodiscard]] static customer_registry generate(const topology& topo, int n_customers,
+                                                    rng& rand);
+
+private:
+    std::vector<customer> customers_;
+    std::vector<sla_flow> flows_;
+    std::vector<std::vector<customer_id>> customers_by_cset_;
+    std::vector<std::vector<sla_flow_id>> flows_by_cset_;
+
+    void ensure_cset(circuit_set_id cset);
+};
+
+}  // namespace skynet

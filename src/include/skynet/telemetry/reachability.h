@@ -1,0 +1,63 @@
+// End-to-end reachability matrix (Figure 7).
+//
+// Built from ping telemetry between location pairs; the evaluator's
+// location zoom-in looks for a *focal point* — a location whose row AND
+// column are dark (high loss both as source and destination), which
+// pinpoints the incident.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/topology/location.h"
+
+namespace skynet {
+
+class reachability_matrix {
+public:
+    /// Creates an empty matrix over the given endpoint locations
+    /// (typically the clusters of a site or region; granularity "varies
+    /// from cluster to region").
+    explicit reachability_matrix(std::vector<location> endpoints);
+
+    [[nodiscard]] const std::vector<location>& endpoints() const noexcept { return endpoints_; }
+    [[nodiscard]] std::size_t size() const noexcept { return endpoints_.size(); }
+
+    /// Records a probe result: loss ratio in [0, 1] for src -> dst.
+    /// Repeated records for the same pair average. Unknown endpoints are
+    /// ignored (probes from outside the matrix scope).
+    void record(const location& src, const location& dst, double loss_ratio);
+
+    /// Mean observed loss ratio for the pair; 0 when never probed.
+    [[nodiscard]] double at(std::size_t src_index, std::size_t dst_index) const;
+    [[nodiscard]] double at(const location& src, const location& dst) const;
+
+    /// Finds the focal point: the endpoint whose combined row+column mean
+    /// loss is (a) above `min_loss`, and (b) dominant — at least
+    /// `dominance` times the mean of all other endpoints' scores.
+    /// Returns nullopt when loss is diffuse or absent.
+    [[nodiscard]] std::optional<location> focal_point(double min_loss = 0.01,
+                                                      double dominance = 3.0) const;
+
+    /// Row/column mean loss for one endpoint (excluding the diagonal).
+    [[nodiscard]] double hotspot_score(std::size_t index) const;
+
+    /// ASCII rendering in the style of Figure 7 (percent loss per cell).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    struct cell {
+        double loss_sum{0.0};
+        int samples{0};
+    };
+
+    [[nodiscard]] std::optional<std::size_t> index_of(const location& loc) const;
+
+    std::vector<location> endpoints_;
+    std::unordered_map<location, std::size_t, location_hash> index_;
+    std::vector<cell> cells_;  // row-major size() x size()
+};
+
+}  // namespace skynet

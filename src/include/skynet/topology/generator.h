@@ -1,0 +1,57 @@
+// Parameterized hierarchical topology generator.
+//
+// Substitutes for the paper's production network (O(10^5) devices, 89 data
+// centers in 29 regions): builds a multi-region cloud network with the
+// exact hierarchy of Figure 5b, Clos-style sites, redundant circuit sets
+// at every aggregation tier, internet-entry bundles on the ISRs, and a WAN
+// mesh between city backbone routers.
+#pragma once
+
+#include <cstdint>
+
+#include "skynet/topology/topology.h"
+
+namespace skynet {
+
+struct generator_params {
+    int regions = 2;
+    int cities_per_region = 2;
+    int logic_sites_per_city = 2;
+    int sites_per_logic_site = 2;
+    int clusters_per_site = 3;
+    int tors_per_cluster = 6;
+    int aggs_per_cluster = 2;
+    int csrs_per_site = 2;
+    int dcbrs_per_logic_site = 2;
+    int isrs_per_logic_site = 2;
+    int bsrs_per_city = 2;
+    /// Parallel circuits per aggregation-tier circuit set.
+    int circuits_per_agg_set = 2;
+    /// Parallel circuits per WAN (BSR-BSR) circuit set.
+    int circuits_per_wan_set = 4;
+    /// Parallel circuits in each ISR's internet-entry bundle.
+    int internet_circuits_per_isr = 8;
+    /// One route reflector per logic site (§7.1 visualization case).
+    bool add_reflectors = true;
+    /// Fraction of devices whose SNMP agent is slow (alert delay up to
+    /// ~2 min, §4.2).
+    double legacy_snmp_fraction = 0.15;
+    /// Fraction of devices supporting in-band telemetry (§2.1: INT is not
+    /// universally supported).
+    double int_support_fraction = 0.6;
+    std::uint64_t seed = 42;
+
+    /// Handful of devices; fast unit tests.
+    [[nodiscard]] static generator_params tiny();
+    /// Hundreds of devices; integration tests.
+    [[nodiscard]] static generator_params small();
+    /// Thousands of devices; benchmark default.
+    [[nodiscard]] static generator_params medium();
+    /// Tens of thousands of devices; stress benchmarks.
+    [[nodiscard]] static generator_params large();
+};
+
+/// Builds the network. Deterministic for a given parameter set.
+[[nodiscard]] topology generate_topology(const generator_params& params);
+
+}  // namespace skynet

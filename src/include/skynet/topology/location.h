@@ -1,0 +1,97 @@
+// Hierarchical network locations.
+//
+// The paper's cloud network is organized as a strict hierarchy
+// (Figure 5b): Region > City > Logic site > Site > Cluster > Device.
+// Every alert carries a location — a path from the region down to the
+// level at which the alerting entity sits. Devices can attach at any
+// level (a reflector attaches at the logic-site level, a ToR at the
+// cluster level), so a location's depth varies.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skynet {
+
+/// Depth of a node in the location hierarchy. `root` is the implicit
+/// global root (empty path); `device` is the deepest level.
+enum class hierarchy_level : std::uint8_t {
+    root = 0,
+    region = 1,
+    city = 2,
+    logic_site = 3,
+    site = 4,
+    cluster = 5,
+    device = 6,
+};
+
+[[nodiscard]] std::string_view to_string(hierarchy_level level) noexcept;
+
+/// Number of path segments for a location at `level`.
+[[nodiscard]] constexpr std::size_t depth_of(hierarchy_level level) noexcept {
+    return static_cast<std::size_t>(level);
+}
+
+/// A path in the location hierarchy, e.g.
+/// `Region A|City a|Logic site 2|Site I`. Immutable value type; ordering
+/// is lexicographic on segments so locations sort hierarchically.
+class location {
+public:
+    location() = default;
+    explicit location(std::vector<std::string> segments) : segments_(std::move(segments)) {}
+    location(std::initializer_list<std::string> segments) : segments_(segments) {}
+
+    /// Parses the `a|b|c` rendering produced by to_string().
+    [[nodiscard]] static location parse(std::string_view text);
+
+    [[nodiscard]] const std::vector<std::string>& segments() const noexcept { return segments_; }
+    [[nodiscard]] bool is_root() const noexcept { return segments_.empty(); }
+    [[nodiscard]] std::size_t depth() const noexcept { return segments_.size(); }
+
+    /// Level corresponding to this path's depth. Paths deeper than
+    /// `device` are clamped to `device`.
+    [[nodiscard]] hierarchy_level level() const noexcept;
+
+    /// Last segment ("Site I" for `Region A|...|Site I`); empty for root.
+    [[nodiscard]] std::string_view leaf() const noexcept;
+
+    /// The path one level up; root's parent is root.
+    [[nodiscard]] location parent() const;
+
+    /// The prefix of this path truncated at `level` (no-op if already
+    /// at or above that level).
+    [[nodiscard]] location ancestor_at(hierarchy_level level) const;
+
+    /// True if this location is `other` or one of its ancestors.
+    [[nodiscard]] bool contains(const location& other) const noexcept;
+
+    /// True if this location is a *proper* ancestor of `other`.
+    [[nodiscard]] bool is_ancestor_of(const location& other) const noexcept;
+
+    /// Deepest common prefix of the two paths.
+    [[nodiscard]] static location common_ancestor(const location& a, const location& b);
+
+    /// Path extended one level down with `segment`.
+    [[nodiscard]] location child(std::string segment) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const location& a, const location& b) noexcept = default;
+    friend std::strong_ordering operator<=>(const location& a, const location& b) noexcept {
+        return a.segments_ <=> b.segments_;
+    }
+
+private:
+    std::vector<std::string> segments_;
+};
+
+/// Hash support so locations can key unordered containers.
+struct location_hash {
+    [[nodiscard]] std::size_t operator()(const location& loc) const noexcept;
+};
+
+}  // namespace skynet

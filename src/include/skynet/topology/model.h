@@ -1,0 +1,96 @@
+// Network element model: devices, links, circuit sets, device groups.
+//
+// The reproduction's topology mirrors the structures SkyNet's algorithms
+// actually consume:
+//   * devices attached at hierarchy locations (locator main tree),
+//   * link adjacency (connectivity grouping of alerting nodes),
+//   * circuit sets — bundles of parallel physical circuits between two
+//     devices, the redundancy unit of the evaluator's Equation 1
+//     (break ratio d_i, SLA-overload ratio l_i per circuit set),
+//   * device groups — the redundancy groups heuristic SOP rules match on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "skynet/topology/location.h"
+
+namespace skynet {
+
+using device_id = std::uint32_t;
+using link_id = std::uint32_t;
+using circuit_set_id = std::uint32_t;
+using group_id = std::uint32_t;
+
+inline constexpr device_id invalid_device = std::numeric_limits<device_id>::max();
+inline constexpr link_id invalid_link = std::numeric_limits<link_id>::max();
+inline constexpr circuit_set_id invalid_circuit_set = std::numeric_limits<circuit_set_id>::max();
+inline constexpr group_id invalid_group = std::numeric_limits<group_id>::max();
+
+/// Device roles, following the naming visible in the paper's Figure 11
+/// visualization (DCBR/BSR/ISR/CSR) plus intra-cluster tiers.
+enum class device_role : std::uint8_t {
+    tor,        ///< top-of-rack switch inside a cluster
+    agg,        ///< cluster aggregation switch
+    csr,        ///< site-level core switch router
+    dcbr,       ///< data-center border router (logic-site level)
+    isr,        ///< internet switch router (internet entry, logic-site level)
+    bsr,        ///< backbone router (city level, WAN)
+    reflector,  ///< route reflector (logic-site level; §7.1 case study)
+    isp,        ///< external ISP peer (outside our hierarchy)
+};
+
+[[nodiscard]] std::string_view to_string(device_role role) noexcept;
+
+struct device {
+    device_id id{invalid_device};
+    std::string name;
+    device_role role{device_role::tor};
+    /// Hierarchy node the device attaches to, *including* its own name as
+    /// the final segment (so `loc.parent()` is the containing cluster /
+    /// site / logic site).
+    location loc;
+    group_id group{invalid_group};
+    /// Older devices with weak CPUs deliver SNMP alerts with up to ~2 min
+    /// delay (§4.2's motivation for the 5-minute node timeout).
+    bool legacy_slow_snmp{false};
+    /// INT is not universally supported (§2.1).
+    bool supports_int{false};
+};
+
+/// One physical circuit. Parallel circuits between the same device pair
+/// form a circuit set.
+struct link {
+    link_id id{invalid_link};
+    device_id a{invalid_device};
+    device_id b{invalid_device};
+    circuit_set_id cset{invalid_circuit_set};
+    double capacity_gbps{100.0};
+    /// True for the circuits forming a data center's Internet entry
+    /// (the severe-failure case of §2.2 cuts half of these at once).
+    bool internet_entry{false};
+};
+
+/// Redundant bundle of circuits between two endpoints (Table 3's
+/// "circuit set"). Evaluator inputs d_i (break ratio) and l_i (SLA
+/// overload) are computed per circuit set.
+struct circuit_set {
+    circuit_set_id id{invalid_circuit_set};
+    std::string name;
+    device_id a{invalid_device};
+    device_id b{invalid_device};
+    std::vector<link_id> circuits;
+};
+
+/// Redundancy group of interchangeable devices; the unit heuristic SOP
+/// rules reason about ("if one device in the group loses packets and the
+/// others are silent, isolate it").
+struct device_group {
+    group_id id{invalid_group};
+    std::string name;
+    std::vector<device_id> members;
+};
+
+}  // namespace skynet

@@ -1,0 +1,49 @@
+// Topology text format: export and import.
+//
+// Lets a deployment load its real inventory instead of the synthetic
+// generator. Line-oriented, one element per line, `#` comments:
+//
+//   # skynet topology v1
+//   device <name> <role> <location path with | separators>
+//   flags <device-name> [legacy_snmp] [int]
+//   group <group-name> <member> [member...]
+//   cset <set-name> <endpoint-a> <endpoint-b>
+//   link <endpoint-a> <endpoint-b> <set-name|-> <capacity_gbps> [internet]
+//
+// Names containing whitespace are not supported (matching the generator's
+// conventions); location paths use `|` and may contain spaces only within
+// quoted import files produced elsewhere — the exporter never emits them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skynet/topology/topology.h"
+
+namespace skynet {
+
+/// Serializes every device, flag, group, circuit set and link.
+[[nodiscard]] std::string export_topology(const topology& topo);
+
+struct topology_parse_error {
+    int line{0};
+    std::string message;
+};
+
+struct topology_parse_result {
+    topology topo;
+    std::vector<topology_parse_error> errors;
+
+    [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses the text format. Recovers per line: a malformed line is
+/// reported and skipped; references to unknown names are errors.
+[[nodiscard]] topology_parse_result import_topology(std::string_view text);
+
+/// Role <-> token helpers used by the format.
+[[nodiscard]] std::string_view role_token(device_role role) noexcept;
+[[nodiscard]] std::optional<device_role> parse_role(std::string_view token) noexcept;
+
+}  // namespace skynet

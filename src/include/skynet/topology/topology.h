@@ -1,0 +1,89 @@
+// Topology container and graph queries.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/topology/model.h"
+
+namespace skynet {
+
+/// Owns every network element and answers the structural queries SkyNet's
+/// modules need: hierarchy lookups (devices under a location), adjacency
+/// (connectivity grouping in the locator), and circuit-set membership
+/// (evaluator). Built once, then immutable; runtime health lives in
+/// `skynet::network_state`.
+class topology {
+public:
+    // --- construction (used by the generator and by tests) -------------
+    device_id add_device(std::string name, device_role role, location loc);
+    link_id add_link(device_id a, device_id b, circuit_set_id cset, double capacity_gbps,
+                     bool internet_entry = false);
+    /// Creates an empty circuit set between two endpoints; links are
+    /// attached to it via add_link.
+    circuit_set_id add_circuit_set(std::string name, device_id a, device_id b);
+    group_id add_group(std::string name);
+    void add_to_group(group_id g, device_id d);
+    void set_legacy_slow_snmp(device_id d, bool value);
+    void set_supports_int(device_id d, bool value);
+
+    // --- element access -------------------------------------------------
+    [[nodiscard]] const std::vector<device>& devices() const noexcept { return devices_; }
+    [[nodiscard]] const std::vector<link>& links() const noexcept { return links_; }
+    [[nodiscard]] const std::vector<circuit_set>& circuit_sets() const noexcept { return csets_; }
+    [[nodiscard]] const std::vector<device_group>& groups() const noexcept { return groups_; }
+
+    [[nodiscard]] const device& device_at(device_id id) const;
+    [[nodiscard]] const link& link_at(link_id id) const;
+    [[nodiscard]] const circuit_set& circuit_set_at(circuit_set_id id) const;
+    [[nodiscard]] const device_group& group_at(group_id id) const;
+
+    [[nodiscard]] std::optional<device_id> find_device(std::string_view name) const;
+
+    // --- hierarchy queries ----------------------------------------------
+    /// Devices whose location is under (or at) `loc`.
+    [[nodiscard]] std::vector<device_id> devices_under(const location& loc) const;
+
+    /// All cluster-level locations under `loc` (used for reachability
+    /// matrices).
+    [[nodiscard]] std::vector<location> clusters_under(const location& loc) const;
+
+    // --- graph queries ----------------------------------------------------
+    /// Links incident to `d`.
+    [[nodiscard]] std::span<const link_id> links_of(device_id d) const;
+
+    /// Neighbor devices of `d` (deduplicated).
+    [[nodiscard]] std::vector<device_id> neighbors(device_id d) const;
+
+    /// Circuit sets with `d` as an endpoint.
+    [[nodiscard]] std::span<const circuit_set_id> circuit_sets_of(device_id d) const;
+
+    /// True if a direct link joins the devices.
+    [[nodiscard]] bool adjacent(device_id a, device_id b) const;
+
+    /// Partitions `members` into groups connected through topology links
+    /// restricted to the member set itself, with one extension matching
+    /// the paper's propagation insight: two members are also considered
+    /// connected when they sit in the same cluster (alerts propagate
+    /// within the shared fabric even without a direct cable).
+    [[nodiscard]] std::vector<std::vector<device_id>> connected_components(
+        std::span<const device_id> members) const;
+
+    /// Shortest hop distance between devices (BFS); nullopt if unreachable.
+    [[nodiscard]] std::optional<int> hop_distance(device_id a, device_id b) const;
+
+private:
+    std::vector<device> devices_;
+    std::vector<link> links_;
+    std::vector<circuit_set> csets_;
+    std::vector<device_group> groups_;
+    std::vector<std::vector<link_id>> links_by_device_;
+    std::vector<std::vector<circuit_set_id>> csets_by_device_;
+    std::unordered_map<std::string, device_id> device_by_name_;
+};
+
+}  // namespace skynet

@@ -1,0 +1,35 @@
+// ASCII incident timeline.
+//
+// Renders a set of incidents as a time-bucketed chart — the at-a-glance
+// view of an on-call shift: when each incident opened and closed, how its
+// alert activity ramped, and its final severity. Complements the §7.1
+// voting graph (which answers *where*; the timeline answers *when*).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "skynet/core/pipeline.h"
+
+namespace skynet {
+
+struct timeline_options {
+    /// Character columns used for the time axis.
+    int columns = 60;
+    /// Truncate incident labels to this many characters.
+    int label_width = 36;
+};
+
+/// Renders incidents into a chart like:
+///
+///   00:01:00                                             00:14:20
+///   Region-1|...|LS-1            ######====....           72.4
+///   Region-2|...|Cluster-3           ##==                  3.1
+///
+/// `#` marks buckets inside the incident's alert window with failure
+/// alerts, `=` buckets with only other categories, `.` the open-but-idle
+/// tail. Incidents are ordered by severity.
+[[nodiscard]] std::string render_timeline(const std::vector<incident_report>& reports,
+                                          const timeline_options& options = {});
+
+}  // namespace skynet

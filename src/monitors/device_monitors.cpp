@@ -1,0 +1,318 @@
+#include "skynet/monitors/device_monitors.h"
+
+#include <algorithm>
+
+namespace skynet {
+namespace {
+
+raw_alert device_alert(data_source src, const device& dev, std::string kind, std::string message,
+                       sim_time now, double metric = 0.0) {
+    raw_alert a;
+    a.source = src;
+    a.timestamp = now;
+    a.kind = std::move(kind);
+    a.message = std::move(message);
+    a.loc = dev.loc;
+    a.device = dev.id;
+    a.metric = metric;
+    return a;
+}
+
+}  // namespace
+
+// --- out-of-band -------------------------------------------------------------
+
+void oob_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                       std::vector<raw_alert>& out) {
+    for (const device& d : topo_->devices()) {
+        if (d.role == device_role::isp) continue;
+        const device_health& h = state.device_state(d.id);
+        if (!h.alive) {
+            out.push_back(device_alert(data_source::out_of_band, d, "device inaccessible",
+                                       "oob: " + d.name + " does not answer", now, 1.0));
+            continue;
+        }
+        if (h.cpu > 0.9) {
+            out.push_back(device_alert(data_source::out_of_band, d, "high cpu",
+                                       "oob: cpu " + std::to_string(h.cpu * 100.0) + "%", now,
+                                       h.cpu));
+        }
+        if (h.ram > 0.9) {
+            out.push_back(device_alert(data_source::out_of_band, d, "high ram",
+                                       "oob: ram " + std::to_string(h.ram * 100.0) + "%", now,
+                                       h.ram));
+        }
+    }
+    // Probe glitch: a broken liveness prober floods identical
+    // device-down alerts for one healthy device (§4.2 false-alarm case).
+    if (opts_.noise_rate > 0.0 && rand.chance(opts_.noise_rate)) {
+        const device& d = rand.pick(topo_->devices());
+        if (d.role != device_role::isp && state.device_state(d.id).alive) {
+            const int burst = static_cast<int>(rand.uniform_int(20, 80));
+            for (int i = 0; i < burst; ++i) {
+                out.push_back(device_alert(data_source::out_of_band, d, "device inaccessible",
+                                           "oob: probe error glitch", now, 1.0));
+            }
+        }
+    }
+}
+
+// --- SNMP -------------------------------------------------------------------
+
+void snmp_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                        std::vector<raw_alert>& out) {
+    for (const device& d : topo_->devices()) {
+        if (d.role == device_role::isp) continue;
+        const device_health& h = state.device_state(d.id);
+        if (!h.alive) continue;  // SNMP agent is gone with the device
+
+        // Interface status: one alert per unusable link, every poll —
+        // a dead peer takes the line protocol down on the live side too.
+        for (link_id lid : topo_->links_of(d.id)) {
+            if (!state.link_usable(lid)) {
+                out.push_back(device_alert(data_source::snmp, d, "link down",
+                                           "snmp: ifOperStatus down on " + d.name, now, 1.0));
+            }
+            if (state.link_state(lid).corruption_loss > 0.005) {
+                out.push_back(device_alert(data_source::snmp, d, "rx errors",
+                                           "snmp: rx error counter rising on " + d.name, now,
+                                           state.link_state(lid).corruption_loss));
+            }
+            if (state.link_state(lid).flapping) {
+                out.push_back(device_alert(data_source::snmp, d, "interface flap",
+                                           "snmp: interface flapping on " + d.name, now));
+            }
+        }
+
+        // Congestion and carried-traffic anomalies per attached set.
+        double carried = 0.0;
+        for (circuit_set_id cs : topo_->circuit_sets_of(d.id)) {
+            const double util = state.utilization(cs);
+            if (util > network_state::congestion_knee) {
+                out.push_back(device_alert(data_source::snmp, d, "traffic congestion",
+                                           "snmp: output queue drops, util " +
+                                               std::to_string(util * 100.0) + "%",
+                                           now, util));
+            }
+            carried += std::min(state.offered_gbps(cs), state.live_capacity_gbps(cs));
+        }
+        auto [it, inserted] = traffic_baseline_.try_emplace(d.id, carried);
+        if (!inserted) {
+            const double base = it->second;
+            if (base > 1.0 && carried < base * 0.5) {
+                out.push_back(device_alert(data_source::snmp, d, "traffic drop",
+                                           "snmp: carried traffic halved on " + d.name, now,
+                                           carried / base));
+            } else if (base > 1.0 && carried > base * 1.5) {
+                out.push_back(device_alert(data_source::snmp, d, "traffic surge",
+                                           "snmp: carried traffic jumped on " + d.name, now,
+                                           carried / base));
+            }
+            // Slow EWMA so sustained anomalies keep alerting for a while.
+            it->second = base * 0.98 + carried * 0.02;
+        }
+
+        if (h.cpu > 0.9) {
+            out.push_back(
+                device_alert(data_source::snmp, d, "high cpu", "snmp: cpu high", now, h.cpu));
+        }
+        if (h.ram > 0.9) {
+            out.push_back(
+                device_alert(data_source::snmp, d, "high ram", "snmp: ram high", now, h.ram));
+        }
+    }
+    (void)rand;
+}
+
+// --- syslog -------------------------------------------------------------------
+
+void syslog_source::emit(const device& dev, std::string_view type_name, sim_time now, rng& rand,
+                         std::vector<raw_alert>& out) const {
+    // Render a concrete vendor-style message for the type; the
+    // preprocessor must recover the type via the FT-tree classifier.
+    for (const syslog_format& fmt : syslog_message_catalog()) {
+        if (fmt.type_name == type_name) {
+            raw_alert a;
+            a.source = data_source::syslog;
+            a.timestamp = now;
+            a.message = render_syslog(fmt.pattern, rand);
+            a.loc = dev.loc;
+            a.device = dev.id;
+            out.push_back(std::move(a));
+            return;
+        }
+    }
+}
+
+void syslog_source::poll(const network_state& state, sim_time now, rng& rand,
+                         std::vector<raw_alert>& out) {
+    const std::size_t n_dev = topo_->devices().size();
+    const std::size_t n_link = topo_->links().size();
+    if (!primed_) {
+        prev_link_up_.assign(n_link, true);
+        prev_cp_ok_.assign(n_dev, true);
+        prev_hw_fault_.assign(n_dev, false);
+        prev_sw_fault_.assign(n_dev, false);
+        prev_oom_.assign(n_dev, false);
+        prev_crc_.assign(n_link, false);
+        primed_ = true;
+    }
+
+    auto alive = [&](device_id id) {
+        return state.device_state(id).alive && topo_->device_at(id).role != device_role::isp;
+    };
+
+    // Link transitions: both endpoints log (if they can). Usability
+    // covers the peer-death case: the live side logs line-protocol down.
+    for (const link& l : topo_->links()) {
+        const bool up = state.link_usable(l.id);
+        if (prev_link_up_[l.id] && !up) {
+            if (alive(l.a)) emit(topo_->device_at(l.a), "link down", now, rand, out);
+            if (alive(l.b)) emit(topo_->device_at(l.b), "port down", now, rand, out);
+        }
+        prev_link_up_[l.id] = up;
+
+        const bool crc = state.link_state(l.id).corruption_loss > 0.02;
+        if (crc && !prev_crc_[l.id]) {
+            if (alive(l.a)) emit(topo_->device_at(l.a), "crc error", now, rand, out);
+        }
+        prev_crc_[l.id] = crc;
+
+        if (state.link_state(l.id).flapping && rand.chance(0.3)) {
+            if (alive(l.a)) emit(topo_->device_at(l.a), "link flapping", now, rand, out);
+            if (alive(l.b)) emit(topo_->device_at(l.b), "port flapping", now, rand, out);
+        }
+    }
+
+    for (const device& d : topo_->devices()) {
+        if (d.role == device_role::isp) continue;
+        const device_health& h = state.device_state(d.id);
+        if (!h.alive) {
+            prev_cp_ok_[d.id] = h.control_plane_ok;
+            continue;  // a dead device logs nothing
+        }
+
+        // Control-plane down: every live neighbor logs the peer loss.
+        if (prev_cp_ok_[d.id] && !h.control_plane_ok) {
+            for (device_id nb : topo_->neighbors(d.id)) {
+                if (alive(nb)) emit(topo_->device_at(nb), "bgp peer down", now, rand, out);
+            }
+            emit(d, "protocol adjacency loss", now, rand, out);
+            if (h.silent_loss > 0.3) emit(d, "traffic blackhole", now, rand, out);
+        }
+        prev_cp_ok_[d.id] = h.control_plane_ok;
+
+        // Hardware error: logged when the device finally notices (§7.3 —
+        // minutes after the behavioural symptoms).
+        if (!prev_hw_fault_[d.id] && h.hardware_fault) {
+            emit(d, "hardware error", now, rand, out);
+            if (rand.chance(0.3)) emit(d, "bit flip", now, rand, out);
+        }
+        prev_hw_fault_[d.id] = h.hardware_fault;
+
+        if (!prev_sw_fault_[d.id] && h.software_fault) {
+            emit(d, "software error", now, rand, out);
+        }
+        prev_sw_fault_[d.id] = h.software_fault;
+
+        const bool oom = h.ram > 0.95;
+        if (!prev_oom_[d.id] && oom) emit(d, "out of memory", now, rand, out);
+        prev_oom_[d.id] = oom;
+
+        // BGP session jitter keeps logging while it lasts.
+        if (h.bgp_flapping && rand.chance(0.25)) {
+            emit(d, "bgp link jitter", now, rand, out);
+        }
+    }
+
+    // Background log noise: benign messages that classify to no critical
+    // template.
+    if (opts_.noise_rate > 0.0 && rand.chance(opts_.noise_rate)) {
+        const device& d = rand.pick(topo_->devices());
+        if (alive(d.id)) {
+            raw_alert a;
+            a.source = data_source::syslog;
+            a.timestamp = now;
+            a.message = "%SYS-6-INFO: periodic housekeeping task completed id " +
+                        std::to_string(rand.uniform_int(1, 100000));
+            a.loc = d.loc;
+            a.device = d.id;
+            out.push_back(std::move(a));
+        }
+    }
+}
+
+// --- INT -----------------------------------------------------------------------
+
+int_monitor::int_monitor(const topology& topo, monitor_options opts)
+    : topo_(&topo), opts_(opts) {
+    for (const circuit_set& cs : topo.circuit_sets()) {
+        if (topo.device_at(cs.a).supports_int && topo.device_at(cs.b).supports_int) {
+            covered_sets_.push_back(cs.id);
+        }
+    }
+}
+
+void int_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                       std::vector<raw_alert>& out) {
+    for (circuit_set_id cs : covered_sets_) {
+        const circuit_set& set = topo_->circuit_set_at(cs);
+        if (!state.device_state(set.a).alive || !state.device_state(set.b).alive) continue;
+        const double loss = state.traversal_loss(cs);
+        const device& a_dev = topo_->device_at(set.a);
+        if (loss > 0.05) {
+            out.push_back(device_alert(data_source::inband_telemetry, a_dev, "int packet loss",
+                                       "int: test flow loss on " + set.name, now, loss));
+        } else if (loss > 0.01) {
+            out.push_back(device_alert(data_source::inband_telemetry, a_dev, "rate discrepancy",
+                                       "int: in/out rate mismatch on " + set.name, now, loss));
+        }
+        if (state.utilization(cs) > 0.85) {
+            out.push_back(device_alert(data_source::inband_telemetry, a_dev, "queue buildup",
+                                       "int: queue depth rising on " + set.name, now,
+                                       state.utilization(cs)));
+        }
+    }
+    (void)rand;
+}
+
+// --- PTP -----------------------------------------------------------------------
+
+void ptp_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                       std::vector<raw_alert>& out) {
+    for (const device& d : topo_->devices()) {
+        if (d.role == device_role::isp) continue;
+        const device_health& h = state.device_state(d.id);
+        if (h.alive && !h.clock_synced) {
+            out.push_back(device_alert(data_source::ptp, d, "clock desync",
+                                       "ptp: clock offset beyond bound on " + d.name, now));
+        }
+    }
+    (void)rand;
+}
+
+// --- patrol -----------------------------------------------------------------------
+
+void patrol_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                          std::vector<raw_alert>& out) {
+    for (const device& d : topo_->devices()) {
+        if (d.role == device_role::isp) continue;
+        const device_health& h = state.device_state(d.id);
+        if (!h.alive) continue;  // the patrol login just times out
+        if (h.hardware_fault || h.software_fault) {
+            out.push_back(device_alert(data_source::patrol_inspection, d, "patrol command error",
+                                       "patrol: diagnostic command failed on " + d.name, now));
+        } else if (h.silent_loss > 0.05 && rand.chance(0.5)) {
+            // Internal drop counters sometimes betray a gray failure.
+            out.push_back(device_alert(data_source::patrol_inspection, d, "patrol command error",
+                                       "patrol: internal drop counters rising on " + d.name, now,
+                                       h.silent_loss));
+        }
+        if (h.cpu > 0.95) {
+            out.push_back(device_alert(data_source::patrol_inspection, d, "patrol timeout",
+                                       "patrol: command timed out on " + d.name, now));
+        }
+    }
+}
+
+}  // namespace skynet

@@ -1,0 +1,113 @@
+#include "skynet/monitors/extended_monitors.h"
+
+#include "skynet/alert/type_registry.h"
+
+namespace skynet {
+
+void register_extended_alert_types(alert_type_registry& registry) {
+    registry.register_type(data_source::internet_telemetry, "user probe loss",
+                           alert_category::failure);
+    registry.register_type(data_source::internet_telemetry, "user probe unreachable",
+                           alert_category::failure);
+    registry.register_type(data_source::internet_telemetry, "user probe slow",
+                           alert_category::failure);
+    registry.register_type(data_source::inband_telemetry, "srte bundle degraded",
+                           alert_category::root_cause);
+    registry.register_type(data_source::inband_telemetry, "srte bundle dead",
+                           alert_category::root_cause);
+}
+
+// --- user-side telemetry -----------------------------------------------------
+
+user_telemetry_monitor::user_telemetry_monitor(const topology& topo, config cfg,
+                                               monitor_options opts)
+    : topo_(&topo), cfg_(cfg), opts_(opts) {
+    // Vantage points: the ISP peers (stand-ins for customer clients out
+    // on the internet). Targets: a sample of clusters per region.
+    std::vector<device_id> isps;
+    for (const device& d : topo.devices()) {
+        if (d.role == device_role::isp) isps.push_back(d.id);
+    }
+    for (device_id isp : isps) {
+        int sampled = 0;
+        for (const location& cluster : topo.clusters_under(location{})) {
+            if (sampled++ % 4 != 0) continue;  // every fourth cluster
+            probes_.emplace_back(isp, cluster);
+        }
+    }
+}
+
+void user_telemetry_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                                  std::vector<raw_alert>& out) {
+    for (const auto& [isp, cluster] : probes_) {
+        const auto target = state.representative(cluster);
+        if (!target) continue;
+        // Round-trip view: the reply path crosses the border peer, so
+        // trouble beyond it shows up in the probe.
+        const network_state::probe_result r = state.probe(*target, isp);
+
+        raw_alert a;
+        a.source = data_source::internet_telemetry;
+        a.timestamp = now;
+        a.loc = cluster;
+        a.src_loc = cluster;  // the user's view localizes to the target
+        if (!r.reachable) {
+            a.kind = "user probe unreachable";
+            a.message = "user telemetry: no path from client to " + cluster.to_string();
+            a.metric = 1.0;
+            out.push_back(std::move(a));
+        } else if (r.loss > cfg_.loss_threshold) {
+            a.kind = "user probe loss";
+            a.message = "user telemetry: loss into " + cluster.to_string();
+            a.metric = r.loss;
+            out.push_back(std::move(a));
+        } else if (r.latency_ms > cfg_.latency_threshold_ms) {
+            a.kind = "user probe slow";
+            a.message = "user telemetry: slow path into " + cluster.to_string();
+            a.metric = r.latency_ms;
+            out.push_back(std::move(a));
+        }
+    }
+    (void)rand;
+}
+
+// --- SRTE label probing ---------------------------------------------------------
+
+srte_probe_monitor::srte_probe_monitor(const topology& topo, config cfg, monitor_options opts)
+    : topo_(&topo), cfg_(cfg), opts_(opts) {}
+
+void srte_probe_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                              std::vector<raw_alert>& out) {
+    for (const circuit_set& cs : topo_->circuit_sets()) {
+        // Label-steered probes exercise every circuit of the bundle
+        // directly: the verdict is the exact break ratio.
+        const double broken = state.break_ratio(cs.id);
+        if (broken < cfg_.degraded_threshold) continue;
+
+        raw_alert a;
+        a.source = data_source::inband_telemetry;
+        a.timestamp = now;
+        a.kind = broken >= 1.0 ? "srte bundle dead" : "srte bundle degraded";
+        a.message = "srte: " + cs.name + " break ratio " + std::to_string(broken);
+        a.metric = broken;
+        // Attributed to the near endpoint but located at the bundle's
+        // common ancestor: the verdict concerns the whole bundle.
+        a.device = cs.a;
+        a.loc = location::common_ancestor(topo_->device_at(cs.a).loc,
+                                          topo_->device_at(cs.b).loc);
+        if (a.loc.is_root()) a.loc = topo_->device_at(cs.a).loc.parent();
+        out.push_back(std::move(a));
+    }
+    (void)rand;
+}
+
+std::vector<std::unique_ptr<monitor_tool>> make_extended_monitors(const topology& topo,
+                                                                  monitor_options opts) {
+    std::vector<std::unique_ptr<monitor_tool>> tools;
+    tools.push_back(
+        std::make_unique<user_telemetry_monitor>(topo, user_telemetry_monitor::config{}, opts));
+    tools.push_back(std::make_unique<srte_probe_monitor>(topo, srte_probe_monitor::config{}, opts));
+    return tools;
+}
+
+}  // namespace skynet

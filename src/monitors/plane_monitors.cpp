@@ -1,0 +1,166 @@
+#include "skynet/monitors/plane_monitors.h"
+
+#include <algorithm>
+
+#include "skynet/monitors/device_monitors.h"
+#include "skynet/monitors/probing.h"
+
+namespace skynet {
+namespace {
+
+raw_alert set_alert(data_source src, const topology& topo, const circuit_set& cs, std::string kind,
+                    std::string message, sim_time now, double metric) {
+    raw_alert a;
+    a.source = src;
+    a.timestamp = now;
+    a.kind = std::move(kind);
+    a.message = std::move(message);
+    a.metric = metric;
+    a.loc = location::common_ancestor(topo.device_at(cs.a).loc, topo.device_at(cs.b).loc);
+    if (a.loc.is_root()) a.loc = topo.device_at(cs.a).loc.parent();
+    if (!cs.circuits.empty()) a.link = cs.circuits.front();
+    return a;
+}
+
+}  // namespace
+
+// --- traffic statistics -----------------------------------------------------
+
+void traffic_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                           std::vector<raw_alert>& out) {
+    for (const circuit_set& cs : topo_->circuit_sets()) {
+        const double loss = state.traversal_loss(cs.id);
+        if (loss > 0.01) {
+            out.push_back(set_alert(data_source::traffic_stats, *topo_, cs, "sflow packet loss",
+                                    "sflow: sampled loss on " + cs.name, now, loss));
+        }
+
+        const double carried =
+            std::min(state.offered_gbps(cs.id), state.live_capacity_gbps(cs.id)) *
+            (1.0 - loss);
+        auto [it, inserted] = baseline_.try_emplace(cs.id, carried);
+        if (!inserted) {
+            const double base = it->second;
+            if (base > 1.0 && carried < base * 0.5) {
+                out.push_back(set_alert(data_source::traffic_stats, *topo_, cs, "traffic drop",
+                                        "netflow: traffic down on " + cs.name, now,
+                                        carried / base));
+            } else if (base > 1.0 && carried > base * 1.5) {
+                out.push_back(set_alert(data_source::traffic_stats, *topo_, cs, "traffic surge",
+                                        "netflow: traffic spike on " + cs.name, now,
+                                        carried / base));
+            }
+            it->second = base * 0.98 + carried * 0.02;
+        }
+
+        // SLA flows beyond committed rate on this set.
+        int over = 0;
+        for (sla_flow_id f : state.customers().flows_on(cs.id)) {
+            if (state.flow_rate_gbps(f) > state.customers().flow_at(f).committed_gbps) ++over;
+        }
+        if (over > 0) {
+            out.push_back(set_alert(data_source::traffic_stats, *topo_, cs,
+                                    "sla flow beyond limit",
+                                    "netflow: " + std::to_string(over) + " SLA flows over limit",
+                                    now, static_cast<double>(over)));
+        }
+    }
+    (void)rand;
+}
+
+// --- route monitoring ---------------------------------------------------------
+
+void route_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                         std::vector<raw_alert>& out) {
+    for (const route_incident& r : state.route_incidents()) {
+        raw_alert a;
+        a.source = data_source::route_monitoring;
+        a.timestamp = now;
+        a.loc = r.where;
+        switch (r.what) {
+            case route_incident::kind::default_route_loss:
+                a.kind = "default route loss";
+                a.message = "route: default route withdrawn at " + r.where.to_string();
+                break;
+            case route_incident::kind::aggregate_route_loss:
+                a.kind = "aggregate route loss";
+                a.message = "route: aggregate missing at " + r.where.to_string();
+                break;
+            case route_incident::kind::hijack:
+                a.kind = "route hijack";
+                a.message = "route: more-specific hijack seen at " + r.where.to_string();
+                break;
+            case route_incident::kind::leak:
+                a.kind = "route leak";
+                a.message = "route: leaked prefixes at " + r.where.to_string();
+                break;
+            case route_incident::kind::churn:
+                a.kind = "route churn";
+                a.message = "route: update churn at " + r.where.to_string();
+                break;
+        }
+        out.push_back(std::move(a));
+    }
+    // BGP session jitter shows up as update churn in the control plane.
+    for (const device& d : topo_->devices()) {
+        if (d.role == device_role::isp) continue;
+        const device_health& h = state.device_state(d.id);
+        if (h.alive && h.bgp_flapping && rand.chance(0.02)) {
+            raw_alert a;
+            a.source = data_source::route_monitoring;
+            a.timestamp = now;
+            a.kind = "route churn";
+            a.message = "route: update churn from " + d.name;
+            a.loc = d.loc;
+            a.device = d.id;
+            out.push_back(std::move(a));
+        }
+    }
+}
+
+// --- modification events --------------------------------------------------------
+
+void modification_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                                std::vector<raw_alert>& out) {
+    const auto& events = state.modifications();
+    for (; seen_ < events.size(); ++seen_) {
+        const modification_event& e = events[seen_];
+        raw_alert a;
+        a.source = data_source::modification_events;
+        a.timestamp = now;
+        a.loc = e.where;
+        if (e.failed) {
+            a.kind = "modification failed";
+            a.message = "change system: modification failed at " + e.where.to_string();
+        } else {
+            a.kind = "rollback executed";
+            a.message = "change system: rollback executed at " + e.where.to_string();
+        }
+        out.push_back(std::move(a));
+    }
+    (void)rand;
+}
+
+// --- factory ----------------------------------------------------------------------
+
+std::vector<std::unique_ptr<monitor_tool>> make_all_monitors(const topology& topo,
+                                                             monitor_options opts) {
+    std::vector<std::unique_ptr<monitor_tool>> tools;
+    tools.push_back(std::make_unique<ping_mesh>(topo, ping_mesh::config{}, opts));
+    tools.push_back(
+        std::make_unique<traceroute_monitor>(topo, traceroute_monitor::config{}, opts));
+    tools.push_back(std::make_unique<oob_monitor>(topo, opts));
+    tools.push_back(std::make_unique<traffic_monitor>(topo, opts));
+    tools.push_back(std::make_unique<internet_telemetry_monitor>(
+        topo, internet_telemetry_monitor::config{}, opts));
+    tools.push_back(std::make_unique<syslog_source>(topo, opts));
+    tools.push_back(std::make_unique<snmp_monitor>(topo, opts));
+    tools.push_back(std::make_unique<int_monitor>(topo, opts));
+    tools.push_back(std::make_unique<ptp_monitor>(topo, opts));
+    tools.push_back(std::make_unique<route_monitor>(topo, opts));
+    tools.push_back(std::make_unique<modification_monitor>(topo, opts));
+    tools.push_back(std::make_unique<patrol_monitor>(topo, opts));
+    return tools;
+}
+
+}  // namespace skynet

@@ -1,0 +1,220 @@
+#include "skynet/monitors/probing.h"
+
+#include <unordered_set>
+
+namespace skynet {
+
+// --- ping mesh --------------------------------------------------------------
+
+ping_mesh::ping_mesh(const topology& topo, config cfg, monitor_options opts)
+    : topo_(&topo), cfg_(cfg), opts_(opts), clusters_(topo.clusters_under(location{})) {}
+
+void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
+                     std::vector<raw_alert>& out) {
+    if (clusters_.size() < 2) return;
+    for (int i = 0; i < cfg_.pairs_per_poll; ++i) {
+        const location& src = rand.pick(clusters_);
+        const location& dst = rand.pick(clusters_);
+        if (src == dst) continue;
+        const auto sd = state.representative(src);
+        const auto dd = state.representative(dst);
+        if (!sd || !dd) continue;
+
+        const network_state::probe_result r = state.probe(*sd, *dd);
+        raw_alert a;
+        a.source = data_source::ping;
+        a.timestamp = now;
+        a.src_loc = src;
+        a.dst_loc = dst;
+        // Triangulate before blaming an endpoint: if src still reaches a
+        // third cluster cleanly, the trouble is on the dst side. This is
+        // how mesh probers attribute loss to "the affected link" (§4.1)
+        // instead of smearing it over both healthy and sick endpoints.
+        const bool probe_bad =
+            !r.reachable || r.loss > cfg_.loss_threshold || r.latency_ms > cfg_.latency_threshold_ms;
+        if (probe_bad) {
+            const location& ref = rand.pick(clusters_);
+            std::optional<bool> src_clean;
+            if (ref != src && ref != dst) {
+                if (const auto rd = state.representative(ref)) {
+                    const auto r2 = state.probe(*sd, *rd);
+                    src_clean = r2.reachable && r2.loss <= cfg_.loss_threshold;
+                }
+            }
+            if (src_clean.has_value()) {
+                // Source reaches a third cluster cleanly -> the trouble is
+                // on the destination side; source lossy everywhere -> the
+                // source side is the suspect.
+                a.loc = *src_clean ? dst : src;
+            } else {
+                a.loc = location::common_ancestor(src, dst);
+                if (a.loc.is_root()) a.loc = dst;
+            }
+        }
+        if (!r.reachable) {
+            a.kind = "unreachable pair";
+            a.message = "ping: no reply " + src.to_string() + " -> " + dst.to_string();
+            a.metric = 1.0;
+            out.push_back(std::move(a));
+        } else if (r.loss > cfg_.loss_threshold) {
+            a.kind = "packet loss";
+            a.message = "ping: loss " + std::to_string(r.loss * 100.0) + "% " + src.to_string() +
+                        " -> " + dst.to_string();
+            a.metric = r.loss;
+            out.push_back(std::move(a));
+        } else if (r.latency_ms > cfg_.latency_threshold_ms) {
+            a.kind = "high latency";
+            a.message = "ping: rtt " + std::to_string(r.latency_ms) + "ms";
+            a.metric = r.latency_ms;
+            out.push_back(std::move(a));
+        }
+    }
+    // Sporadic single-probe blips (filtered by the preprocessor's
+    // persistence rule).
+    if (opts_.noise_rate > 0.0 && rand.chance(opts_.noise_rate)) {
+        const location& src = rand.pick(clusters_);
+        const location& dst = rand.pick(clusters_);
+        if (src != dst) {
+            raw_alert a;
+            a.source = data_source::ping;
+            a.timestamp = now;
+            a.kind = "packet loss";
+            a.message = "ping: transient blip";
+            a.loc = src;  // a momentary local artifact at the prober
+            a.src_loc = src;
+            a.dst_loc = dst;
+            a.metric = 0.02;
+            out.push_back(std::move(a));
+        }
+    }
+}
+
+// --- traceroute ---------------------------------------------------------------
+
+traceroute_monitor::traceroute_monitor(const topology& topo, config cfg, monitor_options opts)
+    : topo_(&topo), cfg_(cfg), opts_(opts), clusters_(topo.clusters_under(location{})) {}
+
+void traceroute_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                              std::vector<raw_alert>& out) {
+    if (clusters_.size() < 2) return;
+    for (int i = 0; i < cfg_.pairs_per_poll; ++i) {
+        const std::size_t si = rand.index(clusters_.size());
+        const std::size_t di = rand.index(clusters_.size());
+        if (si == di) continue;
+        const location& src = clusters_[si];
+        const location& dst = clusters_[di];
+        const auto sd = state.representative(src);
+        const auto dd = state.representative(dst);
+        if (!sd || !dd) continue;
+
+        const network_state::probe_result r = state.probe(*sd, *dd);
+        if (!r.reachable) continue;  // traceroute times out silently
+
+        const std::string key = src.to_string() + ">" + dst.to_string();
+        auto [it, inserted] = baseline_paths_.try_emplace(key, r.hops);
+        raw_alert base;
+        base.source = data_source::traceroute;
+        base.timestamp = now;
+        base.loc = location::common_ancestor(src, dst);
+        if (base.loc.is_root()) base.loc = src.ancestor_at(hierarchy_level::region);
+        base.src_loc = src;
+        base.dst_loc = dst;
+
+        if (!inserted && it->second != r.hops) {
+            raw_alert a = base;
+            a.kind = "path change";
+            a.message = "traceroute: path changed " + key;
+            out.push_back(std::move(a));
+            it->second = r.hops;
+        }
+        if (r.loss > cfg_.hop_loss_threshold) {
+            // Attribute the loss to the most suspicious hop (the way
+            // traceroute-based localizers vote on links), not to a coarse
+            // common ancestor that would weld unrelated incidents.
+            device_id suspect = r.hops.size() >= 2 ? r.hops[r.hops.size() / 2] : *sd;
+            double worst = -1.0;
+            for (device_id hop : r.hops) {
+                const double hop_loss = state.device_state(hop).silent_loss;
+                if (hop_loss > worst) {
+                    worst = hop_loss;
+                    suspect = hop;
+                }
+            }
+            raw_alert a = base;
+            a.kind = "hop loss";
+            a.message = "traceroute: probe loss along " + key;
+            a.metric = r.loss;
+            a.loc = topo_->device_at(suspect).loc;
+            a.device = suspect;
+            out.push_back(std::move(a));
+        }
+        // Attribute queueing delay to the congested hop.
+        for (std::size_t h = 0; h + 1 < r.hops.size(); ++h) {
+            const device_id hop = r.hops[h];
+            for (circuit_set_id cs : topo_->circuit_sets_of(hop)) {
+                if (state.utilization(cs) > 0.95) {
+                    raw_alert a = base;
+                    a.kind = "hop latency spike";
+                    a.message = "traceroute: latency spike at " + topo_->device_at(hop).name;
+                    a.loc = topo_->device_at(hop).loc;
+                    a.device = hop;
+                    out.push_back(std::move(a));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// --- internet telemetry ---------------------------------------------------------
+
+internet_telemetry_monitor::internet_telemetry_monitor(const topology& topo, config cfg,
+                                                       monitor_options opts)
+    : topo_(&topo), cfg_(cfg), opts_(opts) {
+    // Enumerate logic sites and find their region's ISP peer.
+    std::unordered_set<location, location_hash> seen;
+    for (const device& d : topo.devices()) {
+        if (d.role != device_role::isr) continue;
+        const location ls = d.loc.ancestor_at(hierarchy_level::logic_site);
+        if (!seen.insert(ls).second) continue;
+        for (link_id lid : topo.links_of(d.id)) {
+            const link& l = topo.link_at(lid);
+            if (!l.internet_entry) continue;
+            const device_id isp = topo.device_at(l.a).role == device_role::isp ? l.a : l.b;
+            probes_.emplace_back(ls, isp);
+            break;
+        }
+    }
+}
+
+void internet_telemetry_monitor::poll(const network_state& state, sim_time now, rng& rand,
+                                      std::vector<raw_alert>& out) {
+    for (const auto& [ls, isp] : probes_) {
+        const auto src = state.representative(ls);
+        if (!src) continue;
+        const network_state::probe_result r = state.probe(*src, isp);
+        raw_alert a;
+        a.source = data_source::internet_telemetry;
+        a.timestamp = now;
+        a.loc = ls;
+        if (!r.reachable) {
+            a.kind = "internet unreachable";
+            a.message = "internet probe timed out from " + ls.to_string();
+            a.metric = 1.0;
+            out.push_back(std::move(a));
+        } else if (r.loss > cfg_.loss_threshold) {
+            a.kind = "internet packet loss";
+            a.message = "internet probe loss from " + ls.to_string();
+            a.metric = r.loss;
+            out.push_back(std::move(a));
+        } else if (r.latency_ms > cfg_.latency_threshold_ms) {
+            a.kind = "internet high latency";
+            a.message = "internet probe slow from " + ls.to_string();
+            a.metric = r.latency_ms;
+            out.push_back(std::move(a));
+        }
+    }
+    (void)rand;
+}
+
+}  // namespace skynet

@@ -1,0 +1,109 @@
+#include "skynet/sim/engine.h"
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+simulation_engine::simulation_engine(const topology* topo, const customer_registry* customers,
+                                     engine_params params)
+    : topo_(topo), state_(topo, customers), rand_(params.seed), params_(params) {}
+
+void simulation_engine::add_monitor(std::unique_ptr<monitor_tool> tool) {
+    // Stagger the first poll across the tool's period — real sweeps are
+    // not phase-aligned, and a 5-minute patrol that always fired at the
+    // same instant as every other tool would systematically miss short
+    // failures.
+    const sim_duration phase = rand_.uniform_int(0, tool->period());
+    monitors_.push_back(monitor_slot{.tool = std::move(tool), .next_due = clock_.now() + phase});
+}
+
+void simulation_engine::add_default_monitors(monitor_options opts) {
+    for (auto& tool : make_all_monitors(*topo_, opts)) {
+        add_monitor(std::move(tool));
+    }
+}
+
+void simulation_engine::inject(std::unique_ptr<scenario> s, sim_time start,
+                               sim_duration duration) {
+    if (s == nullptr) throw skynet_error("inject: null scenario");
+    scenario_record record{.name = s->name(),
+                           .cause = s->cause(),
+                           .scope = s->scope(),
+                           .scopes = s->scopes(),
+                           .active = time_range{start, start + duration},
+                           .severe = s->severe(),
+                           .benign = s->benign(),
+                           .must_detect = s->must_detect(),
+                           .culprit = s->culprit()};
+    records_.push_back(std::move(record));
+    scheduled_.push_back(scheduled{.s = std::move(s),
+                                   .start = start,
+                                   .end = start + duration,
+                                   .started = false,
+                                   .finished = false,
+                                   .record = records_.size() - 1});
+}
+
+sim_duration simulation_engine::delivery_delay(const raw_alert& alert) {
+    if (alert.source == data_source::snmp && alert.device &&
+        topo_->device_at(*alert.device).legacy_slow_snmp) {
+        // Weak-CPU devices hold SNMP notifications for up to ~2 minutes.
+        return rand_.uniform_int(seconds(20), params_.legacy_snmp_max_delay);
+    }
+    // Everything else: collection-path jitter up to a couple of seconds.
+    return rand_.uniform_int(0, seconds(2));
+}
+
+void simulation_engine::run_until(sim_time end, const alert_sink& sink, const tick_hook& hook) {
+    std::vector<raw_alert> batch;
+    while (clock_.now() < end) {
+        const sim_time now = clock_.now();
+
+        // Scenario lifecycle.
+        bool state_changed = false;
+        for (scheduled& sc : scheduled_) {
+            if (!sc.started && now >= sc.start && now < sc.end) {
+                sc.s->on_start(state_, rand_, now);
+                sc.started = true;
+                state_changed = true;
+            }
+            if (sc.started && !sc.finished) {
+                if (now >= sc.end) {
+                    sc.s->on_end(state_, rand_, now);
+                    sc.finished = true;
+                    state_changed = true;
+                } else {
+                    sc.s->on_tick(state_, rand_, now);
+                    state_changed = true;
+                }
+            }
+        }
+        if (state_changed) state_.apply_traffic_shift();
+
+        // Monitors whose period elapsed.
+        for (monitor_slot& slot : monitors_) {
+            if (now < slot.next_due) continue;
+            slot.next_due = now + slot.tool->period();
+            batch.clear();
+            slot.tool->poll(state_, now, rand_, batch);
+            for (raw_alert& alert : batch) {
+                queue_.push(pending_delivery{.arrival = now + delivery_delay(alert),
+                                             .seq = seq_++,
+                                             .alert = std::move(alert)});
+            }
+        }
+
+        // Deliver everything that has arrived by the end of this tick.
+        const sim_time tick_end = now + params_.tick;
+        while (!queue_.empty() && queue_.top().arrival <= tick_end) {
+            const pending_delivery& top = queue_.top();
+            if (sink) sink(top.alert, top.arrival);
+            queue_.pop();
+        }
+
+        clock_.advance(params_.tick);
+        if (hook) hook(clock_.now());
+    }
+}
+
+}  // namespace skynet

@@ -1,0 +1,294 @@
+#include "skynet/sim/network_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+network_state::network_state(const topology* topo, const customer_registry* customers)
+    : topo_(topo), customers_(customers) {
+    if (topo_ == nullptr || customers_ == nullptr) {
+        throw skynet_error("network_state: null topology or customer registry");
+    }
+    devices_.resize(topo_->devices().size());
+    links_.resize(topo_->links().size());
+    offered_.resize(topo_->circuit_sets().size(), 0.0);
+    demand_.resize(topo_->circuit_sets().size(), 0.0);
+    flow_rates_.resize(customers_->sla_flows().size(), 0.0);
+    reset_traffic();
+}
+
+device_health& network_state::device_state(device_id id) {
+    if (id >= devices_.size()) throw skynet_error("network_state::device: bad id");
+    return devices_[id];
+}
+const device_health& network_state::device_state(device_id id) const {
+    if (id >= devices_.size()) throw skynet_error("network_state::device: bad id");
+    return devices_[id];
+}
+link_health& network_state::link_state(link_id id) {
+    if (id >= links_.size()) throw skynet_error("network_state::link: bad id");
+    return links_[id];
+}
+const link_health& network_state::link_state(link_id id) const {
+    if (id >= links_.size()) throw skynet_error("network_state::link: bad id");
+    return links_[id];
+}
+
+bool network_state::link_usable(link_id id) const {
+    const link& l = topo_->link_at(id);
+    if (!links_[id].up) return false;
+    const device_health& da = devices_[l.a];
+    const device_health& db = devices_[l.b];
+    return da.alive && !da.isolated && db.alive && !db.isolated;
+}
+
+double network_state::break_ratio(circuit_set_id cset) const {
+    const circuit_set& cs = topo_->circuit_set_at(cset);
+    if (cs.circuits.empty()) return 0.0;
+    int broken = 0;
+    for (link_id lid : cs.circuits) {
+        if (!link_usable(lid)) ++broken;
+    }
+    return static_cast<double>(broken) / static_cast<double>(cs.circuits.size());
+}
+
+double network_state::live_capacity_gbps(circuit_set_id cset) const {
+    const circuit_set& cs = topo_->circuit_set_at(cset);
+    double cap = 0.0;
+    for (link_id lid : cs.circuits) {
+        if (link_usable(lid)) cap += topo_->link_at(lid).capacity_gbps;
+    }
+    return cap;
+}
+
+double network_state::offered_gbps(circuit_set_id cset) const {
+    if (cset >= offered_.size()) throw skynet_error("offered_gbps: bad id");
+    return offered_[cset];
+}
+
+void network_state::set_offered_gbps(circuit_set_id cset, double gbps) {
+    if (cset >= offered_.size()) throw skynet_error("set_offered_gbps: bad id");
+    demand_[cset] = std::max(0.0, gbps);
+    offered_[cset] = demand_[cset];
+}
+
+double network_state::utilization(circuit_set_id cset) const {
+    const double cap = live_capacity_gbps(cset);
+    const double load = offered_gbps(cset);
+    if (cap <= 0.0) return load > 0.0 ? 100.0 : 0.0;
+    return load / cap;
+}
+
+double network_state::congestion_loss(circuit_set_id cset) const {
+    const double util = utilization(cset);
+    if (util <= congestion_knee) return 0.0;
+    if (util >= 1.0) {
+        // Everything beyond capacity is dropped.
+        return std::min(0.99, (util - 1.0 + 0.02) / util);
+    }
+    // Queue-tail drops ramp from 0 at the knee to ~2 % at full load.
+    return 0.02 * (util - congestion_knee) / (1.0 - congestion_knee);
+}
+
+double network_state::traversal_loss(circuit_set_id cset) const {
+    const circuit_set& cs = topo_->circuit_set_at(cset);
+    double corruption = 0.0;
+    int usable = 0;
+    for (link_id lid : cs.circuits) {
+        if (!link_usable(lid)) continue;
+        corruption += links_[lid].corruption_loss;
+        ++usable;
+    }
+    if (usable > 0) corruption /= usable;
+    // Loss beyond the ISP boundary is invisible to our sampling points
+    // (sFlow/INT run on our devices); only end-to-end internet probes
+    // see it.
+    double silent = 0.0;
+    for (device_id endpoint : {cs.a, cs.b}) {
+        if (topo_->device_at(endpoint).role != device_role::isp) {
+            silent += devices_[endpoint].silent_loss;
+        }
+    }
+    const double total = congestion_loss(cset) + corruption + silent;
+    return std::min(0.99, total);
+}
+
+double network_state::flow_rate_gbps(sla_flow_id id) const {
+    if (id >= flow_rates_.size()) throw skynet_error("flow_rate_gbps: bad id");
+    return flow_rates_[id];
+}
+
+void network_state::set_flow_rate_gbps(sla_flow_id id, double gbps) {
+    if (id >= flow_rates_.size()) throw skynet_error("set_flow_rate_gbps: bad id");
+    flow_rates_[id] = std::max(0.0, gbps);
+}
+
+double network_state::sla_overload_ratio(circuit_set_id cset) const {
+    const std::span<const sla_flow_id> flows = customers_->flows_on(cset);
+    if (flows.empty()) return 0.0;
+    const bool loss_violated = traversal_loss(cset) > sla_loss_limit;
+    int over = 0;
+    for (sla_flow_id f : flows) {
+        if (loss_violated || flow_rates_[f] > customers_->flow_at(f).committed_gbps) ++over;
+    }
+    return static_cast<double>(over) / static_cast<double>(flows.size());
+}
+
+double network_state::max_sla_overload(std::span<const circuit_set_id> csets) const {
+    double best = 0.0;
+    for (circuit_set_id cs : csets) {
+        const std::span<const sla_flow_id> flows = customers_->flows_on(cs);
+        if (flows.empty()) continue;
+        // Loss violation: the loss ratio itself (comparable to R_k).
+        const double loss = traversal_loss(cs);
+        if (loss > sla_loss_limit) {
+            best = std::max(best, std::clamp(loss, 0.0, 1.0));
+        }
+        for (sla_flow_id f : flows) {
+            const double committed = customers_->flow_at(f).committed_gbps;
+            if (committed <= 0.0) continue;
+            const double overshoot = flow_rates_[f] / committed - 1.0;
+            best = std::max(best, std::clamp(overshoot, 0.0, 1.0));
+        }
+    }
+    return best;
+}
+
+network_state::probe_result network_state::probe(device_id src, device_id dst) const {
+    probe_result result;
+    if (src >= devices_.size() || dst >= devices_.size()) {
+        throw skynet_error("probe: bad device id");
+    }
+    if (!devices_[src].alive || !devices_[dst].alive) return result;
+    if (src == dst) {
+        result.reachable = true;
+        result.hops = {src};
+        return result;
+    }
+
+    // BFS over usable links; parent tracking for path recovery.
+    std::vector<link_id> via(devices_.size(), invalid_link);
+    std::vector<device_id> parent(devices_.size(), invalid_device);
+    std::vector<bool> seen(devices_.size(), false);
+    seen[src] = true;
+    std::deque<device_id> frontier{src};
+    bool found = false;
+    while (!frontier.empty() && !found) {
+        const device_id cur = frontier.front();
+        frontier.pop_front();
+        for (link_id lid : topo_->links_of(cur)) {
+            if (!link_usable(lid)) continue;
+            const link& l = topo_->link_at(lid);
+            const device_id other = (l.a == cur) ? l.b : l.a;
+            if (seen[other]) continue;
+            seen[other] = true;
+            parent[other] = cur;
+            via[other] = lid;
+            if (other == dst) {
+                found = true;
+                break;
+            }
+            frontier.push_back(other);
+        }
+    }
+    if (!found) return result;
+
+    // Accumulate loss and latency along the recovered path.
+    result.reachable = true;
+    double pass = 1.0;
+    double latency = 0.0;
+    device_id cur = dst;
+    while (cur != src) {
+        result.hops.push_back(cur);
+        const link_id lid = via[cur];
+        const link& l = topo_->link_at(lid);
+        const circuit_set_id cset = l.cset;
+        double hop_loss = links_[lid].corruption_loss + devices_[cur].silent_loss;
+        double hop_latency = 0.05;  // base per-hop forwarding delay (ms)
+        if (cset != invalid_circuit_set) {
+            hop_loss += congestion_loss(cset);
+            const double util = utilization(cset);
+            if (util > 0.8) hop_latency += 2.0 * (util - 0.8) * 10.0;  // queueing delay
+        }
+        pass *= 1.0 - std::min(0.99, hop_loss);
+        latency += hop_latency;
+        cur = parent[cur];
+    }
+    result.hops.push_back(src);
+    std::reverse(result.hops.begin(), result.hops.end());
+    result.loss = 1.0 - pass;
+    result.latency_ms = latency;
+    return result;
+}
+
+std::optional<device_id> network_state::representative(const location& cluster) const {
+    // Prefer an alive ToR; fall back to any device under the location.
+    std::optional<device_id> any;
+    for (const device& d : topo_->devices()) {
+        if (!cluster.contains(d.loc)) continue;
+        if (!any) any = d.id;
+        if (d.role == device_role::tor && devices_[d.id].alive) return d.id;
+    }
+    return any;
+}
+
+void network_state::reset_traffic(double baseline_util) {
+    for (const circuit_set& cs : topo_->circuit_sets()) {
+        double cap = 0.0;
+        for (link_id lid : cs.circuits) cap += topo_->link_at(lid).capacity_gbps;
+        demand_[cs.id] = cap * baseline_util;
+        offered_[cs.id] = demand_[cs.id];
+    }
+    for (const sla_flow& f : customers_->sla_flows()) {
+        flow_rates_[f.id] = f.committed_gbps * 0.7;
+    }
+}
+
+void network_state::clear_route_incidents(const location& scope) {
+    std::erase_if(route_incidents_,
+                  [&scope](const route_incident& r) { return scope.contains(r.where); });
+}
+
+void network_state::apply_traffic_shift() {
+    // Load of circuit sets with zero live capacity spills onto sibling
+    // sets: other sets sharing an endpoint device's group peers. This is
+    // the backup-path congestion mechanism of §2.2 — half the internet
+    // entry dies, the survivors melt.
+    for (const circuit_set& cs : topo_->circuit_sets()) {
+        offered_[cs.id] = demand_[cs.id];
+    }
+    for (const circuit_set& cs : topo_->circuit_sets()) {
+        const double cap = live_capacity_gbps(cs.id);
+        if (cap > 0.0) continue;
+        const double displaced = demand_[cs.id];
+        if (displaced <= 0.0) continue;
+
+        // Sibling sets: same endpoint pair roles, endpoints in the same
+        // groups. E.g. TOR1<->AGG1 dead, shift to TOR1<->AGG2.
+        std::vector<circuit_set_id> siblings;
+        for (device_id endpoint : {cs.a, cs.b}) {
+            for (circuit_set_id other_id : topo_->circuit_sets_of(endpoint)) {
+                if (other_id == cs.id) continue;
+                if (live_capacity_gbps(other_id) <= 0.0) continue;
+                const circuit_set& other = topo_->circuit_set_at(other_id);
+                const device_id far_mine = (cs.a == endpoint) ? cs.b : cs.a;
+                const device_id far_other = (other.a == endpoint) ? other.b : other.a;
+                // A real backup reaches an interchangeable peer device.
+                if (topo_->device_at(far_mine).group != invalid_group &&
+                    topo_->device_at(far_mine).group == topo_->device_at(far_other).group) {
+                    siblings.push_back(other_id);
+                }
+            }
+        }
+        if (siblings.empty()) continue;
+        const double share = displaced / static_cast<double>(siblings.size());
+        for (circuit_set_id s : siblings) offered_[s] += share;
+    }
+}
+
+}  // namespace skynet

@@ -1,0 +1,61 @@
+#include "skynet/sim/operator_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skynet {
+
+double mitigation_time_manual(const episode_observation& obs,
+                              const operator_model_params& params, rng& rand) {
+    // Triage: skim alerts until the root-cause alert is found. On
+    // average it sits somewhere in the middle of what the operator can
+    // read; floods beyond capacity mean it is probably never reached.
+    const int triaged = std::min(obs.raw_alerts, params.triage_capacity);
+    double t = params.seconds_per_alert * static_cast<double>(triaged) *
+               rand.uniform_real(0.4, 1.0);
+
+    // Wrong hypotheses: the §2.2 pattern — isolate devices, suspect
+    // cables, only later find the congestion alert.
+    const double expected_wrong =
+        std::min(static_cast<double>(params.max_wrong_paths),
+                 params.wrong_path_per_1000_alerts * static_cast<double>(obs.raw_alerts) / 1000.0);
+    int wrong = 0;
+    for (int i = 0; i < params.max_wrong_paths; ++i) {
+        if (rand.chance(expected_wrong / params.max_wrong_paths)) ++wrong;
+    }
+    t += static_cast<double>(wrong) * params.wrong_path_seconds * rand.uniform_real(0.6, 1.2);
+
+    // Root cause buried beyond triage capacity, or absent entirely:
+    // ad-hoc spelunking through devices.
+    const bool buried = obs.raw_alerts > params.triage_capacity;
+    if (!obs.root_cause_alert_present || buried) {
+        t += params.undetected_penalty_seconds * rand.uniform_real(0.5, 1.5);
+    }
+
+    t += params.action_seconds * rand.uniform_real(0.8, 1.4);
+    return t;
+}
+
+double mitigation_time_skynet(const episode_observation& obs,
+                              const operator_model_params& params, rng& rand) {
+    // The operator reads the ranked incident reports; the top one is
+    // usually the failure.
+    const int reports = std::max(1, obs.incident_reports);
+    double t = params.seconds_per_report * static_cast<double>(std::min(reports, 10)) *
+               rand.uniform_real(0.5, 1.0);
+
+    if (!obs.root_cause_surfaced) {
+        // SkyNet still narrowed the scope; the operator inspects the
+        // incident area manually, which is far cheaper than a blind sweep.
+        t += params.undetected_penalty_seconds * 0.25 * rand.uniform_real(0.5, 1.2);
+    }
+    if (!obs.zoomed) {
+        // No refined location: walk the incident subtree device by device.
+        t += 240.0 * rand.uniform_real(0.5, 1.5);
+    }
+
+    t += params.action_seconds * rand.uniform_real(0.8, 1.4);
+    return t;
+}
+
+}  // namespace skynet

@@ -1,0 +1,757 @@
+#include "skynet/sim/scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+std::string_view to_string(root_cause cause) noexcept {
+    switch (cause) {
+        case root_cause::device_hardware: return "device hardware error";
+        case root_cause::link_error: return "link error";
+        case root_cause::modification_error: return "network modification error";
+        case root_cause::device_software: return "device software error";
+        case root_cause::infrastructure: return "infrastructure error";
+        case root_cause::route_error: return "route error";
+        case root_cause::security: return "security error";
+        case root_cause::configuration: return "configuration error";
+    }
+    return "?";
+}
+
+double root_cause_share(root_cause cause) noexcept {
+    switch (cause) {
+        case root_cause::device_hardware: return 0.426;
+        case root_cause::link_error: return 0.185;
+        case root_cause::modification_error: return 0.167;
+        case root_cause::device_software: return 0.093;
+        case root_cause::infrastructure: return 0.093;
+        case root_cause::route_error: return 0.019;
+        case root_cause::security: return 0.019;
+        case root_cause::configuration: return 0.019;
+    }
+    return 0.0;
+}
+
+root_cause sample_root_cause(rng& rand) {
+    static constexpr std::array<root_cause, root_cause_count> causes = {
+        root_cause::device_hardware, root_cause::link_error,  root_cause::modification_error,
+        root_cause::device_software, root_cause::infrastructure, root_cause::route_error,
+        root_cause::security,        root_cause::configuration,
+    };
+    std::array<double, root_cause_count> weights{};
+    for (std::size_t i = 0; i < causes.size(); ++i) weights[i] = root_cause_share(causes[i]);
+    return causes[rand.weighted_index(weights)];
+}
+
+namespace {
+
+/// Picks a random device excluding ISP peers; `roles` restricts when
+/// non-empty.
+device_id pick_device(const topology& topo, rng& rand, std::vector<device_role> roles = {}) {
+    std::vector<device_id> candidates;
+    for (const device& d : topo.devices()) {
+        if (d.role == device_role::isp) continue;
+        if (!roles.empty() && std::find(roles.begin(), roles.end(), d.role) == roles.end()) {
+            continue;
+        }
+        candidates.push_back(d.id);
+    }
+    if (candidates.empty()) throw skynet_error("pick_device: no candidates");
+    return rand.pick(candidates);
+}
+
+location random_logic_site(const topology& topo, rng& rand) {
+    std::vector<location> sites;
+    std::unordered_set<location, location_hash> seen;
+    for (const device& d : topo.devices()) {
+        if (d.loc.depth() <= depth_of(hierarchy_level::logic_site)) continue;
+        location ls = d.loc.ancestor_at(hierarchy_level::logic_site);
+        if (ls.segments().front() == "ISP") continue;
+        if (seen.insert(ls).second) sites.push_back(ls);
+    }
+    if (sites.empty()) throw skynet_error("random_logic_site: none");
+    return rand.pick(sites);
+}
+
+// ---------------------------------------------------------------------------
+// Device hardware failure (42.6 %). Gray failure first (silent loss, BGP
+// jitter), the hardware-error syslog only minutes later (§7.3); the
+// severe variant eventually kills the device outright.
+class device_hardware_failure final : public scenario {
+public:
+    device_hardware_failure(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        victim_ = severe ? pick_device(topo, rand,
+                                       {device_role::csr, device_role::dcbr, device_role::bsr})
+                         : pick_device(topo, rand);
+        loc_ = topo.device_at(victim_).loc;
+        report_delay_ = minutes(rand.uniform_int(2, 5));
+        die_delay_ = report_delay_ + minutes(rand.uniform_int(1, 3));
+    }
+
+    std::string name() const override { return "device-hardware:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::device_hardware; }
+    location scope() const override { return severe_ ? loc_.parent() : loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return victim_; }
+
+    void on_start(network_state& state, rng& rand, sim_time now) override {
+        started_ = now;
+        device_health& h = state.device_state(victim_);
+        h.silent_loss = severe_ ? rand.uniform_real(0.15, 0.4) : rand.uniform_real(0.03, 0.15);
+        h.bgp_flapping = true;
+        h.cpu = std::max(h.cpu, rand.uniform_real(0.7, 0.95));
+    }
+
+    void on_tick(network_state& state, rng&, sim_time now) override {
+        device_health& h = state.device_state(victim_);
+        if (now - started_ >= report_delay_) h.hardware_fault = true;
+        if (severe_ && now - started_ >= die_delay_) h.alive = false;
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        state.device_state(victim_) = device_health{};
+    }
+
+private:
+    device_id victim_{invalid_device};
+    location loc_;
+    bool severe_;
+    sim_time started_{0};
+    sim_duration report_delay_{0};
+    sim_duration die_delay_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Link error (18.5 %): circuits break or corrupt. Severe variant takes a
+// whole circuit set down (plus a sibling), spilling load.
+class link_failure final : public scenario {
+public:
+    link_failure(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        // Pick among aggregation-tier sets (they have >1 circuit).
+        std::vector<circuit_set_id> candidates;
+        for (const circuit_set& cs : topo.circuit_sets()) {
+            if (cs.circuits.size() >= 2) candidates.push_back(cs.id);
+        }
+        if (candidates.empty()) {
+            for (const circuit_set& cs : topo.circuit_sets()) candidates.push_back(cs.id);
+        }
+        const circuit_set& cs = topo.circuit_set_at(rand.pick(candidates));
+        corruption_ = rand.chance(0.3);
+        if (corruption_ && severe_) {
+            // A failing linecard: every bundle of the device corrupts —
+            // the wide blast radius that makes a corruption event severe.
+            for (circuit_set_id other : topo.circuit_sets_of(cs.a)) {
+                for (link_id lid : topo.circuit_set_at(other).circuits) {
+                    victims_.push_back(lid);
+                }
+            }
+            loc_ = topo.device_at(cs.a).loc.parent();
+        } else {
+            const std::size_t n = cs.circuits.size();
+            const std::size_t kill = severe_ ? n : std::max<std::size_t>(1, n / 4);
+            for (std::size_t i = 0; i < kill; ++i) victims_.push_back(cs.circuits[i]);
+            loc_ = location::common_ancestor(topo.device_at(cs.a).loc, topo.device_at(cs.b).loc);
+            if (loc_.is_root()) loc_ = topo.device_at(cs.a).loc.parent();
+        }
+        endpoint_a_ = cs.a;
+    }
+
+    std::string name() const override {
+        return std::string(corruption_ ? "link-corruption:" : "link-break:") +
+               std::string(loc_.leaf());
+    }
+    root_cause cause() const override { return root_cause::link_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+    bool must_detect() const override {
+        // A partial break of a redundant bundle reroutes cleanly: link-down
+        // tickets, no incident. Corruption keeps hurting packets, and a
+        // full break displaces traffic — both must surface.
+        return severe_ || corruption_;
+    }
+    std::optional<device_id> culprit() const override { return endpoint_a_; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        for (link_id lid : victims_) {
+            link_health& l = state.link_state(lid);
+            if (corruption_) {
+                l.corruption_loss = rand.uniform_real(0.02, 0.2);
+            } else {
+                l.up = false;
+            }
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (link_id lid : victims_) state.link_state(lid) = link_health{};
+    }
+
+private:
+    std::vector<link_id> victims_;
+    location loc_;
+    device_id endpoint_a_{invalid_device};
+    bool severe_;
+    bool corruption_{false};
+};
+
+// ---------------------------------------------------------------------------
+// Internet entry cut (§2.2): a fraction of a logic site's internet-entry
+// circuits fail simultaneously; survivors congest.
+class internet_entry_cut final : public scenario {
+public:
+    internet_entry_cut(const topology& topo, location logic_site, double fraction)
+        : loc_(std::move(logic_site)), fraction_(fraction) {
+        for (const link& l : topo.links()) {
+            if (!l.internet_entry) continue;
+            const device& a = topo.device_at(l.a);
+            const device& b = topo.device_at(l.b);
+            const device& isr = a.role == device_role::isr ? a : b;
+            if (loc_.contains(isr.loc)) entry_links_.push_back(l.id);
+        }
+        if (entry_links_.empty()) throw skynet_error("internet_entry_cut: no entry links");
+        entry_sets_.reserve(entry_links_.size());
+        for (link_id lid : entry_links_) {
+            const circuit_set_id cs = topo.link_at(lid).cset;
+            if (std::find(entry_sets_.begin(), entry_sets_.end(), cs) == entry_sets_.end()) {
+                entry_sets_.push_back(cs);
+            }
+        }
+    }
+
+    std::string name() const override { return "internet-entry-cut:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::link_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return true; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        const std::size_t kill =
+            std::max<std::size_t>(1, static_cast<std::size_t>(
+                                         static_cast<double>(entry_links_.size()) * fraction_));
+        std::vector<link_id> pool = entry_links_;
+        for (std::size_t i = 0; i < kill; ++i) {
+            const std::size_t pick = rand.index(pool.size());
+            state.link_state(pool[pick]).up = false;
+            victims_.push_back(pool[pick]);
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        // Entry traffic is near peak when the cut hits — this is what
+        // melts the survivors.
+        for (circuit_set_id cs : entry_sets_) {
+            saved_offered_.emplace_back(cs, state.offered_gbps(cs));
+            state.set_offered_gbps(cs, state.offered_gbps(cs) * 1.5);
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (link_id lid : victims_) state.link_state(lid) = link_health{};
+        for (const auto& [cs, gbps] : saved_offered_) state.set_offered_gbps(cs, gbps);
+    }
+
+private:
+    location loc_;
+    double fraction_;
+    std::vector<link_id> entry_links_;
+    std::vector<circuit_set_id> entry_sets_;
+    std::vector<link_id> victims_;
+    std::vector<std::pair<circuit_set_id, double>> saved_offered_;
+};
+
+// ---------------------------------------------------------------------------
+// Network modification error (16.7 %): a change pushed to a device group
+// goes wrong — interfaces admin-down, control plane withdrawn — until the
+// scenario's end models the rollback.
+class modification_error final : public scenario {
+public:
+    modification_error(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        const std::vector<device_role> roles =
+            severe ? std::vector<device_role>{device_role::dcbr, device_role::csr}
+                   : std::vector<device_role>{device_role::agg, device_role::csr};
+        const device_id seed = pick_device(topo, rand, roles);
+        const device& d = topo.device_at(seed);
+        if (severe_ && d.group != invalid_group) {
+            victims_ = topo.group_at(d.group).members;
+        } else {
+            victims_ = {seed};
+        }
+        loc_ = severe_ ? d.loc.parent() : d.loc;
+        for (device_id v : victims_) {
+            const auto links = topo.links_of(v);
+            // The faulty change downs a third of each victim's interfaces.
+            const std::size_t kill = std::max<std::size_t>(1, links.size() / 3);
+            for (std::size_t i = 0; i < kill; ++i) downed_.push_back(links[i]);
+        }
+    }
+
+    std::string name() const override { return "modification-error:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::modification_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return victims_.front(); }
+
+    void on_start(network_state& state, rng&, sim_time now) override {
+        for (device_id v : victims_) state.device_state(v).control_plane_ok = false;
+        for (link_id l : downed_) state.link_state(l).up = false;
+        state.modifications().push_back(
+            modification_event{.where = loc_, .failed = true, .rolled_back = false, .at = now});
+    }
+
+    void on_end(network_state& state, rng&, sim_time now) override {
+        for (device_id v : victims_) state.device_state(v).control_plane_ok = true;
+        for (link_id l : downed_) state.link_state(l) = link_health{};
+        state.modifications().push_back(
+            modification_event{.where = loc_, .failed = false, .rolled_back = true, .at = now});
+    }
+
+private:
+    std::vector<device_id> victims_;
+    std::vector<link_id> downed_;
+    location loc_;
+    bool severe_;
+};
+
+// ---------------------------------------------------------------------------
+// Device software error (9.3 %): process crash / OOM; control plane dies,
+// partial blackholing, RAM pegged.
+class device_software_failure final : public scenario {
+public:
+    device_software_failure(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        victim_ = severe ? pick_device(topo, rand, {device_role::dcbr, device_role::isr})
+                         : pick_device(topo, rand);
+        loc_ = topo.device_at(victim_).loc;
+    }
+
+    std::string name() const override { return "device-software:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::device_software; }
+    location scope() const override { return severe_ ? loc_.parent() : loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return victim_; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        device_health& h = state.device_state(victim_);
+        h.software_fault = true;
+        h.control_plane_ok = false;
+        h.ram = 0.98;
+        h.silent_loss = severe_ ? rand.uniform_real(0.1, 0.3) : rand.uniform_real(0.01, 0.08);
+        h.bgp_flapping = true;
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        state.device_state(victim_) = device_health{};
+    }
+
+private:
+    device_id victim_{invalid_device};
+    location loc_;
+    bool severe_;
+};
+
+// ---------------------------------------------------------------------------
+// Infrastructure error (9.3 %): power/cooling takes out a cluster (minor)
+// or a whole site (severe).
+class infrastructure_failure final : public scenario {
+public:
+    infrastructure_failure(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        const device_id seed = pick_device(topo, rand, {device_role::tor});
+        const device& d = topo.device_at(seed);
+        loc_ = d.loc.ancestor_at(severe ? hierarchy_level::site : hierarchy_level::cluster);
+        victims_ = topo.devices_under(loc_);
+    }
+
+    std::string name() const override { return "infrastructure:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::infrastructure; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        for (device_id v : victims_) {
+            // Power loss kills most devices in scope; the rest overheat.
+            device_health& h = state.device_state(v);
+            if (rand.chance(0.8)) {
+                h.alive = false;
+            } else {
+                h.cpu = 0.97;
+                h.clock_synced = false;
+            }
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (device_id v : victims_) state.device_state(v) = device_health{};
+    }
+
+private:
+    std::vector<device_id> victims_;
+    location loc_;
+    bool severe_;
+};
+
+// ---------------------------------------------------------------------------
+// Route error (1.9 %): control-plane anomaly. Minor: leak/churn visible
+// only to route monitoring (data plane intact — the coverage blind spot
+// of every other tool). Severe: default-route loss blackholing a logic
+// site's internet traffic.
+class route_error final : public scenario {
+public:
+    route_error(const topology& topo, rng& rand, bool severe)
+        : severe_(severe), hijack_(severe && rand.chance(0.5)),
+          loc_(random_logic_site(topo, rand)) {
+        for (const device& d : topo.devices()) {
+            if (d.role == device_role::isr && loc_.contains(d.loc)) isrs_.push_back(d.id);
+            if (d.role == device_role::dcbr && loc_.contains(d.loc)) dcbrs_.push_back(d.id);
+        }
+        // The regional ISP peer: a hijack diverts traffic beyond it.
+        if (!isrs_.empty()) {
+            for (link_id lid : topo.links_of(isrs_.front())) {
+                const link& l = topo.link_at(lid);
+                if (!l.internet_entry) continue;
+                isp_ = topo.device_at(l.a).role == device_role::isp ? l.a : l.b;
+                break;
+            }
+        }
+    }
+
+    std::string name() const override { return "route-error:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::route_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+
+    void on_start(network_state& state, rng& rand, sim_time now) override {
+        const auto kind = severe_ ? (hijack_ ? route_incident::kind::hijack
+                                             : route_incident::kind::default_route_loss)
+                                  : (rand.chance(0.5) ? route_incident::kind::leak
+                                                      : route_incident::kind::aggregate_route_loss);
+        state.route_incidents().push_back(route_incident{.what = kind, .where = loc_, .since = now});
+        // Route errors churn the control plane while they last, and the
+        // suboptimal detour paths leak a little traffic at the borders —
+        // the multi-signal footprint that lets SkyNet see them at all.
+        state.route_incidents().push_back(
+            route_incident{.what = route_incident::kind::churn, .where = loc_, .since = now});
+        if (hijack_) {
+            // A more-specific hijack diverts internet-bound traffic
+            // beyond our border: the control plane looks healthy, our
+            // internal samplers see nothing — only route monitoring and
+            // end-to-end internet probes notice (§2.1's deepest blind
+            // spot).
+            if (isp_ != invalid_device) state.device_state(isp_).silent_loss = 0.6;
+            return;
+        }
+        for (device_id d : dcbrs_) {
+            state.device_state(d).bgp_flapping = true;
+            state.device_state(d).silent_loss = severe_ ? 0.05 : 0.03;
+        }
+        if (severe_) {
+            // Losing the default route blackholes internet-bound traffic
+            // at the ISRs.
+            for (device_id isr : isrs_) {
+                state.device_state(isr).silent_loss = 0.6;
+                state.device_state(isr).control_plane_ok = false;
+            }
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        state.clear_route_incidents(loc_);
+        if (isp_ != invalid_device) state.device_state(isp_).silent_loss = 0.0;
+        for (device_id isr : isrs_) state.device_state(isr) = device_health{};
+        for (device_id d : dcbrs_) state.device_state(d) = device_health{};
+    }
+
+private:
+    bool severe_;
+    bool hijack_;
+    location loc_;
+    std::vector<device_id> isrs_;
+    std::vector<device_id> dcbrs_;
+    device_id isp_{invalid_device};
+};
+
+// ---------------------------------------------------------------------------
+// Security error (1.9 %): DDoS at one or more logic sites' internet
+// entries. `sites` > 1 reproduces the five-site attack of §5.1.
+class security_ddos final : public scenario {
+public:
+    security_ddos(const topology& topo, rng& rand, int sites) {
+        std::unordered_set<location, location_hash> chosen;
+        for (int attempt = 0; attempt < sites * 20 && static_cast<int>(sites_.size()) < sites;
+             ++attempt) {
+            location ls = random_logic_site(topo, rand);
+            if (chosen.insert(ls).second) sites_.push_back(ls);
+        }
+        for (const location& ls : sites_) {
+            for (const circuit_set& cs : topo.circuit_sets()) {
+                const device& a = topo.device_at(cs.a);
+                const device& b = topo.device_at(cs.b);
+                const bool internet =
+                    a.role == device_role::isp || b.role == device_role::isp;
+                if (!internet) continue;
+                const device& isr = a.role == device_role::isr ? a : b;
+                if (ls.contains(isr.loc)) targets_.push_back(cs.id);
+            }
+        }
+    }
+
+    std::string name() const override {
+        return "ddos:" + std::to_string(sites_.size()) + "-sites";
+    }
+    root_cause cause() const override { return root_cause::security; }
+    location scope() const override {
+        if (sites_.size() == 1) return sites_.front();
+        location common = sites_.front();
+        for (const location& ls : sites_) common = location::common_ancestor(common, ls);
+        // Attacks spanning regions have no meaningful common ancestor;
+        // the primary site stands in (scopes() carries the full list).
+        return common.is_root() ? sites_.front() : common;
+    }
+    std::vector<location> scopes() const override { return sites_; }
+    bool severe() const override { return sites_.size() > 1 || targets_.size() > 2; }
+    [[nodiscard]] const std::vector<location>& attacked_sites() const noexcept { return sites_; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        for (circuit_set_id cs : targets_) {
+            saved_.emplace_back(cs, state.offered_gbps(cs));
+            state.set_offered_gbps(cs, state.offered_gbps(cs) * rand.uniform_real(4.0, 8.0));
+        }
+        // Attack traffic also overloads customer SLA flows on the entries.
+        for (circuit_set_id cs : targets_) {
+            for (sla_flow_id f : state.customers().flows_on(cs)) {
+                state.set_flow_rate_gbps(
+                    f, state.customers().flow_at(f).committed_gbps * rand.uniform_real(1.2, 2.0));
+            }
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (const auto& [cs, gbps] : saved_) state.set_offered_gbps(cs, gbps);
+        for (circuit_set_id cs : targets_) {
+            for (sla_flow_id f : state.customers().flows_on(cs)) {
+                state.set_flow_rate_gbps(f,
+                                         state.customers().flow_at(f).committed_gbps * 0.7);
+            }
+        }
+    }
+
+private:
+    std::vector<location> sites_;
+    std::vector<circuit_set_id> targets_;
+    std::vector<std::pair<circuit_set_id, double>> saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Configuration error (1.9 %): a bad manual config on one device —
+// interface admin-downed, another left with an MTU/duplex mismatch
+// producing CRC errors.
+class configuration_error final : public scenario {
+public:
+    configuration_error(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        victim_ = pick_device(topo, rand, {device_role::agg, device_role::csr});
+        loc_ = topo.device_at(victim_).loc;
+        const auto links = topo.links_of(victim_);
+        if (!links.empty()) downed_ = links[rand.index(links.size())];
+        if (links.size() > 1) {
+            link_id other = links[rand.index(links.size())];
+            if (other != downed_) corrupted_ = other;
+        }
+    }
+
+    std::string name() const override { return "config-error:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::configuration; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return victim_; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        if (downed_ != invalid_link) state.link_state(downed_).up = false;
+        if (corrupted_ != invalid_link) {
+            state.link_state(corrupted_).corruption_loss = rand.uniform_real(0.01, 0.1);
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        if (downed_ != invalid_link) state.link_state(downed_) = link_health{};
+        if (corrupted_ != invalid_link) state.link_state(corrupted_) = link_health{};
+    }
+
+private:
+    device_id victim_{invalid_device};
+    location loc_;
+    link_id downed_{invalid_link};
+    link_id corrupted_{invalid_link};
+    bool severe_;
+};
+
+// ---------------------------------------------------------------------------
+// WAN partition: a long-haul conduit cut severs every circuit between two
+// cities simultaneously. The surviving inter-city paths absorb the
+// displaced traffic.
+class wan_partition final : public scenario {
+public:
+    wan_partition(const topology& topo, rng& rand) {
+        // Collect BSR<->BSR bundles grouped by city pair; cut one pair.
+        std::vector<circuit_set_id> wan_sets;
+        for (const circuit_set& cs : topo.circuit_sets()) {
+            if (topo.device_at(cs.a).role == device_role::bsr &&
+                topo.device_at(cs.b).role == device_role::bsr) {
+                wan_sets.push_back(cs.id);
+            }
+        }
+        if (wan_sets.empty()) throw skynet_error("wan_partition: no WAN bundles");
+        const circuit_set& seed = topo.circuit_set_at(rand.pick(wan_sets));
+        const location city_a = topo.device_at(seed.a).loc.ancestor_at(hierarchy_level::city);
+        const location city_b = topo.device_at(seed.b).loc.ancestor_at(hierarchy_level::city);
+        // Every circuit between the two cities goes with the conduit.
+        for (circuit_set_id cs_id : wan_sets) {
+            const circuit_set& cs = topo.circuit_set_at(cs_id);
+            const location ca = topo.device_at(cs.a).loc.ancestor_at(hierarchy_level::city);
+            const location cb = topo.device_at(cs.b).loc.ancestor_at(hierarchy_level::city);
+            const bool same_pair = (ca == city_a && cb == city_b) || (ca == city_b && cb == city_a);
+            if (!same_pair) continue;
+            for (link_id lid : cs.circuits) victims_.push_back(lid);
+        }
+        scopes_ = {city_a, city_b};
+        loc_ = location::common_ancestor(city_a, city_b);
+        if (loc_.is_root()) loc_ = city_a;
+    }
+
+    std::string name() const override { return "wan-partition:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::link_error; }
+    location scope() const override { return loc_; }
+    std::vector<location> scopes() const override { return scopes_; }
+    bool severe() const override { return true; }
+
+    void on_start(network_state& state, rng&, sim_time) override {
+        for (link_id lid : victims_) state.link_state(lid).up = false;
+    }
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (link_id lid : victims_) state.link_state(lid) = link_health{};
+    }
+
+private:
+    std::vector<link_id> victims_;
+    std::vector<location> scopes_;
+    location loc_;
+};
+
+// ---------------------------------------------------------------------------
+// Benign flash crowd: legitimate user load heats CPUs and surges traffic
+// in one cluster. Many alerts (high cpu on several devices, traffic
+// surges), zero failure — the false-positive bait of the Figure 9
+// "type+location" ablation.
+class flash_crowd final : public scenario {
+public:
+    flash_crowd(const topology& topo, rng& rand) {
+        const device_id seed = pick_device(topo, rand, {device_role::tor});
+        loc_ = topo.device_at(seed).loc.ancestor_at(hierarchy_level::cluster);
+        victims_ = topo.devices_under(loc_);
+        for (device_id v : victims_) {
+            for (circuit_set_id cs : topo.circuit_sets_of(v)) {
+                if (std::find(csets_.begin(), csets_.end(), cs) == csets_.end()) {
+                    csets_.push_back(cs);
+                }
+            }
+        }
+    }
+
+    std::string name() const override { return "flash-crowd:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::security; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return false; }
+    bool benign() const override { return true; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        for (device_id v : victims_) {
+            saved_cpu_.emplace_back(v, state.device_state(v).cpu);
+            state.device_state(v).cpu = rand.uniform_real(0.91, 0.94);
+        }
+        for (circuit_set_id cs : csets_) {
+            saved_offered_.emplace_back(cs, state.offered_gbps(cs));
+            // Stay below the congestion knee: load rises, nothing drops.
+            state.set_offered_gbps(cs, state.offered_gbps(cs) * 1.7);
+        }
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (const auto& [v, cpu] : saved_cpu_) state.device_state(v).cpu = cpu;
+        for (const auto& [cs, gbps] : saved_offered_) state.set_offered_gbps(cs, gbps);
+    }
+
+private:
+    location loc_;
+    std::vector<device_id> victims_;
+    std::vector<circuit_set_id> csets_;
+    std::vector<std::pair<device_id, double>> saved_cpu_;
+    std::vector<std::pair<circuit_set_id, double>> saved_offered_;
+};
+
+}  // namespace
+
+std::unique_ptr<scenario> make_flash_crowd(const topology& topo, rng& rand) {
+    return std::make_unique<flash_crowd>(topo, rand);
+}
+
+std::unique_ptr<scenario> make_wan_partition(const topology& topo, rng& rand) {
+    return std::make_unique<wan_partition>(topo, rand);
+}
+
+std::unique_ptr<scenario> make_device_hardware_failure(const topology& topo, rng& rand,
+                                                       bool severe) {
+    return std::make_unique<device_hardware_failure>(topo, rand, severe);
+}
+std::unique_ptr<scenario> make_link_failure(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<link_failure>(topo, rand, severe);
+}
+std::unique_ptr<scenario> make_internet_entry_cut(const topology& topo, const location& logic_site,
+                                                  double fraction) {
+    return std::make_unique<internet_entry_cut>(topo, logic_site, fraction);
+}
+std::unique_ptr<scenario> make_modification_error(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<modification_error>(topo, rand, severe);
+}
+std::unique_ptr<scenario> make_device_software_failure(const topology& topo, rng& rand,
+                                                       bool severe) {
+    return std::make_unique<device_software_failure>(topo, rand, severe);
+}
+std::unique_ptr<scenario> make_infrastructure_failure(const topology& topo, rng& rand,
+                                                      bool severe) {
+    return std::make_unique<infrastructure_failure>(topo, rand, severe);
+}
+std::unique_ptr<scenario> make_route_error(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<route_error>(topo, rand, severe);
+}
+std::unique_ptr<scenario> make_security_ddos(const topology& topo, rng& rand, int sites) {
+    return std::make_unique<security_ddos>(topo, rand, sites);
+}
+std::unique_ptr<scenario> make_configuration_error(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<configuration_error>(topo, rand, severe);
+}
+
+std::unique_ptr<scenario> make_scenario(root_cause cause, const topology& topo, rng& rand,
+                                        bool severe) {
+    switch (cause) {
+        case root_cause::device_hardware: return make_device_hardware_failure(topo, rand, severe);
+        case root_cause::link_error:
+            if (severe && rand.chance(0.5)) {
+                return make_internet_entry_cut(topo, random_logic_site(topo, rand),
+                                               rand.uniform_real(0.4, 0.6));
+            }
+            return make_link_failure(topo, rand, severe);
+        case root_cause::modification_error: return make_modification_error(topo, rand, severe);
+        case root_cause::device_software: return make_device_software_failure(topo, rand, severe);
+        case root_cause::infrastructure: return make_infrastructure_failure(topo, rand, severe);
+        case root_cause::route_error: return make_route_error(topo, rand, severe);
+        case root_cause::security:
+            return make_security_ddos(topo, rand, severe ? static_cast<int>(rand.uniform_int(2, 5))
+                                                         : 1);
+        case root_cause::configuration: return make_configuration_error(topo, rand, severe);
+    }
+    throw skynet_error("make_scenario: unknown cause");
+}
+
+std::unique_ptr<scenario> make_random_scenario(const topology& topo, rng& rand, bool severe) {
+    return make_scenario(sample_root_cause(rand), topo, rand, severe);
+}
+
+}  // namespace skynet

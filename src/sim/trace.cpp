@@ -1,0 +1,186 @@
+#include "skynet/sim/trace.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "skynet/common/strings.h"
+
+namespace skynet {
+namespace {
+
+constexpr char field_sep = '\t';
+
+std::string opt_location(const std::optional<location>& loc) {
+    return loc && !loc->is_root() ? loc->to_string() : std::string("-");
+}
+
+std::string opt_id(const std::optional<std::uint32_t>& id) {
+    return id ? std::to_string(*id) : std::string("-");
+}
+
+/// Replaces tabs/newlines in free text so the line format survives.
+std::string sanitize(std::string_view text) {
+    std::string out(text);
+    for (char& c : out) {
+        if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    }
+    return out;
+}
+
+bool parse_int(std::string_view token, std::int64_t& out) {
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+    return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool parse_double(std::string_view token, double& out) {
+    char* end = nullptr;
+    const std::string copy(token);
+    out = std::strtod(copy.c_str(), &end);
+    return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+std::optional<std::uint32_t> parse_opt_id(std::string_view token, bool& ok) {
+    ok = true;
+    if (token == "-") return std::nullopt;
+    std::int64_t value = 0;
+    if (!parse_int(token, value) || value < 0) {
+        ok = false;
+        return std::nullopt;
+    }
+    return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+std::string_view source_token(data_source source) noexcept {
+    switch (source) {
+        case data_source::ping: return "ping";
+        case data_source::traceroute: return "traceroute";
+        case data_source::out_of_band: return "oob";
+        case data_source::traffic_stats: return "traffic";
+        case data_source::internet_telemetry: return "internet";
+        case data_source::syslog: return "syslog";
+        case data_source::snmp: return "snmp";
+        case data_source::inband_telemetry: return "int";
+        case data_source::ptp: return "ptp";
+        case data_source::route_monitoring: return "route";
+        case data_source::modification_events: return "modification";
+        case data_source::patrol_inspection: return "patrol";
+    }
+    return "ping";
+}
+
+std::optional<data_source> parse_source(std::string_view token) noexcept {
+    for (const data_source source : all_data_sources()) {
+        if (token == source_token(source)) return source;
+    }
+    return std::nullopt;
+}
+
+std::string serialize_alert_record(const raw_alert& alert, sim_time arrival) {
+    std::string out;
+    out += std::to_string(arrival);
+    out += field_sep;
+    out += source_token(alert.source);
+    out += field_sep;
+    out += std::to_string(alert.timestamp);
+    out += field_sep;
+    out += alert.kind.empty() ? "-" : sanitize(alert.kind);
+    out += field_sep;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", alert.metric);
+    out += buf;
+    out += field_sep;
+    out += alert.loc.is_root() ? "-" : alert.loc.to_string();
+    out += field_sep;
+    out += opt_id(alert.device);
+    out += field_sep;
+    out += opt_id(alert.link);
+    out += field_sep;
+    out += opt_location(alert.src_loc);
+    out += field_sep;
+    out += opt_location(alert.dst_loc);
+    out += field_sep;
+    out += sanitize(alert.message);
+    return out;
+}
+
+std::string serialize_trace(std::span<const traced_alert> alerts) {
+    std::string out = "# skynet alert trace v1\n";
+    for (const traced_alert& t : alerts) {
+        out += serialize_alert_record(t.alert, t.arrival);
+        out += '\n';
+    }
+    return out;
+}
+
+trace_parse_result parse_trace(std::string_view text) {
+    trace_parse_result result;
+    auto fail = [&result](int line, std::string message) {
+        result.errors.push_back(trace_parse_error{.line = line, .message = std::move(message)});
+    };
+
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string_view line =
+            text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++line_no;
+        if (line.empty() || line.front() == '#') continue;
+
+        const std::vector<std::string> fields = split(line, field_sep);
+        if (fields.size() != 11) {
+            fail(line_no, "expected 11 tab-separated fields, got " +
+                              std::to_string(fields.size()));
+            continue;
+        }
+
+        traced_alert t;
+        std::int64_t arrival = 0;
+        std::int64_t timestamp = 0;
+        if (!parse_int(fields[0], arrival)) {
+            fail(line_no, "bad arrival: '" + fields[0] + "'");
+            continue;
+        }
+        const auto source = parse_source(fields[1]);
+        if (!source) {
+            fail(line_no, "unknown source: '" + fields[1] + "'");
+            continue;
+        }
+        if (!parse_int(fields[2], timestamp)) {
+            fail(line_no, "bad timestamp: '" + fields[2] + "'");
+            continue;
+        }
+        double metric = 0.0;
+        if (!parse_double(fields[4], metric)) {
+            fail(line_no, "bad metric: '" + fields[4] + "'");
+            continue;
+        }
+        bool ok_device = true;
+        bool ok_link = true;
+        const auto device = parse_opt_id(fields[6], ok_device);
+        const auto link = parse_opt_id(fields[7], ok_link);
+        if (!ok_device || !ok_link) {
+            fail(line_no, "bad device/link id");
+            continue;
+        }
+
+        t.arrival = arrival;
+        t.alert.source = *source;
+        t.alert.timestamp = timestamp;
+        t.alert.kind = fields[3] == "-" ? std::string() : fields[3];
+        t.alert.metric = metric;
+        t.alert.loc = fields[5] == "-" ? location{} : location::parse(fields[5]);
+        t.alert.device = device;
+        t.alert.link = link;
+        if (fields[8] != "-") t.alert.src_loc = location::parse(fields[8]);
+        if (fields[9] != "-") t.alert.dst_loc = location::parse(fields[9]);
+        t.alert.message = fields[10];
+        result.alerts.push_back(std::move(t));
+    }
+    return result;
+}
+
+}  // namespace skynet

@@ -1,0 +1,41 @@
+#include "skynet/syslog/classifier.h"
+
+#include "skynet/syslog/message_catalog.h"
+
+namespace skynet {
+
+syslog_classifier syslog_classifier::train_from_catalog(int samples_per_format,
+                                                        std::uint64_t seed) {
+    rng rand(seed);
+    std::vector<std::pair<std::string, std::string>> corpus;
+    for (const syslog_format& fmt : syslog_message_catalog()) {
+        for (int i = 0; i < samples_per_format; ++i) {
+            corpus.emplace_back(render_syslog(fmt.pattern, rand), fmt.type_name);
+        }
+    }
+    return train(corpus);
+}
+
+syslog_classifier syslog_classifier::train(
+    const std::vector<std::pair<std::string, std::string>>& labeled_corpus, ft_tree::options opts) {
+    ft_tree tree(opts);
+    for (const auto& [message, type_name] : labeled_corpus) {
+        tree.add_message(message);
+    }
+    tree.build();
+    for (const auto& [message, type_name] : labeled_corpus) {
+        if (!type_name.empty()) tree.label(message, type_name);
+    }
+    return syslog_classifier(std::move(tree));
+}
+
+std::optional<syslog_classifier::result> syslog_classifier::classify(
+    std::string_view message) const {
+    const auto tmpl = tree_.classify(message);
+    if (!tmpl) return std::nullopt;
+    const syslog_template& t = tree_.template_at(*tmpl);
+    if (t.assigned_type.empty()) return std::nullopt;
+    return result{.type_name = t.assigned_type, .tmpl = *tmpl};
+}
+
+}  // namespace skynet

@@ -1,0 +1,175 @@
+#include "skynet/syslog/ft_tree.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "skynet/common/error.h"
+#include "skynet/common/strings.h"
+
+namespace skynet {
+namespace {
+
+const std::vector<std::regex>& variable_patterns() {
+    // Predefined variable-word patterns (§4.1): addresses, interfaces,
+    // numbers. Compiled once.
+    static const std::vector<std::regex> patterns = [] {
+        std::vector<std::regex> p;
+        p.emplace_back(R"(^\d+$)");                                    // plain number
+        p.emplace_back(R"(^0x[0-9a-fA-F]+$)");                        // hex literal
+        p.emplace_back(R"(^\d+\.\d+\.\d+\.\d+(/\d+)?(:\d+)?$)");     // IPv4 (+mask/port)
+        p.emplace_back(R"(^([0-9a-fA-F]{0,4}:){2,7}[0-9a-fA-F]{0,4}$)");  // IPv6-ish
+        p.emplace_back(R"(^([0-9a-fA-F]{2}[:-]){5}[0-9a-fA-F]{2}$)");     // MAC
+        p.emplace_back(R"(^[A-Za-z]+[0-9]+(/[0-9]+)+$)");             // TenGigE0/1/0/25
+        p.emplace_back(R"(^\[.*\]$)");                                 // bracketed fields
+        p.emplace_back(R"(^\d{4}-\d{2}-\d{2}$)");                     // date
+        p.emplace_back(R"(^\d{2}:\d{2}:\d{2}(\.\d+)?$)");             // time
+        p.emplace_back(R"(^\d+(\.\d+)?(ms|s|us|%|Mbps|Gbps|KB|MB|GB)$)");  // quantities
+        return p;
+    }();
+    return patterns;
+}
+
+bool is_variable(const std::string& word) {
+    for (const std::regex& re : variable_patterns()) {
+        if (std::regex_match(word, re)) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<std::string> strip_variables(std::string_view message) {
+    std::vector<std::string> words = split_whitespace(message);
+    // Trim trailing punctuation so "down," and "down" unify, then drop
+    // variable tokens.
+    std::vector<std::string> out;
+    out.reserve(words.size());
+    for (std::string& w : words) {
+        while (!w.empty() && (w.back() == ',' || w.back() == ';' || w.back() == '.')) {
+            w.pop_back();
+        }
+        if (w.empty() || is_variable(w)) continue;
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+void ft_tree::add_message(std::string_view message) {
+    if (built_) throw skynet_error("ft_tree: add_message after build");
+    std::vector<std::string> words = strip_variables(message);
+    for (const std::string& w : words) ++word_freq_[w];
+    corpus_.push_back(std::move(words));
+}
+
+std::vector<std::string> ft_tree::ordered_words(std::string_view message) const {
+    std::vector<std::string> words = strip_variables(message);
+    std::sort(words.begin(), words.end(), [this](const std::string& a, const std::string& b) {
+        const auto ia = word_freq_.find(a);
+        const auto ib = word_freq_.find(b);
+        const int fa = ia == word_freq_.end() ? 0 : ia->second;
+        const int fb = ib == word_freq_.end() ? 0 : ib->second;
+        if (fa != fb) return fa > fb;
+        return a < b;
+    });
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    if (words.size() > static_cast<std::size_t>(opts_.max_depth)) {
+        words.resize(static_cast<std::size_t>(opts_.max_depth));
+    }
+    return words;
+}
+
+void ft_tree::build() {
+    if (built_) throw skynet_error("ft_tree: build called twice");
+    root_ = std::make_unique<node>();
+
+    for (const std::vector<std::string>& raw_words : corpus_) {
+        // Re-derive the frequency ordering now that counts are final.
+        std::vector<std::string> words = raw_words;
+        std::sort(words.begin(), words.end(), [this](const std::string& a, const std::string& b) {
+            const int fa = word_freq_.at(a);
+            const int fb = word_freq_.at(b);
+            if (fa != fb) return fa > fb;
+            return a < b;
+        });
+        words.erase(std::unique(words.begin(), words.end()), words.end());
+        if (words.size() > static_cast<std::size_t>(opts_.max_depth)) {
+            words.resize(static_cast<std::size_t>(opts_.max_depth));
+        }
+
+        node* cur = root_.get();
+        ++cur->support;
+        for (const std::string& w : words) {
+            auto [it, inserted] = cur->children.try_emplace(w);
+            if (inserted) it->second = std::make_unique<node>();
+            cur = it->second.get();
+            ++cur->support;
+        }
+        ++cur->ends;
+    }
+
+    // Prune rare subtrees and register the surviving leaf paths as
+    // templates (depth-first, deterministic order via std::map children).
+    templates_.clear();
+    std::vector<std::string> path;
+    auto walk = [this, &path](auto&& self, node& n) -> void {
+        // Remove children below the support threshold.
+        for (auto it = n.children.begin(); it != n.children.end();) {
+            if (it->second->support < opts_.min_support) {
+                it = n.children.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // A node is a template if messages terminate here (interior stop)
+        // or it became a leaf after pruning.
+        const bool terminal = n.children.empty() || n.ends >= opts_.min_support;
+        if (terminal && !path.empty()) {
+            const auto id = static_cast<template_id>(templates_.size());
+            n.tmpl = id;
+            templates_.push_back(syslog_template{
+                .id = id, .words = path, .support = n.support, .assigned_type = {}});
+        }
+        for (auto& [word, child] : n.children) {
+            path.push_back(word);
+            self(self, *child);
+            path.pop_back();
+        }
+    };
+    walk(walk, *root_);
+
+    built_ = true;
+    corpus_.clear();
+    corpus_.shrink_to_fit();
+}
+
+std::optional<template_id> ft_tree::classify(std::string_view message) const {
+    if (!built_) return std::nullopt;
+    const std::vector<std::string> words = ordered_words(message);
+    const node* cur = root_.get();
+    template_id best = invalid_template;
+    for (const std::string& w : words) {
+        const auto it = cur->children.find(w);
+        if (it == cur->children.end()) break;
+        cur = it->second.get();
+        if (cur->tmpl != invalid_template) best = cur->tmpl;
+    }
+    // Also accept an exact interior stop: a message shorter than any
+    // template cannot match, but reaching a template-marked node suffices.
+    if (best == invalid_template) return std::nullopt;
+    return best;
+}
+
+std::optional<template_id> ft_tree::label(std::string_view example_message,
+                                          std::string_view type_name) {
+    const auto id = classify(example_message);
+    if (!id) return std::nullopt;
+    templates_[*id].assigned_type = std::string(type_name);
+    return id;
+}
+
+const syslog_template& ft_tree::template_at(template_id id) const {
+    if (id >= templates_.size()) throw skynet_error("ft_tree::template_at: bad id");
+    return templates_[id];
+}
+
+}  // namespace skynet

@@ -1,0 +1,81 @@
+#include "skynet/syslog/message_catalog.h"
+
+namespace skynet {
+
+const std::vector<syslog_format>& syslog_message_catalog() {
+    static const std::vector<syslog_format> catalog = {
+        {"link down", "%LINK-3-UPDOWN: Interface {intf} changed state to down"},
+        {"link down", "%LINEPROTO-5-UPDOWN: Line protocol on Interface {intf} changed state to "
+                      "down"},
+        {"port down", "%PORT-5-IF_DOWN: port {intf} is down transceiver signal lost"},
+        {"interface down", "%ETHPORT-5-IF_ADMIN_DOWN: Interface {intf} is admin down"},
+        {"link flapping", "%LINK-4-FLAP: Interface {intf} flapping detected {num} transitions in "
+                          "{num} seconds"},
+        {"port flapping", "%PORT-4-IF_FLAPPING: port {intf} flap threshold exceeded count {num}"},
+        {"bgp peer down", "%BGP-5-ADJCHANGE: neighbor {ip} Down BGP Notification sent holdtimer "
+                          "expired"},
+        {"bgp link jitter", "%BGP-4-SESSIONFLAP: neighbor {ip} session flapped {num} times within "
+                            "window"},
+        {"traffic blackhole", "%FIB-2-BLACKHOLE: prefix {ip} resolves to null adjacency traffic "
+                              "blackholed"},
+        {"hardware error", "%PLATFORM-2-HW_ERROR: ASIC {num} parity error detected slot {num} "
+                           "requires reset"},
+        {"hardware error", "%PLATFORM-1-LC_FAILURE: linecard {num} hardware failure diagnostics "
+                           "code {hex}"},
+        {"software error", "%SYS-2-CRASH: process {proc} terminated unexpectedly core dumped "
+                           "signal {num}"},
+        {"out of memory", "%SYS-1-MEMORY: out of memory malloc failed in process {proc} size "
+                          "{num}"},
+        {"crc error", "%ETH-3-CRC: interface {intf} input CRC errors exceed threshold rate {num}"},
+        {"bit flip", "%MEM-2-ECC: uncorrectable ECC bit flip at address {hex} bank {num}"},
+        {"config commit failed", "%CONFIG-3-COMMIT_FAIL: configuration commit failed semantic "
+                                 "validation stage"},
+        {"protocol adjacency loss", "%OSPF-5-ADJCHG: neighbor {ip} adjacency lost on {intf} dead "
+                                    "timer expired"},
+    };
+    return catalog;
+}
+
+std::string render_syslog(std::string_view pattern, rng& rand) {
+    static const char* const processes[] = {"routed", "bgpd", "snmpd", "fibd", "ifmgr"};
+    std::string out;
+    out.reserve(pattern.size() + 16);
+    std::size_t i = 0;
+    while (i < pattern.size()) {
+        if (pattern[i] != '{') {
+            out += pattern[i++];
+            continue;
+        }
+        const std::size_t close = pattern.find('}', i);
+        if (close == std::string_view::npos) {
+            out += pattern.substr(i);
+            break;
+        }
+        const std::string_view field = pattern.substr(i + 1, close - i - 1);
+        if (field == "intf") {
+            out += "TenGigE0/" + std::to_string(rand.uniform_int(0, 3)) + "/" +
+                   std::to_string(rand.uniform_int(0, 3)) + "/" +
+                   std::to_string(rand.uniform_int(0, 47));
+        } else if (field == "ip") {
+            out += std::to_string(rand.uniform_int(10, 172)) + "." +
+                   std::to_string(rand.uniform_int(0, 255)) + "." +
+                   std::to_string(rand.uniform_int(0, 255)) + "." +
+                   std::to_string(rand.uniform_int(1, 254));
+        } else if (field == "num") {
+            out += std::to_string(rand.uniform_int(1, 9999));
+        } else if (field == "hex") {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "0x%08llx",
+                          static_cast<unsigned long long>(rand.uniform_int(0, 0x7fffffff)));
+            out += buf;
+        } else if (field == "proc") {
+            out += processes[rand.index(std::size(processes))];
+        } else {
+            out += pattern.substr(i, close - i + 1);
+        }
+        i = close + 1;
+    }
+    return out;
+}
+
+}  // namespace skynet

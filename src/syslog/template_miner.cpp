@@ -1,0 +1,55 @@
+#include "skynet/syslog/template_miner.h"
+
+#include <algorithm>
+
+#include "skynet/common/strings.h"
+#include "skynet/syslog/ft_tree.h"
+
+namespace skynet {
+
+void template_miner::observe(std::string_view message, sim_time now) {
+    ++observed_;
+    std::vector<std::string> words = strip_variables(message);
+    if (words.empty()) return;
+    const std::string signature = join(words, " ");
+
+    auto [it, inserted] = tracked_.try_emplace(signature);
+    mined_template& t = it->second;
+    if (inserted) {
+        // Evict the stalest low-support entry when full.
+        if (tracked_.size() > opts_.max_tracked) {
+            auto victim = tracked_.end();
+            for (auto cur = tracked_.begin(); cur != tracked_.end(); ++cur) {
+                if (cur == it) continue;
+                if (victim == tracked_.end() ||
+                    cur->second.last_seen < victim->second.last_seen) {
+                    victim = cur;
+                }
+            }
+            if (victim != tracked_.end()) tracked_.erase(victim);
+        }
+        t.signature = signature;
+        t.example = std::string(message);
+        t.first_seen = now;
+    }
+    ++t.occurrences;
+    t.last_seen = now;
+}
+
+std::vector<mined_template> template_miner::candidates() const {
+    std::vector<mined_template> out;
+    for (const auto& [signature, t] : tracked_) {
+        if (t.occurrences >= opts_.min_occurrences) out.push_back(t);
+    }
+    std::sort(out.begin(), out.end(), [](const mined_template& a, const mined_template& b) {
+        if (a.occurrences != b.occurrences) return a.occurrences > b.occurrences;
+        return a.signature < b.signature;
+    });
+    return out;
+}
+
+void template_miner::resolve(std::string_view signature) {
+    tracked_.erase(std::string(signature));
+}
+
+}  // namespace skynet

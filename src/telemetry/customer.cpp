@@ -1,0 +1,160 @@
+#include "skynet/telemetry/customer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+std::string_view to_string(customer_tier tier) noexcept {
+    switch (tier) {
+        case customer_tier::standard: return "standard";
+        case customer_tier::premium: return "premium";
+        case customer_tier::critical: return "critical";
+    }
+    return "?";
+}
+
+void customer_registry::ensure_cset(circuit_set_id cset) {
+    if (cset == invalid_circuit_set) throw skynet_error("customer_registry: invalid circuit set");
+    if (customers_by_cset_.size() <= cset) {
+        customers_by_cset_.resize(cset + 1);
+        flows_by_cset_.resize(cset + 1);
+    }
+}
+
+customer_id customer_registry::add_customer(std::string name, customer_tier tier) {
+    const auto id = static_cast<customer_id>(customers_.size());
+    customers_.push_back(
+        customer{.id = id, .name = std::move(name), .tier = tier, .circuit_sets = {}});
+    return id;
+}
+
+void customer_registry::attach(customer_id c, circuit_set_id cset) {
+    if (c >= customers_.size()) throw skynet_error("customer_registry::attach: bad customer");
+    ensure_cset(cset);
+    customer& cust = customers_[c];
+    if (std::find(cust.circuit_sets.begin(), cust.circuit_sets.end(), cset) !=
+        cust.circuit_sets.end()) {
+        return;
+    }
+    cust.circuit_sets.push_back(cset);
+    customers_by_cset_[cset].push_back(c);
+}
+
+sla_flow_id customer_registry::add_sla_flow(customer_id owner, circuit_set_id cset,
+                                            double committed_gbps) {
+    if (owner >= customers_.size()) throw skynet_error("add_sla_flow: bad customer");
+    ensure_cset(cset);
+    const auto id = static_cast<sla_flow_id>(flows_.size());
+    flows_.push_back(
+        sla_flow{.id = id, .owner = owner, .cset = cset, .committed_gbps = committed_gbps});
+    flows_by_cset_[cset].push_back(id);
+    return id;
+}
+
+const customer& customer_registry::customer_at(customer_id id) const {
+    if (id >= customers_.size()) throw skynet_error("customer_at: bad id");
+    return customers_[id];
+}
+
+const sla_flow& customer_registry::flow_at(sla_flow_id id) const {
+    if (id >= flows_.size()) throw skynet_error("flow_at: bad id");
+    return flows_[id];
+}
+
+std::span<const customer_id> customer_registry::customers_on(circuit_set_id cset) const {
+    if (cset >= customers_by_cset_.size()) return {};
+    return customers_by_cset_[cset];
+}
+
+std::span<const sla_flow_id> customer_registry::flows_on(circuit_set_id cset) const {
+    if (cset >= flows_by_cset_.size()) return {};
+    return flows_by_cset_[cset];
+}
+
+double customer_registry::importance_factor(circuit_set_id cset) const {
+    double g = 0.0;
+    for (customer_id c : customers_on(cset)) {
+        g = std::max(g, tier_importance(customers_[c].tier));
+    }
+    return g;
+}
+
+int customer_registry::customer_count(circuit_set_id cset) const {
+    return static_cast<int>(customers_on(cset).size());
+}
+
+int customer_registry::important_customer_count(std::span<const circuit_set_id> csets) const {
+    std::unordered_set<customer_id> seen;
+    for (circuit_set_id cs : csets) {
+        for (customer_id c : customers_on(cs)) {
+            if (customers_[c].tier != customer_tier::standard) seen.insert(c);
+        }
+    }
+    return static_cast<int>(seen.size());
+}
+
+customer_registry customer_registry::generate(const topology& topo, int n_customers, rng& rand) {
+    customer_registry reg;
+
+    // Candidate circuit sets: workload-facing bundles (ToR/AGG uplinks)
+    // and internet entries, where customer traffic originates; transit
+    // bundles (CSR/DCBR aggregation) and the WAN, which it traverses.
+    std::vector<circuit_set_id> service_sets;
+    std::vector<circuit_set_id> internet_sets;
+    std::vector<circuit_set_id> transit_sets;
+    std::vector<circuit_set_id> wan_sets;
+    for (const circuit_set& cs : topo.circuit_sets()) {
+        const device_role ra = topo.device_at(cs.a).role;
+        const device_role rb = topo.device_at(cs.b).role;
+        const bool internet = ra == device_role::isp || rb == device_role::isp;
+        if (internet) {
+            internet_sets.push_back(cs.id);
+        } else if (ra == device_role::tor || rb == device_role::tor || ra == device_role::agg ||
+                   rb == device_role::agg) {
+            service_sets.push_back(cs.id);
+        } else if (ra == device_role::bsr && rb == device_role::bsr) {
+            wan_sets.push_back(cs.id);
+        } else if (ra != device_role::reflector && rb != device_role::reflector) {
+            transit_sets.push_back(cs.id);
+        }
+    }
+    if (service_sets.empty() && internet_sets.empty()) return reg;
+
+    for (int i = 0; i < n_customers; ++i) {
+        const double roll = rand.uniform_real();
+        const customer_tier tier = roll < 0.05   ? customer_tier::critical
+                                   : roll < 0.20 ? customer_tier::premium
+                                                 : customer_tier::standard;
+        const customer_id id = reg.add_customer("customer-" + std::to_string(i + 1), tier);
+
+        // Each customer's footprint: a few service sets plus, for most,
+        // one internet entry.
+        const int footprint = static_cast<int>(rand.uniform_int(1, 4));
+        for (int f = 0; f < footprint && !service_sets.empty(); ++f) {
+            reg.attach(id, rand.pick(service_sets));
+        }
+        if (!internet_sets.empty() && rand.chance(0.7)) {
+            reg.attach(id, rand.pick(internet_sets));
+        }
+        // Traffic traverses the aggregation tiers and, for distributed
+        // workloads, the WAN — those bundles carry the customer too.
+        if (!transit_sets.empty() && rand.chance(0.8)) {
+            reg.attach(id, rand.pick(transit_sets));
+        }
+        if (!wan_sets.empty() && rand.chance(0.4)) {
+            reg.attach(id, rand.pick(wan_sets));
+        }
+
+        if (tier != customer_tier::standard) {
+            for (circuit_set_id cs : reg.customer_at(id).circuit_sets) {
+                reg.add_sla_flow(id, cs, rand.uniform_real(0.5, 10.0));
+            }
+        }
+    }
+    return reg;
+}
+
+}  // namespace skynet

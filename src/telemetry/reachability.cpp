@@ -1,0 +1,98 @@
+#include "skynet/telemetry/reachability.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+reachability_matrix::reachability_matrix(std::vector<location> endpoints)
+    : endpoints_(std::move(endpoints)) {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        index_.emplace(endpoints_[i], i);
+    }
+    cells_.resize(endpoints_.size() * endpoints_.size());
+}
+
+std::optional<std::size_t> reachability_matrix::index_of(const location& loc) const {
+    const auto it = index_.find(loc);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+}
+
+void reachability_matrix::record(const location& src, const location& dst, double loss_ratio) {
+    const auto si = index_of(src);
+    const auto di = index_of(dst);
+    if (!si || !di) return;
+    cell& c = cells_[*si * endpoints_.size() + *di];
+    c.loss_sum += std::clamp(loss_ratio, 0.0, 1.0);
+    ++c.samples;
+}
+
+double reachability_matrix::at(std::size_t src_index, std::size_t dst_index) const {
+    if (src_index >= size() || dst_index >= size()) {
+        throw skynet_error("reachability_matrix::at: bad index");
+    }
+    const cell& c = cells_[src_index * size() + dst_index];
+    return c.samples == 0 ? 0.0 : c.loss_sum / c.samples;
+}
+
+double reachability_matrix::at(const location& src, const location& dst) const {
+    const auto si = index_of(src);
+    const auto di = index_of(dst);
+    if (!si || !di) return 0.0;
+    return at(*si, *di);
+}
+
+double reachability_matrix::hotspot_score(std::size_t index) const {
+    if (index >= size()) throw skynet_error("hotspot_score: bad index");
+    if (size() <= 1) return 0.0;
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t j = 0; j < size(); ++j) {
+        if (j == index) continue;
+        sum += at(index, j);  // row: index as source
+        sum += at(j, index);  // column: index as destination
+        n += 2;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+std::optional<location> reachability_matrix::focal_point(double min_loss,
+                                                         double dominance) const {
+    if (size() < 2) return std::nullopt;
+    std::vector<double> scores(size());
+    for (std::size_t i = 0; i < size(); ++i) scores[i] = hotspot_score(i);
+
+    const std::size_t best =
+        static_cast<std::size_t>(std::max_element(scores.begin(), scores.end()) - scores.begin());
+    if (scores[best] < min_loss) return std::nullopt;
+
+    double rest = 0.0;
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (i != best) rest += scores[i];
+    }
+    const double rest_mean = rest / static_cast<double>(size() - 1);
+    // A focal endpoint "paints" its row and column; everyone else sees it
+    // in exactly one of theirs, so diffuse loss keeps the ratio near 2.
+    if (rest_mean > 0.0 && scores[best] < dominance * rest_mean) return std::nullopt;
+    return endpoints_[best];
+}
+
+std::string reachability_matrix::to_string() const {
+    std::string out;
+    char buf[32];
+    for (std::size_t i = 0; i < size(); ++i) {
+        for (std::size_t j = 0; j < size(); ++j) {
+            std::snprintf(buf, sizeof buf, "%6.2f ", at(i, j) * 100.0);
+            out += buf;
+        }
+        out += "  # ";
+        out += std::string(endpoints_[i].leaf());
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace skynet

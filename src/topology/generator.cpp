@@ -1,0 +1,267 @@
+#include "skynet/topology/generator.h"
+
+#include <string>
+#include <vector>
+
+#include "skynet/common/rng.h"
+
+namespace skynet {
+namespace {
+
+std::string seq_name(const std::string& prefix, int i) { return prefix + "-" + std::to_string(i); }
+
+}  // namespace
+
+generator_params generator_params::tiny() {
+    generator_params p;
+    p.regions = 1;
+    p.cities_per_region = 1;
+    p.logic_sites_per_city = 1;
+    p.sites_per_logic_site = 2;
+    p.clusters_per_site = 2;
+    p.tors_per_cluster = 2;
+    p.aggs_per_cluster = 1;
+    p.csrs_per_site = 2;
+    p.dcbrs_per_logic_site = 2;
+    p.isrs_per_logic_site = 1;
+    p.bsrs_per_city = 1;
+    p.internet_circuits_per_isr = 4;
+    return p;
+}
+
+generator_params generator_params::small() { return generator_params{}; }
+
+generator_params generator_params::medium() {
+    generator_params p;
+    p.regions = 3;
+    p.cities_per_region = 2;
+    p.logic_sites_per_city = 2;
+    p.sites_per_logic_site = 3;
+    p.clusters_per_site = 4;
+    p.tors_per_cluster = 8;
+    p.aggs_per_cluster = 2;
+    p.csrs_per_site = 4;
+    p.dcbrs_per_logic_site = 2;
+    p.isrs_per_logic_site = 2;
+    p.bsrs_per_city = 2;
+    return p;
+}
+
+generator_params generator_params::large() {
+    generator_params p;
+    p.regions = 4;
+    p.cities_per_region = 3;
+    p.logic_sites_per_city = 2;
+    p.sites_per_logic_site = 4;
+    p.clusters_per_site = 8;
+    p.tors_per_cluster = 16;
+    p.aggs_per_cluster = 4;
+    p.csrs_per_site = 4;
+    p.dcbrs_per_logic_site = 4;
+    p.isrs_per_logic_site = 2;
+    p.bsrs_per_city = 4;
+    return p;
+}
+
+topology generate_topology(const generator_params& params) {
+    topology topo;
+    rng rand(params.seed);
+
+    // One external ISP peer per region, attached under the synthetic "ISP"
+    // branch of the hierarchy (Figure 5b shows ISP as a sibling of the
+    // regions).
+    std::vector<device_id> isps;
+    for (int r = 0; r < params.regions; ++r) {
+        const std::string name = seq_name("ISP", r + 1);
+        isps.push_back(topo.add_device(name, device_role::isp, location{"ISP", name}));
+    }
+
+    std::vector<device_id> all_bsrs;  // for inter-region WAN meshing
+    std::vector<location> cities;     // parallel to bsrs_by_city
+    std::vector<std::vector<device_id>> bsrs_by_city;
+
+    for (int r = 0; r < params.regions; ++r) {
+        const std::string region_name = seq_name("Region", r + 1);
+        const location region_loc{region_name};
+
+        for (int c = 0; c < params.cities_per_region; ++c) {
+            const std::string city_name = region_name + "/" + seq_name("City", c + 1);
+            const location city_loc = region_loc.child(city_name);
+
+            // City backbone routers.
+            const group_id bsr_group = topo.add_group(city_name + "-BSR");
+            std::vector<device_id> bsrs;
+            for (int b = 0; b < params.bsrs_per_city; ++b) {
+                const std::string name = city_name + "-" + seq_name("BSR", b + 1);
+                const device_id id =
+                    topo.add_device(name, device_role::bsr, city_loc.child(name));
+                topo.add_to_group(bsr_group, id);
+                bsrs.push_back(id);
+                all_bsrs.push_back(id);
+            }
+            cities.push_back(city_loc);
+            bsrs_by_city.push_back(bsrs);
+
+            for (int ls = 0; ls < params.logic_sites_per_city; ++ls) {
+                const std::string ls_name = city_name + "/" + seq_name("LS", ls + 1);
+                const location ls_loc = city_loc.child(ls_name);
+
+                // Data-center border routers.
+                const group_id dcbr_group = topo.add_group(ls_name + "-DCBR");
+                std::vector<device_id> dcbrs;
+                for (int d = 0; d < params.dcbrs_per_logic_site; ++d) {
+                    const std::string name = ls_name + "-" + seq_name("DCBR", d + 1);
+                    const device_id id =
+                        topo.add_device(name, device_role::dcbr, ls_loc.child(name));
+                    topo.add_to_group(dcbr_group, id);
+                    dcbrs.push_back(id);
+                }
+
+                // Internet switch routers with internet-entry bundles.
+                const group_id isr_group = topo.add_group(ls_name + "-ISR");
+                std::vector<device_id> isrs;
+                for (int i = 0; i < params.isrs_per_logic_site; ++i) {
+                    const std::string name = ls_name + "-" + seq_name("ISR", i + 1);
+                    const device_id id =
+                        topo.add_device(name, device_role::isr, ls_loc.child(name));
+                    topo.add_to_group(isr_group, id);
+                    isrs.push_back(id);
+
+                    const circuit_set_id cs =
+                        topo.add_circuit_set(name + "<->" + topo.device_at(isps[r]).name, id,
+                                             isps[r]);
+                    for (int k = 0; k < params.internet_circuits_per_isr; ++k) {
+                        topo.add_link(id, isps[r], cs, 100.0, /*internet_entry=*/true);
+                    }
+                }
+
+                // Route reflector.
+                if (params.add_reflectors) {
+                    const std::string name = ls_name + "-RR-1";
+                    const device_id rr =
+                        topo.add_device(name, device_role::reflector, ls_loc.child(name));
+                    const group_id rr_group = topo.add_group(ls_name + "-RR");
+                    topo.add_to_group(rr_group, rr);
+                    for (device_id d : dcbrs) {
+                        const circuit_set_id cs =
+                            topo.add_circuit_set(name + "<->" + topo.device_at(d).name, rr, d);
+                        topo.add_link(rr, d, cs, 10.0);
+                    }
+                }
+
+                // DCBR uplinks: to every ISR of the logic site and every
+                // BSR of the city.
+                for (device_id d : dcbrs) {
+                    for (device_id i : isrs) {
+                        const circuit_set_id cs = topo.add_circuit_set(
+                            topo.device_at(d).name + "<->" + topo.device_at(i).name, d, i);
+                        for (int k = 0; k < params.circuits_per_agg_set; ++k) {
+                            topo.add_link(d, i, cs, 400.0);
+                        }
+                    }
+                    for (device_id b : bsrs) {
+                        const circuit_set_id cs = topo.add_circuit_set(
+                            topo.device_at(d).name + "<->" + topo.device_at(b).name, d, b);
+                        for (int k = 0; k < params.circuits_per_agg_set; ++k) {
+                            topo.add_link(d, b, cs, 400.0);
+                        }
+                    }
+                }
+
+                for (int s = 0; s < params.sites_per_logic_site; ++s) {
+                    const std::string site_name = ls_name + "/" + seq_name("Site", s + 1);
+                    const location site_loc = ls_loc.child(site_name);
+
+                    // Site core switch routers.
+                    const group_id csr_group = topo.add_group(site_name + "-CSR");
+                    std::vector<device_id> csrs;
+                    for (int k = 0; k < params.csrs_per_site; ++k) {
+                        const std::string name = site_name + "-" + seq_name("CSR", k + 1);
+                        const device_id id =
+                            topo.add_device(name, device_role::csr, site_loc.child(name));
+                        topo.add_to_group(csr_group, id);
+                        csrs.push_back(id);
+                        for (device_id d : dcbrs) {
+                            const circuit_set_id cs = topo.add_circuit_set(
+                                name + "<->" + topo.device_at(d).name, id, d);
+                            for (int q = 0; q < params.circuits_per_agg_set; ++q) {
+                                topo.add_link(id, d, cs, 400.0);
+                            }
+                        }
+                    }
+
+                    for (int cl = 0; cl < params.clusters_per_site; ++cl) {
+                        const std::string cluster_name =
+                            site_name + "/" + seq_name("Cluster", cl + 1);
+                        const location cluster_loc = site_loc.child(cluster_name);
+
+                        const group_id agg_group = topo.add_group(cluster_name + "-AGG");
+                        std::vector<device_id> aggs;
+                        for (int a = 0; a < params.aggs_per_cluster; ++a) {
+                            const std::string name = cluster_name + "-" + seq_name("AGG", a + 1);
+                            const device_id id =
+                                topo.add_device(name, device_role::agg, cluster_loc.child(name));
+                            topo.add_to_group(agg_group, id);
+                            aggs.push_back(id);
+                            for (device_id k : csrs) {
+                                const circuit_set_id cs = topo.add_circuit_set(
+                                    name + "<->" + topo.device_at(k).name, id, k);
+                                for (int q = 0; q < params.circuits_per_agg_set; ++q) {
+                                    topo.add_link(id, k, cs, 100.0);
+                                }
+                            }
+                        }
+
+                        const group_id tor_group = topo.add_group(cluster_name + "-TOR");
+                        for (int t = 0; t < params.tors_per_cluster; ++t) {
+                            const std::string name = cluster_name + "-" + seq_name("TOR", t + 1);
+                            const device_id id =
+                                topo.add_device(name, device_role::tor, cluster_loc.child(name));
+                            topo.add_to_group(tor_group, id);
+                            for (device_id a : aggs) {
+                                const circuit_set_id cs = topo.add_circuit_set(
+                                    name + "<->" + topo.device_at(a).name, id, a);
+                                topo.add_link(id, a, cs, 25.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // WAN: full mesh among a city's BSRs and ring+chords across cities.
+    for (std::size_t i = 0; i < cities.size(); ++i) {
+        for (std::size_t j = i + 1; j < cities.size(); ++j) {
+            // Connect the first BSR of each city pair; within the same
+            // region connect all pairs for denser redundancy.
+            const location region_i = cities[i].ancestor_at(hierarchy_level::region);
+            const location region_j = cities[j].ancestor_at(hierarchy_level::region);
+            const bool same_region = region_i == region_j;
+            const bool ring_neighbor = (j == i + 1) || (i == 0 && j == cities.size() - 1);
+            if (!same_region && !ring_neighbor) continue;
+
+            const std::size_t pairs = same_region ? bsrs_by_city[i].size() : 1;
+            for (std::size_t p = 0; p < pairs && p < bsrs_by_city[j].size(); ++p) {
+                const device_id a = bsrs_by_city[i][p];
+                const device_id b = bsrs_by_city[j][p];
+                const circuit_set_id cs = topo.add_circuit_set(
+                    topo.device_at(a).name + "<->" + topo.device_at(b).name, a, b);
+                for (int k = 0; k < params.circuits_per_wan_set; ++k) {
+                    topo.add_link(a, b, cs, 400.0);
+                }
+            }
+        }
+    }
+
+    // Device capability flags.
+    for (const device& d : topo.devices()) {
+        if (d.role == device_role::isp) continue;
+        if (rand.chance(params.legacy_snmp_fraction)) topo.set_legacy_slow_snmp(d.id, true);
+        if (rand.chance(params.int_support_fraction)) topo.set_supports_int(d.id, true);
+    }
+
+    return topo;
+}
+
+}  // namespace skynet

@@ -1,0 +1,92 @@
+#include "skynet/topology/location.h"
+
+#include "skynet/common/strings.h"
+
+namespace skynet {
+
+std::string_view to_string(hierarchy_level level) noexcept {
+    switch (level) {
+        case hierarchy_level::root: return "root";
+        case hierarchy_level::region: return "region";
+        case hierarchy_level::city: return "city";
+        case hierarchy_level::logic_site: return "logic site";
+        case hierarchy_level::site: return "site";
+        case hierarchy_level::cluster: return "cluster";
+        case hierarchy_level::device: return "device";
+    }
+    return "?";
+}
+
+location location::parse(std::string_view text) {
+    if (text.empty()) return location{};
+    return location(split(text, '|'));
+}
+
+hierarchy_level location::level() const noexcept {
+    const std::size_t d = segments_.size();
+    if (d >= depth_of(hierarchy_level::device)) return hierarchy_level::device;
+    return static_cast<hierarchy_level>(d);
+}
+
+std::string_view location::leaf() const noexcept {
+    if (segments_.empty()) return {};
+    return segments_.back();
+}
+
+location location::parent() const {
+    if (segments_.empty()) return {};
+    return location(std::vector<std::string>(segments_.begin(), segments_.end() - 1));
+}
+
+location location::ancestor_at(hierarchy_level level) const {
+    const std::size_t want = depth_of(level);
+    if (want >= segments_.size()) return *this;
+    return location(std::vector<std::string>(segments_.begin(),
+                                             segments_.begin() + static_cast<std::ptrdiff_t>(want)));
+}
+
+bool location::contains(const location& other) const noexcept {
+    if (segments_.size() > other.segments_.size()) return false;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        if (segments_[i] != other.segments_[i]) return false;
+    }
+    return true;
+}
+
+bool location::is_ancestor_of(const location& other) const noexcept {
+    return segments_.size() < other.segments_.size() && contains(other);
+}
+
+location location::common_ancestor(const location& a, const location& b) {
+    std::vector<std::string> out;
+    const std::size_t n = std::min(a.segments_.size(), b.segments_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a.segments_[i] != b.segments_[i]) break;
+        out.push_back(a.segments_[i]);
+    }
+    return location(std::move(out));
+}
+
+location location::child(std::string segment) const {
+    std::vector<std::string> out = segments_;
+    out.push_back(std::move(segment));
+    return location(std::move(out));
+}
+
+std::string location::to_string() const { return join(segments_, "|"); }
+
+std::size_t location_hash::operator()(const location& loc) const noexcept {
+    // FNV-1a over segments with a separator byte between them.
+    std::size_t h = 1469598103934665603ull;
+    auto mix = [&h](unsigned char c) {
+        h ^= c;
+        h *= 1099511628211ull;
+    };
+    for (const std::string& seg : loc.segments()) {
+        for (char c : seg) mix(static_cast<unsigned char>(c));
+        mix(0x1f);
+    }
+    return h;
+}
+
+}  // namespace skynet

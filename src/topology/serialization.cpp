@@ -1,0 +1,199 @@
+#include "skynet/topology/serialization.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "skynet/common/strings.h"
+
+namespace skynet {
+
+std::string_view role_token(device_role role) noexcept {
+    switch (role) {
+        case device_role::tor: return "tor";
+        case device_role::agg: return "agg";
+        case device_role::csr: return "csr";
+        case device_role::dcbr: return "dcbr";
+        case device_role::isr: return "isr";
+        case device_role::bsr: return "bsr";
+        case device_role::reflector: return "reflector";
+        case device_role::isp: return "isp";
+    }
+    return "tor";
+}
+
+std::optional<device_role> parse_role(std::string_view token) noexcept {
+    for (const device_role role :
+         {device_role::tor, device_role::agg, device_role::csr, device_role::dcbr,
+          device_role::isr, device_role::bsr, device_role::reflector, device_role::isp}) {
+        if (token == role_token(role)) return role;
+    }
+    return std::nullopt;
+}
+
+std::string export_topology(const topology& topo) {
+    std::string out = "# skynet topology v1\n";
+    char buf[64];
+
+    for (const device& d : topo.devices()) {
+        out += "device " + d.name + " " + std::string(role_token(d.role)) + " " +
+               d.loc.to_string() + "\n";
+        if (d.legacy_slow_snmp || d.supports_int) {
+            out += "flags " + d.name;
+            if (d.legacy_slow_snmp) out += " legacy_snmp";
+            if (d.supports_int) out += " int";
+            out += "\n";
+        }
+    }
+    for (const device_group& g : topo.groups()) {
+        if (g.members.empty()) continue;
+        out += "group " + g.name;
+        for (device_id m : g.members) out += " " + topo.device_at(m).name;
+        out += "\n";
+    }
+    for (const circuit_set& cs : topo.circuit_sets()) {
+        out += "cset " + cs.name + " " + topo.device_at(cs.a).name + " " +
+               topo.device_at(cs.b).name + "\n";
+    }
+    for (const link& l : topo.links()) {
+        std::snprintf(buf, sizeof buf, " %g", l.capacity_gbps);
+        out += "link " + topo.device_at(l.a).name + " " + topo.device_at(l.b).name + " " +
+               (l.cset == invalid_circuit_set ? "-" : topo.circuit_set_at(l.cset).name) + buf +
+               (l.internet_entry ? " internet" : "") + "\n";
+    }
+    return out;
+}
+
+topology_parse_result import_topology(std::string_view text) {
+    topology_parse_result result;
+    std::unordered_map<std::string, circuit_set_id> csets_by_name;
+    std::unordered_map<std::string, group_id> groups_by_name;
+
+    auto fail = [&result](int line, std::string message) {
+        result.errors.push_back(
+            topology_parse_error{.line = line, .message = std::move(message)});
+    };
+
+    auto find_device = [&](int line, const std::string& name) -> std::optional<device_id> {
+        const auto id = result.topo.find_device(name);
+        if (!id) fail(line, "unknown device: '" + name + "'");
+        return id;
+    };
+
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        std::string_view raw = text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                                             : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++line_no;
+
+        if (const std::size_t hash = raw.find('#'); hash != std::string_view::npos) {
+            raw = raw.substr(0, hash);
+        }
+        std::vector<std::string> tokens = split_whitespace(raw);
+        if (tokens.empty()) continue;
+        const std::string& kind = tokens[0];
+
+        if (kind == "device") {
+            if (tokens.size() != 4) {
+                fail(line_no, "device needs: device <name> <role> <location>");
+                continue;
+            }
+            const auto role = parse_role(tokens[2]);
+            if (!role) {
+                fail(line_no, "unknown role: '" + tokens[2] + "'");
+                continue;
+            }
+            if (result.topo.find_device(tokens[1])) {
+                fail(line_no, "duplicate device: '" + tokens[1] + "'");
+                continue;
+            }
+            const location loc = location::parse(tokens[3]);
+            if (loc.is_root()) {
+                fail(line_no, "device location must not be empty");
+                continue;
+            }
+            (void)result.topo.add_device(tokens[1], *role, loc);
+        } else if (kind == "flags") {
+            if (tokens.size() < 2) {
+                fail(line_no, "flags needs a device name");
+                continue;
+            }
+            const auto id = find_device(line_no, tokens[1]);
+            if (!id) continue;
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                if (tokens[i] == "legacy_snmp") {
+                    result.topo.set_legacy_slow_snmp(*id, true);
+                } else if (tokens[i] == "int") {
+                    result.topo.set_supports_int(*id, true);
+                } else {
+                    fail(line_no, "unknown flag: '" + tokens[i] + "'");
+                }
+            }
+        } else if (kind == "group") {
+            if (tokens.size() < 3) {
+                fail(line_no, "group needs: group <name> <member> [member...]");
+                continue;
+            }
+            auto [it, inserted] = groups_by_name.try_emplace(tokens[1], invalid_group);
+            if (inserted) it->second = result.topo.add_group(tokens[1]);
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                if (const auto id = find_device(line_no, tokens[i])) {
+                    result.topo.add_to_group(it->second, *id);
+                }
+            }
+        } else if (kind == "cset") {
+            if (tokens.size() != 4) {
+                fail(line_no, "cset needs: cset <name> <a> <b>");
+                continue;
+            }
+            const auto a = find_device(line_no, tokens[2]);
+            const auto b = find_device(line_no, tokens[3]);
+            if (!a || !b) continue;
+            if (csets_by_name.contains(tokens[1])) {
+                fail(line_no, "duplicate circuit set: '" + tokens[1] + "'");
+                continue;
+            }
+            csets_by_name.emplace(tokens[1], result.topo.add_circuit_set(tokens[1], *a, *b));
+        } else if (kind == "link") {
+            if (tokens.size() != 5 && tokens.size() != 6) {
+                fail(line_no, "link needs: link <a> <b> <cset|-> <capacity> [internet]");
+                continue;
+            }
+            const auto a = find_device(line_no, tokens[1]);
+            const auto b = find_device(line_no, tokens[2]);
+            if (!a || !b) continue;
+            circuit_set_id cset = invalid_circuit_set;
+            if (tokens[3] != "-") {
+                const auto it = csets_by_name.find(tokens[3]);
+                if (it == csets_by_name.end()) {
+                    fail(line_no, "unknown circuit set: '" + tokens[3] + "'");
+                    continue;
+                }
+                cset = it->second;
+            }
+            char* end = nullptr;
+            const double capacity = std::strtod(tokens[4].c_str(), &end);
+            if (end == tokens[4].c_str() || *end != '\0' || capacity <= 0.0) {
+                fail(line_no, "bad capacity: '" + tokens[4] + "'");
+                continue;
+            }
+            bool internet = false;
+            if (tokens.size() == 6) {
+                if (tokens[5] != "internet") {
+                    fail(line_no, "unknown link attribute: '" + tokens[5] + "'");
+                    continue;
+                }
+                internet = true;
+            }
+            (void)result.topo.add_link(*a, *b, cset, capacity, internet);
+        } else {
+            fail(line_no, "unknown directive: '" + kind + "'");
+        }
+    }
+    return result;
+}
+
+}  // namespace skynet

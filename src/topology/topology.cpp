@@ -1,0 +1,236 @@
+#include "skynet/topology/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+std::string_view to_string(device_role role) noexcept {
+    switch (role) {
+        case device_role::tor: return "TOR";
+        case device_role::agg: return "AGG";
+        case device_role::csr: return "CSR";
+        case device_role::dcbr: return "DCBR";
+        case device_role::isr: return "ISR";
+        case device_role::bsr: return "BSR";
+        case device_role::reflector: return "RR";
+        case device_role::isp: return "ISP";
+    }
+    return "?";
+}
+
+device_id topology::add_device(std::string name, device_role role, location loc) {
+    const auto id = static_cast<device_id>(devices_.size());
+    if (device_by_name_.contains(name)) {
+        throw skynet_error("duplicate device name: " + name);
+    }
+    device_by_name_.emplace(name, id);
+    devices_.push_back(device{.id = id,
+                              .name = std::move(name),
+                              .role = role,
+                              .loc = std::move(loc),
+                              .group = invalid_group,
+                              .legacy_slow_snmp = false,
+                              .supports_int = false});
+    links_by_device_.emplace_back();
+    csets_by_device_.emplace_back();
+    return id;
+}
+
+link_id topology::add_link(device_id a, device_id b, circuit_set_id cset, double capacity_gbps,
+                           bool internet_entry) {
+    if (a >= devices_.size() || b >= devices_.size()) throw skynet_error("add_link: bad endpoint");
+    const auto id = static_cast<link_id>(links_.size());
+    links_.push_back(link{.id = id,
+                          .a = a,
+                          .b = b,
+                          .cset = cset,
+                          .capacity_gbps = capacity_gbps,
+                          .internet_entry = internet_entry});
+    links_by_device_[a].push_back(id);
+    links_by_device_[b].push_back(id);
+    if (cset != invalid_circuit_set) {
+        if (cset >= csets_.size()) throw skynet_error("add_link: bad circuit set");
+        csets_[cset].circuits.push_back(id);
+    }
+    return id;
+}
+
+circuit_set_id topology::add_circuit_set(std::string name, device_id a, device_id b) {
+    if (a >= devices_.size() || b >= devices_.size()) {
+        throw skynet_error("add_circuit_set: bad endpoint");
+    }
+    const auto id = static_cast<circuit_set_id>(csets_.size());
+    csets_.push_back(circuit_set{.id = id, .name = std::move(name), .a = a, .b = b, .circuits = {}});
+    csets_by_device_[a].push_back(id);
+    csets_by_device_[b].push_back(id);
+    return id;
+}
+
+group_id topology::add_group(std::string name) {
+    const auto id = static_cast<group_id>(groups_.size());
+    groups_.push_back(device_group{.id = id, .name = std::move(name), .members = {}});
+    return id;
+}
+
+void topology::add_to_group(group_id g, device_id d) {
+    if (g >= groups_.size() || d >= devices_.size()) throw skynet_error("add_to_group: bad id");
+    groups_[g].members.push_back(d);
+    devices_[d].group = g;
+}
+
+void topology::set_legacy_slow_snmp(device_id d, bool value) {
+    if (d >= devices_.size()) throw skynet_error("set_legacy_slow_snmp: bad id");
+    devices_[d].legacy_slow_snmp = value;
+}
+
+void topology::set_supports_int(device_id d, bool value) {
+    if (d >= devices_.size()) throw skynet_error("set_supports_int: bad id");
+    devices_[d].supports_int = value;
+}
+
+const device& topology::device_at(device_id id) const {
+    if (id >= devices_.size()) throw skynet_error("device_at: bad id");
+    return devices_[id];
+}
+
+const link& topology::link_at(link_id id) const {
+    if (id >= links_.size()) throw skynet_error("link_at: bad id");
+    return links_[id];
+}
+
+const circuit_set& topology::circuit_set_at(circuit_set_id id) const {
+    if (id >= csets_.size()) throw skynet_error("circuit_set_at: bad id");
+    return csets_[id];
+}
+
+const device_group& topology::group_at(group_id id) const {
+    if (id >= groups_.size()) throw skynet_error("group_at: bad id");
+    return groups_[id];
+}
+
+std::optional<device_id> topology::find_device(std::string_view name) const {
+    const auto it = device_by_name_.find(std::string(name));
+    if (it == device_by_name_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<device_id> topology::devices_under(const location& loc) const {
+    std::vector<device_id> out;
+    for (const device& d : devices_) {
+        if (loc.contains(d.loc)) out.push_back(d.id);
+    }
+    return out;
+}
+
+std::vector<location> topology::clusters_under(const location& loc) const {
+    std::unordered_set<location, location_hash> seen;
+    std::vector<location> out;
+    for (const device& d : devices_) {
+        if (!loc.contains(d.loc)) continue;
+        if (d.loc.depth() <= depth_of(hierarchy_level::cluster)) continue;
+        location cluster = d.loc.ancestor_at(hierarchy_level::cluster);
+        if (seen.insert(cluster).second) out.push_back(cluster);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::span<const link_id> topology::links_of(device_id d) const {
+    if (d >= devices_.size()) throw skynet_error("links_of: bad id");
+    return links_by_device_[d];
+}
+
+std::vector<device_id> topology::neighbors(device_id d) const {
+    std::vector<device_id> out;
+    for (link_id lid : links_of(d)) {
+        const link& l = links_[lid];
+        const device_id other = (l.a == d) ? l.b : l.a;
+        if (std::find(out.begin(), out.end(), other) == out.end()) out.push_back(other);
+    }
+    return out;
+}
+
+std::span<const circuit_set_id> topology::circuit_sets_of(device_id d) const {
+    if (d >= devices_.size()) throw skynet_error("circuit_sets_of: bad id");
+    return csets_by_device_[d];
+}
+
+bool topology::adjacent(device_id a, device_id b) const {
+    for (link_id lid : links_of(a)) {
+        const link& l = links_[lid];
+        if (l.a == b || l.b == b) return true;
+    }
+    return false;
+}
+
+std::vector<std::vector<device_id>> topology::connected_components(
+    std::span<const device_id> members) const {
+    std::unordered_set<device_id> pool(members.begin(), members.end());
+    std::vector<std::vector<device_id>> out;
+
+    auto same_cluster = [this](device_id x, device_id y) {
+        const location cx = devices_[x].loc.ancestor_at(hierarchy_level::cluster);
+        const location cy = devices_[y].loc.ancestor_at(hierarchy_level::cluster);
+        return cx.depth() == depth_of(hierarchy_level::cluster) && cx == cy;
+    };
+
+    while (!pool.empty()) {
+        const device_id seed = *pool.begin();
+        pool.erase(pool.begin());
+        std::vector<device_id> component{seed};
+        std::deque<device_id> frontier{seed};
+        while (!frontier.empty()) {
+            const device_id cur = frontier.front();
+            frontier.pop_front();
+            // Direct links into the remaining pool.
+            std::vector<device_id> found;
+            for (link_id lid : links_of(cur)) {
+                const link& l = links_[lid];
+                const device_id other = (l.a == cur) ? l.b : l.a;
+                if (pool.contains(other)) found.push_back(other);
+            }
+            // Shared-cluster fabric.
+            for (device_id candidate : pool) {
+                if (same_cluster(cur, candidate)) found.push_back(candidate);
+            }
+            for (device_id f : found) {
+                if (pool.erase(f) > 0) {
+                    component.push_back(f);
+                    frontier.push_back(f);
+                }
+            }
+        }
+        std::sort(component.begin(), component.end());
+        out.push_back(std::move(component));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& x, const auto& y) { return x.front() < y.front(); });
+    return out;
+}
+
+std::optional<int> topology::hop_distance(device_id a, device_id b) const {
+    if (a >= devices_.size() || b >= devices_.size()) throw skynet_error("hop_distance: bad id");
+    if (a == b) return 0;
+    std::vector<int> dist(devices_.size(), -1);
+    dist[a] = 0;
+    std::deque<device_id> frontier{a};
+    while (!frontier.empty()) {
+        const device_id cur = frontier.front();
+        frontier.pop_front();
+        for (link_id lid : links_of(cur)) {
+            const link& l = links_[lid];
+            const device_id other = (l.a == cur) ? l.b : l.a;
+            if (dist[other] != -1) continue;
+            dist[other] = dist[cur] + 1;
+            if (other == b) return dist[other];
+            frontier.push_back(other);
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace skynet

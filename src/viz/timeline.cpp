@@ -1,0 +1,73 @@
+#include "skynet/viz/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace skynet {
+
+std::string render_timeline(const std::vector<incident_report>& reports,
+                            const timeline_options& options) {
+    if (reports.empty()) return "(no incidents)\n";
+
+    sim_time begin = reports.front().inc.when.begin;
+    sim_time end = reports.front().inc.when.end;
+    for (const incident_report& r : reports) {
+        begin = std::min(begin, r.inc.when.begin);
+        end = std::max(end, r.inc.when.end);
+    }
+    if (end <= begin) end = begin + 1;
+    const int cols = std::max(10, options.columns);
+    const double bucket =
+        static_cast<double>(end - begin) / static_cast<double>(cols);
+
+    std::vector<incident_report> ordered = reports;
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+        return a.severity.score > b.severity.score;
+    });
+
+    // Header: the time axis endpoints.
+    std::string out;
+    const std::string left = format_time(begin);
+    const std::string right = format_time(end);
+    out += std::string(static_cast<std::size_t>(options.label_width) + 2, ' ') + left;
+    const int pad = cols - static_cast<int>(left.size()) - static_cast<int>(right.size());
+    out += std::string(static_cast<std::size_t>(std::max(1, pad)), ' ') + right + "\n";
+
+    char buf[64];
+    for (const incident_report& r : ordered) {
+        // Per-bucket activity: failure alerts beat other categories.
+        std::vector<char> row(static_cast<std::size_t>(cols), ' ');
+        auto bucket_of = [&](sim_time t) {
+            const int b = static_cast<int>(static_cast<double>(t - begin) / bucket);
+            return std::clamp(b, 0, cols - 1);
+        };
+        // Open window baseline.
+        for (int b = bucket_of(r.inc.when.begin); b <= bucket_of(r.inc.when.end); ++b) {
+            row[static_cast<std::size_t>(b)] = '.';
+        }
+        for (const structured_alert& a : r.inc.alerts) {
+            const char mark = a.category == alert_category::failure ? '#' : '=';
+            for (int b = bucket_of(a.when.begin); b <= bucket_of(a.when.end); ++b) {
+                char& cell = row[static_cast<std::size_t>(b)];
+                if (cell != '#') cell = mark;
+            }
+        }
+
+        std::string label = r.inc.root.to_string();
+        if (static_cast<int>(label.size()) > options.label_width) {
+            label = "..." + label.substr(label.size() -
+                                         static_cast<std::size_t>(options.label_width - 3));
+        }
+        std::snprintf(buf, sizeof buf, "%6.1f%s", r.severity.score,
+                      r.actionable ? " *" : "");
+        out += label + std::string(static_cast<std::size_t>(options.label_width) -
+                                       label.size() + 2,
+                                   ' ') +
+               std::string(row.begin(), row.end()) + " " + buf + "\n";
+    }
+    out += "\n'#' failure-alert activity, '=' other alerts, '.' open; * above the\n"
+           "severity threshold.\n";
+    return out;
+}
+
+}  // namespace skynet

@@ -1,0 +1,92 @@
+#include "skynet/viz/vote_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+vote_graph::vote_graph(const topology* topo) : topo_(topo) {
+    if (topo_ == nullptr) throw skynet_error("vote_graph: null topology");
+}
+
+void vote_graph::add_incident(const incident& inc) {
+    for (const structured_alert& a : inc.alerts) {
+        if (!a.device) continue;
+        const device_id dev = *a.device;
+        device_votes_[dev] += 1.0;
+        for (link_id lid : topo_->links_of(dev)) {
+            link_votes_[lid] += 1.0;
+        }
+        // Far-endpoint votes are per neighbor, not per circuit — parallel
+        // circuits in a bundle must not multiply a neighbor's vote.
+        for (device_id other : topo_->neighbors(dev)) {
+            device_votes_[other] += 0.5;
+        }
+    }
+}
+
+double vote_graph::device_votes(device_id id) const {
+    const auto it = device_votes_.find(id);
+    return it == device_votes_.end() ? 0.0 : it->second;
+}
+
+double vote_graph::link_votes(link_id id) const {
+    const auto it = link_votes_.find(id);
+    return it == link_votes_.end() ? 0.0 : it->second;
+}
+
+std::vector<vote_graph::ranked_device> vote_graph::ranking() const {
+    std::vector<ranked_device> out;
+    out.reserve(device_votes_.size());
+    for (const auto& [id, votes] : device_votes_) {
+        out.push_back(ranked_device{.id = id, .votes = votes});
+    }
+    std::sort(out.begin(), out.end(), [](const ranked_device& a, const ranked_device& b) {
+        if (a.votes != b.votes) return a.votes > b.votes;
+        return a.id < b.id;
+    });
+    return out;
+}
+
+std::string vote_graph::to_dot() const {
+    const std::vector<ranked_device> ranked = ranking();
+    const device_id leader = ranked.empty() ? invalid_device : ranked.front().id;
+
+    std::string out = "graph skynet_votes {\n  node [shape=box];\n";
+    char buf[256];
+    for (const auto& [id, votes] : device_votes_) {
+        const device& d = topo_->device_at(id);
+        std::snprintf(buf, sizeof buf, "  \"%s\" [label=\"%s\\n%s votes=%.1f\"%s];\n",
+                      d.name.c_str(), std::string(to_string(d.role)).c_str(), d.name.c_str(),
+                      votes, id == leader ? ", style=filled, fillcolor=salmon" : "");
+        out += buf;
+    }
+    for (const auto& [lid, votes] : link_votes_) {
+        const link& l = topo_->link_at(lid);
+        if (!device_votes_.contains(l.a) || !device_votes_.contains(l.b)) continue;
+        std::snprintf(buf, sizeof buf, "  \"%s\" -- \"%s\" [label=\"%.1f\"];\n",
+                      topo_->device_at(l.a).name.c_str(), topo_->device_at(l.b).name.c_str(),
+                      votes);
+        out += buf;
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string vote_graph::to_ascii(std::size_t limit) const {
+    std::string out = "votes  role   device\n";
+    char buf[256];
+    std::size_t shown = 0;
+    for (const ranked_device& r : ranking()) {
+        if (shown++ >= limit) break;
+        const device& d = topo_->device_at(r.id);
+        std::snprintf(buf, sizeof buf, "%5.1f  %-5s  %s\n", r.votes,
+                      std::string(to_string(d.role)).c_str(), d.name.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace skynet

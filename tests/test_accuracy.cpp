@@ -1,0 +1,121 @@
+// Tests for ground-truth scoring (incident_matches / score_incidents).
+#include <gtest/gtest.h>
+
+#include "skynet/core/accuracy.h"
+
+namespace skynet {
+namespace {
+
+scenario_record record(location scope, time_range active, bool benign = false,
+                       bool must_detect = true) {
+    return scenario_record{.name = "r",
+                           .cause = root_cause::link_error,
+                           .scope = scope,
+                           .scopes = {scope},
+                           .active = active,
+                           .severe = true,
+                           .benign = benign,
+                           .must_detect = must_detect,
+                           .culprit = std::nullopt};
+}
+
+incident make_incident(location root, time_range when) {
+    incident inc;
+    inc.root = std::move(root);
+    inc.when = when;
+    return inc;
+}
+
+const location site{"R", "C", "LS", "S"};
+
+TEST(MatchTest, ContainmentEitherWay) {
+    const scenario_record r = record(site, {0, minutes(5)});
+    EXPECT_TRUE(incident_matches(make_incident(site, {0, minutes(5)}), r));
+    EXPECT_TRUE(incident_matches(make_incident(site.parent(), {0, minutes(5)}), r));
+    EXPECT_TRUE(incident_matches(make_incident(site.child("CL"), {0, minutes(5)}), r));
+    EXPECT_FALSE(
+        incident_matches(make_incident(location{"R", "C", "LS", "S2"}, {0, minutes(5)}), r));
+}
+
+TEST(MatchTest, TimeWindowWithSlack) {
+    const scenario_record r = record(site, {minutes(10), minutes(15)});
+    EXPECT_TRUE(incident_matches(make_incident(site, {minutes(16), minutes(30)}), r));
+    // Beyond the slack: no match.
+    EXPECT_FALSE(
+        incident_matches(make_incident(site, {minutes(40), minutes(50)}), r, minutes(5)));
+    EXPECT_FALSE(incident_matches(make_incident(site, {hours(2), hours(3)}), r));
+}
+
+TEST(MatchTest, AnyScopeOfMultiSiteFailure) {
+    scenario_record r = record(site, {0, minutes(5)});
+    const location other{"R2", "C2", "LS2"};
+    r.scopes.push_back(other);
+    EXPECT_TRUE(incident_matches(make_incident(other.child("S"), {0, minutes(2)}), r));
+}
+
+TEST(ScoreTest, CoverageAndFalsePositives) {
+    const std::vector<scenario_record> truth{
+        record(site, {0, minutes(5)}),
+        record(location{"R2", "C", "LS", "S"}, {0, minutes(5)}),
+    };
+    const std::vector<incident> incidents{
+        make_incident(site, {0, minutes(4)}),                       // covers truth[0]
+        make_incident(location{"Z", "Z"}, {0, minutes(4)}),         // matches nothing: FP
+    };
+    const accuracy_counts c = score_incidents(incidents, truth);
+    EXPECT_EQ(c.true_positives, 1);
+    EXPECT_EQ(c.false_negatives, 1);  // truth[1] uncovered
+    EXPECT_EQ(c.false_positives, 1);
+    EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.5);
+    EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.5);
+}
+
+TEST(ScoreTest, BenignRecordsNeitherFnNorLegitimizeFp) {
+    // An incident matching only a benign record is a false positive; a
+    // missed benign record is not a false negative.
+    const std::vector<scenario_record> truth{record(site, {0, minutes(5)}, /*benign=*/true)};
+    {
+        const std::vector<incident> incidents{make_incident(site, {0, minutes(4)})};
+        const accuracy_counts c = score_incidents(incidents, truth);
+        EXPECT_EQ(c.false_positives, 1);
+        EXPECT_EQ(c.false_negatives, 0);
+    }
+    {
+        const accuracy_counts c = score_incidents({}, truth);
+        EXPECT_EQ(c.false_negatives, 0);
+    }
+}
+
+TEST(ScoreTest, OptionalRecordsAreNotFnAndNotFp) {
+    // must_detect=false (redundancy-absorbed tickets): missing them is
+    // fine, and detecting them is not an FP either.
+    const std::vector<scenario_record> truth{
+        record(site, {0, minutes(5)}, /*benign=*/false, /*must_detect=*/false)};
+    {
+        const accuracy_counts c = score_incidents({}, truth);
+        EXPECT_EQ(c.false_negatives, 0);
+    }
+    {
+        const std::vector<incident> incidents{make_incident(site, {0, minutes(4)})};
+        const accuracy_counts c = score_incidents(incidents, truth);
+        EXPECT_EQ(c.false_positives, 0);
+    }
+}
+
+TEST(ScoreTest, RatesWithEmptyDenominators) {
+    const accuracy_counts none{};
+    EXPECT_DOUBLE_EQ(none.false_positive_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(none.false_negative_rate(), 0.0);
+}
+
+TEST(ScoreTest, AccumulateOperator) {
+    accuracy_counts a{.true_positives = 1, .false_positives = 2, .false_negatives = 3};
+    const accuracy_counts b{.true_positives = 4, .false_positives = 5, .false_negatives = 6};
+    a += b;
+    EXPECT_EQ(a.true_positives, 5);
+    EXPECT_EQ(a.false_positives, 7);
+    EXPECT_EQ(a.false_negatives, 9);
+}
+
+}  // namespace
+}  // namespace skynet

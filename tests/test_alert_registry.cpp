@@ -1,0 +1,117 @@
+// Unit tests for the alert type registry and built-in catalog.
+#include <gtest/gtest.h>
+
+#include "skynet/alert/type_registry.h"
+#include "skynet/common/error.h"
+
+namespace skynet {
+namespace {
+
+TEST(TypeRegistryTest, RegisterAndFind) {
+    alert_type_registry reg;
+    const alert_type_id id =
+        reg.register_type(data_source::ping, "packet loss", alert_category::failure);
+    EXPECT_EQ(reg.find(data_source::ping, "packet loss"), id);
+    EXPECT_EQ(reg.at(id).name, "packet loss");
+    EXPECT_EQ(reg.at(id).category, alert_category::failure);
+    EXPECT_EQ(reg.find(data_source::snmp, "packet loss"), std::nullopt);
+}
+
+TEST(TypeRegistryTest, ReRegisterSameCategoryIsIdempotent) {
+    alert_type_registry reg;
+    const auto a = reg.register_type(data_source::ping, "packet loss", alert_category::failure);
+    const auto b = reg.register_type(data_source::ping, "packet loss", alert_category::failure);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TypeRegistryTest, ConflictingCategoryThrows) {
+    alert_type_registry reg;
+    (void)reg.register_type(data_source::ping, "packet loss", alert_category::failure);
+    EXPECT_THROW(
+        (void)reg.register_type(data_source::ping, "packet loss", alert_category::abnormal),
+        skynet_error);
+}
+
+TEST(TypeRegistryTest, SameNameDifferentSourcesAreDistinct) {
+    alert_type_registry reg;
+    const auto a = reg.register_type(data_source::snmp, "link down", alert_category::root_cause);
+    const auto b = reg.register_type(data_source::syslog, "link down", alert_category::root_cause);
+    EXPECT_NE(a, b);
+}
+
+TEST(TypeRegistryTest, BadIdThrows) {
+    alert_type_registry reg;
+    EXPECT_THROW((void)reg.at(0), skynet_error);
+}
+
+TEST(BuiltinCatalogTest, CoversEverySource) {
+    const alert_type_registry reg = alert_type_registry::with_builtin_catalog();
+    for (data_source src : all_data_sources()) {
+        bool any = false;
+        for (const alert_type& t : reg.types()) {
+            if (t.source == src) any = true;
+        }
+        EXPECT_TRUE(any) << "no types for " << to_string(src);
+    }
+}
+
+TEST(BuiltinCatalogTest, Figure6TypesPresent) {
+    const alert_type_registry reg = alert_type_registry::with_builtin_catalog();
+    // The running example's types with their categories.
+    struct expected {
+        data_source src;
+        const char* name;
+        alert_category cat;
+    };
+    const expected cases[] = {
+        {data_source::ping, "packet loss", alert_category::failure},
+        {data_source::out_of_band, "device inaccessible", alert_category::abnormal},
+        {data_source::syslog, "traffic blackhole", alert_category::abnormal},
+        {data_source::syslog, "link flapping", alert_category::abnormal},
+        {data_source::syslog, "bgp peer down", alert_category::abnormal},
+        {data_source::syslog, "bgp link jitter", alert_category::root_cause},
+        {data_source::syslog, "hardware error", alert_category::root_cause},
+        {data_source::syslog, "out of memory", alert_category::root_cause},
+        {data_source::snmp, "traffic congestion", alert_category::root_cause},
+        {data_source::snmp, "link down", alert_category::root_cause},
+        {data_source::syslog, "port down", alert_category::root_cause},
+        {data_source::syslog, "software error", alert_category::root_cause},
+    };
+    for (const expected& e : cases) {
+        const auto id = reg.find(e.src, e.name);
+        ASSERT_TRUE(id.has_value()) << e.name;
+        EXPECT_EQ(reg.at(*id).category, e.cat) << e.name;
+    }
+}
+
+TEST(BuiltinCatalogTest, FailureTypesAreBehavioral) {
+    // Failure alerts are about packet behaviour (loss, latency, bit
+    // flips), never about entities — a structural property of the
+    // categorization (§4.2).
+    const alert_type_registry reg = alert_type_registry::with_builtin_catalog();
+    for (const alert_type& t : reg.types()) {
+        if (t.category != alert_category::failure) continue;
+        const bool behavioural = t.name.find("loss") != std::string::npos ||
+                                 t.name.find("latency") != std::string::npos ||
+                                 t.name.find("unreachable") != std::string::npos ||
+                                 t.name.find("bit flip") != std::string::npos ||
+                                 t.name.find("discrepancy") != std::string::npos;
+        EXPECT_TRUE(behavioural) << t.name;
+    }
+}
+
+TEST(DataSourceTest, Names) {
+    EXPECT_EQ(to_string(data_source::ping), "Ping");
+    EXPECT_EQ(to_string(data_source::out_of_band), "Out-of-band");
+    EXPECT_EQ(all_data_sources().size(), data_source_count);
+}
+
+TEST(AlertCategoryTest, Names) {
+    EXPECT_EQ(to_string(alert_category::failure), "failure");
+    EXPECT_EQ(to_string(alert_category::abnormal), "abnormal");
+    EXPECT_EQ(to_string(alert_category::root_cause), "root cause");
+}
+
+}  // namespace
+}  // namespace skynet

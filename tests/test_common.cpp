@@ -1,0 +1,160 @@
+// Unit tests for skynet/common: time, rng, strings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "skynet/common/rng.h"
+#include "skynet/common/sim_clock.h"
+#include "skynet/common/strings.h"
+#include "skynet/common/time.h"
+
+namespace skynet {
+namespace {
+
+TEST(TimeTest, DurationHelpers) {
+    EXPECT_EQ(seconds(1), 1000);
+    EXPECT_EQ(minutes(1), 60 * 1000);
+    EXPECT_EQ(hours(1), 60 * 60 * 1000);
+    EXPECT_EQ(days(1), 24 * 60 * 60 * 1000);
+    EXPECT_DOUBLE_EQ(to_seconds(seconds(5)), 5.0);
+}
+
+TEST(TimeTest, FormatTime) {
+    EXPECT_EQ(format_time(0), "00:00:00.000");
+    EXPECT_EQ(format_time(minutes(61) + seconds(2) + 3), "01:01:02.003");
+    EXPECT_EQ(format_time(-seconds(1)), "-00:00:01.000");
+}
+
+TEST(TimeTest, FormatDuration) {
+    EXPECT_EQ(format_duration(512), "512ms");
+    EXPECT_EQ(format_duration(seconds(3) + 500), "3.5s");
+    EXPECT_EQ(format_duration(minutes(3) + seconds(42)), "3m42s");
+    EXPECT_EQ(format_duration(hours(2) + minutes(5)), "2h5m");
+}
+
+TEST(TimeRangeTest, ExtendAndContains) {
+    time_range r{100, 200};
+    EXPECT_EQ(r.length(), 100);
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_TRUE(r.contains(200));
+    EXPECT_FALSE(r.contains(201));
+    r.extend(50);
+    r.extend(300);
+    EXPECT_EQ(r.begin, 50);
+    EXPECT_EQ(r.end, 300);
+}
+
+TEST(TimeRangeTest, Overlaps) {
+    const time_range a{0, 100};
+    EXPECT_TRUE(a.overlaps(time_range{100, 200}));
+    EXPECT_TRUE(a.overlaps(time_range{50, 60}));
+    EXPECT_FALSE(a.overlaps(time_range{101, 200}));
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+    sim_clock clock(100);
+    EXPECT_EQ(clock.now(), 100);
+    clock.advance(50);
+    EXPECT_EQ(clock.now(), 150);
+    clock.advance(-10);  // clamped
+    EXPECT_EQ(clock.now(), 150);
+    clock.advance_to(120);  // backwards jump ignored
+    EXPECT_EQ(clock.now(), 150);
+    clock.advance_to(500);
+    EXPECT_EQ(clock.now(), 500);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+    rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    }
+}
+
+TEST(RngTest, UniformIntBounds) {
+    rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(RngTest, ChanceExtremes) {
+    rng r(2);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-1.0));
+    EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(RngTest, WeightedIndexRespectsZeros) {
+    rng r(3);
+    const std::vector<double> weights{0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.weighted_index(weights), 1u);
+    }
+}
+
+TEST(RngTest, WeightedIndexDistribution) {
+    rng r(4);
+    const std::vector<double> weights{1.0, 9.0};
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (r.weighted_index(weights) == 1) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.9, 0.03);
+}
+
+TEST(RngTest, WeightedIndexRejectsBadInput) {
+    rng r(5);
+    EXPECT_THROW((void)r.weighted_index(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW((void)r.weighted_index(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(RngTest, IndexThrowsOnEmpty) {
+    rng r(6);
+    EXPECT_THROW((void)r.index(0), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIndependence) {
+    rng a(7);
+    rng child = a.fork();
+    // A fork must not replay the parent stream.
+    rng b(7);
+    (void)b.fork();
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+    (void)child.uniform_int(0, 10);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+    EXPECT_EQ(split("a|b||c", '|'), (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(split("", '|'), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("abc", '|'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, SplitWhitespace) {
+    EXPECT_EQ(split_whitespace("  a\t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, "|"), "a|b|c");
+    EXPECT_EQ(join({}, "|"), "");
+    EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(StringsTest, Predicates) {
+    EXPECT_TRUE(starts_with("hello world", "hello"));
+    EXPECT_FALSE(starts_with("hi", "hello"));
+    EXPECT_TRUE(contains("hello world", "o w"));
+    EXPECT_FALSE(contains("hello", "z"));
+}
+
+TEST(StringsTest, ToLower) {
+    EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+}  // namespace
+}  // namespace skynet

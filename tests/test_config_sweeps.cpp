@@ -1,0 +1,193 @@
+// Parameterized configuration sweeps: the pipeline's tunables must
+// behave sanely across their whole ranges, not just at the paper
+// defaults.
+#include <gtest/gtest.h>
+
+#include "skynet/core/evaluator.h"
+#include "skynet/core/locator.h"
+#include "skynet/core/preprocessor.h"
+#include "skynet/syslog/classifier.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+// --- preprocessor dedup-window sweep -----------------------------------------
+
+class DedupWindowSweep : public ::testing::TestWithParam<sim_duration> {};
+INSTANTIATE_TEST_SUITE_P(Windows, DedupWindowSweep,
+                         ::testing::Values(seconds(30), minutes(1), minutes(5), minutes(15)));
+
+TEST_P(DedupWindowSweep, SlidingInactivityWindowSemantics) {
+    // The consolidation window slides on activity: continuous repetition
+    // keeps ONE open alert alive indefinitely; a quiet gap longer than
+    // the window starts a fresh alert.
+    const topology topo = generate_topology(generator_params::tiny());
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+    preprocessor_config cfg;
+    cfg.dedup_window = GetParam();
+    preprocessor pre(&topo, &registry, &syslog, cfg);
+
+    const device& d = topo.devices().front();
+    auto feed = [&](sim_time t) {
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.kind = "high cpu";
+        a.timestamp = t;
+        a.loc = d.loc;
+        a.device = d.id;
+        int fresh = 0;
+        for (const preprocess_event& ev : pre.process(a, t)) {
+            if (!ev.is_update) ++fresh;
+        }
+        (void)pre.flush(t);
+        return fresh;
+    };
+
+    // Continuous repetition well past the window: exactly one fresh alert.
+    int emitted_new = 0;
+    sim_time t = 0;
+    for (; t < 3 * GetParam(); t += seconds(10)) emitted_new += feed(t);
+    EXPECT_EQ(emitted_new, 1);
+
+    // Three bursts separated by gaps longer than the window: one fresh
+    // alert each.
+    emitted_new = 0;
+    for (int burst = 0; burst < 3; ++burst) {
+        t += GetParam() + seconds(10);
+        emitted_new += feed(t);
+        emitted_new += feed(t + seconds(2));  // in-window repeat: an update
+    }
+    EXPECT_EQ(emitted_new, 3);
+}
+
+// --- persistence-threshold sweep -------------------------------------------------
+
+class PersistenceSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Thresholds, PersistenceSweep, ::testing::Values(1, 2, 3, 5));
+
+TEST_P(PersistenceSweep, ProbeLossReleasedAtExactlyNObservations) {
+    const topology topo = generate_topology(generator_params::tiny());
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+    preprocessor_config cfg;
+    cfg.persistence_threshold = GetParam();
+    cfg.persistence_window = minutes(2);
+    preprocessor pre(&topo, &registry, &syslog, cfg);
+
+    raw_alert a;
+    a.source = data_source::ping;
+    a.kind = "packet loss";
+    a.metric = 0.1;
+    a.loc = location{"R", "C", "LS", "S", "CL"};
+
+    int released_at = -1;
+    for (int observation = 1; observation <= 8; ++observation) {
+        a.timestamp = seconds(observation * 2);
+        const auto out = pre.process(a, a.timestamp);
+        if (!out.empty() && released_at < 0) released_at = observation;
+    }
+    EXPECT_EQ(released_at, GetParam());
+}
+
+// --- locator timeout sweep --------------------------------------------------------
+
+class NodeTimeoutSweep : public ::testing::TestWithParam<sim_duration> {};
+INSTANTIATE_TEST_SUITE_P(Timeouts, NodeTimeoutSweep,
+                         ::testing::Values(minutes(1), minutes(5), minutes(10)));
+
+TEST_P(NodeTimeoutSweep, AlertsPairOnlyWithinTheTimeout) {
+    const topology topo = generate_topology(generator_params::tiny());
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    locator_config cfg;
+    cfg.node_timeout = GetParam();
+    locator loc(&topo, cfg);
+
+    const device& d = topo.devices().front();
+    auto alert = [&](const char* type, data_source src, sim_time t) {
+        structured_alert a;
+        a.type = *registry.find(src, type);
+        a.type_name = type;
+        a.source = src;
+        a.category = registry.at(a.type).category;
+        a.when = time_range{t, t};
+        a.loc = d.loc;
+        a.device = d.id;
+        a.metric = 0.1;
+        return a;
+    };
+
+    // Two failure types separated by MORE than the timeout never pair...
+    loc.insert(alert("packet loss", data_source::ping, 0), 0);
+    (void)loc.check(GetParam() + seconds(10));  // first alert expired
+    loc.insert(alert("sflow packet loss", data_source::traffic_stats, GetParam() + seconds(20)),
+               GetParam() + seconds(20));
+    (void)loc.check(GetParam() + seconds(30));
+    EXPECT_TRUE(loc.open_incidents().empty());
+
+    // ... while the same pair inside the window spawns an incident.
+    locator fresh(&topo, cfg);
+    fresh.insert(alert("packet loss", data_source::ping, 0), 0);
+    fresh.insert(alert("sflow packet loss", data_source::traffic_stats, GetParam() / 2),
+                 GetParam() / 2);
+    (void)fresh.check(GetParam() / 2 + seconds(5));
+    EXPECT_EQ(fresh.open_incidents().size(), 1u);
+}
+
+// --- evaluator severity-threshold sweep ------------------------------------------
+
+class SeverityThresholdSweep : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Thresholds, SeverityThresholdSweep,
+                         ::testing::Values(1.0, 10.0, 50.0, 100.0));
+
+TEST_P(SeverityThresholdSweep, FilterIsAHardCutoff) {
+    const topology topo = generate_topology(generator_params::tiny());
+    customer_registry customers;
+    evaluator eval(&topo, &customers, evaluator_config{.severity_threshold = GetParam()});
+    severity_breakdown s;
+    s.score = GetParam() - 0.01;
+    EXPECT_FALSE(eval.passes_filter(s));
+    s.score = GetParam();
+    EXPECT_TRUE(eval.passes_filter(s));
+    s.score = GetParam() + 0.01;
+    EXPECT_TRUE(eval.passes_filter(s));
+}
+
+// --- incident timeout sweep ---------------------------------------------------------
+
+class IncidentTimeoutSweep : public ::testing::TestWithParam<sim_duration> {};
+INSTANTIATE_TEST_SUITE_P(Timeouts, IncidentTimeoutSweep,
+                         ::testing::Values(minutes(5), minutes(15), minutes(30)));
+
+TEST_P(IncidentTimeoutSweep, IncidentClosesExactlyAfterQuietPeriod) {
+    const topology topo = generate_topology(generator_params::tiny());
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    locator_config cfg;
+    cfg.incident_timeout = GetParam();
+    locator loc(&topo, cfg);
+
+    const device& d = topo.devices().front();
+    for (const char* type : {"packet loss", "sflow packet loss"}) {
+        structured_alert a;
+        const data_source src =
+            std::string(type) == "packet loss" ? data_source::ping : data_source::traffic_stats;
+        a.type = *registry.find(src, type);
+        a.type_name = type;
+        a.source = src;
+        a.category = alert_category::failure;
+        a.when = time_range{0, 0};
+        a.loc = d.loc;
+        a.device = d.id;
+        loc.insert(a, 0);
+    }
+    (void)loc.check(seconds(5));
+    ASSERT_EQ(loc.open_incidents().size(), 1u);
+
+    // Still open just before the timeout, closed just after.
+    EXPECT_TRUE(loc.check(seconds(5) + GetParam() - seconds(1)).empty());
+    EXPECT_EQ(loc.check(seconds(5) + GetParam() + seconds(1)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace skynet

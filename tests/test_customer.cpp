@@ -1,0 +1,155 @@
+// Unit tests for the customer / SLA-flow registry.
+#include <gtest/gtest.h>
+
+#include "skynet/common/error.h"
+#include "skynet/telemetry/customer.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+struct fixture {
+    topology topo;
+    circuit_set_id cs1, cs2;
+
+    fixture() {
+        const location cl{"R", "C", "LS", "S", "CL"};
+        const device_id a = topo.add_device("a", device_role::tor, cl.child("a"));
+        const device_id b = topo.add_device("b", device_role::agg, cl.child("b"));
+        const device_id c = topo.add_device("c", device_role::agg, cl.child("c"));
+        cs1 = topo.add_circuit_set("a<->b", a, b);
+        cs2 = topo.add_circuit_set("a<->c", a, c);
+        (void)topo.add_link(a, b, cs1, 100.0);
+        (void)topo.add_link(a, c, cs2, 100.0);
+    }
+};
+
+TEST(CustomerRegistryTest, AttachAndQuery) {
+    fixture f;
+    customer_registry reg;
+    const customer_id c1 = reg.add_customer("acme", customer_tier::critical);
+    const customer_id c2 = reg.add_customer("beta", customer_tier::standard);
+    reg.attach(c1, f.cs1);
+    reg.attach(c2, f.cs1);
+    reg.attach(c2, f.cs2);
+
+    EXPECT_EQ(reg.customer_count(f.cs1), 2);
+    EXPECT_EQ(reg.customer_count(f.cs2), 1);
+    EXPECT_DOUBLE_EQ(reg.importance_factor(f.cs1), tier_importance(customer_tier::critical));
+    EXPECT_DOUBLE_EQ(reg.importance_factor(f.cs2), tier_importance(customer_tier::standard));
+}
+
+TEST(CustomerRegistryTest, AttachIsIdempotent) {
+    fixture f;
+    customer_registry reg;
+    const customer_id c = reg.add_customer("acme", customer_tier::premium);
+    reg.attach(c, f.cs1);
+    reg.attach(c, f.cs1);
+    EXPECT_EQ(reg.customer_count(f.cs1), 1);
+    EXPECT_EQ(reg.customer_at(c).circuit_sets.size(), 1u);
+}
+
+TEST(CustomerRegistryTest, ImportanceOfEmptySetIsZero) {
+    fixture f;
+    customer_registry reg;
+    EXPECT_DOUBLE_EQ(reg.importance_factor(f.cs1), 0.0);
+    EXPECT_EQ(reg.customer_count(f.cs1), 0);
+}
+
+TEST(CustomerRegistryTest, ImportantCustomerCountDeduplicates) {
+    fixture f;
+    customer_registry reg;
+    const customer_id vip = reg.add_customer("vip", customer_tier::critical);
+    const customer_id pleb = reg.add_customer("pleb", customer_tier::standard);
+    reg.attach(vip, f.cs1);
+    reg.attach(vip, f.cs2);
+    reg.attach(pleb, f.cs1);
+    const std::vector<circuit_set_id> both{f.cs1, f.cs2};
+    // vip rides both sets but counts once; standard never counts.
+    EXPECT_EQ(reg.important_customer_count(both), 1);
+}
+
+TEST(CustomerRegistryTest, SlaFlows) {
+    fixture f;
+    customer_registry reg;
+    const customer_id c = reg.add_customer("acme", customer_tier::premium);
+    reg.attach(c, f.cs1);
+    const sla_flow_id flow = reg.add_sla_flow(c, f.cs1, 5.0);
+    EXPECT_EQ(reg.flows_on(f.cs1).size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.flow_at(flow).committed_gbps, 5.0);
+    EXPECT_TRUE(reg.flows_on(f.cs2).empty());
+}
+
+TEST(CustomerRegistryTest, TierImportanceOrdering) {
+    EXPECT_LT(tier_importance(customer_tier::standard), tier_importance(customer_tier::premium));
+    EXPECT_LT(tier_importance(customer_tier::premium), tier_importance(customer_tier::critical));
+}
+
+TEST(CustomerRegistryTest, BadIdsThrow) {
+    customer_registry reg;
+    EXPECT_THROW((void)reg.customer_at(0), skynet_error);
+    EXPECT_THROW(reg.attach(0, 0), skynet_error);
+    EXPECT_THROW((void)reg.add_sla_flow(0, 0, 1.0), skynet_error);
+}
+
+TEST(CustomerGenerateTest, PopulatesTiersAndFlows) {
+    const topology topo = generate_topology(generator_params::small());
+    rng rand(9);
+    const customer_registry reg = customer_registry::generate(topo, 500, rand);
+    ASSERT_EQ(reg.customers().size(), 500u);
+
+    int critical = 0, premium = 0;
+    for (const customer& c : reg.customers()) {
+        if (c.tier == customer_tier::critical) ++critical;
+        if (c.tier == customer_tier::premium) ++premium;
+        EXPECT_FALSE(c.circuit_sets.empty());
+    }
+    // ~5 % critical, ~15 % premium (generous tolerance).
+    EXPECT_NEAR(critical / 500.0, 0.05, 0.04);
+    EXPECT_NEAR(premium / 500.0, 0.15, 0.07);
+
+    // Non-standard customers carry SLA flows.
+    EXPECT_GT(reg.sla_flows().size(), 0u);
+    for (const sla_flow& f : reg.sla_flows()) {
+        EXPECT_NE(reg.customer_at(f.owner).tier, customer_tier::standard);
+        EXPECT_GT(f.committed_gbps, 0.0);
+    }
+}
+
+TEST(CustomerGenerateTest, AttachesToTrafficCarryingSets) {
+    const topology topo = generate_topology(generator_params::tiny());
+    rng rand(10);
+    const customer_registry reg = customer_registry::generate(topo, 50, rand);
+    for (const customer& c : reg.customers()) {
+        EXPECT_FALSE(c.circuit_sets.empty());
+        for (circuit_set_id cs : c.circuit_sets) {
+            const circuit_set& set = topo.circuit_set_at(cs);
+            // Reflector bundles carry control traffic only.
+            EXPECT_NE(topo.device_at(set.a).role, device_role::reflector);
+            EXPECT_NE(topo.device_at(set.b).role, device_role::reflector);
+        }
+    }
+}
+
+TEST(CustomerGenerateTest, TransitSetsCarryCustomers) {
+    // Aggregation-tier bundles must end up with customer relationships —
+    // the evaluator's impact factor depends on them when transit loss
+    // hurts customers far from their racks.
+    const topology topo = generate_topology(generator_params::small());
+    rng rand(10);
+    const customer_registry reg = customer_registry::generate(topo, 500, rand);
+    int transit_with_customers = 0;
+    for (const circuit_set& cs : topo.circuit_sets()) {
+        const device_role ra = topo.device_at(cs.a).role;
+        const device_role rb = topo.device_at(cs.b).role;
+        const bool transit = (ra == device_role::csr || ra == device_role::dcbr ||
+                              ra == device_role::bsr) &&
+                             (rb == device_role::csr || rb == device_role::dcbr ||
+                              rb == device_role::bsr);
+        if (transit && !reg.customers_on(cs.id).empty()) ++transit_with_customers;
+    }
+    EXPECT_GT(transit_with_customers, 10);
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,118 @@
+// Tests for the incident digest (LLM handoff) renderers.
+#include <gtest/gtest.h>
+
+#include "skynet/core/digest.h"
+
+namespace skynet {
+namespace {
+
+incident_report sample_report(int types_per_category = 3) {
+    incident_report report;
+    report.inc.id = 42;
+    report.inc.root = location{"Region A", "City a", "LS 2"};
+    report.inc.when = time_range{minutes(1), minutes(7)};
+    report.severity.score = 61.5;
+    report.severity.impact_factor = 12.0;
+    report.severity.time_factor = 5.1;
+    report.severity.avg_ping_loss = 0.24;
+    report.severity.important_customers = 7;
+    report.actionable = true;
+    report.zoomed = location{"Region A", "City a", "LS 2", "Site I"};
+
+    static constexpr alert_category cats[] = {
+        alert_category::failure, alert_category::abnormal, alert_category::root_cause};
+    for (alert_category cat : cats) {
+        for (int i = 0; i < types_per_category; ++i) {
+            structured_alert a;
+            a.type_name = std::string(to_string(cat)) + "-type-" + std::to_string(i);
+            a.category = cat;
+            a.source = data_source::snmp;
+            a.count = 10 - i;
+            a.loc = report.inc.root;
+            report.inc.alerts.push_back(a);
+        }
+    }
+    return report;
+}
+
+TEST(DigestTest, ContainsTheEssentials) {
+    const std::string d = incident_digest(sample_report());
+    EXPECT_NE(d.find("incident 42"), std::string::npos);
+    EXPECT_NE(d.find("severity 61.5"), std::string::npos);
+    EXPECT_NE(d.find("[actionable]"), std::string::npos);
+    EXPECT_NE(d.find("Region A|City a|LS 2"), std::string::npos);
+    EXPECT_NE(d.find("zoomed: Region A|City a|LS 2|Site I"), std::string::npos);
+    EXPECT_NE(d.find("root cause alerts:"), std::string::npos);
+    EXPECT_NE(d.find("failure alerts:"), std::string::npos);
+}
+
+TEST(DigestTest, RootCauseSectionComesFirst) {
+    const std::string d = incident_digest(sample_report());
+    EXPECT_LT(d.find("root cause alerts:"), d.find("failure alerts:"));
+    EXPECT_LT(d.find("failure alerts:"), d.find("abnormal alerts:"));
+}
+
+TEST(DigestTest, RespectsCharBudget) {
+    digest_options opts;
+    opts.max_chars = 300;
+    const std::string d = incident_digest(sample_report(20), opts);
+    EXPECT_LE(d.size(), 300u);
+    // The header and (at least the start of) the root-cause section
+    // survive truncation.
+    EXPECT_NE(d.find("incident 42"), std::string::npos);
+}
+
+TEST(DigestTest, TypeListCapped) {
+    digest_options opts;
+    opts.max_types_per_category = 2;
+    const std::string d = incident_digest(sample_report(5), opts);
+    EXPECT_NE(d.find("more types"), std::string::npos);
+}
+
+TEST(DigestTest, TypesOrderedByVolume) {
+    const std::string d = incident_digest(sample_report());
+    // type-0 has the highest count within each category.
+    const auto first = d.find("root cause-type-0");
+    const auto second = d.find("root cause-type-1");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    EXPECT_LT(first, second);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(DigestJsonTest, WellFormedStructure) {
+    const std::string j = incident_digest_json(sample_report());
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    EXPECT_NE(j.find("\"id\":42"), std::string::npos);
+    EXPECT_NE(j.find("\"actionable\":true"), std::string::npos);
+    EXPECT_NE(j.find("\"alerts\":["), std::string::npos);
+    EXPECT_NE(j.find("\"zoomed\":"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['), std::count(j.begin(), j.end(), ']'));
+}
+
+TEST(DigestJsonTest, OmitsZoomWhenAbsent) {
+    incident_report r = sample_report();
+    r.zoomed.reset();
+    const std::string j = incident_digest_json(r);
+    EXPECT_EQ(j.find("\"zoomed\""), std::string::npos);
+}
+
+TEST(DigestJsonTest, EscapesLocationNames) {
+    incident_report r = sample_report();
+    r.inc.root = location{"Region \"A\""};
+    const std::string j = incident_digest_json(r);
+    EXPECT_NE(j.find("Region \\\"A\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,148 @@
+// Tests for the discrete-event simulation engine: scheduling, alert
+// delivery ordering, legacy SNMP delays, ground-truth records.
+#include <gtest/gtest.h>
+
+#include "skynet/common/error.h"
+#include "skynet/sim/engine.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+struct world {
+    topology topo;
+    customer_registry customers;
+
+    world() {
+        generator_params p = generator_params::tiny();
+        p.legacy_snmp_fraction = 0.0;
+        topo = generate_topology(p);
+        rng crand(3);
+        customers = customer_registry::generate(topo, 50, crand);
+    }
+};
+
+TEST(EngineTest, HealthyNetworkIsQuiet) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 5});
+    engine.add_default_monitors();
+    EXPECT_EQ(engine.monitor_count(), data_source_count);
+
+    int alerts = 0;
+    engine.run_until(minutes(2), [&alerts](const raw_alert&, sim_time) { ++alerts; });
+    EXPECT_EQ(alerts, 0);
+    EXPECT_EQ(engine.clock().now(), minutes(2));
+}
+
+TEST(EngineTest, ScenarioProducesAlertFlood) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 6});
+    engine.add_default_monitors();
+    rng srand(7);
+    engine.inject(make_infrastructure_failure(w.topo, srand, true), minutes(1), minutes(5));
+
+    int alerts = 0;
+    engine.run_until(minutes(8), [&alerts](const raw_alert&, sim_time) { ++alerts; });
+    EXPECT_GT(alerts, 50) << "a severe failure must flood alerts";
+    ASSERT_EQ(engine.ground_truth().size(), 1u);
+    EXPECT_TRUE(engine.ground_truth()[0].severe);
+    EXPECT_EQ(engine.ground_truth()[0].active.begin, minutes(1));
+}
+
+TEST(EngineTest, AlertsArriveInOrder) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 8});
+    engine.add_default_monitors();
+    rng srand(9);
+    engine.inject(make_random_scenario(w.topo, srand, true), seconds(30), minutes(3));
+
+    sim_time last = 0;
+    engine.run_until(minutes(6), [&last](const raw_alert&, sim_time arrival) {
+        EXPECT_GE(arrival, last);
+        last = arrival;
+    });
+}
+
+TEST(EngineTest, ArrivalNeverBeforeGeneration) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 10});
+    engine.add_default_monitors();
+    rng srand(11);
+    engine.inject(make_link_failure(w.topo, srand, true), seconds(10), minutes(2));
+    engine.run_until(minutes(4), [](const raw_alert& a, sim_time arrival) {
+        EXPECT_GE(arrival, a.timestamp);
+        EXPECT_LE(arrival - a.timestamp, minutes(2) + seconds(2));
+    });
+}
+
+TEST(EngineTest, LegacySnmpDelaysDelivery) {
+    // All devices legacy: SNMP alerts must show a substantial
+    // generation-to-arrival delay (the §4.2 motivation for 5-minute node
+    // timeouts).
+    generator_params p = generator_params::tiny();
+    p.legacy_snmp_fraction = 1.0;
+    topology topo = generate_topology(p);
+    rng crand(3);
+    customer_registry customers = customer_registry::generate(topo, 20, crand);
+
+    simulation_engine engine(&topo, &customers, engine_params{.tick = seconds(2), .seed = 12});
+    engine.add_default_monitors();
+    rng srand(13);
+    engine.inject(make_link_failure(topo, srand, true), seconds(10), minutes(3));
+
+    sim_duration max_snmp_delay = 0;
+    engine.run_until(minutes(6), [&max_snmp_delay](const raw_alert& a, sim_time arrival) {
+        if (a.source == data_source::snmp) {
+            max_snmp_delay = std::max(max_snmp_delay, arrival - a.timestamp);
+        }
+    });
+    EXPECT_GT(max_snmp_delay, seconds(19));
+    EXPECT_LE(max_snmp_delay, minutes(2));
+}
+
+TEST(EngineTest, TickHookRunsEveryTick) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 14});
+    int ticks = 0;
+    engine.run_until(seconds(20), nullptr, [&ticks](sim_time) { ++ticks; });
+    EXPECT_EQ(ticks, 10);
+}
+
+TEST(EngineTest, StateHealsAfterScenarioEnds) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 15});
+    engine.add_default_monitors();
+    rng srand(16);
+    engine.inject(make_infrastructure_failure(w.topo, srand, false), seconds(10), minutes(1));
+    engine.run_until(minutes(3), nullptr);
+    for (const device& d : w.topo.devices()) {
+        EXPECT_TRUE(engine.state().device_state(d.id).alive) << d.name;
+    }
+}
+
+TEST(EngineTest, NullScenarioRejected) {
+    world w;
+    simulation_engine engine(&w.topo, &w.customers);
+    EXPECT_THROW(engine.inject(nullptr, 0, minutes(1)), skynet_error);
+}
+
+TEST(EngineTest, DeterministicReplay) {
+    auto run = [] {
+        world w;
+        simulation_engine engine(&w.topo, &w.customers,
+                                 engine_params{.tick = seconds(2), .seed = 99});
+        engine.add_default_monitors();
+        rng srand(100);
+        engine.inject(make_random_scenario(w.topo, srand, true), seconds(20), minutes(2));
+        std::vector<std::string> log;
+        engine.run_until(minutes(4), [&log](const raw_alert& a, sim_time arrival) {
+            log.push_back(std::to_string(arrival) + "|" + std::string(to_string(a.source)) + "|" +
+                          a.kind + "|" + a.loc.to_string());
+        });
+        return log;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,178 @@
+// Fidelity test for the Figure 6 running example: the scripted alert
+// flood must reproduce the paper's walk-through — two incidents, the big
+// one at the logic site with alerts in all three categories, the small
+// one isolated at the far device, and the big one ranked first.
+#include <gtest/gtest.h>
+
+#include "skynet/core/digest.h"
+#include "skynet/core/pipeline.h"
+#include "skynet/syslog/message_catalog.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+class Figure6 : public ::testing::Test {
+protected:
+    void SetUp() override {
+        topo_ = generate_topology(generator_params::small());
+        rng crand(2024);
+        customers_ = customer_registry::generate(topo_, 400, crand);
+        registry_ = alert_type_registry::with_builtin_catalog();
+        syslog_ = syslog_classifier::train_from_catalog();
+        engine_ = std::make_unique<skynet_engine>(&topo_, &customers_, &registry_, &syslog_);
+        state_ = std::make_unique<network_state>(&topo_, &customers_);
+
+        // Stage: devices i, ii in logic site 2; device n far away.
+        for (const device& d : topo_.devices()) {
+            if (d.role == device_role::csr && ls2_.is_root()) {
+                ls2_ = d.loc.ancestor_at(hierarchy_level::logic_site);
+            }
+        }
+        // Device ii: a CSR of logic site 2; device i: an AGG in the same
+        // site (directly linked, so their alerts share one root cause).
+        for (const device& d : topo_.devices()) {
+            if (dev_ii_ == nullptr && ls2_.contains(d.loc) && d.role == device_role::csr) {
+                dev_ii_ = &d;
+            }
+        }
+        ASSERT_NE(dev_ii_, nullptr);
+        const location site = dev_ii_->loc.ancestor_at(hierarchy_level::site);
+        for (const device& d : topo_.devices()) {
+            if (dev_i_ == nullptr && site.contains(d.loc) && d.role == device_role::agg) {
+                dev_i_ = &d;
+            }
+        }
+        ASSERT_NE(dev_i_, nullptr);
+        for (const device& d : topo_.devices()) {
+            if (!ls2_.contains(d.loc) && d.role == device_role::tor) {
+                dev_n_ = &d;
+                break;
+            }
+        }
+        run_flood();
+    }
+
+    void raw(data_source src, std::string kind, const device& d, double metric) {
+        raw_alert a;
+        a.source = src;
+        a.timestamp = now_;
+        a.kind = std::move(kind);
+        a.loc = d.loc;
+        a.device = d.id;
+        a.metric = metric;
+        engine_->ingest(a, now_);
+    }
+
+    void syslog_raw(const char* pattern, const device& d) {
+        raw_alert a;
+        a.source = data_source::syslog;
+        a.timestamp = now_;
+        a.message = render_syslog(pattern, rand_);
+        a.loc = d.loc;
+        a.device = d.id;
+        engine_->ingest(a, now_);
+    }
+
+    void run_flood() {
+        for (int tick = 0; tick < 8; ++tick) {
+            raw(data_source::ping, "packet loss", *dev_i_, 0.31);
+            raw(data_source::ping, "packet loss", *dev_ii_, 0.28);
+            raw(data_source::out_of_band, "device inaccessible", *dev_i_, 1.0);
+            raw(data_source::snmp, "traffic congestion", *dev_ii_, 0.97);
+            if (tick == 2) {
+                syslog_raw("%LINK-3-UPDOWN: Interface {intf} changed state to down", *dev_i_);
+                syslog_raw("%BGP-5-ADJCHANGE: neighbor {ip} Down BGP Notification sent "
+                           "holdtimer expired",
+                           *dev_ii_);
+            }
+            if (tick == 4) {
+                syslog_raw("%PLATFORM-2-HW_ERROR: ASIC {num} parity error detected slot {num} "
+                           "requires reset",
+                           *dev_i_);
+            }
+            now_ += seconds(2);
+            engine_->tick(now_, *state_);
+        }
+        for (int tick = 0; tick < 4; ++tick) {
+            raw(data_source::internet_telemetry, "internet packet loss", *dev_n_, 0.12);
+            if (tick == 1) {
+                syslog_raw("%PORT-5-IF_DOWN: port {intf} is down transceiver signal lost",
+                           *dev_n_);
+                syslog_raw("%SYS-2-CRASH: process {proc} terminated unexpectedly core dumped "
+                           "signal {num}",
+                           *dev_n_);
+            }
+            now_ += seconds(2);
+            engine_->tick(now_, *state_);
+        }
+        reports_ = engine_->open_reports(now_, *state_);
+    }
+
+    topology topo_;
+    customer_registry customers_;
+    alert_type_registry registry_;
+    syslog_classifier syslog_ = syslog_classifier::train_from_catalog();
+    std::unique_ptr<skynet_engine> engine_;
+    std::unique_ptr<network_state> state_;
+    rng rand_{2024};
+    location ls2_;
+    const device* dev_i_{nullptr};
+    const device* dev_ii_{nullptr};
+    const device* dev_n_{nullptr};
+    sim_time now_{0};
+    std::vector<incident_report> reports_;
+};
+
+TEST_F(Figure6, TwoIncidentsEmerge) {
+    ASSERT_EQ(reports_.size(), 2u);
+}
+
+TEST_F(Figure6, BigIncidentCoversLogicSite2) {
+    ASSERT_FALSE(reports_.empty());
+    // The ranked-first incident is the logic-site failure.
+    const incident& big = reports_.front().inc;
+    EXPECT_TRUE(ls2_.contains(big.root) || big.root.contains(ls2_));
+    // All three categories present, like the paper's incident 1 panel.
+    EXPECT_GE(big.type_count(alert_category::failure), 1);
+    EXPECT_GE(big.type_count(alert_category::abnormal), 2);
+    EXPECT_GE(big.type_count(alert_category::root_cause), 2);
+}
+
+TEST_F(Figure6, SmallIncidentIsolatedAtDeviceN) {
+    ASSERT_EQ(reports_.size(), 2u);
+    const incident& small = reports_.back().inc;
+    EXPECT_TRUE(small.root.contains(dev_n_->loc) || dev_n_->loc.contains(small.root));
+    EXPECT_FALSE(ls2_.contains(small.root));
+    // Its panel: 1 failure type (internet loss) + port down + software
+    // error, matching the paper's incident 2.
+    EXPECT_EQ(small.type_count(alert_category::failure), 1);
+    EXPECT_GE(small.type_count(alert_category::root_cause), 2);
+}
+
+TEST_F(Figure6, RankingPutsTheBigIncidentFirst) {
+    ASSERT_EQ(reports_.size(), 2u);
+    EXPECT_GE(reports_[0].severity.score, reports_[1].severity.score);
+}
+
+TEST_F(Figure6, RenderMatchesFigureStructure) {
+    ASSERT_FALSE(reports_.empty());
+    const std::string text = reports_.front().render();
+    EXPECT_NE(text.find("Failure alerts"), std::string::npos);
+    EXPECT_NE(text.find("Abnormal alerts"), std::string::npos);
+    EXPECT_NE(text.find("Root cause alerts"), std::string::npos);
+    EXPECT_NE(text.find("packet loss"), std::string::npos);
+    EXPECT_NE(text.find("Risk score:"), std::string::npos);
+}
+
+TEST_F(Figure6, DigestBoundedAndOrdered) {
+    ASSERT_FALSE(reports_.empty());
+    digest_options opts;
+    opts.max_chars = 800;
+    const std::string digest = incident_digest(reports_.front(), opts);
+    EXPECT_LE(digest.size(), 800u);
+    EXPECT_LT(digest.find("root cause alerts:"), digest.find("failure alerts:"));
+}
+
+}  // namespace
+}  // namespace skynet

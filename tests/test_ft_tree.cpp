@@ -1,0 +1,135 @@
+// Unit tests for FT-tree syslog template extraction and classification.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "skynet/common/error.h"
+#include "skynet/syslog/classifier.h"
+#include "skynet/syslog/ft_tree.h"
+#include "skynet/syslog/message_catalog.h"
+
+namespace skynet {
+namespace {
+
+TEST(StripVariablesTest, RemovesAddressesInterfacesNumbers) {
+    const auto words = strip_variables(
+        "%LINK-3-UPDOWN: Interface TenGigE0/1/0/25 changed state to down");
+    // The interface path is variable; the mnemonic and prose words stay.
+    EXPECT_EQ(words, (std::vector<std::string>{"%LINK-3-UPDOWN:", "Interface", "changed", "state",
+                                               "to", "down"}));
+}
+
+TEST(StripVariablesTest, RemovesIpv4AndHexAndQuantities) {
+    const auto words = strip_variables("neighbor 10.1.2.3 down code 0xdeadbeef after 250ms 42");
+    EXPECT_EQ(words, (std::vector<std::string>{"neighbor", "down", "code", "after"}));
+}
+
+TEST(StripVariablesTest, TrimsTrailingPunctuation) {
+    const auto words = strip_variables("link down, port reset.");
+    EXPECT_EQ(words, (std::vector<std::string>{"link", "down", "port", "reset"}));
+}
+
+TEST(FtTreeTest, BuildsTemplatesFromRepeatedMessages) {
+    ft_tree tree;
+    for (int i = 0; i < 5; ++i) {
+        tree.add_message("%LINK-3-UPDOWN: Interface TenGigE0/" + std::to_string(i) +
+                         "/0/1 changed state to down");
+        tree.add_message("%BGP-5-ADJCHANGE: neighbor 10.0.0." + std::to_string(i) + " Down");
+    }
+    tree.build();
+    EXPECT_TRUE(tree.built());
+    EXPECT_GE(tree.templates().size(), 2u);
+
+    const auto a = tree.classify("%LINK-3-UPDOWN: Interface TenGigE0/9/9/9 changed state to down");
+    const auto b = tree.classify("%BGP-5-ADJCHANGE: neighbor 192.168.0.7 Down");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(*a, *b);
+}
+
+TEST(FtTreeTest, RareMessagesPrunedAway) {
+    ft_tree tree(ft_tree::options{.max_depth = 6, .min_support = 3});
+    for (int i = 0; i < 10; ++i) tree.add_message("common message repeated often here");
+    tree.add_message("weird singleton gibberish tokens qzx");
+    tree.build();
+    EXPECT_TRUE(tree.classify("common message repeated often here").has_value());
+    EXPECT_FALSE(tree.classify("weird singleton gibberish tokens qzx").has_value());
+}
+
+TEST(FtTreeTest, LabelAssignsType) {
+    ft_tree tree;
+    for (int i = 0; i < 4; ++i) tree.add_message("interface flap detected count " + std::to_string(i));
+    tree.build();
+    const auto id = tree.label("interface flap detected count 99", "link flapping");
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(tree.template_at(*id).assigned_type, "link flapping");
+}
+
+TEST(FtTreeTest, AddAfterBuildThrows) {
+    ft_tree tree;
+    tree.add_message("a b c d");
+    tree.add_message("a b c d");
+    tree.build();
+    EXPECT_THROW(tree.add_message("x"), skynet_error);
+    EXPECT_THROW(tree.build(), skynet_error);
+}
+
+TEST(FtTreeTest, ClassifyBeforeBuildReturnsNothing) {
+    ft_tree tree;
+    tree.add_message("a b c");
+    EXPECT_FALSE(tree.classify("a b c").has_value());
+}
+
+TEST(ClassifierTest, CatalogRoundTrip) {
+    // Property: every rendered message of every catalog format classifies
+    // back to its own type.
+    const syslog_classifier clf = syslog_classifier::train_from_catalog();
+    rng rand(123);
+    for (const syslog_format& fmt : syslog_message_catalog()) {
+        for (int i = 0; i < 5; ++i) {
+            const std::string msg = render_syslog(fmt.pattern, rand);
+            const auto r = clf.classify(msg);
+            ASSERT_TRUE(r.has_value()) << msg;
+            EXPECT_EQ(r->type_name, fmt.type_name) << msg;
+        }
+    }
+}
+
+TEST(ClassifierTest, UnknownMessagesUnclassified) {
+    const syslog_classifier clf = syslog_classifier::train_from_catalog();
+    EXPECT_FALSE(clf.classify("%SYS-6-INFO: periodic housekeeping task completed id 77")
+                     .has_value());
+    EXPECT_FALSE(clf.classify("totally unrelated text").has_value());
+}
+
+TEST(ClassifierTest, UnlabeledCorpusContributesWithoutClassifying) {
+    std::vector<std::pair<std::string, std::string>> corpus;
+    for (int i = 0; i < 5; ++i) {
+        corpus.emplace_back("alpha beta gamma " + std::to_string(i), "my type");
+        corpus.emplace_back("noise words here " + std::to_string(i), "");
+    }
+    const syslog_classifier clf = syslog_classifier::train(corpus);
+    const auto labeled = clf.classify("alpha beta gamma 99");
+    ASSERT_TRUE(labeled.has_value());
+    EXPECT_EQ(labeled->type_name, "my type");
+    EXPECT_FALSE(clf.classify("noise words here 3").has_value());
+}
+
+TEST(MessageCatalogTest, RenderSubstitutesAllPlaceholders) {
+    rng rand(5);
+    for (const syslog_format& fmt : syslog_message_catalog()) {
+        const std::string msg = render_syslog(fmt.pattern, rand);
+        EXPECT_EQ(msg.find('{'), std::string::npos) << msg;
+        EXPECT_EQ(msg.find('}'), std::string::npos) << msg;
+        EXPECT_FALSE(msg.empty());
+    }
+}
+
+TEST(MessageCatalogTest, FormatsCoverDistinctTypes) {
+    std::set<std::string> types;
+    for (const syslog_format& fmt : syslog_message_catalog()) types.insert(fmt.type_name);
+    EXPECT_GE(types.size(), 15u);
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,101 @@
+// Tests for the incident history log (§6.4 workflow).
+#include <gtest/gtest.h>
+
+#include "skynet/core/incident_log.h"
+
+namespace skynet {
+namespace {
+
+incident_report report(std::uint64_t id, location root, time_range when, double score,
+                       bool actionable) {
+    incident_report r;
+    r.inc.id = id;
+    r.inc.root = std::move(root);
+    r.inc.when = when;
+    r.severity.score = score;
+    r.actionable = actionable;
+    return r;
+}
+
+incident_log sample_log() {
+    incident_log log;
+    log.append(report(1, location{"R1", "C1"}, {minutes(5), minutes(20)}, 3.0, false),
+               minutes(35));
+    log.append(report(2, location{"R1", "C2"}, {days(2), days(2) + minutes(30)}, 55.0, true),
+               days(2) + minutes(45));
+    log.append(report(3, location{"R2"}, {days(40), days(40) + minutes(10)}, 12.0, true),
+               days(40) + minutes(25));
+    return log;
+}
+
+TEST(IncidentLogTest, AppendAndSize) {
+    const incident_log log = sample_log();
+    EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(IncidentLogTest, QueryByWindow) {
+    const incident_log log = sample_log();
+    incident_log::query_filter f;
+    f.window = time_range{0, days(1)};
+    const auto hits = log.query(f);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0]->report.inc.id, 1u);
+}
+
+TEST(IncidentLogTest, QueryByScope) {
+    const incident_log log = sample_log();
+    incident_log::query_filter f;
+    f.scope = location{"R1"};
+    EXPECT_EQ(log.query(f).size(), 2u);
+    f.scope = location{"R2"};
+    EXPECT_EQ(log.query(f).size(), 1u);
+    f.scope = location{"R3"};
+    EXPECT_TRUE(log.query(f).empty());
+}
+
+TEST(IncidentLogTest, QueryByScoreAndActionable) {
+    const incident_log log = sample_log();
+    incident_log::query_filter f;
+    f.min_score = 10.0;
+    EXPECT_EQ(log.query(f).size(), 2u);
+    f.only_actionable = true;
+    f.min_score = 0.0;
+    EXPECT_EQ(log.query(f).size(), 2u);
+    f.min_score = 50.0;
+    EXPECT_EQ(log.query(f).size(), 1u);
+}
+
+TEST(IncidentLogTest, LabelingByOperators) {
+    incident_log log = sample_log();
+    EXPECT_TRUE(log.label(2, true));
+    EXPECT_TRUE(log.label(1, false));
+    EXPECT_FALSE(log.label(999, true));
+    EXPECT_EQ(log.entries()[1].attributed_to_failure, true);
+    EXPECT_EQ(log.entries()[0].attributed_to_failure, false);
+    EXPECT_EQ(log.entries()[2].attributed_to_failure, std::nullopt);
+}
+
+TEST(IncidentLogTest, MonthlyRollup) {
+    incident_log log = sample_log();
+    (void)log.label(2, true);
+    const auto months = log.monthly_rollup(days(30));
+    ASSERT_EQ(months.size(), 2u);
+    // Month 0: incidents 1 and 2.
+    EXPECT_EQ(months[0].month, 0);
+    EXPECT_EQ(months[0].total, 2);
+    EXPECT_EQ(months[0].actionable, 1);
+    EXPECT_EQ(months[0].labeled_failures, 1);
+    EXPECT_DOUBLE_EQ(months[0].max_score, 55.0);
+    // Month 1: incident 3 (closed at day 40).
+    EXPECT_EQ(months[1].month, 1);
+    EXPECT_EQ(months[1].total, 1);
+}
+
+TEST(IncidentLogTest, EmptyLogBehaves) {
+    const incident_log log;
+    EXPECT_TRUE(log.monthly_rollup().empty());
+    EXPECT_TRUE(log.query({}).empty());
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,101 @@
+// Unit tests for the location hierarchy.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "skynet/topology/location.h"
+
+namespace skynet {
+namespace {
+
+location site() { return location{"Region A", "City a", "LS 2", "Site I"}; }
+
+TEST(LocationTest, RoundTripParse) {
+    const location loc = site();
+    EXPECT_EQ(loc.to_string(), "Region A|City a|LS 2|Site I");
+    EXPECT_EQ(location::parse(loc.to_string()), loc);
+    EXPECT_EQ(location::parse(""), location{});
+}
+
+TEST(LocationTest, Levels) {
+    EXPECT_EQ(location{}.level(), hierarchy_level::root);
+    EXPECT_EQ((location{"R"}).level(), hierarchy_level::region);
+    EXPECT_EQ((location{"R", "C"}).level(), hierarchy_level::city);
+    EXPECT_EQ((location{"R", "C", "L"}).level(), hierarchy_level::logic_site);
+    EXPECT_EQ(site().level(), hierarchy_level::site);
+    EXPECT_EQ(site().child("Cl").level(), hierarchy_level::cluster);
+    EXPECT_EQ(site().child("Cl").child("dev").level(), hierarchy_level::device);
+    // Deeper than device clamps.
+    EXPECT_EQ(site().child("Cl").child("dev").child("x").level(), hierarchy_level::device);
+}
+
+TEST(LocationTest, ParentAndLeaf) {
+    const location loc = site();
+    EXPECT_EQ(loc.leaf(), "Site I");
+    EXPECT_EQ(loc.parent(), (location{"Region A", "City a", "LS 2"}));
+    EXPECT_EQ(location{}.parent(), location{});
+    EXPECT_EQ(location{}.leaf(), "");
+}
+
+TEST(LocationTest, AncestorAt) {
+    const location dev = site().child("Cluster i").child("dev-1");
+    EXPECT_EQ(dev.ancestor_at(hierarchy_level::region), (location{"Region A"}));
+    EXPECT_EQ(dev.ancestor_at(hierarchy_level::cluster), site().child("Cluster i"));
+    // At-or-above depth: no-op.
+    EXPECT_EQ(site().ancestor_at(hierarchy_level::device), site());
+}
+
+TEST(LocationTest, ContainsIsReflexiveAndHierarchical) {
+    const location a = site();
+    EXPECT_TRUE(a.contains(a));
+    EXPECT_TRUE(a.parent().contains(a));
+    EXPECT_TRUE(location{}.contains(a));
+    EXPECT_FALSE(a.contains(a.parent()));
+    EXPECT_FALSE(a.contains(location{"Region B"}));
+    // Sibling with shared prefix is not contained.
+    EXPECT_FALSE(a.contains(location{"Region A", "City a", "LS 2", "Site II"}));
+}
+
+TEST(LocationTest, IsAncestorOfIsStrict) {
+    const location a = site();
+    EXPECT_FALSE(a.is_ancestor_of(a));
+    EXPECT_TRUE(a.parent().is_ancestor_of(a));
+}
+
+TEST(LocationTest, CommonAncestor) {
+    const location a = site().child("Cluster i");
+    const location b = site().child("Cluster ii");
+    EXPECT_EQ(location::common_ancestor(a, b), site());
+    EXPECT_EQ(location::common_ancestor(a, a), a);
+    EXPECT_TRUE(
+        location::common_ancestor(location{"Region A"}, location{"Region B"}).is_root());
+}
+
+TEST(LocationTest, OrderingIsLexicographicBySegments) {
+    EXPECT_LT((location{"A"}), (location{"A", "B"}));
+    EXPECT_LT((location{"A", "B"}), (location{"B"}));
+}
+
+TEST(LocationTest, HashDistinguishesSegmentBoundaries) {
+    const location_hash h;
+    // "ab|c" vs "a|bc" must differ.
+    EXPECT_NE(h(location{"ab", "c"}), h(location{"a", "bc"}));
+    EXPECT_EQ(h(site()), h(site()));
+}
+
+TEST(LocationTest, WorksAsUnorderedKey) {
+    std::unordered_set<location, location_hash> set;
+    set.insert(site());
+    set.insert(site());
+    set.insert(site().parent());
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(site()));
+}
+
+TEST(LocationTest, LevelNames) {
+    EXPECT_EQ(to_string(hierarchy_level::logic_site), "logic site");
+    EXPECT_EQ(to_string(hierarchy_level::device), "device");
+}
+
+}  // namespace
+}  // namespace skynet

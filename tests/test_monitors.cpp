@@ -1,0 +1,317 @@
+// Tests for the twelve simulated monitoring tools, including the §2.1
+// per-tool blind spots that make multi-source integration necessary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "skynet/monitors/device_monitors.h"
+#include "skynet/monitors/plane_monitors.h"
+#include "skynet/monitors/probing.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+struct world {
+    topology topo = generate_topology(generator_params::tiny());
+    customer_registry customers;
+    network_state state{&topo, &customers};
+    rng rand{21};
+
+    std::vector<raw_alert> poll(monitor_tool& tool, sim_time now = seconds(10)) {
+        std::vector<raw_alert> out;
+        tool.poll(state, now, rand, out);
+        return out;
+    }
+
+    device_id any(device_role role) {
+        for (const device& d : topo.devices()) {
+            if (d.role == role) return d.id;
+        }
+        throw std::runtime_error("role not found");
+    }
+
+    bool has_kind(const std::vector<raw_alert>& alerts, std::string_view kind) {
+        return std::any_of(alerts.begin(), alerts.end(),
+                           [kind](const raw_alert& a) { return a.kind == kind; });
+    }
+};
+
+TEST(MonitorFactoryTest, BuildsAllTwelveSources) {
+    world w;
+    const auto tools = make_all_monitors(w.topo);
+    ASSERT_EQ(tools.size(), data_source_count);
+    std::set<data_source> sources;
+    for (const auto& t : tools) {
+        sources.insert(t->source());
+        EXPECT_GT(t->period(), 0);
+    }
+    EXPECT_EQ(sources.size(), data_source_count);
+}
+
+TEST(OobMonitorTest, ReportsDeadAndHotDevices) {
+    world w;
+    oob_monitor oob(w.topo, {});
+    EXPECT_TRUE(w.poll(oob).empty());
+
+    const device_id victim = w.any(device_role::tor);
+    w.state.device_state(victim).alive = false;
+    const device_id hot = w.any(device_role::csr);
+    w.state.device_state(hot).cpu = 0.95;
+
+    const auto alerts = w.poll(oob);
+    EXPECT_TRUE(w.has_kind(alerts, "device inaccessible"));
+    EXPECT_TRUE(w.has_kind(alerts, "high cpu"));
+    for (const raw_alert& a : alerts) {
+        EXPECT_EQ(a.source, data_source::out_of_band);
+        EXPECT_TRUE(a.device.has_value());
+    }
+}
+
+TEST(OobMonitorTest, ProbeGlitchFloodsIdenticalAlerts) {
+    world w;
+    oob_monitor oob(w.topo, monitor_options{.noise_rate = 1.0});
+    const auto alerts = w.poll(oob);
+    // A glitch burst: >= 20 identical device-down alerts for one device.
+    int inaccessible = 0;
+    for (const raw_alert& a : alerts) {
+        if (a.kind == "device inaccessible") ++inaccessible;
+    }
+    EXPECT_GE(inaccessible, 20);
+}
+
+TEST(SnmpMonitorTest, ReportsDownLinksEveryPoll) {
+    world w;
+    snmp_monitor snmp(w.topo, {});
+    const link& l = w.topo.links().front();
+    w.state.link_state(l.id).up = false;
+    const auto first = w.poll(snmp);
+    const auto second = w.poll(snmp, seconds(40));
+    EXPECT_TRUE(w.has_kind(first, "link down"));
+    EXPECT_TRUE(w.has_kind(second, "link down"));  // level-triggered
+}
+
+TEST(SnmpMonitorTest, SilentOnDeadDevice) {
+    // §2.1: the SNMP agent dies with the device; only OOB still sees it.
+    world w;
+    snmp_monitor snmp(w.topo, {});
+    const device_id victim = w.any(device_role::tor);
+    w.state.device_state(victim).alive = false;
+    for (const raw_alert& a : w.poll(snmp)) {
+        EXPECT_NE(a.device, victim);
+    }
+}
+
+TEST(SnmpMonitorTest, CongestionAlert) {
+    world w;
+    snmp_monitor snmp(w.topo, {});
+    const circuit_set& cs = w.topo.circuit_sets().front();
+    w.state.set_offered_gbps(cs.id, w.state.live_capacity_gbps(cs.id) * 0.95);
+    EXPECT_TRUE(w.has_kind(w.poll(snmp), "traffic congestion"));
+}
+
+TEST(SyslogSourceTest, EdgeTriggeredLinkDown) {
+    world w;
+    syslog_source syslog(w.topo, {});
+    (void)w.poll(syslog, seconds(2));  // prime the edge detector
+
+    const link& l = w.topo.links().front();
+    w.state.link_state(l.id).up = false;
+    const auto alerts = w.poll(syslog, seconds(4));
+    ASSERT_FALSE(alerts.empty());
+    for (const raw_alert& a : alerts) {
+        EXPECT_EQ(a.source, data_source::syslog);
+        EXPECT_FALSE(a.message.empty());
+        EXPECT_TRUE(a.kind.empty());  // type recovered by classification
+    }
+    // Edge-triggered: no repeat on the next poll.
+    EXPECT_TRUE(w.poll(syslog, seconds(6)).empty());
+}
+
+TEST(SyslogSourceTest, DeadDeviceCannotLog) {
+    world w;
+    syslog_source syslog(w.topo, {});
+    (void)w.poll(syslog, seconds(2));
+
+    const device_id victim = w.any(device_role::csr);
+    w.state.device_state(victim).alive = false;
+    w.state.device_state(victim).hardware_fault = true;  // would normally log
+    for (const raw_alert& a : w.poll(syslog, seconds(4))) {
+        EXPECT_NE(a.device, victim);
+    }
+}
+
+TEST(SyslogSourceTest, SilentLossInvisible) {
+    // §2.1: syslog cannot detect silent packet loss.
+    world w;
+    syslog_source syslog(w.topo, {});
+    (void)w.poll(syslog, seconds(2));
+    w.state.device_state(w.any(device_role::agg)).silent_loss = 0.5;
+    EXPECT_TRUE(w.poll(syslog, seconds(4)).empty());
+}
+
+TEST(SyslogSourceTest, HardwareFaultLogsOnce) {
+    world w;
+    syslog_source syslog(w.topo, {});
+    (void)w.poll(syslog, seconds(2));
+    const device_id victim = w.any(device_role::csr);
+    w.state.device_state(victim).hardware_fault = true;
+    const auto alerts = w.poll(syslog, seconds(4));
+    ASSERT_FALSE(alerts.empty());
+    EXPECT_TRUE(std::any_of(alerts.begin(), alerts.end(), [](const raw_alert& a) {
+        return a.message.find("HW_ERROR") != std::string::npos ||
+               a.message.find("LC_FAILURE") != std::string::npos;
+    }));
+}
+
+TEST(PingMeshTest, DetectsUnreachableCluster) {
+    world w;
+    ping_mesh ping(w.topo, ping_mesh::config{.pairs_per_poll = 200}, {});
+    EXPECT_TRUE(w.poll(ping).empty());
+
+    // Kill every AGG of one cluster: its ToRs become unreachable.
+    const location cluster =
+        w.topo.device_at(w.any(device_role::agg)).loc.ancestor_at(hierarchy_level::cluster);
+    for (device_id d : w.topo.devices_under(cluster)) {
+        if (w.topo.device_at(d).role == device_role::agg) {
+            w.state.device_state(d).alive = false;
+        }
+    }
+    const auto alerts = w.poll(ping);
+    EXPECT_TRUE(w.has_kind(alerts, "unreachable pair"));
+    for (const raw_alert& a : alerts) {
+        EXPECT_TRUE(a.src_loc.has_value());
+        EXPECT_TRUE(a.dst_loc.has_value());
+    }
+}
+
+TEST(PingMeshTest, BlindToRedundantCircuitBreak) {
+    // §2.1: a broken circuit inside a redundant bundle that reroutes
+    // cleanly is invisible to ping.
+    world w;
+    ping_mesh ping(w.topo, ping_mesh::config{.pairs_per_poll = 200}, {});
+    // Break one of the two circuits of an AGG<->CSR set.
+    for (const circuit_set& cs : w.topo.circuit_sets()) {
+        if (cs.circuits.size() >= 2) {
+            w.state.link_state(cs.circuits.front()).up = false;
+            break;
+        }
+    }
+    EXPECT_TRUE(w.poll(ping).empty());
+}
+
+TEST(InternetTelemetryTest, DetectsEntryCut) {
+    world w;
+    internet_telemetry_monitor inet(w.topo, {}, {});
+    EXPECT_TRUE(w.poll(inet).empty());
+    // Sever every internet entry.
+    for (const link& l : w.topo.links()) {
+        if (l.internet_entry) w.state.link_state(l.id).up = false;
+    }
+    const auto alerts = w.poll(inet);
+    EXPECT_TRUE(w.has_kind(alerts, "internet unreachable"));
+}
+
+TEST(TrafficMonitorTest, SflowLossCarriesLink) {
+    world w;
+    traffic_monitor traffic(w.topo, {});
+    const circuit_set& cs = w.topo.circuit_sets().front();
+    w.state.device_state(cs.a).silent_loss = 0.2;
+    const auto alerts = w.poll(traffic);
+    ASSERT_TRUE(w.has_kind(alerts, "sflow packet loss"));
+    for (const raw_alert& a : alerts) {
+        if (a.kind == "sflow packet loss") {
+            EXPECT_TRUE(a.link.has_value());
+        }
+    }
+}
+
+TEST(TrafficMonitorTest, SlaOverloadAlert) {
+    world w;
+    customer_registry customers;
+    const customer_id c = customers.add_customer("acme", customer_tier::critical);
+    const circuit_set& cs = w.topo.circuit_sets().front();
+    customers.attach(c, cs.id);
+    const sla_flow_id flow = customers.add_sla_flow(c, cs.id, 1.0);
+    network_state state(&w.topo, &customers);
+    state.set_flow_rate_gbps(flow, 2.0);
+
+    traffic_monitor traffic(w.topo, {});
+    std::vector<raw_alert> alerts;
+    traffic.poll(state, seconds(10), w.rand, alerts);
+    EXPECT_TRUE(std::any_of(alerts.begin(), alerts.end(), [](const raw_alert& a) {
+        return a.kind == "sla flow beyond limit";
+    }));
+}
+
+TEST(IntMonitorTest, OnlyCoversSupportingDevices) {
+    world w;
+    // Grant INT support to exactly one circuit set's endpoints.
+    for (const device& d : w.topo.devices()) w.topo.set_supports_int(d.id, false);
+    const circuit_set& covered = w.topo.circuit_sets().front();
+    w.topo.set_supports_int(covered.a, true);
+    w.topo.set_supports_int(covered.b, true);
+
+    int_monitor intm(w.topo, {});
+    // Loss on the covered set is seen...
+    w.state.device_state(covered.a).silent_loss = 0.2;
+    EXPECT_TRUE(w.has_kind(w.poll(intm), "int packet loss"));
+
+    // ...loss elsewhere is the blind spot.
+    w.state.device_state(covered.a).silent_loss = 0.0;
+    const circuit_set& other = w.topo.circuit_sets().back();
+    w.state.device_state(other.b).silent_loss = 0.2;
+    EXPECT_FALSE(w.has_kind(w.poll(intm), "int packet loss"));
+}
+
+TEST(PtpMonitorTest, ReportsDesyncedClocks) {
+    world w;
+    ptp_monitor ptp(w.topo, {});
+    EXPECT_TRUE(w.poll(ptp).empty());
+    w.state.device_state(w.any(device_role::tor)).clock_synced = false;
+    EXPECT_TRUE(w.has_kind(w.poll(ptp), "clock desync"));
+}
+
+TEST(RouteMonitorTest, ReportsIncidentsOnly) {
+    world w;
+    route_monitor route(w.topo, {});
+    EXPECT_TRUE(w.poll(route).empty());
+
+    // Data-plane damage: invisible to route monitoring (§2.1).
+    w.state.link_state(w.topo.links().front().id).up = false;
+    w.state.device_state(w.any(device_role::tor)).silent_loss = 0.5;
+    EXPECT_TRUE(w.poll(route).empty());
+
+    w.state.route_incidents().push_back(route_incident{
+        .what = route_incident::kind::hijack, .where = location{"R", "C"}, .since = 0});
+    EXPECT_TRUE(w.has_kind(w.poll(route), "route hijack"));
+}
+
+TEST(ModificationMonitorTest, ReportsEachEventOnce) {
+    world w;
+    modification_monitor mod(w.topo, {});
+    w.state.modifications().push_back(
+        modification_event{.where = location{"R"}, .failed = true, .rolled_back = false, .at = 5});
+    const auto first = w.poll(mod);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].kind, "modification failed");
+    EXPECT_TRUE(w.poll(mod).empty());  // consumed
+
+    w.state.modifications().push_back(
+        modification_event{.where = location{"R"}, .failed = false, .rolled_back = true, .at = 9});
+    const auto second = w.poll(mod);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].kind, "rollback executed");
+}
+
+TEST(PatrolMonitorTest, CatchesSilentFaults) {
+    world w;
+    patrol_monitor patrol(w.topo, {});
+    const device_id victim = w.any(device_role::agg);
+    w.state.device_state(victim).hardware_fault = true;
+    EXPECT_TRUE(w.has_kind(w.poll(patrol), "patrol command error"));
+    EXPECT_EQ(patrol.period(), minutes(5));  // slow sweep
+}
+
+}  // namespace
+}  // namespace skynet

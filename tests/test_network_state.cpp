@@ -1,0 +1,250 @@
+// Unit tests for dynamic network state: health, circuit sets, traffic,
+// probing and traffic shift.
+#include <gtest/gtest.h>
+
+#include "skynet/common/error.h"
+#include "skynet/sim/network_state.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+/// Two ToRs, two AGGs forming a group, one CSR; tor1 reaches csr via
+/// either agg.
+struct fabric {
+    topology topo;
+    customer_registry customers;
+    device_id tor1, tor2, agg1, agg2, csr;
+    circuit_set_id t1a1, t1a2, t2a1, a1c, a2c;
+
+    fabric() {
+        const location cl{"R", "C", "LS", "S", "CL"};
+        const location site{"R", "C", "LS", "S"};
+        tor1 = topo.add_device("tor1", device_role::tor, cl.child("tor1"));
+        tor2 = topo.add_device("tor2", device_role::tor, cl.child("tor2"));
+        agg1 = topo.add_device("agg1", device_role::agg, cl.child("agg1"));
+        agg2 = topo.add_device("agg2", device_role::agg, cl.child("agg2"));
+        csr = topo.add_device("csr1", device_role::csr, site.child("csr1"));
+        const group_id aggs = topo.add_group("CL-AGG");
+        topo.add_to_group(aggs, agg1);
+        topo.add_to_group(aggs, agg2);
+
+        t1a1 = topo.add_circuit_set("t1a1", tor1, agg1);
+        t1a2 = topo.add_circuit_set("t1a2", tor1, agg2);
+        t2a1 = topo.add_circuit_set("t2a1", tor2, agg1);
+        a1c = topo.add_circuit_set("a1c", agg1, csr);
+        a2c = topo.add_circuit_set("a2c", agg2, csr);
+        (void)topo.add_link(tor1, agg1, t1a1, 100.0);
+        (void)topo.add_link(tor1, agg2, t1a2, 100.0);
+        (void)topo.add_link(tor2, agg1, t2a1, 100.0);
+        (void)topo.add_link(agg1, csr, a1c, 100.0);
+        (void)topo.add_link(agg1, csr, a1c, 100.0);
+        (void)topo.add_link(agg2, csr, a2c, 100.0);
+        (void)topo.add_link(agg2, csr, a2c, 100.0);
+    }
+};
+
+TEST(NetworkStateTest, InitialStateHealthy) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    for (const device& d : f.topo.devices()) {
+        EXPECT_TRUE(state.device_state(d.id).alive);
+    }
+    for (const link& l : f.topo.links()) {
+        EXPECT_TRUE(state.link_usable(l.id));
+    }
+    EXPECT_DOUBLE_EQ(state.break_ratio(f.a1c), 0.0);
+}
+
+TEST(NetworkStateTest, NullPointersRejected) {
+    fabric f;
+    EXPECT_THROW(network_state(nullptr, &f.customers), skynet_error);
+    EXPECT_THROW(network_state(&f.topo, nullptr), skynet_error);
+}
+
+TEST(NetworkStateTest, LinkUsableRespectsEndpointHealth) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    const link_id lid = f.topo.circuit_set_at(f.t1a1).circuits.front();
+    EXPECT_TRUE(state.link_usable(lid));
+    state.device_state(f.agg1).alive = false;
+    EXPECT_FALSE(state.link_usable(lid));
+    state.device_state(f.agg1).alive = true;
+    state.device_state(f.agg1).isolated = true;
+    EXPECT_FALSE(state.link_usable(lid));
+}
+
+TEST(NetworkStateTest, BreakRatioCountsDownCircuits) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    const circuit_set& cs = f.topo.circuit_set_at(f.a1c);
+    ASSERT_EQ(cs.circuits.size(), 2u);
+    state.link_state(cs.circuits[0]).up = false;
+    EXPECT_DOUBLE_EQ(state.break_ratio(f.a1c), 0.5);
+    EXPECT_DOUBLE_EQ(state.live_capacity_gbps(f.a1c), 100.0);
+}
+
+TEST(NetworkStateTest, UtilizationAndCongestion) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.set_offered_gbps(f.a1c, 100.0);  // capacity 200 -> util 0.5
+    EXPECT_DOUBLE_EQ(state.utilization(f.a1c), 0.5);
+    EXPECT_DOUBLE_EQ(state.congestion_loss(f.a1c), 0.0);
+
+    state.set_offered_gbps(f.a1c, 190.0);  // util 0.95, past the knee
+    EXPECT_GT(state.congestion_loss(f.a1c), 0.0);
+    EXPECT_LT(state.congestion_loss(f.a1c), 0.05);
+
+    state.set_offered_gbps(f.a1c, 400.0);  // util 2.0, heavy drops
+    EXPECT_GT(state.congestion_loss(f.a1c), 0.4);
+    EXPECT_LE(state.congestion_loss(f.a1c), 0.99);
+}
+
+TEST(NetworkStateTest, UtilizationWithZeroCapacity) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    for (link_id lid : f.topo.circuit_set_at(f.a1c).circuits) {
+        state.link_state(lid).up = false;
+    }
+    state.set_offered_gbps(f.a1c, 10.0);
+    EXPECT_GT(state.utilization(f.a1c), 10.0);  // sentinel: everything drops
+    EXPECT_GT(state.congestion_loss(f.a1c), 0.9);
+}
+
+TEST(NetworkStateTest, TraversalLossCombinesCauses) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.set_offered_gbps(f.a1c, 0.0);
+    EXPECT_DOUBLE_EQ(state.traversal_loss(f.a1c), 0.0);
+    state.link_state(f.topo.circuit_set_at(f.a1c).circuits[0]).corruption_loss = 0.1;
+    EXPECT_NEAR(state.traversal_loss(f.a1c), 0.05, 1e-9);  // mean over 2 circuits
+    state.device_state(f.agg1).silent_loss = 0.2;
+    EXPECT_NEAR(state.traversal_loss(f.a1c), 0.25, 1e-9);
+}
+
+TEST(NetworkStateTest, ProbeFindsPathAndAccumulatesLoss) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.1);
+    const auto r = state.probe(f.tor1, f.csr);
+    ASSERT_TRUE(r.reachable);
+    EXPECT_EQ(r.hops.size(), 3u);  // tor -> agg -> csr
+    EXPECT_NEAR(r.loss, 0.0, 1e-9);
+
+    // Gray failure on the first-hop agg shows up in the path loss.
+    state.device_state(f.agg1).silent_loss = 0.3;
+    state.device_state(f.agg2).silent_loss = 0.3;
+    const auto r2 = state.probe(f.tor1, f.csr);
+    ASSERT_TRUE(r2.reachable);
+    EXPECT_GT(r2.loss, 0.2);
+}
+
+TEST(NetworkStateTest, ProbeReroutesAroundDeadDevices) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.device_state(f.agg1).alive = false;
+    const auto r = state.probe(f.tor1, f.csr);
+    ASSERT_TRUE(r.reachable);  // via agg2
+    EXPECT_EQ(r.hops[1], f.agg2);
+}
+
+TEST(NetworkStateTest, ProbeUnreachableWhenCut) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.device_state(f.agg1).alive = false;
+    state.device_state(f.agg2).alive = false;
+    EXPECT_FALSE(state.probe(f.tor1, f.csr).reachable);
+    // Dead endpoints are unreachable by definition.
+    state.device_state(f.agg1).alive = true;
+    state.device_state(f.csr).alive = false;
+    EXPECT_FALSE(state.probe(f.tor1, f.csr).reachable);
+}
+
+TEST(NetworkStateTest, ProbeSelfIsTrivial) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    const auto r = state.probe(f.tor1, f.tor1);
+    EXPECT_TRUE(r.reachable);
+    EXPECT_DOUBLE_EQ(r.loss, 0.0);
+}
+
+TEST(NetworkStateTest, RepresentativePrefersAliveTor) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    const location cluster{"R", "C", "LS", "S", "CL"};
+    EXPECT_EQ(state.representative(cluster), f.tor1);
+    state.device_state(f.tor1).alive = false;
+    EXPECT_EQ(state.representative(cluster), f.tor2);
+    EXPECT_EQ(state.representative(location{"Nowhere"}), std::nullopt);
+}
+
+TEST(NetworkStateTest, ResetTrafficLoadsBaseline) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.45);
+    EXPECT_NEAR(state.utilization(f.a1c), 0.45, 1e-9);
+}
+
+TEST(NetworkStateTest, TrafficShiftSpillsToGroupSibling) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.45);
+    const double before = state.offered_gbps(f.t1a2);
+
+    // Kill tor1<->agg1 entirely: its load must move to tor1<->agg2
+    // (agg1 and agg2 are interchangeable group peers).
+    for (link_id lid : f.topo.circuit_set_at(f.t1a1).circuits) {
+        state.link_state(lid).up = false;
+    }
+    state.apply_traffic_shift();
+    EXPECT_GT(state.offered_gbps(f.t1a2), before);
+
+    // Healing restores baseline.
+    for (link_id lid : f.topo.circuit_set_at(f.t1a1).circuits) {
+        state.link_state(lid).up = true;
+    }
+    state.apply_traffic_shift();
+    EXPECT_NEAR(state.offered_gbps(f.t1a2), before, 1e-9);
+}
+
+TEST(NetworkStateTest, SlaOverloadRatio) {
+    fabric f;
+    customer_registry customers;
+    const customer_id c = customers.add_customer("acme", customer_tier::premium);
+    customers.attach(c, f.a1c);
+    const sla_flow_id f1 = customers.add_sla_flow(c, f.a1c, 2.0);
+    const sla_flow_id f2 = customers.add_sla_flow(c, f.a1c, 2.0);
+    network_state state(&f.topo, &customers);
+
+    EXPECT_DOUBLE_EQ(state.sla_overload_ratio(f.a1c), 0.0);
+    state.set_flow_rate_gbps(f1, 3.0);
+    EXPECT_DOUBLE_EQ(state.sla_overload_ratio(f.a1c), 0.5);
+    state.set_flow_rate_gbps(f2, 2.5);
+    EXPECT_DOUBLE_EQ(state.sla_overload_ratio(f.a1c), 1.0);
+
+    const std::vector<circuit_set_id> sets{f.a1c};
+    EXPECT_NEAR(state.max_sla_overload(sets), 0.5, 1e-9);  // 3.0/2.0 - 1
+}
+
+TEST(NetworkStateTest, RouteIncidentsScopedClear) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    state.route_incidents().push_back(
+        route_incident{.what = route_incident::kind::leak, .where = location{"R", "C"}, .since = 0});
+    state.route_incidents().push_back(
+        route_incident{.what = route_incident::kind::churn, .where = location{"X"}, .since = 0});
+    state.clear_route_incidents(location{"R"});
+    ASSERT_EQ(state.route_incidents().size(), 1u);
+    EXPECT_EQ(state.route_incidents()[0].where, location{"X"});
+}
+
+TEST(NetworkStateTest, CopyIsIndependentSnapshot) {
+    fabric f;
+    network_state state(&f.topo, &f.customers);
+    network_state snapshot = state;
+    state.device_state(f.tor1).alive = false;
+    EXPECT_TRUE(snapshot.device_state(f.tor1).alive);
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,97 @@
+// Tests for the operator mitigation-time model behind Figure 10c.
+#include <gtest/gtest.h>
+
+#include "skynet/sim/operator_model.h"
+
+namespace skynet {
+namespace {
+
+double mean_manual(const episode_observation& obs, int trials = 200) {
+    operator_model_params params;
+    rng rand(5);
+    double total = 0.0;
+    for (int i = 0; i < trials; ++i) total += mitigation_time_manual(obs, params, rand);
+    return total / trials;
+}
+
+double mean_skynet(const episode_observation& obs, int trials = 200) {
+    operator_model_params params;
+    rng rand(6);
+    double total = 0.0;
+    for (int i = 0; i < trials; ++i) total += mitigation_time_skynet(obs, params, rand);
+    return total / trials;
+}
+
+TEST(OperatorModelTest, ManualTimeGrowsWithFlood) {
+    episode_observation small{.raw_alerts = 100,
+                              .root_cause_alert_present = true,
+                              .incident_reports = 1,
+                              .root_cause_surfaced = true,
+                              .zoomed = true};
+    episode_observation big = small;
+    big.raw_alerts = 5000;
+    EXPECT_LT(mean_manual(small), mean_manual(big));
+}
+
+TEST(OperatorModelTest, BuriedRootCauseCostsHours) {
+    episode_observation visible{.raw_alerts = 500,
+                                .root_cause_alert_present = true,
+                                .incident_reports = 2,
+                                .root_cause_surfaced = true,
+                                .zoomed = true};
+    episode_observation buried = visible;
+    buried.raw_alerts = 20000;  // beyond triage capacity: alert obscured
+    EXPECT_GT(mean_manual(buried), mean_manual(visible) + 1000.0);
+}
+
+TEST(OperatorModelTest, SkynetInsensitiveToRawVolume) {
+    episode_observation small{.raw_alerts = 100,
+                              .root_cause_alert_present = true,
+                              .incident_reports = 2,
+                              .root_cause_surfaced = true,
+                              .zoomed = true};
+    episode_observation big = small;
+    big.raw_alerts = 50000;
+    // With SkyNet the operator reads incident reports, not raw alerts.
+    EXPECT_NEAR(mean_skynet(small), mean_skynet(big), mean_skynet(small) * 0.2);
+}
+
+TEST(OperatorModelTest, ZoomInSavesWalkTime) {
+    episode_observation zoomed{.raw_alerts = 2000,
+                               .root_cause_alert_present = true,
+                               .incident_reports = 2,
+                               .root_cause_surfaced = true,
+                               .zoomed = true};
+    episode_observation unzoomed = zoomed;
+    unzoomed.zoomed = false;
+    EXPECT_LT(mean_skynet(zoomed), mean_skynet(unzoomed));
+}
+
+TEST(OperatorModelTest, SkynetBeatsManualOnSevereFloods) {
+    episode_observation obs{.raw_alerts = 10000,
+                            .root_cause_alert_present = true,
+                            .incident_reports = 3,
+                            .root_cause_surfaced = true,
+                            .zoomed = true};
+    const double manual = mean_manual(obs);
+    const double with_skynet = mean_skynet(obs);
+    // The paper's >80 % reduction on severe failures.
+    EXPECT_LT(with_skynet, manual * 0.2);
+}
+
+TEST(OperatorModelTest, TimesAlwaysPositive) {
+    rng rand(9);
+    operator_model_params params;
+    for (int alerts : {0, 1, 100, 100000}) {
+        episode_observation obs{.raw_alerts = alerts,
+                                .root_cause_alert_present = alerts % 2 == 0,
+                                .incident_reports = alerts % 5,
+                                .root_cause_surfaced = alerts % 3 == 0,
+                                .zoomed = alerts % 4 == 0};
+        EXPECT_GT(mitigation_time_manual(obs, params, rand), 0.0);
+        EXPECT_GT(mitigation_time_skynet(obs, params, rand), 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace skynet

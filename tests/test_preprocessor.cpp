@@ -1,0 +1,302 @@
+// Tests for the preprocessor (§4.1): uniform format conversion, syslog
+// classification, link/pair splitting, and the three consolidation
+// methods.
+#include <gtest/gtest.h>
+
+#include "skynet/core/preprocessor.h"
+#include "skynet/syslog/message_catalog.h"
+
+namespace skynet {
+namespace {
+
+struct fixture {
+    topology topo;
+    device_id tor1, agg1;
+    link_id link1;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+    rng rand{31};
+
+    fixture() {
+        const location cl{"R", "C", "LS", "S", "CL"};
+        tor1 = topo.add_device("tor1", device_role::tor, cl.child("tor1"));
+        agg1 = topo.add_device("agg1", device_role::agg, cl.child("agg1"));
+        const circuit_set_id cs = topo.add_circuit_set("t1a1", tor1, agg1);
+        link1 = topo.add_link(tor1, agg1, cs, 100.0);
+    }
+
+    preprocessor make(preprocessor_config cfg = {}) const {
+        return preprocessor(&topo, &registry, &syslog, cfg);
+    }
+
+    raw_alert snmp_alert(std::string kind, device_id dev, sim_time t) const {
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.timestamp = t;
+        a.kind = std::move(kind);
+        a.loc = topo.device_at(dev).loc;
+        a.device = dev;
+        return a;
+    }
+};
+
+TEST(PreprocessorTest, ConvertsKindToTypeAndCategory) {
+    fixture f;
+    preprocessor pre = f.make();
+    const auto out = pre.process(f.snmp_alert("link down", f.tor1, 1000), 1000);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].is_update);
+    EXPECT_EQ(out[0].alert.type_name, "link down");
+    EXPECT_EQ(out[0].alert.category, alert_category::root_cause);
+    EXPECT_EQ(out[0].alert.source, data_source::snmp);
+    EXPECT_EQ(out[0].alert.when, (time_range{1000, 1000}));
+}
+
+TEST(PreprocessorTest, UnknownKindDropped) {
+    fixture f;
+    preprocessor pre = f.make();
+    EXPECT_TRUE(pre.process(f.snmp_alert("martian kind", f.tor1, 0), 0).empty());
+    EXPECT_EQ(pre.stats().dropped_unclassified, 1);
+}
+
+TEST(PreprocessorTest, SyslogClassifiedViaTemplates) {
+    fixture f;
+    preprocessor pre = f.make();
+    raw_alert a;
+    a.source = data_source::syslog;
+    a.timestamp = 500;
+    a.message = render_syslog("%PLATFORM-2-HW_ERROR: ASIC {num} parity error detected slot "
+                              "{num} requires reset",
+                              f.rand);
+    a.loc = f.topo.device_at(f.tor1).loc;
+    a.device = f.tor1;
+    const auto out = pre.process(a, 500);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].alert.type_name, "hardware error");
+    EXPECT_EQ(out[0].alert.category, alert_category::root_cause);
+}
+
+TEST(PreprocessorTest, BenignSyslogDropped) {
+    fixture f;
+    preprocessor pre = f.make();
+    raw_alert a;
+    a.source = data_source::syslog;
+    a.message = "%SYS-6-INFO: periodic housekeeping task completed id 12345";
+    a.loc = f.topo.device_at(f.tor1).loc;
+    EXPECT_TRUE(pre.process(a, 0).empty());
+    EXPECT_EQ(pre.stats().dropped_unclassified, 1);
+}
+
+TEST(PreprocessorTest, IdenticalAlertsConsolidated) {
+    // §4.1 method 1: SNMP repeats the same alert; SkyNet updates the
+    // first alert instead of duplicating it.
+    fixture f;
+    preprocessor pre = f.make();
+    const auto first = pre.process(f.snmp_alert("high cpu", f.tor1, 1000), 1000);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_FALSE(first[0].is_update);
+
+    const auto second = pre.process(f.snmp_alert("high cpu", f.tor1, seconds(30)), seconds(30));
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].is_update);
+    EXPECT_EQ(second[0].alert.count, 2);
+    EXPECT_EQ(second[0].alert.when.begin, 1000);
+    EXPECT_EQ(second[0].alert.when.end, seconds(30));
+    EXPECT_EQ(pre.stats().emitted_new, 1);
+    EXPECT_EQ(pre.stats().merged_identical, 1);
+}
+
+TEST(PreprocessorTest, ConsolidationWindowExpires) {
+    fixture f;
+    preprocessor pre = f.make(preprocessor_config{.dedup_window = minutes(5)});
+    (void)pre.process(f.snmp_alert("high cpu", f.tor1, 0), 0);
+    const auto later = pre.process(f.snmp_alert("high cpu", f.tor1, minutes(6)), minutes(6));
+    ASSERT_EQ(later.size(), 1u);
+    EXPECT_FALSE(later[0].is_update);  // a fresh alert after the window
+}
+
+TEST(PreprocessorTest, LinkAlertSplitsToBothEndpoints) {
+    fixture f;
+    preprocessor pre = f.make();
+    raw_alert a;
+    a.source = data_source::traffic_stats;
+    a.timestamp = 100;
+    a.kind = "sflow packet loss";
+    a.loc = location{"R", "C", "LS", "S", "CL"};
+    a.link = f.link1;
+    a.metric = 0.1;
+    const auto out = pre.process(a, 100);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].alert.loc.leaf(), "tor1");
+    EXPECT_EQ(out[1].alert.loc.leaf(), "agg1");
+    EXPECT_EQ(out[0].alert.device, f.tor1);
+    EXPECT_EQ(out[1].alert.device, f.agg1);
+}
+
+TEST(PreprocessorTest, PairAlertSplitsToBothClusters) {
+    fixture f;
+    preprocessor pre = f.make(preprocessor_config{.persistence_threshold = 1});
+    raw_alert a;
+    a.source = data_source::ping;
+    a.timestamp = 100;
+    a.kind = "packet loss";
+    a.metric = 0.2;
+    a.src_loc = location{"R", "C", "LS", "S", "CL1"};
+    a.dst_loc = location{"R", "C", "LS", "S2", "CL9"};
+    a.loc = location{"R", "C", "LS"};
+    const auto out = pre.process(a, 100);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].alert.loc, *a.src_loc);
+    EXPECT_EQ(out[1].alert.loc, *a.dst_loc);
+    // Endpoints preserved for the reachability matrix.
+    EXPECT_EQ(out[0].alert.src_loc, a.src_loc);
+    EXPECT_EQ(out[0].alert.dst_loc, a.dst_loc);
+}
+
+TEST(PreprocessorTest, SporadicProbeLossHeld) {
+    // §4.1 method 2: sporadic packet loss is ignored, persistent loss
+    // recorded.
+    fixture f;
+    preprocessor pre = f.make(preprocessor_config{.persistence_threshold = 2,
+                                                  .persistence_window = seconds(45)});
+    raw_alert a;
+    a.source = data_source::ping;
+    a.timestamp = 0;
+    a.kind = "packet loss";
+    a.metric = 0.1;
+    a.loc = location{"R", "C", "LS", "S", "CL"};
+
+    EXPECT_TRUE(pre.process(a, 0).empty());  // first occurrence held
+    a.timestamp = seconds(2);
+    const auto out = pre.process(a, seconds(2));  // persists -> released
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].alert.when.begin, 0);  // time range covers the hold
+    EXPECT_EQ(out[0].alert.when.end, seconds(2));
+}
+
+TEST(PreprocessorTest, SporadicBlipExpiresSilently) {
+    fixture f;
+    preprocessor pre = f.make(preprocessor_config{.persistence_threshold = 2,
+                                                  .persistence_window = seconds(45)});
+    raw_alert a;
+    a.source = data_source::ping;
+    a.kind = "packet loss";
+    a.metric = 0.05;
+    a.loc = location{"R", "C", "LS", "S", "CL"};
+    EXPECT_TRUE(pre.process(a, 0).empty());
+    EXPECT_TRUE(pre.flush(minutes(2)).empty());
+    EXPECT_EQ(pre.stats().dropped_sporadic, 1);
+    // A later blip starts a fresh observation window, it does not
+    // combine with the stale one.
+    a.timestamp = minutes(3);
+    EXPECT_TRUE(pre.process(a, minutes(3)).empty());
+}
+
+TEST(PreprocessorTest, TrafficDropNeedsCorroboration) {
+    // §4.1 method 3: a traffic drop alone is expected; with a failure
+    // alert nearby it becomes an abnormal decline.
+    fixture f;
+    preprocessor pre = f.make();
+
+    raw_alert drop;
+    drop.source = data_source::traffic_stats;
+    drop.timestamp = 0;
+    drop.kind = "traffic drop";
+    drop.loc = f.topo.device_at(f.tor1).loc;
+    drop.device = f.tor1;
+    EXPECT_TRUE(pre.process(drop, 0).empty());  // waits
+
+    // Uncorroborated: discarded at flush.
+    EXPECT_TRUE(pre.flush(minutes(2)).empty());
+    EXPECT_EQ(pre.stats().dropped_uncorroborated, 1);
+}
+
+TEST(PreprocessorTest, CorroboratedDropBecomesAbnormalDecline) {
+    fixture f;
+    preprocessor pre = f.make();
+
+    // Failure sighting first (sflow loss on the device)...
+    raw_alert loss = f.snmp_alert("rx errors", f.tor1, 0);
+    ASSERT_FALSE(pre.process(loss, 0).empty());
+
+    // ...then the drop at the same device: upgraded immediately.
+    raw_alert drop;
+    drop.source = data_source::traffic_stats;
+    drop.timestamp = seconds(5);
+    drop.kind = "traffic drop";
+    drop.loc = f.topo.device_at(f.tor1).loc;
+    drop.device = f.tor1;
+    const auto out = pre.process(drop, seconds(5));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].alert.type_name, "abnormal traffic decline");
+}
+
+TEST(PreprocessorTest, DropThenFailureReleasedAtFlush) {
+    fixture f;
+    preprocessor pre = f.make();
+
+    raw_alert drop;
+    drop.source = data_source::traffic_stats;
+    drop.timestamp = 0;
+    drop.kind = "traffic drop";
+    drop.loc = f.topo.device_at(f.tor1).loc;
+    EXPECT_TRUE(pre.process(drop, 0).empty());
+
+    // Corroboration arrives 10 s later.
+    (void)pre.process(f.snmp_alert("rx errors", f.tor1, seconds(10)), seconds(10));
+    const auto released = pre.flush(seconds(12));
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0].alert.type_name, "abnormal traffic decline");
+}
+
+TEST(PreprocessorTest, RelatedSurgesMerged) {
+    fixture f;
+    preprocessor pre = f.make();
+    raw_alert surge1;
+    surge1.source = data_source::snmp;
+    surge1.timestamp = 0;
+    surge1.kind = "traffic surge";
+    surge1.loc = f.topo.device_at(f.tor1).loc;
+    surge1.device = f.tor1;
+    ASSERT_EQ(pre.process(surge1, 0).size(), 1u);
+
+    // A sibling device's surge merges into the open one.
+    raw_alert surge2 = surge1;
+    surge2.loc = f.topo.device_at(f.agg1).loc;
+    surge2.device = f.agg1;
+    surge2.timestamp = seconds(5);
+    EXPECT_TRUE(pre.process(surge2, seconds(5)).empty());
+    EXPECT_EQ(pre.stats().merged_related, 1);
+}
+
+TEST(PreprocessorTest, VolumeReductionUnderRepetition) {
+    // The headline effect: a repetitive stream collapses to a handful of
+    // structured alerts.
+    fixture f;
+    preprocessor pre = f.make();
+    int emitted_new = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const sim_time t = i * seconds(1);
+        for (const auto& ev : pre.process(f.snmp_alert("high cpu", f.tor1, t), t)) {
+            if (!ev.is_update) ++emitted_new;
+        }
+    }
+    EXPECT_LE(emitted_new, 4);  // one per 5-minute window
+    EXPECT_EQ(pre.stats().raw_in, 1000);
+}
+
+TEST(PreprocessorTest, MetricKeepsMaximum) {
+    fixture f;
+    preprocessor pre = f.make();
+    raw_alert a = f.snmp_alert("traffic congestion", f.tor1, 0);
+    a.metric = 0.5;
+    (void)pre.process(a, 0);
+    a.metric = 0.9;
+    a.timestamp = seconds(10);
+    const auto out = pre.process(a, seconds(10));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0].alert.metric, 0.9);
+}
+
+}  // namespace
+}  // namespace skynet

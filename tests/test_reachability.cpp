@@ -1,0 +1,98 @@
+// Unit tests for the reachability matrix and focal-point detection.
+#include <gtest/gtest.h>
+
+#include "skynet/common/error.h"
+#include "skynet/telemetry/reachability.h"
+
+namespace skynet {
+namespace {
+
+std::vector<location> clusters(int n) {
+    std::vector<location> out;
+    for (int i = 0; i < n; ++i) {
+        out.push_back(location{"R", "C", "LS", "S", "Cluster " + std::to_string(i)});
+    }
+    return out;
+}
+
+TEST(ReachabilityTest, RecordsAndAverages) {
+    reachability_matrix m(clusters(3));
+    m.record(m.endpoints()[0], m.endpoints()[1], 0.2);
+    m.record(m.endpoints()[0], m.endpoints()[1], 0.4);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.3);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);  // direction matters
+}
+
+TEST(ReachabilityTest, UnknownEndpointsIgnored) {
+    reachability_matrix m(clusters(2));
+    m.record(location{"X"}, m.endpoints()[0], 0.9);
+    EXPECT_DOUBLE_EQ(m.at(location{"X"}, m.endpoints()[0]), 0.0);
+}
+
+TEST(ReachabilityTest, LossClamped) {
+    reachability_matrix m(clusters(2));
+    m.record(m.endpoints()[0], m.endpoints()[1], 7.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+}
+
+TEST(ReachabilityTest, Figure7FocalPoint) {
+    // Reproduce the paper's Figure 7: cluster 2's row and column dark,
+    // everything else clean.
+    reachability_matrix m(clusters(6));
+    const auto& eps = m.endpoints();
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+        for (std::size_t j = 0; j < eps.size(); ++j) {
+            if (i == j) continue;
+            const bool hot = (i == 2 || j == 2);
+            m.record(eps[i], eps[j], hot ? 0.08 : 0.0);
+        }
+    }
+    const auto focal = m.focal_point();
+    ASSERT_TRUE(focal.has_value());
+    EXPECT_EQ(focal->leaf(), "Cluster 2");
+}
+
+TEST(ReachabilityTest, DiffuseLossHasNoFocalPoint) {
+    reachability_matrix m(clusters(5));
+    const auto& eps = m.endpoints();
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+        for (std::size_t j = 0; j < eps.size(); ++j) {
+            if (i != j) m.record(eps[i], eps[j], 0.05);
+        }
+    }
+    EXPECT_FALSE(m.focal_point().has_value());
+}
+
+TEST(ReachabilityTest, NoLossNoFocalPoint) {
+    reachability_matrix m(clusters(4));
+    EXPECT_FALSE(m.focal_point().has_value());
+}
+
+TEST(ReachabilityTest, TinyMatrixNoFocalPoint) {
+    reachability_matrix m(clusters(1));
+    EXPECT_FALSE(m.focal_point().has_value());
+}
+
+TEST(ReachabilityTest, HotspotScoreExcludesDiagonal) {
+    reachability_matrix m(clusters(2));
+    m.record(m.endpoints()[0], m.endpoints()[0], 1.0);  // self loss ignored by score
+    m.record(m.endpoints()[0], m.endpoints()[1], 0.5);
+    EXPECT_DOUBLE_EQ(m.hotspot_score(0), 0.25);  // (0.5 + 0.0) / 2
+}
+
+TEST(ReachabilityTest, ToStringRendersGrid) {
+    reachability_matrix m(clusters(2));
+    m.record(m.endpoints()[0], m.endpoints()[1], 0.155);
+    const std::string s = m.to_string();
+    EXPECT_NE(s.find("15.50"), std::string::npos);
+    EXPECT_NE(s.find("Cluster 0"), std::string::npos);
+}
+
+TEST(ReachabilityTest, BadIndexThrows) {
+    reachability_matrix m(clusters(2));
+    EXPECT_THROW((void)m.at(5, 0), skynet_error);
+    EXPECT_THROW((void)m.hotspot_score(9), skynet_error);
+}
+
+}  // namespace
+}  // namespace skynet

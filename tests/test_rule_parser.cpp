@@ -1,0 +1,155 @@
+// Tests for the SOP rule text format.
+#include <gtest/gtest.h>
+
+#include "skynet/heuristics/rule_parser.h"
+
+namespace skynet {
+namespace {
+
+TEST(RuleParserTest, ParsesFullRule) {
+    const auto result = parse_sop_rules(R"(
+rule "device packet loss isolation":
+  require sflow packet loss
+  forbid hardware error
+  group quiet
+  max group utilization 0.7
+  action isolate device
+)");
+    ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0].message);
+    ASSERT_EQ(result.rules.size(), 1u);
+    const sop_rule& r = result.rules[0];
+    EXPECT_EQ(r.name, "device packet loss isolation");
+    EXPECT_EQ(r.condition.required_types, (std::vector<std::string>{"sflow packet loss"}));
+    EXPECT_EQ(r.condition.forbidden_types, (std::vector<std::string>{"hardware error"}));
+    EXPECT_TRUE(r.condition.require_group_quiet);
+    EXPECT_DOUBLE_EQ(r.condition.max_group_utilization, 0.7);
+    EXPECT_EQ(r.action, sop_action_kind::isolate_device);
+}
+
+TEST(RuleParserTest, MultipleRulesAndComments) {
+    const auto result = parse_sop_rules(R"(
+# rulebook v2
+rule "a":
+  require link down   # syslog type
+  action disable interface
+
+rule "b":
+  require modification failed
+  action rollback modification
+)");
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.rules.size(), 2u);
+    EXPECT_EQ(result.rules[0].action, sop_action_kind::disable_interface);
+    EXPECT_EQ(result.rules[1].action, sop_action_kind::rollback_modification);
+    // Defaults: no group-quiet requirement unless stated.
+    EXPECT_FALSE(result.rules[0].condition.require_group_quiet);
+    EXPECT_DOUBLE_EQ(result.rules[0].condition.max_group_utilization, 1.0);
+}
+
+TEST(RuleParserTest, MissingActionIsError) {
+    const auto result = parse_sop_rules(R"(
+rule "incomplete":
+  require link down
+)");
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.rules.empty());
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].message.find("no action"), std::string::npos);
+}
+
+TEST(RuleParserTest, BadRuleSkippedGoodRuleKept) {
+    const auto result = parse_sop_rules(R"(
+rule "broken":
+  frobnicate the widgets
+  action isolate device
+
+rule "fine":
+  require crc error
+  action disable interface
+)");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.rules.size(), 1u);
+    EXPECT_EQ(result.rules[0].name, "fine");
+    ASSERT_FALSE(result.errors.empty());
+    EXPECT_EQ(result.errors[0].line, 3);
+}
+
+TEST(RuleParserTest, BadUtilizationRejected) {
+    for (const char* value : {"1.5", "-0.2", "fast", ""}) {
+        const std::string text = std::string("rule \"x\":\n  max group utilization ") + value +
+                                 "\n  action isolate device\n";
+        const auto result = parse_sop_rules(text);
+        EXPECT_FALSE(result.ok()) << value;
+    }
+}
+
+TEST(RuleParserTest, DirectiveOutsideRuleIsError) {
+    const auto result = parse_sop_rules("require link down\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.errors[0].line, 1);
+}
+
+TEST(RuleParserTest, UnknownActionRejected) {
+    const auto result = parse_sop_rules(R"(
+rule "x":
+  action reboot the internet
+)");
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(RuleParserTest, RoundTripThroughRenderer) {
+    sop_rule rule{.name = "round trip",
+                  .condition = {.required_types = {"sflow packet loss", "hardware error"},
+                                .forbidden_types = {"software error"},
+                                .require_group_quiet = true,
+                                .max_group_utilization = 0.65},
+                  .action = sop_action_kind::isolate_device};
+    const auto result = parse_sop_rules(render_sop_rule(rule));
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.rules.size(), 1u);
+    const sop_rule& r = result.rules[0];
+    EXPECT_EQ(r.name, rule.name);
+    EXPECT_EQ(r.condition.required_types, rule.condition.required_types);
+    EXPECT_EQ(r.condition.forbidden_types, rule.condition.forbidden_types);
+    EXPECT_EQ(r.condition.require_group_quiet, rule.condition.require_group_quiet);
+    EXPECT_NEAR(r.condition.max_group_utilization, rule.condition.max_group_utilization, 1e-9);
+    EXPECT_EQ(r.action, rule.action);
+}
+
+TEST(RuleParserTest, ParsedRulesDriveTheEngine) {
+    // Rules loaded from text must behave exactly like built-ins.
+    topology topo;
+    const location cl{"R", "C", "LS", "S", "CL"};
+    const device_id agg1 = topo.add_device("agg1", device_role::agg, cl.child("agg1"));
+    const device_id agg2 = topo.add_device("agg2", device_role::agg, cl.child("agg2"));
+    const group_id g = topo.add_group("CL-AGG");
+    topo.add_to_group(g, agg1);
+    topo.add_to_group(g, agg2);
+    const circuit_set_id cs = topo.add_circuit_set("a1a2", agg1, agg2);
+    (void)topo.add_link(agg1, agg2, cs, 100.0);
+    customer_registry customers;
+    network_state state(&topo, &customers);
+    state.set_offered_gbps(cs, 10.0);
+
+    const auto parsed = parse_sop_rules(R"(
+rule "textual isolation":
+  require rx errors
+  group quiet
+  max group utilization 0.9
+  action isolate device
+)");
+    ASSERT_TRUE(parsed.ok());
+    sop_engine engine(&topo);
+    for (const sop_rule& r : parsed.rules) engine.add_rule(r);
+
+    structured_alert a;
+    a.type_name = "rx errors";
+    a.loc = topo.device_at(agg1).loc;
+    a.device = agg1;
+    const auto matches = engine.match(std::vector<structured_alert>{a}, state);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].rule->name, "textual isolation");
+}
+
+}  // namespace
+}  // namespace skynet

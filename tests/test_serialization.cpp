@@ -1,0 +1,137 @@
+// Tests for the topology text format (export / import).
+#include <gtest/gtest.h>
+
+#include "skynet/sim/network_state.h"
+#include "skynet/topology/generator.h"
+#include "skynet/topology/serialization.h"
+
+namespace skynet {
+namespace {
+
+TEST(RoleTokenTest, RoundTripsAllRoles) {
+    for (const device_role role :
+         {device_role::tor, device_role::agg, device_role::csr, device_role::dcbr,
+          device_role::isr, device_role::bsr, device_role::reflector, device_role::isp}) {
+        EXPECT_EQ(parse_role(role_token(role)), role);
+    }
+    EXPECT_EQ(parse_role("spacecraft"), std::nullopt);
+}
+
+TEST(SerializationTest, GeneratedTopologyRoundTrips) {
+    const topology original = generate_topology(generator_params::tiny());
+    const std::string text = export_topology(original);
+    const topology_parse_result parsed = import_topology(text);
+    ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0].message);
+
+    const topology& copy = parsed.topo;
+    ASSERT_EQ(copy.devices().size(), original.devices().size());
+    ASSERT_EQ(copy.links().size(), original.links().size());
+    ASSERT_EQ(copy.circuit_sets().size(), original.circuit_sets().size());
+    ASSERT_EQ(copy.groups().size(), original.groups().size());
+
+    for (std::size_t i = 0; i < original.devices().size(); ++i) {
+        const device& a = original.devices()[i];
+        const device& b = copy.devices()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.role, b.role);
+        EXPECT_EQ(a.loc, b.loc);
+        EXPECT_EQ(a.legacy_slow_snmp, b.legacy_slow_snmp);
+        EXPECT_EQ(a.supports_int, b.supports_int);
+        EXPECT_EQ(a.group, b.group);
+    }
+    for (std::size_t i = 0; i < original.links().size(); ++i) {
+        const link& a = original.links()[i];
+        const link& b = copy.links()[i];
+        EXPECT_EQ(a.a, b.a);
+        EXPECT_EQ(a.b, b.b);
+        EXPECT_EQ(a.cset, b.cset);
+        EXPECT_DOUBLE_EQ(a.capacity_gbps, b.capacity_gbps);
+        EXPECT_EQ(a.internet_entry, b.internet_entry);
+    }
+    // Export of the copy is byte-identical (canonical form).
+    EXPECT_EQ(export_topology(copy), text);
+}
+
+TEST(SerializationTest, ParsesHandWrittenInventory) {
+    const auto result = import_topology(R"(
+# two racks, one uplink bundle
+device tor1 tor R1|C1|LS1|S1|CL1|tor1
+device agg1 agg R1|C1|LS1|S1|CL1|agg1
+flags tor1 legacy_snmp int
+group rack-agg agg1
+cset uplink tor1 agg1
+link tor1 agg1 uplink 25
+link tor1 agg1 uplink 25
+)");
+    ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0].message);
+    const topology& topo = result.topo;
+    ASSERT_EQ(topo.devices().size(), 2u);
+    EXPECT_TRUE(topo.device_at(0).legacy_slow_snmp);
+    EXPECT_TRUE(topo.device_at(0).supports_int);
+    EXPECT_EQ(topo.device_at(1).group, 0u);
+    ASSERT_EQ(topo.circuit_sets().size(), 1u);
+    EXPECT_EQ(topo.circuit_set_at(0).circuits.size(), 2u);
+}
+
+TEST(SerializationTest, ReportsErrorsWithLineNumbers) {
+    const auto result = import_topology(R"(device tor1 tor R1|tor1
+device tor1 tor R1|other
+device ghost spacecraft R1|ghost
+link tor1 nowhere - 25
+link tor1 tor1 - banana
+frobnicate
+)");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.errors.size(), 5u);
+    EXPECT_EQ(result.errors[0].line, 2);  // duplicate device
+    EXPECT_EQ(result.errors[1].line, 3);  // unknown role
+    EXPECT_EQ(result.errors[2].line, 4);  // unknown endpoint
+    EXPECT_EQ(result.errors[3].line, 5);  // bad capacity
+    EXPECT_EQ(result.errors[4].line, 6);  // unknown directive
+    // The valid first device still parsed.
+    EXPECT_EQ(result.topo.devices().size(), 1u);
+}
+
+TEST(SerializationTest, UnknownCsetAndFlagRejected) {
+    const auto result = import_topology(R"(device a tor R|a
+device b tor R|b
+link a b missing-set 10
+flags a warp_drive
+)");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.errors.size(), 2u);
+}
+
+TEST(SerializationTest, LinkWithoutCircuitSet) {
+    const auto result = import_topology(R"(device a tor R|a
+device b tor R|b
+link a b - 10 internet
+)");
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.topo.links().size(), 1u);
+    EXPECT_EQ(result.topo.links()[0].cset, invalid_circuit_set);
+    EXPECT_TRUE(result.topo.links()[0].internet_entry);
+}
+
+TEST(SerializationTest, EmptyAndCommentOnlyInputOk) {
+    EXPECT_TRUE(import_topology("").ok());
+    EXPECT_TRUE(import_topology("# nothing here\n\n  \n").ok());
+}
+
+TEST(SerializationTest, ImportedTopologyIsUsable) {
+    // The imported network drives the normal machinery.
+    const topology original = generate_topology(generator_params::tiny());
+    const topology_parse_result parsed = import_topology(export_topology(original));
+    ASSERT_TRUE(parsed.ok());
+    customer_registry customers;
+    network_state state(&parsed.topo, &customers);
+    const auto clusters = parsed.topo.clusters_under(location{});
+    ASSERT_GE(clusters.size(), 2u);
+    const auto src = state.representative(clusters[0]);
+    const auto dst = state.representative(clusters[1]);
+    ASSERT_TRUE(src && dst);
+    EXPECT_TRUE(state.probe(*src, *dst).reachable);
+}
+
+}  // namespace
+}  // namespace skynet

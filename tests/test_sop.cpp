@@ -1,0 +1,164 @@
+// Tests for the heuristic SOP rule engine (§7.2).
+#include <gtest/gtest.h>
+
+#include "skynet/alert/type_registry.h"
+#include "skynet/heuristics/sop.h"
+
+namespace skynet {
+namespace {
+
+struct fixture {
+    topology topo;
+    customer_registry customers;
+    device_id agg1, agg2, csr;
+    circuit_set_id cs1, cs2;
+
+    fixture() {
+        const location cl{"R", "C", "LS", "S", "CL"};
+        const location site{"R", "C", "LS", "S"};
+        agg1 = topo.add_device("agg1", device_role::agg, cl.child("agg1"));
+        agg2 = topo.add_device("agg2", device_role::agg, cl.child("agg2"));
+        csr = topo.add_device("csr1", device_role::csr, site.child("csr1"));
+        const group_id g = topo.add_group("CL-AGG");
+        topo.add_to_group(g, agg1);
+        topo.add_to_group(g, agg2);
+        cs1 = topo.add_circuit_set("a1c", agg1, csr);
+        cs2 = topo.add_circuit_set("a2c", agg2, csr);
+        (void)topo.add_link(agg1, csr, cs1, 100.0);
+        (void)topo.add_link(agg2, csr, cs2, 100.0);
+    }
+
+    structured_alert alert(std::string type_name, device_id dev) const {
+        structured_alert a;
+        a.type_name = std::move(type_name);
+        a.loc = topo.device_at(dev).loc;
+        a.device = dev;
+        return a;
+    }
+};
+
+TEST(SopEngineTest, DefaultRulesLoaded) {
+    fixture f;
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    EXPECT_GE(engine.rule_count(), 5u);
+}
+
+TEST(SopEngineTest, MatchesTheCanonicalPattern) {
+    // §7.2: one device in a group loses packets, the group is otherwise
+    // quiet, traffic is manageable -> isolate it.
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.4);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+
+    const std::vector<structured_alert> recent{f.alert("sflow packet loss", f.agg1)};
+    const auto matches = engine.match(recent, state);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].device, f.agg1);
+    EXPECT_EQ(matches[0].action, sop_action_kind::isolate_device);
+}
+
+TEST(SopEngineTest, NoisyGroupBlocksIsolation) {
+    // If the peer is alerting too, isolating one device is wrong (the
+    // failure is bigger than the device).
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.4);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    const std::vector<structured_alert> recent{
+        f.alert("sflow packet loss", f.agg1),
+        f.alert("sflow packet loss", f.agg2),
+    };
+    EXPECT_TRUE(engine.match(recent, state).empty());
+}
+
+TEST(SopEngineTest, HighTrafficBlocksIsolation) {
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.set_offered_gbps(f.cs1, 90.0);  // util 0.9 > 0.7 limit
+    state.set_offered_gbps(f.cs2, 90.0);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    const std::vector<structured_alert> recent{f.alert("sflow packet loss", f.agg1)};
+    EXPECT_TRUE(engine.match(recent, state).empty());
+}
+
+TEST(SopEngineTest, UnknownFailureMatchesNothing) {
+    // The unprecedented pattern (all entry links broken): no rule fires;
+    // this is exactly the gap SkyNet fills.
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.4);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    const std::vector<structured_alert> recent{
+        f.alert("internet unreachable", f.csr),
+        f.alert("traffic congestion", f.csr),
+    };
+    EXPECT_TRUE(engine.match(recent, state).empty());
+}
+
+TEST(SopEngineTest, ExecuteIsolatesAndRollsBack) {
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.4);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    const auto matches =
+        engine.match(std::vector<structured_alert>{f.alert("hardware error", f.agg1)}, state);
+    ASSERT_EQ(matches.size(), 1u);
+
+    auto rollback = engine.execute(matches[0], state);
+    EXPECT_TRUE(state.device_state(f.agg1).isolated);
+    // The prepared rollback plan reverts the action (§7.2).
+    rollback(state);
+    EXPECT_FALSE(state.device_state(f.agg1).isolated);
+}
+
+TEST(SopEngineTest, ForbiddenTypeBlocksRule) {
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.4);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    // crc error alone -> disable interface; with a hardware error in the
+    // group the CRC rule is forbidden (hardware rule handles it).
+    const auto only_crc =
+        engine.match(std::vector<structured_alert>{f.alert("crc error", f.agg1)}, state);
+    ASSERT_EQ(only_crc.size(), 1u);
+    EXPECT_EQ(only_crc[0].action, sop_action_kind::disable_interface);
+
+    const auto with_hw = engine.match(
+        std::vector<structured_alert>{f.alert("crc error", f.agg1),
+                                      f.alert("hardware error", f.agg1)},
+        state);
+    ASSERT_EQ(with_hw.size(), 1u);
+    // The hardware-error isolation rule wins instead.
+    EXPECT_EQ(with_hw[0].action, sop_action_kind::isolate_device);
+}
+
+TEST(SopEngineTest, DisableInterfaceDrainsCorruptedLink) {
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    state.reset_traffic(0.1);
+    const link_id bad = f.topo.circuit_set_at(f.cs1).circuits.front();
+    state.link_state(bad).corruption_loss = 0.1;
+
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    const auto matches =
+        engine.match(std::vector<structured_alert>{f.alert("crc error", f.agg1)}, state);
+    ASSERT_EQ(matches.size(), 1u);
+    auto rollback = engine.execute(matches[0], state);
+    EXPECT_FALSE(state.link_state(bad).up);
+    rollback(state);
+    EXPECT_TRUE(state.link_state(bad).up);
+}
+
+TEST(SopEngineTest, AlertsWithoutDeviceIgnored) {
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    const sop_engine engine = sop_engine::with_default_rules(&f.topo);
+    structured_alert a;
+    a.type_name = "sflow packet loss";
+    a.loc = location{"R", "C", "LS"};
+    EXPECT_TRUE(engine.match(std::vector<structured_alert>{a}, state).empty());
+}
+
+}  // namespace
+}  // namespace skynet

@@ -1,0 +1,91 @@
+// Tests for online syslog template mining.
+#include <gtest/gtest.h>
+
+#include "skynet/core/preprocessor.h"
+#include "skynet/syslog/template_miner.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+TEST(TemplateMinerTest, GroupsByConstantWords) {
+    template_miner miner(template_miner::options{.min_occurrences = 3, .max_tracked = 100});
+    for (int i = 0; i < 5; ++i) {
+        miner.observe("%VENDORX-2-NEWFAULT: widget " + std::to_string(i) + " exploded at 10.0.0." +
+                          std::to_string(i),
+                      seconds(i));
+    }
+    miner.observe("%OTHER-6-INFO: something else entirely", seconds(9));
+
+    EXPECT_EQ(miner.observed_count(), 6);
+    const auto cands = miner.candidates();
+    ASSERT_EQ(cands.size(), 1u);  // the singleton stays below min support
+    EXPECT_EQ(cands[0].occurrences, 5);
+    EXPECT_NE(cands[0].signature.find("%VENDORX-2-NEWFAULT:"), std::string::npos);
+    // Variable fields (numbers, addresses) are not in the signature.
+    EXPECT_EQ(cands[0].signature.find("10.0.0"), std::string::npos);
+    EXPECT_EQ(cands[0].first_seen, 0);
+    EXPECT_EQ(cands[0].last_seen, seconds(4));
+    EXPECT_FALSE(cands[0].example.empty());
+}
+
+TEST(TemplateMinerTest, CandidatesOrderedByVolume) {
+    template_miner miner(template_miner::options{.min_occurrences = 2, .max_tracked = 100});
+    for (int i = 0; i < 3; ++i) miner.observe("alpha beta gamma", 0);
+    for (int i = 0; i < 7; ++i) miner.observe("delta epsilon zeta", 0);
+    const auto cands = miner.candidates();
+    ASSERT_EQ(cands.size(), 2u);
+    EXPECT_EQ(cands[0].occurrences, 7);
+    EXPECT_EQ(cands[1].occurrences, 3);
+}
+
+TEST(TemplateMinerTest, ResolveRemovesLabeledTemplate) {
+    template_miner miner(template_miner::options{.min_occurrences = 1, .max_tracked = 100});
+    miner.observe("some recurring fault text", 0);
+    ASSERT_EQ(miner.candidates().size(), 1u);
+    miner.resolve(miner.candidates()[0].signature);
+    EXPECT_TRUE(miner.candidates().empty());
+}
+
+TEST(TemplateMinerTest, EvictionKeepsRecentSignatures) {
+    template_miner miner(template_miner::options{.min_occurrences = 1, .max_tracked = 3});
+    miner.observe("sig one xx", seconds(1));
+    miner.observe("sig two yy", seconds(2));
+    miner.observe("sig three zz", seconds(3));
+    miner.observe("sig four ww", seconds(4));  // evicts the stalest
+    EXPECT_LE(miner.tracked_signatures(), 3u);
+    bool newest_kept = false;
+    for (const auto& c : miner.candidates()) {
+        if (c.signature.find("four") != std::string::npos) newest_kept = true;
+    }
+    EXPECT_TRUE(newest_kept);
+}
+
+TEST(TemplateMinerTest, PreprocessorFeedsUnclassifiedLines) {
+    const topology topo = generate_topology(generator_params::tiny());
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+    preprocessor pre(&topo, &registry, &syslog, {});
+    template_miner miner(template_miner::options{.min_occurrences = 3, .max_tracked = 100});
+    pre.set_template_miner(&miner);
+
+    raw_alert a;
+    a.source = data_source::syslog;
+    a.loc = topo.devices().front().loc;
+    for (int i = 0; i < 4; ++i) {
+        a.timestamp = seconds(i);
+        a.message = "%NEWVENDOR-1-MELTDOWN: core " + std::to_string(i) + " melted";
+        (void)pre.process(a, a.timestamp);
+    }
+    // A classifiable line must NOT reach the miner.
+    a.message = "%LINK-3-UPDOWN: Interface TenGigE0/1/0/2 changed state to down";
+    (void)pre.process(a, seconds(9));
+
+    EXPECT_EQ(miner.observed_count(), 4);
+    const auto cands = miner.candidates();
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_NE(cands[0].signature.find("%NEWVENDOR-1-MELTDOWN:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skynet

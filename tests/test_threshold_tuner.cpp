@@ -1,0 +1,182 @@
+// Tests for the data-driven threshold tuner (§9 future work).
+#include <gtest/gtest.h>
+
+#include "skynet/alert/type_registry.h"
+#include "skynet/common/error.h"
+#include "skynet/core/threshold_tuner.h"
+
+namespace skynet {
+namespace {
+
+/// Two connected devices for alert placement.
+struct fixture {
+    topology topo;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    device_id a, b;
+
+    fixture() {
+        const location cl{"R", "C", "LS", "S", "CL"};
+        a = topo.add_device("a", device_role::tor, cl.child("a"));
+        b = topo.add_device("b", device_role::agg, cl.child("b"));
+        const circuit_set_id cs = topo.add_circuit_set("ab", a, b);
+        (void)topo.add_link(a, b, cs, 100.0);
+    }
+
+    structured_alert alert(const char* type, data_source src, device_id dev, sim_time t) const {
+        structured_alert out;
+        const auto id = registry.find(src, type);
+        if (!id) throw std::runtime_error("unknown type");
+        out.type = *id;
+        out.type_name = type;
+        out.source = src;
+        out.category = registry.at(*id).category;
+        out.when = time_range{t, t};
+        out.loc = topo.device_at(dev).loc;
+        out.device = dev;
+        out.metric = out.category == alert_category::failure ? 0.1 : 0.0;
+        return out;
+    }
+
+    /// Episode with a real failure footprint: F failure types + O other
+    /// types at connected devices.
+    tuning_episode failure_episode(int failure_types, int other_types) const {
+        static const char* failures[] = {"packet loss", "sflow packet loss",
+                                         "internet packet loss", "int packet loss"};
+        static const char* others[] = {"link down", "bgp peer down", "traffic congestion",
+                                       "device inaccessible"};
+        static const data_source failure_src[] = {data_source::ping, data_source::traffic_stats,
+                                                  data_source::internet_telemetry,
+                                                  data_source::inband_telemetry};
+        static const data_source other_src[] = {data_source::snmp, data_source::syslog,
+                                                data_source::snmp, data_source::out_of_band};
+        tuning_episode e;
+        sim_time t = 0;
+        for (int i = 0; i < failure_types; ++i) {
+            e.alerts.emplace_back(alert(failures[i], failure_src[i], a, t), t);
+            t += seconds(2);
+        }
+        for (int i = 0; i < other_types; ++i) {
+            e.alerts.emplace_back(alert(others[i], other_src[i], b, t), t);
+            t += seconds(2);
+        }
+        e.truth.push_back(scenario_record{.name = "synthetic",
+                                          .cause = root_cause::device_hardware,
+                                          .scope = topo.device_at(a).loc.parent(),
+                                          .scopes = {topo.device_at(a).loc.parent()},
+                                          .active = time_range{0, t},
+                                          .severe = true,
+                                          .benign = false,
+                                          .must_detect = true,
+                                          .culprit = a});
+        e.end = t + minutes(20);
+        return e;
+    }
+
+    /// Noise episode: a benign event producing N abnormal types; any
+    /// incident here is a false positive.
+    tuning_episode noise_episode(int abnormal_types) const {
+        static const char* types[] = {"high cpu", "traffic surge", "interface flap",
+                                      "route churn"};
+        static const data_source srcs[] = {data_source::out_of_band, data_source::snmp,
+                                           data_source::snmp, data_source::route_monitoring};
+        tuning_episode e;
+        sim_time t = 0;
+        for (int i = 0; i < abnormal_types; ++i) {
+            e.alerts.emplace_back(alert(types[i], srcs[i], a, t), t);
+            t += seconds(2);
+        }
+        e.truth.push_back(scenario_record{.name = "flash crowd",
+                                          .cause = root_cause::security,
+                                          .scope = topo.device_at(a).loc.parent(),
+                                          .scopes = {topo.device_at(a).loc.parent()},
+                                          .active = time_range{0, t},
+                                          .severe = false,
+                                          .benign = true,
+                                          .must_detect = false,
+                                          .culprit = std::nullopt});
+        e.end = t + minutes(20);
+        return e;
+    }
+};
+
+TEST(ThresholdTunerTest, DefaultGridIncludesProduction) {
+    const auto grid = default_threshold_grid();
+    bool found = false;
+    for (const incident_thresholds& t : grid) {
+        if (t.pure_failure == 2 && t.combo_failure == 1 && t.combo_other == 2 && t.any == 5) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ThresholdTunerTest, RejectsEmptyCandidates) {
+    fixture f;
+    EXPECT_THROW((void)tune_thresholds(f.topo, {}, {}), skynet_error);
+}
+
+TEST(ThresholdTunerTest, PrefersZeroFalseNegatives) {
+    fixture f;
+    // Failures have exactly 2 failure types + 1 other; noise has 4
+    // abnormal types.
+    std::vector<tuning_episode> episodes;
+    episodes.push_back(f.failure_episode(2, 1));
+    episodes.push_back(f.failure_episode(2, 2));
+    episodes.push_back(f.noise_episode(4));
+
+    // Candidate A (3/0+0/0) misses the failures; candidate B (2/0+0/0)
+    // catches both with no FP; candidate C (0/0+0/3) catches them but
+    // also fires on the noise.
+    const std::vector<incident_thresholds> candidates{
+        incident_thresholds{.pure_failure = 3, .combo_failure = 0, .combo_other = 0, .any = 0},
+        incident_thresholds{.pure_failure = 2, .combo_failure = 0, .combo_other = 0, .any = 0},
+        incident_thresholds{.pure_failure = 0, .combo_failure = 0, .combo_other = 0, .any = 3},
+    };
+    const tuning_result result = tune_thresholds(f.topo, episodes, candidates);
+
+    EXPECT_EQ(result.best.pure_failure, 2);
+    EXPECT_EQ(result.best_accuracy.false_negatives, 0);
+    EXPECT_EQ(result.best_accuracy.false_positives, 0);
+    ASSERT_EQ(result.all.size(), 3u);
+    EXPECT_GT(result.all[0].accuracy.false_negatives, 0);  // too strict
+    EXPECT_GT(result.all[2].accuracy.false_positives, 0);  // too loose
+}
+
+TEST(ThresholdTunerTest, TieBreaksTowardStricter) {
+    fixture f;
+    std::vector<tuning_episode> episodes;
+    episodes.push_back(f.failure_episode(3, 2));
+
+    // Both candidates detect the episode with zero FP/FN; the stricter
+    // one (higher any-threshold) wins the tie.
+    const std::vector<incident_thresholds> candidates{
+        incident_thresholds{.pure_failure = 0, .combo_failure = 0, .combo_other = 0, .any = 4},
+        incident_thresholds{.pure_failure = 0, .combo_failure = 0, .combo_other = 0, .any = 5},
+    };
+    const tuning_result result = tune_thresholds(f.topo, episodes, candidates);
+    EXPECT_EQ(result.best.any, 5);
+}
+
+TEST(ThresholdTunerTest, ProductionWinsOnDefaultGrid) {
+    // A small labeled corpus shaped like the Figure 9 findings: failures
+    // with the canonical footprints, plus type-rich benign noise.
+    fixture f;
+    std::vector<tuning_episode> episodes;
+    episodes.push_back(f.failure_episode(2, 0));  // needs A<=2
+    episodes.push_back(f.failure_episode(1, 2));  // needs B/C
+    episodes.push_back(f.failure_episode(2, 3));
+    episodes.push_back(f.noise_episode(4));       // must NOT fire
+
+    const auto grid = default_threshold_grid();
+    const tuning_result result = tune_thresholds(f.topo, episodes, grid);
+    EXPECT_EQ(result.best_accuracy.false_negatives, 0);
+    EXPECT_EQ(result.best_accuracy.false_positives, 0);
+    // The winner accepts 2 pure failures and 1+2 combos — the production
+    // clauses (the any-threshold may tie higher).
+    EXPECT_EQ(result.best.pure_failure, 2);
+    EXPECT_EQ(result.best.combo_failure, 1);
+    EXPECT_EQ(result.best.combo_other, 2);
+}
+
+}  // namespace
+}  // namespace skynet

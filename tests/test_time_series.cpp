@@ -1,0 +1,93 @@
+// Tests for the §7.3 time-series attribution strawman versus SkyNet's
+// category-based attribution.
+#include <gtest/gtest.h>
+
+#include "skynet/heuristics/time_series_baseline.h"
+
+namespace skynet {
+namespace {
+
+structured_alert mk(std::string type, alert_category cat, sim_time at,
+                    std::optional<device_id> dev = std::nullopt) {
+    structured_alert a;
+    a.type_name = std::move(type);
+    a.category = cat;
+    a.when = time_range{at, at};
+    a.device = dev;
+    return a;
+}
+
+TEST(TimeSeriesTest, EmptyInputInvalid) {
+    EXPECT_FALSE(attribute_first_alert({}).valid);
+    EXPECT_FALSE(attribute_by_category({}).valid);
+}
+
+TEST(TimeSeriesTest, FirstAlertPicksEarliest) {
+    const std::vector<structured_alert> alerts{
+        mk("bgp peer down", alert_category::abnormal, seconds(10), 7),
+        mk("packet loss", alert_category::failure, seconds(5)),
+        mk("hardware error", alert_category::root_cause, minutes(4), 3),
+    };
+    const attribution a = attribute_first_alert(alerts);
+    ASSERT_TRUE(a.valid);
+    EXPECT_EQ(a.type_name, "packet loss");
+    EXPECT_EQ(a.at, seconds(5));
+}
+
+TEST(TimeSeriesTest, Section73IncidentMisattributedByTimeOrder) {
+    // The paper's incident: a BGP link break alert came first, then a
+    // flood of packet drops and unreachables; the hardware-error syslog —
+    // the true root cause — arrived minutes later.
+    std::vector<structured_alert> alerts{
+        mk("bgp peer down", alert_category::abnormal, seconds(2), /*neighbor=*/11),
+        mk("packet loss", alert_category::failure, seconds(8)),
+        mk("device inaccessible", alert_category::abnormal, seconds(12), 12),
+        mk("packet loss", alert_category::failure, seconds(14)),
+        mk("hardware error", alert_category::root_cause, minutes(4), /*culprit=*/42),
+    };
+
+    // The strawman blames the neighbor that logged the BGP break.
+    const attribution naive = attribute_first_alert(alerts);
+    EXPECT_EQ(naive.device, 11u);
+    EXPECT_EQ(naive.type_name, "bgp peer down");
+
+    // Category-based attribution finds the hardware fault despite its
+    // late arrival — SkyNet's design choice.
+    const attribution skynet_way = attribute_by_category(alerts);
+    EXPECT_EQ(skynet_way.device, 42u);
+    EXPECT_EQ(skynet_way.type_name, "hardware error");
+}
+
+TEST(TimeSeriesTest, CategoryTieBreaksOnDeviceThenTime) {
+    const std::vector<structured_alert> alerts{
+        mk("link down", alert_category::root_cause, seconds(10)),       // no device
+        mk("port down", alert_category::root_cause, seconds(20), 5),    // device, later
+        mk("hardware error", alert_category::root_cause, seconds(30), 6),
+    };
+    const attribution a = attribute_by_category(alerts);
+    // Device-attributed root-cause alerts win; earliest of them is at 20s.
+    EXPECT_EQ(a.device, 5u);
+    EXPECT_EQ(a.at, seconds(20));
+}
+
+TEST(TimeSeriesTest, FailureBeatsAbnormalWhenNoRootCause) {
+    const std::vector<structured_alert> alerts{
+        mk("traffic surge", alert_category::abnormal, seconds(1), 1),
+        mk("packet loss", alert_category::failure, seconds(9), 2),
+    };
+    EXPECT_EQ(attribute_by_category(alerts).device, 2u);
+}
+
+TEST(TimeSeriesTest, AgreeWhenRootCauseIsAlsoFirst) {
+    // When the root-cause log really does come first, both approaches
+    // converge — the tree approach never does worse.
+    const std::vector<structured_alert> alerts{
+        mk("hardware error", alert_category::root_cause, seconds(1), 9),
+        mk("packet loss", alert_category::failure, seconds(5)),
+    };
+    EXPECT_EQ(attribute_first_alert(alerts).device, 9u);
+    EXPECT_EQ(attribute_by_category(alerts).device, 9u);
+}
+
+}  // namespace
+}  // namespace skynet

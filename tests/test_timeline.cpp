@@ -1,0 +1,116 @@
+// Tests for the ASCII incident timeline and the WAN partition scenario.
+#include <gtest/gtest.h>
+
+#include "skynet/sim/scenario.h"
+#include "skynet/topology/generator.h"
+#include "skynet/viz/timeline.h"
+
+namespace skynet {
+namespace {
+
+incident_report report(std::uint64_t id, location root, time_range when, double score,
+                       bool actionable) {
+    incident_report r;
+    r.inc.id = id;
+    r.inc.root = std::move(root);
+    r.inc.when = when;
+    structured_alert a;
+    a.type_name = "packet loss";
+    a.category = alert_category::failure;
+    a.when = when;
+    a.loc = r.inc.root;
+    r.inc.alerts.push_back(a);
+    r.severity.score = score;
+    r.actionable = actionable;
+    return r;
+}
+
+TEST(TimelineTest, EmptyInput) {
+    EXPECT_EQ(render_timeline({}), "(no incidents)\n");
+}
+
+TEST(TimelineTest, OrdersBySeverityAndMarksActionable) {
+    const std::vector<incident_report> reports{
+        report(1, location{"R", "C", "Low"}, {minutes(1), minutes(5)}, 3.0, false),
+        report(2, location{"R", "C", "High"}, {minutes(2), minutes(8)}, 80.0, true),
+    };
+    const std::string chart = render_timeline(reports);
+    EXPECT_LT(chart.find("High"), chart.find("Low"));
+    EXPECT_NE(chart.find("80.0 *"), std::string::npos);
+    EXPECT_NE(chart.find("3.0"), std::string::npos);
+    EXPECT_NE(chart.find('#'), std::string::npos);  // failure activity marked
+}
+
+TEST(TimelineTest, LongLabelsTruncated) {
+    const location deep{"Very", "Deep", "Location", "Path", "Cluster-9000", "device-with-long-name"};
+    const std::vector<incident_report> reports{
+        report(1, deep, {0, minutes(2)}, 5.0, false)};
+    timeline_options opts;
+    opts.label_width = 20;
+    const std::string chart = render_timeline(reports, opts);
+    EXPECT_NE(chart.find("..."), std::string::npos);
+    for (const std::string& line : {std::string("Very|Deep|Location")}) {
+        EXPECT_EQ(chart.find(line), std::string::npos);  // truncated away
+    }
+}
+
+TEST(TimelineTest, AxisShowsWindowBounds) {
+    const std::vector<incident_report> reports{
+        report(1, location{"R"}, {minutes(10), minutes(20)}, 1.0, false)};
+    const std::string chart = render_timeline(reports);
+    EXPECT_NE(chart.find(format_time(minutes(10))), std::string::npos);
+    EXPECT_NE(chart.find(format_time(minutes(20))), std::string::npos);
+}
+
+TEST(WanPartitionTest, CutsEveryCircuitBetweenTwoCities) {
+    const topology topo = generate_topology(generator_params::small());
+    customer_registry customers;
+    network_state state(&topo, &customers);
+    rng rand(77);
+    auto s = make_wan_partition(topo, rand);
+    EXPECT_TRUE(s->severe());
+    ASSERT_EQ(s->scopes().size(), 2u);
+    const location city_a = s->scopes()[0];
+    const location city_b = s->scopes()[1];
+    EXPECT_EQ(city_a.level(), hierarchy_level::city);
+    EXPECT_NE(city_a, city_b);
+
+    s->on_start(state, rand, 0);
+    for (const circuit_set& cs : topo.circuit_sets()) {
+        if (topo.device_at(cs.a).role != device_role::bsr ||
+            topo.device_at(cs.b).role != device_role::bsr) {
+            continue;
+        }
+        const location ca = topo.device_at(cs.a).loc.ancestor_at(hierarchy_level::city);
+        const location cb = topo.device_at(cs.b).loc.ancestor_at(hierarchy_level::city);
+        const bool cut_pair = (ca == city_a && cb == city_b) || (ca == city_b && cb == city_a);
+        EXPECT_DOUBLE_EQ(state.break_ratio(cs.id), cut_pair ? 1.0 : 0.0)
+            << cs.name << " unexpected state";
+    }
+
+    s->on_end(state, rand, minutes(5));
+    for (const link& l : topo.links()) {
+        EXPECT_TRUE(state.link_state(l.id).up);
+    }
+}
+
+TEST(WanPartitionTest, TrafficStillFlowsAroundTheRing) {
+    // The generator builds a ring with chords: a single partition must
+    // not island any city (redundancy holds); traffic reroutes.
+    const topology topo = generate_topology(generator_params::small());
+    customer_registry customers;
+    network_state state(&topo, &customers);
+    rng rand(78);
+    auto s = make_wan_partition(topo, rand);
+    s->on_start(state, rand, 0);
+
+    const auto clusters = topo.clusters_under(location{});
+    const auto src = state.representative(clusters.front());
+    const auto dst = state.representative(clusters.back());
+    ASSERT_TRUE(src && dst);
+    EXPECT_TRUE(state.probe(*src, *dst).reachable);
+    s->on_end(state, rand, minutes(5));
+}
+
+}  // namespace
+}  // namespace skynet

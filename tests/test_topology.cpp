@@ -1,0 +1,198 @@
+// Unit and property tests for the topology container and generator.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "skynet/common/error.h"
+#include "skynet/topology/generator.h"
+#include "skynet/topology/topology.h"
+
+namespace skynet {
+namespace {
+
+/// Minimal hand-built fabric: two ToRs and an AGG in one cluster plus a
+/// remote device.
+struct mini_topo {
+    topology topo;
+    device_id tor1, tor2, agg, remote;
+    link_id l1, l2;
+    circuit_set_id cs1;
+
+    mini_topo() {
+        const location cluster{"R", "C", "LS", "S", "CL"};
+        tor1 = topo.add_device("tor1", device_role::tor, cluster.child("tor1"));
+        tor2 = topo.add_device("tor2", device_role::tor, cluster.child("tor2"));
+        agg = topo.add_device("agg1", device_role::agg, cluster.child("agg1"));
+        remote = topo.add_device("remote", device_role::tor,
+                                 location{"R", "C", "LS", "S2", "CL9", "remote"});
+        cs1 = topo.add_circuit_set("tor1<->agg1", tor1, agg);
+        l1 = topo.add_link(tor1, agg, cs1, 25.0);
+        l2 = topo.add_link(tor2, agg, invalid_circuit_set, 25.0);
+    }
+};
+
+TEST(TopologyTest, ElementAccess) {
+    mini_topo m;
+    EXPECT_EQ(m.topo.devices().size(), 4u);
+    EXPECT_EQ(m.topo.links().size(), 2u);
+    EXPECT_EQ(m.topo.device_at(m.tor1).name, "tor1");
+    EXPECT_EQ(m.topo.link_at(m.l1).capacity_gbps, 25.0);
+    EXPECT_EQ(m.topo.circuit_set_at(m.cs1).circuits.size(), 1u);
+    EXPECT_THROW((void)m.topo.device_at(999), skynet_error);
+    EXPECT_THROW((void)m.topo.link_at(999), skynet_error);
+}
+
+TEST(TopologyTest, DuplicateDeviceNameRejected) {
+    topology topo;
+    (void)topo.add_device("x", device_role::tor, location{"R", "x"});
+    EXPECT_THROW((void)topo.add_device("x", device_role::tor, location{"R", "y"}),
+                 skynet_error);
+}
+
+TEST(TopologyTest, FindDevice) {
+    mini_topo m;
+    EXPECT_EQ(m.topo.find_device("agg1"), m.agg);
+    EXPECT_EQ(m.topo.find_device("nope"), std::nullopt);
+}
+
+TEST(TopologyTest, AdjacencyAndNeighbors) {
+    mini_topo m;
+    EXPECT_TRUE(m.topo.adjacent(m.tor1, m.agg));
+    EXPECT_FALSE(m.topo.adjacent(m.tor1, m.tor2));
+    const auto n = m.topo.neighbors(m.agg);
+    EXPECT_EQ(n.size(), 2u);
+}
+
+TEST(TopologyTest, DevicesUnder) {
+    mini_topo m;
+    EXPECT_EQ(m.topo.devices_under(location{"R", "C", "LS", "S", "CL"}).size(), 3u);
+    EXPECT_EQ(m.topo.devices_under(location{"R"}).size(), 4u);
+    EXPECT_TRUE(m.topo.devices_under(location{"Z"}).empty());
+}
+
+TEST(TopologyTest, HopDistance) {
+    mini_topo m;
+    EXPECT_EQ(m.topo.hop_distance(m.tor1, m.tor1), 0);
+    EXPECT_EQ(m.topo.hop_distance(m.tor1, m.agg), 1);
+    EXPECT_EQ(m.topo.hop_distance(m.tor1, m.tor2), 2);
+    EXPECT_EQ(m.topo.hop_distance(m.tor1, m.remote), std::nullopt);
+}
+
+TEST(TopologyTest, ConnectedComponentsSplitIsolatedDevices) {
+    mini_topo m;
+    const std::vector<device_id> members{m.tor1, m.agg, m.remote};
+    const auto groups = m.topo.connected_components(members);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], (std::vector<device_id>{m.tor1, m.agg}));
+    EXPECT_EQ(groups[1], (std::vector<device_id>{m.remote}));
+}
+
+TEST(TopologyTest, ConnectedComponentsSameClusterGlue) {
+    mini_topo m;
+    // tor1 and tor2 share no link but share the cluster.
+    const std::vector<device_id> members{m.tor1, m.tor2};
+    EXPECT_EQ(m.topo.connected_components(members).size(), 1u);
+}
+
+TEST(TopologyTest, CircuitSetsOf) {
+    mini_topo m;
+    EXPECT_EQ(m.topo.circuit_sets_of(m.tor1).size(), 1u);
+    EXPECT_TRUE(m.topo.circuit_sets_of(m.tor2).empty());
+}
+
+// --- generator properties ---------------------------------------------------
+
+class GeneratorTest : public ::testing::TestWithParam<generator_params> {};
+
+TEST_P(GeneratorTest, StructuralInvariants) {
+    const topology topo = generate_topology(GetParam());
+
+    ASSERT_FALSE(topo.devices().empty());
+    ASSERT_FALSE(topo.links().empty());
+
+    // Every link endpoint is valid and every circuit of a set joins the
+    // set's endpoints.
+    for (const link& l : topo.links()) {
+        ASSERT_LT(l.a, topo.devices().size());
+        ASSERT_LT(l.b, topo.devices().size());
+        if (l.cset != invalid_circuit_set) {
+            const circuit_set& cs = topo.circuit_set_at(l.cset);
+            const bool matches = (cs.a == l.a && cs.b == l.b) || (cs.a == l.b && cs.b == l.a);
+            ASSERT_TRUE(matches) << "circuit endpoints disagree with set " << cs.name;
+        }
+    }
+
+    // Device locations are unique, non-root, and end with the device name.
+    std::unordered_set<std::string> locs;
+    for (const device& d : topo.devices()) {
+        ASSERT_FALSE(d.loc.is_root());
+        ASSERT_EQ(d.loc.leaf(), d.name);
+        ASSERT_TRUE(locs.insert(d.loc.to_string()).second);
+    }
+
+    // Every non-ISP device is connected to the fabric.
+    for (const device& d : topo.devices()) {
+        ASSERT_FALSE(topo.links_of(d.id).empty()) << d.name << " is isolated";
+    }
+
+    // Group members share the group id.
+    for (const device_group& g : topo.groups()) {
+        for (device_id m : g.members) {
+            ASSERT_EQ(topo.device_at(m).group, g.id);
+        }
+    }
+}
+
+TEST_P(GeneratorTest, InternetEntriesExist) {
+    const topology topo = generate_topology(GetParam());
+    int entries = 0;
+    for (const link& l : topo.links()) {
+        if (l.internet_entry) ++entries;
+    }
+    EXPECT_GT(entries, 0);
+}
+
+TEST_P(GeneratorTest, WholeFabricIsReachable) {
+    const topology topo = generate_topology(GetParam());
+    // BFS from device 0 must reach every device (ISPs included via
+    // internet entries).
+    const auto d = topo.hop_distance(0, static_cast<device_id>(topo.devices().size() - 1));
+    EXPECT_TRUE(d.has_value());
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+    const topology a = generate_topology(GetParam());
+    const topology b = generate_topology(GetParam());
+    ASSERT_EQ(a.devices().size(), b.devices().size());
+    ASSERT_EQ(a.links().size(), b.links().size());
+    for (std::size_t i = 0; i < a.devices().size(); ++i) {
+        EXPECT_EQ(a.devices()[i].name, b.devices()[i].name);
+        EXPECT_EQ(a.devices()[i].legacy_slow_snmp, b.devices()[i].legacy_slow_snmp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, GeneratorTest,
+                         ::testing::Values(generator_params::tiny(), generator_params::small(),
+                                           generator_params::medium()));
+
+TEST(GeneratorTest, ScalePresetsAreOrdered) {
+    const auto tiny = generate_topology(generator_params::tiny());
+    const auto small = generate_topology(generator_params::small());
+    const auto medium = generate_topology(generator_params::medium());
+    EXPECT_LT(tiny.devices().size(), small.devices().size());
+    EXPECT_LT(small.devices().size(), medium.devices().size());
+}
+
+TEST(GeneratorTest, ReflectorsPresentWhenRequested) {
+    generator_params p = generator_params::tiny();
+    p.add_reflectors = true;
+    const topology topo = generate_topology(p);
+    bool has_rr = false;
+    for (const device& d : topo.devices()) {
+        if (d.role == device_role::reflector) has_rr = true;
+    }
+    EXPECT_TRUE(has_rr);
+}
+
+}  // namespace
+}  // namespace skynet

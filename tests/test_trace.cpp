@@ -1,0 +1,145 @@
+// Tests for alert trace serialization and replay.
+#include <gtest/gtest.h>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/sim/engine.h"
+#include "skynet/sim/trace.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+TEST(SourceTokenTest, RoundTripsAllSources) {
+    for (const data_source source : all_data_sources()) {
+        EXPECT_EQ(parse_source(source_token(source)), source);
+    }
+    EXPECT_EQ(parse_source("carrier-pigeon"), std::nullopt);
+}
+
+TEST(TraceTest, RecordRoundTrips) {
+    raw_alert a;
+    a.source = data_source::ping;
+    a.timestamp = seconds(42);
+    a.kind = "packet loss";
+    a.metric = 0.125;
+    a.loc = location{"R", "C", "LS", "S", "CL"};
+    a.device = 7;
+    a.link = 13;
+    a.src_loc = location{"R", "C", "LS", "S", "CL1"};
+    a.dst_loc = location{"R", "C", "LS", "S", "CL2"};
+    a.message = "ping: loss 12.5%";
+
+    const std::string line = serialize_alert_record(a, seconds(43));
+    const trace_parse_result parsed = parse_trace(line + "\n");
+    ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0].message);
+    ASSERT_EQ(parsed.alerts.size(), 1u);
+
+    const traced_alert& t = parsed.alerts[0];
+    EXPECT_EQ(t.arrival, seconds(43));
+    EXPECT_EQ(t.alert.source, a.source);
+    EXPECT_EQ(t.alert.timestamp, a.timestamp);
+    EXPECT_EQ(t.alert.kind, a.kind);
+    EXPECT_DOUBLE_EQ(t.alert.metric, a.metric);
+    EXPECT_EQ(t.alert.loc, a.loc);
+    EXPECT_EQ(t.alert.device, a.device);
+    EXPECT_EQ(t.alert.link, a.link);
+    EXPECT_EQ(t.alert.src_loc, a.src_loc);
+    EXPECT_EQ(t.alert.dst_loc, a.dst_loc);
+    EXPECT_EQ(t.alert.message, a.message);
+}
+
+TEST(TraceTest, OptionalFieldsAsDashes) {
+    raw_alert a;
+    a.source = data_source::syslog;
+    a.timestamp = 0;
+    a.message = "%SYS-6-INFO: hello";
+    const std::string line = serialize_alert_record(a, 5);
+    const trace_parse_result parsed = parse_trace(line);
+    ASSERT_TRUE(parsed.ok());
+    const traced_alert& t = parsed.alerts[0];
+    EXPECT_TRUE(t.alert.kind.empty());
+    EXPECT_TRUE(t.alert.loc.is_root());
+    EXPECT_EQ(t.alert.device, std::nullopt);
+    EXPECT_EQ(t.alert.link, std::nullopt);
+    EXPECT_EQ(t.alert.src_loc, std::nullopt);
+}
+
+TEST(TraceTest, TabsInMessageSanitized) {
+    raw_alert a;
+    a.source = data_source::syslog;
+    a.message = "evil\tmessage\nwith breaks";
+    const trace_parse_result parsed = parse_trace(serialize_alert_record(a, 0));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.alerts[0].alert.message, "evil message with breaks");
+}
+
+TEST(TraceTest, BadLinesReportedAndSkipped) {
+    const trace_parse_result parsed = parse_trace(
+        "# header comment\n"
+        "not enough fields\n"
+        "abc\tping\t0\t-\t0\t-\t-\t-\t-\t-\tmsg\n"   // bad arrival
+        "0\twarp\t0\t-\t0\t-\t-\t-\t-\t-\tmsg\n"     // bad source
+        "0\tping\t0\t-\tx\t-\t-\t-\t-\t-\tmsg\n"     // bad metric
+        "0\tping\t0\t-\t0\t-\t-9\t-\t-\t-\tmsg\n"    // bad device id
+        "0\tping\t0\tpacket loss\t0.5\tR|C\t-\t-\t-\t-\tok\n");
+    EXPECT_EQ(parsed.errors.size(), 5u);
+    ASSERT_EQ(parsed.alerts.size(), 1u);
+    EXPECT_EQ(parsed.alerts[0].alert.kind, "packet loss");
+    EXPECT_EQ(parsed.errors[0].line, 2);
+    EXPECT_EQ(parsed.errors[1].line, 3);
+}
+
+TEST(TraceTest, RecordedEpisodeReplaysToSameIncidents) {
+    // Record a simulated flood, replay it through a fresh engine: the
+    // incident set must match what the live run produced.
+    const topology topo = generate_topology(generator_params::tiny());
+    rng crand(5);
+    const customer_registry customers = customer_registry::generate(topo, 50, crand);
+    const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    const syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    simulation_engine sim(&topo, &customers, engine_params{.tick = seconds(2), .seed = 31});
+    sim.add_default_monitors();
+    rng srand(32);
+    sim.inject(make_infrastructure_failure(topo, srand, true), minutes(1), minutes(3));
+
+    skynet_engine live(&topo, &customers, &registry, &syslog);
+    std::vector<traced_alert> recorded;
+    sim.run_until(minutes(5),
+                  [&](const raw_alert& a, sim_time arrival) {
+                      live.ingest(a, arrival);
+                      recorded.push_back(traced_alert{.alert = a, .arrival = arrival});
+                  },
+                  [&](sim_time now) { live.tick(now, sim.state()); });
+    live.finish(sim.clock().now(), sim.state());
+    const auto live_reports = live.take_reports();
+    ASSERT_FALSE(recorded.empty());
+    ASSERT_FALSE(live_reports.empty());
+
+    // Round-trip through the text format.
+    const trace_parse_result parsed = parse_trace(serialize_trace(recorded));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.alerts.size(), recorded.size());
+
+    skynet_engine replayed(&topo, &customers, &registry, &syslog);
+    network_state idle(&topo, &customers);
+    sim_time last_tick = 0;
+    for (const traced_alert& t : parsed.alerts) {
+        replayed.ingest(t.alert, t.arrival);
+        if (t.arrival - last_tick >= seconds(2)) {
+            replayed.tick(t.arrival, idle);
+            last_tick = t.arrival;
+        }
+    }
+    replayed.finish(parsed.alerts.back().arrival + minutes(20), idle);
+    const auto replay_reports = replayed.take_reports();
+
+    ASSERT_EQ(replay_reports.size(), live_reports.size());
+    for (std::size_t i = 0; i < live_reports.size(); ++i) {
+        EXPECT_EQ(replay_reports[i].inc.root, live_reports[i].inc.root);
+        EXPECT_EQ(replay_reports[i].inc.alerts.size(), live_reports[i].inc.alerts.size());
+    }
+}
+
+}  // namespace
+}  // namespace skynet

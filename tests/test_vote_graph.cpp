@@ -1,0 +1,110 @@
+// Tests for the §7.1 alert-voting visualization.
+#include <gtest/gtest.h>
+
+#include "skynet/viz/vote_graph.h"
+
+namespace skynet {
+namespace {
+
+/// Star fabric: a reflector linked to three DCBRs (the §7.1 case where
+/// the reflector collected the highest votes).
+struct fixture {
+    topology topo;
+    device_id rr, d1, d2, d3;
+
+    fixture() {
+        const location ls{"R", "C", "LS"};
+        rr = topo.add_device("rr", device_role::reflector, ls.child("rr"));
+        d1 = topo.add_device("d1", device_role::dcbr, ls.child("d1"));
+        d2 = topo.add_device("d2", device_role::dcbr, ls.child("d2"));
+        d3 = topo.add_device("d3", device_role::dcbr, ls.child("d3"));
+        for (device_id d : {d1, d2, d3}) {
+            const circuit_set_id cs = topo.add_circuit_set("rr<->" + topo.device_at(d).name, rr, d);
+            (void)topo.add_link(rr, d, cs, 10.0);
+        }
+    }
+
+    incident make_incident() const {
+        incident inc;
+        inc.root = location{"R", "C", "LS"};
+        // Every DCBR alerts once (they all see the reflector misbehaving);
+        // the reflector itself alerts once too.
+        for (device_id d : {d1, d2, d3, rr}) {
+            structured_alert a;
+            a.type_name = "bgp peer down";
+            a.category = alert_category::abnormal;
+            a.loc = topo.device_at(d).loc;
+            a.device = d;
+            inc.alerts.push_back(a);
+        }
+        return inc;
+    }
+};
+
+TEST(VoteGraphTest, ReflectorWinsTheVote) {
+    fixture f;
+    vote_graph graph(&f.topo);
+    graph.add_incident(f.make_incident());
+
+    // rr: 1 self + 3 links x 0.5 (far-endpoint votes from d1..d3) = 2.5
+    // each dcbr: 1 self + 0.5 (from rr's own alert) = 1.5
+    const auto ranking = graph.ranking();
+    ASSERT_FALSE(ranking.empty());
+    EXPECT_EQ(ranking.front().id, f.rr);
+    EXPECT_GT(graph.device_votes(f.rr), graph.device_votes(f.d1));
+}
+
+TEST(VoteGraphTest, VotesAccumulateAcrossAlerts) {
+    fixture f;
+    vote_graph graph(&f.topo);
+    graph.add_incident(f.make_incident());
+    const double once = graph.device_votes(f.rr);
+    graph.add_incident(f.make_incident());
+    EXPECT_DOUBLE_EQ(graph.device_votes(f.rr), 2 * once);
+}
+
+TEST(VoteGraphTest, AlertsWithoutDeviceIgnored) {
+    fixture f;
+    vote_graph graph(&f.topo);
+    incident inc;
+    structured_alert a;
+    a.type_name = "internet unreachable";
+    a.loc = location{"R", "C", "LS"};
+    inc.alerts.push_back(a);
+    graph.add_incident(inc);
+    EXPECT_TRUE(graph.ranking().empty());
+}
+
+TEST(VoteGraphTest, LinkVotesTracked) {
+    fixture f;
+    vote_graph graph(&f.topo);
+    graph.add_incident(f.make_incident());
+    // Each rr<->dcbr link gets: 1 from rr's alert + 1 from its dcbr = 2.
+    for (const link& l : f.topo.links()) {
+        EXPECT_DOUBLE_EQ(graph.link_votes(l.id), 2.0);
+    }
+}
+
+TEST(VoteGraphTest, DotOutputHighlightsLeader) {
+    fixture f;
+    vote_graph graph(&f.topo);
+    graph.add_incident(f.make_incident());
+    const std::string dot = graph.to_dot();
+    EXPECT_NE(dot.find("graph skynet_votes"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor=salmon"), std::string::npos);
+    EXPECT_NE(dot.find("\"rr\""), std::string::npos);
+    EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+TEST(VoteGraphTest, AsciiRankingLimited) {
+    fixture f;
+    vote_graph graph(&f.topo);
+    graph.add_incident(f.make_incident());
+    const std::string table = graph.to_ascii(2);
+    // Header + 2 rows.
+    EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+    EXPECT_NE(table.find("rr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skynet
