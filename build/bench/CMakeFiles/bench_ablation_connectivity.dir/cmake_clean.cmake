@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_connectivity.dir/bench_ablation_connectivity.cpp.o"
+  "CMakeFiles/bench_ablation_connectivity.dir/bench_ablation_connectivity.cpp.o.d"
+  "bench_ablation_connectivity"
+  "bench_ablation_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

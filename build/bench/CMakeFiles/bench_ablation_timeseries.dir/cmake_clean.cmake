@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timeseries.dir/bench_ablation_timeseries.cpp.o"
+  "CMakeFiles/bench_ablation_timeseries.dir/bench_ablation_timeseries.cpp.o.d"
+  "bench_ablation_timeseries"
+  "bench_ablation_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_severity.dir/bench_fig10a_severity.cpp.o"
+  "CMakeFiles/bench_fig10a_severity.dir/bench_fig10a_severity.cpp.o.d"
+  "bench_fig10a_severity"
+  "bench_fig10a_severity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_root_causes.dir/bench_fig1_root_causes.cpp.o"
+  "CMakeFiles/bench_fig1_root_causes.dir/bench_fig1_root_causes.cpp.o.d"
+  "bench_fig1_root_causes"
+  "bench_fig1_root_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_root_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/skynet_bench_harness.dir/harness.cpp.o.d"
+  "libskynet_bench_harness.a"
+  "libskynet_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_sop.dir/auto_sop.cpp.o"
+  "CMakeFiles/auto_sop.dir/auto_sop.cpp.o.d"
+  "auto_sop"
+  "auto_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

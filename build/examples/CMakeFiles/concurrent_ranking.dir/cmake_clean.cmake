@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_ranking.dir/concurrent_ranking.cpp.o"
+  "CMakeFiles/concurrent_ranking.dir/concurrent_ranking.cpp.o.d"
+  "concurrent_ranking"
+  "concurrent_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_multisite.dir/ddos_multisite.cpp.o"
+  "CMakeFiles/ddos_multisite.dir/ddos_multisite.cpp.o.d"
+  "ddos_multisite"
+  "ddos_multisite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_multisite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

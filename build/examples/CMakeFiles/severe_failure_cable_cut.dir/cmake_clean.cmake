@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/severe_failure_cable_cut.dir/severe_failure_cable_cut.cpp.o"
+  "CMakeFiles/severe_failure_cable_cut.dir/severe_failure_cable_cut.cpp.o.d"
+  "severe_failure_cable_cut"
+  "severe_failure_cable_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/severe_failure_cable_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_cli.dir/skynet_cli.cpp.o"
+  "CMakeFiles/skynet_cli.dir/skynet_cli.cpp.o.d"
+  "skynet_cli"
+  "skynet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualization_demo.dir/visualization_demo.cpp.o"
+  "CMakeFiles/visualization_demo.dir/visualization_demo.cpp.o.d"
+  "visualization_demo"
+  "visualization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_alert.dir/type_registry.cpp.o"
+  "CMakeFiles/skynet_alert.dir/type_registry.cpp.o.d"
+  "libskynet_alert.a"
+  "libskynet_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

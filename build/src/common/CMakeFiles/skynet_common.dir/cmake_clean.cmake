@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_common.dir/rng.cpp.o"
+  "CMakeFiles/skynet_common.dir/rng.cpp.o.d"
+  "CMakeFiles/skynet_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/skynet_common.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/skynet_common.dir/strings.cpp.o"
+  "CMakeFiles/skynet_common.dir/strings.cpp.o.d"
+  "libskynet_common.a"
+  "libskynet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/skynet_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/digest.cpp" "src/core/CMakeFiles/skynet_core.dir/digest.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/digest.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/skynet_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/incident_log.cpp" "src/core/CMakeFiles/skynet_core.dir/incident_log.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/incident_log.cpp.o.d"
+  "/root/repo/src/core/locator.cpp" "src/core/CMakeFiles/skynet_core.dir/locator.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/locator.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/skynet_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/preprocessor.cpp" "src/core/CMakeFiles/skynet_core.dir/preprocessor.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/core/threshold_tuner.cpp" "src/core/CMakeFiles/skynet_core.dir/threshold_tuner.cpp.o" "gcc" "src/core/CMakeFiles/skynet_core.dir/threshold_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skynet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/skynet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/skynet_alert.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/skynet_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/skynet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skynet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/skynet_monitors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

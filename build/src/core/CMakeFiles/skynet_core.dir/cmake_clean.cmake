@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_core.dir/accuracy.cpp.o"
+  "CMakeFiles/skynet_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/digest.cpp.o"
+  "CMakeFiles/skynet_core.dir/digest.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/evaluator.cpp.o"
+  "CMakeFiles/skynet_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/incident_log.cpp.o"
+  "CMakeFiles/skynet_core.dir/incident_log.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/locator.cpp.o"
+  "CMakeFiles/skynet_core.dir/locator.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/pipeline.cpp.o"
+  "CMakeFiles/skynet_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/preprocessor.cpp.o"
+  "CMakeFiles/skynet_core.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/skynet_core.dir/threshold_tuner.cpp.o"
+  "CMakeFiles/skynet_core.dir/threshold_tuner.cpp.o.d"
+  "libskynet_core.a"
+  "libskynet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

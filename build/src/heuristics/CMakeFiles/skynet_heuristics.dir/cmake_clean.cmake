@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_heuristics.dir/rule_parser.cpp.o"
+  "CMakeFiles/skynet_heuristics.dir/rule_parser.cpp.o.d"
+  "CMakeFiles/skynet_heuristics.dir/sop.cpp.o"
+  "CMakeFiles/skynet_heuristics.dir/sop.cpp.o.d"
+  "CMakeFiles/skynet_heuristics.dir/time_series_baseline.cpp.o"
+  "CMakeFiles/skynet_heuristics.dir/time_series_baseline.cpp.o.d"
+  "libskynet_heuristics.a"
+  "libskynet_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

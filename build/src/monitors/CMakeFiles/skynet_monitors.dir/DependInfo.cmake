@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitors/device_monitors.cpp" "src/monitors/CMakeFiles/skynet_monitors.dir/device_monitors.cpp.o" "gcc" "src/monitors/CMakeFiles/skynet_monitors.dir/device_monitors.cpp.o.d"
+  "/root/repo/src/monitors/extended_monitors.cpp" "src/monitors/CMakeFiles/skynet_monitors.dir/extended_monitors.cpp.o" "gcc" "src/monitors/CMakeFiles/skynet_monitors.dir/extended_monitors.cpp.o.d"
+  "/root/repo/src/monitors/plane_monitors.cpp" "src/monitors/CMakeFiles/skynet_monitors.dir/plane_monitors.cpp.o" "gcc" "src/monitors/CMakeFiles/skynet_monitors.dir/plane_monitors.cpp.o.d"
+  "/root/repo/src/monitors/probing.cpp" "src/monitors/CMakeFiles/skynet_monitors.dir/probing.cpp.o" "gcc" "src/monitors/CMakeFiles/skynet_monitors.dir/probing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skynet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/skynet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/skynet_alert.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skynet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/skynet_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/skynet_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

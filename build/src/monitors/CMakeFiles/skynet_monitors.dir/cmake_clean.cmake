@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_monitors.dir/device_monitors.cpp.o"
+  "CMakeFiles/skynet_monitors.dir/device_monitors.cpp.o.d"
+  "CMakeFiles/skynet_monitors.dir/extended_monitors.cpp.o"
+  "CMakeFiles/skynet_monitors.dir/extended_monitors.cpp.o.d"
+  "CMakeFiles/skynet_monitors.dir/plane_monitors.cpp.o"
+  "CMakeFiles/skynet_monitors.dir/plane_monitors.cpp.o.d"
+  "CMakeFiles/skynet_monitors.dir/probing.cpp.o"
+  "CMakeFiles/skynet_monitors.dir/probing.cpp.o.d"
+  "libskynet_monitors.a"
+  "libskynet_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/skynet_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/skynet_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/network_state.cpp" "src/sim/CMakeFiles/skynet_sim.dir/network_state.cpp.o" "gcc" "src/sim/CMakeFiles/skynet_sim.dir/network_state.cpp.o.d"
+  "/root/repo/src/sim/operator_model.cpp" "src/sim/CMakeFiles/skynet_sim.dir/operator_model.cpp.o" "gcc" "src/sim/CMakeFiles/skynet_sim.dir/operator_model.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/skynet_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/skynet_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/skynet_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/skynet_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skynet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/skynet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/skynet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/skynet_alert.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/skynet_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/skynet_syslog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_sim.dir/engine.cpp.o"
+  "CMakeFiles/skynet_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/skynet_sim.dir/network_state.cpp.o"
+  "CMakeFiles/skynet_sim.dir/network_state.cpp.o.d"
+  "CMakeFiles/skynet_sim.dir/operator_model.cpp.o"
+  "CMakeFiles/skynet_sim.dir/operator_model.cpp.o.d"
+  "CMakeFiles/skynet_sim.dir/scenario.cpp.o"
+  "CMakeFiles/skynet_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/skynet_sim.dir/trace.cpp.o"
+  "CMakeFiles/skynet_sim.dir/trace.cpp.o.d"
+  "libskynet_sim.a"
+  "libskynet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syslog/classifier.cpp" "src/syslog/CMakeFiles/skynet_syslog.dir/classifier.cpp.o" "gcc" "src/syslog/CMakeFiles/skynet_syslog.dir/classifier.cpp.o.d"
+  "/root/repo/src/syslog/ft_tree.cpp" "src/syslog/CMakeFiles/skynet_syslog.dir/ft_tree.cpp.o" "gcc" "src/syslog/CMakeFiles/skynet_syslog.dir/ft_tree.cpp.o.d"
+  "/root/repo/src/syslog/message_catalog.cpp" "src/syslog/CMakeFiles/skynet_syslog.dir/message_catalog.cpp.o" "gcc" "src/syslog/CMakeFiles/skynet_syslog.dir/message_catalog.cpp.o.d"
+  "/root/repo/src/syslog/template_miner.cpp" "src/syslog/CMakeFiles/skynet_syslog.dir/template_miner.cpp.o" "gcc" "src/syslog/CMakeFiles/skynet_syslog.dir/template_miner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

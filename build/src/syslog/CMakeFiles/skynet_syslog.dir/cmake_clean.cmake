@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_syslog.dir/classifier.cpp.o"
+  "CMakeFiles/skynet_syslog.dir/classifier.cpp.o.d"
+  "CMakeFiles/skynet_syslog.dir/ft_tree.cpp.o"
+  "CMakeFiles/skynet_syslog.dir/ft_tree.cpp.o.d"
+  "CMakeFiles/skynet_syslog.dir/message_catalog.cpp.o"
+  "CMakeFiles/skynet_syslog.dir/message_catalog.cpp.o.d"
+  "CMakeFiles/skynet_syslog.dir/template_miner.cpp.o"
+  "CMakeFiles/skynet_syslog.dir/template_miner.cpp.o.d"
+  "libskynet_syslog.a"
+  "libskynet_syslog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_syslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_telemetry.dir/customer.cpp.o"
+  "CMakeFiles/skynet_telemetry.dir/customer.cpp.o.d"
+  "CMakeFiles/skynet_telemetry.dir/reachability.cpp.o"
+  "CMakeFiles/skynet_telemetry.dir/reachability.cpp.o.d"
+  "libskynet_telemetry.a"
+  "libskynet_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

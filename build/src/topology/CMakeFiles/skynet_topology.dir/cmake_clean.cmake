@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_topology.dir/generator.cpp.o"
+  "CMakeFiles/skynet_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/skynet_topology.dir/location.cpp.o"
+  "CMakeFiles/skynet_topology.dir/location.cpp.o.d"
+  "CMakeFiles/skynet_topology.dir/serialization.cpp.o"
+  "CMakeFiles/skynet_topology.dir/serialization.cpp.o.d"
+  "CMakeFiles/skynet_topology.dir/topology.cpp.o"
+  "CMakeFiles/skynet_topology.dir/topology.cpp.o.d"
+  "libskynet_topology.a"
+  "libskynet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

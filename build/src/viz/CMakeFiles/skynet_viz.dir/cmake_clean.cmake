@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skynet_viz.dir/timeline.cpp.o"
+  "CMakeFiles/skynet_viz.dir/timeline.cpp.o.d"
+  "CMakeFiles/skynet_viz.dir/vote_graph.cpp.o"
+  "CMakeFiles/skynet_viz.dir/vote_graph.cpp.o.d"
+  "libskynet_viz.a"
+  "libskynet_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skynet_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

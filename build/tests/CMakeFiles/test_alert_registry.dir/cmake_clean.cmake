@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alert_registry.dir/test_alert_registry.cpp.o"
+  "CMakeFiles/test_alert_registry.dir/test_alert_registry.cpp.o.d"
+  "test_alert_registry"
+  "test_alert_registry.pdb"
+  "test_alert_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alert_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

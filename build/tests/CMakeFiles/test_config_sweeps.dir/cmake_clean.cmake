@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_sweeps.dir/test_config_sweeps.cpp.o"
+  "CMakeFiles/test_config_sweeps.dir/test_config_sweeps.cpp.o.d"
+  "test_config_sweeps"
+  "test_config_sweeps.pdb"
+  "test_config_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

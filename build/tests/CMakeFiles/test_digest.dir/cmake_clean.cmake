@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digest.dir/test_digest.cpp.o"
+  "CMakeFiles/test_digest.dir/test_digest.cpp.o.d"
+  "test_digest"
+  "test_digest.pdb"
+  "test_digest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

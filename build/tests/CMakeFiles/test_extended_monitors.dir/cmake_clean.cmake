@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_monitors.dir/test_extended_monitors.cpp.o"
+  "CMakeFiles/test_extended_monitors.dir/test_extended_monitors.cpp.o.d"
+  "test_extended_monitors"
+  "test_extended_monitors.pdb"
+  "test_extended_monitors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure6_fidelity.dir/test_figure6_fidelity.cpp.o"
+  "CMakeFiles/test_figure6_fidelity.dir/test_figure6_fidelity.cpp.o.d"
+  "test_figure6_fidelity"
+  "test_figure6_fidelity.pdb"
+  "test_figure6_fidelity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure6_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft_tree.dir/test_ft_tree.cpp.o"
+  "CMakeFiles/test_ft_tree.dir/test_ft_tree.cpp.o.d"
+  "test_ft_tree"
+  "test_ft_tree.pdb"
+  "test_ft_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_incident_log.cpp" "tests/CMakeFiles/test_incident_log.dir/test_incident_log.cpp.o" "gcc" "tests/CMakeFiles/test_incident_log.dir/test_incident_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skynet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/skynet_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/skynet_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/skynet_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skynet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/skynet_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/skynet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/skynet_alert.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/skynet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident_log.dir/test_incident_log.cpp.o"
+  "CMakeFiles/test_incident_log.dir/test_incident_log.cpp.o.d"
+  "test_incident_log"
+  "test_incident_log.pdb"
+  "test_incident_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

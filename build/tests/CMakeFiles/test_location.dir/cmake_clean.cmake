@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_location.dir/test_location.cpp.o"
+  "CMakeFiles/test_location.dir/test_location.cpp.o.d"
+  "test_location"
+  "test_location.pdb"
+  "test_location[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locator.dir/test_locator.cpp.o"
+  "CMakeFiles/test_locator.dir/test_locator.cpp.o.d"
+  "test_locator"
+  "test_locator.pdb"
+  "test_locator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_state.dir/test_network_state.cpp.o"
+  "CMakeFiles/test_network_state.dir/test_network_state.cpp.o.d"
+  "test_network_state"
+  "test_network_state.pdb"
+  "test_network_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

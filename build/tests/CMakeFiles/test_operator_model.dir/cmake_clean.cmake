@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operator_model.dir/test_operator_model.cpp.o"
+  "CMakeFiles/test_operator_model.dir/test_operator_model.cpp.o.d"
+  "test_operator_model"
+  "test_operator_model.pdb"
+  "test_operator_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operator_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

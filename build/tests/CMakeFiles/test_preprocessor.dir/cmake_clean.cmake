@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocessor.dir/test_preprocessor.cpp.o"
+  "CMakeFiles/test_preprocessor.dir/test_preprocessor.cpp.o.d"
+  "test_preprocessor"
+  "test_preprocessor.pdb"
+  "test_preprocessor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_tuner.dir/test_threshold_tuner.cpp.o"
+  "CMakeFiles/test_threshold_tuner.dir/test_threshold_tuner.cpp.o.d"
+  "test_threshold_tuner"
+  "test_threshold_tuner.pdb"
+  "test_threshold_tuner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vote_graph.dir/test_vote_graph.cpp.o"
+  "CMakeFiles/test_vote_graph.dir/test_vote_graph.cpp.o.d"
+  "test_vote_graph"
+  "test_vote_graph.pdb"
+  "test_vote_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vote_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
