@@ -46,7 +46,7 @@ double replay(bench::world& w, const std::vector<std::pair<raw_alert, sim_time>>
         cfg.pre.cross_source = false;
         cfg.pre.consolidate_related = false;
     }
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog, cfg);
+    skynet_engine skynet({&w.topo, &w.customers, &w.registry, &w.syslog}, cfg);
     network_state state(&w.topo, &w.customers);
 
     const bench::stopwatch timer;

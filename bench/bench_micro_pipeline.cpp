@@ -3,7 +3,10 @@
 // insertion + tree checking, FT-tree classification, and path probing.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "harness.h"
+#include "skynet/core/sharded_engine.h"
 #include "skynet/syslog/message_catalog.h"
 
 namespace skynet {
@@ -171,6 +174,120 @@ void BM_ZoomIn(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZoomIn);
+
+// --- sequential vs region-sharded engine ingest throughput -------------------
+
+bench::world& region4_world() {
+    static bench::world w(
+        [] {
+            generator_params p = generator_params::medium();
+            p.regions = 4;
+            p.legacy_snmp_fraction = 0.0;
+            return p;
+        }(),
+        300, 47);
+    return w;
+}
+
+struct tick_trace {
+    std::vector<std::vector<traced_alert>> batches;  // one per tick, arrival order
+    std::vector<sim_time> ticks;
+    sim_time end{0};
+    std::size_t total_alerts{0};
+};
+
+/// A paper-scale severe flood (O(10^4..10^5) raw alerts, §2) hitting all
+/// four regions at once — the worst case for the sequential engine,
+/// whose per-check connectivity grouping is pairwise over every alerting
+/// node across every region and whose preprocessor scans one global open
+/// map. Recorded once and replayed identically through both engines.
+const tick_trace& multi_region_flood() {
+    static const tick_trace trace = [] {
+        bench::world& w = region4_world();
+        simulation_engine sim(&w.topo, &w.customers,
+                              engine_params{.tick = seconds(2), .seed = 9});
+        sim.add_default_monitors(monitor_options{.noise_rate = 0.25});
+        std::map<std::string, location> sites;  // every ISR logic site, all regions
+        for (const device& d : w.topo.devices()) {
+            if (d.role != device_role::isr) continue;
+            const location ls = d.loc.ancestor_at(hierarchy_level::logic_site);
+            sites.emplace(ls.to_string(), ls);
+        }
+        for (const auto& [key, ls] : sites) {
+            sim.inject(make_internet_entry_cut(w.topo, ls, 0.6), minutes(1), minutes(4));
+        }
+        rng srand(11);
+        for (int i = 0; i < 8; ++i) {
+            sim.inject(make_infrastructure_failure(w.topo, srand, true), minutes(1), minutes(4));
+        }
+        for (int i = 0; i < 4; ++i) {
+            sim.inject(make_security_ddos(w.topo, srand, 3), minutes(1), minutes(4));
+        }
+        for (int i = 0; i < 8; ++i) {
+            sim.inject(make_device_hardware_failure(w.topo, srand, true), minutes(1), minutes(4));
+        }
+        tick_trace t;
+        std::vector<traced_alert> current;
+        sim.run_until_batched(
+            minutes(6),
+            [&](std::span<const traced_alert> batch) {
+                current.assign(batch.begin(), batch.end());
+            },
+            [&](sim_time now) {
+                t.total_alerts += current.size();
+                t.batches.push_back(std::move(current));
+                current.clear();
+                t.ticks.push_back(now);
+            });
+        t.end = sim.clock().now();
+        return t;
+    }();
+    return trace;
+}
+
+template <typename Engine>
+void replay_flood(Engine& eng, const tick_trace& t, const network_state& net) {
+    for (std::size_t i = 0; i < t.ticks.size(); ++i) {
+        eng.ingest_batch(std::span<const traced_alert>(t.batches[i]));
+        eng.tick(t.ticks[i], net);
+    }
+    eng.finish(t.end, net);
+}
+
+void BM_EngineIngestSequential(benchmark::State& state) {
+    bench::world& w = region4_world();
+    const tick_trace& t = multi_region_flood();
+    network_state net(&w.topo, &w.customers);
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;  // what the sharded engine runs with
+    for (auto _ : state) {
+        skynet_engine eng({&w.topo, &w.customers, &w.registry, &w.syslog}, cfg);
+        replay_flood(eng, t, net);
+        benchmark::DoNotOptimize(eng.take_reports());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(t.total_alerts));
+}
+BENCHMARK(BM_EngineIngestSequential)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EngineIngestSharded(benchmark::State& state) {
+    bench::world& w = region4_world();
+    const tick_trace& t = multi_region_flood();
+    network_state net(&w.topo, &w.customers);
+    sharded_config scfg;
+    scfg.shards = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sharded_engine eng({&w.topo, &w.customers, &w.registry, &w.syslog}, scfg);
+        replay_flood(eng, t, net);
+        benchmark::DoNotOptimize(eng.take_reports());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(t.total_alerts));
+}
+BENCHMARK(BM_EngineIngestSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace skynet

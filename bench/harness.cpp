@@ -29,14 +29,22 @@ episode_result run_episode(world& w, std::vector<std::unique_ptr<scenario>> fail
         sim.inject(make_flash_crowd(w.topo, noise_rand), at, opts.failure_duration);
     }
 
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog, opts.skynet);
+    skynet_engine skynet({&w.topo, &w.customers, &w.registry, &w.syslog}, opts.skynet);
 
     episode_result result;
-    const auto sink = [&](const raw_alert& a, sim_time arrival) {
-        if (!opts.enabled_sources.empty() && !opts.enabled_sources.contains(a.source)) return;
-        ++result.raw_alerts;
+    std::vector<traced_alert> filtered;
+    const auto sink = [&](std::span<const traced_alert> delivered) {
+        filtered.clear();
+        for (const traced_alert& t : delivered) {
+            if (!opts.enabled_sources.empty() && !opts.enabled_sources.contains(t.alert.source)) {
+                continue;
+            }
+            filtered.push_back(t);
+        }
+        if (filtered.empty()) return;
+        result.raw_alerts += static_cast<std::int64_t>(filtered.size());
         const stopwatch timer;
-        skynet.ingest(a, arrival);
+        skynet.ingest_batch(std::span<const traced_alert>(filtered));
         result.skynet_wall_seconds += timer.seconds();
     };
     const auto hook = [&](sim_time now) {
@@ -44,7 +52,7 @@ episode_result run_episode(world& w, std::vector<std::unique_ptr<scenario>> fail
         skynet.tick(now, sim.state());
         result.skynet_wall_seconds += timer.seconds();
     };
-    sim.run_until(failure_start + longest + opts.settle, sink, hook);
+    sim.run_until_batched(failure_start + longest + opts.settle, sink, hook);
 
     const stopwatch timer;
     skynet.finish(sim.clock().now(), sim.state());

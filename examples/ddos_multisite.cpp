@@ -31,7 +31,7 @@ int main() {
     }
     std::printf("\n");
 
-    skynet_engine skynet(&topo, &customers, &registry, &syslog);
+    skynet_engine skynet(skynet_engine::deps{&topo, &customers, &registry, &syslog});
     sim.run_until(minutes(8),
                   [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
                   [&](sim_time now) { skynet.tick(now, sim.state()); });

@@ -23,7 +23,7 @@ int main() {
     //    the bundled message corpus.
     const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
     const syslog_classifier syslog = syslog_classifier::train_from_catalog();
-    skynet_engine engine(&topo, &customers, &registry, &syslog);
+    skynet_engine engine(skynet_engine::deps{&topo, &customers, &registry, &syslog});
 
     // 3. Feed raw alerts. Normally these stream from your monitoring
     //    tools; we fabricate a burst pointing at one cluster.

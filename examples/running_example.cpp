@@ -22,7 +22,7 @@ int main() {
     const customer_registry customers = customer_registry::generate(topo, 400, rand);
     const alert_type_registry registry = alert_type_registry::with_builtin_catalog();
     const syslog_classifier syslog = syslog_classifier::train_from_catalog();
-    skynet_engine engine(&topo, &customers, &registry, &syslog);
+    skynet_engine engine(skynet_engine::deps{&topo, &customers, &registry, &syslog});
     network_state state(&topo, &customers);
 
     // Incident 1 stage: a logic-site failure. Devices i, ii live in

@@ -37,7 +37,7 @@ int main() {
     sim.add_default_monitors(monitor_options{.noise_rate = 0.02});
     sim.inject(make_internet_entry_cut(topo, dc, 0.6), minutes(1), minutes(8));
 
-    skynet_engine skynet(&topo, &customers, &registry, &syslog);
+    skynet_engine skynet(skynet_engine::deps{&topo, &customers, &registry, &syslog});
     std::int64_t raw = 0;
     sim.run_until(minutes(9),
                   [&](const raw_alert& a, sim_time arrival) {

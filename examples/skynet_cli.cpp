@@ -18,6 +18,7 @@
 #include "skynet/core/digest.h"
 #include "skynet/viz/timeline.h"
 #include "skynet/core/pipeline.h"
+#include "skynet/core/sharded_engine.h"
 #include "skynet/monitors/extended_monitors.h"
 #include "skynet/sim/engine.h"
 #include "skynet/sim/trace.h"
@@ -39,6 +40,8 @@ struct options {
     bool json = false;
     bool timeline = false;
     bool extended = false;
+    bool metrics = false;
+    int shards = 0;  // 0 = sequential engine
     int duration_min = 5;
     int customers = 400;
     double noise = 0.02;
@@ -59,6 +62,8 @@ void usage() {
         "  --noise R                        monitor glitch rate (default 0.02)\n"
         "  --seed N                         simulation seed (default 1)\n"
         "  --extended                       also run the user-telemetry/SRTE sources\n"
+        "  --shards N                       run the region-sharded engine with N workers\n"
+        "  --metrics                        print per-stage engine metrics\n"
         "  --json                           print incidents as JSON digests\n"
         "  --timeline                       print an ASCII incident timeline\n"
         "  --record FILE                    save the raw alert trace\n"
@@ -85,6 +90,113 @@ std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo
         }
     }
     return nullptr;
+}
+
+/// Streams the alert source (recorded trace or live simulation) through
+/// `engine` — tick-batched ingest either way — and prints the ranked
+/// reports. Works for both the sequential and the region-sharded engine.
+template <typename Engine>
+int run_session(Engine& engine, const options& opt, const topology& topo,
+                const customer_registry& customers) {
+    std::int64_t raw = 0;
+
+    if (!opt.replay_file.empty()) {
+        std::ifstream in(opt.replay_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", opt.replay_file.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const trace_parse_result trace = parse_trace(buffer.str());
+        for (const trace_parse_error& e : trace.errors) {
+            std::fprintf(stderr, "%s:%d: %s\n", opt.replay_file.c_str(), e.line,
+                         e.message.c_str());
+        }
+        std::printf("replaying %zu alerts from %s\n", trace.alerts.size(),
+                    opt.replay_file.c_str());
+        network_state idle(&topo, &customers);
+        sim_time last_tick = 0;
+        sim_time last_arrival = 0;
+        std::vector<traced_alert> batch;
+        for (const traced_alert& t : trace.alerts) {
+            ++raw;
+            batch.push_back(t);
+            last_arrival = t.arrival;
+            if (t.arrival - last_tick >= seconds(2)) {
+                engine.ingest_batch(std::span<const traced_alert>(batch));
+                batch.clear();
+                engine.tick(t.arrival, idle);
+                last_tick = t.arrival;
+            }
+        }
+        engine.ingest_batch(std::span<const traced_alert>(batch));
+        engine.finish(last_arrival + minutes(20), idle);
+    } else {
+        simulation_engine sim(&topo, &customers,
+                              engine_params{.tick = seconds(2), .seed = opt.seed});
+        sim.add_default_monitors(monitor_options{.noise_rate = opt.noise});
+        if (opt.extended) {
+            for (auto& tool : make_extended_monitors(topo)) sim.add_monitor(std::move(tool));
+        }
+
+        rng srand(opt.seed + 2);
+        auto failure = pick_scenario(opt, topo, srand);
+        if (!failure) {
+            std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario_name.c_str());
+            return 2;
+        }
+        std::printf("injecting: %s (%s, %s) for %d min\n", failure->name().c_str(),
+                    std::string(to_string(failure->cause())).c_str(),
+                    opt.severe ? "severe" : "minor", opt.duration_min);
+        sim.inject(std::move(failure), minutes(1), minutes(opt.duration_min));
+
+        std::vector<traced_alert> recorded;
+        sim.run_until_batched(minutes(1 + opt.duration_min) + minutes(2),
+                              [&](std::span<const traced_alert> batch) {
+                                  raw += static_cast<std::int64_t>(batch.size());
+                                  engine.ingest_batch(batch);
+                                  if (!opt.record_file.empty()) {
+                                      recorded.insert(recorded.end(), batch.begin(), batch.end());
+                                  }
+                              },
+                              [&](sim_time now) { engine.tick(now, sim.state()); });
+        engine.finish(sim.clock().now(), sim.state());
+
+        if (!opt.record_file.empty()) {
+            std::ofstream out(opt.record_file);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", opt.record_file.c_str());
+                return 1;
+            }
+            out << serialize_trace(recorded);
+            std::printf("recorded %zu alerts to %s\n", recorded.size(),
+                        opt.record_file.c_str());
+        }
+    }
+
+    const preprocessor_stats stats = engine.preprocessing_stats();
+    std::printf("alerts: %lld raw -> %lld structured\n", static_cast<long long>(raw),
+                static_cast<long long>(stats.emitted_new));
+    if (opt.metrics) {
+        const engine_metrics m = engine.metrics();
+        std::printf("%s", m.render().c_str());
+    }
+
+    // take_reports is already globally ranked (severity desc, id asc).
+    const auto reports = engine.take_reports();
+    std::printf("incidents: %zu\n\n", reports.size());
+    if (opt.timeline && !reports.empty()) {
+        std::printf("%s\n", render_timeline(reports).c_str());
+    }
+    for (const incident_report& r : reports) {
+        if (opt.json) {
+            std::printf("%s\n", incident_digest_json(r).c_str());
+        } else {
+            std::printf("%s\n", r.render().c_str());
+        }
+    }
+    return 0;
 }
 
 }  // namespace
@@ -120,6 +232,10 @@ int main(int argc, char** argv) {
             opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--extended") {
             opt.extended = true;
+        } else if (arg == "--shards") {
+            opt.shards = std::atoi(value());
+        } else if (arg == "--metrics") {
+            opt.metrics = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--timeline") {
@@ -183,98 +299,14 @@ int main(int argc, char** argv) {
     if (opt.extended) register_extended_alert_types(registry);
     const syslog_classifier syslog = syslog_classifier::train_from_catalog();
 
-    skynet_engine engine(&topo, &customers, &registry, &syslog);
-    std::int64_t raw = 0;
-
-    if (!opt.replay_file.empty()) {
-        std::ifstream in(opt.replay_file);
-        if (!in) {
-            std::fprintf(stderr, "cannot read %s\n", opt.replay_file.c_str());
-            return 1;
-        }
-        std::stringstream buffer;
-        buffer << in.rdbuf();
-        const trace_parse_result trace = parse_trace(buffer.str());
-        for (const trace_parse_error& e : trace.errors) {
-            std::fprintf(stderr, "%s:%d: %s\n", opt.replay_file.c_str(), e.line,
-                         e.message.c_str());
-        }
-        std::printf("replaying %zu alerts from %s\n", trace.alerts.size(),
-                    opt.replay_file.c_str());
-        network_state idle(&topo, &customers);
-        sim_time last_tick = 0;
-        sim_time last_arrival = 0;
-        for (const traced_alert& t : trace.alerts) {
-            ++raw;
-            engine.ingest(t.alert, t.arrival);
-            last_arrival = t.arrival;
-            if (t.arrival - last_tick >= seconds(2)) {
-                engine.tick(t.arrival, idle);
-                last_tick = t.arrival;
-            }
-        }
-        engine.finish(last_arrival + minutes(20), idle);
-    } else {
-        simulation_engine sim(&topo, &customers,
-                              engine_params{.tick = seconds(2), .seed = opt.seed});
-        sim.add_default_monitors(monitor_options{.noise_rate = opt.noise});
-        if (opt.extended) {
-            for (auto& tool : make_extended_monitors(topo)) sim.add_monitor(std::move(tool));
-        }
-
-        rng srand(opt.seed + 2);
-        auto failure = pick_scenario(opt, topo, srand);
-        if (!failure) {
-            std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario_name.c_str());
-            return 2;
-        }
-        std::printf("injecting: %s (%s, %s) for %d min\n", failure->name().c_str(),
-                    std::string(to_string(failure->cause())).c_str(),
-                    opt.severe ? "severe" : "minor", opt.duration_min);
-        sim.inject(std::move(failure), minutes(1), minutes(opt.duration_min));
-
-        std::vector<traced_alert> recorded;
-        sim.run_until(minutes(1 + opt.duration_min) + minutes(2),
-                      [&](const raw_alert& a, sim_time arrival) {
-                          ++raw;
-                          engine.ingest(a, arrival);
-                          if (!opt.record_file.empty()) {
-                              recorded.push_back(traced_alert{.alert = a, .arrival = arrival});
-                          }
-                      },
-                      [&](sim_time now) { engine.tick(now, sim.state()); });
-        engine.finish(sim.clock().now(), sim.state());
-
-        if (!opt.record_file.empty()) {
-            std::ofstream out(opt.record_file);
-            if (!out) {
-                std::fprintf(stderr, "cannot write %s\n", opt.record_file.c_str());
-                return 1;
-            }
-            out << serialize_trace(recorded);
-            std::printf("recorded %zu alerts to %s\n", recorded.size(),
-                        opt.record_file.c_str());
-        }
+    const skynet_engine::deps deps{&topo, &customers, &registry, &syslog};
+    if (opt.shards > 0) {
+        sharded_config scfg;
+        scfg.shards = static_cast<std::size_t>(opt.shards);
+        sharded_engine engine(deps, scfg);
+        std::printf("engine: region-sharded, %zu shards\n", engine.shard_count());
+        return run_session(engine, opt, topo, customers);
     }
-
-    const preprocessor_stats& stats = engine.preprocessing_stats();
-    std::printf("alerts: %lld raw -> %lld structured\n", static_cast<long long>(raw),
-                static_cast<long long>(stats.emitted_new));
-
-    auto reports = engine.take_reports();
-    std::sort(reports.begin(), reports.end(), [](const auto& a, const auto& b) {
-        return a.severity.score > b.severity.score;
-    });
-    std::printf("incidents: %zu\n\n", reports.size());
-    if (opt.timeline && !reports.empty()) {
-        std::printf("%s\n", render_timeline(reports).c_str());
-    }
-    for (const incident_report& r : reports) {
-        if (opt.json) {
-            std::printf("%s\n", incident_digest_json(r).c_str());
-        } else {
-            std::printf("%s\n", r.render().c_str());
-        }
-    }
-    return 0;
+    skynet_engine engine(deps);
+    return run_session(engine, opt, topo, customers);
 }

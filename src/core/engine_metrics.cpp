@@ -1,0 +1,84 @@
+#include "skynet/core/engine_metrics.h"
+
+#include <cstdio>
+
+namespace skynet {
+
+double latency_histogram::percentile_us(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        seen += buckets_[b];
+        if (static_cast<double>(seen) >= target) {
+            return static_cast<double>(std::uint64_t{1} << (b + 1)) / 1000.0;
+        }
+    }
+    return static_cast<double>(max_ns_) / 1000.0;
+}
+
+latency_histogram& latency_histogram::operator+=(const latency_histogram& other) noexcept {
+    for (std::size_t b = 0; b < bucket_count; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+    return *this;
+}
+
+stage_metrics& stage_metrics::operator+=(const stage_metrics& other) noexcept {
+    calls += other.calls;
+    items += other.items;
+    latency += other.latency;
+    return *this;
+}
+
+engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept {
+    preprocess += other.preprocess;
+    locate += other.locate;
+    evaluate += other.evaluate;
+    alerts_in += other.alerts_in;
+    batches_in += other.batches_in;
+    ticks += other.ticks;
+    reports_emitted += other.reports_emitted;
+    enqueue_full_waits += other.enqueue_full_waits;
+    if (other.max_queue_depth > max_queue_depth) max_queue_depth = other.max_queue_depth;
+    busy_ns += other.busy_ns;
+    return *this;
+}
+
+std::string engine_metrics::render() const {
+    std::string out;
+    char buf[192];
+    auto stage_line = [&](const char* name, const stage_metrics& s) {
+        std::snprintf(buf, sizeof buf,
+                      "  %-10s %10llu calls %10llu items  mean %8.1fus  p99 %8.1fus  total %8.1fms\n",
+                      name, static_cast<unsigned long long>(s.calls),
+                      static_cast<unsigned long long>(s.items), s.latency.mean_us(),
+                      s.latency.percentile_us(99.0),
+                      static_cast<double>(s.latency.total_ns()) / 1e6);
+        out += buf;
+    };
+    std::snprintf(buf, sizeof buf,
+                  "engine metrics: %llu alerts in %llu batches, %llu ticks, %llu reports\n",
+                  static_cast<unsigned long long>(alerts_in),
+                  static_cast<unsigned long long>(batches_in),
+                  static_cast<unsigned long long>(ticks),
+                  static_cast<unsigned long long>(reports_emitted));
+    out += buf;
+    stage_line("preprocess", preprocess);
+    stage_line("locate", locate);
+    stage_line("evaluate", evaluate);
+    if (busy_ns > 0 || enqueue_full_waits > 0 || max_queue_depth > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "  queue: max depth %llu, full-queue waits %llu; worker busy %.1fms\n",
+                      static_cast<unsigned long long>(max_queue_depth),
+                      static_cast<unsigned long long>(enqueue_full_waits),
+                      static_cast<double>(busy_ns) / 1e6);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace skynet

@@ -30,6 +30,9 @@ evaluator::evaluator(const topology* topo, const customer_registry* customers,
 }
 
 std::vector<circuit_set_id> evaluator::related_circuit_sets(const incident& inc) const {
+    if (const auto it = related_cache_.find(inc.root); it != related_cache_.end()) {
+        return it->second;
+    }
     std::unordered_set<circuit_set_id> seen;
     std::vector<circuit_set_id> out;
     for (const circuit_set& cs : topo_->circuit_sets()) {
@@ -39,6 +42,7 @@ std::vector<circuit_set_id> evaluator::related_circuit_sets(const incident& inc)
             if (seen.insert(cs.id).second) out.push_back(cs.id);
         }
     }
+    related_cache_.emplace(inc.root, out);
     return out;
 }
 

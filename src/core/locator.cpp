@@ -214,6 +214,29 @@ std::vector<std::vector<const locator::tree_node*>> locator::connectivity_groups
     return out;
 }
 
+namespace {
+
+/// FNV-1a over the incident root path and spawn time: a stable id that
+/// two locators (e.g. different shards, or a sequential engine on the
+/// same trace) agree on without sharing a counter.
+std::uint64_t stable_incident_id(const location& root, sim_time now) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const char* data, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= static_cast<unsigned char>(data[i]);
+            h *= 1099511628211ull;
+        }
+    };
+    for (const std::string& seg : root.segments()) {
+        mix(seg.data(), seg.size());
+        mix("|", 1);
+    }
+    mix(reinterpret_cast<const char*>(&now), sizeof now);
+    return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
 void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_time now) {
     location root = group.front()->loc;
     for (const tree_node* node : group) root = location::common_ancestor(root, node->loc);
@@ -226,13 +249,19 @@ void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_tim
     }
 
     incident_state st;
-    st.inc.id = next_incident_id_++;
+    st.inc.id =
+        config_.deterministic_ids ? stable_incident_id(root, now) : next_incident_id_++;
     st.inc.root = root;
     st.update_time = now;
 
     // Replicate the subtree beneath the root from the main tree.
     sim_time begin = now;
     sim_time end = 0;
+    std::size_t total_alerts = 0;
+    for (const auto& [loc, node] : nodes_) {
+        if (root.contains(loc)) total_alerts += node.alerts.size();
+    }
+    st.inc.alerts.reserve(total_alerts);
     for (const auto& [loc, node] : nodes_) {
         if (!root.contains(loc)) continue;
         st.nodes.emplace(loc, node.alerts);
@@ -281,13 +310,16 @@ std::vector<incident> locator::check(sim_time now) {
         }
     }
 
-    // Algorithm 3, incident trees: close idle incidents.
+    // Algorithm 3, incident trees: close idle incidents. The state is
+    // erased right after, so the incident (with its alert vector) is
+    // moved out instead of deep-copied; the closed flag survives the
+    // move (trivially copied), keeping the erase predicate valid.
     std::vector<incident> closed;
     for (incident_state& st : incident_states_) {
         if (st.inc.closed) continue;
         if (now > st.update_time + config_.incident_timeout) {
             st.inc.closed = true;
-            closed.push_back(st.inc);
+            closed.push_back(std::move(st.inc));
         }
     }
     std::erase_if(incident_states_, [](const incident_state& st) { return st.inc.closed; });
@@ -296,9 +328,10 @@ std::vector<incident> locator::check(sim_time now) {
 
 std::vector<incident> locator::drain(sim_time now) {
     std::vector<incident> closed;
+    closed.reserve(incident_states_.size());
     for (incident_state& st : incident_states_) {
         st.inc.closed = true;
-        closed.push_back(st.inc);
+        closed.push_back(std::move(st.inc));
     }
     incident_states_.clear();
     (void)now;
@@ -309,6 +342,13 @@ std::vector<incident> locator::open_incidents() const {
     std::vector<incident> out;
     out.reserve(incident_states_.size());
     for (const incident_state& st : incident_states_) out.push_back(st.inc);
+    return out;
+}
+
+std::vector<const incident*> locator::open_incident_view() const {
+    std::vector<const incident*> out;
+    out.reserve(incident_states_.size());
+    for (const incident_state& st : incident_states_) out.push_back(&st.inc);
     return out;
 }
 

@@ -5,6 +5,30 @@
 
 namespace skynet {
 
+error skynet_config::validate() const {
+    if (pre.dedup_window < 0) return error("preprocessor: negative dedup_window");
+    if (pre.persistence_window < 0) return error("preprocessor: negative persistence_window");
+    if (pre.correlation_window < 0) return error("preprocessor: negative correlation_window");
+    if (pre.persistence_threshold < 0) {
+        return error("preprocessor: negative persistence_threshold");
+    }
+    if (loc.node_timeout <= 0) return error("locator: node_timeout must be positive");
+    if (loc.incident_timeout <= 0) return error("locator: incident_timeout must be positive");
+    const incident_thresholds& t = loc.thresholds;
+    if (t.pure_failure < 0 || t.combo_failure < 0 || t.combo_other < 0 || t.any < 0) {
+        return error("locator: negative incident threshold");
+    }
+    if (t.pure_failure == 0 && t.any == 0 && (t.combo_failure == 0 || t.combo_other == 0)) {
+        return error("locator: all-zero incident thresholds can never fire");
+    }
+    if (eval.severity_threshold < 0) return error("evaluator: negative severity_threshold");
+    if (eval.score_cap <= 0) return error("evaluator: score_cap must be positive");
+    if (eval.min_rate <= 0 || eval.max_rate >= 1.0 || eval.min_rate >= eval.max_rate) {
+        return error("evaluator: rate bounds must satisfy 0 < min_rate < max_rate < 1");
+    }
+    return error{};
+}
+
 std::string incident_report::render() const {
     std::string out = inc.render();
     char buf[128];
@@ -17,15 +41,28 @@ std::string incident_report::render() const {
     return out;
 }
 
+skynet_engine::skynet_engine(deps d, skynet_config config)
+    : pre_(d.topo, d.registry, d.syslog, config.pre),
+      locator_(d.topo, config.loc),
+      evaluator_(d.topo, d.customers, config.eval) {
+    if (error e = config.validate()) throw skynet_error("skynet_engine: " + e.message());
+}
+
 skynet_engine::skynet_engine(const topology* topo, const customer_registry* customers,
                              const alert_type_registry* registry, const syslog_classifier* syslog,
                              skynet_config config)
-    : pre_(topo, registry, syslog, config.pre),
-      locator_(topo, config.loc),
-      evaluator_(topo, customers, config.eval) {}
+    : skynet_engine(
+          deps{.topo = topo, .customers = customers, .registry = registry, .syslog = syslog},
+          std::move(config)) {}
 
 void skynet_engine::ingest(const raw_alert& raw, sim_time now) {
-    for (preprocess_event& ev : pre_.process(raw, now)) {
+    ++metrics_.alerts_in;
+    stage_timer pre(metrics_.preprocess);
+    std::vector<preprocess_event> events = pre_.process(raw, now);
+    pre.stop(1);
+
+    stage_timer locate(metrics_.locate);
+    for (preprocess_event& ev : events) {
         ++structured_count_;
         if (ev.is_update) {
             locator_.refresh(ev.alert, now);
@@ -33,10 +70,27 @@ void skynet_engine::ingest(const raw_alert& raw, sim_time now) {
             locator_.insert(ev.alert, now);
         }
     }
+    locate.stop(events.size());
+}
+
+void skynet_engine::ingest_batch(std::span<const raw_alert> batch, sim_time now) {
+    ++metrics_.batches_in;
+    for (const raw_alert& raw : batch) ingest(raw, now);
+}
+
+void skynet_engine::ingest_batch(std::span<const traced_alert> batch) {
+    ++metrics_.batches_in;
+    for (const traced_alert& t : batch) ingest(t.alert, t.arrival);
 }
 
 void skynet_engine::tick(sim_time now, const network_state& state) {
-    for (preprocess_event& ev : pre_.flush(now)) {
+    ++metrics_.ticks;
+    stage_timer pre(metrics_.preprocess);
+    std::vector<preprocess_event> events = pre_.flush(now);
+    pre.stop(events.size());
+
+    stage_timer locate(metrics_.locate);
+    for (preprocess_event& ev : events) {
         ++structured_count_;
         if (ev.is_update) {
             locator_.refresh(ev.alert, now);
@@ -44,24 +98,37 @@ void skynet_engine::tick(sim_time now, const network_state& state) {
             locator_.insert(ev.alert, now);
         }
     }
+    std::vector<incident> closed = locator_.check(now);
+    locate.stop(events.size());
 
-    for (incident& closed : locator_.check(now)) {
-        finished_.push_back(finalize(closed, now, state));
+    stage_timer eval(metrics_.evaluate);
+    std::uint64_t evaluated = 0;
+    for (incident& done : closed) {
+        finished_.push_back(finalize(done, now, state));
+        ++metrics_.reports_emitted;
+        ++evaluated;
     }
 
     // Live severity: keep the peak score seen while open.
-    for (const incident& open : locator_.open_incidents()) {
-        const severity_breakdown s = evaluator_.evaluate(open, state, now);
-        auto [it, inserted] = live_scores_.try_emplace(open.id, s);
+    for (const incident* open : locator_.open_incident_view()) {
+        const severity_breakdown s = evaluator_.evaluate(*open, state, now);
+        auto [it, inserted] = live_scores_.try_emplace(open->id, s);
         if (!inserted && s.score > it->second.score) it->second = s;
+        ++evaluated;
     }
+    eval.stop(evaluated);
 }
 
 void skynet_engine::finish(sim_time now, const network_state& state) {
     tick(now, state);
+    stage_timer eval(metrics_.evaluate);
+    std::uint64_t evaluated = 0;
     for (incident& closed : locator_.drain(now)) {
         finished_.push_back(finalize(closed, now, state));
+        ++metrics_.reports_emitted;
+        ++evaluated;
     }
+    eval.stop(evaluated);
 }
 
 incident_report skynet_engine::finalize(const incident& inc, sim_time now,
@@ -78,30 +145,39 @@ incident_report skynet_engine::finalize(const incident& inc, sim_time now,
     return report;
 }
 
-std::vector<incident_report> skynet_engine::take_reports() {
+std::vector<incident_report> skynet_engine::ranked_finished() {
     std::vector<incident_report> out = std::move(finished_);
     finished_.clear();
+    std::sort(out.begin(), out.end(), report_before);
     return out;
 }
+
+std::vector<incident_report> skynet_engine::reports(report_scope scope, sim_time now,
+                                                    const network_state& state) {
+    if (scope == report_scope::finished) return ranked_finished();
+    return open_reports(now, state);
+}
+
+std::vector<incident_report> skynet_engine::take_reports() { return ranked_finished(); }
 
 std::vector<incident_report> skynet_engine::open_reports(sim_time now,
                                                          const network_state& state) const {
     std::vector<incident_report> out;
-    for (const incident& open : locator_.open_incidents()) {
+    const std::vector<const incident*> open_view = locator_.open_incident_view();
+    out.reserve(open_view.size());
+    for (const incident* open : open_view) {
         incident_report report;
-        report.inc = open;
-        report.severity = evaluator_.evaluate(open, state, now);
-        if (const auto it = live_scores_.find(open.id); it != live_scores_.end()) {
+        report.inc = *open;
+        report.severity = evaluator_.evaluate(*open, state, now);
+        if (const auto it = live_scores_.find(open->id); it != live_scores_.end()) {
             if (it->second.score > report.severity.score) report.severity = it->second;
         }
-        report.zoomed = evaluator_.zoom_in(open);
+        report.zoomed = evaluator_.zoom_in(*open);
         report.actionable = evaluator_.passes_filter(report.severity);
         out.push_back(std::move(report));
     }
     // Ranked view: most severe first (the paper's incident ranking).
-    std::sort(out.begin(), out.end(), [](const incident_report& a, const incident_report& b) {
-        return a.severity.score > b.severity.score;
-    });
+    std::sort(out.begin(), out.end(), report_before);
     return out;
 }
 

@@ -1,0 +1,249 @@
+#include "skynet/core/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - since)
+                                          .count());
+}
+
+}  // namespace
+
+sharded_engine::sharded_engine(skynet_engine::deps d, sharded_config config)
+    : config_(std::move(config)), topo_(d.topo) {
+    if (config_.shards == 0) config_.shards = 1;
+    if (config_.max_ingest_batch == 0) config_.max_ingest_batch = 1;
+    // Shard ids must agree with a sequential engine on the same trace.
+    config_.engine.loc.deterministic_ids = true;
+    shards_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+        shards_.push_back(std::make_unique<shard>(d, config_.engine, config_.queue_capacity));
+    }
+    for (auto& s : shards_) {
+        s->worker = std::thread(&sharded_engine::worker_loop, this, std::ref(*s));
+    }
+}
+
+sharded_engine::~sharded_engine() {
+    flush_pending();
+    for (auto& s : shards_) {
+        command stop;
+        stop.what = command::op::stop;
+        submit(*s, std::move(stop));
+    }
+    for (auto& s : shards_) {
+        if (s->worker.joinable()) s->worker.join();
+    }
+}
+
+void sharded_engine::worker_loop(shard& s) {
+    command cmd;
+    for (;;) {
+        s.queue.pop_blocking(cmd);
+        const auto start = std::chrono::steady_clock::now();
+        bool stop = false;
+        switch (cmd.what) {
+            case command::op::ingest:
+                s.engine.ingest_batch(std::span<const traced_alert>(cmd.batch));
+                break;
+            case command::op::tick:
+                s.engine.tick(cmd.now, *cmd.state);
+                break;
+            case command::op::finish:
+                s.engine.finish(cmd.now, *cmd.state);
+                break;
+            case command::op::stop:
+                stop = true;
+                break;
+        }
+        cmd.batch.clear();
+        s.busy_ns.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+        s.completed.fetch_add(1, std::memory_order_release);
+        s.completed.notify_all();
+        if (stop) return;
+    }
+}
+
+std::size_t sharded_engine::shard_of(const raw_alert& raw) {
+    std::string_view region;
+    if (!raw.loc.is_root()) {
+        region = raw.loc.segments().front();
+    } else if (raw.device && topo_ != nullptr) {
+        // Device-attributed alert with an unset location: fall back to
+        // the device's home region.
+        const location& loc = topo_->device_at(*raw.device).loc;
+        if (!loc.is_root()) region = loc.segments().front();
+    }
+    // Unattributable (cross-region / global) alerts share one shard so
+    // their relative order is preserved.
+    auto it = region_to_shard_.find(std::string(region));
+    if (it != region_to_shard_.end()) return it->second;
+    const std::size_t idx = next_region_shard_++ % shards_.size();
+    region_to_shard_.emplace(std::string(region), idx);
+    return idx;
+}
+
+void sharded_engine::append(std::size_t idx, const raw_alert& raw, sim_time now) {
+    shard& s = *shards_[idx];
+    s.pending.push_back(traced_alert{.alert = raw, .arrival = now});
+    if (s.pending.size() >= config_.max_ingest_batch) {
+        command cmd;
+        cmd.what = command::op::ingest;
+        cmd.batch = std::move(s.pending);
+        submit(s, std::move(cmd));
+        s.pending = {};
+    }
+}
+
+void sharded_engine::submit(shard& s, command cmd) {
+    s.full_waits += s.queue.push(std::move(cmd));
+    s.max_depth = std::max(s.max_depth, static_cast<std::uint64_t>(s.queue.size()));
+    ++s.submitted;
+}
+
+void sharded_engine::flush_pending() {
+    for (auto& s : shards_) {
+        if (s->pending.empty()) continue;
+        command cmd;
+        cmd.what = command::op::ingest;
+        cmd.batch = std::move(s->pending);
+        submit(*s, std::move(cmd));
+        s->pending = {};
+    }
+}
+
+void sharded_engine::barrier() {
+    for (auto& s : shards_) {
+        std::uint64_t done = s->completed.load(std::memory_order_acquire);
+        while (done < s->submitted) {
+            s->completed.wait(done, std::memory_order_acquire);
+            done = s->completed.load(std::memory_order_acquire);
+        }
+    }
+}
+
+void sharded_engine::sync() {
+    flush_pending();
+    barrier();
+}
+
+void sharded_engine::ingest(const raw_alert& raw, sim_time now) {
+    append(shard_of(raw), raw, now);
+}
+
+void sharded_engine::ingest_batch(std::span<const raw_alert> batch, sim_time now) {
+    ++batches_in_;
+    for (const raw_alert& raw : batch) append(shard_of(raw), raw, now);
+}
+
+void sharded_engine::ingest_batch(std::span<const traced_alert> batch) {
+    ++batches_in_;
+    for (const traced_alert& t : batch) append(shard_of(t.alert), t.alert, t.arrival);
+}
+
+void sharded_engine::tick(sim_time now, const network_state& state) {
+    flush_pending();
+    for (auto& s : shards_) {
+        command cmd;
+        cmd.what = command::op::tick;
+        cmd.now = now;
+        cmd.state = &state;
+        submit(*s, std::move(cmd));
+    }
+    barrier();
+    ++ticks_;
+}
+
+void sharded_engine::finish(sim_time now, const network_state& state) {
+    flush_pending();
+    for (auto& s : shards_) {
+        command cmd;
+        cmd.what = command::op::finish;
+        cmd.now = now;
+        cmd.state = &state;
+        submit(*s, std::move(cmd));
+    }
+    barrier();
+    ++ticks_;
+}
+
+std::vector<incident_report> sharded_engine::take_reports() {
+    sync();
+    std::vector<incident_report> merged;
+    for (auto& s : shards_) {
+        std::vector<incident_report> part = s->engine.take_reports();
+        merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                      std::make_move_iterator(part.end()));
+    }
+    std::sort(merged.begin(), merged.end(), report_before);
+    return merged;
+}
+
+std::vector<incident_report> sharded_engine::open_reports(sim_time now,
+                                                          const network_state& state) {
+    sync();
+    std::vector<incident_report> merged;
+    for (auto& s : shards_) {
+        std::vector<incident_report> part = s->engine.open_reports(now, state);
+        merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                      std::make_move_iterator(part.end()));
+    }
+    std::sort(merged.begin(), merged.end(), report_before);
+    return merged;
+}
+
+std::vector<incident_report> sharded_engine::reports(report_scope scope, sim_time now,
+                                                     const network_state& state) {
+    if (scope == report_scope::finished) return take_reports();
+    return open_reports(now, state);
+}
+
+preprocessor_stats sharded_engine::preprocessing_stats() {
+    sync();
+    preprocessor_stats total;
+    for (auto& s : shards_) total += s->engine.preprocessing_stats();
+    return total;
+}
+
+std::int64_t sharded_engine::structured_alert_count() {
+    sync();
+    std::int64_t total = 0;
+    for (auto& s : shards_) total += s->engine.structured_alert_count();
+    return total;
+}
+
+engine_metrics sharded_engine::metrics() {
+    sync();
+    engine_metrics total;
+    for (auto& s : shards_) {
+        total += s->engine.metrics();
+        total.enqueue_full_waits += s->full_waits;
+        total.max_queue_depth = std::max(total.max_queue_depth, s->max_depth);
+        total.busy_ns += s->busy_ns.load(std::memory_order_relaxed);
+    }
+    // Per-shard engines each count every fan-out; report engine-level
+    // tick and batch counts instead.
+    total.ticks = ticks_;
+    total.batches_in = batches_in_;
+    return total;
+}
+
+engine_metrics sharded_engine::shard_metrics(std::size_t shard_index) {
+    sync();
+    const shard& s = *shards_.at(shard_index);
+    engine_metrics m = s.engine.metrics();
+    m.enqueue_full_waits = s.full_waits;
+    m.max_queue_depth = s.max_depth;
+    m.busy_ns = s.busy_ns.load(std::memory_order_relaxed);
+    return m;
+}
+
+}  // namespace skynet

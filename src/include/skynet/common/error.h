@@ -14,4 +14,20 @@ public:
     explicit skynet_error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Value-type error for validating APIs (e.g. skynet_config::validate()).
+/// Default-constructed means success; converts to true when an error is
+/// present, so call sites read
+///   if (error e = cfg.validate()) throw skynet_error(e.message());
+class error {
+public:
+    error() = default;
+    explicit error(std::string message) : message_(std::move(message)) {}
+
+    [[nodiscard]] explicit operator bool() const noexcept { return !message_.empty(); }
+    [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+private:
+    std::string message_;
+};
+
 }  // namespace skynet

@@ -1,0 +1,76 @@
+// Bounded single-producer / single-consumer command queue.
+//
+// Backs the sharded engine's per-shard command stream: the caller thread
+// pushes ingest batches and tick barriers, exactly one worker pops.
+// Lock-free power-of-two ring buffer; when the ring is full the producer
+// spins with yield (backpressure), and the number of full-queue waits is
+// returned so the caller can surface it as a metric. Blocking pops use
+// C++20 atomic wait/notify, so an idle worker sleeps instead of spinning.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace skynet {
+
+template <typename T>
+class spsc_queue {
+public:
+    explicit spsc_queue(std::size_t capacity) {
+        std::size_t cap = 1;
+        while (cap < capacity) cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /// Producer only. Blocks (yield-spin) while the ring is full; returns
+    /// how many times it had to wait.
+    std::size_t push(T value) {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t waits = 0;
+        while (tail - head_.load(std::memory_order_acquire) > mask_) {
+            ++waits;
+            std::this_thread::yield();
+        }
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        tail_.notify_one();
+        return waits;
+    }
+
+    /// Consumer only; non-blocking. False when the queue is empty.
+    bool try_pop(T& out) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire)) return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer only; sleeps until an item is available. Shutdown is a
+    /// queue message, not a flag, so wakeups cannot be missed.
+    void pop_blocking(T& out) {
+        for (;;) {
+            if (try_pop(out)) return;
+            // Empty: sleep until tail_ moves past the value we saw.
+            tail_.wait(head_.load(std::memory_order_relaxed), std::memory_order_acquire);
+        }
+    }
+
+    /// Approximate occupancy (exact from either endpoint's own thread).
+    [[nodiscard]] std::size_t size() const noexcept {
+        return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_{0};
+    // Separate cache lines so producer stores do not thrash consumer loads.
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace skynet

@@ -1,0 +1,101 @@
+// Engine observability: per-stage counters and latency histograms.
+//
+// Both the sequential skynet_engine and the region-sharded engine expose
+// an engine_metrics snapshot so benches and the CLI can report where the
+// time goes — preprocessing vs. locating vs. evaluation — plus, for the
+// sharded engine, queue backpressure and per-shard utilization. Metrics
+// use the wall clock and never feed back into the simulated pipeline, so
+// they cannot perturb results.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace skynet {
+
+/// Log2-bucketed latency histogram over nanoseconds: bucket i counts
+/// samples in [2^i, 2^(i+1)). Fixed memory, allocation-free record path.
+class latency_histogram {
+public:
+    static constexpr std::size_t bucket_count = 40;  // up to ~2^40 ns ≈ 18 min
+
+    void record(std::uint64_t ns) noexcept {
+        std::size_t b = 0;
+        while ((ns >> (b + 1)) != 0 && b + 1 < bucket_count) ++b;
+        ++buckets_[b];
+        ++count_;
+        sum_ns_ += ns;
+        if (ns > max_ns_) max_ns_ = ns;
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] std::uint64_t total_ns() const noexcept { return sum_ns_; }
+    [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_ns_; }
+    [[nodiscard]] double mean_us() const noexcept {
+        return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) / (1000.0 * count_);
+    }
+    /// Approximate percentile (upper bound of the containing bucket), in
+    /// microseconds. p in [0, 100].
+    [[nodiscard]] double percentile_us(double p) const noexcept;
+
+    latency_histogram& operator+=(const latency_histogram& other) noexcept;
+
+private:
+    std::array<std::uint64_t, bucket_count> buckets_{};
+    std::uint64_t count_{0};
+    std::uint64_t sum_ns_{0};
+    std::uint64_t max_ns_{0};
+};
+
+/// One pipeline stage (preprocess / locate / evaluate).
+struct stage_metrics {
+    std::uint64_t calls{0};
+    /// Units the stage consumed or produced (alerts, incidents, ...).
+    std::uint64_t items{0};
+    latency_histogram latency;
+
+    stage_metrics& operator+=(const stage_metrics& other) noexcept;
+};
+
+struct engine_metrics {
+    stage_metrics preprocess;  ///< raw -> structured conversion + flush
+    stage_metrics locate;      ///< main-tree insert/refresh + incident checks
+    stage_metrics evaluate;    ///< severity scoring + zoom-in
+    std::uint64_t alerts_in{0};
+    std::uint64_t batches_in{0};
+    std::uint64_t ticks{0};
+    std::uint64_t reports_emitted{0};
+    // Sharded-engine extras; zero for the sequential engine.
+    std::uint64_t enqueue_full_waits{0};  ///< producer stalls on a full queue
+    std::uint64_t max_queue_depth{0};     ///< deepest command backlog sampled
+    std::uint64_t busy_ns{0};             ///< worker time spent executing commands
+
+    engine_metrics& operator+=(const engine_metrics& other) noexcept;
+    /// Multi-line human-readable summary (CLI --metrics, bench logs).
+    [[nodiscard]] std::string render() const;
+};
+
+/// Tiny scope timer feeding a stage: construct, do the work, stop().
+class stage_timer {
+public:
+    explicit stage_timer(stage_metrics& stage) noexcept
+        : stage_(&stage), start_(std::chrono::steady_clock::now()) {}
+
+    /// Records elapsed time plus `items` processed; one call per stage.
+    void stop(std::uint64_t items = 0) noexcept {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+        ++stage_->calls;
+        stage_->items += items;
+        stage_->latency.record(static_cast<std::uint64_t>(ns));
+    }
+
+private:
+    stage_metrics* stage_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace skynet

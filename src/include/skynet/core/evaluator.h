@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "skynet/core/locator.h"
@@ -81,6 +82,12 @@ private:
     const topology* topo_;
     const customer_registry* customers_;
     evaluator_config config_;
+    /// related_circuit_sets depends only on the incident root (the
+    /// topology is immutable), and live scoring re-evaluates every open
+    /// incident each tick — memoizing by root turns the per-evaluation
+    /// full circuit-set scan into a hash lookup.
+    mutable std::unordered_map<location, std::vector<circuit_set_id>, location_hash>
+        related_cache_;
 };
 
 }  // namespace skynet

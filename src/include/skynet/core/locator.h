@@ -58,6 +58,11 @@ struct locator_config {
     /// Partition alerting devices into topology-connected groups before
     /// threshold checks.
     bool use_connectivity = true;
+    /// Derive incident ids from a stable hash of (root location, spawn
+    /// time) instead of a per-locator counter. The sharded engine forces
+    /// this on so ids agree across shard counts — and with a sequential
+    /// engine run on the same trace — making merged rankings comparable.
+    bool deterministic_ids = false;
 };
 
 /// A set of alerts attributed to one root cause.
@@ -98,8 +103,14 @@ public:
     /// Force-closes every open incident (end of an experiment episode).
     [[nodiscard]] std::vector<incident> drain(sim_time now);
 
-    /// Snapshot of the currently open incidents.
+    /// Snapshot of the currently open incidents (deep copy; prefer
+    /// open_incident_view() on hot paths).
     [[nodiscard]] std::vector<incident> open_incidents() const;
+
+    /// Zero-copy view of the open incidents. Pointers are valid until the
+    /// next mutating call (insert/refresh/check/drain).
+    [[nodiscard]] std::vector<const incident*> open_incident_view() const;
+
     [[nodiscard]] std::size_t main_tree_size() const noexcept { return nodes_.size(); }
 
 private:

@@ -8,13 +8,17 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "skynet/common/error.h"
+#include "skynet/core/engine_metrics.h"
 #include "skynet/core/evaluator.h"
 #include "skynet/core/locator.h"
 #include "skynet/core/preprocessor.h"
+#include "skynet/sim/trace.h"
 
 namespace skynet {
 
@@ -22,6 +26,10 @@ struct skynet_config {
     preprocessor_config pre{};
     locator_config loc{};
     evaluator_config eval{};
+
+    /// Sanity-checks the settings (negative windows/timeouts, thresholds
+    /// that can never fire, inverted rate bounds). Empty error = valid.
+    [[nodiscard]] error validate() const;
 };
 
 /// A finished (or snapshot of an open) incident with its evaluation.
@@ -39,14 +47,48 @@ struct incident_report {
     [[nodiscard]] std::string render() const;
 };
 
+/// Global ranking used by every report view: most severe first, ties
+/// broken by incident id so the order is stable across engines.
+[[nodiscard]] inline bool report_before(const incident_report& a,
+                                        const incident_report& b) noexcept {
+    if (a.severity.score != b.severity.score) return a.severity.score > b.severity.score;
+    return a.inc.id < b.inc.id;
+}
+
+/// Which incidents a reports() call returns.
+enum class report_scope : std::uint8_t {
+    finished,  ///< closed incidents; drains the finished buffer
+    open,      ///< snapshot of the live (still-open) incidents
+};
+
 class skynet_engine {
 public:
-    skynet_engine(const topology* topo, const customer_registry* customers,
-                  const alert_type_registry* registry, const syslog_classifier* syslog,
-                  skynet_config config = {});
+    /// Construction dependencies; all non-owning. topo, customers and
+    /// registry are required; syslog may be null (syslog alerts are then
+    /// dropped as unclassified).
+    struct deps {
+        const topology* topo{nullptr};
+        const customer_registry* customers{nullptr};
+        const alert_type_registry* registry{nullptr};
+        const syslog_classifier* syslog{nullptr};
+    };
+
+    explicit skynet_engine(deps d, skynet_config config = {});
+
+    [[deprecated("pass skynet_engine::deps instead of four pointers")]] skynet_engine(
+        const topology* topo, const customer_registry* customers,
+        const alert_type_registry* registry, const syslog_classifier* syslog,
+        skynet_config config = {});
 
     /// Feeds one raw alert at its arrival time.
     void ingest(const raw_alert& raw, sim_time now);
+
+    /// Feeds a batch that all arrived at `now` (e.g. one poll sweep).
+    void ingest_batch(std::span<const raw_alert> batch, sim_time now);
+
+    /// Feeds a batch with per-alert arrival times (e.g. one simulator
+    /// tick's deliveries); equivalent to looping ingest() in order.
+    void ingest_batch(std::span<const traced_alert> batch);
 
     /// Periodic maintenance (call ~once per simulated tick): preprocessor
     /// flush, locator timeout checks, live severity evaluation of open
@@ -57,7 +99,14 @@ public:
     /// Force-closes open incidents (end of an experiment episode).
     void finish(sim_time now, const network_state& state);
 
-    /// Drains finished incident reports.
+    /// Unified ranked report access (severity desc, then incident id).
+    /// finished: drains the finished buffer; `now`/`state` are unused.
+    /// open: live snapshot evaluated against `state` at `now`.
+    [[nodiscard]] std::vector<incident_report> reports(report_scope scope, sim_time now,
+                                                       const network_state& state);
+
+    /// Drains finished incident reports, ranked. Thin wrapper kept for
+    /// callers that do not have a network_state at hand.
     [[nodiscard]] std::vector<incident_report> take_reports();
 
     /// Snapshot reports of currently open incidents (live ranking view).
@@ -70,10 +119,13 @@ public:
     [[nodiscard]] std::int64_t structured_alert_count() const noexcept { return structured_count_; }
     [[nodiscard]] const locator& tree() const noexcept { return locator_; }
     [[nodiscard]] const evaluator& scorer() const noexcept { return evaluator_; }
+    /// Where the time goes: per-stage counters and latency histograms.
+    [[nodiscard]] const engine_metrics& metrics() const noexcept { return metrics_; }
 
 private:
     [[nodiscard]] incident_report finalize(const incident& inc, sim_time now,
                                            const network_state& state);
+    [[nodiscard]] std::vector<incident_report> ranked_finished();
 
     preprocessor pre_;
     locator locator_;
@@ -83,6 +135,7 @@ private:
     /// once the underlying breakage heals; operations act on the peak).
     std::unordered_map<std::uint64_t, severity_breakdown> live_scores_;
     std::vector<incident_report> finished_;
+    engine_metrics metrics_;
 };
 
 }  // namespace skynet

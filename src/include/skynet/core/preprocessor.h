@@ -58,6 +58,21 @@ struct preprocessor_stats {
     std::int64_t dropped_unclassified{0};
     std::int64_t dropped_uncorroborated{0};
     std::int64_t merged_related{0};
+
+    /// Accumulation across engines (the sharded engine's merged view).
+    preprocessor_stats& operator+=(const preprocessor_stats& other) noexcept {
+        raw_in += other.raw_in;
+        emitted_new += other.emitted_new;
+        emitted_update += other.emitted_update;
+        merged_identical += other.merged_identical;
+        dropped_sporadic += other.dropped_sporadic;
+        dropped_unclassified += other.dropped_unclassified;
+        dropped_uncorroborated += other.dropped_uncorroborated;
+        merged_related += other.merged_related;
+        return *this;
+    }
+
+    friend bool operator==(const preprocessor_stats&, const preprocessor_stats&) = default;
 };
 
 /// One output of a process() call.

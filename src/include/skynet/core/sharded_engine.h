@@ -1,0 +1,152 @@
+// Region-sharded parallel SkyNet engine.
+//
+// The locator's main tree is indexed Region > City > ... > Device
+// (§4.2), so alerts in different regions never share an incident tree —
+// the same partition-by-locality insight that lets the paper's
+// deployment digest O(10^4..10^5) alerts during severe failures. This
+// engine exploits it: incoming raw alerts are partitioned by region onto
+// N per-shard skynet_engine instances, each driven by a worker thread
+// pulling commands from a bounded SPSC queue. tick()/finish() fan out to
+// every shard and act as barriers — the shared network_state is only
+// read while the caller is blocked, so the caller may freely mutate it
+// between ticks. The merge step recombines per-shard incident reports
+// into one globally ranked view (severity desc, then incident id).
+//
+// Per-shard locators use deterministic incident ids, so on a trace that
+// respects the region partition invariant (no cross-region alert
+// interactions; see DESIGN.md "Region-sharded engine") the merged output
+// is bit-identical to a sequential skynet_engine run on the same trace —
+// for any shard count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/common/spsc_queue.h"
+#include "skynet/core/pipeline.h"
+
+namespace skynet {
+
+struct sharded_config {
+    /// Worker shard count (clamped to >= 1). Regions are assigned to
+    /// shards round-robin in order of first appearance, so shard load
+    /// balances when failures span several regions.
+    std::size_t shards = 4;
+    /// Per-shard command-queue capacity (rounded up to a power of two).
+    /// The producer spins when a queue is full — backpressure, surfaced
+    /// via engine_metrics::enqueue_full_waits.
+    std::size_t queue_capacity = 256;
+    /// Ingest commands are coalesced into batches of up to this many
+    /// alerts before being enqueued (amortizes queue traffic).
+    std::size_t max_ingest_batch = 64;
+    /// Per-shard engine configuration. locator deterministic_ids is
+    /// forced on so merged ids are stable across shard counts.
+    skynet_config engine{};
+};
+
+class sharded_engine {
+public:
+    explicit sharded_engine(skynet_engine::deps d, sharded_config config = {});
+    ~sharded_engine();
+
+    sharded_engine(const sharded_engine&) = delete;
+    sharded_engine& operator=(const sharded_engine&) = delete;
+
+    /// Routes one raw alert to its region's shard (asynchronous).
+    void ingest(const raw_alert& raw, sim_time now);
+
+    /// Batch ingest: all alerts arrived at `now`.
+    void ingest_batch(std::span<const raw_alert> batch, sim_time now);
+
+    /// Batch ingest with per-alert arrival times.
+    void ingest_batch(std::span<const traced_alert> batch);
+
+    /// Fans the tick out to every shard and waits for all of them —
+    /// `state` is only read while this call blocks.
+    void tick(sim_time now, const network_state& state);
+
+    /// Fans out finish() and waits; all incidents close.
+    void finish(sim_time now, const network_state& state);
+
+    /// Unified ranked report access, merged across shards (severity
+    /// desc, then incident id). Drains pending ingest first.
+    [[nodiscard]] std::vector<incident_report> reports(report_scope scope, sim_time now,
+                                                       const network_state& state);
+
+    /// Merged ranked finished reports (drains every shard).
+    [[nodiscard]] std::vector<incident_report> take_reports();
+
+    /// Merged ranked snapshot of the open incidents.
+    [[nodiscard]] std::vector<incident_report> open_reports(sim_time now,
+                                                            const network_state& state);
+
+    /// Preprocessor counters summed across shards.
+    [[nodiscard]] preprocessor_stats preprocessing_stats();
+
+    [[nodiscard]] std::int64_t structured_alert_count();
+
+    /// Aggregate metrics: per-stage sums across shards, plus queue
+    /// backpressure and worker busy time. `ticks` counts engine-level
+    /// ticks (not per-shard fan-outs).
+    [[nodiscard]] engine_metrics metrics();
+
+    /// One shard's metrics (stages + that worker's busy time).
+    [[nodiscard]] engine_metrics shard_metrics(std::size_t shard);
+
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+    /// Distinct regions observed in the alert stream so far.
+    [[nodiscard]] std::size_t region_count() const noexcept { return region_to_shard_.size(); }
+
+private:
+    struct command {
+        enum class op : std::uint8_t { ingest, tick, finish, stop } what{op::ingest};
+        std::vector<traced_alert> batch;  // ingest only
+        sim_time now{0};
+        const network_state* state{nullptr};  // tick/finish only
+    };
+
+    struct shard {
+        shard(skynet_engine::deps d, const skynet_config& cfg, std::size_t queue_capacity)
+            : engine(d, cfg), queue(queue_capacity) {}
+
+        skynet_engine engine;
+        spsc_queue<command> queue;
+        // Producer-side accounting (caller thread only).
+        std::vector<traced_alert> pending;
+        std::uint64_t submitted{0};
+        std::uint64_t full_waits{0};
+        std::uint64_t max_depth{0};
+        // Worker-side completion, waited on by the caller's barrier.
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> busy_ns{0};
+        std::thread worker;
+    };
+
+    void worker_loop(shard& s);
+    /// Shard owning the alert's region ("" groups unattributable alerts).
+    [[nodiscard]] std::size_t shard_of(const raw_alert& raw);
+    void append(std::size_t idx, const raw_alert& raw, sim_time now);
+    void submit(shard& s, command cmd);
+    void flush_pending();
+    /// Waits until every shard has executed everything submitted to it.
+    void barrier();
+    /// flush_pending + barrier: shards idle, safe to touch engines inline.
+    void sync();
+
+    sharded_config config_;
+    /// For routing device-attributed alerts whose location is unset.
+    const topology* topo_{nullptr};
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::unordered_map<std::string, std::size_t> region_to_shard_;
+    std::size_t next_region_shard_{0};
+    std::uint64_t ticks_{0};
+    std::uint64_t batches_in_{0};
+};
+
+}  // namespace skynet

@@ -11,11 +11,13 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "skynet/common/sim_clock.h"
 #include "skynet/monitors/monitor.h"
 #include "skynet/sim/scenario.h"
+#include "skynet/sim/trace.h"
 
 namespace skynet {
 
@@ -47,12 +49,19 @@ public:
 
     /// Alert arrival callback: (alert, arrival_time).
     using alert_sink = std::function<void(const raw_alert&, sim_time)>;
+    /// Batched arrival callback: one span per tick, arrival order
+    /// preserved (feeds skynet_engine::ingest_batch directly).
+    using batch_sink = std::function<void(std::span<const traced_alert>)>;
     /// Per-tick callback after delivery (SkyNet maintenance hook).
     using tick_hook = std::function<void(sim_time)>;
 
     /// Runs the simulation until `end`, delivering alerts in arrival
     /// order to `sink` and invoking `hook` once per tick.
     void run_until(sim_time end, const alert_sink& sink, const tick_hook& hook = nullptr);
+
+    /// Same, but hands each tick's deliveries over as one batch.
+    void run_until_batched(sim_time end, const batch_sink& sink,
+                           const tick_hook& hook = nullptr);
 
     /// Ground-truth records of every injected scenario (for accuracy
     /// scoring).

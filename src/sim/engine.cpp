@@ -55,7 +55,22 @@ sim_duration simulation_engine::delivery_delay(const raw_alert& alert) {
 }
 
 void simulation_engine::run_until(sim_time end, const alert_sink& sink, const tick_hook& hook) {
+    if (!sink) {
+        run_until_batched(end, nullptr, hook);
+        return;
+    }
+    run_until_batched(
+        end,
+        [&sink](std::span<const traced_alert> delivered) {
+            for (const traced_alert& t : delivered) sink(t.alert, t.arrival);
+        },
+        hook);
+}
+
+void simulation_engine::run_until_batched(sim_time end, const batch_sink& sink,
+                                          const tick_hook& hook) {
     std::vector<raw_alert> batch;
+    std::vector<traced_alert> delivered;
     while (clock_.now() < end) {
         const sim_time now = clock_.now();
 
@@ -93,13 +108,18 @@ void simulation_engine::run_until(sim_time end, const alert_sink& sink, const ti
             }
         }
 
-        // Deliver everything that has arrived by the end of this tick.
+        // Deliver everything that has arrived by the end of this tick,
+        // as one ordered batch.
         const sim_time tick_end = now + params_.tick;
+        delivered.clear();
         while (!queue_.empty() && queue_.top().arrival <= tick_end) {
             const pending_delivery& top = queue_.top();
-            if (sink) sink(top.alert, top.arrival);
+            if (sink) {
+                delivered.push_back(traced_alert{.alert = top.alert, .arrival = top.arrival});
+            }
             queue_.pop();
         }
+        if (sink && !delivered.empty()) sink(delivered);
 
         clock_.advance(params_.tick);
         if (hook) hook(clock_.now());

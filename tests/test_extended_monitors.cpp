@@ -107,7 +107,7 @@ TEST(ExtensibilityTest, AlertsFlowThroughUnchangedPipeline) {
     alert_type_registry registry = alert_type_registry::with_builtin_catalog();
     register_extended_alert_types(registry);
     const syslog_classifier syslog = syslog_classifier::train_from_catalog();
-    skynet_engine engine(&w.topo, &w.customers, &registry, &syslog);
+    skynet_engine engine(skynet_engine::deps{&w.topo, &w.customers, &registry, &syslog});
 
     // Kill a bundle and blackhole past the border.
     const circuit_set* bundle = nullptr;

@@ -20,7 +20,8 @@ protected:
         customers_ = customer_registry::generate(topo_, 400, crand);
         registry_ = alert_type_registry::with_builtin_catalog();
         syslog_ = syslog_classifier::train_from_catalog();
-        engine_ = std::make_unique<skynet_engine>(&topo_, &customers_, &registry_, &syslog_);
+        engine_ = std::make_unique<skynet_engine>(
+            skynet_engine::deps{&topo_, &customers_, &registry_, &syslog_});
         state_ = std::make_unique<network_state>(&topo_, &customers_);
 
         // Stage: devices i, ii in logic site 2; device n far away.

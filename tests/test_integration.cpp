@@ -41,7 +41,7 @@ std::vector<incident_report> run_stack(world& w, std::unique_ptr<scenario> s,
     simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = seed});
     sim.add_default_monitors();
     sim.inject(std::move(s), minutes(1), duration);
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog, cfg);
+    skynet_engine skynet({&w.topo, &w.customers, &w.registry, &w.syslog}, cfg);
     sim.run_until(minutes(1) + duration + minutes(1),
                   [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
                   [&](sim_time now) { skynet.tick(now, sim.state()); });

@@ -30,7 +30,7 @@ struct world {
         sim.add_default_monitors();
         sim.inject(std::move(s), minutes(1), duration);
 
-        skynet_engine skynet(&topo, &customers, &registry, &syslog, cfg);
+        skynet_engine skynet({&topo, &customers, &registry, &syslog}, cfg);
         sim.run_until(minutes(1) + duration + minutes(2),
                       [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
                       [&](sim_time now) { skynet.tick(now, sim.state()); });
@@ -58,7 +58,7 @@ TEST(PipelineTest, QuietNetworkNoIncidents) {
     world w;
     simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 52});
     sim.add_default_monitors();
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog);
+    skynet_engine skynet(skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
     sim.run_until(minutes(5),
                   [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
                   [&](sim_time now) { skynet.tick(now, sim.state()); });
@@ -73,7 +73,7 @@ TEST(PipelineTest, PreprocessingReducesVolume) {
     sim.add_default_monitors();
     sim.inject(make_infrastructure_failure(w.topo, srand, true), minutes(1), minutes(5));
 
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog);
+    skynet_engine skynet(skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
     sim.run_until(minutes(8),
                   [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
                   [&](sim_time now) { skynet.tick(now, sim.state()); });
@@ -104,7 +104,7 @@ TEST(PipelineTest, SevereIncidentOutranksMinorOne) {
         0.6);
     sim.inject(std::move(severe), minutes(1), minutes(6));
 
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog);
+    skynet_engine skynet(skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
     std::vector<incident_report> ranked;
     sim.run_until(minutes(6),
                   [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
@@ -161,7 +161,7 @@ TEST(PipelineTest, StructuredCountTracksEmissions) {
     simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 60});
     sim.add_default_monitors();
     sim.inject(make_link_failure(w.topo, srand, true), minutes(1), minutes(3));
-    skynet_engine skynet(&w.topo, &w.customers, &w.registry, &w.syslog);
+    skynet_engine skynet(skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
     sim.run_until(minutes(5),
                   [&](const raw_alert& a, sim_time arrival) { skynet.ingest(a, arrival); },
                   [&](sim_time now) { skynet.tick(now, sim.state()); });

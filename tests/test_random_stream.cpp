@@ -61,7 +61,7 @@ class RandomStream : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(RandomStream, InvariantsHold) {
     world w;
     rng rand(GetParam());
-    skynet_engine engine(&w.topo, &w.customers, &w.registry, &w.syslog);
+    skynet_engine engine(skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
 
     sim_time now = 0;
     std::vector<incident_report> closed;
@@ -117,7 +117,7 @@ TEST(RandomStreamTest, DeterministicAcrossRuns) {
     auto run = [](std::uint64_t seed) {
         world w;
         rng rand(seed);
-        skynet_engine engine(&w.topo, &w.customers, &w.registry, &w.syslog);
+        skynet_engine engine(skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
         sim_time now = 0;
         for (int tick = 0; tick < 100; ++tick) {
             for (int i = 0; i < 5; ++i) engine.ingest(random_alert(w, rand, now), now);

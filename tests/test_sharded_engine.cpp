@@ -1,0 +1,365 @@
+// Region-sharded engine tests: the merged ranked output must be
+// bit-identical to a sequential skynet_engine run on the same trace
+// (same scenario, same seed), for any shard count — the partition
+// invariant DESIGN.md "Region-sharded engine" documents. Also covers
+// the batch-ingest API, skynet_config::validate(), the unified
+// reports() view, and engine metrics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <span>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/sim/engine.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+struct world {
+    topology topo;
+    customer_registry customers;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    explicit world(generator_params p = generator_params::small()) {
+        p.legacy_snmp_fraction = 0.0;
+        topo = generate_topology(p);
+        rng crand(71);
+        customers = customer_registry::generate(topo, 300, crand);
+    }
+
+    [[nodiscard]] skynet_engine::deps deps() {
+        return {&topo, &customers, &registry, &syslog};
+    }
+
+    [[nodiscard]] location first_logic_site() const {
+        for (const device& d : topo.devices()) {
+            if (d.role == device_role::isr) {
+                return d.loc.ancestor_at(hierarchy_level::logic_site);
+            }
+        }
+        throw std::runtime_error("no isr");
+    }
+};
+
+using scenario_factory = std::function<std::unique_ptr<scenario>()>;
+
+/// Replays one simulated episode through `eng`. The simulation is fully
+/// deterministic for a given seed, so calling this twice with the same
+/// arguments feeds two engines identical (alert, arrival) sequences,
+/// tick cadence, and network states.
+template <typename Engine>
+void drive(world& w, Engine& eng, const scenario_factory& make, sim_duration duration,
+           std::uint64_t seed) {
+    simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = seed});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.01});
+    sim.inject(make(), minutes(1), duration);
+    sim.run_until_batched(
+        minutes(1) + duration + minutes(1),
+        [&](std::span<const traced_alert> batch) { eng.ingest_batch(batch); },
+        [&](sim_time now) { eng.tick(now, sim.state()); });
+    eng.finish(sim.clock().now(), sim.state());
+}
+
+void expect_identical_reports(const std::vector<incident_report>& seq,
+                              const std::vector<incident_report>& sharded) {
+    ASSERT_EQ(seq.size(), sharded.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE("report " + std::to_string(i));
+        EXPECT_EQ(seq[i].inc.id, sharded[i].inc.id);
+        EXPECT_EQ(seq[i].inc.root.to_string(), sharded[i].inc.root.to_string());
+        EXPECT_EQ(seq[i].inc.alerts.size(), sharded[i].inc.alerts.size());
+        EXPECT_EQ(seq[i].severity.score, sharded[i].severity.score);
+        EXPECT_EQ(seq[i].actionable, sharded[i].actionable);
+        EXPECT_EQ(seq[i].render(), sharded[i].render());
+    }
+}
+
+/// Runs the same episode through a sequential engine (deterministic ids
+/// on, matching what the sharded engine forces) and a sharded one, and
+/// asserts identical ranked reports plus identical aggregate stats.
+void expect_equivalent(world& w, const scenario_factory& make, sim_duration duration,
+                       std::uint64_t seed, std::size_t shards) {
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine seq(w.deps(), cfg);
+    drive(w, seq, make, duration, seed);
+    const std::vector<incident_report> seq_reports = seq.take_reports();
+    const preprocessor_stats seq_stats = seq.preprocessing_stats();
+    const std::int64_t seq_structured = seq.structured_alert_count();
+
+    sharded_config scfg;
+    scfg.shards = shards;
+    sharded_engine par(w.deps(), scfg);
+    drive(w, par, make, duration, seed);
+    const std::vector<incident_report> par_reports = par.take_reports();
+
+    expect_identical_reports(seq_reports, par_reports);
+    EXPECT_EQ(seq_stats, par.preprocessing_stats());
+    EXPECT_EQ(seq_structured, par.structured_alert_count());
+}
+
+TEST(ShardedEquivalenceTest, CableCutMatchesSequential) {
+    world w;
+    const location ls = w.first_logic_site();
+    expect_equivalent(
+        w, [&] { return make_internet_entry_cut(w.topo, ls, 0.6); }, minutes(6), 81, 4);
+}
+
+TEST(ShardedEquivalenceTest, DdosMatchesSequential) {
+    world w;
+    expect_equivalent(
+        w,
+        [&] {
+            rng srand(82);
+            return make_security_ddos(w.topo, srand, 3);
+        },
+        minutes(6), 83, 4);
+}
+
+TEST(ShardedEquivalenceTest, ShardCountInvariance) {
+    // 1 shard and 4 shards must produce identical merged rankings.
+    world w;
+    const location ls = w.first_logic_site();
+    const scenario_factory make = [&] { return make_internet_entry_cut(w.topo, ls, 0.5); };
+
+    std::vector<std::vector<incident_report>> runs;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        sharded_config scfg;
+        scfg.shards = shards;
+        sharded_engine eng(w.deps(), scfg);
+        drive(w, eng, make, minutes(5), 91);
+        runs.push_back(eng.take_reports());
+    }
+    expect_identical_reports(runs[0], runs[1]);
+}
+
+TEST(ShardedEquivalenceTest, TinyQueueBackpressureStaysCorrect) {
+    // A 2-slot queue with unbatched ingest forces the producer through
+    // the full-queue wait path; output must be unaffected.
+    world w;
+    const location ls = w.first_logic_site();
+    const scenario_factory make = [&] { return make_internet_entry_cut(w.topo, ls, 0.6); };
+
+    sharded_config roomy;
+    sharded_engine a(w.deps(), roomy);
+    drive(w, a, make, minutes(5), 97);
+
+    sharded_config tight;
+    tight.queue_capacity = 2;
+    tight.max_ingest_batch = 1;
+    sharded_engine b(w.deps(), tight);
+    drive(w, b, make, minutes(5), 97);
+
+    expect_identical_reports(a.take_reports(), b.take_reports());
+}
+
+TEST(ShardedEngineTest, RoutesRegionsAndCountsShards) {
+    world w;
+    sharded_config scfg;
+    scfg.shards = 3;
+    sharded_engine eng(w.deps(), scfg);
+    EXPECT_EQ(eng.shard_count(), 3u);
+    EXPECT_EQ(eng.region_count(), 0u);
+
+    // One alert per region, plus one root-located alert that lands in
+    // the "" unattributable bucket.
+    std::set<std::string> regions;
+    for (const device& d : w.topo.devices()) {
+        const std::string region(d.loc.segments().front());
+        if (!regions.insert(region).second) continue;
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.loc = d.loc;
+        a.device = d.id;
+        a.timestamp = seconds(10);
+        eng.ingest(a, seconds(10));
+    }
+    ASSERT_GE(regions.size(), 2u);
+    raw_alert global;
+    global.source = data_source::traffic_stats;
+    global.timestamp = seconds(10);
+    eng.ingest(global, seconds(10));
+
+    EXPECT_EQ(eng.region_count(), regions.size() + 1);
+    (void)eng.take_reports();
+}
+
+TEST(ShardedEngineTest, ZeroShardConfigClampsToOne) {
+    world w(generator_params::tiny());
+    sharded_config scfg;
+    scfg.shards = 0;
+    sharded_engine eng(w.deps(), scfg);
+    EXPECT_EQ(eng.shard_count(), 1u);
+}
+
+TEST(BatchIngestTest, SpanMatchesIngestLoop) {
+    // ingest_batch must be an exact shorthand for the ingest loop.
+    world w;
+    const location ls = w.first_logic_site();
+    std::vector<traced_alert> trace;
+    simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 7});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.01});
+    sim.inject(make_internet_entry_cut(w.topo, ls, 0.6), minutes(1), minutes(4));
+    sim.run_until_batched(minutes(6), [&](std::span<const traced_alert> batch) {
+        trace.insert(trace.end(), batch.begin(), batch.end());
+    });
+
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine looped(w.deps(), cfg);
+    for (const traced_alert& t : trace) looped.ingest(t.alert, t.arrival);
+    looped.finish(minutes(20), sim.state());
+
+    skynet_engine batched(w.deps(), cfg);
+    batched.ingest_batch(std::span<const traced_alert>(trace));
+    batched.finish(minutes(20), sim.state());
+
+    EXPECT_EQ(looped.preprocessing_stats(), batched.preprocessing_stats());
+    EXPECT_EQ(looped.structured_alert_count(), batched.structured_alert_count());
+    expect_identical_reports(looped.take_reports(), batched.take_reports());
+}
+
+TEST(BatchIngestTest, RawSpanUsesSharedArrivalTime) {
+    world w(generator_params::tiny());
+    std::vector<raw_alert> batch;
+    raw_alert a;
+    a.source = data_source::snmp;
+    a.loc = w.topo.devices().front().loc;
+    a.device = w.topo.devices().front().id;
+    a.timestamp = seconds(30);
+    batch.push_back(a);
+    batch.push_back(a);
+
+    skynet_engine eng(w.deps());
+    eng.ingest_batch(std::span<const raw_alert>(batch), seconds(31));
+    EXPECT_EQ(eng.metrics().alerts_in, 2u);
+    EXPECT_EQ(eng.metrics().batches_in, 1u);
+}
+
+TEST(ConfigValidateTest, DefaultConfigIsValid) {
+    EXPECT_FALSE(skynet_config{}.validate());
+}
+
+TEST(ConfigValidateTest, RejectsNegativeTimeout) {
+    skynet_config cfg;
+    cfg.loc.node_timeout = -seconds(1);
+    const error e = cfg.validate();
+    ASSERT_TRUE(e);
+    EXPECT_NE(e.message().find("node_timeout"), std::string::npos);
+}
+
+TEST(ConfigValidateTest, RejectsAllZeroThresholds) {
+    skynet_config cfg;
+    cfg.loc.thresholds = incident_thresholds{
+        .pure_failure = 0, .combo_failure = 0, .combo_other = 0, .any = 0};
+    const error e = cfg.validate();
+    ASSERT_TRUE(e);
+    EXPECT_NE(e.message().find("thresholds"), std::string::npos);
+}
+
+TEST(ConfigValidateTest, RejectsInvertedRateBounds) {
+    skynet_config cfg;
+    cfg.eval.min_rate = 0.9;
+    cfg.eval.max_rate = 0.1;
+    EXPECT_TRUE(cfg.validate());
+}
+
+TEST(ConfigValidateTest, EngineConstructorThrowsOnInvalidConfig) {
+    world w(generator_params::tiny());
+    skynet_config cfg;
+    cfg.pre.dedup_window = -minutes(1);
+    EXPECT_THROW(skynet_engine(w.deps(), cfg), skynet_error);
+}
+
+TEST(ReportScopeTest, OpenThenFinishedViews) {
+    world w;
+    const location ls = w.first_logic_site();
+    skynet_engine eng(w.deps());
+    simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 55});
+    sim.add_default_monitors();
+    sim.inject(make_internet_entry_cut(w.topo, ls, 0.6), minutes(1), minutes(5));
+    sim.run_until_batched(
+        minutes(4), [&](std::span<const traced_alert> batch) { eng.ingest_batch(batch); },
+        [&](sim_time now) { eng.tick(now, sim.state()); });
+
+    // Mid-failure: the incident is still open.
+    const auto open = eng.reports(report_scope::open, sim.clock().now(), sim.state());
+    ASSERT_FALSE(open.empty());
+    EXPECT_TRUE(std::is_sorted(open.begin(), open.end(), [](const auto& x, const auto& y) {
+        return report_before(x, y);
+    }));
+
+    eng.finish(sim.clock().now(), sim.state());
+    const auto finished = eng.reports(report_scope::finished, sim.clock().now(), sim.state());
+    EXPECT_GE(finished.size(), open.size());
+    // finished drains: a second call returns nothing.
+    EXPECT_TRUE(eng.reports(report_scope::finished, sim.clock().now(), sim.state()).empty());
+    EXPECT_TRUE(eng.reports(report_scope::open, sim.clock().now(), sim.state()).empty());
+}
+
+TEST(EngineMetricsTest, SequentialCountersAccumulate) {
+    world w;
+    const location ls = w.first_logic_site();
+    skynet_engine eng(w.deps());
+    drive(
+        w, eng, [&] { return make_internet_entry_cut(w.topo, ls, 0.6); }, minutes(4), 21);
+    const engine_metrics& m = eng.metrics();
+    EXPECT_GT(m.alerts_in, 0u);
+    EXPECT_GT(m.batches_in, 0u);
+    EXPECT_GT(m.ticks, 0u);
+    EXPECT_GT(m.preprocess.calls, 0u);
+    EXPECT_GT(m.locate.calls, 0u);
+    EXPECT_GT(m.evaluate.calls, 0u);
+    EXPECT_GT(m.preprocess.latency.count(), 0u);
+    EXPECT_GE(m.preprocess.latency.max_ns(), 1u);
+    EXPECT_GT(m.reports_emitted, 0u);
+    const std::string rendered = m.render();
+    EXPECT_NE(rendered.find("preprocess"), std::string::npos);
+    EXPECT_NE(rendered.find("p99"), std::string::npos);
+}
+
+TEST(EngineMetricsTest, ShardedAggregatesAcrossShards) {
+    world w;
+    const location ls = w.first_logic_site();
+    sharded_config scfg;
+    scfg.shards = 2;
+    sharded_engine eng(w.deps(), scfg);
+    drive(
+        w, eng, [&] { return make_internet_entry_cut(w.topo, ls, 0.6); }, minutes(4), 22);
+
+    engine_metrics total = eng.metrics();
+    EXPECT_GT(total.alerts_in, 0u);
+    EXPECT_GT(total.busy_ns, 0u);
+    // Engine-level ticks, not per-shard fan-outs.
+    EXPECT_GT(total.ticks, 0u);
+    EXPECT_LT(total.ticks, total.preprocess.calls + total.locate.calls + 100000u);
+
+    engine_metrics sum;
+    for (std::size_t i = 0; i < eng.shard_count(); ++i) {
+        const engine_metrics m = eng.shard_metrics(i);
+        sum.alerts_in += m.alerts_in;
+    }
+    EXPECT_EQ(sum.alerts_in, total.alerts_in);
+}
+
+TEST(LatencyHistogramTest, RecordsAndMerges) {
+    latency_histogram h;
+    h.record(1'000);
+    h.record(2'000);
+    h.record(1'000'000);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max_ns(), 1'000'000u);
+    EXPECT_GT(h.mean_us(), 0.0);
+    EXPECT_GE(h.percentile_us(99.0), h.percentile_us(50.0));
+
+    latency_histogram other;
+    other.record(4'000);
+    h += other;
+    EXPECT_EQ(h.count(), 4u);
+}
+
+}  // namespace
+}  // namespace skynet

@@ -103,7 +103,7 @@ TEST(TraceTest, RecordedEpisodeReplaysToSameIncidents) {
     rng srand(32);
     sim.inject(make_infrastructure_failure(topo, srand, true), minutes(1), minutes(3));
 
-    skynet_engine live(&topo, &customers, &registry, &syslog);
+    skynet_engine live(skynet_engine::deps{&topo, &customers, &registry, &syslog});
     std::vector<traced_alert> recorded;
     sim.run_until(minutes(5),
                   [&](const raw_alert& a, sim_time arrival) {
@@ -121,7 +121,7 @@ TEST(TraceTest, RecordedEpisodeReplaysToSameIncidents) {
     ASSERT_TRUE(parsed.ok());
     ASSERT_EQ(parsed.alerts.size(), recorded.size());
 
-    skynet_engine replayed(&topo, &customers, &registry, &syslog);
+    skynet_engine replayed(skynet_engine::deps{&topo, &customers, &registry, &syslog});
     network_state idle(&topo, &customers);
     sim_time last_tick = 0;
     for (const traced_alert& t : parsed.alerts) {
