@@ -289,5 +289,72 @@ BENCHMARK(BM_EngineIngestSharded)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- id-keyed vs string-keyed locator insert ---------------------------------
+
+/// The multi-region flood preprocessed once: every event the locator
+/// ingests (inserts *and* refreshes — both key the node map), with
+/// loc_id resolved by the preprocessor.
+const std::vector<structured_alert>& flood_structured() {
+    static const std::vector<structured_alert> alerts = [] {
+        bench::world& w = region4_world();
+        const tick_trace& t = multi_region_flood();
+        preprocessor pre(&w.topo, &w.registry, &w.syslog, {});
+        std::vector<structured_alert> out;
+        for (std::size_t i = 0; i < t.ticks.size(); ++i) {
+            for (const traced_alert& ta : t.batches[i]) {
+                for (auto& ev : pre.process(ta.alert, ta.arrival)) {
+                    out.push_back(std::move(ev.alert));
+                }
+            }
+        }
+        return out;
+    }();
+    return alerts;
+}
+
+/// The seed locator keyed its main tree by the full location path —
+/// every insert deep-copied the segment vector on first touch and
+/// re-hashed it segment by segment on every lookup. The table-backed
+/// locator keys by interned location_id: a single u32 hash. This pair
+/// replays exactly the main-tree insert of the multi-region flood
+/// against both key shapes (results: BENCH_locator_interning.json).
+void BM_LocatorInsertStringKeyed(benchmark::State& state) {
+    const std::vector<structured_alert>& alerts = flood_structured();
+    struct node {
+        int count{0};
+        sim_time last_update{0};
+    };
+    for (auto _ : state) {
+        std::unordered_map<location, node, location_hash> nodes;
+        for (const structured_alert& a : alerts) {
+            node& n = nodes[a.loc];
+            ++n.count;
+            n.last_update = a.when.begin;
+        }
+        benchmark::DoNotOptimize(nodes.size());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(alerts.size()));
+}
+BENCHMARK(BM_LocatorInsertStringKeyed)->Unit(benchmark::kMillisecond);
+
+void BM_LocatorInsertIdKeyed(benchmark::State& state) {
+    const std::vector<structured_alert>& alerts = flood_structured();
+    struct node {
+        int count{0};
+        sim_time last_update{0};
+    };
+    for (auto _ : state) {
+        std::unordered_map<location_id, node> nodes;
+        for (const structured_alert& a : alerts) {
+            node& n = nodes[a.loc_id];
+            ++n.count;
+            n.last_update = a.when.begin;
+        }
+        benchmark::DoNotOptimize(nodes.size());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(alerts.size()));
+}
+BENCHMARK(BM_LocatorInsertIdKeyed)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace skynet

@@ -29,20 +29,27 @@ evaluator::evaluator(const topology* topo, const customer_registry* customers,
     }
 }
 
+location_id evaluator::root_id_of(const incident& inc) const {
+    if (inc.root_id != invalid_location_id) return inc.root_id;
+    return topo_->locations().intern(inc.root);
+}
+
 std::vector<circuit_set_id> evaluator::related_circuit_sets(const incident& inc) const {
-    if (const auto it = related_cache_.find(inc.root); it != related_cache_.end()) {
+    const location_id root = root_id_of(inc);
+    if (const auto it = related_cache_.find(root); it != related_cache_.end()) {
         return it->second;
     }
+    const location_table& table = topo_->locations();
     std::unordered_set<circuit_set_id> seen;
     std::vector<circuit_set_id> out;
     for (const circuit_set& cs : topo_->circuit_sets()) {
-        const location& la = topo_->device_at(cs.a).loc;
-        const location& lb = topo_->device_at(cs.b).loc;
-        if (inc.root.contains(la) || inc.root.contains(lb)) {
+        const location_id la = topo_->device_at(cs.a).loc_id;
+        const location_id lb = topo_->device_at(cs.b).loc_id;
+        if (table.contains(root, la) || table.contains(root, lb)) {
             if (seen.insert(cs.id).second) out.push_back(cs.id);
         }
     }
-    related_cache_.emplace(inc.root, out);
+    related_cache_.emplace(root, out);
     return out;
 }
 
@@ -84,24 +91,37 @@ severity_breakdown evaluator::evaluate(const incident& inc, const network_state&
 
 reachability_matrix evaluator::build_matrix(const incident& inc) const {
     // Matrix endpoints: every cluster seen as a probe endpoint in the
-    // incident's end-to-end alerts.
-    std::unordered_set<location, location_hash> endpoint_set;
+    // incident's end-to-end alerts, as interned ids (interning the path
+    // for hand-built alerts carrying the sentinel).
+    location_table& table = topo_->locations();
+    const auto endpoint_id = [&table](const location& path, location_id id) {
+        return id != invalid_location_id ? id : table.intern(path);
+    };
+    std::unordered_set<location_id> endpoint_set;
     for (const structured_alert& a : inc.alerts) {
-        if (a.src_loc) endpoint_set.insert(*a.src_loc);
-        if (a.dst_loc) endpoint_set.insert(*a.dst_loc);
+        if (a.src_loc) endpoint_set.insert(endpoint_id(*a.src_loc, a.src_id));
+        if (a.dst_loc) endpoint_set.insert(endpoint_id(*a.dst_loc, a.dst_id));
     }
-    std::vector<location> endpoints(endpoint_set.begin(), endpoint_set.end());
-    std::sort(endpoints.begin(), endpoints.end());
-    reachability_matrix matrix(std::move(endpoints));
+    std::vector<location_id> endpoints(endpoint_set.begin(), endpoint_set.end());
+    // Path order, not id order: focal_point() breaks score ties by
+    // endpoint index, and the pre-interning behaviour sorted by path.
+    std::sort(endpoints.begin(), endpoints.end(), [&table](location_id a, location_id b) {
+        return table.path_of(a) < table.path_of(b);
+    });
+    reachability_matrix matrix(table, std::move(endpoints));
     for (const structured_alert& a : inc.alerts) {
         if (!a.src_loc || !a.dst_loc) continue;
         if (a.metric <= 0.0 || a.metric > 1.0) continue;
-        matrix.record(*a.src_loc, *a.dst_loc, a.metric);
+        matrix.record(endpoint_id(*a.src_loc, a.src_id), endpoint_id(*a.dst_loc, a.dst_id),
+                      a.metric);
     }
     return matrix;
 }
 
 std::optional<location> evaluator::zoom_in(const incident& inc) const {
+    const location_table& table = topo_->locations();
+    const location_id root = root_id_of(inc);
+
     // 1. Reachability-matrix focal point.
     const reachability_matrix matrix = build_matrix(inc);
     if (matrix.size() >= 3) {
@@ -114,14 +134,16 @@ std::optional<location> evaluator::zoom_in(const incident& inc) const {
     //    inside the incident tree.
     // 3. In-band telemetry rate discrepancies, same trace-back.
     for (const char* type_name : {"sflow packet loss", "rate discrepancy", "int packet loss"}) {
-        std::optional<location> common;
+        std::optional<location_id> common;
         bool any = false;
         for (const structured_alert& a : inc.alerts) {
             if (a.type_name != type_name) continue;
             any = true;
-            common = common ? location::common_ancestor(*common, a.loc) : a.loc;
+            const location_id lid =
+                a.loc_id != invalid_location_id ? a.loc_id : topo_->locations().intern(a.loc);
+            common = common ? table.common_ancestor(*common, lid) : lid;
         }
-        if (any && common && inc.root.is_ancestor_of(*common)) return common;
+        if (any && common && table.is_ancestor_of(root, *common)) return table.path_of(*common);
     }
 
     return std::nullopt;  // emergency procedures fall back to inc.root

@@ -72,83 +72,99 @@ locator::locator(const topology* topo, locator_config config)
     if (topo_ == nullptr) throw skynet_error("locator: null topology");
 }
 
+location_id locator::ensure_id(const structured_alert& alert) const {
+    if (alert.loc_id != invalid_location_id) return alert.loc_id;
+    return topo_->locations().intern(alert.loc);
+}
+
 void locator::add_to_main(const structured_alert& alert, sim_time now) {
-    auto [it, inserted] = nodes_.try_emplace(alert.loc);
+    auto [it, inserted] = nodes_.try_emplace(alert.loc_id);
     tree_node& node = it->second;
-    if (inserted) node.loc = alert.loc;
+    if (inserted) {
+        node.loc = alert.loc_id;
+        node.path = &topo_->locations().path_of(alert.loc_id);
+    }
     node.alerts.push_back(stored_alert{.alert = alert, .inserted = now});
     node.last_update = now;
 }
 
 void locator::insert(const structured_alert& alert, sim_time now) {
+    structured_alert a = alert;
+    a.loc_id = ensure_id(alert);
+    const location_table& table = topo_->locations();
     // Algorithm 1: route into matching incident trees first.
     for (incident_state& st : incident_states_) {
         if (st.inc.closed) continue;
-        if (auto it = st.nodes.find(alert.loc); it != st.nodes.end()) {
-            it->second.push_back(stored_alert{.alert = alert, .inserted = now});
-            st.inc.alerts.push_back(alert);
-            st.inc.when.extend(alert.when.end);
+        if (auto it = st.nodes.find(a.loc_id); it != st.nodes.end()) {
+            it->second.push_back(stored_alert{.alert = a, .inserted = now});
+            st.inc.alerts.push_back(a);
+            st.inc.when.extend(a.when.end);
             st.update_time = now;
-        } else if (st.inc.root.contains(alert.loc)) {
-            st.nodes[alert.loc].push_back(stored_alert{.alert = alert, .inserted = now});
-            st.inc.alerts.push_back(alert);
-            st.inc.when.extend(alert.when.end);
+        } else if (table.contains(st.root_id, a.loc_id)) {
+            st.nodes[a.loc_id].push_back(stored_alert{.alert = a, .inserted = now});
+            st.inc.alerts.push_back(a);
+            st.inc.when.extend(a.when.end);
             st.update_time = now;
         }
     }
     // ... and always into the main tree.
-    add_to_main(alert, now);
+    add_to_main(a, now);
 }
 
 void locator::refresh(const structured_alert& alert, sim_time now) {
+    structured_alert a = alert;
+    a.loc_id = ensure_id(alert);
+    const location_table& table = topo_->locations();
     // Consolidation update: same (type, location) alert recurred; extend
     // the stored alert and keep the node alive.
-    if (auto it = nodes_.find(alert.loc); it != nodes_.end()) {
+    if (auto it = nodes_.find(a.loc_id); it != nodes_.end()) {
         it->second.last_update = now;
         for (stored_alert& s : it->second.alerts) {
-            if (s.alert.type == alert.type) {
-                s.alert.when = alert.when;
-                s.alert.count = alert.count;
-                s.alert.metric = alert.metric;
+            if (s.alert.type == a.type) {
+                s.alert.when = a.when;
+                s.alert.count = a.count;
+                s.alert.metric = a.metric;
             }
         }
     } else {
         // Node expired between the original emission and this update:
         // treat as a fresh insertion.
-        add_to_main(alert, now);
+        add_to_main(a, now);
     }
     for (incident_state& st : incident_states_) {
-        if (st.inc.closed || !st.inc.root.contains(alert.loc)) continue;
+        if (st.inc.closed || !table.contains(st.root_id, a.loc_id)) continue;
         st.update_time = now;
-        st.inc.when.extend(alert.when.end);
-        auto it = st.nodes.find(alert.loc);
+        st.inc.when.extend(a.when.end);
+        auto it = st.nodes.find(a.loc_id);
         if (it == st.nodes.end()) continue;
         for (stored_alert& s : it->second) {
-            if (s.alert.type == alert.type) {
-                s.alert.when = alert.when;
-                s.alert.count = alert.count;
-                s.alert.metric = alert.metric;
+            if (s.alert.type == a.type) {
+                s.alert.when = a.when;
+                s.alert.count = a.count;
+                s.alert.metric = a.metric;
             }
         }
-        for (structured_alert& a : st.inc.alerts) {
-            if (a.type == alert.type && a.loc == alert.loc) {
-                a.when = alert.when;
-                a.count = alert.count;
-                a.metric = alert.metric;
+        for (structured_alert& stored : st.inc.alerts) {
+            if (stored.type == a.type && stored.loc_id == a.loc_id) {
+                stored.when = a.when;
+                stored.count = a.count;
+                stored.metric = a.metric;
             }
         }
     }
 }
 
 std::pair<int, int> locator::count_types(const std::vector<const tree_node*>& group) const {
-    std::unordered_set<std::string> failure_keys;
-    std::unordered_set<std::string> all_keys;
+    std::unordered_set<std::uint64_t> failure_keys;
+    std::unordered_set<std::uint64_t> all_keys;
     for (const tree_node* node : group) {
         for (const stored_alert& s : node->alerts) {
-            std::string key = std::to_string(s.alert.type);
-            if (!config_.count_by_type) key += '@' + s.alert.loc.to_string();
+            // (type, interned location) packed into one u64; the location
+            // half is zero in count_by_type mode so a type counts once.
+            std::uint64_t key = static_cast<std::uint64_t>(s.alert.type) << 32;
+            if (!config_.count_by_type) key |= static_cast<std::uint64_t>(s.alert.loc_id);
             all_keys.insert(key);
-            if (s.alert.category == alert_category::failure) failure_keys.insert(std::move(key));
+            if (s.alert.category == alert_category::failure) failure_keys.insert(key);
         }
     }
     return {static_cast<int>(failure_keys.size()), static_cast<int>(all_keys.size())};
@@ -168,6 +184,8 @@ std::vector<std::vector<const locator::tree_node*>> locator::connectivity_groups
     };
     auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
 
+    const location_table& table = topo_->locations();
+
     // Resolve device ids for device-level nodes.
     std::vector<std::optional<device_id>> dev(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -177,27 +195,27 @@ std::vector<std::vector<const locator::tree_node*>> locator::connectivity_groups
                 break;
             }
         }
-        if (!dev[i] && members[i]->loc.level() == hierarchy_level::device) {
-            dev[i] = topo_->find_device(members[i]->loc.leaf());
+        if (!dev[i] && table.level_of(members[i]->loc) == hierarchy_level::device) {
+            dev[i] = topo_->find_device(table.segment_of(members[i]->loc));
         }
     }
 
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
-            const location& li = members[i]->loc;
-            const location& lj = members[j]->loc;
+            const location_id li = members[i]->loc;
+            const location_id lj = members[j]->loc;
             // Aggregate glue: containment joins.
-            if (li.contains(lj) || lj.contains(li)) {
+            if (table.contains(li, lj) || table.contains(lj, li)) {
                 unite(i, j);
                 continue;
             }
             if (dev[i] && dev[j]) {
-                const location ci =
-                    topo_->device_at(*dev[i]).loc.ancestor_at(hierarchy_level::cluster);
-                const location cj =
-                    topo_->device_at(*dev[j]).loc.ancestor_at(hierarchy_level::cluster);
+                const location_id ci =
+                    table.ancestor_at(topo_->device_at(*dev[i]).loc_id, hierarchy_level::cluster);
+                const location_id cj =
+                    table.ancestor_at(topo_->device_at(*dev[j]).loc_id, hierarchy_level::cluster);
                 const bool same_cluster =
-                    ci.depth() == depth_of(hierarchy_level::cluster) && ci == cj;
+                    table.depth(ci) == depth_of(hierarchy_level::cluster) && ci == cj;
                 if (same_cluster || topo_->adjacent(*dev[i], *dev[j])) unite(i, j);
             }
         }
@@ -209,7 +227,7 @@ std::vector<std::vector<const locator::tree_node*>> locator::connectivity_groups
     out.reserve(by_root.size());
     for (auto& [root, group] : by_root) out.push_back(std::move(group));
     std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-        return a.front()->loc < b.front()->loc;
+        return *a.front()->path < *b.front()->path;
     });
     return out;
 }
@@ -238,34 +256,42 @@ std::uint64_t stable_incident_id(const location& root, sim_time now) {
 }  // namespace
 
 void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_time now) {
-    location root = group.front()->loc;
-    for (const tree_node* node : group) root = location::common_ancestor(root, node->loc);
+    const location_table& table = topo_->locations();
+    location_id root = group.front()->loc;
+    for (const tree_node* node : group) root = table.common_ancestor(root, node->loc);
 
     // Algorithm 2 lines 2-3: the root already has an incident tree — or
     // sits inside one, whose tree is already absorbing these alerts
     // (nested incident trees would double-report).
     for (const incident_state& st : incident_states_) {
-        if (!st.inc.closed && st.inc.root.contains(root)) return;
+        if (!st.inc.closed && table.contains(st.root_id, root)) return;
     }
 
     incident_state st;
-    st.inc.id =
-        config_.deterministic_ids ? stable_incident_id(root, now) : next_incident_id_++;
-    st.inc.root = root;
+    st.inc.id = config_.deterministic_ids ? stable_incident_id(table.path_of(root), now)
+                                          : next_incident_id_++;
+    st.inc.root = table.path_of(root);
+    st.inc.root_id = root;
+    st.root_id = root;
     st.update_time = now;
 
-    // Replicate the subtree beneath the root from the main tree.
+    // Replicate the subtree beneath the root from the main tree, in path
+    // order so the incident's alert list (and the fp accumulations
+    // downstream of it) is independent of hash-map layout.
+    std::vector<const tree_node*> subtree;
+    for (const auto& [loc, node] : nodes_) {
+        if (table.contains(root, loc)) subtree.push_back(&node);
+    }
+    std::sort(subtree.begin(), subtree.end(),
+              [](const tree_node* a, const tree_node* b) { return *a->path < *b->path; });
     sim_time begin = now;
     sim_time end = 0;
     std::size_t total_alerts = 0;
-    for (const auto& [loc, node] : nodes_) {
-        if (root.contains(loc)) total_alerts += node.alerts.size();
-    }
+    for (const tree_node* node : subtree) total_alerts += node->alerts.size();
     st.inc.alerts.reserve(total_alerts);
-    for (const auto& [loc, node] : nodes_) {
-        if (!root.contains(loc)) continue;
-        st.nodes.emplace(loc, node.alerts);
-        for (const stored_alert& s : node.alerts) {
+    for (const tree_node* node : subtree) {
+        st.nodes.emplace(node->loc, node->alerts);
+        for (const stored_alert& s : node->alerts) {
             st.inc.alerts.push_back(s.alert);
             begin = std::min(begin, s.alert.when.begin);
             end = std::max(end, s.alert.when.end);
@@ -274,8 +300,8 @@ void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_tim
     st.inc.when = time_range{begin, std::max(begin, end)};
 
     // Algorithm 2 lines 7-9: absorb incidents rooted inside the subtree.
-    std::erase_if(incident_states_, [&root](const incident_state& old) {
-        return !old.inc.closed && root.contains(old.inc.root) && old.inc.root != root;
+    std::erase_if(incident_states_, [&root, &table](const incident_state& old) {
+        return !old.inc.closed && table.contains(root, old.root_id) && old.root_id != root;
     });
 
     incident_states_.push_back(std::move(st));
@@ -292,11 +318,15 @@ std::vector<incident> locator::check(sim_time now) {
     }
 
     // Algorithm 2: group alert-bearing nodes, check thresholds, spawn.
+    // Path-sorted so grouping and spawn order are independent of the
+    // node map's hash layout.
     std::vector<const tree_node*> members;
     members.reserve(nodes_.size());
     for (const auto& [loc, node] : nodes_) {
         if (!node.alerts.empty()) members.push_back(&node);
     }
+    std::sort(members.begin(), members.end(),
+              [](const tree_node* a, const tree_node* b) { return *a->path < *b->path; });
     std::vector<std::vector<const tree_node*>> groups;
     if (config_.use_connectivity) {
         groups = connectivity_groups(std::move(members));

@@ -1,6 +1,7 @@
 #include "skynet/core/preprocessor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "skynet/common/error.h"
 
@@ -24,6 +25,17 @@ std::optional<structured_alert> preprocessor::to_structured(const raw_alert& raw
     s.src_loc = raw.src_loc;
     s.dst_loc = raw.dst_loc;
 
+    // Intern at the boundary: monitors pass ids through, trace-replayed
+    // alerts arrive with the sentinel and get interned here once.
+    location_table& table = topo_->locations();
+    s.loc_id = (raw.loc_id != invalid_location_id) ? raw.loc_id : table.intern(raw.loc);
+    if (raw.src_loc) {
+        s.src_id = (raw.src_id != invalid_location_id) ? raw.src_id : table.intern(*raw.src_loc);
+    }
+    if (raw.dst_loc) {
+        s.dst_id = (raw.dst_id != invalid_location_id) ? raw.dst_id : table.intern(*raw.dst_loc);
+    }
+
     std::string type_name = raw.kind;
     if (raw.source == data_source::syslog) {
         // Free text: recover the type through the FT-tree templates.
@@ -43,16 +55,18 @@ std::optional<structured_alert> preprocessor::to_structured(const raw_alert& raw
     return s;
 }
 
-std::string preprocessor::key_of(const structured_alert& alert) {
-    return std::to_string(alert.type) + '@' + alert.loc.to_string();
+std::uint64_t preprocessor::key_of(const structured_alert& alert) {
+    return (static_cast<std::uint64_t>(alert.type) << 32) |
+           static_cast<std::uint64_t>(alert.loc_id);
 }
 
-bool preprocessor::corroborated(const location& loc, sim_time now) const {
+bool preprocessor::corroborated(location_id loc, sim_time now) const {
+    const location_table& table = topo_->locations();
     for (const sighting& s : sightings_) {
         if (now - s.at > config_.correlation_window) continue;
         // Corroboration counts when the witnesses share scope: one
         // contains the other.
-        if (s.loc.contains(loc) || loc.contains(s.loc)) return true;
+        if (table.contains(s.loc, loc) || table.contains(loc, s.loc)) return true;
     }
     return false;
 }
@@ -60,13 +74,13 @@ bool preprocessor::corroborated(const location& loc, sim_time now) const {
 void preprocessor::note_sighting(const structured_alert& alert, sim_time now) {
     if (alert.category == alert_category::failure ||
         alert.category == alert_category::root_cause) {
-        sightings_.push_back(sighting{.loc = alert.loc, .at = now});
+        sightings_.push_back(sighting{.loc = alert.loc_id, .at = now});
     }
 }
 
 void preprocessor::emit(structured_alert alert, sim_time now, std::vector<preprocess_event>& out) {
     note_sighting(alert, now);
-    const std::string key = key_of(alert);
+    const std::uint64_t key = key_of(alert);
     auto [it, inserted] = open_.try_emplace(key);
     if (inserted || now - it->second.last_seen > config_.dedup_window) {
         it->second = open_alert{.alert = alert, .last_seen = now};
@@ -99,7 +113,7 @@ void preprocessor::route(structured_alert alert, sim_time now,
     const bool liveness_probe =
         alert.source == data_source::out_of_band && alert.type_name == "device inaccessible";
     if ((probe_loss || liveness_probe) && config_.persistence_threshold > 1) {
-        const std::string key = key_of(alert);
+        const std::uint64_t key = key_of(alert);
         auto [it, inserted] = pending_persistence_.try_emplace(
             key, pending_alert{.alert = alert, .occurrences = 0, .first_seen = now, .last_seen = now});
         pending_alert& p = it->second;
@@ -126,7 +140,7 @@ void preprocessor::route(structured_alert alert, sim_time now,
     // Cross-source rule: a traffic drop alone is expected behaviour.
     const bool is_traffic_drop = alert.type_name == "traffic drop";
     if (is_traffic_drop && config_.cross_source) {
-        if (corroborated(alert.loc, now)) {
+        if (corroborated(alert.loc_id, now)) {
             // Reclassify: the combination means an abnormal decline.
             if (const auto id = registry_->find(data_source::traffic_stats,
                                                 "abnormal traffic decline")) {
@@ -138,7 +152,7 @@ void preprocessor::route(structured_alert alert, sim_time now,
             emit(std::move(alert), now, out);
             return;
         }
-        const std::string key = key_of(alert);
+        const std::uint64_t key = key_of(alert);
         auto [it, inserted] = pending_correlation_.try_emplace(
             key, pending_alert{.alert = alert, .occurrences = 1, .first_seen = now, .last_seen = now});
         if (!inserted) {
@@ -152,13 +166,15 @@ void preprocessor::route(structured_alert alert, sim_time now,
     // paths around it; merge a surge into any open surge at an adjacent
     // (ancestor/descendant/sibling-parent) location.
     if (config_.consolidate_related && alert.type_name == "traffic surge") {
+        const location_table& table = topo_->locations();
         for (auto& [key, open] : open_) {
             if (open.alert.type_name != "traffic surge") continue;
             if (now - open.last_seen > config_.persistence_window) continue;
-            const location& other = open.alert.loc;
-            const bool adjacent = other.contains(alert.loc) || alert.loc.contains(other) ||
-                                  other.parent() == alert.loc.parent();
-            if (adjacent && other != alert.loc) {
+            const location_id other = open.alert.loc_id;
+            const bool adjacent = table.contains(other, alert.loc_id) ||
+                                  table.contains(alert.loc_id, other) ||
+                                  table.parent_of(other) == table.parent_of(alert.loc_id);
+            if (adjacent && other != alert.loc_id) {
                 open.alert.count += 1;
                 open.alert.when.extend(alert.when.end);
                 open.last_seen = now;
@@ -192,6 +208,7 @@ std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_ti
             if (d.role == device_role::isp) continue;  // outside our hierarchy
             structured_alert split = *structured;
             split.loc = d.loc;
+            split.loc_id = d.loc_id;
             split.device = endpoint;
             route(std::move(split), now, out);
         }
@@ -202,12 +219,18 @@ std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_ti
     // "link" is the path between the endpoints — so they split onto both
     // endpoint locations too (§4.1), instead of landing at a coarse
     // common ancestor that would weld unrelated incidents together.
+    const location_table& table = topo_->locations();
     if (config_.split_link_alerts && structured->src_loc && structured->dst_loc &&
-        structured->loc.is_ancestor_of(*structured->src_loc) &&
-        structured->loc.is_ancestor_of(*structured->dst_loc)) {
-        for (const location* endpoint : {&*structured->src_loc, &*structured->dst_loc}) {
+        table.is_ancestor_of(structured->loc_id, structured->src_id) &&
+        table.is_ancestor_of(structured->loc_id, structured->dst_id)) {
+        const std::pair<const location*, location_id> endpoints[] = {
+            {&*structured->src_loc, structured->src_id},
+            {&*structured->dst_loc, structured->dst_id},
+        };
+        for (const auto& [endpoint, endpoint_id] : endpoints) {
             structured_alert split = *structured;
             split.loc = *endpoint;
+            split.loc_id = endpoint_id;
             route(std::move(split), now, out);
         }
         return out;
@@ -224,7 +247,7 @@ std::vector<preprocess_event> preprocessor::flush(sim_time now) {
     // released, expired loners are discarded.
     for (auto it = pending_correlation_.begin(); it != pending_correlation_.end();) {
         pending_alert& p = it->second;
-        if (corroborated(p.alert.loc, now)) {
+        if (corroborated(p.alert.loc_id, now)) {
             structured_alert alert = p.alert;
             if (const auto id =
                     registry_->find(data_source::traffic_stats, "abnormal traffic decline")) {

@@ -72,28 +72,29 @@ void sharded_engine::worker_loop(shard& s) {
     }
 }
 
-std::size_t sharded_engine::shard_of(const raw_alert& raw) {
-    std::string_view region;
-    if (!raw.loc.is_root()) {
-        region = raw.loc.segments().front();
-    } else if (raw.device && topo_ != nullptr) {
+std::size_t sharded_engine::shard_of(const raw_alert& raw, location_id& interned) {
+    location_table& table = topo_->locations();
+    interned = (raw.loc_id != invalid_location_id) ? raw.loc_id : table.intern(raw.loc);
+    location_id region = table.region_of(interned);
+    if (region == root_location_id && raw.device && topo_ != nullptr) {
         // Device-attributed alert with an unset location: fall back to
         // the device's home region.
-        const location& loc = topo_->device_at(*raw.device).loc;
-        if (!loc.is_root()) region = loc.segments().front();
+        region = table.region_of(topo_->device_at(*raw.device).loc_id);
     }
-    // Unattributable (cross-region / global) alerts share one shard so
-    // their relative order is preserved.
-    auto it = region_to_shard_.find(std::string(region));
+    // Unattributable (cross-region / global) alerts share one shard —
+    // the root id's bucket — so their relative order is preserved.
+    auto it = region_to_shard_.find(region);
     if (it != region_to_shard_.end()) return it->second;
     const std::size_t idx = next_region_shard_++ % shards_.size();
-    region_to_shard_.emplace(std::string(region), idx);
+    region_to_shard_.emplace(region, idx);
     return idx;
 }
 
-void sharded_engine::append(std::size_t idx, const raw_alert& raw, sim_time now) {
+void sharded_engine::append(std::size_t idx, const raw_alert& raw, location_id interned,
+                            sim_time now) {
     shard& s = *shards_[idx];
     s.pending.push_back(traced_alert{.alert = raw, .arrival = now});
+    s.pending.back().alert.loc_id = interned;
     if (s.pending.size() >= config_.max_ingest_batch) {
         command cmd;
         cmd.what = command::op::ingest;
@@ -136,17 +137,27 @@ void sharded_engine::sync() {
 }
 
 void sharded_engine::ingest(const raw_alert& raw, sim_time now) {
-    append(shard_of(raw), raw, now);
+    location_id lid = invalid_location_id;
+    const std::size_t idx = shard_of(raw, lid);
+    append(idx, raw, lid, now);
 }
 
 void sharded_engine::ingest_batch(std::span<const raw_alert> batch, sim_time now) {
     ++batches_in_;
-    for (const raw_alert& raw : batch) append(shard_of(raw), raw, now);
+    for (const raw_alert& raw : batch) {
+        location_id lid = invalid_location_id;
+        const std::size_t idx = shard_of(raw, lid);
+        append(idx, raw, lid, now);
+    }
 }
 
 void sharded_engine::ingest_batch(std::span<const traced_alert> batch) {
     ++batches_in_;
-    for (const traced_alert& t : batch) append(shard_of(t.alert), t.alert, t.arrival);
+    for (const traced_alert& t : batch) {
+        location_id lid = invalid_location_id;
+        const std::size_t idx = shard_of(t.alert, lid);
+        append(idx, t.alert, lid, t.arrival);
+    }
 }
 
 void sharded_engine::tick(sim_time now, const network_state& state) {

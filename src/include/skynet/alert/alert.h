@@ -46,6 +46,11 @@ struct raw_alert {
     /// tools report an aggregate location (e.g. common ancestor of the
     /// probe endpoints); device tools report the device location.
     location loc;
+    /// `loc` interned in the emitting topology's location table. Monitors
+    /// set this directly (they hold the topology); alerts parsed from
+    /// traces arrive with the sentinel and are interned by the
+    /// preprocessor on ingest.
+    location_id loc_id{invalid_location_id};
     /// Set when the alert is attributable to a single device.
     std::optional<device_id> device;
     /// Set when the alert concerns a link; the preprocessor splits it into
@@ -56,6 +61,9 @@ struct raw_alert {
     /// Endpoints for end-to-end probes (reachability matrix input).
     std::optional<location> src_loc;
     std::optional<location> dst_loc;
+    /// Interned probe endpoints (same convention as loc_id).
+    location_id src_id{invalid_location_id};
+    location_id dst_id{invalid_location_id};
 };
 
 /// The uniform format every data source is converted into: when, where,
@@ -69,6 +77,10 @@ struct structured_alert {
     /// occurrence (the "duration" attribute of §4.1).
     time_range when;
     location loc;
+    /// `loc` interned in the pipeline's location table; the key every
+    /// downstream stage (locator trees, evaluator memo, reachability
+    /// index) uses instead of the string path.
+    location_id loc_id{invalid_location_id};
     /// Occurrences consolidated into this alert.
     int count{1};
     /// Representative metric (e.g. mean packet-loss ratio).
@@ -78,6 +90,9 @@ struct structured_alert {
     /// evaluator can build reachability matrices (Figure 7).
     std::optional<location> src_loc;
     std::optional<location> dst_loc;
+    /// Interned probe endpoints (same convention as loc_id).
+    location_id src_id{invalid_location_id};
+    location_id dst_id{invalid_location_id};
 };
 
 }  // namespace skynet

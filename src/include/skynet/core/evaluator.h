@@ -79,15 +79,19 @@ public:
     [[nodiscard]] const evaluator_config& config() const noexcept { return config_; }
 
 private:
+    /// The incident root's interned id; interns the root path for
+    /// hand-built incidents that carry the sentinel.
+    [[nodiscard]] location_id root_id_of(const incident& inc) const;
+
     const topology* topo_;
     const customer_registry* customers_;
     evaluator_config config_;
     /// related_circuit_sets depends only on the incident root (the
     /// topology is immutable), and live scoring re-evaluates every open
-    /// incident each tick — memoizing by root turns the per-evaluation
-    /// full circuit-set scan into a hash lookup.
-    mutable std::unordered_map<location, std::vector<circuit_set_id>, location_hash>
-        related_cache_;
+    /// incident each tick — memoizing by the root's interned id turns
+    /// the per-evaluation full circuit-set scan into an integer-keyed
+    /// hash lookup.
+    mutable std::unordered_map<location_id, std::vector<circuit_set_id>> related_cache_;
 };
 
 }  // namespace skynet

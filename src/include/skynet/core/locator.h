@@ -70,6 +70,9 @@ struct incident {
     std::uint64_t id{0};
     /// Root of the incident tree.
     location root;
+    /// `root` interned in the owning topology's location table; the
+    /// sentinel for hand-built incidents (consumers intern `root` then).
+    location_id root_id{invalid_location_id};
     time_range when;
     std::vector<structured_alert> alerts;
     bool closed{false};
@@ -119,17 +122,24 @@ private:
         sim_time inserted{0};
     };
     struct tree_node {
-        location loc;
+        location_id loc{invalid_location_id};
+        /// Table-owned path (stable for the table's lifetime); kept for
+        /// the path-ordered sorts that make spawn order deterministic.
+        const location* path{nullptr};
         std::vector<stored_alert> alerts;
         sim_time last_update{0};
     };
     struct incident_state {
         incident inc;
+        location_id root_id{root_location_id};
         sim_time update_time{0};
-        /// Locations (node keys) belonging to this incident tree.
-        std::unordered_map<location, std::vector<stored_alert>, location_hash> nodes;
+        /// Interned locations (node keys) belonging to this incident tree.
+        std::unordered_map<location_id, std::vector<stored_alert>> nodes;
     };
 
+    /// The alert's interned id; interns its string path when the caller
+    /// (e.g. a test building alerts by hand) left the sentinel.
+    [[nodiscard]] location_id ensure_id(const structured_alert& alert) const;
     void add_to_main(const structured_alert& alert, sim_time now);
     /// Counts distinct failure types and total types among the alerts of
     /// the given nodes; with count_by_type disabled, counts distinct
@@ -145,7 +155,7 @@ private:
 
     const topology* topo_;
     locator_config config_;
-    std::unordered_map<location, tree_node, location_hash> nodes_;
+    std::unordered_map<location_id, tree_node> nodes_;
     std::vector<incident_state> incident_states_;
     std::uint64_t next_incident_id_{1};
 };

@@ -14,6 +14,7 @@
 // link alerts are split onto both endpoint devices.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <string>
@@ -125,22 +126,25 @@ private:
     /// Recent failure/root-cause sightings used for cross-source
     /// corroboration, pruned by time.
     struct sighting {
-        location loc;
+        location_id loc{invalid_location_id};
         sim_time at{0};
     };
 
     /// Converts one raw alert into (type, category, location); nullopt
-    /// when the alert cannot be classified (dropped).
+    /// when the alert cannot be classified (dropped). Interns the
+    /// location (and probe endpoints) so every downstream stage keys on
+    /// ids.
     [[nodiscard]] std::optional<structured_alert> to_structured(const raw_alert& raw) const;
 
-    [[nodiscard]] static std::string key_of(const structured_alert& alert);
+    /// Consolidation key: (type, interned location) packed into one u64.
+    [[nodiscard]] static std::uint64_t key_of(const structured_alert& alert);
 
     /// Routes a classified alert through dedup / persistence /
     /// correlation; appends outputs.
     void route(structured_alert alert, sim_time now, std::vector<preprocess_event>& out);
 
     void emit(structured_alert alert, sim_time now, std::vector<preprocess_event>& out);
-    [[nodiscard]] bool corroborated(const location& loc, sim_time now) const;
+    [[nodiscard]] bool corroborated(location_id loc, sim_time now) const;
     void note_sighting(const structured_alert& alert, sim_time now);
 
     const topology* topo_;
@@ -150,9 +154,9 @@ private:
     preprocessor_config config_;
     preprocessor_stats stats_;
 
-    std::unordered_map<std::string, open_alert> open_;
-    std::unordered_map<std::string, pending_alert> pending_persistence_;
-    std::unordered_map<std::string, pending_alert> pending_correlation_;
+    std::unordered_map<std::uint64_t, open_alert> open_;
+    std::unordered_map<std::uint64_t, pending_alert> pending_persistence_;
+    std::unordered_map<std::uint64_t, pending_alert> pending_correlation_;
     std::deque<sighting> sightings_;
 };
 

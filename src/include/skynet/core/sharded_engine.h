@@ -129,9 +129,12 @@ private:
     };
 
     void worker_loop(shard& s);
-    /// Shard owning the alert's region ("" groups unattributable alerts).
-    [[nodiscard]] std::size_t shard_of(const raw_alert& raw);
-    void append(std::size_t idx, const raw_alert& raw, sim_time now);
+    /// Shard owning the alert's region, keyed by the interned region id
+    /// (the root id groups unattributable alerts). Also interns the
+    /// alert's full location into `interned` so the shard's preprocessor
+    /// skips the string walk.
+    [[nodiscard]] std::size_t shard_of(const raw_alert& raw, location_id& interned);
+    void append(std::size_t idx, const raw_alert& raw, location_id interned, sim_time now);
     void submit(shard& s, command cmd);
     void flush_pending();
     /// Waits until every shard has executed everything submitted to it.
@@ -143,7 +146,7 @@ private:
     /// For routing device-attributed alerts whose location is unset.
     const topology* topo_{nullptr};
     std::vector<std::unique_ptr<shard>> shards_;
-    std::unordered_map<std::string, std::size_t> region_to_shard_;
+    std::unordered_map<location_id, std::size_t> region_to_shard_;
     std::size_t next_region_shard_{0};
     std::uint64_t ticks_{0};
     std::uint64_t batches_in_{0};

@@ -42,7 +42,12 @@ private:
     config cfg_;
     monitor_options opts_;
     /// (ISP vantage, target cluster) probe pairs.
-    std::vector<std::pair<device_id, location>> probes_;
+    struct probe_target {
+        device_id isp{invalid_device};
+        location cluster;
+        location_id cluster_id{invalid_location_id};
+    };
+    std::vector<probe_target> probes_;
 };
 
 /// SRTE label-based reachability tester: steers a test packet over every

@@ -1,6 +1,7 @@
 // End-to-end probing tools: ping mesh, traceroute, internet telemetry.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,8 @@ private:
     config cfg_;
     monitor_options opts_;
     std::vector<location> clusters_;
+    /// Interned ids of clusters_, same order (alerts carry ids directly).
+    std::vector<location_id> cluster_ids_;
 };
 
 /// Periodic traceroute between sampled pairs; detects path changes against
@@ -59,8 +62,10 @@ private:
     config cfg_;
     monitor_options opts_;
     std::vector<location> clusters_;
-    /// Baseline path signature per "src|dst" key.
-    std::unordered_map<std::string, std::vector<device_id>> baseline_paths_;
+    /// Interned ids of clusters_, same order.
+    std::vector<location_id> cluster_ids_;
+    /// Baseline path signature per (src id, dst id) pair.
+    std::unordered_map<std::uint64_t, std::vector<device_id>> baseline_paths_;
 };
 
 /// Pings Internet addresses from DC servers: per logic site, probes from a
@@ -84,8 +89,12 @@ private:
     const topology* topo_;
     config cfg_;
     monitor_options opts_;
-    /// (logic site, its region's ISP device).
-    std::vector<std::pair<location, device_id>> probes_;
+    struct probe_target {
+        location ls;          ///< logic site path (message rendering)
+        location_id ls_id{invalid_location_id};
+        device_id isp{invalid_device};  ///< its region's ISP peer
+    };
+    std::vector<probe_target> probes_;
 };
 
 }  // namespace skynet

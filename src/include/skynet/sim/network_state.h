@@ -54,6 +54,9 @@ struct route_incident {
     enum class kind : std::uint8_t { default_route_loss, aggregate_route_loss, hijack, leak, churn };
     kind what{kind::churn};
     location where;
+    /// `where` interned in the topology's location table (scenarios set
+    /// it; the sentinel means "not interned yet").
+    location_id where_id{invalid_location_id};
     sim_time since{0};
 };
 
@@ -61,6 +64,8 @@ struct route_incident {
 /// modification-events source reports.
 struct modification_event {
     location where;
+    /// `where` interned in the topology's location table.
+    location_id where_id{invalid_location_id};
     bool failed{false};
     bool rolled_back{false};
     sim_time at{0};
@@ -137,6 +142,9 @@ public:
     /// A stable probing endpoint inside a cluster (its first ToR);
     /// nullopt when the cluster has no devices.
     [[nodiscard]] std::optional<device_id> representative(const location& cluster) const;
+    /// Id-keyed variant: containment checks are pointer chases in the
+    /// topology's location table instead of segment compares.
+    [[nodiscard]] std::optional<device_id> representative(location_id cluster) const;
 
     /// Initializes baseline traffic: every circuit set loaded to
     /// `baseline_util` of capacity, every SLA flow to 70 % of commitment.

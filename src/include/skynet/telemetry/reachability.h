@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "skynet/topology/location.h"
+#include "skynet/topology/location_table.h"
 
 namespace skynet {
 
@@ -22,13 +23,24 @@ public:
     /// from cluster to region").
     explicit reachability_matrix(std::vector<location> endpoints);
 
+    /// Id-keyed variant: endpoints are interned ids resolved against
+    /// `table` (paths are materialized once here, so rendering and the
+    /// legacy location-keyed accessors still work).
+    reachability_matrix(const location_table& table, std::vector<location_id> endpoints);
+
     [[nodiscard]] const std::vector<location>& endpoints() const noexcept { return endpoints_; }
+    /// Interned endpoint ids; empty when built from string paths.
+    [[nodiscard]] const std::vector<location_id>& endpoint_ids() const noexcept {
+        return endpoint_ids_;
+    }
     [[nodiscard]] std::size_t size() const noexcept { return endpoints_.size(); }
 
     /// Records a probe result: loss ratio in [0, 1] for src -> dst.
     /// Repeated records for the same pair average. Unknown endpoints are
     /// ignored (probes from outside the matrix scope).
     void record(const location& src, const location& dst, double loss_ratio);
+    /// Id-keyed record; only resolvable on an id-built matrix.
+    void record(location_id src, location_id dst, double loss_ratio);
 
     /// Mean observed loss ratio for the pair; 0 when never probed.
     [[nodiscard]] double at(std::size_t src_index, std::size_t dst_index) const;
@@ -54,9 +66,12 @@ private:
     };
 
     [[nodiscard]] std::optional<std::size_t> index_of(const location& loc) const;
+    [[nodiscard]] std::optional<std::size_t> index_of(location_id id) const;
 
     std::vector<location> endpoints_;
+    std::vector<location_id> endpoint_ids_;
     std::unordered_map<location, std::size_t, location_hash> index_;
+    std::unordered_map<location_id, std::size_t> id_index_;
     std::vector<cell> cells_;  // row-major size() x size()
 };
 

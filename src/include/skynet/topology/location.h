@@ -89,7 +89,10 @@ private:
     std::vector<std::string> segments_;
 };
 
-/// Hash support so locations can key unordered containers.
+/// Hash support so locations can key unordered containers. Boundary
+/// code only — the pipeline proper keys on interned `location_id`s
+/// (see skynet/topology/location_table.h). Mixes per-segment hashes
+/// with a proper combiner so permuted segments do not collide.
 struct location_hash {
     [[nodiscard]] std::size_t operator()(const location& loc) const noexcept;
 };

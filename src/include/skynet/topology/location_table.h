@@ -1,0 +1,133 @@
+// Interned hierarchy locations: the location_table.
+//
+// Every layer of the pipeline used to key on `skynet::location` — a
+// vector of path segments that is deep-copied on insert, re-hashed
+// segment-by-segment on every lookup, and compared lexicographically on
+// every ancestor walk. The table interns each distinct path once and
+// hands out a dense `location_id` (u32, root = 0) with a parent pointer
+// and cached depth, so the hot tree operations — parent(), ancestor_at(),
+// contains(), common_ancestor() — become O(depth) pointer chases with
+// zero allocation, and hashing/equality a single integer op.
+//
+// Invariants (see DESIGN.md "Location interning"):
+//   * ids are dense: 0 .. size()-1, assigned in first-intern order;
+//   * id 0 is the root (empty path); every other entry's parent id is
+//     strictly smaller than its own id (parents are interned first);
+//   * entries are immutable once created — the cached path reference
+//     returned by path_of() stays valid for the table's lifetime;
+//   * ids are table-local: two tables intern the same path to different
+//     ids, so ids must never cross table boundaries (reports compare by
+//     path, not id).
+//
+// String paths survive only at the I/O boundary (trace parsing,
+// serialization, viz, CLI rendering); everything in between carries ids.
+//
+// Thread safety: interning and lookups may race across threads (the
+// sharded engine's caller routes by region while shard workers intern
+// derived paths); all operations are guarded by a shared mutex —
+// readers take it shared, a miss during intern upgrades to exclusive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "skynet/topology/location.h"
+
+namespace skynet {
+
+/// Dense identifier of an interned location path. Table-local: never
+/// compare ids that came from different tables.
+using location_id = std::uint32_t;
+
+/// The implicit global root (empty path) is always entry 0.
+inline constexpr location_id root_location_id = 0;
+
+/// "Not interned yet" sentinel carried by alerts at the I/O boundary.
+inline constexpr location_id invalid_location_id = 0xffffffffu;
+
+class location_table {
+public:
+    location_table();
+
+    location_table(const location_table& other);
+    location_table& operator=(const location_table& other);
+    location_table(location_table&& other) noexcept;
+    location_table& operator=(location_table&& other) noexcept;
+
+    /// Interns the full path, creating any missing ancestors. Returns the
+    /// existing id when the path is already known.
+    location_id intern(const location& loc);
+
+    /// Interns one child step below an already-interned parent.
+    location_id intern_child(location_id parent, std::string_view segment);
+
+    /// Id of an already-interned path; nullopt when never interned.
+    [[nodiscard]] std::optional<location_id> find(const location& loc) const;
+
+    /// The materialized path (cached at intern time; the reference stays
+    /// valid for the table's lifetime).
+    [[nodiscard]] const location& path_of(location_id id) const;
+
+    /// Last path segment; empty for the root.
+    [[nodiscard]] std::string_view segment_of(location_id id) const;
+
+    /// One level up; the root's parent is the root (mirrors
+    /// location::parent()).
+    [[nodiscard]] location_id parent_of(location_id id) const;
+
+    [[nodiscard]] std::size_t depth(location_id id) const;
+    [[nodiscard]] hierarchy_level level_of(location_id id) const;
+
+    /// Prefix of `id` truncated at `level` (no-op if already at or above).
+    [[nodiscard]] location_id ancestor_at(location_id id, hierarchy_level level) const;
+
+    /// Region-level ancestor; the root maps to itself.
+    [[nodiscard]] location_id region_of(location_id id) const {
+        return ancestor_at(id, hierarchy_level::region);
+    }
+
+    /// True if `anc` is `desc` or one of its ancestors.
+    [[nodiscard]] bool contains(location_id anc, location_id desc) const;
+
+    /// True if `anc` is a *proper* ancestor of `desc`.
+    [[nodiscard]] bool is_ancestor_of(location_id anc, location_id desc) const;
+
+    /// Deepest common prefix of the two paths.
+    [[nodiscard]] location_id common_ancestor(location_id a, location_id b) const;
+
+    /// Number of interned paths (including the root).
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    struct sv_hash {
+        using is_transparent = void;
+        [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct entry {
+        location_id parent{root_location_id};
+        std::uint32_t depth{0};
+        std::string segment;
+        /// Full path, cached so path_of() is a pointer dereference.
+        location path;
+        /// Children by segment; the interner's walk structure.
+        std::unordered_map<std::string, location_id, sv_hash, std::equal_to<>> children;
+    };
+
+    // Lock-free variants used internally while a lock is already held.
+    [[nodiscard]] location_id ancestor_at_unlocked(location_id id, std::size_t want) const;
+    void check_id(location_id id) const;
+
+    mutable std::shared_mutex mutex_;
+    /// Deque: entry addresses are stable across growth, so references
+    /// returned by path_of()/segment_of() never dangle.
+    std::deque<entry> entries_;
+};
+
+}  // namespace skynet

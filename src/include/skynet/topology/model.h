@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "skynet/topology/location.h"
+#include "skynet/topology/location_table.h"
 
 namespace skynet {
 
@@ -52,6 +53,9 @@ struct device {
     /// the final segment (so `loc.parent()` is the containing cluster /
     /// site / logic site).
     location loc;
+    /// `loc` interned in the owning topology's location table
+    /// (topology::locations()); monitors emit this id on their alerts.
+    location_id loc_id{invalid_location_id};
     group_id group{invalid_group};
     /// Older devices with weak CPUs deliver SNMP alerts with up to ~2 min
     /// delay (§4.2's motivation for the 5-minute node timeout).

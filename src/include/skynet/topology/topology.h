@@ -45,12 +45,24 @@ public:
     [[nodiscard]] std::optional<device_id> find_device(std::string_view name) const;
 
     // --- hierarchy queries ----------------------------------------------
+    /// The topology-owned location interner. Every device path (and its
+    /// ancestors) is interned at add_device time; alert producers and
+    /// the pipeline carry the resulting ids instead of string paths.
+    /// Mutable through a const topology: interning is memoization — the
+    /// set of *paths* never changes meaning, only gains dense ids.
+    [[nodiscard]] location_table& locations() const noexcept { return locations_; }
+
     /// Devices whose location is under (or at) `loc`.
     [[nodiscard]] std::vector<device_id> devices_under(const location& loc) const;
+    [[nodiscard]] std::vector<device_id> devices_under(location_id scope) const;
 
     /// All cluster-level locations under `loc` (used for reachability
     /// matrices).
     [[nodiscard]] std::vector<location> clusters_under(const location& loc) const;
+
+    /// Interned ids of the cluster-level locations under `scope`, in the
+    /// same (path-sorted) order clusters_under() returns.
+    [[nodiscard]] std::vector<location_id> cluster_ids_under(location_id scope) const;
 
     // --- graph queries ----------------------------------------------------
     /// Links incident to `d`.
@@ -84,6 +96,8 @@ private:
     std::vector<std::vector<link_id>> links_by_device_;
     std::vector<std::vector<circuit_set_id>> csets_by_device_;
     std::unordered_map<std::string, device_id> device_by_name_;
+    /// See locations(). Mutable: interning through a const topology.
+    mutable location_table locations_;
 };
 
 }  // namespace skynet

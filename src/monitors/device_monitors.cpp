@@ -13,6 +13,7 @@ raw_alert device_alert(data_source src, const device& dev, std::string kind, std
     a.kind = std::move(kind);
     a.message = std::move(message);
     a.loc = dev.loc;
+    a.loc_id = dev.loc_id;
     a.device = dev.id;
     a.metric = metric;
     return a;
@@ -137,6 +138,7 @@ void syslog_source::emit(const device& dev, std::string_view type_name, sim_time
             a.timestamp = now;
             a.message = render_syslog(fmt.pattern, rand);
             a.loc = dev.loc;
+            a.loc_id = dev.loc_id;
             a.device = dev.id;
             out.push_back(std::move(a));
             return;
@@ -236,6 +238,7 @@ void syslog_source::poll(const network_state& state, sim_time now, rng& rand,
             a.message = "%SYS-6-INFO: periodic housekeeping task completed id " +
                         std::to_string(rand.uniform_int(1, 100000));
             a.loc = d.loc;
+            a.loc_id = d.loc_id;
             a.device = d.id;
             out.push_back(std::move(a));
         }

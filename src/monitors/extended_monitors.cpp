@@ -32,15 +32,16 @@ user_telemetry_monitor::user_telemetry_monitor(const topology& topo, config cfg,
         int sampled = 0;
         for (const location& cluster : topo.clusters_under(location{})) {
             if (sampled++ % 4 != 0) continue;  // every fourth cluster
-            probes_.emplace_back(isp, cluster);
+            probes_.push_back(probe_target{
+                .isp = isp, .cluster = cluster, .cluster_id = topo.locations().intern(cluster)});
         }
     }
 }
 
 void user_telemetry_monitor::poll(const network_state& state, sim_time now, rng& rand,
                                   std::vector<raw_alert>& out) {
-    for (const auto& [isp, cluster] : probes_) {
-        const auto target = state.representative(cluster);
+    for (const auto& [isp, cluster, cluster_id] : probes_) {
+        const auto target = state.representative(cluster_id);
         if (!target) continue;
         // Round-trip view: the reply path crosses the border peer, so
         // trouble beyond it shows up in the probe.
@@ -50,7 +51,9 @@ void user_telemetry_monitor::poll(const network_state& state, sim_time now, rng&
         a.source = data_source::internet_telemetry;
         a.timestamp = now;
         a.loc = cluster;
+        a.loc_id = cluster_id;
         a.src_loc = cluster;  // the user's view localizes to the target
+        a.src_id = cluster_id;
         if (!r.reachable) {
             a.kind = "user probe unreachable";
             a.message = "user telemetry: no path from client to " + cluster.to_string();
@@ -93,9 +96,13 @@ void srte_probe_monitor::poll(const network_state& state, sim_time now, rng& ran
         // Attributed to the near endpoint but located at the bundle's
         // common ancestor: the verdict concerns the whole bundle.
         a.device = cs.a;
-        a.loc = location::common_ancestor(topo_->device_at(cs.a).loc,
-                                          topo_->device_at(cs.b).loc);
-        if (a.loc.is_root()) a.loc = topo_->device_at(cs.a).loc.parent();
+        const location_table& table = topo_->locations();
+        a.loc_id = table.common_ancestor(topo_->device_at(cs.a).loc_id,
+                                         topo_->device_at(cs.b).loc_id);
+        if (a.loc_id == root_location_id) {
+            a.loc_id = table.parent_of(topo_->device_at(cs.a).loc_id);
+        }
+        a.loc = table.path_of(a.loc_id);
         out.push_back(std::move(a));
     }
     (void)rand;

@@ -16,8 +16,12 @@ raw_alert set_alert(data_source src, const topology& topo, const circuit_set& cs
     a.kind = std::move(kind);
     a.message = std::move(message);
     a.metric = metric;
-    a.loc = location::common_ancestor(topo.device_at(cs.a).loc, topo.device_at(cs.b).loc);
-    if (a.loc.is_root()) a.loc = topo.device_at(cs.a).loc.parent();
+    const location_table& table = topo.locations();
+    a.loc_id = table.common_ancestor(topo.device_at(cs.a).loc_id, topo.device_at(cs.b).loc_id);
+    if (a.loc_id == root_location_id) {
+        a.loc_id = table.parent_of(topo.device_at(cs.a).loc_id);
+    }
+    a.loc = table.path_of(a.loc_id);
     if (!cs.circuits.empty()) a.link = cs.circuits.front();
     return a;
 }
@@ -77,6 +81,7 @@ void route_monitor::poll(const network_state& state, sim_time now, rng& rand,
         a.source = data_source::route_monitoring;
         a.timestamp = now;
         a.loc = r.where;
+        a.loc_id = r.where_id;
         switch (r.what) {
             case route_incident::kind::default_route_loss:
                 a.kind = "default route loss";
@@ -112,6 +117,7 @@ void route_monitor::poll(const network_state& state, sim_time now, rng& rand,
             a.kind = "route churn";
             a.message = "route: update churn from " + d.name;
             a.loc = d.loc;
+            a.loc_id = d.loc_id;
             a.device = d.id;
             out.push_back(std::move(a));
         }
@@ -129,6 +135,7 @@ void modification_monitor::poll(const network_state& state, sim_time now, rng& r
         a.source = data_source::modification_events;
         a.timestamp = now;
         a.loc = e.where;
+        a.loc_id = e.where_id;
         if (e.failed) {
             a.kind = "modification failed";
             a.message = "change system: modification failed at " + e.where.to_string();

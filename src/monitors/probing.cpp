@@ -7,17 +7,23 @@ namespace skynet {
 // --- ping mesh --------------------------------------------------------------
 
 ping_mesh::ping_mesh(const topology& topo, config cfg, monitor_options opts)
-    : topo_(&topo), cfg_(cfg), opts_(opts), clusters_(topo.clusters_under(location{})) {}
+    : topo_(&topo), cfg_(cfg), opts_(opts), clusters_(topo.clusters_under(location{})) {
+    cluster_ids_.reserve(clusters_.size());
+    for (const location& c : clusters_) cluster_ids_.push_back(topo.locations().intern(c));
+}
 
 void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
                      std::vector<raw_alert>& out) {
     if (clusters_.size() < 2) return;
+    const location_table& table = topo_->locations();
     for (int i = 0; i < cfg_.pairs_per_poll; ++i) {
-        const location& src = rand.pick(clusters_);
-        const location& dst = rand.pick(clusters_);
-        if (src == dst) continue;
-        const auto sd = state.representative(src);
-        const auto dd = state.representative(dst);
+        const std::size_t si = rand.index(clusters_.size());
+        const std::size_t di = rand.index(clusters_.size());
+        if (si == di) continue;
+        const location& src = clusters_[si];
+        const location& dst = clusters_[di];
+        const auto sd = state.representative(cluster_ids_[si]);
+        const auto dd = state.representative(cluster_ids_[di]);
         if (!sd || !dd) continue;
 
         const network_state::probe_result r = state.probe(*sd, *dd);
@@ -26,6 +32,8 @@ void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
         a.timestamp = now;
         a.src_loc = src;
         a.dst_loc = dst;
+        a.src_id = cluster_ids_[si];
+        a.dst_id = cluster_ids_[di];
         // Triangulate before blaming an endpoint: if src still reaches a
         // third cluster cleanly, the trouble is on the dst side. This is
         // how mesh probers attribute loss to "the affected link" (§4.1)
@@ -33,10 +41,10 @@ void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
         const bool probe_bad =
             !r.reachable || r.loss > cfg_.loss_threshold || r.latency_ms > cfg_.latency_threshold_ms;
         if (probe_bad) {
-            const location& ref = rand.pick(clusters_);
+            const std::size_t ri = rand.index(clusters_.size());
             std::optional<bool> src_clean;
-            if (ref != src && ref != dst) {
-                if (const auto rd = state.representative(ref)) {
+            if (ri != si && ri != di) {
+                if (const auto rd = state.representative(cluster_ids_[ri])) {
                     const auto r2 = state.probe(*sd, *rd);
                     src_clean = r2.reachable && r2.loss <= cfg_.loss_threshold;
                 }
@@ -46,9 +54,12 @@ void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
                 // on the destination side; source lossy everywhere -> the
                 // source side is the suspect.
                 a.loc = *src_clean ? dst : src;
+                a.loc_id = *src_clean ? cluster_ids_[di] : cluster_ids_[si];
             } else {
-                a.loc = location::common_ancestor(src, dst);
-                if (a.loc.is_root()) a.loc = dst;
+                location_id ca = table.common_ancestor(cluster_ids_[si], cluster_ids_[di]);
+                if (ca == root_location_id) ca = cluster_ids_[di];
+                a.loc = table.path_of(ca);
+                a.loc_id = ca;
             }
         }
         if (!r.reachable) {
@@ -72,17 +83,20 @@ void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
     // Sporadic single-probe blips (filtered by the preprocessor's
     // persistence rule).
     if (opts_.noise_rate > 0.0 && rand.chance(opts_.noise_rate)) {
-        const location& src = rand.pick(clusters_);
-        const location& dst = rand.pick(clusters_);
-        if (src != dst) {
+        const std::size_t si = rand.index(clusters_.size());
+        const std::size_t di = rand.index(clusters_.size());
+        if (si != di) {
             raw_alert a;
             a.source = data_source::ping;
             a.timestamp = now;
             a.kind = "packet loss";
             a.message = "ping: transient blip";
-            a.loc = src;  // a momentary local artifact at the prober
-            a.src_loc = src;
-            a.dst_loc = dst;
+            a.loc = clusters_[si];  // a momentary local artifact at the prober
+            a.loc_id = cluster_ids_[si];
+            a.src_loc = clusters_[si];
+            a.dst_loc = clusters_[di];
+            a.src_id = cluster_ids_[si];
+            a.dst_id = cluster_ids_[di];
             a.metric = 0.02;
             out.push_back(std::move(a));
         }
@@ -92,38 +106,49 @@ void ping_mesh::poll(const network_state& state, sim_time now, rng& rand,
 // --- traceroute ---------------------------------------------------------------
 
 traceroute_monitor::traceroute_monitor(const topology& topo, config cfg, monitor_options opts)
-    : topo_(&topo), cfg_(cfg), opts_(opts), clusters_(topo.clusters_under(location{})) {}
+    : topo_(&topo), cfg_(cfg), opts_(opts), clusters_(topo.clusters_under(location{})) {
+    cluster_ids_.reserve(clusters_.size());
+    for (const location& c : clusters_) cluster_ids_.push_back(topo.locations().intern(c));
+}
 
 void traceroute_monitor::poll(const network_state& state, sim_time now, rng& rand,
                               std::vector<raw_alert>& out) {
     if (clusters_.size() < 2) return;
+    const location_table& table = topo_->locations();
     for (int i = 0; i < cfg_.pairs_per_poll; ++i) {
         const std::size_t si = rand.index(clusters_.size());
         const std::size_t di = rand.index(clusters_.size());
         if (si == di) continue;
         const location& src = clusters_[si];
         const location& dst = clusters_[di];
-        const auto sd = state.representative(src);
-        const auto dd = state.representative(dst);
+        const auto sd = state.representative(cluster_ids_[si]);
+        const auto dd = state.representative(cluster_ids_[di]);
         if (!sd || !dd) continue;
 
         const network_state::probe_result r = state.probe(*sd, *dd);
         if (!r.reachable) continue;  // traceroute times out silently
 
-        const std::string key = src.to_string() + ">" + dst.to_string();
+        const std::uint64_t key = (static_cast<std::uint64_t>(cluster_ids_[si]) << 32) |
+                                  static_cast<std::uint64_t>(cluster_ids_[di]);
+        const std::string pair_label = src.to_string() + ">" + dst.to_string();
         auto [it, inserted] = baseline_paths_.try_emplace(key, r.hops);
         raw_alert base;
         base.source = data_source::traceroute;
         base.timestamp = now;
-        base.loc = location::common_ancestor(src, dst);
-        if (base.loc.is_root()) base.loc = src.ancestor_at(hierarchy_level::region);
+        base.loc_id = table.common_ancestor(cluster_ids_[si], cluster_ids_[di]);
+        if (base.loc_id == root_location_id) {
+            base.loc_id = table.ancestor_at(cluster_ids_[si], hierarchy_level::region);
+        }
+        base.loc = table.path_of(base.loc_id);
         base.src_loc = src;
         base.dst_loc = dst;
+        base.src_id = cluster_ids_[si];
+        base.dst_id = cluster_ids_[di];
 
         if (!inserted && it->second != r.hops) {
             raw_alert a = base;
             a.kind = "path change";
-            a.message = "traceroute: path changed " + key;
+            a.message = "traceroute: path changed " + pair_label;
             out.push_back(std::move(a));
             it->second = r.hops;
         }
@@ -142,9 +167,10 @@ void traceroute_monitor::poll(const network_state& state, sim_time now, rng& ran
             }
             raw_alert a = base;
             a.kind = "hop loss";
-            a.message = "traceroute: probe loss along " + key;
+            a.message = "traceroute: probe loss along " + pair_label;
             a.metric = r.loss;
             a.loc = topo_->device_at(suspect).loc;
+            a.loc_id = topo_->device_at(suspect).loc_id;
             a.device = suspect;
             out.push_back(std::move(a));
         }
@@ -157,6 +183,7 @@ void traceroute_monitor::poll(const network_state& state, sim_time now, rng& ran
                     a.kind = "hop latency spike";
                     a.message = "traceroute: latency spike at " + topo_->device_at(hop).name;
                     a.loc = topo_->device_at(hop).loc;
+                    a.loc_id = topo_->device_at(hop).loc_id;
                     a.device = hop;
                     out.push_back(std::move(a));
                     break;
@@ -172,16 +199,17 @@ internet_telemetry_monitor::internet_telemetry_monitor(const topology& topo, con
                                                        monitor_options opts)
     : topo_(&topo), cfg_(cfg), opts_(opts) {
     // Enumerate logic sites and find their region's ISP peer.
-    std::unordered_set<location, location_hash> seen;
+    location_table& table = topo.locations();
+    std::unordered_set<location_id> seen;
     for (const device& d : topo.devices()) {
         if (d.role != device_role::isr) continue;
-        const location ls = d.loc.ancestor_at(hierarchy_level::logic_site);
+        const location_id ls = table.ancestor_at(d.loc_id, hierarchy_level::logic_site);
         if (!seen.insert(ls).second) continue;
         for (link_id lid : topo.links_of(d.id)) {
             const link& l = topo.link_at(lid);
             if (!l.internet_entry) continue;
             const device_id isp = topo.device_at(l.a).role == device_role::isp ? l.a : l.b;
-            probes_.emplace_back(ls, isp);
+            probes_.push_back(probe_target{.ls = table.path_of(ls), .ls_id = ls, .isp = isp});
             break;
         }
     }
@@ -189,27 +217,28 @@ internet_telemetry_monitor::internet_telemetry_monitor(const topology& topo, con
 
 void internet_telemetry_monitor::poll(const network_state& state, sim_time now, rng& rand,
                                       std::vector<raw_alert>& out) {
-    for (const auto& [ls, isp] : probes_) {
-        const auto src = state.representative(ls);
+    for (const probe_target& p : probes_) {
+        const auto src = state.representative(p.ls_id);
         if (!src) continue;
-        const network_state::probe_result r = state.probe(*src, isp);
+        const network_state::probe_result r = state.probe(*src, p.isp);
         raw_alert a;
         a.source = data_source::internet_telemetry;
         a.timestamp = now;
-        a.loc = ls;
+        a.loc = p.ls;
+        a.loc_id = p.ls_id;
         if (!r.reachable) {
             a.kind = "internet unreachable";
-            a.message = "internet probe timed out from " + ls.to_string();
+            a.message = "internet probe timed out from " + p.ls.to_string();
             a.metric = 1.0;
             out.push_back(std::move(a));
         } else if (r.loss > cfg_.loss_threshold) {
             a.kind = "internet packet loss";
-            a.message = "internet probe loss from " + ls.to_string();
+            a.message = "internet probe loss from " + p.ls.to_string();
             a.metric = r.loss;
             out.push_back(std::move(a));
         } else if (r.latency_ms > cfg_.latency_threshold_ms) {
             a.kind = "internet high latency";
-            a.message = "internet probe slow from " + ls.to_string();
+            a.message = "internet probe slow from " + p.ls.to_string();
             a.metric = r.latency_ms;
             out.push_back(std::move(a));
         }

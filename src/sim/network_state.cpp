@@ -237,6 +237,17 @@ std::optional<device_id> network_state::representative(const location& cluster) 
     return any;
 }
 
+std::optional<device_id> network_state::representative(location_id cluster) const {
+    const location_table& table = topo_->locations();
+    std::optional<device_id> any;
+    for (const device& d : topo_->devices()) {
+        if (!table.contains(cluster, d.loc_id)) continue;
+        if (!any) any = d.id;
+        if (d.role == device_role::tor && devices_[d.id].alive) return d.id;
+    }
+    return any;
+}
+
 void network_state::reset_traffic(double baseline_util) {
     for (const circuit_set& cs : topo_->circuit_sets()) {
         double cap = 0.0;

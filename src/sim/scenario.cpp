@@ -296,14 +296,22 @@ public:
         for (device_id v : victims_) state.device_state(v).control_plane_ok = false;
         for (link_id l : downed_) state.link_state(l).up = false;
         state.modifications().push_back(
-            modification_event{.where = loc_, .failed = true, .rolled_back = false, .at = now});
+            modification_event{.where = loc_,
+                               .where_id = state.topo().locations().intern(loc_),
+                               .failed = true,
+                               .rolled_back = false,
+                               .at = now});
     }
 
     void on_end(network_state& state, rng&, sim_time now) override {
         for (device_id v : victims_) state.device_state(v).control_plane_ok = true;
         for (link_id l : downed_) state.link_state(l) = link_health{};
         state.modifications().push_back(
-            modification_event{.where = loc_, .failed = false, .rolled_back = true, .at = now});
+            modification_event{.where = loc_,
+                               .where_id = state.topo().locations().intern(loc_),
+                               .failed = false,
+                               .rolled_back = true,
+                               .at = now});
     }
 
 private:
@@ -424,12 +432,14 @@ public:
                                              : route_incident::kind::default_route_loss)
                                   : (rand.chance(0.5) ? route_incident::kind::leak
                                                       : route_incident::kind::aggregate_route_loss);
-        state.route_incidents().push_back(route_incident{.what = kind, .where = loc_, .since = now});
+        const location_id lid = state.topo().locations().intern(loc_);
+        state.route_incidents().push_back(
+            route_incident{.what = kind, .where = loc_, .where_id = lid, .since = now});
         // Route errors churn the control plane while they last, and the
         // suboptimal detour paths leak a little traffic at the borders —
         // the multi-signal footprint that lets SkyNet see them at all.
-        state.route_incidents().push_back(
-            route_incident{.what = route_incident::kind::churn, .where = loc_, .since = now});
+        state.route_incidents().push_back(route_incident{
+            .what = route_incident::kind::churn, .where = loc_, .where_id = lid, .since = now});
         if (hijack_) {
             // A more-specific hijack diverts internet-bound traffic
             // beyond our border: the control plane looks healthy, our

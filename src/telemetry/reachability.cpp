@@ -15,13 +15,40 @@ reachability_matrix::reachability_matrix(std::vector<location> endpoints)
     cells_.resize(endpoints_.size() * endpoints_.size());
 }
 
+reachability_matrix::reachability_matrix(const location_table& table,
+                                         std::vector<location_id> endpoints)
+    : endpoint_ids_(std::move(endpoints)) {
+    endpoints_.reserve(endpoint_ids_.size());
+    for (std::size_t i = 0; i < endpoint_ids_.size(); ++i) {
+        endpoints_.push_back(table.path_of(endpoint_ids_[i]));
+        index_.emplace(endpoints_[i], i);
+        id_index_.emplace(endpoint_ids_[i], i);
+    }
+    cells_.resize(endpoints_.size() * endpoints_.size());
+}
+
 std::optional<std::size_t> reachability_matrix::index_of(const location& loc) const {
     const auto it = index_.find(loc);
     if (it == index_.end()) return std::nullopt;
     return it->second;
 }
 
+std::optional<std::size_t> reachability_matrix::index_of(location_id id) const {
+    const auto it = id_index_.find(id);
+    if (it == id_index_.end()) return std::nullopt;
+    return it->second;
+}
+
 void reachability_matrix::record(const location& src, const location& dst, double loss_ratio) {
+    const auto si = index_of(src);
+    const auto di = index_of(dst);
+    if (!si || !di) return;
+    cell& c = cells_[*si * endpoints_.size() + *di];
+    c.loss_sum += std::clamp(loss_ratio, 0.0, 1.0);
+    ++c.samples;
+}
+
+void reachability_matrix::record(location_id src, location_id dst, double loss_ratio) {
     const auto si = index_of(src);
     const auto di = index_of(dst);
     if (!si || !di) return;

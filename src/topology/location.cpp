@@ -76,15 +76,14 @@ location location::child(std::string segment) const {
 std::string location::to_string() const { return join(segments_, "|"); }
 
 std::size_t location_hash::operator()(const location& loc) const noexcept {
-    // FNV-1a over segments with a separator byte between them.
-    std::size_t h = 1469598103934665603ull;
-    auto mix = [&h](unsigned char c) {
-        h ^= c;
-        h *= 1099511628211ull;
-    };
+    // Per-segment hashes folded with a position-dependent combiner
+    // (boost::hash_combine's golden-ratio mixer): the running value is
+    // shifted into each fold, so permuted segments ("a|b" vs "b|a") and
+    // shifted boundaries ("ab|" vs "a|b") land in different buckets.
+    std::size_t h = 0x9e3779b97f4a7c15ull ^ loc.depth();
     for (const std::string& seg : loc.segments()) {
-        for (char c : seg) mix(static_cast<unsigned char>(c));
-        mix(0x1f);
+        const std::size_t sh = std::hash<std::string_view>{}(seg);
+        h ^= sh + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     }
     return h;
 }

@@ -1,0 +1,200 @@
+#include "skynet/topology/location_table.h"
+
+#include <mutex>
+
+#include "skynet/common/error.h"
+
+namespace skynet {
+
+location_table::location_table() {
+    entries_.emplace_back();  // id 0: the root (empty path)
+}
+
+location_table::location_table(const location_table& other) {
+    std::shared_lock lock(other.mutex_);
+    entries_ = other.entries_;
+}
+
+location_table& location_table::operator=(const location_table& other) {
+    if (this == &other) return *this;
+    std::deque<entry> copy;
+    {
+        std::shared_lock lock(other.mutex_);
+        copy = other.entries_;
+    }
+    std::unique_lock lock(mutex_);
+    entries_ = std::move(copy);
+    return *this;
+}
+
+location_table::location_table(location_table&& other) noexcept {
+    std::unique_lock lock(other.mutex_);
+    entries_ = std::move(other.entries_);
+}
+
+location_table& location_table::operator=(location_table&& other) noexcept {
+    if (this == &other) return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    entries_ = std::move(other.entries_);
+    return *this;
+}
+
+void location_table::check_id(location_id id) const {
+    if (id >= entries_.size()) throw skynet_error("location_table: bad id");
+}
+
+location_id location_table::intern(const location& loc) {
+    // Fast path: the whole chain already exists.
+    {
+        std::shared_lock lock(mutex_);
+        location_id cur = root_location_id;
+        bool hit = true;
+        for (const std::string& seg : loc.segments()) {
+            const auto it = entries_[cur].children.find(std::string_view(seg));
+            if (it == entries_[cur].children.end()) {
+                hit = false;
+                break;
+            }
+            cur = it->second;
+        }
+        if (hit) return cur;
+    }
+    // Slow path: create the missing suffix under the exclusive lock
+    // (re-walking from the root — another thread may have interned part
+    // of the chain between the two locks).
+    std::unique_lock lock(mutex_);
+    location_id cur = root_location_id;
+    for (const std::string& seg : loc.segments()) {
+        const auto it = entries_[cur].children.find(std::string_view(seg));
+        if (it != entries_[cur].children.end()) {
+            cur = it->second;
+            continue;
+        }
+        const auto id = static_cast<location_id>(entries_.size());
+        entry e;
+        e.parent = cur;
+        e.depth = entries_[cur].depth + 1;
+        e.segment = seg;
+        e.path = entries_[cur].path.child(seg);
+        entries_.push_back(std::move(e));
+        entries_[cur].children.emplace(seg, id);
+        cur = id;
+    }
+    return cur;
+}
+
+location_id location_table::intern_child(location_id parent, std::string_view segment) {
+    {
+        std::shared_lock lock(mutex_);
+        check_id(parent);
+        const auto it = entries_[parent].children.find(segment);
+        if (it != entries_[parent].children.end()) return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    check_id(parent);
+    const auto it = entries_[parent].children.find(segment);
+    if (it != entries_[parent].children.end()) return it->second;
+    const auto id = static_cast<location_id>(entries_.size());
+    entry e;
+    e.parent = parent;
+    e.depth = entries_[parent].depth + 1;
+    e.segment = std::string(segment);
+    e.path = entries_[parent].path.child(std::string(segment));
+    entries_.push_back(std::move(e));
+    entries_[parent].children.emplace(std::string(segment), id);
+    return id;
+}
+
+std::optional<location_id> location_table::find(const location& loc) const {
+    std::shared_lock lock(mutex_);
+    location_id cur = root_location_id;
+    for (const std::string& seg : loc.segments()) {
+        const auto it = entries_[cur].children.find(std::string_view(seg));
+        if (it == entries_[cur].children.end()) return std::nullopt;
+        cur = it->second;
+    }
+    return cur;
+}
+
+const location& location_table::path_of(location_id id) const {
+    std::shared_lock lock(mutex_);
+    check_id(id);
+    return entries_[id].path;
+}
+
+std::string_view location_table::segment_of(location_id id) const {
+    std::shared_lock lock(mutex_);
+    check_id(id);
+    return entries_[id].segment;
+}
+
+location_id location_table::parent_of(location_id id) const {
+    std::shared_lock lock(mutex_);
+    check_id(id);
+    return entries_[id].parent;
+}
+
+std::size_t location_table::depth(location_id id) const {
+    std::shared_lock lock(mutex_);
+    check_id(id);
+    return entries_[id].depth;
+}
+
+hierarchy_level location_table::level_of(location_id id) const {
+    std::shared_lock lock(mutex_);
+    check_id(id);
+    const std::size_t d = entries_[id].depth;
+    if (d >= depth_of(hierarchy_level::device)) return hierarchy_level::device;
+    return static_cast<hierarchy_level>(d);
+}
+
+location_id location_table::ancestor_at_unlocked(location_id id, std::size_t want) const {
+    location_id cur = id;
+    while (entries_[cur].depth > want) cur = entries_[cur].parent;
+    return cur;
+}
+
+location_id location_table::ancestor_at(location_id id, hierarchy_level level) const {
+    std::shared_lock lock(mutex_);
+    check_id(id);
+    const std::size_t want = depth_of(level);
+    if (want >= entries_[id].depth) return id;
+    return ancestor_at_unlocked(id, want);
+}
+
+bool location_table::contains(location_id anc, location_id desc) const {
+    std::shared_lock lock(mutex_);
+    check_id(anc);
+    check_id(desc);
+    if (entries_[anc].depth > entries_[desc].depth) return false;
+    return ancestor_at_unlocked(desc, entries_[anc].depth) == anc;
+}
+
+bool location_table::is_ancestor_of(location_id anc, location_id desc) const {
+    std::shared_lock lock(mutex_);
+    check_id(anc);
+    check_id(desc);
+    if (entries_[anc].depth >= entries_[desc].depth) return false;
+    return ancestor_at_unlocked(desc, entries_[anc].depth) == anc;
+}
+
+location_id location_table::common_ancestor(location_id a, location_id b) const {
+    std::shared_lock lock(mutex_);
+    check_id(a);
+    check_id(b);
+    const std::size_t want = std::min<std::size_t>(entries_[a].depth, entries_[b].depth);
+    location_id x = ancestor_at_unlocked(a, want);
+    location_id y = ancestor_at_unlocked(b, want);
+    while (x != y) {
+        x = entries_[x].parent;
+        y = entries_[y].parent;
+    }
+    return x;
+}
+
+std::size_t location_table::size() const {
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace skynet

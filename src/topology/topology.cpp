@@ -28,10 +28,12 @@ device_id topology::add_device(std::string name, device_role role, location loc)
         throw skynet_error("duplicate device name: " + name);
     }
     device_by_name_.emplace(name, id);
+    const location_id lid = locations_.intern(loc);
     devices_.push_back(device{.id = id,
                               .name = std::move(name),
                               .role = role,
                               .loc = std::move(loc),
+                              .loc_id = lid,
                               .group = invalid_group,
                               .legacy_slow_snmp = false,
                               .supports_int = false});
@@ -126,6 +128,14 @@ std::vector<device_id> topology::devices_under(const location& loc) const {
     return out;
 }
 
+std::vector<device_id> topology::devices_under(location_id scope) const {
+    std::vector<device_id> out;
+    for (const device& d : devices_) {
+        if (locations_.contains(scope, d.loc_id)) out.push_back(d.id);
+    }
+    return out;
+}
+
 std::vector<location> topology::clusters_under(const location& loc) const {
     std::unordered_set<location, location_hash> seen;
     std::vector<location> out;
@@ -136,6 +146,21 @@ std::vector<location> topology::clusters_under(const location& loc) const {
         if (seen.insert(cluster).second) out.push_back(cluster);
     }
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<location_id> topology::cluster_ids_under(location_id scope) const {
+    std::unordered_set<location_id> seen;
+    std::vector<location_id> out;
+    for (const device& d : devices_) {
+        if (!locations_.contains(scope, d.loc_id)) continue;
+        if (locations_.depth(d.loc_id) <= depth_of(hierarchy_level::cluster)) continue;
+        const location_id cluster = locations_.ancestor_at(d.loc_id, hierarchy_level::cluster);
+        if (seen.insert(cluster).second) out.push_back(cluster);
+    }
+    std::sort(out.begin(), out.end(), [this](location_id a, location_id b) {
+        return locations_.path_of(a) < locations_.path_of(b);
+    });
     return out;
 }
 
@@ -173,9 +198,9 @@ std::vector<std::vector<device_id>> topology::connected_components(
     std::vector<std::vector<device_id>> out;
 
     auto same_cluster = [this](device_id x, device_id y) {
-        const location cx = devices_[x].loc.ancestor_at(hierarchy_level::cluster);
-        const location cy = devices_[y].loc.ancestor_at(hierarchy_level::cluster);
-        return cx.depth() == depth_of(hierarchy_level::cluster) && cx == cy;
+        const location_id cx = locations_.ancestor_at(devices_[x].loc_id, hierarchy_level::cluster);
+        const location_id cy = locations_.ancestor_at(devices_[y].loc_id, hierarchy_level::cluster);
+        return locations_.depth(cx) == depth_of(hierarchy_level::cluster) && cx == cy;
     };
 
     while (!pool.empty()) {

@@ -1,0 +1,148 @@
+// Round-trip and invariant properties of the location interner.
+//
+// Two families of identities hold across the whole pipeline:
+//   * string round trip:  location::parse(loc.to_string()) == loc;
+//   * interner round trip: table.find(table.path_of(id)) == id and
+//     table.intern(table.path_of(id)) == id for every live id,
+// including the degenerate root (empty path) and the deepest
+// device-level paths. The id-keyed tree operations must also agree
+// with the segment-walking ones on skynet::location.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "skynet/common/error.h"
+#include "skynet/topology/location_table.h"
+
+namespace skynet {
+namespace {
+
+/// Deterministic pseudo-random path at exactly `depth` segments.
+location random_path(std::mt19937& gen, std::size_t depth) {
+    static const char* kNames[] = {"Region", "City", "LS", "Site", "Cluster", "dev"};
+    std::uniform_int_distribution<int> pick(0, 3);
+    std::vector<std::string> segs;
+    segs.reserve(depth);
+    for (std::size_t d = 0; d < depth; ++d) {
+        segs.push_back(std::string(kNames[d % 6]) + " " + std::to_string(pick(gen)));
+    }
+    return location{std::move(segs)};
+}
+
+TEST(LocationTableTest, ParseToStringRoundTripAtEveryDepth) {
+    std::mt19937 gen(42);
+    for (std::size_t depth = 0; depth <= depth_of(hierarchy_level::device); ++depth) {
+        for (int i = 0; i < 32; ++i) {
+            const location loc = random_path(gen, depth);
+            EXPECT_EQ(location::parse(loc.to_string()), loc)
+                << "depth " << depth << " path '" << loc.to_string() << "'";
+        }
+    }
+}
+
+TEST(LocationTableTest, InternFindPathOfRoundTrip) {
+    location_table table;
+    std::mt19937 gen(7);
+    std::vector<location_id> ids{root_location_id};
+    for (std::size_t depth = 1; depth <= depth_of(hierarchy_level::device); ++depth) {
+        for (int i = 0; i < 16; ++i) ids.push_back(table.intern(random_path(gen, depth)));
+    }
+    for (const location_id id : ids) {
+        const location& path = table.path_of(id);
+        // find() on the cached path returns the same id...
+        ASSERT_TRUE(table.find(path).has_value());
+        EXPECT_EQ(*table.find(path), id);
+        // ...and re-interning is the identity, not a duplicate entry.
+        EXPECT_EQ(table.intern(path), id);
+        // The string round trip composes with the interner round trip.
+        EXPECT_EQ(table.intern(location::parse(path.to_string())), id);
+    }
+}
+
+TEST(LocationTableTest, RootIsEntryZero) {
+    location_table table;
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.intern(location{}), root_location_id);
+    EXPECT_TRUE(table.path_of(root_location_id).is_root());
+    EXPECT_EQ(table.parent_of(root_location_id), root_location_id);
+    EXPECT_EQ(table.depth(root_location_id), 0u);
+    EXPECT_EQ(table.segment_of(root_location_id), "");
+    EXPECT_EQ(table.level_of(root_location_id), hierarchy_level::root);
+}
+
+TEST(LocationTableTest, IdsAreDenseAndParentsComeFirst) {
+    location_table table;
+    std::mt19937 gen(99);
+    for (int i = 0; i < 64; ++i) {
+        (void)table.intern(random_path(gen, 1 + static_cast<std::size_t>(i % 6)));
+    }
+    // Dense: every id below size() resolves; parent ids strictly smaller.
+    for (location_id id = 0; id < static_cast<location_id>(table.size()); ++id) {
+        const location& path = table.path_of(id);
+        EXPECT_EQ(path.depth(), table.depth(id));
+        if (id != root_location_id) {
+            EXPECT_LT(table.parent_of(id), id);
+            EXPECT_EQ(table.path_of(table.parent_of(id)), path.parent());
+        }
+    }
+}
+
+TEST(LocationTableTest, TreeOpsAgreeWithSegmentWalks) {
+    location_table table;
+    std::mt19937 gen(1234);
+    std::vector<location_id> ids;
+    for (int i = 0; i < 48; ++i) {
+        ids.push_back(table.intern(random_path(gen, 1 + static_cast<std::size_t>(i % 6))));
+    }
+    for (const location_id a : ids) {
+        const location& pa = table.path_of(a);
+        for (hierarchy_level lvl : {hierarchy_level::region, hierarchy_level::city,
+                                    hierarchy_level::site, hierarchy_level::device}) {
+            EXPECT_EQ(table.path_of(table.ancestor_at(a, lvl)), pa.ancestor_at(lvl));
+        }
+        for (const location_id b : ids) {
+            const location& pb = table.path_of(b);
+            EXPECT_EQ(table.contains(a, b), pa.contains(pb));
+            EXPECT_EQ(table.is_ancestor_of(a, b), pa.is_ancestor_of(pb));
+            EXPECT_EQ(table.path_of(table.common_ancestor(a, b)),
+                      location::common_ancestor(pa, pb));
+        }
+    }
+}
+
+TEST(LocationTableTest, InternChildMatchesFullIntern) {
+    location_table table;
+    const location site{"Region A", "City a", "LS 1", "Site I"};
+    const location_id sid = table.intern(site);
+    const location_id cid = table.intern_child(sid, "Cluster 3");
+    EXPECT_EQ(cid, table.intern(site.child("Cluster 3")));
+    EXPECT_EQ(table.parent_of(cid), sid);
+    EXPECT_EQ(table.segment_of(cid), "Cluster 3");
+    EXPECT_EQ(table.level_of(cid), hierarchy_level::cluster);
+}
+
+TEST(LocationTableTest, IdsAreTableLocal) {
+    // Same paths interned in different orders get different ids; only
+    // the paths agree. This is why merged reports compare by path.
+    location_table first, second;
+    const location x{"Region A", "City a"};
+    const location y{"Region B", "City b"};
+    const location_id xa = first.intern(x);
+    (void)first.intern(y);
+    (void)second.intern(y);
+    const location_id xb = second.intern(x);
+    EXPECT_NE(xa, xb);
+    EXPECT_EQ(first.path_of(xa), second.path_of(xb));
+}
+
+TEST(LocationTableTest, UnknownPathsAndBadIds) {
+    location_table table;
+    EXPECT_FALSE(table.find(location{"never", "interned"}).has_value());
+    EXPECT_THROW((void)table.path_of(invalid_location_id), skynet_error);
+    EXPECT_THROW((void)table.path_of(static_cast<location_id>(table.size())), skynet_error);
+}
+
+}  // namespace
+}  // namespace skynet

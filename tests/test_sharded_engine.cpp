@@ -187,6 +187,67 @@ TEST(ShardedEngineTest, RoutesRegionsAndCountsShards) {
     (void)eng.take_reports();
 }
 
+TEST(ShardedEquivalenceTest, DuplicateNamesAcrossRegionsStayDistinct) {
+    // Two regions whose inner segments are *identical* ("City X|LS 1|
+    // Site I|Cluster 1" under both "Region A" and "Region B"). The
+    // interner must key on full paths, not segments: the colliding
+    // city/site names get distinct ids under each region, the shards
+    // route them apart, and the merged output equals a sequential run
+    // because reports compare by path, never by id (ids are
+    // table-local, see location_table.h).
+    topology topo;
+    const location cl_a{"Region A", "City X", "LS 1", "Site I", "Cluster 1"};
+    const location cl_b{"Region B", "City X", "LS 1", "Site I", "Cluster 1"};
+    const device_id tor_a = topo.add_device("a-tor1", device_role::tor, cl_a.child("a-tor1"));
+    const device_id tor_b = topo.add_device("b-tor1", device_role::tor, cl_b.child("b-tor1"));
+    customer_registry customers;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+    const skynet_engine::deps deps{&topo, &customers, &registry, &syslog};
+
+    const auto feed = [&](auto& eng) {
+        network_state state(&topo, &customers);
+        sim_time now = seconds(10);
+        // Two distinct failure types per cluster: meets the default
+        // 2/1+2/5 thresholds' pure-failure clause on both sides.
+        for (const char* kind : {"int packet loss", "rate discrepancy"}) {
+            for (const auto& [loc, dev] : {std::pair{cl_a, tor_a}, std::pair{cl_b, tor_b}}) {
+                raw_alert a;
+                a.source = data_source::inband_telemetry;
+                a.timestamp = now;
+                a.kind = kind;
+                a.loc = loc;
+                a.device = dev;
+                eng.ingest(a, now);
+            }
+            now += seconds(5);
+        }
+        eng.tick(now, state);
+        eng.finish(now + minutes(30), state);
+        return eng.take_reports();
+    };
+
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine seq(deps, cfg);
+    const std::vector<incident_report> seq_reports = feed(seq);
+
+    sharded_config scfg;
+    scfg.shards = 2;
+    sharded_engine par(deps, scfg);
+    const std::vector<incident_report> par_reports = feed(par);
+
+    // One incident per region, rooted under the right region even
+    // though every segment below the region level collides.
+    ASSERT_EQ(seq_reports.size(), 2u);
+    std::set<std::string> roots;
+    for (const incident_report& r : seq_reports) roots.insert(r.inc.root.to_string());
+    EXPECT_EQ(roots, (std::set<std::string>{cl_a.to_string(), cl_b.to_string()}));
+
+    expect_identical_reports(seq_reports, par_reports);
+    EXPECT_EQ(par.region_count(), 2u);
+}
+
 TEST(ShardedEngineTest, ZeroShardConfigClampsToOne) {
     world w(generator_params::tiny());
     sharded_config scfg;
