@@ -21,6 +21,7 @@
 #include "skynet/core/sharded_engine.h"
 #include "skynet/monitors/extended_monitors.h"
 #include "skynet/sim/engine.h"
+#include "skynet/sim/faults.h"
 #include "skynet/sim/trace.h"
 #include "skynet/topology/generator.h"
 #include "skynet/topology/serialization.h"
@@ -35,6 +36,8 @@ struct options {
     std::string export_topo;
     std::string record_file;
     std::string replay_file;
+    std::string faults_spec;
+    std::string overflow = "block";
     std::string scenario_name = "random";
     bool severe = true;
     bool json = false;
@@ -67,7 +70,13 @@ void usage() {
         "  --json                           print incidents as JSON digests\n"
         "  --timeline                       print an ASCII incident timeline\n"
         "  --record FILE                    save the raw alert trace\n"
-        "  --replay FILE                    replay a recorded trace (skips the simulator)\n");
+        "  --replay FILE                    replay a recorded trace (skips the simulator)\n"
+        "  --faults SPEC                    degrade the ingest stream deterministically, e.g.\n"
+        "                                   'seed=3;dropout=0.2;dup=0.05;reorder=0.1;skew=5s;\n"
+        "                                   skew_rate=0.3;corrupt=0.02;drop:ping@60s+120s;\n"
+        "                                   pressure=0.5' (see DESIGN.md fault model)\n"
+        "  --overflow block|drop_oldest|reject\n"
+        "                                   shard-queue policy when full (default block)\n");
 }
 
 std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo, rng& rand) {
@@ -95,10 +104,31 @@ std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo
 /// Streams the alert source (recorded trace or live simulation) through
 /// `engine` — tick-batched ingest either way — and prints the ranked
 /// reports. Works for both the sequential and the region-sharded engine.
+/// When `faults` is set, every delivery passes through the injector
+/// first and reorder-held alerts are released at each tick.
 template <typename Engine>
 int run_session(Engine& engine, const options& opt, const topology& topo,
-                const customer_registry& customers) {
+                const customer_registry& customers, fault_injector* faults) {
     std::int64_t raw = 0;
+
+    const auto ingest = [&](std::span<const traced_alert> batch) {
+        if (faults == nullptr) {
+            engine.ingest_batch(batch);
+            return;
+        }
+        const std::vector<traced_alert> degraded = faults->apply(batch);
+        engine.ingest_batch(std::span<const traced_alert>(degraded));
+    };
+    const auto release_held = [&](sim_time now) {
+        if (faults == nullptr) return;
+        const std::vector<traced_alert> due = faults->release(now);
+        if (!due.empty()) engine.ingest_batch(std::span<const traced_alert>(due));
+    };
+    const auto drain_held = [&]() {
+        if (faults == nullptr) return;
+        const std::vector<traced_alert> held = faults->drain();
+        if (!held.empty()) engine.ingest_batch(std::span<const traced_alert>(held));
+    };
 
     if (!opt.replay_file.empty()) {
         std::ifstream in(opt.replay_file);
@@ -124,13 +154,15 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             batch.push_back(t);
             last_arrival = t.arrival;
             if (t.arrival - last_tick >= seconds(2)) {
-                engine.ingest_batch(std::span<const traced_alert>(batch));
+                ingest(std::span<const traced_alert>(batch));
                 batch.clear();
+                release_held(t.arrival);
                 engine.tick(t.arrival, idle);
                 last_tick = t.arrival;
             }
         }
-        engine.ingest_batch(std::span<const traced_alert>(batch));
+        ingest(std::span<const traced_alert>(batch));
+        drain_held();
         engine.finish(last_arrival + minutes(20), idle);
     } else {
         simulation_engine sim(&topo, &customers,
@@ -155,12 +187,16 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
         sim.run_until_batched(minutes(1 + opt.duration_min) + minutes(2),
                               [&](std::span<const traced_alert> batch) {
                                   raw += static_cast<std::int64_t>(batch.size());
-                                  engine.ingest_batch(batch);
+                                  ingest(batch);
                                   if (!opt.record_file.empty()) {
                                       recorded.insert(recorded.end(), batch.begin(), batch.end());
                                   }
                               },
-                              [&](sim_time now) { engine.tick(now, sim.state()); });
+                              [&](sim_time now) {
+                                  release_held(now);
+                                  engine.tick(now, sim.state());
+                              });
+        drain_held();
         engine.finish(sim.clock().now(), sim.state());
 
         if (!opt.record_file.empty()) {
@@ -178,8 +214,23 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
     const preprocessor_stats stats = engine.preprocessing_stats();
     std::printf("alerts: %lld raw -> %lld structured\n", static_cast<long long>(raw),
                 static_cast<long long>(stats.emitted_new));
+    if (faults != nullptr) {
+        const fault_stats& fs = faults->stats();
+        std::printf("faults: %llu in, %llu dropped (dropout), %llu duplicated, "
+                    "%llu reordered, %llu corrupted, %llu skewed\n",
+                    static_cast<unsigned long long>(fs.alerts_in),
+                    static_cast<unsigned long long>(fs.dropped_dropout),
+                    static_cast<unsigned long long>(fs.duplicated),
+                    static_cast<unsigned long long>(fs.reordered),
+                    static_cast<unsigned long long>(fs.corrupted),
+                    static_cast<unsigned long long>(fs.skewed));
+    }
     if (opt.metrics) {
-        const engine_metrics m = engine.metrics();
+        engine_metrics m = engine.metrics();
+        if (faults != nullptr) {
+            // The injector, not the engine, knows which sources went dark.
+            m.degraded.sources_in_dropout = faults->stats().sources_in_dropout;
+        }
         std::printf("%s", m.render().c_str());
     }
 
@@ -244,6 +295,10 @@ int main(int argc, char** argv) {
             opt.record_file = value();
         } else if (arg == "--replay") {
             opt.replay_file = value();
+        } else if (arg == "--faults") {
+            opt.faults_spec = value();
+        } else if (arg == "--overflow") {
+            opt.overflow = value();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -299,14 +354,36 @@ int main(int argc, char** argv) {
     if (opt.extended) register_extended_alert_types(registry);
     const syslog_classifier syslog = syslog_classifier::train_from_catalog();
 
+    const auto policy = parse_overflow_policy(opt.overflow);
+    if (!policy) {
+        std::fprintf(stderr, "unknown overflow policy: %s\n", opt.overflow.c_str());
+        usage();
+        return 2;
+    }
+
+    std::unique_ptr<fault_injector> faults;
+    if (!opt.faults_spec.empty()) {
+        fault_parse_result parsed = parse_fault_spec(opt.faults_spec);
+        for (const fault_parse_error& e : parsed.errors) {
+            std::fprintf(stderr, "--faults: bad clause '%s': %s\n", e.clause.c_str(),
+                         e.message.c_str());
+        }
+        if (!parsed.ok()) return 2;
+        faults = std::make_unique<fault_injector>(parsed.spec);
+        std::printf("faults: injecting '%s'\n", opt.faults_spec.c_str());
+    }
+
     const skynet_engine::deps deps{&topo, &customers, &registry, &syslog};
     if (opt.shards > 0) {
         sharded_config scfg;
         scfg.shards = static_cast<std::size_t>(opt.shards);
+        scfg.overflow = *policy;
+        if (faults) scfg.force_full = faults->queue_pressure_hook();
         sharded_engine engine(deps, scfg);
-        std::printf("engine: region-sharded, %zu shards\n", engine.shard_count());
-        return run_session(engine, opt, topo, customers);
+        std::printf("engine: region-sharded, %zu shards, overflow=%s\n", engine.shard_count(),
+                    std::string(to_string(*policy)).c_str());
+        return run_session(engine, opt, topo, customers, faults.get());
     }
     skynet_engine engine(deps);
-    return run_session(engine, opt, topo, customers);
+    return run_session(engine, opt, topo, customers, faults.get());
 }

@@ -38,6 +38,7 @@ engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept
     preprocess += other.preprocess;
     locate += other.locate;
     evaluate += other.evaluate;
+    degraded += other.degraded;
     alerts_in += other.alerts_in;
     batches_in += other.batches_in;
     ticks += other.ticks;
@@ -76,6 +77,16 @@ std::string engine_metrics::render() const {
                       static_cast<unsigned long long>(max_queue_depth),
                       static_cast<unsigned long long>(enqueue_full_waits),
                       static_cast<double>(busy_ns) / 1e6);
+        out += buf;
+    }
+    if (degraded.any()) {
+        std::snprintf(buf, sizeof buf,
+                      "  degraded: %llu rejected, %llu dropped (overflow), %llu skew-clamped, "
+                      "%llu sources in dropout\n",
+                      static_cast<unsigned long long>(degraded.alerts_rejected),
+                      static_cast<unsigned long long>(degraded.alerts_dropped_overflow),
+                      static_cast<unsigned long long>(degraded.skew_clamped),
+                      static_cast<unsigned long long>(degraded.sources_in_dropout));
         out += buf;
     }
     return out;

@@ -60,6 +60,10 @@ void skynet_engine::ingest(const raw_alert& raw, sim_time now) {
     stage_timer pre(metrics_.preprocess);
     std::vector<preprocess_event> events = pre_.process(raw, now);
     pre.stop(1);
+    // Snapshot (not increment): the preprocessor owns the running counts.
+    metrics_.degraded.alerts_rejected =
+        static_cast<std::uint64_t>(pre_.stats().rejected_malformed);
+    metrics_.degraded.skew_clamped = static_cast<std::uint64_t>(pre_.stats().skew_clamped);
 
     stage_timer locate(metrics_.locate);
     for (preprocess_event& ev : events) {

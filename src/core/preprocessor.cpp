@@ -1,6 +1,7 @@
 #include "skynet/core/preprocessor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "skynet/common/error.h"
@@ -102,6 +103,12 @@ void preprocessor::emit(structured_alert alert, sim_time now, std::vector<prepro
 
 void preprocessor::route(structured_alert alert, sim_time now,
                          std::vector<preprocess_event>& out) {
+    // Defense in depth: an inverted time range would corrupt every
+    // downstream window computation; refuse it rather than assert.
+    if (alert.when.begin > alert.when.end) {
+        ++stats_.rejected_malformed;
+        return;
+    }
     // Single-source persistence rule: end-to-end loss probes and
     // liveness-probe results must recur across *distinct observations*
     // before they count (sporadic loss is ignored; a glitching prober
@@ -187,11 +194,42 @@ void preprocessor::route(structured_alert alert, sim_time now,
     emit(std::move(alert), now, out);
 }
 
+const char* preprocessor::reject_reason(const raw_alert& raw) const {
+    if (!std::isfinite(raw.metric)) return "non-finite metric";
+    if (raw.timestamp < 0) return "pre-epoch timestamp";
+    if (raw.device && *raw.device >= topo_->devices().size()) return "dangling device id";
+    if (raw.link && *raw.link >= topo_->links().size()) return "dangling link id";
+    const location_table& table = topo_->locations();
+    // The sentinel means "not interned yet", which is fine; anything else
+    // out of range is a garbled id that downstream tables would walk off.
+    const location_id ids[] = {raw.loc_id, raw.src_id, raw.dst_id};
+    for (const location_id id : ids) {
+        if (id != invalid_location_id && id >= table.size()) return "dangling location id";
+    }
+    return nullptr;
+}
+
 std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_time now) {
     ++stats_.raw_in;
     std::vector<preprocess_event> out;
 
-    auto structured = to_structured(raw);
+    if (reject_reason(raw) != nullptr) {
+        ++stats_.rejected_malformed;
+        return out;
+    }
+
+    // Clock skew: a generation timestamp ahead of the arrival time would
+    // invert downstream time ranges; clamp it to the arrival.
+    raw_alert clamped;
+    const raw_alert* input = &raw;
+    if (raw.timestamp > now) {
+        clamped = raw;
+        clamped.timestamp = now;
+        input = &clamped;
+        ++stats_.skew_clamped;
+    }
+
+    auto structured = to_structured(*input);
     if (!structured) {
         ++stats_.dropped_unclassified;
         if (miner_ != nullptr && raw.source == data_source::syslog) {

@@ -17,10 +17,27 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+std::string_view to_string(overflow_policy policy) noexcept {
+    switch (policy) {
+        case overflow_policy::block: return "block";
+        case overflow_policy::drop_oldest: return "drop_oldest";
+        case overflow_policy::reject: return "reject";
+    }
+    return "block";
+}
+
+std::optional<overflow_policy> parse_overflow_policy(std::string_view token) noexcept {
+    if (token == "block") return overflow_policy::block;
+    if (token == "drop_oldest" || token == "drop-oldest") return overflow_policy::drop_oldest;
+    if (token == "reject") return overflow_policy::reject;
+    return std::nullopt;
+}
+
 sharded_engine::sharded_engine(skynet_engine::deps d, sharded_config config)
     : config_(std::move(config)), topo_(d.topo) {
     if (config_.shards == 0) config_.shards = 1;
     if (config_.max_ingest_batch == 0) config_.max_ingest_batch = 1;
+    if (config_.backlog_batches == 0) config_.backlog_batches = 1;
     // Shard ids must agree with a sequential engine on the same trace.
     config_.engine.loc.deterministic_ids = true;
     shards_.reserve(config_.shards);
@@ -74,11 +91,16 @@ void sharded_engine::worker_loop(shard& s) {
 
 std::size_t sharded_engine::shard_of(const raw_alert& raw, location_id& interned) {
     location_table& table = topo_->locations();
+    // A dangling (garbled) id is preserved for the shard's preprocessor
+    // to reject with a reason; routing must not walk the table with it.
+    const bool dangling = raw.loc_id != invalid_location_id && raw.loc_id >= table.size();
     interned = (raw.loc_id != invalid_location_id) ? raw.loc_id : table.intern(raw.loc);
-    location_id region = table.region_of(interned);
-    if (region == root_location_id && raw.device && topo_ != nullptr) {
+    location_id region = dangling ? root_location_id : table.region_of(interned);
+    if (region == root_location_id && raw.device && topo_ != nullptr &&
+        *raw.device < topo_->devices().size()) {
         // Device-attributed alert with an unset location: fall back to
-        // the device's home region.
+        // the device's home region. Dangling device ids stay in the
+        // unattributable bucket instead of crashing the router.
         region = table.region_of(topo_->device_at(*raw.device).loc_id);
     }
     // Unattributable (cross-region / global) alerts share one shard —
@@ -99,15 +121,76 @@ void sharded_engine::append(std::size_t idx, const raw_alert& raw, location_id i
         command cmd;
         cmd.what = command::op::ingest;
         cmd.batch = std::move(s.pending);
-        submit(s, std::move(cmd));
+        submit_ingest(s, std::move(cmd));
         s.pending = {};
     }
 }
 
-void sharded_engine::submit(shard& s, command cmd) {
-    s.full_waits += s.queue.push(std::move(cmd));
+bool sharded_engine::forced_full() const {
+    return config_.force_full && config_.force_full();
+}
+
+void sharded_engine::note_enqueued(shard& s, std::size_t waits) {
+    s.full_waits += waits;
     s.max_depth = std::max(s.max_depth, static_cast<std::uint64_t>(s.queue.size()));
     ++s.submitted;
+}
+
+void sharded_engine::drain_backlog(shard& s, bool blocking, bool pressured) {
+    while (!s.backlog.empty()) {
+        if (blocking) {
+            const std::size_t waits = s.queue.push(std::move(s.backlog.front()));
+            note_enqueued(s, waits);
+            s.backlog.pop_front();
+            continue;
+        }
+        if (pressured || !s.queue.try_push(s.backlog.front())) return;
+        note_enqueued(s, 0);
+        s.backlog.pop_front();
+    }
+}
+
+void sharded_engine::submit(shard& s, command cmd) {
+    // Barrier commands ride behind any backlogged ingest — command order
+    // is the correctness contract — and always block; a forced-full
+    // window may shed data, never a barrier.
+    drain_backlog(s, /*blocking=*/true, /*pressured=*/false);
+    const std::size_t waits = s.queue.push(std::move(cmd));
+    note_enqueued(s, waits);
+}
+
+void sharded_engine::submit_ingest(shard& s, command cmd) {
+    const bool pressured = forced_full();
+    switch (config_.overflow) {
+        case overflow_policy::block:
+            // Lossless: a forced-full window registers as backpressure
+            // (the real queue cannot be held artificially full without
+            // stalling the test clock), a genuinely full queue blocks.
+            if (pressured) ++s.full_waits;
+            submit(s, std::move(cmd));
+            return;
+        case overflow_policy::reject:
+            if (!pressured && s.queue.try_push(cmd)) {
+                note_enqueued(s, 0);
+                return;
+            }
+            ++s.full_waits;
+            s.dropped_overflow += cmd.batch.size();
+            return;
+        case overflow_policy::drop_oldest:
+            drain_backlog(s, /*blocking=*/false, pressured);
+            if (s.backlog.empty() && !pressured && s.queue.try_push(cmd)) {
+                note_enqueued(s, 0);
+                return;
+            }
+            ++s.full_waits;
+            s.backlog.push_back(std::move(cmd));
+            while (s.backlog.size() > config_.backlog_batches) {
+                s.dropped_overflow += s.backlog.front().batch.size();
+                s.backlog.pop_front();
+            }
+            return;
+    }
 }
 
 void sharded_engine::flush_pending() {
@@ -116,7 +199,7 @@ void sharded_engine::flush_pending() {
         command cmd;
         cmd.what = command::op::ingest;
         cmd.batch = std::move(s->pending);
-        submit(*s, std::move(cmd));
+        submit_ingest(*s, std::move(cmd));
         s->pending = {};
     }
 }
@@ -133,6 +216,9 @@ void sharded_engine::barrier() {
 
 void sharded_engine::sync() {
     flush_pending();
+    // Deliver surviving backlog before any inline engine access: what was
+    // shed is gone, what was held must not be.
+    for (auto& s : shards_) drain_backlog(*s, /*blocking=*/true, /*pressured=*/false);
     barrier();
 }
 
@@ -239,6 +325,7 @@ engine_metrics sharded_engine::metrics() {
         total.enqueue_full_waits += s->full_waits;
         total.max_queue_depth = std::max(total.max_queue_depth, s->max_depth);
         total.busy_ns += s->busy_ns.load(std::memory_order_relaxed);
+        total.degraded.alerts_dropped_overflow += s->dropped_overflow;
     }
     // Per-shard engines each count every fan-out; report engine-level
     // tick and batch counts instead.
@@ -254,6 +341,7 @@ engine_metrics sharded_engine::shard_metrics(std::size_t shard_index) {
     m.enqueue_full_waits = s.full_waits;
     m.max_queue_depth = s.max_depth;
     m.busy_ns = s.busy_ns.load(std::memory_order_relaxed);
+    m.degraded.alerts_dropped_overflow = s.dropped_overflow;
     return m;
 }
 

@@ -2,10 +2,13 @@
 //
 // Backs the sharded engine's per-shard command stream: the caller thread
 // pushes ingest batches and tick barriers, exactly one worker pops.
-// Lock-free power-of-two ring buffer; when the ring is full the producer
-// spins with yield (backpressure), and the number of full-queue waits is
-// returned so the caller can surface it as a metric. Blocking pops use
-// C++20 atomic wait/notify, so an idle worker sleeps instead of spinning.
+// Lock-free power-of-two ring buffer. Both endpoints use bounded
+// spin-then-park waiting (C++20 atomic wait/notify): a consumer facing a
+// dropped producer, or a producer facing a stalled shard, sleeps on a
+// futex after a short yield phase instead of burning a core — the
+// degradation semantics the fault-injection suite exercises. try_push
+// never blocks, which is what the sharded engine's non-blocking overflow
+// policies (drop_oldest / reject) build on.
 #pragma once
 
 #include <atomic>
@@ -25,14 +28,36 @@ public:
         mask_ = cap - 1;
     }
 
-    /// Producer only. Blocks (yield-spin) while the ring is full; returns
-    /// how many times it had to wait.
+    /// Producer only; non-blocking. False when the ring is full.
+    bool try_push(T& value) {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        tail_.notify_one();
+        return true;
+    }
+
+    /// Producer only. Blocks while the ring is full — a short yield spin,
+    /// then parks until the consumer frees a slot, so a stalled shard
+    /// cannot make the caller burn a core. Returns how many times it had
+    /// to wait (backpressure, surfaced as a metric).
     std::size_t push(T value) {
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         std::size_t waits = 0;
-        while (tail - head_.load(std::memory_order_acquire) > mask_) {
+        std::size_t spins = 0;
+        for (;;) {
+            const std::size_t head = head_.load(std::memory_order_acquire);
+            if (tail - head <= mask_) break;
             ++waits;
-            std::this_thread::yield();
+            if (++spins <= spin_limit) {
+                std::this_thread::yield();
+            } else {
+                // Park until head_ moves past the value we saw; the wait
+                // rechecks the value, so a pop between our load and the
+                // sleep just returns immediately.
+                head_.wait(head, std::memory_order_acquire);
+            }
         }
         slots_[tail & mask_] = std::move(value);
         tail_.store(tail + 1, std::memory_order_release);
@@ -46,15 +71,24 @@ public:
         if (head == tail_.load(std::memory_order_acquire)) return false;
         out = std::move(slots_[head & mask_]);
         head_.store(head + 1, std::memory_order_release);
+        head_.notify_one();
         return true;
     }
 
-    /// Consumer only; sleeps until an item is available. Shutdown is a
-    /// queue message, not a flag, so wakeups cannot be missed.
+    /// Consumer only; sleeps until an item is available — bounded yield
+    /// spin first (the common fast path under load), then a futex park,
+    /// so a dropped producer cannot make an idle worker burn a core.
+    /// Shutdown is a queue message, not a flag, so wakeups cannot be
+    /// missed.
     void pop_blocking(T& out) {
+        std::size_t spins = 0;
         for (;;) {
             if (try_pop(out)) return;
-            // Empty: sleep until tail_ moves past the value we saw.
+            if (++spins <= spin_limit) {
+                std::this_thread::yield();
+                continue;
+            }
+            // Empty: park until tail_ moves past the value we saw.
             tail_.wait(head_.load(std::memory_order_relaxed), std::memory_order_acquire);
         }
     }
@@ -66,6 +100,10 @@ public:
     [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
 private:
+    /// Yields tolerated before parking. Short: a healthy peer responds in
+    /// far fewer; past this the peer is presumed stalled or gone.
+    static constexpr std::size_t spin_limit = 64;
+
     std::vector<T> slots_;
     std::size_t mask_{0};
     // Separate cache lines so producer stores do not thrash consumer loads.

@@ -59,10 +59,35 @@ struct stage_metrics {
     stage_metrics& operator+=(const stage_metrics& other) noexcept;
 };
 
+/// Graceful-degradation counters: what the pipeline shed, clamped, or
+/// refused instead of crashing or silently corrupting reports. Rendered
+/// by --metrics; the fault-injection suite asserts every injected
+/// pathology lands in exactly one of these.
+struct degraded_metrics {
+    std::uint64_t alerts_rejected{0};         ///< malformed input refused with a reason
+    std::uint64_t alerts_dropped_overflow{0};  ///< shed by the queue overflow policy
+    std::uint64_t skew_clamped{0};            ///< future timestamps clamped to arrival
+    std::uint64_t sources_in_dropout{0};      ///< distinct sources seen dark (fault layer)
+
+    [[nodiscard]] bool any() const noexcept {
+        return alerts_rejected != 0 || alerts_dropped_overflow != 0 || skew_clamped != 0 ||
+               sources_in_dropout != 0;
+    }
+
+    degraded_metrics& operator+=(const degraded_metrics& other) noexcept {
+        alerts_rejected += other.alerts_rejected;
+        alerts_dropped_overflow += other.alerts_dropped_overflow;
+        skew_clamped += other.skew_clamped;
+        sources_in_dropout += other.sources_in_dropout;
+        return *this;
+    }
+};
+
 struct engine_metrics {
     stage_metrics preprocess;  ///< raw -> structured conversion + flush
     stage_metrics locate;      ///< main-tree insert/refresh + incident checks
     stage_metrics evaluate;    ///< severity scoring + zoom-in
+    degraded_metrics degraded;  ///< graceful-degradation accounting
     std::uint64_t alerts_in{0};
     std::uint64_t batches_in{0};
     std::uint64_t ticks{0};

@@ -59,6 +59,13 @@ struct preprocessor_stats {
     std::int64_t dropped_unclassified{0};
     std::int64_t dropped_uncorroborated{0};
     std::int64_t merged_related{0};
+    /// Malformed inputs refused with a reason (dangling device/link
+    /// references, non-finite metrics, pre-epoch timestamps, inverted
+    /// time ranges) instead of corrupting downstream state.
+    std::int64_t rejected_malformed{0};
+    /// Alerts whose generation timestamp was ahead of their arrival time
+    /// (clock skew); the timestamp is clamped to the arrival.
+    std::int64_t skew_clamped{0};
 
     /// Accumulation across engines (the sharded engine's merged view).
     preprocessor_stats& operator+=(const preprocessor_stats& other) noexcept {
@@ -70,6 +77,8 @@ struct preprocessor_stats {
         dropped_unclassified += other.dropped_unclassified;
         dropped_uncorroborated += other.dropped_uncorroborated;
         merged_related += other.merged_related;
+        rejected_malformed += other.rejected_malformed;
+        skew_clamped += other.skew_clamped;
         return *this;
     }
 
@@ -92,8 +101,17 @@ public:
 
     /// Feeds one raw alert; returns zero or more structured outputs.
     /// `now` is the arrival time (>= alert timestamp under delivery
-    /// delays).
+    /// delays; a timestamp ahead of `now` is clock skew and is clamped).
+    /// Malformed alerts are rejected with a reason (see reject_reason),
+    /// never asserted on — degraded monitor streams must not take the
+    /// pipeline down.
     [[nodiscard]] std::vector<preprocess_event> process(const raw_alert& raw, sim_time now);
+
+    /// Why a raw alert would be refused, or nullptr when it is
+    /// well-formed. Checks references (device/link/location ids) against
+    /// the topology, the metric for non-finite values, and the timestamp
+    /// for pre-epoch garbage.
+    [[nodiscard]] const char* reject_reason(const raw_alert& raw) const;
 
     /// Periodic maintenance: expires open alerts, resolves pending
     /// correlation buffers. Returns alerts released by the flush (e.g.

@@ -21,7 +21,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -32,6 +35,27 @@
 #include "skynet/core/pipeline.h"
 
 namespace skynet {
+
+/// What the ingest path does when a shard's command queue is full.
+/// Barrier commands (tick/finish/stop) always block — dropping a barrier
+/// would deadlock the caller — so the policy governs ingest only.
+enum class overflow_policy : std::uint8_t {
+    /// Spin-then-park until the worker frees a slot (lossless
+    /// backpressure; the default, and the only policy that preserves
+    /// sequential/sharded report parity because nothing is shed).
+    block,
+    /// Shed the *oldest* waiting ingest batch once the producer-side
+    /// backlog overflows; newest data survives (alert floods are
+    /// redundant, the freshest observations matter most).
+    drop_oldest,
+    /// Shed the *incoming* batch when the queue is full; whatever is
+    /// already queued survives (cheapest: no backlog buffering at all).
+    reject,
+};
+
+[[nodiscard]] std::string_view to_string(overflow_policy policy) noexcept;
+[[nodiscard]] std::optional<overflow_policy> parse_overflow_policy(
+    std::string_view token) noexcept;
 
 struct sharded_config {
     /// Worker shard count (clamped to >= 1). Regions are assigned to
@@ -45,6 +69,18 @@ struct sharded_config {
     /// Ingest commands are coalesced into batches of up to this many
     /// alerts before being enqueued (amortizes queue traffic).
     std::size_t max_ingest_batch = 64;
+    /// Full-queue behaviour for ingest commands (see overflow_policy).
+    /// Shedding policies count every discarded alert in
+    /// engine_metrics::degraded.alerts_dropped_overflow.
+    overflow_policy overflow = overflow_policy::block;
+    /// drop_oldest only: ingest batches the producer may hold while the
+    /// queue is full before the oldest is shed (clamped to >= 1).
+    std::size_t backlog_batches = 16;
+    /// Fault hook: when set and returning true, the submit path treats
+    /// the shard queue as full (a forced-full window) regardless of real
+    /// occupancy. Drives overflow-policy tests and the --faults
+    /// pressure clause; see fault_injector::queue_pressure_hook().
+    std::function<bool()> force_full{};
     /// Per-shard engine configuration. locator deterministic_ids is
     /// forced on so merged ids are stable across shard counts.
     skynet_config engine{};
@@ -119,9 +155,12 @@ private:
         spsc_queue<command> queue;
         // Producer-side accounting (caller thread only).
         std::vector<traced_alert> pending;
+        /// Ingest commands waiting out a full queue (drop_oldest only).
+        std::deque<command> backlog;
         std::uint64_t submitted{0};
         std::uint64_t full_waits{0};
         std::uint64_t max_depth{0};
+        std::uint64_t dropped_overflow{0};
         // Worker-side completion, waited on by the caller's barrier.
         std::atomic<std::uint64_t> completed{0};
         std::atomic<std::uint64_t> busy_ns{0};
@@ -132,10 +171,23 @@ private:
     /// Shard owning the alert's region, keyed by the interned region id
     /// (the root id groups unattributable alerts). Also interns the
     /// alert's full location into `interned` so the shard's preprocessor
-    /// skips the string walk.
+    /// skips the string walk. Garbled references (dangling location or
+    /// device ids) route to the unattributable bucket unchanged, so the
+    /// shard's preprocessor rejects them exactly as a sequential engine
+    /// would — never dereferenced here.
     [[nodiscard]] std::size_t shard_of(const raw_alert& raw, location_id& interned);
     void append(std::size_t idx, const raw_alert& raw, location_id interned, sim_time now);
+    /// Barrier-grade enqueue: drains the backlog, then blocks until the
+    /// command fits. tick/finish/stop and sync points go through here.
     void submit(shard& s, command cmd);
+    /// Policy-governed enqueue for ingest commands.
+    void submit_ingest(shard& s, command cmd);
+    /// Re-enqueues backlogged ingest. Non-blocking unless `blocking`;
+    /// under a forced-full window the non-blocking drain stalls too.
+    void drain_backlog(shard& s, bool blocking, bool pressured);
+    [[nodiscard]] bool forced_full() const;
+    /// Bookkeeping shared by every successful enqueue.
+    void note_enqueued(shard& s, std::size_t waits);
     void flush_pending();
     /// Waits until every shard has executed everything submitted to it.
     void barrier();

@@ -2,6 +2,8 @@
 // location zoom-in.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "skynet/core/evaluator.h"
 
 namespace skynet {
@@ -174,6 +176,41 @@ TEST(EvaluatorTest, SeverityFilterThreshold) {
     above.score = 10.0;
     EXPECT_FALSE(eval.passes_filter(below));
     EXPECT_TRUE(eval.passes_filter(above));
+}
+
+TEST(EvaluatorTest, SeverityFilterBoundaryIsInclusive) {
+    // The filter is `score >= threshold`: a score exactly at 10 is kept,
+    // the largest double strictly below 10 is filtered. One ULP decides.
+    fixture f;
+    evaluator eval(&f.topo, &f.customers, evaluator_config{.severity_threshold = 10.0});
+    severity_breakdown s;
+    s.score = 10.0;
+    EXPECT_TRUE(eval.passes_filter(s));
+    s.score = std::nextafter(10.0, 0.0);
+    EXPECT_FALSE(eval.passes_filter(s));
+    s.score = std::nextafter(10.0, 20.0);
+    EXPECT_TRUE(eval.passes_filter(s));
+}
+
+TEST(EvaluatorTest, SeverityFilterBoundaryOnComputedScore) {
+    // Same one-ULP boundary, but against a *computed* score: pin the
+    // threshold to exactly what evaluate() returns, then nudge it up by
+    // one ULP and watch the same incident get filtered.
+    fixture f;
+    network_state state(&f.topo, &f.customers);
+    const incident inc = f.make_incident(0.2, minutes(10));
+
+    evaluator probe(&f.topo, &f.customers);
+    const double score = probe.evaluate(inc, state, minutes(10)).score;
+    ASSERT_GT(score, 0.0);
+
+    evaluator at(&f.topo, &f.customers, evaluator_config{.severity_threshold = score});
+    EXPECT_TRUE(at.passes_filter(at.evaluate(inc, state, minutes(10))));
+
+    const double barely_above = std::nextafter(score, score + 1.0);
+    evaluator over(&f.topo, &f.customers,
+                   evaluator_config{.severity_threshold = barely_above});
+    EXPECT_FALSE(over.passes_filter(over.evaluate(inc, state, minutes(10))));
 }
 
 TEST(EvaluatorTest, BuildMatrixFromPairAlerts) {
