@@ -1,0 +1,143 @@
+// Journal-overhead microbench: the cost of write-ahead durability.
+//
+// Streams one recorded failure episode through a sequential engine
+// twice — bare, and wrapped in a persist::durable_session journaling to
+// a scratch directory — and reports the ingest+tick wall-clock ratio.
+// DESIGN.md "Durability & recovery" budgets <= 15% slowdown for the
+// journal-only configuration (checkpoints amortize separately).
+//
+//   ./bench_journal_overhead [episodes] [flush_every]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "harness.h"
+#include "skynet/persist/durable.h"
+#include "skynet/sim/trace.h"
+
+namespace {
+
+using namespace skynet;
+
+struct command {
+    persist::record_type kind{persist::record_type::batch};
+    std::vector<traced_alert> batch;
+    sim_time now{0};
+};
+
+std::vector<command> record_episode(bench::world& w, std::uint64_t seed) {
+    std::vector<command> commands;
+    simulation_engine sim(&w.topo, &w.customers,
+                          engine_params{.tick = seconds(2), .seed = seed});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.02});
+    rng srand(seed + 2);
+    sim.inject(make_random_scenario(w.topo, srand, true), minutes(1), minutes(4));
+    sim.run_until_batched(
+        minutes(7),
+        [&](std::span<const traced_alert> batch) {
+            if (batch.empty()) return;
+            trace_parse_result normalized = parse_trace(serialize_trace(batch));
+            commands.push_back(command{.kind = persist::record_type::batch,
+                                       .batch = std::move(normalized.alerts),
+                                       .now = 0});
+        },
+        [&](sim_time now) {
+            commands.push_back(
+                command{.kind = persist::record_type::tick, .batch = {}, .now = now});
+        });
+    commands.push_back(command{.kind = persist::record_type::finish,
+                               .batch = {},
+                               .now = sim.clock().now()});
+    return commands;
+}
+
+template <typename Sink>
+void stream(Sink& sink, const std::vector<command>& commands, const network_state& idle) {
+    for (const command& c : commands) {
+        switch (c.kind) {
+            case persist::record_type::batch:
+                sink.ingest_batch(std::span<const traced_alert>(c.batch));
+                break;
+            case persist::record_type::tick:
+                sink.tick(c.now, idle);
+                break;
+            case persist::record_type::finish:
+                sink.finish(c.now, idle);
+                break;
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int episodes = argc > 1 ? std::atoi(argv[1]) : 5;
+    const std::size_t flush_every =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 16;
+
+    bench::world w;
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "skynet_bench_journal";
+
+    std::printf("journal overhead: %d episodes, flush_every=%zu\n", episodes, flush_every);
+    std::printf("%-8s %12s %12s %12s %10s\n", "episode", "alerts", "bare_ms", "journal_ms",
+                "overhead");
+
+    double bare_total = 0.0;
+    double journal_total = 0.0;
+    for (int ep = 0; ep < episodes; ++ep) {
+        const std::uint64_t seed = 100 + static_cast<std::uint64_t>(ep);
+        const std::vector<command> commands = record_episode(w, seed);
+        std::int64_t alerts = 0;
+        for (const command& c : commands) {
+            alerts += static_cast<std::int64_t>(c.batch.size());
+        }
+        network_state idle(&w.topo, &w.customers);
+
+        // Episodes run in milliseconds, where a single scheduler hiccup
+        // swamps the signal — time several passes of each variant and
+        // keep the best.
+        constexpr int passes = 3;
+        double bare_s = 1e30;
+        double journal_s = 1e30;
+        for (int pass = 0; pass < passes; ++pass) {
+            {
+                skynet_engine eng({&w.topo, &w.customers, &w.registry, &w.syslog}, cfg);
+                const bench::stopwatch timer;
+                stream(eng, commands, idle);
+                bare_s = std::min(bare_s, timer.seconds());
+                (void)eng.take_reports();
+            }
+            {
+                std::filesystem::remove_all(dir);
+                skynet_engine eng({&w.topo, &w.customers, &w.registry, &w.syslog}, cfg);
+                persist::durable_options opts;
+                opts.dir = dir.string();
+                opts.checkpoint_every = 0;  // journal cost only
+                opts.flush_every = flush_every;
+                opts.locations = &w.topo.locations();
+                persist::durable_session<skynet_engine> session(eng, opts);
+                const bench::stopwatch timer;
+                stream(session, commands, idle);
+                journal_s = std::min(journal_s, timer.seconds());
+                (void)eng.take_reports();
+            }
+        }
+
+        bare_total += bare_s;
+        journal_total += journal_s;
+        std::printf("%-8d %12lld %12.2f %12.2f %9.1f%%\n", ep,
+                    static_cast<long long>(alerts), bare_s * 1e3, journal_s * 1e3,
+                    (journal_s / bare_s - 1.0) * 100.0);
+    }
+    std::filesystem::remove_all(dir);
+    const double overhead = (journal_total / bare_total - 1.0) * 100.0;
+    std::printf("total: bare %.1f ms, journaled %.1f ms -> %.1f%% overhead (target <= 15%%)\n",
+                bare_total * 1e3, journal_total * 1e3, overhead);
+    return overhead <= 15.0 ? 0 : 1;
+}

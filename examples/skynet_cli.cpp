@@ -20,6 +20,8 @@
 #include "skynet/core/pipeline.h"
 #include "skynet/core/sharded_engine.h"
 #include "skynet/monitors/extended_monitors.h"
+#include "skynet/persist/durable.h"
+#include "skynet/persist/recovery.h"
 #include "skynet/sim/engine.h"
 #include "skynet/sim/faults.h"
 #include "skynet/sim/trace.h"
@@ -37,6 +39,7 @@ struct options {
     std::string record_file;
     std::string replay_file;
     std::string faults_spec;
+    std::string checkpoint_dir;
     std::string overflow = "block";
     std::string scenario_name = "random";
     bool severe = true;
@@ -44,7 +47,10 @@ struct options {
     bool timeline = false;
     bool extended = false;
     bool metrics = false;
+    bool recover = false;
     int shards = 0;  // 0 = sequential engine
+    int checkpoint_every = 8;
+    std::uint64_t crash_after = 0;
     int duration_min = 5;
     int customers = 400;
     double noise = 0.02;
@@ -76,7 +82,15 @@ void usage() {
         "                                   skew_rate=0.3;corrupt=0.02;drop:ping@60s+120s;\n"
         "                                   pressure=0.5' (see DESIGN.md fault model)\n"
         "  --overflow block|drop_oldest|reject\n"
-        "                                   shard-queue policy when full (default block)\n");
+        "                                   shard-queue policy when full (default block)\n"
+        "  --checkpoint-dir DIR             journal every --replay batch/tick and write\n"
+        "                                   barrier-consistent checkpoints into DIR\n"
+        "  --checkpoint-every N             barriers between checkpoints (default 8)\n"
+        "  --recover                        restore from --checkpoint-dir (newest valid\n"
+        "                                   snapshot + journal replay) before streaming\n"
+        "  --crash-after N                  crash drill: exit %d after the Nth journal\n"
+        "                                   record is durable, before it is applied\n",
+        persist::crash_exit_code);
 }
 
 std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo, rng& rand) {
@@ -110,60 +124,118 @@ template <typename Engine>
 int run_session(Engine& engine, const options& opt, const topology& topo,
                 const customer_registry& customers, fault_injector* faults) {
     std::int64_t raw = 0;
+    recovery_metrics persist_metrics;
 
-    const auto ingest = [&](std::span<const traced_alert> batch) {
+    // Generic over the sink so the replay path can route through a
+    // persist::durable_session (same ingest/tick/finish surface) while
+    // the simulation path keeps feeding the engine directly.
+    const auto ingest = [&](auto& sink, std::span<const traced_alert> batch) {
         if (faults == nullptr) {
-            engine.ingest_batch(batch);
+            sink.ingest_batch(batch);
             return;
         }
         const std::vector<traced_alert> degraded = faults->apply(batch);
-        engine.ingest_batch(std::span<const traced_alert>(degraded));
+        sink.ingest_batch(std::span<const traced_alert>(degraded));
     };
-    const auto release_held = [&](sim_time now) {
+    const auto release_held = [&](auto& sink, sim_time now) {
         if (faults == nullptr) return;
         const std::vector<traced_alert> due = faults->release(now);
-        if (!due.empty()) engine.ingest_batch(std::span<const traced_alert>(due));
+        if (!due.empty()) sink.ingest_batch(std::span<const traced_alert>(due));
     };
-    const auto drain_held = [&]() {
+    const auto drain_held = [&](auto& sink) {
         if (faults == nullptr) return;
         const std::vector<traced_alert> held = faults->drain();
-        if (!held.empty()) engine.ingest_batch(std::span<const traced_alert>(held));
+        if (!held.empty()) sink.ingest_batch(std::span<const traced_alert>(held));
     };
 
-    if (!opt.replay_file.empty()) {
-        std::ifstream in(opt.replay_file);
-        if (!in) {
-            std::fprintf(stderr, "cannot read %s\n", opt.replay_file.c_str());
-            return 1;
-        }
-        std::stringstream buffer;
-        buffer << in.rdbuf();
-        const trace_parse_result trace = parse_trace(buffer.str());
-        for (const trace_parse_error& e : trace.errors) {
-            std::fprintf(stderr, "%s:%d: %s\n", opt.replay_file.c_str(), e.line,
-                         e.message.c_str());
-        }
-        std::printf("replaying %zu alerts from %s\n", trace.alerts.size(),
-                    opt.replay_file.c_str());
+    if (!opt.replay_file.empty() || opt.recover) {
         network_state idle(&topo, &customers);
-        sim_time last_tick = 0;
-        sim_time last_arrival = 0;
-        std::vector<traced_alert> batch;
-        for (const traced_alert& t : trace.alerts) {
-            ++raw;
-            batch.push_back(t);
-            last_arrival = t.arrival;
-            if (t.arrival - last_tick >= seconds(2)) {
-                ingest(std::span<const traced_alert>(batch));
-                batch.clear();
-                release_held(t.arrival);
-                engine.tick(t.arrival, idle);
-                last_tick = t.arrival;
+
+        std::vector<traced_alert> alerts;
+        if (!opt.replay_file.empty()) {
+            std::ifstream in(opt.replay_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n", opt.replay_file.c_str());
+                return 1;
             }
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            trace_parse_result trace = parse_trace(buffer.str());
+            for (const trace_parse_error& e : trace.errors) {
+                std::fprintf(stderr, "%s:%d: %s\n", opt.replay_file.c_str(), e.line,
+                             e.message.c_str());
+            }
+            alerts = std::move(trace.alerts);
+            std::printf("replaying %zu alerts from %s\n", alerts.size(),
+                        opt.replay_file.c_str());
         }
-        ingest(std::span<const traced_alert>(batch));
-        drain_held();
-        engine.finish(last_arrival + minutes(20), idle);
+
+        // The journal records what the engine saw, so faults degrade the
+        // stream *before* the durable sink journals it: replay and resume
+        // both see the post-fault alerts.
+        const auto stream = [&](auto& sink) {
+            sim_time last_tick = 0;
+            sim_time last_arrival = 0;
+            std::vector<traced_alert> batch;
+            for (const traced_alert& t : alerts) {
+                ++raw;
+                batch.push_back(t);
+                last_arrival = t.arrival;
+                if (t.arrival - last_tick >= seconds(2)) {
+                    ingest(sink, std::span<const traced_alert>(batch));
+                    batch.clear();
+                    release_held(sink, t.arrival);
+                    sink.tick(t.arrival, idle);
+                    last_tick = t.arrival;
+                }
+            }
+            ingest(sink, std::span<const traced_alert>(batch));
+            drain_held(sink);
+            sink.finish(last_arrival + minutes(20), idle);
+        };
+
+        persist::recovery_result recovered;
+        if (opt.recover) {
+            persist::recovery_options ropts;
+            ropts.dir = opt.checkpoint_dir;
+            ropts.tick_state = &idle;
+            try {
+                recovered = persist::recover(engine, topo.locations(), nullptr, ropts);
+            } catch (const std::exception& e) {
+                // recover() prefixes its own messages with "recover:".
+                std::fprintf(stderr, "%s\n", e.what());
+                return 1;
+            }
+            for (const std::string& note : recovered.notes) {
+                std::printf("recover: %s\n", note.c_str());
+            }
+            persist_metrics = recovered.metrics;
+        }
+
+        if (opt.replay_file.empty()) {
+            // Inspect mode: recover alone. Close out the run if the
+            // journal never reached its finish barrier, then report.
+            if (!recovered.saw_finish) {
+                engine.finish(recovered.last_barrier_time + minutes(20), idle);
+            }
+        } else if (!opt.checkpoint_dir.empty()) {
+            persist::durable_options dopts;
+            dopts.dir = opt.checkpoint_dir;
+            dopts.checkpoint_every = static_cast<std::uint64_t>(opt.checkpoint_every);
+            dopts.crash_after = opt.crash_after;
+            dopts.resume_records = recovered.journal_records;
+            dopts.next_snapshot_seq = recovered.next_snapshot_seq;
+            dopts.base = recovered.metrics;
+            dopts.locations = &topo.locations();
+            persist::durable_session<Engine> session(engine, dopts);
+            stream(session);
+            persist_metrics = session.metrics();
+            if (!session.last_error().empty()) {
+                std::fprintf(stderr, "checkpoint: %s\n", session.last_error().c_str());
+            }
+        } else {
+            stream(engine);
+        }
     } else {
         simulation_engine sim(&topo, &customers,
                               engine_params{.tick = seconds(2), .seed = opt.seed});
@@ -187,16 +259,16 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
         sim.run_until_batched(minutes(1 + opt.duration_min) + minutes(2),
                               [&](std::span<const traced_alert> batch) {
                                   raw += static_cast<std::int64_t>(batch.size());
-                                  ingest(batch);
+                                  ingest(engine, batch);
                                   if (!opt.record_file.empty()) {
                                       recorded.insert(recorded.end(), batch.begin(), batch.end());
                                   }
                               },
                               [&](sim_time now) {
-                                  release_held(now);
+                                  release_held(engine, now);
                                   engine.tick(now, sim.state());
                               });
-        drain_held();
+        drain_held(engine);
         engine.finish(sim.clock().now(), sim.state());
 
         if (!opt.record_file.empty()) {
@@ -227,6 +299,7 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
     }
     if (opt.metrics) {
         engine_metrics m = engine.metrics();
+        m.recovery += persist_metrics;
         if (faults != nullptr) {
             // The injector, not the engine, knows which sources went dark.
             m.degraded.sources_in_dropout = faults->stats().sources_in_dropout;
@@ -299,6 +372,14 @@ int main(int argc, char** argv) {
             opt.faults_spec = value();
         } else if (arg == "--overflow") {
             opt.overflow = value();
+        } else if (arg == "--checkpoint-dir") {
+            opt.checkpoint_dir = value();
+        } else if (arg == "--checkpoint-every") {
+            opt.checkpoint_every = std::atoi(value());
+        } else if (arg == "--recover") {
+            opt.recover = true;
+        } else if (arg == "--crash-after") {
+            opt.crash_after = static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -307,6 +388,20 @@ int main(int argc, char** argv) {
             usage();
             return 2;
         }
+    }
+
+    if (opt.checkpoint_dir.empty() && (opt.recover || opt.crash_after > 0)) {
+        std::fprintf(stderr, "--recover and --crash-after require --checkpoint-dir\n");
+        return 2;
+    }
+    if (!opt.checkpoint_dir.empty() && opt.replay_file.empty() && !opt.recover) {
+        std::fprintf(stderr, "--checkpoint-dir requires --replay or --recover (the\n"
+                             "journal records replayed traces; use --record to make one)\n");
+        return 2;
+    }
+    if (opt.checkpoint_every < 1) {
+        std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
+        return 2;
     }
 
     // Topology: preset, or imported file.
@@ -323,6 +418,9 @@ int main(int argc, char** argv) {
         for (const topology_parse_error& e : parsed.errors) {
             std::fprintf(stderr, "%s:%d: %s\n", opt.topo_file.c_str(), e.line,
                          e.message.c_str());
+            if (!e.text.empty()) {
+                std::fprintf(stderr, "  | %s\n", e.text.c_str());
+            }
         }
         if (!parsed.ok()) return 1;
         topo = std::move(parsed.topo);

@@ -39,6 +39,7 @@ engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept
     locate += other.locate;
     evaluate += other.evaluate;
     degraded += other.degraded;
+    recovery += other.recovery;
     alerts_in += other.alerts_in;
     batches_in += other.batches_in;
     ticks += other.ticks;
@@ -82,11 +83,24 @@ std::string engine_metrics::render() const {
     if (degraded.any()) {
         std::snprintf(buf, sizeof buf,
                       "  degraded: %llu rejected, %llu dropped (overflow), %llu skew-clamped, "
-                      "%llu sources in dropout\n",
+                      "%llu sources in dropout, %llu dropped (failed shard)\n",
                       static_cast<unsigned long long>(degraded.alerts_rejected),
                       static_cast<unsigned long long>(degraded.alerts_dropped_overflow),
                       static_cast<unsigned long long>(degraded.skew_clamped),
-                      static_cast<unsigned long long>(degraded.sources_in_dropout));
+                      static_cast<unsigned long long>(degraded.sources_in_dropout),
+                      static_cast<unsigned long long>(degraded.alerts_dropped_failed_shard));
+        out += buf;
+    }
+    if (recovery.any()) {
+        std::snprintf(buf, sizeof buf,
+                      "  recovery: %llu journal records (%llu flushes), %llu checkpoints; "
+                      "%llu replayed, %llu tail bytes truncated, %llu snapshots skipped\n",
+                      static_cast<unsigned long long>(recovery.journal_records_written),
+                      static_cast<unsigned long long>(recovery.journal_flushes),
+                      static_cast<unsigned long long>(recovery.checkpoints_written),
+                      static_cast<unsigned long long>(recovery.records_replayed),
+                      static_cast<unsigned long long>(recovery.truncated_tail_bytes),
+                      static_cast<unsigned long long>(recovery.snapshots_skipped));
         out += buf;
     }
     return out;

@@ -5,10 +5,31 @@
 
 namespace skynet {
 
+bool incident_log::entry_keeps_invariant(const entry& e, const entry* prev) noexcept {
+    if (prev != nullptr && e.closed_at < prev->closed_at) return false;
+    return e.closed_at >= e.report.inc.when.end;
+}
+
 void incident_log::append(incident_report report, sim_time closed_at) {
     entries_.push_back(entry{.report = std::move(report),
                              .closed_at = closed_at,
                              .attributed_to_failure = std::nullopt});
+    if (fast_query_ &&
+        !entry_keeps_invariant(entries_.back(),
+                               entries_.size() > 1 ? &entries_[entries_.size() - 2] : nullptr)) {
+        fast_query_ = false;
+    }
+}
+
+void incident_log::restore(std::vector<entry> entries) {
+    entries_ = std::move(entries);
+    fast_query_ = true;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entry_keeps_invariant(entries_[i], i > 0 ? &entries_[i - 1] : nullptr)) {
+            fast_query_ = false;
+            break;
+        }
+    }
 }
 
 bool incident_log::label(std::uint64_t incident_id, bool is_failure) {
@@ -25,7 +46,16 @@ bool incident_log::label(std::uint64_t incident_id, bool is_failure) {
 std::vector<const incident_log::entry*> incident_log::query(const query_filter& filter) const {
     std::vector<const entry*> out;
     const bool use_window = !(filter.window.begin == 0 && filter.window.end == 0);
-    for (const entry& e : entries_) {
+    auto first = entries_.begin();
+    if (use_window && fast_query_) {
+        // Entries closed before the window opened ended at/before their
+        // close time, so they cannot overlap [begin, end].
+        first = std::partition_point(entries_.begin(), entries_.end(), [&](const entry& e) {
+            return e.closed_at < filter.window.begin;
+        });
+    }
+    for (auto it = first; it != entries_.end(); ++it) {
+        const entry& e = *it;
         if (use_window && !filter.window.overlaps(e.report.inc.when)) continue;
         if (!filter.scope.is_root() && !filter.scope.contains(e.report.inc.root)) continue;
         if (e.report.severity.score < filter.min_score) continue;

@@ -72,6 +72,66 @@ locator::locator(const topology* topo, locator_config config)
     if (topo_ == nullptr) throw skynet_error("locator: null topology");
 }
 
+locator::persist_state locator::export_state() const {
+    const location_table& table = topo_->locations();
+    persist_state out;
+    out.next_incident_id = next_incident_id_;
+    out.nodes.reserve(nodes_.size());
+    for (const auto& [loc, node] : nodes_) {
+        out.nodes.push_back(persist_state::node_state{
+            .loc = loc, .last_update = node.last_update, .alerts = node.alerts});
+    }
+    // Path order (not id order): canonical across id-assignment races.
+    std::sort(out.nodes.begin(), out.nodes.end(),
+              [&table](const auto& a, const auto& b) {
+                  return table.path_of(a.loc) < table.path_of(b.loc);
+              });
+    out.incidents.reserve(incident_states_.size());
+    for (const incident_state& st : incident_states_) {
+        persist_state::incident_entry e;
+        e.inc = st.inc;
+        e.root_id = st.root_id;
+        e.update_time = st.update_time;
+        e.nodes.reserve(st.nodes.size());
+        for (const auto& [loc, alerts] : st.nodes) {
+            e.nodes.push_back(
+                persist_state::node_state{.loc = loc, .last_update = 0, .alerts = alerts});
+        }
+        std::sort(e.nodes.begin(), e.nodes.end(),
+                  [&table](const auto& a, const auto& b) {
+                      return table.path_of(a.loc) < table.path_of(b.loc);
+                  });
+        out.incidents.push_back(std::move(e));
+    }
+    return out;
+}
+
+void locator::import_state(persist_state state) {
+    const location_table& table = topo_->locations();
+    nodes_.clear();
+    incident_states_.clear();
+    next_incident_id_ = state.next_incident_id;
+    for (persist_state::node_state& n : state.nodes) {
+        tree_node node;
+        node.loc = n.loc;
+        node.path = &table.path_of(n.loc);
+        node.alerts = std::move(n.alerts);
+        node.last_update = n.last_update;
+        nodes_.emplace(n.loc, std::move(node));
+    }
+    incident_states_.reserve(state.incidents.size());
+    for (persist_state::incident_entry& e : state.incidents) {
+        incident_state st;
+        st.inc = std::move(e.inc);
+        st.root_id = e.root_id;
+        st.update_time = e.update_time;
+        for (persist_state::node_state& n : e.nodes) {
+            st.nodes.emplace(n.loc, std::move(n.alerts));
+        }
+        incident_states_.push_back(std::move(st));
+    }
+}
+
 location_id locator::ensure_id(const structured_alert& alert) const {
     if (alert.loc_id != invalid_location_id) return alert.loc_id;
     return topo_->locations().intern(alert.loc);

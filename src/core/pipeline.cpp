@@ -55,6 +55,27 @@ skynet_engine::skynet_engine(const topology* topo, const customer_registry* cust
           deps{.topo = topo, .customers = customers, .registry = registry, .syslog = syslog},
           std::move(config)) {}
 
+skynet_engine::persist_state skynet_engine::export_state() const {
+    persist_state state;
+    state.pre = pre_.export_state();
+    state.loc = locator_.export_state();
+    state.structured_count = structured_count_;
+    state.live_scores.assign(live_scores_.begin(), live_scores_.end());
+    std::sort(state.live_scores.begin(), state.live_scores.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    state.finished = finished_;
+    return state;
+}
+
+void skynet_engine::import_state(persist_state state) {
+    pre_.import_state(std::move(state.pre));
+    locator_.import_state(std::move(state.loc));
+    structured_count_ = state.structured_count;
+    live_scores_.clear();
+    live_scores_.insert(state.live_scores.begin(), state.live_scores.end());
+    finished_ = std::move(state.finished);
+}
+
 void skynet_engine::ingest(const raw_alert& raw, sim_time now) {
     ++metrics_.alerts_in;
     stage_timer pre(metrics_.preprocess);

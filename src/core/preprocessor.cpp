@@ -8,11 +8,86 @@
 
 namespace skynet {
 
+namespace {
+
+/// Canonical alert order used everywhere the preprocessor must pick or
+/// emit from a set of consolidation entries: type id, then location
+/// path. Independent of hash-map layout and of the order location ids
+/// were interned in, so a restored-from-snapshot preprocessor and the
+/// original agree bit-for-bit on every future output.
+bool canonical_before(const structured_alert& a, const structured_alert& b) {
+    if (a.type != b.type) return a.type < b.type;
+    return a.loc < b.loc;
+}
+
+}  // namespace
+
 preprocessor::preprocessor(const topology* topo, const alert_type_registry* registry,
                            const syslog_classifier* syslog, preprocessor_config config)
     : topo_(topo), registry_(registry), syslog_(syslog), config_(config) {
     if (topo_ == nullptr || registry_ == nullptr) {
         throw skynet_error("preprocessor: null topology or registry");
+    }
+}
+
+preprocessor::persist_state preprocessor::export_state() const {
+    persist_state out;
+    out.stats = stats_;
+    out.open.reserve(open_.size());
+    for (const auto& [key, open] : open_) {
+        out.open.push_back(persist_state::open_entry{.alert = open.alert,
+                                                     .last_seen = open.last_seen});
+    }
+    std::sort(out.open.begin(), out.open.end(), [](const auto& a, const auto& b) {
+        return canonical_before(a.alert, b.alert);
+    });
+    const auto export_pending = [](const std::unordered_map<std::uint64_t, pending_alert>& from,
+                                   std::vector<persist_state::pending_entry>& to) {
+        to.reserve(from.size());
+        for (const auto& [key, p] : from) {
+            to.push_back(persist_state::pending_entry{.alert = p.alert,
+                                                      .occurrences = p.occurrences,
+                                                      .first_seen = p.first_seen,
+                                                      .last_seen = p.last_seen,
+                                                      .last_counted_ts = p.last_counted_ts});
+        }
+        std::sort(to.begin(), to.end(), [](const auto& a, const auto& b) {
+            return canonical_before(a.alert, b.alert);
+        });
+    };
+    export_pending(pending_persistence_, out.persistence);
+    export_pending(pending_correlation_, out.correlation);
+    out.sightings.reserve(sightings_.size());
+    for (const sighting& s : sightings_) {
+        out.sightings.push_back(persist_state::sighting_entry{.loc = s.loc, .at = s.at});
+    }
+    return out;
+}
+
+void preprocessor::import_state(persist_state state) {
+    stats_ = state.stats;
+    open_.clear();
+    for (persist_state::open_entry& e : state.open) {
+        const std::uint64_t key = key_of(e.alert);
+        open_[key] = open_alert{.alert = std::move(e.alert), .last_seen = e.last_seen};
+    }
+    const auto import_pending = [](std::vector<persist_state::pending_entry>& from,
+                                   std::unordered_map<std::uint64_t, pending_alert>& to) {
+        to.clear();
+        for (persist_state::pending_entry& e : from) {
+            const std::uint64_t key = key_of(e.alert);
+            to[key] = pending_alert{.alert = std::move(e.alert),
+                                    .occurrences = e.occurrences,
+                                    .first_seen = e.first_seen,
+                                    .last_seen = e.last_seen,
+                                    .last_counted_ts = e.last_counted_ts};
+        }
+    };
+    import_pending(state.persistence, pending_persistence_);
+    import_pending(state.correlation, pending_correlation_);
+    sightings_.clear();
+    for (const persist_state::sighting_entry& s : state.sightings) {
+        sightings_.push_back(sighting{.loc = s.loc, .at = s.at});
     }
 }
 
@@ -170,10 +245,13 @@ void preprocessor::route(structured_alert alert, sim_time now,
     }
 
     // Related-alert rule: a surge at one location implies surges on the
-    // paths around it; merge a surge into any open surge at an adjacent
-    // (ancestor/descendant/sibling-parent) location.
+    // paths around it; merge a surge into an open surge at an adjacent
+    // (ancestor/descendant/sibling-parent) location. When several open
+    // surges qualify, the canonical-first one absorbs the merge, so the
+    // outcome does not depend on hash-map iteration order.
     if (config_.consolidate_related && alert.type_name == "traffic surge") {
         const location_table& table = topo_->locations();
+        open_alert* target = nullptr;
         for (auto& [key, open] : open_) {
             if (open.alert.type_name != "traffic surge") continue;
             if (now - open.last_seen > config_.persistence_window) continue;
@@ -181,13 +259,17 @@ void preprocessor::route(structured_alert alert, sim_time now,
             const bool adjacent = table.contains(other, alert.loc_id) ||
                                   table.contains(alert.loc_id, other) ||
                                   table.parent_of(other) == table.parent_of(alert.loc_id);
-            if (adjacent && other != alert.loc_id) {
-                open.alert.count += 1;
-                open.alert.when.extend(alert.when.end);
-                open.last_seen = now;
-                ++stats_.merged_related;
-                return;
+            if (adjacent && other != alert.loc_id &&
+                (target == nullptr || canonical_before(open.alert, target->alert))) {
+                target = &open;
             }
+        }
+        if (target != nullptr) {
+            target->alert.count += 1;
+            target->alert.when.extend(alert.when.end);
+            target->last_seen = now;
+            ++stats_.merged_related;
+            return;
         }
     }
 
@@ -282,8 +364,20 @@ std::vector<preprocess_event> preprocessor::flush(sim_time now) {
     std::vector<preprocess_event> out;
 
     // Resolve pending traffic drops: corroborated ones are upgraded and
-    // released, expired loners are discarded.
-    for (auto it = pending_correlation_.begin(); it != pending_correlation_.end();) {
+    // released, expired loners are discarded. Resolution runs in the
+    // canonical alert order (not map order) so the emission sequence —
+    // and with it every downstream incident's alert list — is identical
+    // across hash layouts and across a snapshot/restore cycle.
+    std::vector<std::uint64_t> correlation_keys;
+    correlation_keys.reserve(pending_correlation_.size());
+    for (const auto& [key, p] : pending_correlation_) correlation_keys.push_back(key);
+    std::sort(correlation_keys.begin(), correlation_keys.end(),
+              [this](std::uint64_t a, std::uint64_t b) {
+                  return canonical_before(pending_correlation_.at(a).alert,
+                                          pending_correlation_.at(b).alert);
+              });
+    for (const std::uint64_t key : correlation_keys) {
+        const auto it = pending_correlation_.find(key);
         pending_alert& p = it->second;
         if (corroborated(p.alert.loc_id, now)) {
             structured_alert alert = p.alert;
@@ -294,13 +388,11 @@ std::vector<preprocess_event> preprocessor::flush(sim_time now) {
                 alert.type_name = t.name;
                 alert.category = t.category;
             }
-            it = pending_correlation_.erase(it);
+            pending_correlation_.erase(it);
             emit(std::move(alert), now, out);
         } else if (now - p.first_seen > config_.correlation_window) {
             ++stats_.dropped_uncorroborated;
-            it = pending_correlation_.erase(it);
-        } else {
-            ++it;
+            pending_correlation_.erase(it);
         }
     }
 

@@ -42,7 +42,7 @@ sharded_engine::sharded_engine(skynet_engine::deps d, sharded_config config)
     config_.engine.loc.deterministic_ids = true;
     shards_.reserve(config_.shards);
     for (std::size_t i = 0; i < config_.shards; ++i) {
-        shards_.push_back(std::make_unique<shard>(d, config_.engine, config_.queue_capacity));
+        shards_.push_back(std::make_unique<shard>(d, config_.engine, config_.queue_capacity, i));
     }
     for (auto& s : shards_) {
         s->worker = std::thread(&sharded_engine::worker_loop, this, std::ref(*s));
@@ -67,19 +67,45 @@ void sharded_engine::worker_loop(shard& s) {
         s.queue.pop_blocking(cmd);
         const auto start = std::chrono::steady_clock::now();
         bool stop = false;
-        switch (cmd.what) {
-            case command::op::ingest:
-                s.engine.ingest_batch(std::span<const traced_alert>(cmd.batch));
-                break;
-            case command::op::tick:
-                s.engine.tick(cmd.now, *cmd.state);
-                break;
-            case command::op::finish:
-                s.engine.finish(cmd.now, *cmd.state);
-                break;
-            case command::op::stop:
-                stop = true;
-                break;
+        if (s.failed.load(std::memory_order_relaxed)) {
+            // Dead shard: drain without executing so the producer's
+            // push() and barrier() never hang; count what was lost.
+            if (cmd.what == command::op::ingest) {
+                s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
+            }
+            stop = cmd.what == command::op::stop;
+        } else {
+            try {
+                if (config_.worker_fault) config_.worker_fault(s.index);
+                switch (cmd.what) {
+                    case command::op::ingest:
+                        s.engine.ingest_batch(std::span<const traced_alert>(cmd.batch));
+                        break;
+                    case command::op::tick:
+                        s.engine.tick(cmd.now, *cmd.state);
+                        break;
+                    case command::op::finish:
+                        s.engine.finish(cmd.now, *cmd.state);
+                        break;
+                    case command::op::stop:
+                        stop = true;
+                        break;
+                }
+            } catch (const std::exception& e) {
+                // Never std::terminate the process: record, mark, keep
+                // consuming. The failure surfaces at the next barrier.
+                if (cmd.what == command::op::ingest) {
+                    s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
+                }
+                s.failure = e.what();
+                s.failed.store(true, std::memory_order_release);
+            } catch (...) {
+                if (cmd.what == command::op::ingest) {
+                    s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
+                }
+                s.failure = "unknown exception";
+                s.failed.store(true, std::memory_order_release);
+            }
         }
         cmd.batch.clear();
         s.busy_ns.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
@@ -257,6 +283,7 @@ void sharded_engine::tick(sim_time now, const network_state& state) {
     }
     barrier();
     ++ticks_;
+    surface_failures();
 }
 
 void sharded_engine::finish(sim_time now, const network_state& state) {
@@ -270,6 +297,58 @@ void sharded_engine::finish(sim_time now, const network_state& state) {
     }
     barrier();
     ++ticks_;
+    surface_failures();
+}
+
+std::size_t sharded_engine::failed_shard_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+        if (s->failed.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+}
+
+std::vector<std::string> sharded_engine::failed_shard_messages() const {
+    std::vector<std::string> out;
+    for (const auto& s : shards_) {
+        if (s->failed.load(std::memory_order_acquire)) {
+            out.push_back("shard " + std::to_string(s->index) + ": " + s->failure);
+        }
+    }
+    return out;
+}
+
+void sharded_engine::surface_failures() {
+    const std::vector<std::string> failures = failed_shard_messages();
+    if (failures.empty()) return;
+    std::string msg = "sharded_engine: worker failure";
+    for (const std::string& f : failures) msg += "; " + f;
+    throw skynet_error(msg);
+}
+
+sharded_engine::persist_state sharded_engine::export_state() {
+    sync();
+    persist_state state;
+    state.shards.reserve(shards_.size());
+    for (auto& s : shards_) state.shards.push_back(s->engine.export_state());
+    state.regions.assign(region_to_shard_.begin(), region_to_shard_.end());
+    std::sort(state.regions.begin(), state.regions.end());
+    state.next_region_shard = next_region_shard_;
+    return state;
+}
+
+void sharded_engine::import_state(persist_state state) {
+    if (state.shards.size() != shards_.size()) {
+        throw skynet_error("sharded_engine: snapshot has " + std::to_string(state.shards.size()) +
+                           " shards, engine has " + std::to_string(shards_.size()));
+    }
+    sync();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        shards_[i]->engine.import_state(std::move(state.shards[i]));
+    }
+    region_to_shard_.clear();
+    region_to_shard_.insert(state.regions.begin(), state.regions.end());
+    next_region_shard_ = state.next_region_shard;
 }
 
 std::vector<incident_report> sharded_engine::take_reports() {
@@ -326,6 +405,8 @@ engine_metrics sharded_engine::metrics() {
         total.max_queue_depth = std::max(total.max_queue_depth, s->max_depth);
         total.busy_ns += s->busy_ns.load(std::memory_order_relaxed);
         total.degraded.alerts_dropped_overflow += s->dropped_overflow;
+        total.degraded.alerts_dropped_failed_shard +=
+            s->dropped_failed.load(std::memory_order_relaxed);
     }
     // Per-shard engines each count every fan-out; report engine-level
     // tick and batch counts instead.
@@ -342,6 +423,7 @@ engine_metrics sharded_engine::shard_metrics(std::size_t shard_index) {
     m.max_queue_depth = s.max_depth;
     m.busy_ns = s.busy_ns.load(std::memory_order_relaxed);
     m.degraded.alerts_dropped_overflow = s.dropped_overflow;
+    m.degraded.alerts_dropped_failed_shard = s.dropped_failed.load(std::memory_order_relaxed);
     return m;
 }
 

@@ -68,10 +68,12 @@ struct degraded_metrics {
     std::uint64_t alerts_dropped_overflow{0};  ///< shed by the queue overflow policy
     std::uint64_t skew_clamped{0};            ///< future timestamps clamped to arrival
     std::uint64_t sources_in_dropout{0};      ///< distinct sources seen dark (fault layer)
+    /// Ingest alerts drained unexecuted on a shard whose worker failed.
+    std::uint64_t alerts_dropped_failed_shard{0};
 
     [[nodiscard]] bool any() const noexcept {
         return alerts_rejected != 0 || alerts_dropped_overflow != 0 || skew_clamped != 0 ||
-               sources_in_dropout != 0;
+               sources_in_dropout != 0 || alerts_dropped_failed_shard != 0;
     }
 
     degraded_metrics& operator+=(const degraded_metrics& other) noexcept {
@@ -79,6 +81,36 @@ struct degraded_metrics {
         alerts_dropped_overflow += other.alerts_dropped_overflow;
         skew_clamped += other.skew_clamped;
         sources_in_dropout += other.sources_in_dropout;
+        alerts_dropped_failed_shard += other.alerts_dropped_failed_shard;
+        return *this;
+    }
+};
+
+/// Durability accounting: what the persist subsystem wrote, replayed,
+/// skipped or truncated. Zero everywhere when durability is off; a
+/// recovery that had to degrade (torn journal tail, corrupt snapshot)
+/// shows up here instead of as a crash.
+struct recovery_metrics {
+    std::uint64_t journal_records_written{0};  ///< batch + barrier records appended
+    std::uint64_t journal_flushes{0};          ///< fsync-grade flush calls
+    std::uint64_t checkpoints_written{0};      ///< snapshot files persisted
+    std::uint64_t records_replayed{0};         ///< journal records re-applied on recover
+    std::uint64_t truncated_tail_bytes{0};     ///< torn journal tail dropped on recover
+    std::uint64_t snapshots_skipped{0};        ///< corrupt/stale snapshots passed over
+
+    [[nodiscard]] bool any() const noexcept {
+        return journal_records_written != 0 || journal_flushes != 0 ||
+               checkpoints_written != 0 || records_replayed != 0 || truncated_tail_bytes != 0 ||
+               snapshots_skipped != 0;
+    }
+
+    recovery_metrics& operator+=(const recovery_metrics& other) noexcept {
+        journal_records_written += other.journal_records_written;
+        journal_flushes += other.journal_flushes;
+        checkpoints_written += other.checkpoints_written;
+        records_replayed += other.records_replayed;
+        truncated_tail_bytes += other.truncated_tail_bytes;
+        snapshots_skipped += other.snapshots_skipped;
         return *this;
     }
 };
@@ -88,6 +120,7 @@ struct engine_metrics {
     stage_metrics locate;      ///< main-tree insert/refresh + incident checks
     stage_metrics evaluate;    ///< severity scoring + zoom-in
     degraded_metrics degraded;  ///< graceful-degradation accounting
+    recovery_metrics recovery;  ///< durability / crash-recovery accounting
     std::uint64_t alerts_in{0};
     std::uint64_t batches_in{0};
     std::uint64_t ticks{0};

@@ -24,8 +24,17 @@ public:
         std::optional<bool> attributed_to_failure;
     };
 
-    /// Appends a closed incident.
+    /// Appends a closed incident. The pipeline appends in close order
+    /// with closed_at at/after the incident window's end; while that
+    /// invariant holds, time-window queries binary-search their starting
+    /// point instead of scanning the whole log. An out-of-order append
+    /// (hand-built logs) is accepted and silently downgrades query() to
+    /// the linear scan — never an abort.
     void append(incident_report report, sim_time closed_at);
+
+    /// Bulk replace used by the persist subsystem on recovery; re-derives
+    /// the fast-query invariant from the restored entries.
+    void restore(std::vector<entry> entries);
 
     /// Operator labeling by incident id; false if the id is unknown.
     bool label(std::uint64_t incident_id, bool is_failure);
@@ -42,7 +51,11 @@ public:
         bool only_actionable{false};
     };
 
-    /// Matching entries, append order.
+    /// Matching entries, append order. With a time window set and the
+    /// close-order invariant intact, the scan starts at the first entry
+    /// with closed_at >= window.begin (binary search): every earlier
+    /// entry closed before the window opened, and since incidents close
+    /// at/after their window's end, cannot overlap it.
     [[nodiscard]] std::vector<const entry*> query(const query_filter& filter) const;
 
     struct monthly_stats {
@@ -59,7 +72,13 @@ public:
         sim_duration month_length = days(30)) const;
 
 private:
+    [[nodiscard]] static bool entry_keeps_invariant(const entry& e, const entry* prev) noexcept;
+
     std::vector<entry> entries_;
+    /// True while entries are sorted by closed_at and each closed_at is
+    /// at/after its incident window's end — the precondition for the
+    /// binary-searched query start.
+    bool fast_query_{true};
 };
 
 }  // namespace skynet

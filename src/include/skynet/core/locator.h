@@ -89,7 +89,44 @@ struct incident {
 
 class locator {
 public:
+    /// One alert as stored in a tree node, with its insertion time (the
+    /// node-expiry clock runs on insertion, not generation, times).
+    struct stored_alert {
+        structured_alert alert;
+        sim_time inserted{0};
+    };
+
+    /// Snapshot of the main tree and the open incident trees, exported
+    /// at a barrier and restored into a freshly constructed locator
+    /// (same topology, same config) by the persist subsystem. Nodes are
+    /// listed in location-path order; incident trees keep their spawn
+    /// order (it is part of Algorithm 1's routing semantics).
+    struct persist_state {
+        struct node_state {
+            location_id loc{invalid_location_id};
+            sim_time last_update{0};
+            std::vector<stored_alert> alerts;
+        };
+        struct incident_entry {
+            incident inc;
+            location_id root_id{root_location_id};
+            sim_time update_time{0};
+            std::vector<node_state> nodes;
+        };
+
+        std::vector<node_state> nodes;
+        std::vector<incident_entry> incidents;
+        std::uint64_t next_incident_id{1};
+    };
+
     locator(const topology* topo, locator_config config = {});
+
+    /// Exports main-tree and incident-tree state; see persist_state.
+    [[nodiscard]] persist_state export_state() const;
+
+    /// Replaces all trees with a previously exported state. The restored
+    /// locator behaves bit-identically to the exporting one.
+    void import_state(persist_state state);
 
     /// Algorithm 1: routes the alert into matching incident trees and the
     /// main tree.
@@ -117,10 +154,6 @@ public:
     [[nodiscard]] std::size_t main_tree_size() const noexcept { return nodes_.size(); }
 
 private:
-    struct stored_alert {
-        structured_alert alert;
-        sim_time inserted{0};
-    };
     struct tree_node {
         location_id loc{invalid_location_id};
         /// Table-owned path (stable for the table's lifetime); kept for

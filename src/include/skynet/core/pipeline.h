@@ -73,7 +73,30 @@ public:
         const syslog_classifier* syslog{nullptr};
     };
 
+    /// Snapshot of everything the engine would lose in a crash: the
+    /// preprocessor's consolidation buffers, the locator's trees, the
+    /// live-score peaks and the not-yet-drained finished reports.
+    /// Exported at a barrier (between tick() calls) and restored into a
+    /// freshly constructed engine with the same deps and config; the
+    /// restored engine's future outputs are bit-identical to the
+    /// exporting one's. engine_metrics are observability, not state, and
+    /// are deliberately not part of the snapshot.
+    struct persist_state {
+        preprocessor::persist_state pre;
+        locator::persist_state loc;
+        std::int64_t structured_count{0};
+        /// Peak severity per open incident, sorted by incident id.
+        std::vector<std::pair<std::uint64_t, severity_breakdown>> live_scores;
+        std::vector<incident_report> finished;
+    };
+
     explicit skynet_engine(deps d, skynet_config config = {});
+
+    /// Exports the crash-relevant state; see persist_state.
+    [[nodiscard]] persist_state export_state() const;
+
+    /// Replaces the engine state with a previously exported snapshot.
+    void import_state(persist_state state);
 
     [[deprecated("pass skynet_engine::deps instead of four pointers")]] skynet_engine(
         const topology* topo, const customer_registry* customers,

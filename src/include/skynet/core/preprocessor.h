@@ -96,8 +96,48 @@ struct preprocess_event {
 
 class preprocessor {
 public:
+    /// Snapshot of the consolidation state, exported at a barrier and
+    /// restored into a freshly constructed preprocessor (same topology,
+    /// registry and config) by the persist subsystem. Entries are held in
+    /// a canonical order (type, then location path) so two exports of the
+    /// same logical state are byte-identical regardless of hash-map
+    /// layout or location-id assignment order.
+    struct persist_state {
+        struct open_entry {
+            structured_alert alert;
+            sim_time last_seen{0};
+        };
+        struct pending_entry {
+            structured_alert alert;
+            int occurrences{1};
+            sim_time first_seen{0};
+            sim_time last_seen{0};
+            sim_time last_counted_ts{-1};
+        };
+        struct sighting_entry {
+            location_id loc{invalid_location_id};
+            sim_time at{0};
+        };
+
+        preprocessor_stats stats;
+        std::vector<open_entry> open;
+        std::vector<pending_entry> persistence;
+        std::vector<pending_entry> correlation;
+        /// Time order (oldest first), as pruning expects.
+        std::vector<sighting_entry> sightings;
+    };
+
     preprocessor(const topology* topo, const alert_type_registry* registry,
                  const syslog_classifier* syslog, preprocessor_config config = {});
+
+    /// Exports the consolidation state in canonical order; see
+    /// persist_state. Call only between process()/flush() calls.
+    [[nodiscard]] persist_state export_state() const;
+
+    /// Replaces the consolidation state with a previously exported one.
+    /// The restored preprocessor behaves bit-identically to the one that
+    /// exported (same future outputs for the same future inputs).
+    void import_state(persist_state state);
 
     /// Feeds one raw alert; returns zero or more structured outputs.
     /// `now` is the arrival time (>= alert timestamp under delivery

@@ -81,6 +81,11 @@ struct sharded_config {
     /// occupancy. Drives overflow-policy tests and the --faults
     /// pressure clause; see fault_injector::queue_pressure_hook().
     std::function<bool()> force_full{};
+    /// Fault hook: invoked by each worker thread (with its shard index)
+    /// before executing a command; a throw simulates the shard's engine
+    /// crashing mid-command. Drives the worker-failure survivability
+    /// tests — production code never sets this.
+    std::function<void(std::size_t)> worker_fault{};
     /// Per-shard engine configuration. locator deterministic_ids is
     /// forced on so merged ids are stable across shard counts.
     skynet_config engine{};
@@ -88,11 +93,30 @@ struct sharded_config {
 
 class sharded_engine {
 public:
+    /// Barrier-consistent snapshot: per-shard engine states (by shard
+    /// index) plus the region routing table, exported after sync() so
+    /// every shard is captured at the same logical instant. Restorable
+    /// only into an engine with the same shard count.
+    struct persist_state {
+        std::vector<skynet_engine::persist_state> shards;
+        /// (region id, shard index) pairs, sorted by region id.
+        std::vector<std::pair<location_id, std::size_t>> regions;
+        std::size_t next_region_shard{0};
+    };
+
     explicit sharded_engine(skynet_engine::deps d, sharded_config config = {});
     ~sharded_engine();
 
     sharded_engine(const sharded_engine&) = delete;
     sharded_engine& operator=(const sharded_engine&) = delete;
+
+    /// Exports the snapshot at a barrier (drains all queues first); see
+    /// persist_state.
+    [[nodiscard]] persist_state export_state();
+
+    /// Restores a previously exported snapshot. Throws skynet_error when
+    /// the snapshot's shard count differs from this engine's.
+    void import_state(persist_state state);
 
     /// Routes one raw alert to its region's shard (asynchronous).
     void ingest(const raw_alert& raw, sim_time now);
@@ -104,11 +128,23 @@ public:
     void ingest_batch(std::span<const traced_alert> batch);
 
     /// Fans the tick out to every shard and waits for all of them —
-    /// `state` is only read while this call blocks.
+    /// `state` is only read while this call blocks. If a worker thread
+    /// failed (its engine threw mid-command), the failure surfaces here
+    /// as a skynet_error after the barrier completes — the other shards
+    /// keep running and their data stays reachable via reports().
     void tick(sim_time now, const network_state& state);
 
-    /// Fans out finish() and waits; all incidents close.
+    /// Fans out finish() and waits; all incidents close. Surfaces worker
+    /// failures like tick().
     void finish(sim_time now, const network_state& state);
+
+    /// Shards whose worker caught an engine exception; their queued work
+    /// is drained unexecuted (ingest counted in
+    /// degraded.alerts_dropped_failed_shard) so barriers never hang.
+    [[nodiscard]] std::size_t failed_shard_count() const noexcept;
+
+    /// Human-readable "shard N: message" lines for every failed shard.
+    [[nodiscard]] std::vector<std::string> failed_shard_messages() const;
 
     /// Unified ranked report access, merged across shards (severity
     /// desc, then incident id). Drains pending ingest first.
@@ -148,11 +184,13 @@ private:
     };
 
     struct shard {
-        shard(skynet_engine::deps d, const skynet_config& cfg, std::size_t queue_capacity)
-            : engine(d, cfg), queue(queue_capacity) {}
+        shard(skynet_engine::deps d, const skynet_config& cfg, std::size_t queue_capacity,
+              std::size_t idx)
+            : engine(d, cfg), queue(queue_capacity), index(idx) {}
 
         skynet_engine engine;
         spsc_queue<command> queue;
+        std::size_t index{0};
         // Producer-side accounting (caller thread only).
         std::vector<traced_alert> pending;
         /// Ingest commands waiting out a full queue (drop_oldest only).
@@ -164,6 +202,13 @@ private:
         // Worker-side completion, waited on by the caller's barrier.
         std::atomic<std::uint64_t> completed{0};
         std::atomic<std::uint64_t> busy_ns{0};
+        /// Set (once) by the worker when a command threw; `failure`
+        /// is written before the release store and only read after an
+        /// acquire load, so the producer sees a complete message.
+        std::atomic<bool> failed{false};
+        std::string failure;
+        /// Ingest alerts drained unexecuted after the failure.
+        std::atomic<std::uint64_t> dropped_failed{0};
         std::thread worker;
     };
 
@@ -191,6 +236,9 @@ private:
     void flush_pending();
     /// Waits until every shard has executed everything submitted to it.
     void barrier();
+    /// Throws skynet_error listing every failed shard; called by
+    /// tick()/finish() after their barrier completes.
+    void surface_failures();
     /// flush_pending + barrier: shards idle, safe to touch engines inline.
     void sync();
 

@@ -1,0 +1,78 @@
+// Recovery coordinator: newest valid snapshot + journal suffix replay.
+//
+// recover() rebuilds a freshly constructed engine (same topology,
+// registry and config as the crashed run) to the exact state at the
+// crash point:
+//   1. scan the journal for its valid prefix (torn/corrupt tails are
+//      counted, dropped, and trimmed so the resumed session can append);
+//   2. load the newest snapshot that passes its CRC, parses, and does
+//      not reference journal bytes past the durable prefix — corrupt or
+//      inconsistent snapshots are skipped with a reason, never fatal;
+//   3. restore the location table (paths re-interned in id order) and
+//      the engine/log state from the snapshot, or start from the fresh
+//      engine when no snapshot survived;
+//   4. replay the journal records past the snapshot's offset.
+// The recovered engine's future outputs are bit-identical to an
+// uninterrupted run over the same input (replay-mode ticks; see
+// DESIGN.md "Durability & recovery" for the network_state convention).
+//
+// Degradation (corruption) is reported in recovery_result; structural
+// impossibility (snapshot shard count != engine, location table drawn
+// from a different topology) throws skynet_error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "skynet/core/engine_metrics.h"
+#include "skynet/core/incident_log.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/persist/journal.h"
+#include "skynet/persist/snapshot.h"
+#include "skynet/sim/network_state.h"
+#include "skynet/topology/location_table.h"
+
+namespace skynet::persist {
+
+struct recovery_options {
+    /// Checkpoint directory holding journal.skywal and snap-*.skysnap.
+    std::string dir;
+    /// State replayed barriers tick against. Required when the journal
+    /// suffix contains barrier records (the replay convention passes the
+    /// idle state the original replay run used).
+    const network_state* tick_state{nullptr};
+    /// Trim the journal's torn tail on disk so the resumed session can
+    /// append after the valid prefix.
+    bool repair_journal{true};
+};
+
+struct recovery_result {
+    /// records_replayed / truncated_tail_bytes / snapshots_skipped are
+    /// filled here; feed this into durable_options::base so the resumed
+    /// session's metrics tell the whole story.
+    recovery_metrics metrics;
+    /// Human-readable trail: what was restored, skipped, and why.
+    std::vector<std::string> notes;
+    /// Journal prefix that survived (resume appends from here).
+    std::uint64_t journal_valid_bytes{0};
+    /// Total records accounted for: snapshot base + replayed suffix. A
+    /// resumed durable_session skips this many regenerated records.
+    std::uint64_t journal_records{0};
+    /// Sequence the next checkpoint should use.
+    std::uint64_t next_snapshot_seq{1};
+    /// Time of the last barrier seen (snapshot or replay); 0 when none.
+    sim_time last_barrier_time{0};
+    /// The journal ended with a finish record — the run had completed.
+    bool saw_finish{false};
+};
+
+/// Recovers a sequential engine. The snapshot must hold exactly one
+/// shard state. `log` may be null (snapshot log entries are dropped).
+[[nodiscard]] recovery_result recover(skynet_engine& engine, location_table& locations,
+                                      incident_log* log, const recovery_options& opts);
+
+/// Recovers a sharded engine; the snapshot's shard count must match.
+[[nodiscard]] recovery_result recover(sharded_engine& engine, location_table& locations,
+                                      incident_log* log, const recovery_options& opts);
+
+}  // namespace skynet::persist

@@ -11,8 +11,9 @@
 //   link <endpoint-a> <endpoint-b> <set-name|-> <capacity_gbps> [internet]
 //
 // Names containing whitespace are not supported (matching the generator's
-// conventions); location paths use `|` and may contain spaces only within
-// quoted import files produced elsewhere — the exporter never emits them.
+// conventions); location paths use `|` separators. A path containing
+// whitespace is written double-quoted (`device d1 tor "Region A|Site 1"`)
+// and the importer strips the quotes — any field may be quoted this way.
 #pragma once
 
 #include <string>
@@ -29,6 +30,9 @@ namespace skynet {
 struct topology_parse_error {
     int line{0};
     std::string message;
+    /// The offending input line, verbatim, so callers can show the
+    /// operator what was rejected without re-reading the file.
+    std::string text;
 };
 
 struct topology_parse_result {

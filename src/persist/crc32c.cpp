@@ -1,0 +1,94 @@
+#include "skynet/persist/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SKYNET_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
+
+namespace skynet::persist {
+
+namespace {
+
+// Reflected CRC-32C tables for polynomial 0x1EDC6F41, slicing-by-8:
+// tables[0] is the classic byte table; tables[k] advances a byte
+// through k additional zero bytes, letting the loop fold 8 input bytes
+// per round instead of one.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+    std::array<std::array<std::uint32_t, 256>, 8> tables{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+        }
+        tables[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = tables[0][i];
+        for (std::size_t k = 1; k < 8; ++k) {
+            crc = (crc >> 8) ^ tables[0][crc & 0xFFu];
+            tables[k][i] = crc;
+        }
+    }
+    return tables;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> tables = make_tables();
+
+std::uint32_t crc32c_sw(const unsigned char* bytes, std::size_t len,
+                        std::uint32_t crc) noexcept {
+    while (len >= 8) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, bytes, 8);  // layout below assumes little-endian
+        crc ^= static_cast<std::uint32_t>(chunk);
+        const auto hi = static_cast<std::uint32_t>(chunk >> 32);
+        crc = tables[7][crc & 0xFFu] ^ tables[6][(crc >> 8) & 0xFFu] ^
+              tables[5][(crc >> 16) & 0xFFu] ^ tables[4][crc >> 24] ^
+              tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+              tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+        bytes += 8;
+        len -= 8;
+    }
+    while (len-- > 0) {
+        crc = (crc >> 8) ^ tables[0][(crc ^ *bytes++) & 0xFFu];
+    }
+    return crc;
+}
+
+#ifdef SKYNET_CRC32C_X86
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const unsigned char* bytes,
+                                                          std::size_t len,
+                                                          std::uint32_t crc) noexcept {
+    std::uint64_t crc64 = crc;
+    while (len >= 8) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, bytes, 8);
+        crc64 = _mm_crc32_u64(crc64, chunk);
+        bytes += 8;
+        len -= 8;
+    }
+    crc = static_cast<std::uint32_t>(crc64);
+    while (len-- > 0) {
+        crc = _mm_crc32_u8(crc, *bytes++);
+    }
+    return crc;
+}
+
+#endif  // SKYNET_CRC32C_X86
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    const std::uint32_t crc = ~seed;
+#ifdef SKYNET_CRC32C_X86
+    static const bool hw = __builtin_cpu_supports("sse4.2") != 0;
+    if (hw) return ~crc32c_hw(bytes, len, crc);
+#endif
+    return ~crc32c_sw(bytes, len, crc);
+}
+
+}  // namespace skynet::persist

@@ -1,0 +1,309 @@
+#include "skynet/persist/journal.h"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "skynet/common/error.h"
+#include "skynet/persist/crc32c.h"
+
+namespace skynet::persist {
+
+namespace {
+
+constexpr std::size_t header_bytes = 1 + 4 + 4;  // type + len + crc
+
+void put_u32(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+    const auto* b = reinterpret_cast<const unsigned char*>(p);
+    return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_str(std::string& out, std::string_view s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+std::string barrier_payload(sim_time now) {
+    std::string payload;
+    put_u64(payload, static_cast<std::uint64_t>(now));
+    return payload;
+}
+
+sim_time parse_barrier_payload(std::string_view payload) {
+    const std::uint64_t lo = get_u32(payload.data());
+    const std::uint64_t hi = get_u32(payload.data() + 4);
+    return static_cast<sim_time>(lo | (hi << 32));
+}
+
+// --- binary batch codec -------------------------------------------------------
+// Text formats cost too much on the hot ingest path (double formatting
+// alone blows the journal-overhead budget), so batches use a direct
+// little-endian encoding. Doubles travel as bit patterns — replay is
+// bit-exact with no round-trip caveats. Interned ids are deliberately
+// not stored: like trace-file alerts, journal alerts arrive with the
+// sentinel and the ingesting preprocessor re-interns them.
+
+constexpr std::uint8_t flag_device = 1u << 0;
+constexpr std::uint8_t flag_link = 1u << 1;
+constexpr std::uint8_t flag_src = 1u << 2;
+constexpr std::uint8_t flag_dst = 1u << 3;
+
+void put_loc(std::string& out, const location& loc) {
+    put_u32(out, static_cast<std::uint32_t>(loc.segments().size()));
+    for (const std::string& seg : loc.segments()) put_str(out, seg);
+}
+
+void encode_batch(std::string& out, std::span<const traced_alert> batch) {
+    out.clear();
+    out.reserve(4 + batch.size() * 96);
+    put_u32(out, static_cast<std::uint32_t>(batch.size()));
+    for (const traced_alert& t : batch) {
+        const raw_alert& a = t.alert;
+        put_u64(out, static_cast<std::uint64_t>(t.arrival));
+        out.push_back(static_cast<char>(a.source));
+        put_u64(out, static_cast<std::uint64_t>(a.timestamp));
+        put_str(out, a.kind);
+        put_str(out, a.message);
+        put_loc(out, a.loc);
+        std::uint8_t flags = 0;
+        if (a.device) flags |= flag_device;
+        if (a.link) flags |= flag_link;
+        if (a.src_loc) flags |= flag_src;
+        if (a.dst_loc) flags |= flag_dst;
+        out.push_back(static_cast<char>(flags));
+        if (a.device) put_u32(out, *a.device);
+        if (a.link) put_u32(out, *a.link);
+        put_u64(out, std::bit_cast<std::uint64_t>(a.metric));
+        if (a.src_loc) put_loc(out, *a.src_loc);
+        if (a.dst_loc) put_loc(out, *a.dst_loc);
+    }
+}
+
+/// Bounds-checked reader over a batch payload; any overrun flips `ok`.
+struct payload_cursor {
+    std::string_view bytes;
+    std::size_t pos{0};
+    bool ok{true};
+
+    [[nodiscard]] bool take(std::size_t n) {
+        if (!ok || bytes.size() - pos < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+    std::uint8_t u8() {
+        if (!take(1)) return 0;
+        return static_cast<std::uint8_t>(bytes[pos++]);
+    }
+    std::uint32_t u32() {
+        if (!take(4)) return 0;
+        const std::uint32_t v = get_u32(bytes.data() + pos);
+        pos += 4;
+        return v;
+    }
+    std::uint64_t u64() {
+        const std::uint64_t lo = u32();
+        const std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+    std::string_view str() {
+        const std::uint32_t len = u32();
+        if (!take(len)) return {};
+        const std::string_view s = bytes.substr(pos, len);
+        pos += len;
+        return s;
+    }
+    location loc() {
+        const std::uint32_t nsegs = u32();
+        if (!ok || nsegs > bytes.size() - pos) {  // each segment costs >= 4 bytes
+            ok = false;
+            return {};
+        }
+        std::vector<std::string> segments;
+        segments.reserve(nsegs);
+        for (std::uint32_t i = 0; i < nsegs && ok; ++i) segments.emplace_back(str());
+        return location(std::move(segments));
+    }
+};
+
+bool parse_batch_payload(std::string_view payload, std::vector<traced_alert>& out) {
+    payload_cursor c{.bytes = payload};
+    const std::uint32_t count = c.u32();
+    if (!c.ok || count > payload.size()) return false;  // count can't exceed bytes
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count && c.ok; ++i) {
+        traced_alert t;
+        t.arrival = static_cast<sim_time>(c.u64());
+        raw_alert& a = t.alert;
+        a.source = static_cast<data_source>(c.u8());
+        a.timestamp = static_cast<sim_time>(c.u64());
+        a.kind = std::string(c.str());
+        a.message = std::string(c.str());
+        a.loc = c.loc();
+        const std::uint8_t flags = c.u8();
+        if (flags & flag_device) a.device = c.u32();
+        if (flags & flag_link) a.link = c.u32();
+        a.metric = std::bit_cast<double>(c.u64());
+        if (flags & flag_src) a.src_loc = c.loc();
+        if (flags & flag_dst) a.dst_loc = c.loc();
+        if (!c.ok) break;
+        out.push_back(std::move(t));
+    }
+    return c.ok && c.pos == payload.size();
+}
+
+}  // namespace
+
+journal_writer::journal_writer(const std::string& path, std::size_t flush_every)
+    : flush_every_(flush_every == 0 ? 1 : flush_every) {
+    // "a+b" so an existing valid prefix is preserved on resume.
+    file_ = std::fopen(path.c_str(), "a+b");
+    if (file_ == nullptr) {
+        throw skynet_error("journal: cannot open " + path);
+    }
+    std::fseek(file_, 0, SEEK_END);
+    const long size = std::ftell(file_);
+    if (size <= 0) {
+        std::fwrite(journal_magic.data(), 1, journal_magic.size(), file_);
+        std::fflush(file_);
+        offset_ = journal_magic.size();
+    } else {
+        offset_ = static_cast<std::uint64_t>(size);
+    }
+}
+
+journal_writer::~journal_writer() {
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        std::fclose(file_);
+    }
+}
+
+void journal_writer::append(record_type type, std::string_view payload, bool force_flush) {
+    std::string header;
+    header.reserve(header_bytes);
+    header.push_back(static_cast<char>(type));
+    put_u32(header, static_cast<std::uint32_t>(payload.size()));
+    put_u32(header, crc32c(payload));
+    std::fwrite(header.data(), 1, header.size(), file_);
+    std::fwrite(payload.data(), 1, payload.size(), file_);
+    offset_ += header_bytes + payload.size();
+    ++records_;
+    if (force_flush || ++unflushed_ >= flush_every_) flush();
+}
+
+void journal_writer::append_batch(std::span<const traced_alert> batch) {
+    encode_batch(payload_buf_, batch);
+    append(record_type::batch, payload_buf_, /*force_flush=*/false);
+}
+
+void journal_writer::append_barrier(record_type type, sim_time now) {
+    // Group-commit: barriers ride the flush_every cadence like batches;
+    // the durable session flushes explicitly where durability is load-
+    // bearing (checkpoints, finish, crash drill). A finish barrier ends
+    // the stream, so it flushes here.
+    append(type, barrier_payload(now), /*force_flush=*/type == record_type::finish);
+}
+
+void journal_writer::flush() {
+    std::fflush(file_);
+    unflushed_ = 0;
+    ++flushes_;
+}
+
+journal_read_result read_journal(const std::string& path, std::uint64_t from) {
+    journal_read_result result;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        result.missing = true;
+        return result;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+    std::uint64_t pos = from;
+    if (pos == 0) {
+        if (bytes.size() < journal_magic.size() ||
+            std::string_view(bytes).substr(0, journal_magic.size()) != journal_magic) {
+            // Nothing trustworthy past a bad magic: the whole file is tail.
+            result.truncated_tail_bytes = bytes.size();
+            result.truncation_reason = "bad journal magic";
+            return result;
+        }
+        pos = journal_magic.size();
+    } else if (pos > bytes.size()) {
+        result.truncation_reason = "journal shorter than resume offset";
+        return result;
+    }
+    result.valid_bytes = pos;
+
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < header_bytes) {
+            result.truncation_reason = "torn record header";
+            break;
+        }
+        const auto type = static_cast<record_type>(static_cast<unsigned char>(bytes[pos]));
+        const std::uint32_t len = get_u32(bytes.data() + pos + 1);
+        const std::uint32_t crc = get_u32(bytes.data() + pos + 5);
+        if (type != record_type::batch && type != record_type::tick &&
+            type != record_type::finish) {
+            result.truncation_reason = "unknown record type";
+            break;
+        }
+        if (bytes.size() - pos - header_bytes < len) {
+            result.truncation_reason = "torn record payload";
+            break;
+        }
+        const std::string_view payload(bytes.data() + pos + header_bytes, len);
+        if (crc32c(payload) != crc) {
+            result.truncation_reason = "payload checksum mismatch";
+            break;
+        }
+
+        journal_record record;
+        record.type = type;
+        if (type == record_type::batch) {
+            if (!parse_batch_payload(payload, record.batch)) {
+                // The CRC matched, so this is a writer/reader version
+                // mismatch, not a torn write — still cut here, the
+                // record cannot be replayed faithfully.
+                result.truncation_reason = "unparseable batch payload";
+                break;
+            }
+        } else {
+            if (len != 8) {
+                result.truncation_reason = "barrier payload size mismatch";
+                break;
+            }
+            record.now = parse_barrier_payload(payload);
+        }
+        result.records.push_back(std::move(record));
+        pos += header_bytes + len;
+        result.valid_bytes = pos;
+    }
+    result.truncated_tail_bytes = bytes.size() - result.valid_bytes;
+    return result;
+}
+
+bool truncate_journal(const std::string& path, std::uint64_t valid_bytes) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    return !ec;
+}
+
+}  // namespace skynet::persist

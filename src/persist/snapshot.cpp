@@ -1,0 +1,752 @@
+#include "skynet/persist/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "skynet/persist/crc32c.h"
+#include "skynet/sim/trace.h"
+
+namespace skynet::persist {
+
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+void put(std::string& out, std::string_view field) {
+    out += '\t';
+    out += field;
+}
+
+void put_u64(std::string& out, std::uint64_t v) { put(out, std::to_string(v)); }
+void put_i64(std::string& out, std::int64_t v) { put(out, std::to_string(v)); }
+
+/// Doubles as 16-hex-digit bit patterns: exact round-trip, no locale.
+void put_double(std::string& out, double v) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+    put(out, buf);
+}
+
+void put_alert(std::string& out, const structured_alert& a) {
+    put_u64(out, a.type);
+    put(out, a.type_name);
+    put(out, source_token(a.source));
+    switch (a.category) {
+        case alert_category::failure: put(out, "f"); break;
+        case alert_category::abnormal: put(out, "a"); break;
+        case alert_category::root_cause: put(out, "r"); break;
+    }
+    put_i64(out, a.when.begin);
+    put_i64(out, a.when.end);
+    put_u64(out, a.loc_id);
+    put_i64(out, a.count);
+    put_double(out, a.metric);
+    put(out, a.device ? std::to_string(*a.device) : "-");
+    put_u64(out, a.src_id);
+    put_u64(out, a.dst_id);
+    put(out, a.loc.to_string());
+    put(out, a.src_loc ? a.src_loc->to_string() : "-");
+    put(out, a.dst_loc ? a.dst_loc->to_string() : "-");
+}
+
+void put_severity(std::string& out, const severity_breakdown& s) {
+    put_double(out, s.impact_factor);
+    put_double(out, s.time_factor);
+    put_double(out, s.score);
+    put_double(out, s.avg_ping_loss);
+    put_double(out, s.max_sla_overload);
+    put_i64(out, s.important_customers);
+    put_i64(out, s.duration);
+    put_i64(out, s.circuit_sets);
+}
+
+void put_incident(std::string& out, const incident& inc) {
+    out += "INC";
+    put_u64(out, inc.id);
+    put_u64(out, inc.root_id);
+    put_i64(out, inc.when.begin);
+    put_i64(out, inc.when.end);
+    put(out, inc.closed ? "1" : "0");
+    put_u64(out, inc.alerts.size());
+    put(out, inc.root.to_string());
+    out += '\n';
+    for (const structured_alert& a : inc.alerts) {
+        out += "IA";
+        put_alert(out, a);
+        out += '\n';
+    }
+}
+
+void put_report(std::string& out, const incident_report& r) {
+    out += "REP";
+    put(out, r.actionable ? "1" : "0");
+    put(out, r.zoomed ? r.zoomed->to_string() : "-");
+    put_severity(out, r.severity);
+    out += '\n';
+    put_incident(out, r.inc);
+}
+
+void put_node(std::string& out, const locator::persist_state::node_state& n) {
+    out += "N";
+    put_u64(out, n.loc);
+    put_i64(out, n.last_update);
+    put_u64(out, n.alerts.size());
+    out += '\n';
+    for (const locator::stored_alert& a : n.alerts) {
+        out += "A";
+        put_i64(out, a.inserted);
+        put_alert(out, a.alert);
+        out += '\n';
+    }
+}
+
+void put_pending(std::string& out, char tag,
+                 const preprocessor::persist_state::pending_entry& p) {
+    out += tag;
+    put_i64(out, p.occurrences);
+    put_i64(out, p.first_seen);
+    put_i64(out, p.last_seen);
+    put_i64(out, p.last_counted_ts);
+    put_alert(out, p.alert);
+    out += '\n';
+}
+
+void put_engine(std::string& out, std::size_t index, const skynet_engine::persist_state& e) {
+    out += "engine";
+    put_u64(out, index);
+    out += '\n';
+
+    const preprocessor_stats& st = e.pre.stats;
+    out += "stats";
+    put_i64(out, st.raw_in);
+    put_i64(out, st.emitted_new);
+    put_i64(out, st.emitted_update);
+    put_i64(out, st.merged_identical);
+    put_i64(out, st.dropped_sporadic);
+    put_i64(out, st.dropped_unclassified);
+    put_i64(out, st.dropped_uncorroborated);
+    put_i64(out, st.merged_related);
+    put_i64(out, st.rejected_malformed);
+    put_i64(out, st.skew_clamped);
+    out += '\n';
+
+    out += "count";
+    put_i64(out, e.structured_count);
+    out += '\n';
+
+    out += "open";
+    put_u64(out, e.pre.open.size());
+    out += '\n';
+    for (const auto& o : e.pre.open) {
+        out += "O";
+        put_i64(out, o.last_seen);
+        put_alert(out, o.alert);
+        out += '\n';
+    }
+
+    out += "persistence";
+    put_u64(out, e.pre.persistence.size());
+    out += '\n';
+    for (const auto& p : e.pre.persistence) put_pending(out, 'P', p);
+
+    out += "correlation";
+    put_u64(out, e.pre.correlation.size());
+    out += '\n';
+    for (const auto& c : e.pre.correlation) put_pending(out, 'C', c);
+
+    out += "sightings";
+    put_u64(out, e.pre.sightings.size());
+    out += '\n';
+    for (const auto& s : e.pre.sightings) {
+        out += "S";
+        put_u64(out, s.loc);
+        put_i64(out, s.at);
+        out += '\n';
+    }
+
+    out += "nodes";
+    put_u64(out, e.loc.nodes.size());
+    out += '\n';
+    for (const auto& n : e.loc.nodes) put_node(out, n);
+
+    out += "incidents";
+    put_u64(out, e.loc.incidents.size());
+    out += '\n';
+    for (const auto& entry : e.loc.incidents) {
+        out += "I";
+        put_u64(out, entry.root_id);
+        put_i64(out, entry.update_time);
+        put_u64(out, entry.nodes.size());
+        out += '\n';
+        put_incident(out, entry.inc);
+        for (const auto& n : entry.nodes) put_node(out, n);
+    }
+
+    out += "next_incident";
+    put_u64(out, e.loc.next_incident_id);
+    out += '\n';
+
+    out += "scores";
+    put_u64(out, e.live_scores.size());
+    out += '\n';
+    for (const auto& [id, sev] : e.live_scores) {
+        out += "Y";
+        put_u64(out, id);
+        put_severity(out, sev);
+        out += '\n';
+    }
+
+    out += "finished";
+    put_u64(out, e.finished.size());
+    out += '\n';
+    for (const incident_report& r : e.finished) put_report(out, r);
+}
+
+// ---------------------------------------------------------------- parsing
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_i64(std::string_view s, std::int64_t& out) {
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_double_hex(std::string_view s, double& out) {
+    std::uint64_t bits = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), bits, 16);
+    if (ec != std::errc{} || p != s.data() + s.size()) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+}
+
+/// Line cursor over the snapshot body with one-line error reporting.
+struct cursor {
+    std::string_view text;
+    std::size_t pos{0};
+    int line_no{0};
+    std::string err;
+
+    bool fail(const std::string& message) {
+        if (err.empty()) err = "line " + std::to_string(line_no) + ": " + message;
+        return false;
+    }
+
+    /// Next line split on tabs; fails at end of input.
+    bool next(std::vector<std::string_view>& fields) {
+        if (!err.empty()) return false;
+        if (pos >= text.size()) {
+            ++line_no;
+            return fail("unexpected end of snapshot");
+        }
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string_view::npos) end = text.size();
+        fields = split_tabs(text.substr(pos, end - pos));
+        pos = end + 1;
+        ++line_no;
+        return true;
+    }
+
+    /// Next line, required to carry `tag` and exactly `n` fields after it.
+    bool expect(std::string_view tag, std::size_t n, std::vector<std::string_view>& fields) {
+        if (!next(fields)) return false;
+        if (fields.empty() || fields[0] != tag) {
+            return fail("expected '" + std::string(tag) + "' record");
+        }
+        if (fields.size() != n + 1) {
+            return fail("'" + std::string(tag) + "' field count: got " +
+                        std::to_string(fields.size() - 1) + ", want " + std::to_string(n));
+        }
+        return true;
+    }
+
+    bool u64(std::string_view s, std::uint64_t& out) {
+        return parse_u64(s, out) || fail("bad integer '" + std::string(s) + "'");
+    }
+    bool i64(std::string_view s, std::int64_t& out) {
+        return parse_i64(s, out) || fail("bad integer '" + std::string(s) + "'");
+    }
+    bool u32(std::string_view s, std::uint32_t& out) {
+        std::uint64_t wide = 0;
+        if (!parse_u64(s, wide) || wide > 0xFFFFFFFFull) {
+            return fail("bad u32 '" + std::string(s) + "'");
+        }
+        out = static_cast<std::uint32_t>(wide);
+        return true;
+    }
+    bool dbl(std::string_view s, double& out) {
+        return parse_double_hex(s, out) || fail("bad double bits '" + std::string(s) + "'");
+    }
+    bool flag(std::string_view s, bool& out) {
+        if (s == "0") out = false;
+        else if (s == "1") out = true;
+        else return fail("bad flag '" + std::string(s) + "'");
+        return true;
+    }
+};
+
+constexpr std::size_t alert_fields = 15;
+
+/// Parses the 15 alert fields starting at fields[at].
+bool get_alert(cursor& c, const std::vector<std::string_view>& fields, std::size_t at,
+               structured_alert& a) {
+    std::uint64_t count = 0;
+    if (!c.u32(fields[at + 0], a.type)) return false;
+    a.type_name = std::string(fields[at + 1]);
+    if (const auto src = parse_source(fields[at + 2])) a.source = *src;
+    else return c.fail("bad source '" + std::string(fields[at + 2]) + "'");
+    if (fields[at + 3] == "f") a.category = alert_category::failure;
+    else if (fields[at + 3] == "a") a.category = alert_category::abnormal;
+    else if (fields[at + 3] == "r") a.category = alert_category::root_cause;
+    else return c.fail("bad category '" + std::string(fields[at + 3]) + "'");
+    if (!c.i64(fields[at + 4], a.when.begin)) return false;
+    if (!c.i64(fields[at + 5], a.when.end)) return false;
+    if (!c.u32(fields[at + 6], a.loc_id)) return false;
+    if (!c.u64(fields[at + 7], count)) return false;
+    a.count = static_cast<int>(count);
+    if (!c.dbl(fields[at + 8], a.metric)) return false;
+    if (fields[at + 9] == "-") {
+        a.device = std::nullopt;
+    } else {
+        std::uint32_t dev = 0;
+        if (!c.u32(fields[at + 9], dev)) return false;
+        a.device = dev;
+    }
+    if (!c.u32(fields[at + 10], a.src_id)) return false;
+    if (!c.u32(fields[at + 11], a.dst_id)) return false;
+    a.loc = location::parse(fields[at + 12]);
+    a.src_loc = fields[at + 13] == "-" ? std::nullopt
+                                       : std::optional(location::parse(fields[at + 13]));
+    a.dst_loc = fields[at + 14] == "-" ? std::nullopt
+                                       : std::optional(location::parse(fields[at + 14]));
+    return true;
+}
+
+bool get_severity(cursor& c, const std::vector<std::string_view>& fields, std::size_t at,
+                  severity_breakdown& s) {
+    std::int64_t important = 0;
+    std::int64_t csets = 0;
+    if (!c.dbl(fields[at + 0], s.impact_factor)) return false;
+    if (!c.dbl(fields[at + 1], s.time_factor)) return false;
+    if (!c.dbl(fields[at + 2], s.score)) return false;
+    if (!c.dbl(fields[at + 3], s.avg_ping_loss)) return false;
+    if (!c.dbl(fields[at + 4], s.max_sla_overload)) return false;
+    if (!c.i64(fields[at + 5], important)) return false;
+    if (!c.i64(fields[at + 6], s.duration)) return false;
+    if (!c.i64(fields[at + 7], csets)) return false;
+    s.important_customers = static_cast<int>(important);
+    s.circuit_sets = static_cast<int>(csets);
+    return true;
+}
+
+bool get_incident(cursor& c, incident& inc) {
+    std::vector<std::string_view> f;
+    if (!c.expect("INC", 7, f)) return false;
+    std::uint64_t n_alerts = 0;
+    bool closed = false;
+    if (!c.u64(f[1], inc.id)) return false;
+    if (!c.u32(f[2], inc.root_id)) return false;
+    if (!c.i64(f[3], inc.when.begin)) return false;
+    if (!c.i64(f[4], inc.when.end)) return false;
+    if (!c.flag(f[5], closed)) return false;
+    if (!c.u64(f[6], n_alerts)) return false;
+    inc.root = location::parse(f[7]);
+    inc.closed = closed;
+    inc.alerts.clear();
+    inc.alerts.reserve(n_alerts);
+    for (std::uint64_t i = 0; i < n_alerts; ++i) {
+        if (!c.expect("IA", alert_fields, f)) return false;
+        structured_alert a;
+        if (!get_alert(c, f, 1, a)) return false;
+        inc.alerts.push_back(std::move(a));
+    }
+    return true;
+}
+
+bool get_report(cursor& c, incident_report& r) {
+    std::vector<std::string_view> f;
+    if (!c.expect("REP", 10, f)) return false;
+    bool actionable = false;
+    if (!c.flag(f[1], actionable)) return false;
+    r.actionable = actionable;
+    r.zoomed = f[2] == "-" ? std::nullopt : std::optional(location::parse(f[2]));
+    if (!get_severity(c, f, 3, r.severity)) return false;
+    return get_incident(c, r.inc);
+}
+
+bool get_node(cursor& c, locator::persist_state::node_state& n) {
+    std::vector<std::string_view> f;
+    if (!c.expect("N", 3, f)) return false;
+    std::uint64_t n_alerts = 0;
+    if (!c.u32(f[1], n.loc)) return false;
+    if (!c.i64(f[2], n.last_update)) return false;
+    if (!c.u64(f[3], n_alerts)) return false;
+    n.alerts.clear();
+    n.alerts.reserve(n_alerts);
+    for (std::uint64_t i = 0; i < n_alerts; ++i) {
+        if (!c.expect("A", alert_fields + 1, f)) return false;
+        locator::stored_alert a;
+        if (!c.i64(f[1], a.inserted)) return false;
+        if (!get_alert(c, f, 2, a.alert)) return false;
+        n.alerts.push_back(std::move(a));
+    }
+    return true;
+}
+
+bool get_pending(cursor& c, std::string_view tag,
+                 preprocessor::persist_state::pending_entry& p) {
+    std::vector<std::string_view> f;
+    if (!c.expect(tag, alert_fields + 4, f)) return false;
+    std::int64_t occ = 0;
+    if (!c.i64(f[1], occ)) return false;
+    if (!c.i64(f[2], p.first_seen)) return false;
+    if (!c.i64(f[3], p.last_seen)) return false;
+    if (!c.i64(f[4], p.last_counted_ts)) return false;
+    p.occurrences = static_cast<int>(occ);
+    return get_alert(c, f, 5, p.alert);
+}
+
+bool get_count(cursor& c, std::string_view tag, std::uint64_t& n) {
+    std::vector<std::string_view> f;
+    if (!c.expect(tag, 1, f)) return false;
+    return c.u64(f[1], n);
+}
+
+bool get_engine(cursor& c, skynet_engine::persist_state& e) {
+    std::vector<std::string_view> f;
+    if (!c.expect("stats", 10, f)) return false;
+    preprocessor_stats& st = e.pre.stats;
+    if (!c.i64(f[1], st.raw_in) || !c.i64(f[2], st.emitted_new) ||
+        !c.i64(f[3], st.emitted_update) || !c.i64(f[4], st.merged_identical) ||
+        !c.i64(f[5], st.dropped_sporadic) || !c.i64(f[6], st.dropped_unclassified) ||
+        !c.i64(f[7], st.dropped_uncorroborated) || !c.i64(f[8], st.merged_related) ||
+        !c.i64(f[9], st.rejected_malformed) || !c.i64(f[10], st.skew_clamped)) {
+        return false;
+    }
+
+    if (!c.expect("count", 1, f)) return false;
+    if (!c.i64(f[1], e.structured_count)) return false;
+
+    std::uint64_t n = 0;
+    if (!get_count(c, "open", n)) return false;
+    e.pre.open.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!c.expect("O", alert_fields + 1, f)) return false;
+        preprocessor::persist_state::open_entry o;
+        if (!c.i64(f[1], o.last_seen)) return false;
+        if (!get_alert(c, f, 2, o.alert)) return false;
+        e.pre.open.push_back(std::move(o));
+    }
+
+    if (!get_count(c, "persistence", n)) return false;
+    e.pre.persistence.resize(n);
+    for (auto& p : e.pre.persistence) {
+        if (!get_pending(c, "P", p)) return false;
+    }
+
+    if (!get_count(c, "correlation", n)) return false;
+    e.pre.correlation.resize(n);
+    for (auto& p : e.pre.correlation) {
+        if (!get_pending(c, "C", p)) return false;
+    }
+
+    if (!get_count(c, "sightings", n)) return false;
+    e.pre.sightings.resize(n);
+    for (auto& s : e.pre.sightings) {
+        if (!c.expect("S", 2, f)) return false;
+        if (!c.u32(f[1], s.loc)) return false;
+        if (!c.i64(f[2], s.at)) return false;
+    }
+
+    if (!get_count(c, "nodes", n)) return false;
+    e.loc.nodes.resize(n);
+    for (auto& node : e.loc.nodes) {
+        if (!get_node(c, node)) return false;
+    }
+
+    if (!get_count(c, "incidents", n)) return false;
+    e.loc.incidents.resize(n);
+    for (auto& entry : e.loc.incidents) {
+        if (!c.expect("I", 3, f)) return false;
+        std::uint64_t n_nodes = 0;
+        if (!c.u32(f[1], entry.root_id)) return false;
+        if (!c.i64(f[2], entry.update_time)) return false;
+        if (!c.u64(f[3], n_nodes)) return false;
+        if (!get_incident(c, entry.inc)) return false;
+        entry.nodes.resize(n_nodes);
+        for (auto& node : entry.nodes) {
+            if (!get_node(c, node)) return false;
+        }
+    }
+
+    if (!c.expect("next_incident", 1, f)) return false;
+    if (!c.u64(f[1], e.loc.next_incident_id)) return false;
+
+    if (!get_count(c, "scores", n)) return false;
+    e.live_scores.resize(n);
+    for (auto& [id, sev] : e.live_scores) {
+        if (!c.expect("Y", 9, f)) return false;
+        if (!c.u64(f[1], id)) return false;
+        if (!get_severity(c, f, 2, sev)) return false;
+    }
+
+    if (!get_count(c, "finished", n)) return false;
+    e.finished.resize(n);
+    for (auto& r : e.finished) {
+        if (!get_report(c, r)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string render_snapshot(const snapshot_data& data) {
+    std::string out(snapshot_header);
+    out += '\n';
+
+    out += "meta";
+    put_u64(out, data.seq);
+    put_u64(out, data.journal_bytes);
+    put_u64(out, data.journal_records);
+    put_i64(out, data.barrier_time);
+    put_u64(out, data.engines.next_region_shard);
+    out += '\n';
+
+    out += "locations";
+    put_u64(out, data.locations.size());
+    out += '\n';
+    for (const std::string& path : data.locations) {
+        out += "L";
+        put(out, path);
+        out += '\n';
+    }
+
+    out += "regions";
+    put_u64(out, data.engines.regions.size());
+    out += '\n';
+    for (const auto& [region, shard] : data.engines.regions) {
+        out += "R";
+        put_u64(out, region);
+        put_u64(out, shard);
+        out += '\n';
+    }
+
+    out += "engines";
+    put_u64(out, data.engines.shards.size());
+    out += '\n';
+    for (std::size_t i = 0; i < data.engines.shards.size(); ++i) {
+        put_engine(out, i, data.engines.shards[i]);
+    }
+
+    out += "log";
+    put_u64(out, data.log.size());
+    out += '\n';
+    for (const incident_log::entry& e : data.log) {
+        out += "E";
+        put_i64(out, e.closed_at);
+        put(out, e.attributed_to_failure ? (*e.attributed_to_failure ? "1" : "0") : "-");
+        out += '\n';
+        put_report(out, e.report);
+    }
+
+    char trailer[20];
+    std::snprintf(trailer, sizeof trailer, "crc\t%08x\n", crc32c(out));
+    out += trailer;
+    return out;
+}
+
+snapshot_parse_result parse_snapshot(std::string_view text) {
+    snapshot_parse_result result;
+
+    // Locate and verify the CRC trailer first: any flipped bit in the
+    // body invalidates the file before structural parsing begins.
+    const std::size_t crc_at = text.rfind("crc\t");
+    if (crc_at == std::string_view::npos || (crc_at != 0 && text[crc_at - 1] != '\n')) {
+        result.error = "missing crc trailer";
+        return result;
+    }
+    std::string_view crc_field = text.substr(crc_at + 4);
+    while (!crc_field.empty() && (crc_field.back() == '\n' || crc_field.back() == '\r')) {
+        crc_field.remove_suffix(1);
+    }
+    std::uint32_t want = 0;
+    {
+        const auto [p, ec] =
+            std::from_chars(crc_field.data(), crc_field.data() + crc_field.size(), want, 16);
+        if (ec != std::errc{} || p != crc_field.data() + crc_field.size()) {
+            result.error = "bad crc trailer";
+            return result;
+        }
+    }
+    const std::string_view body = text.substr(0, crc_at);
+    if (crc32c(body) != want) {
+        result.error = "snapshot checksum mismatch";
+        return result;
+    }
+
+    cursor c;
+    c.text = body;
+    std::vector<std::string_view> f;
+    if (!c.next(f) || f.size() != 1 || f[0] != snapshot_header) {
+        result.error = c.err.empty() ? "bad snapshot header" : c.err;
+        return result;
+    }
+
+    snapshot_data data;
+    auto finish_error = [&]() {
+        result.error = c.err.empty() ? "snapshot parse error" : c.err;
+        return result;
+    };
+
+    if (!c.expect("meta", 5, f)) return finish_error();
+    if (!c.u64(f[1], data.seq) || !c.u64(f[2], data.journal_bytes) ||
+        !c.u64(f[3], data.journal_records) || !c.i64(f[4], data.barrier_time)) {
+        return finish_error();
+    }
+    {
+        std::uint64_t next_shard = 0;
+        if (!c.u64(f[5], next_shard)) return finish_error();
+        data.engines.next_region_shard = static_cast<std::size_t>(next_shard);
+    }
+
+    std::uint64_t n = 0;
+    if (!get_count(c, "locations", n)) return finish_error();
+    data.locations.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!c.expect("L", 1, f)) return finish_error();
+        data.locations.emplace_back(f[1]);
+    }
+
+    if (!get_count(c, "regions", n)) return finish_error();
+    data.engines.regions.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!c.expect("R", 2, f)) return finish_error();
+        location_id region = invalid_location_id;
+        std::uint64_t shard = 0;
+        if (!c.u32(f[1], region) || !c.u64(f[2], shard)) return finish_error();
+        data.engines.regions.emplace_back(region, static_cast<std::size_t>(shard));
+    }
+
+    if (!get_count(c, "engines", n)) return finish_error();
+    data.engines.shards.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t index = 0;
+        if (!c.expect("engine", 1, f)) return finish_error();
+        if (!c.u64(f[1], index)) return finish_error();
+        if (index != i) {
+            c.fail("engine index out of order");
+            return finish_error();
+        }
+        if (!get_engine(c, data.engines.shards[i])) return finish_error();
+    }
+
+    if (!get_count(c, "log", n)) return finish_error();
+    data.log.resize(n);
+    for (auto& e : data.log) {
+        if (!c.expect("E", 2, f)) return finish_error();
+        if (!c.i64(f[1], e.closed_at)) return finish_error();
+        if (f[2] == "-") {
+            e.attributed_to_failure = std::nullopt;
+        } else {
+            bool labeled = false;
+            if (!c.flag(f[2], labeled)) return finish_error();
+            e.attributed_to_failure = labeled;
+        }
+        if (!get_report(c, e.report)) return finish_error();
+    }
+
+    result.data = std::move(data);
+    return result;
+}
+
+std::string snapshot_filename(std::uint64_t seq) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "snap-%010llu.skysnap", static_cast<unsigned long long>(seq));
+    return buf;
+}
+
+error write_snapshot(const std::string& dir, const snapshot_data& data) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);  // best-effort; the open below reports failure
+
+    const fs::path final_path = fs::path(dir) / snapshot_filename(data.seq);
+    const fs::path tmp_path = final_path.string() + ".tmp";
+    const std::string text = render_snapshot(data);
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) return error("snapshot: cannot open " + tmp_path.string());
+        out.write(text.data(), static_cast<std::streamsize>(text.size()));
+        out.flush();
+        if (!out) return error("snapshot: short write to " + tmp_path.string());
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) return error("snapshot: rename failed: " + ec.message());
+    return error{};
+}
+
+snapshot_pick load_newest_snapshot(const std::string& dir, std::uint64_t journal_valid_bytes) {
+    namespace fs = std::filesystem;
+    snapshot_pick pick;
+
+    std::vector<std::pair<std::uint64_t, fs::path>> candidates;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (!name.starts_with("snap-") || !name.ends_with(".skysnap")) continue;
+        std::uint64_t seq = 0;
+        const std::string_view digits =
+            std::string_view(name).substr(5, name.size() - 5 - std::string_view(".skysnap").size());
+        if (!parse_u64(digits, seq)) continue;
+        candidates.emplace_back(seq, entry.path());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    for (const auto& [seq, path] : candidates) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            pick.skipped.push_back({path.filename().string(), "unreadable"});
+            continue;
+        }
+        std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+        snapshot_parse_result parsed = parse_snapshot(text);
+        if (!parsed.ok()) {
+            pick.skipped.push_back({path.filename().string(), parsed.error});
+            continue;
+        }
+        if (parsed.data->journal_bytes > journal_valid_bytes) {
+            pick.skipped.push_back({path.filename().string(),
+                                    "references journal bytes past the durable prefix"});
+            continue;
+        }
+        pick.data = std::move(parsed.data);
+        pick.file = path.filename().string();
+        break;
+    }
+    return pick;
+}
+
+}  // namespace skynet::persist

@@ -31,13 +31,59 @@ std::optional<device_role> parse_role(std::string_view token) noexcept {
     return std::nullopt;
 }
 
+namespace {
+
+/// Location paths may contain spaces (hierarchy segments are free text);
+/// the exporter wraps such paths in double quotes so they stay one token.
+std::string quoted_path(const location& loc) {
+    std::string path = loc.to_string();
+    if (path.find_first_of(" \t") != std::string::npos) return '"' + path + '"';
+    return path;
+}
+
+/// split_whitespace plus double-quote support: a quoted span joins into
+/// the surrounding token with its whitespace preserved. Returns nullopt
+/// on an unterminated quote.
+std::optional<std::vector<std::string>> split_quoted(std::string_view line) {
+    std::vector<std::string> tokens;
+    std::string current;
+    bool in_token = false;
+    bool in_quote = false;
+    for (const char c : line) {
+        if (in_quote) {
+            if (c == '"') {
+                in_quote = false;
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            in_quote = true;
+            in_token = true;
+        } else if (c == ' ' || c == '\t' || c == '\r') {
+            if (in_token) {
+                tokens.push_back(std::move(current));
+                current.clear();
+                in_token = false;
+            }
+        } else {
+            current += c;
+            in_token = true;
+        }
+    }
+    if (in_quote) return std::nullopt;
+    if (in_token) tokens.push_back(std::move(current));
+    return tokens;
+}
+
+}  // namespace
+
 std::string export_topology(const topology& topo) {
     std::string out = "# skynet topology v1\n";
     char buf[64];
 
     for (const device& d : topo.devices()) {
         out += "device " + d.name + " " + std::string(role_token(d.role)) + " " +
-               d.loc.to_string() + "\n";
+               quoted_path(d.loc) + "\n";
         if (d.legacy_slow_snmp || d.supports_int) {
             out += "flags " + d.name;
             if (d.legacy_slow_snmp) out += " legacy_snmp";
@@ -69,9 +115,11 @@ topology_parse_result import_topology(std::string_view text) {
     std::unordered_map<std::string, circuit_set_id> csets_by_name;
     std::unordered_map<std::string, group_id> groups_by_name;
 
-    auto fail = [&result](int line, std::string message) {
-        result.errors.push_back(
-            topology_parse_error{.line = line, .message = std::move(message)});
+    std::string_view current_line;
+    auto fail = [&result, &current_line](int line, std::string message) {
+        result.errors.push_back(topology_parse_error{.line = line,
+                                                     .message = std::move(message),
+                                                     .text = std::string(current_line)});
     };
 
     auto find_device = [&](int line, const std::string& name) -> std::optional<device_id> {
@@ -88,11 +136,17 @@ topology_parse_result import_topology(std::string_view text) {
                                                                              : nl - pos);
         pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
         ++line_no;
+        current_line = raw;
 
         if (const std::size_t hash = raw.find('#'); hash != std::string_view::npos) {
             raw = raw.substr(0, hash);
         }
-        std::vector<std::string> tokens = split_whitespace(raw);
+        std::optional<std::vector<std::string>> split = split_quoted(raw);
+        if (!split) {
+            fail(line_no, "unterminated quote");
+            continue;
+        }
+        std::vector<std::string> tokens = std::move(*split);
         if (tokens.empty()) continue;
         const std::string& kind = tokens[0];
 

@@ -1,0 +1,54 @@
+# Crash drill (registered in tests/CMakeLists.txt). Drives skynet_cli
+# across a real process crash: journal a replay run, kill it at an exact
+# record boundary (--crash-after), recover in a fresh process, and
+# require the recovered reports byte-identical to an uninterrupted run.
+# Expects -DSKYNET_CLI=<path> and -DDRILL_DIR=<scratch dir>.
+file(REMOVE_RECURSE "${DRILL_DIR}")
+file(MAKE_DIRECTORY "${DRILL_DIR}")
+
+function(run_cli out_var expect_code)
+  execute_process(COMMAND ${SKYNET_CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL expect_code)
+    message(FATAL_ERROR "skynet_cli ${ARGN}: exit ${code} (wanted ${expect_code})\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+set(trace "${DRILL_DIR}/trace.txt")
+run_cli(record_out 0 --topo tiny --seed 5 --record ${trace})
+run_cli(base 0 --topo tiny --seed 5 --replay ${trace})
+
+# Crash mid-replay: the process must die with the drill exit code (137),
+# not report a clean failure, after the 30th journal record is durable.
+execute_process(COMMAND ${SKYNET_CLI} --topo tiny --seed 5 --replay ${trace}
+                        --checkpoint-dir ${DRILL_DIR}/ckpt --checkpoint-every 4
+                        --crash-after 30
+                OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE code)
+if(NOT code EQUAL 137)
+  message(FATAL_ERROR "crash run exited ${code}, wanted 137")
+endif()
+if(NOT EXISTS "${DRILL_DIR}/ckpt/journal.skywal")
+  message(FATAL_ERROR "crash run left no journal behind")
+endif()
+
+run_cli(recovered 0 --topo tiny --seed 5 --replay ${trace}
+        --checkpoint-dir ${DRILL_DIR}/ckpt --checkpoint-every 4 --recover)
+
+# Compare everything from the alert totals down: the recovered run adds
+# recover: notes above that point, but the reports must match byte for
+# byte.
+foreach(v base recovered)
+  string(FIND "${${v}}" "alerts:" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "no report section in ${v} output:\n${${v}}")
+  endif()
+  string(SUBSTRING "${${v}}" ${at} -1 ${v}_reports)
+endforeach()
+if(NOT base_reports STREQUAL recovered_reports)
+  message(FATAL_ERROR "recovered reports differ from the uninterrupted run:\n"
+                      "--- uninterrupted\n${base_reports}\n--- recovered\n${recovered_reports}")
+endif()
+message(STATUS "crash drill passed: recovered reports identical")

@@ -91,6 +91,95 @@ TEST(IncidentLogTest, MonthlyRollup) {
     EXPECT_EQ(months[1].total, 1);
 }
 
+/// Brute-force reference for query(): the same predicate applied by a
+/// plain linear scan over every entry.
+std::vector<const incident_log::entry*> brute_query(const incident_log& log,
+                                                    const incident_log::query_filter& f) {
+    std::vector<const incident_log::entry*> out;
+    const bool use_window = f.window.begin != 0 || f.window.end != 0;
+    for (const incident_log::entry& e : log.entries()) {
+        if (use_window && !e.report.inc.when.overlaps(f.window)) continue;
+        if (!f.scope.is_root() && !f.scope.contains(e.report.inc.root)) continue;
+        if (e.report.severity.score < f.min_score) continue;
+        if (f.only_actionable && !e.report.actionable) continue;
+        out.push_back(&e);
+    }
+    return out;
+}
+
+TEST(IncidentLogTest, WindowQueryMatchesLinearScanOnLargeLog) {
+    // Close-ordered appends keep the binary-searched start path active;
+    // every window must return exactly what a full scan returns.
+    incident_log log;
+    for (int i = 0; i < 400; ++i) {
+        const sim_time begin = minutes(10 * i);
+        log.append(report(static_cast<std::uint64_t>(i + 1), location{"R1", "C1"},
+                          {begin, begin + minutes(7)}, 1.0 + i % 9, i % 3 == 0),
+                   begin + minutes(8));
+    }
+    for (const time_range window :
+         {time_range{0, 0}, time_range{minutes(5), minutes(95)},
+          time_range{minutes(1999), minutes(2001)}, time_range{minutes(3995), minutes(4200)},
+          time_range{minutes(9000), minutes(9999)}, time_range{0, minutes(4000)}}) {
+        SCOPED_TRACE("window [" + std::to_string(window.begin) + ", " +
+                     std::to_string(window.end) + "]");
+        incident_log::query_filter f;
+        f.window = window;
+        EXPECT_EQ(log.query(f), brute_query(log, f));
+    }
+}
+
+TEST(IncidentLogTest, OutOfOrderAppendFallsBackToLinearScan) {
+    // A hand-built log violating the close-order invariant must still
+    // answer window queries correctly (silent downgrade, never an abort).
+    incident_log log;
+    log.append(report(1, location{"R1"}, {minutes(100), minutes(110)}, 1.0, false),
+               minutes(120));
+    log.append(report(2, location{"R1"}, {minutes(5), minutes(15)}, 1.0, false),
+               minutes(20));  // closed before the previous entry
+    log.append(report(3, location{"R1"}, {minutes(40), minutes(50)}, 1.0, false), minutes(60));
+
+    incident_log::query_filter f;
+    f.window = time_range{minutes(0), minutes(30)};
+    const auto hits = log.query(f);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0]->report.inc.id, 2u);
+    EXPECT_EQ(log.query(f), brute_query(log, f));
+}
+
+TEST(IncidentLogTest, CloseBeforeWindowEndAlsoDowngrades) {
+    // closed_at inside the incident window (instead of at/after its end)
+    // breaks the pruning precondition; queries must notice and stay
+    // linear rather than miss the entry.
+    incident_log log;
+    log.append(report(1, location{"R1"}, {minutes(10), minutes(200)}, 1.0, false),
+               minutes(20));
+    log.append(report(2, location{"R1"}, {minutes(150), minutes(160)}, 1.0, false),
+               minutes(170));
+    incident_log::query_filter f;
+    f.window = time_range{minutes(180), minutes(220)};
+    const auto hits = log.query(f);  // entry 1's window overlaps
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0]->report.inc.id, 1u);
+}
+
+TEST(IncidentLogTest, RestoreRederivesTheFastQueryInvariant) {
+    incident_log ordered = sample_log();
+    incident_log copy;
+    copy.restore(std::vector<incident_log::entry>(ordered.entries()));
+    EXPECT_EQ(copy.size(), ordered.size());
+    incident_log::query_filter f;
+    f.window = time_range{0, days(1)};
+    EXPECT_EQ(copy.query(f).size(), 1u);
+
+    // Restoring out-of-order entries keeps queries correct too.
+    std::vector<incident_log::entry> reversed(ordered.entries().rbegin(),
+                                              ordered.entries().rend());
+    incident_log scrambled;
+    scrambled.restore(std::move(reversed));
+    EXPECT_EQ(scrambled.query(f).size(), 1u);
+}
+
 TEST(IncidentLogTest, EmptyLogBehaves) {
     const incident_log log;
     EXPECT_TRUE(log.monthly_rollup().empty());

@@ -102,6 +102,64 @@ flags a warp_drive
     EXPECT_EQ(result.errors.size(), 2u);
 }
 
+TEST(SerializationTest, ErrorsCarryTheOffendingLineText) {
+    const auto result = import_topology(R"(device tor1 tor R1|tor1
+flags ghost legacy_snmp
+cset uplink tor1 phantom
+link tor1 nowhere - 25
+)");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.errors.size(), 3u);
+    // Unknown-device references in flags, cset and link lines each name
+    // the missing device and carry the rejected line verbatim.
+    EXPECT_NE(result.errors[0].message.find("'ghost'"), std::string::npos);
+    EXPECT_EQ(result.errors[0].text, "flags ghost legacy_snmp");
+    EXPECT_NE(result.errors[1].message.find("'phantom'"), std::string::npos);
+    EXPECT_EQ(result.errors[1].text, "cset uplink tor1 phantom");
+    EXPECT_NE(result.errors[2].message.find("'nowhere'"), std::string::npos);
+    EXPECT_EQ(result.errors[2].text, "link tor1 nowhere - 25");
+}
+
+TEST(SerializationTest, DuplicateDeviceKeepsTheFirstDefinition) {
+    const auto result = import_topology(R"(device tor1 tor R1|first
+device tor1 tor R1|second
+)");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].message.find("duplicate device"), std::string::npos);
+    EXPECT_EQ(result.errors[0].text, "device tor1 tor R1|second");
+    ASSERT_EQ(result.topo.devices().size(), 1u);
+    EXPECT_EQ(result.topo.devices()[0].loc.to_string(), "R1|first");
+}
+
+TEST(SerializationTest, QuotedLocationsRoundTrip) {
+    // Hierarchy segments are free text and may contain spaces; the
+    // exporter quotes such paths and the importer restores them intact.
+    topology original;
+    const location spaced{"Region A", "City X", "LS 1", "Site I", "CL 1"};
+    (void)original.add_device("tor1", device_role::tor, spaced.child("tor1"));
+    (void)original.add_device("tor2", device_role::tor, location{"R1", "tor2"});
+
+    const std::string text = export_topology(original);
+    EXPECT_NE(text.find("\"Region A|City X|LS 1|Site I|CL 1|tor1\""), std::string::npos);
+
+    const topology_parse_result parsed = import_topology(text);
+    ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0].message);
+    ASSERT_EQ(parsed.topo.devices().size(), 2u);
+    EXPECT_EQ(parsed.topo.devices()[0].loc, spaced.child("tor1"));
+    EXPECT_EQ(parsed.topo.devices()[1].loc, (location{"R1", "tor2"}));
+    // And the canonical re-export matches byte for byte.
+    EXPECT_EQ(export_topology(parsed.topo), text);
+}
+
+TEST(SerializationTest, UnterminatedQuoteIsRejectedWithTheLine) {
+    const auto result = import_topology("device tor1 tor \"R1|unclosed\n");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].message.find("unterminated quote"), std::string::npos);
+    EXPECT_EQ(result.errors[0].text, "device tor1 tor \"R1|unclosed");
+}
+
 TEST(SerializationTest, LinkWithoutCircuitSet) {
     const auto result = import_topology(R"(device a tor R|a
 device b tor R|b

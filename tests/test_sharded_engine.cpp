@@ -6,6 +6,7 @@
 // reports() view, and engine metrics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <span>
 
@@ -404,6 +405,94 @@ TEST(EngineMetricsTest, ShardedAggregatesAcrossShards) {
         sum.alerts_in += m.alerts_in;
     }
     EXPECT_EQ(sum.alerts_in, total.alerts_in);
+}
+
+TEST(WorkerFailureTest, FailureSurfacesAtBarrierWithoutHanging) {
+    // A shard whose engine throws mid-command must not hang a barrier or
+    // std::terminate the process: the failure surfaces as a skynet_error
+    // from the next tick(), naming the shard.
+    world w;
+    std::atomic<bool> arm{false};
+    sharded_config scfg;
+    scfg.shards = 2;
+    scfg.worker_fault = [&](std::size_t shard) {
+        if (arm.load() && shard == 1) throw std::runtime_error("injected shard fault");
+    };
+    sharded_engine eng(w.deps(), scfg);
+
+    // Route one alert per shard so both workers have live regions.
+    sim_time now = seconds(10);
+    std::size_t fed = 0;
+    for (const device& d : w.topo.devices()) {
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.loc = d.loc;
+        a.device = d.id;
+        a.timestamp = now;
+        eng.ingest(a, now);
+        if (++fed >= 8) break;
+    }
+    network_state state(&w.topo, &w.customers);
+    eng.tick(now, state);  // healthy barrier
+    EXPECT_EQ(eng.failed_shard_count(), 0u);
+
+    arm.store(true);
+    raw_alert poison;
+    poison.source = data_source::snmp;
+    poison.loc = w.topo.devices().front().loc;
+    poison.device = w.topo.devices().front().id;
+    poison.timestamp = now + seconds(2);
+    eng.ingest(poison, now + seconds(2));
+
+    try {
+        eng.tick(now + seconds(2), state);
+        FAIL() << "tick did not surface the worker failure";
+    } catch (const skynet_error& e) {
+        EXPECT_NE(std::string(e.what()).find("shard"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("injected shard fault"), std::string::npos);
+    }
+    EXPECT_EQ(eng.failed_shard_count(), 1u);
+    const std::vector<std::string> msgs = eng.failed_shard_messages();
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_NE(msgs[0].find("injected shard fault"), std::string::npos);
+}
+
+TEST(WorkerFailureTest, DeadShardDrainsAndCountsDroppedAlerts) {
+    // After the failure, further work routed to the dead shard is
+    // drained unexecuted and counted; healthy shards keep going and the
+    // destructor joins cleanly.
+    world w;
+    sharded_config scfg;
+    scfg.shards = 2;
+    scfg.worker_fault = [](std::size_t shard) {
+        if (shard == 0) throw std::runtime_error("dead on arrival");
+    };
+    sharded_engine eng(w.deps(), scfg);
+
+    network_state state(&w.topo, &w.customers);
+    sim_time now = seconds(10);
+    for (int round = 0; round < 3; ++round) {
+        for (const device& d : w.topo.devices()) {
+            raw_alert a;
+            a.source = data_source::snmp;
+            a.loc = d.loc;
+            a.device = d.id;
+            a.timestamp = now;
+            eng.ingest(a, now);
+        }
+        EXPECT_THROW(eng.tick(now, state), skynet_error);
+        now += seconds(2);
+    }
+    EXPECT_EQ(eng.failed_shard_count(), 1u);
+    // Dropped-ingest accounting lands in the degraded metrics block.
+    engine_metrics m = eng.metrics();
+    EXPECT_GT(m.degraded.alerts_dropped_failed_shard, 0u);
+    EXPECT_TRUE(m.degraded.any());
+    EXPECT_NE(m.render().find("failed shard"), std::string::npos);
+    // finish() surfaces the same failure but still terminates cleanly;
+    // the healthy shard's data stays reachable afterwards.
+    EXPECT_THROW(eng.finish(now, state), skynet_error);
+    (void)eng.take_reports();
 }
 
 TEST(LatencyHistogramTest, RecordsAndMerges) {
