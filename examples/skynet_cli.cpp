@@ -12,10 +12,12 @@
 //   skynet_cli --topo-file inventory.topo       # ... and load it back
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "skynet/core/digest.h"
+#include "skynet/overload/controller.h"
 #include "skynet/viz/timeline.h"
 #include "skynet/core/pipeline.h"
 #include "skynet/core/sharded_engine.h"
@@ -40,6 +42,7 @@ struct options {
     std::string replay_file;
     std::string faults_spec;
     std::string checkpoint_dir;
+    std::string health_json;
     std::string overflow = "block";
     std::string scenario_name = "random";
     bool severe = true;
@@ -48,9 +51,12 @@ struct options {
     bool extended = false;
     bool metrics = false;
     bool recover = false;
+    bool breaker = false;
     int shards = 0;  // 0 = sequential engine
     int checkpoint_every = 8;
     std::uint64_t crash_after = 0;
+    std::uint64_t admission_budget = 0;  // alerts per tick window; 0 = off
+    std::uint64_t watchdog_deadline = 0;  // ms; 0 = off (auto with stall faults)
     int duration_min = 5;
     int customers = 400;
     double noise = 0.02;
@@ -89,7 +95,16 @@ void usage() {
         "  --recover                        restore from --checkpoint-dir (newest valid\n"
         "                                   snapshot + journal replay) before streaming\n"
         "  --crash-after N                  crash drill: exit %d after the Nth journal\n"
-        "                                   record is durable, before it is applied\n",
+        "                                   record is durable, before it is applied\n"
+        "  --admission-budget N             overload guard: admit at most N alerts per\n"
+        "                                   tick window, shedding duplicates/other first\n"
+        "  --breaker                        per-source circuit breakers (quarantine a\n"
+        "                                   source emitting sustained garbage)\n"
+        "  --watchdog-deadline MS           sharded only: write off / recover a shard\n"
+        "                                   making no progress for MS wall-clock ms\n"
+        "                                   (defaults to 250 when --faults has stalls)\n"
+        "  --health-json FILE               write the merged engine health report as\n"
+        "                                   JSON at every tick barrier (atomic rename)\n",
         persist::crash_exit_code);
 }
 
@@ -115,37 +130,75 @@ std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo
     return nullptr;
 }
 
+/// Writes `text` to `path` via a temp file + atomic rename (the same
+/// crash-safety convention as snapshots): a reader never sees a torn
+/// health report.
+void write_atomic(const std::string& path, const std::string& text) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+            return;
+        }
+        out << text;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::fprintf(stderr, "health-json rename failed: %s\n", ec.message().c_str());
+}
+
 /// Streams the alert source (recorded trace or live simulation) through
 /// `engine` — tick-batched ingest either way — and prints the ranked
 /// reports. Works for both the sequential and the region-sharded engine.
 /// When `faults` is set, every delivery passes through the injector
-/// first and reorder-held alerts are released at each tick.
+/// first and reorder-held alerts are released at each tick. When `guard`
+/// is active, every delivery then passes the overload controller, so the
+/// engine (and the journal, in durable runs) only ever sees admitted
+/// alerts.
 template <typename Engine>
 int run_session(Engine& engine, const options& opt, const topology& topo,
-                const customer_registry& customers, fault_injector* faults) {
+                const customer_registry& customers, fault_injector* faults,
+                overload::controller* guard) {
     std::int64_t raw = 0;
     recovery_metrics persist_metrics;
+    const bool guarded = guard != nullptr && !guard->pass_through();
 
     // Generic over the sink so the replay path can route through a
     // persist::durable_session (same ingest/tick/finish surface) while
     // the simulation path keeps feeding the engine directly.
+    const auto deliver = [&](auto& sink, std::vector<traced_alert> batch) {
+        if (guarded) batch = guard->admit(std::move(batch));
+        if (!batch.empty()) sink.ingest_batch(std::span<const traced_alert>(batch));
+    };
     const auto ingest = [&](auto& sink, std::span<const traced_alert> batch) {
-        if (faults == nullptr) {
+        if (faults == nullptr && !guarded) {
             sink.ingest_batch(batch);
             return;
         }
-        const std::vector<traced_alert> degraded = faults->apply(batch);
-        sink.ingest_batch(std::span<const traced_alert>(degraded));
+        std::vector<traced_alert> stream(batch.begin(), batch.end());
+        if (faults != nullptr) stream = faults->apply(stream);
+        deliver(sink, std::move(stream));
     };
     const auto release_held = [&](auto& sink, sim_time now) {
         if (faults == nullptr) return;
-        const std::vector<traced_alert> due = faults->release(now);
-        if (!due.empty()) sink.ingest_batch(std::span<const traced_alert>(due));
+        std::vector<traced_alert> due = faults->release(now);
+        if (!due.empty()) deliver(sink, std::move(due));
     };
     const auto drain_held = [&](auto& sink) {
         if (faults == nullptr) return;
-        const std::vector<traced_alert> held = faults->drain();
-        if (!held.empty()) sink.ingest_batch(std::span<const traced_alert>(held));
+        std::vector<traced_alert> held = faults->drain();
+        if (!held.empty()) deliver(sink, std::move(held));
+    };
+    // Tick-barrier housekeeping: close the admission window and publish
+    // the merged health report (engine barrier metrics + controller
+    // counters) if asked to.
+    const auto on_barrier = [&](sim_time now) {
+        if (guard != nullptr) guard->on_tick(now);
+        if (opt.health_json.empty()) return;
+        engine_metrics m = engine.barrier_metrics();
+        if (guard != nullptr) m.overload += guard->metrics();
+        write_atomic(opt.health_json, m.to_json() + "\n");
     };
 
     if (!opt.replay_file.empty() || opt.recover) {
@@ -186,12 +239,14 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
                     batch.clear();
                     release_held(sink, t.arrival);
                     sink.tick(t.arrival, idle);
+                    on_barrier(t.arrival);
                     last_tick = t.arrival;
                 }
             }
             ingest(sink, std::span<const traced_alert>(batch));
             drain_held(sink);
             sink.finish(last_arrival + minutes(20), idle);
+            on_barrier(last_arrival + minutes(20));
         };
 
         persist::recovery_result recovered;
@@ -199,6 +254,10 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             persist::recovery_options ropts;
             ropts.dir = opt.checkpoint_dir;
             ropts.tick_state = &idle;
+            // Inspect mode continues directly from the snapshot, so the
+            // controller state is imported; a resume re-streams from the
+            // start and re-derives it deterministically instead.
+            if (opt.replay_file.empty()) ropts.controller = guard;
             try {
                 recovered = persist::recover(engine, topo.locations(), nullptr, ropts);
             } catch (const std::exception& e) {
@@ -227,6 +286,7 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             dopts.next_snapshot_seq = recovered.next_snapshot_seq;
             dopts.base = recovered.metrics;
             dopts.locations = &topo.locations();
+            dopts.controller = guard;
             persist::durable_session<Engine> session(engine, dopts);
             stream(session);
             persist_metrics = session.metrics();
@@ -267,9 +327,11 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
                               [&](sim_time now) {
                                   release_held(engine, now);
                                   engine.tick(now, sim.state());
+                                  on_barrier(now);
                               });
         drain_held(engine);
         engine.finish(sim.clock().now(), sim.state());
+        on_barrier(sim.clock().now());
 
         if (!opt.record_file.empty()) {
             std::ofstream out(opt.record_file);
@@ -297,9 +359,24 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
                     static_cast<unsigned long long>(fs.corrupted),
                     static_cast<unsigned long long>(fs.skewed));
     }
+    if (guarded) {
+        const overload_metrics& om = guard->metrics();
+        std::printf("overload: %llu admitted, %llu shed "
+                    "(%llu dup / %llu other / %llu root-cause / %llu failure), "
+                    "%llu quarantined, %llu breaker trips\n",
+                    static_cast<unsigned long long>(om.admitted),
+                    static_cast<unsigned long long>(om.shed_total()),
+                    static_cast<unsigned long long>(om.shed_duplicate),
+                    static_cast<unsigned long long>(om.shed_other),
+                    static_cast<unsigned long long>(om.shed_root_cause),
+                    static_cast<unsigned long long>(om.shed_failure),
+                    static_cast<unsigned long long>(om.quarantined),
+                    static_cast<unsigned long long>(om.breaker_trips));
+    }
     if (opt.metrics) {
         engine_metrics m = engine.metrics();
         m.recovery += persist_metrics;
+        if (guard != nullptr) m.overload += guard->metrics();
         if (faults != nullptr) {
             // The injector, not the engine, knows which sources went dark.
             m.degraded.sources_in_dropout = faults->stats().sources_in_dropout;
@@ -380,6 +457,14 @@ int main(int argc, char** argv) {
             opt.recover = true;
         } else if (arg == "--crash-after") {
             opt.crash_after = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--admission-budget") {
+            opt.admission_budget = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--breaker") {
+            opt.breaker = true;
+        } else if (arg == "--watchdog-deadline") {
+            opt.watchdog_deadline = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--health-json") {
+            opt.health_json = value();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -471,17 +556,43 @@ int main(int argc, char** argv) {
         std::printf("faults: injecting '%s'\n", opt.faults_spec.c_str());
     }
 
+    overload::controller_config ocfg;
+    ocfg.admission.max_alerts = opt.admission_budget;
+    ocfg.breaker.enabled = opt.breaker;
+    try {
+        ocfg.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    overload::controller guard(ocfg, &topo, &registry);
+    if (!guard.pass_through()) {
+        std::printf("overload: admission budget %llu/window, breakers %s\n",
+                    static_cast<unsigned long long>(opt.admission_budget),
+                    opt.breaker ? "on" : "off");
+    }
+
     const skynet_engine::deps deps{&topo, &customers, &registry, &syslog};
     if (opt.shards > 0) {
         sharded_config scfg;
         scfg.shards = static_cast<std::size_t>(opt.shards);
         scfg.overflow = *policy;
-        if (faults) scfg.force_full = faults->queue_pressure_hook();
+        scfg.watchdog_deadline_ms = opt.watchdog_deadline;
+        if (faults) {
+            scfg.force_full = faults->queue_pressure_hook();
+            scfg.worker_stall = faults->worker_stall_hook();
+            // Injected stalls without a watchdog would wedge the run;
+            // arm a default deadline so the drill recovers on its own.
+            if (scfg.worker_stall && scfg.watchdog_deadline_ms == 0) {
+                scfg.watchdog_deadline_ms = 250;
+            }
+        }
         sharded_engine engine(deps, scfg);
-        std::printf("engine: region-sharded, %zu shards, overflow=%s\n", engine.shard_count(),
-                    std::string(to_string(*policy)).c_str());
-        return run_session(engine, opt, topo, customers, faults.get());
+        std::printf("engine: region-sharded, %zu shards, overflow=%s%s\n", engine.shard_count(),
+                    std::string(to_string(*policy)).c_str(),
+                    scfg.watchdog_deadline_ms > 0 ? ", watchdog on" : "");
+        return run_session(engine, opt, topo, customers, faults.get(), &guard);
     }
     skynet_engine engine(deps);
-    return run_session(engine, opt, topo, customers, faults.get());
+    return run_session(engine, opt, topo, customers, faults.get(), &guard);
 }

@@ -40,6 +40,7 @@ engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept
     evaluate += other.evaluate;
     degraded += other.degraded;
     recovery += other.recovery;
+    overload += other.overload;
     alerts_in += other.alerts_in;
     batches_in += other.batches_in;
     ticks += other.ticks;
@@ -103,6 +104,107 @@ std::string engine_metrics::render() const {
                       static_cast<unsigned long long>(recovery.snapshots_skipped));
         out += buf;
     }
+    if (overload.any()) {
+        std::snprintf(buf, sizeof buf,
+                      "  overload: %llu admitted, %llu shed (%llu dup, %llu other, %llu root-cause, "
+                      "%llu failure), %llu quarantined\n",
+                      static_cast<unsigned long long>(overload.admitted),
+                      static_cast<unsigned long long>(overload.shed_total()),
+                      static_cast<unsigned long long>(overload.shed_duplicate),
+                      static_cast<unsigned long long>(overload.shed_other),
+                      static_cast<unsigned long long>(overload.shed_root_cause),
+                      static_cast<unsigned long long>(overload.shed_failure),
+                      static_cast<unsigned long long>(overload.quarantined));
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "            breaker %llu trips / %llu reopens / %llu closes (%llu probes); "
+                      "watchdog %llu stalls, %llu recovered, %llu written off\n",
+                      static_cast<unsigned long long>(overload.breaker_trips),
+                      static_cast<unsigned long long>(overload.breaker_reopens),
+                      static_cast<unsigned long long>(overload.breaker_closes),
+                      static_cast<unsigned long long>(overload.probes_admitted),
+                      static_cast<unsigned long long>(overload.stalls_detected),
+                      static_cast<unsigned long long>(overload.stalls_recovered),
+                      static_cast<unsigned long long>(overload.shards_written_off));
+        out += buf;
+        if (overload.evicted_node_alerts != 0 || overload.evicted_incidents != 0 ||
+            overload.evicted_pending != 0) {
+            std::snprintf(buf, sizeof buf,
+                          "            evicted: %llu node alerts, %llu incidents, %llu pending\n",
+                          static_cast<unsigned long long>(overload.evicted_node_alerts),
+                          static_cast<unsigned long long>(overload.evicted_incidents),
+                          static_cast<unsigned long long>(overload.evicted_pending));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+std::string engine_metrics::to_json() const {
+    std::string out;
+    out.reserve(2048);
+    char buf[160];
+    auto u = [&](const char* key, std::uint64_t v, bool last = false) {
+        std::snprintf(buf, sizeof buf, "\"%s\":%llu%s", key, static_cast<unsigned long long>(v),
+                      last ? "" : ",");
+        out += buf;
+    };
+    auto stage = [&](const char* name, const stage_metrics& s, bool last = false) {
+        std::snprintf(buf, sizeof buf,
+                      "\"%s\":{\"calls\":%llu,\"items\":%llu,\"mean_us\":%.3f,\"p99_us\":%.3f,"
+                      "\"max_us\":%.3f,\"total_ms\":%.3f}%s",
+                      name, static_cast<unsigned long long>(s.calls),
+                      static_cast<unsigned long long>(s.items), s.latency.mean_us(),
+                      s.latency.percentile_us(99.0),
+                      static_cast<double>(s.latency.max_ns()) / 1000.0,
+                      static_cast<double>(s.latency.total_ns()) / 1e6, last ? "" : ",");
+        out += buf;
+    };
+    out += "{";
+    u("alerts_in", alerts_in);
+    u("batches_in", batches_in);
+    u("ticks", ticks);
+    u("reports_emitted", reports_emitted);
+    out += "\"stages\":{";
+    stage("preprocess", preprocess);
+    stage("locate", locate);
+    stage("evaluate", evaluate, true);
+    out += "},\"queue\":{";
+    u("max_depth", max_queue_depth);
+    u("full_waits", enqueue_full_waits);
+    u("busy_ns", busy_ns, true);
+    out += "},\"degraded\":{";
+    u("alerts_rejected", degraded.alerts_rejected);
+    u("alerts_dropped_overflow", degraded.alerts_dropped_overflow);
+    u("skew_clamped", degraded.skew_clamped);
+    u("sources_in_dropout", degraded.sources_in_dropout);
+    u("alerts_dropped_failed_shard", degraded.alerts_dropped_failed_shard, true);
+    out += "},\"recovery\":{";
+    u("journal_records_written", recovery.journal_records_written);
+    u("journal_flushes", recovery.journal_flushes);
+    u("checkpoints_written", recovery.checkpoints_written);
+    u("records_replayed", recovery.records_replayed);
+    u("truncated_tail_bytes", recovery.truncated_tail_bytes);
+    u("snapshots_skipped", recovery.snapshots_skipped, true);
+    out += "},\"overload\":{";
+    u("admitted", overload.admitted);
+    u("shed_duplicate", overload.shed_duplicate);
+    u("shed_other", overload.shed_other);
+    u("shed_root_cause", overload.shed_root_cause);
+    u("shed_failure", overload.shed_failure);
+    u("shed_bytes", overload.shed_bytes);
+    u("breaker_trips", overload.breaker_trips);
+    u("breaker_reopens", overload.breaker_reopens);
+    u("breaker_closes", overload.breaker_closes);
+    u("quarantined", overload.quarantined);
+    u("probes_admitted", overload.probes_admitted);
+    u("stalls_detected", overload.stalls_detected);
+    u("stalls_recovered", overload.stalls_recovered);
+    u("shards_written_off", overload.shards_written_off);
+    u("evicted_node_alerts", overload.evicted_node_alerts);
+    u("evicted_incidents", overload.evicted_incidents);
+    u("evicted_pending", overload.evicted_pending, true);
+    out += "}}";
     return out;
 }
 

@@ -146,6 +146,12 @@ void locator::add_to_main(const structured_alert& alert, sim_time now) {
     }
     node.alerts.push_back(stored_alert{.alert = alert, .inserted = now});
     node.last_update = now;
+    // Bounded-memory degradation: a node at its cap sheds its oldest
+    // stored alert (insertion order == arrival order, so front-first).
+    while (config_.max_node_alerts != 0 && node.alerts.size() > config_.max_node_alerts) {
+        node.alerts.erase(node.alerts.begin());
+        ++evicted_node_alerts_;
+    }
 }
 
 void locator::insert(const structured_alert& alert, sim_time now) {
@@ -365,6 +371,17 @@ void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_tim
     });
 
     incident_states_.push_back(std::move(st));
+
+    // Bounded-memory degradation: too many concurrent incident trees —
+    // force-close the oldest (spawn order), to be surfaced by check().
+    while (config_.max_open_incidents != 0 &&
+           incident_states_.size() > config_.max_open_incidents) {
+        incident_state& victim = incident_states_.front();
+        victim.inc.closed = true;
+        force_closed_.push_back(std::move(victim.inc));
+        incident_states_.erase(incident_states_.begin());
+        ++evicted_incidents_;
+    }
 }
 
 std::vector<incident> locator::check(sim_time now) {
@@ -405,6 +422,10 @@ std::vector<incident> locator::check(sim_time now) {
     // moved out instead of deep-copied; the closed flag survives the
     // move (trivially copied), keeping the erase predicate valid.
     std::vector<incident> closed;
+    // Cap-evicted incidents close first (they were forced out before the
+    // idle scan), then the idle ones in spawn order.
+    closed = std::move(force_closed_);
+    force_closed_.clear();
     for (incident_state& st : incident_states_) {
         if (st.inc.closed) continue;
         if (now > st.update_time + config_.incident_timeout) {
@@ -417,8 +438,9 @@ std::vector<incident> locator::check(sim_time now) {
 }
 
 std::vector<incident> locator::drain(sim_time now) {
-    std::vector<incident> closed;
-    closed.reserve(incident_states_.size());
+    std::vector<incident> closed = std::move(force_closed_);
+    force_closed_.clear();
+    closed.reserve(closed.size() + incident_states_.size());
     for (incident_state& st : incident_states_) {
         st.inc.closed = true;
         closed.push_back(std::move(st.inc));
@@ -440,6 +462,13 @@ std::vector<const incident*> locator::open_incident_view() const {
     out.reserve(incident_states_.size());
     for (const incident_state& st : incident_states_) out.push_back(&st.inc);
     return out;
+}
+
+std::size_t locator::stored_alert_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& [loc, node] : nodes_) count += node.alerts.size();
+    for (const incident_state& st : incident_states_) count += st.inc.alerts.size();
+    return count;
 }
 
 }  // namespace skynet

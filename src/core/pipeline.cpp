@@ -85,6 +85,7 @@ void skynet_engine::ingest(const raw_alert& raw, sim_time now) {
     metrics_.degraded.alerts_rejected =
         static_cast<std::uint64_t>(pre_.stats().rejected_malformed);
     metrics_.degraded.skew_clamped = static_cast<std::uint64_t>(pre_.stats().skew_clamped);
+    sync_overload_counters();
 
     stage_timer locate(metrics_.locate);
     for (preprocess_event& ev : events) {
@@ -125,6 +126,7 @@ void skynet_engine::tick(sim_time now, const network_state& state) {
     }
     std::vector<incident> closed = locator_.check(now);
     locate.stop(events.size());
+    sync_overload_counters();
 
     stage_timer eval(metrics_.evaluate);
     std::uint64_t evaluated = 0;
@@ -154,6 +156,13 @@ void skynet_engine::finish(sim_time now, const network_state& state) {
         ++evaluated;
     }
     eval.stop(evaluated);
+}
+
+void skynet_engine::sync_overload_counters() noexcept {
+    // Snapshot (not increment): the cap owners keep the running counts.
+    metrics_.overload.evicted_pending = pre_.evicted_pending();
+    metrics_.overload.evicted_node_alerts = locator_.evicted_node_alerts();
+    metrics_.overload.evicted_incidents = locator_.evicted_incidents();
 }
 
 incident_report skynet_engine::finalize(const incident& inc, sim_time now,

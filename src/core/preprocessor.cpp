@@ -151,6 +151,29 @@ void preprocessor::note_sighting(const structured_alert& alert, sim_time now) {
     if (alert.category == alert_category::failure ||
         alert.category == alert_category::root_cause) {
         sightings_.push_back(sighting{.loc = alert.loc_id, .at = now});
+        while (config_.max_sightings != 0 && sightings_.size() > config_.max_sightings) {
+            sightings_.pop_front();
+            ++evicted_pending_;
+        }
+    }
+}
+
+template <typename Entry>
+void preprocessor::enforce_cap(std::unordered_map<std::uint64_t, Entry>& map,
+                               std::uint64_t keep_key) {
+    while (config_.max_pending_alerts != 0 && map.size() > config_.max_pending_alerts) {
+        auto victim = map.end();
+        for (auto it = map.begin(); it != map.end(); ++it) {
+            if (it->first == keep_key) continue;
+            if (victim == map.end() || it->second.last_seen < victim->second.last_seen ||
+                (it->second.last_seen == victim->second.last_seen &&
+                 canonical_before(it->second.alert, victim->second.alert))) {
+                victim = it;
+            }
+        }
+        if (victim == map.end()) return;  // only the protected entry left
+        map.erase(victim);
+        ++evicted_pending_;
     }
 }
 
@@ -162,6 +185,7 @@ void preprocessor::emit(structured_alert alert, sim_time now, std::vector<prepro
         it->second = open_alert{.alert = alert, .last_seen = now};
         ++stats_.emitted_new;
         out.push_back(preprocess_event{.alert = std::move(alert), .is_update = false});
+        if (inserted) enforce_cap(open_, key);
         return;
     }
     // Identical-alert consolidation: refresh the open alert.
@@ -198,6 +222,7 @@ void preprocessor::route(structured_alert alert, sim_time now,
         const std::uint64_t key = key_of(alert);
         auto [it, inserted] = pending_persistence_.try_emplace(
             key, pending_alert{.alert = alert, .occurrences = 0, .first_seen = now, .last_seen = now});
+        if (inserted) enforce_cap(pending_persistence_, key);
         pending_alert& p = it->second;
         if (!inserted && now - p.last_seen > config_.persistence_window) {
             // Stale entry: restart the observation window.
@@ -237,6 +262,7 @@ void preprocessor::route(structured_alert alert, sim_time now,
         const std::uint64_t key = key_of(alert);
         auto [it, inserted] = pending_correlation_.try_emplace(
             key, pending_alert{.alert = alert, .occurrences = 1, .first_seen = now, .last_seen = now});
+        if (inserted) enforce_cap(pending_correlation_, key);
         if (!inserted) {
             it->second.last_seen = now;
             it->second.alert.when.extend(alert.when.end);

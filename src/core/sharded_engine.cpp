@@ -56,6 +56,20 @@ sharded_engine::~sharded_engine() {
         stop.what = command::op::stop;
         submit(*s, std::move(stop));
     }
+    if (config_.worker_stall) {
+        // A worker may still be parked at the stall gate with the stop
+        // command queued behind it; keep releasing until its queue
+        // drains, or join would hang.
+        for (auto& s : shards_) {
+            while (s->completed.load(std::memory_order_acquire) < s->submitted) {
+                std::uint32_t parked = 1;
+                if (s->stall_gate.compare_exchange_strong(parked, 2, std::memory_order_acq_rel)) {
+                    s->stall_gate.notify_all();
+                }
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+        }
+    }
     for (auto& s : shards_) {
         if (s->worker.joinable()) s->worker.join();
     }
@@ -67,7 +81,8 @@ void sharded_engine::worker_loop(shard& s) {
         s.queue.pop_blocking(cmd);
         const auto start = std::chrono::steady_clock::now();
         bool stop = false;
-        if (s.failed.load(std::memory_order_relaxed)) {
+        if (s.failed.load(std::memory_order_relaxed) ||
+            s.written_off.load(std::memory_order_relaxed)) {
             // Dead shard: drain without executing so the producer's
             // push() and barrier() never hang; count what was lost.
             if (cmd.what == command::op::ingest) {
@@ -75,6 +90,18 @@ void sharded_engine::worker_loop(shard& s) {
             }
             stop = cmd.what == command::op::stop;
         } else {
+            ++s.commands_seen;
+            if (cmd.what != command::op::stop && config_.worker_stall &&
+                config_.worker_stall(s.index, s.commands_seen)) {
+                // Injected stall: park at the gate until the watchdog (or
+                // the destructor) flips it to release. The command then
+                // executes normally — a recovered stall loses nothing.
+                s.stall_gate.store(1, std::memory_order_release);
+                s.stall_gate.notify_all();
+                s.stall_gate.wait(1, std::memory_order_acquire);
+                s.stall_gate.store(0, std::memory_order_release);
+                s.stall_gate.notify_all();
+            }
             try {
                 if (config_.worker_fault) config_.worker_fault(s.index);
                 switch (cmd.what) {
@@ -162,11 +189,73 @@ void sharded_engine::note_enqueued(shard& s, std::size_t waits) {
     ++s.submitted;
 }
 
+bool sharded_engine::watchdog_intervene(shard& s) {
+    ++stalls_detected_;
+    std::uint32_t parked = 1;
+    if (s.stall_gate.compare_exchange_strong(parked, 2, std::memory_order_acq_rel)) {
+        // Worker parked at the injected stall gate: release it. The
+        // stalled command executes untouched, so reports stay
+        // bit-identical to an unstalled run.
+        s.stall_gate.notify_all();
+        ++stalls_recovered_;
+        return true;
+    }
+    // Wedged with no recovery point: write the shard off. The worker
+    // drains its remaining queue like a failed shard; the write-off
+    // surfaces at the next barrier.
+    if (!s.written_off.load(std::memory_order_relaxed) &&
+        !s.failed.load(std::memory_order_relaxed)) {
+        s.written_off.store(true, std::memory_order_release);
+    }
+    return false;
+}
+
+bool sharded_engine::push_supervised(shard& s, command cmd, std::size_t& waits) {
+    if (config_.watchdog_deadline_ms == 0) {
+        waits += s.queue.push(std::move(cmd));
+        return true;
+    }
+    // Supervised wait: poll instead of parking so a stalled worker is
+    // caught and intervened on rather than hanging the producer forever.
+    const auto deadline = std::chrono::milliseconds(config_.watchdog_deadline_ms);
+    auto last_progress = std::chrono::steady_clock::now();
+    std::uint64_t last_done = s.completed.load(std::memory_order_acquire);
+    bool waited = false;
+    for (;;) {
+        if (s.queue.try_push(cmd)) {
+            if (waited) ++waits;
+            return true;
+        }
+        waited = true;
+        const bool dead = s.failed.load(std::memory_order_acquire) ||
+                          s.written_off.load(std::memory_order_acquire);
+        if (dead && cmd.what == command::op::ingest) {
+            // Dead shard with a full queue: shed the batch (counted)
+            // instead of wedging the producer behind a drain that may
+            // itself be stuck. Barrier commands are never shed — the
+            // worker drains dead-shard queues, so they go through
+            // eventually.
+            s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
+            return false;
+        }
+        const std::uint64_t done = s.completed.load(std::memory_order_acquire);
+        if (done != last_done) {
+            last_done = done;
+            last_progress = std::chrono::steady_clock::now();
+        } else if (!dead && std::chrono::steady_clock::now() - last_progress >= deadline) {
+            watchdog_intervene(s);
+            last_progress = std::chrono::steady_clock::now();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
 void sharded_engine::drain_backlog(shard& s, bool blocking, bool pressured) {
     while (!s.backlog.empty()) {
         if (blocking) {
-            const std::size_t waits = s.queue.push(std::move(s.backlog.front()));
-            note_enqueued(s, waits);
+            std::size_t waits = 0;
+            const bool pushed = push_supervised(s, std::move(s.backlog.front()), waits);
+            if (pushed) note_enqueued(s, waits);
             s.backlog.pop_front();
             continue;
         }
@@ -181,8 +270,8 @@ void sharded_engine::submit(shard& s, command cmd) {
     // is the correctness contract — and always block; a forced-full
     // window may shed data, never a barrier.
     drain_backlog(s, /*blocking=*/true, /*pressured=*/false);
-    const std::size_t waits = s.queue.push(std::move(cmd));
-    note_enqueued(s, waits);
+    std::size_t waits = 0;
+    if (push_supervised(s, std::move(cmd), waits)) note_enqueued(s, waits);
 }
 
 void sharded_engine::submit_ingest(shard& s, command cmd) {
@@ -231,11 +320,39 @@ void sharded_engine::flush_pending() {
 }
 
 void sharded_engine::barrier() {
+    if (config_.watchdog_deadline_ms == 0) {
+        for (auto& s : shards_) {
+            std::uint64_t done = s->completed.load(std::memory_order_acquire);
+            while (done < s->submitted) {
+                s->completed.wait(done, std::memory_order_acquire);
+                done = s->completed.load(std::memory_order_acquire);
+            }
+        }
+        return;
+    }
+    // Supervised barrier: poll each shard's progress; a shard quiet past
+    // the deadline is intervened on (stall gate released, or written
+    // off). A written-off shard's queue drains worker-side, so the wait
+    // still terminates; if the worker is wedged inside a command, stop
+    // waiting on it — its failure surfaces after the barrier.
+    const auto deadline = std::chrono::milliseconds(config_.watchdog_deadline_ms);
     for (auto& s : shards_) {
-        std::uint64_t done = s->completed.load(std::memory_order_acquire);
-        while (done < s->submitted) {
-            s->completed.wait(done, std::memory_order_acquire);
-            done = s->completed.load(std::memory_order_acquire);
+        auto last_progress = std::chrono::steady_clock::now();
+        std::uint64_t last_done = s->completed.load(std::memory_order_acquire);
+        while (last_done < s->submitted) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            const std::uint64_t done = s->completed.load(std::memory_order_acquire);
+            if (done != last_done) {
+                last_done = done;
+                last_progress = std::chrono::steady_clock::now();
+                continue;
+            }
+            const bool dead = s->failed.load(std::memory_order_acquire) ||
+                              s->written_off.load(std::memory_order_acquire);
+            if (std::chrono::steady_clock::now() - last_progress < deadline) continue;
+            if (dead) break;  // wedged inside a command; don't wait it out
+            watchdog_intervene(*s);
+            last_progress = std::chrono::steady_clock::now();
         }
     }
 }
@@ -283,6 +400,7 @@ void sharded_engine::tick(sim_time now, const network_state& state) {
     }
     barrier();
     ++ticks_;
+    update_barrier_metrics();
     surface_failures();
 }
 
@@ -297,13 +415,17 @@ void sharded_engine::finish(sim_time now, const network_state& state) {
     }
     barrier();
     ++ticks_;
+    update_barrier_metrics();
     surface_failures();
 }
 
 std::size_t sharded_engine::failed_shard_count() const noexcept {
     std::size_t n = 0;
     for (const auto& s : shards_) {
-        if (s->failed.load(std::memory_order_acquire)) ++n;
+        if (s->failed.load(std::memory_order_acquire) ||
+            s->written_off.load(std::memory_order_acquire)) {
+            ++n;
+        }
     }
     return n;
 }
@@ -313,6 +435,9 @@ std::vector<std::string> sharded_engine::failed_shard_messages() const {
     for (const auto& s : shards_) {
         if (s->failed.load(std::memory_order_acquire)) {
             out.push_back("shard " + std::to_string(s->index) + ": " + s->failure);
+        } else if (s->written_off.load(std::memory_order_acquire)) {
+            out.push_back("shard " + std::to_string(s->index) +
+                          ": watchdog: stalled past deadline, written off");
         }
     }
     return out;
@@ -396,22 +521,48 @@ std::int64_t sharded_engine::structured_alert_count() {
     return total;
 }
 
-engine_metrics sharded_engine::metrics() {
-    sync();
+void sharded_engine::update_barrier_metrics() {
     engine_metrics total;
+    std::uint64_t written_off = 0;
     for (auto& s : shards_) {
-        total += s->engine.metrics();
+        // Only touch a shard's engine when its worker is idle (everything
+        // submitted has completed); a wedged worker may still be inside
+        // the engine. Producer-side counters are always safe.
+        if (s->completed.load(std::memory_order_acquire) >= s->submitted) {
+            total += s->engine.metrics();
+        }
         total.enqueue_full_waits += s->full_waits;
         total.max_queue_depth = std::max(total.max_queue_depth, s->max_depth);
         total.busy_ns += s->busy_ns.load(std::memory_order_relaxed);
         total.degraded.alerts_dropped_overflow += s->dropped_overflow;
         total.degraded.alerts_dropped_failed_shard +=
             s->dropped_failed.load(std::memory_order_relaxed);
+        if (s->written_off.load(std::memory_order_acquire)) ++written_off;
     }
     // Per-shard engines each count every fan-out; report engine-level
     // tick and batch counts instead.
     total.ticks = ticks_;
     total.batches_in = batches_in_;
+    total.overload.stalls_detected = stalls_detected_;
+    total.overload.stalls_recovered = stalls_recovered_;
+    total.overload.shards_written_off = written_off;
+    barrier_metrics_ = std::move(total);
+}
+
+engine_metrics sharded_engine::metrics() {
+    sync();
+    update_barrier_metrics();
+    return barrier_metrics_;
+}
+
+std::size_t sharded_engine::live_alert_count() {
+    sync();
+    std::size_t total = 0;
+    for (auto& s : shards_) {
+        if (s->completed.load(std::memory_order_acquire) >= s->submitted) {
+            total += s->engine.live_alert_count();
+        }
+    }
     return total;
 }
 

@@ -115,12 +115,70 @@ struct recovery_metrics {
     }
 };
 
+/// Overload-control accounting: what the admission guard shed, the
+/// per-source circuit breakers quarantined, the shard watchdog recovered
+/// or wrote off, and the bounded-memory caps evicted. All zero when the
+/// overload layer is disabled (the default).
+struct overload_metrics {
+    std::uint64_t admitted{0};            ///< alerts passed by the admission guard
+    std::uint64_t shed_duplicate{0};      ///< shed first: in-window duplicates
+    std::uint64_t shed_other{0};          ///< shed second: abnormal/unclassified
+    std::uint64_t shed_root_cause{0};     ///< shed third: root-cause alerts
+    std::uint64_t shed_failure{0};        ///< shed last: failure alerts
+    std::uint64_t shed_bytes{0};          ///< approximate payload bytes shed
+    std::uint64_t breaker_trips{0};       ///< closed -> open transitions
+    std::uint64_t breaker_reopens{0};     ///< half-open probe failed, reopened
+    std::uint64_t breaker_closes{0};      ///< half-open probes clean, re-closed
+    std::uint64_t quarantined{0};         ///< alerts refused by an open breaker
+    std::uint64_t probes_admitted{0};     ///< half-open probe alerts let through
+    std::uint64_t stalls_detected{0};     ///< watchdog deadline expiries
+    std::uint64_t stalls_recovered{0};    ///< stalled shards resumed, work intact
+    std::uint64_t shards_written_off{0};  ///< wedged shards declared failed
+    std::uint64_t evicted_node_alerts{0};  ///< locator per-node cap evictions
+    std::uint64_t evicted_incidents{0};    ///< open-incident cap force-closes
+    std::uint64_t evicted_pending{0};      ///< preprocessor pending-state evictions
+
+    [[nodiscard]] std::uint64_t shed_total() const noexcept {
+        return shed_duplicate + shed_other + shed_root_cause + shed_failure;
+    }
+
+    [[nodiscard]] bool any() const noexcept {
+        return admitted != 0 || shed_total() != 0 || shed_bytes != 0 || breaker_trips != 0 ||
+               breaker_reopens != 0 || breaker_closes != 0 || quarantined != 0 ||
+               probes_admitted != 0 || stalls_detected != 0 || stalls_recovered != 0 ||
+               shards_written_off != 0 || evicted_node_alerts != 0 || evicted_incidents != 0 ||
+               evicted_pending != 0;
+    }
+
+    overload_metrics& operator+=(const overload_metrics& other) noexcept {
+        admitted += other.admitted;
+        shed_duplicate += other.shed_duplicate;
+        shed_other += other.shed_other;
+        shed_root_cause += other.shed_root_cause;
+        shed_failure += other.shed_failure;
+        shed_bytes += other.shed_bytes;
+        breaker_trips += other.breaker_trips;
+        breaker_reopens += other.breaker_reopens;
+        breaker_closes += other.breaker_closes;
+        quarantined += other.quarantined;
+        probes_admitted += other.probes_admitted;
+        stalls_detected += other.stalls_detected;
+        stalls_recovered += other.stalls_recovered;
+        shards_written_off += other.shards_written_off;
+        evicted_node_alerts += other.evicted_node_alerts;
+        evicted_incidents += other.evicted_incidents;
+        evicted_pending += other.evicted_pending;
+        return *this;
+    }
+};
+
 struct engine_metrics {
     stage_metrics preprocess;  ///< raw -> structured conversion + flush
     stage_metrics locate;      ///< main-tree insert/refresh + incident checks
     stage_metrics evaluate;    ///< severity scoring + zoom-in
     degraded_metrics degraded;  ///< graceful-degradation accounting
     recovery_metrics recovery;  ///< durability / crash-recovery accounting
+    overload_metrics overload;  ///< overload-control accounting
     std::uint64_t alerts_in{0};
     std::uint64_t batches_in{0};
     std::uint64_t ticks{0};
@@ -133,6 +191,10 @@ struct engine_metrics {
     engine_metrics& operator+=(const engine_metrics& other) noexcept;
     /// Multi-line human-readable summary (CLI --metrics, bench logs).
     [[nodiscard]] std::string render() const;
+    /// Machine-readable health report: one JSON object covering the
+    /// per-stage, degraded, recovery, and overload blocks. Written by the
+    /// CLI's --health-json at every tick barrier.
+    [[nodiscard]] std::string to_json() const;
 };
 
 /// Tiny scope timer feeding a stage: construct, do the work, stop().

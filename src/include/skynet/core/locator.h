@@ -63,6 +63,16 @@ struct locator_config {
     /// this on so ids agree across shard counts — and with a sequential
     /// engine run on the same trace — making merged rankings comparable.
     bool deterministic_ids = false;
+    /// Bounded-memory degradation (overload control): cap on alerts
+    /// stored per main-tree node. When full, the oldest-inserted alert is
+    /// evicted first, so a storm hammering one location degrades its node
+    /// deterministically instead of growing without bound. 0 = unbounded
+    /// (the default; behavior unchanged).
+    std::size_t max_node_alerts = 0;
+    /// Cap on concurrently open incident trees. When exceeded, the
+    /// oldest open incident (front-most in spawn order) is force-closed
+    /// and surfaced through check()'s closed list. 0 = unbounded.
+    std::size_t max_open_incidents = 0;
 };
 
 /// A set of alerts attributed to one root cause.
@@ -153,6 +163,17 @@ public:
 
     [[nodiscard]] std::size_t main_tree_size() const noexcept { return nodes_.size(); }
 
+    /// Alerts evicted by max_node_alerts, and incidents force-closed by
+    /// max_open_incidents. Process-local overload accounting (not part
+    /// of the persisted state).
+    [[nodiscard]] std::uint64_t evicted_node_alerts() const noexcept {
+        return evicted_node_alerts_;
+    }
+    [[nodiscard]] std::uint64_t evicted_incidents() const noexcept { return evicted_incidents_; }
+    /// Live stored alerts (main-tree nodes + open incident trees): the
+    /// locator's share of the engine's memory footprint.
+    [[nodiscard]] std::size_t stored_alert_count() const noexcept;
+
 private:
     struct tree_node {
         location_id loc{invalid_location_id};
@@ -191,6 +212,11 @@ private:
     std::unordered_map<location_id, tree_node> nodes_;
     std::vector<incident_state> incident_states_;
     std::uint64_t next_incident_id_{1};
+    /// Incidents force-closed by the max_open_incidents cap, held until
+    /// the surrounding check() folds them into its closed list.
+    std::vector<incident> force_closed_;
+    std::uint64_t evicted_node_alerts_{0};
+    std::uint64_t evicted_incidents_{0};
 };
 
 }  // namespace skynet

@@ -144,11 +144,23 @@ public:
     [[nodiscard]] const evaluator& scorer() const noexcept { return evaluator_; }
     /// Where the time goes: per-stage counters and latency histograms.
     [[nodiscard]] const engine_metrics& metrics() const noexcept { return metrics_; }
+    /// Metrics as of the last barrier. For the sequential engine this is
+    /// the same snapshot as metrics(); the name exists so generic callers
+    /// (CLI --health-json) treat both engines uniformly — the sharded
+    /// engine's barrier_metrics() is a cheap cached merge.
+    [[nodiscard]] const engine_metrics& barrier_metrics() const noexcept { return metrics_; }
+    /// Live alerts held across the preprocessor's consolidation buffers,
+    /// the locator's main tree and the open incident trees: the memory-
+    /// footprint proxy the storm-shedding bench tracks.
+    [[nodiscard]] std::size_t live_alert_count() const noexcept {
+        return pre_.pending_count() + locator_.stored_alert_count();
+    }
 
 private:
     [[nodiscard]] incident_report finalize(const incident& inc, sim_time now,
                                            const network_state& state);
     [[nodiscard]] std::vector<incident_report> ranked_finished();
+    void sync_overload_counters() noexcept;
 
     preprocessor pre_;
     locator locator_;

@@ -47,6 +47,16 @@ struct preprocessor_config {
     bool cross_source = true;
     /// Split link-attributed alerts onto both endpoint devices.
     bool split_link_alerts = true;
+    /// Bounded-memory degradation (overload control): cap on the entry
+    /// count of *each* consolidation table (open, persistence,
+    /// correlation). When a table is full, the entry with the oldest
+    /// last_seen is evicted — canonical (type, location) order breaking
+    /// ties — so a storm degrades deterministically instead of growing
+    /// without bound. 0 = unbounded (the default; behavior unchanged).
+    std::size_t max_pending_alerts = 0;
+    /// Cap on the cross-source corroboration history (oldest sightings
+    /// dropped first). 0 = unbounded.
+    std::size_t max_sightings = 0;
 };
 
 /// Counters for the Figure 8b before/after comparison.
@@ -161,6 +171,16 @@ public:
     [[nodiscard]] const preprocessor_stats& stats() const noexcept { return stats_; }
     void reset_stats() noexcept { stats_ = {}; }
 
+    /// Entries evicted by the max_pending_alerts / max_sightings caps.
+    /// Deliberately outside preprocessor_stats (which is persisted in
+    /// snapshots with a fixed field count); resets with the process.
+    [[nodiscard]] std::uint64_t evicted_pending() const noexcept { return evicted_pending_; }
+    /// Live consolidation entries (open + persistence + correlation):
+    /// the preprocessor's share of the engine's memory footprint.
+    [[nodiscard]] std::size_t pending_count() const noexcept {
+        return open_.size() + pending_persistence_.size() + pending_correlation_.size();
+    }
+
     /// Optional: unclassified syslog lines are fed to `miner` so new
     /// templates surface for manual labeling (§4.1's classification
     /// backlog, kept alive in production). Not owned; may be null.
@@ -204,6 +224,10 @@ private:
     void emit(structured_alert alert, sim_time now, std::vector<preprocess_event>& out);
     [[nodiscard]] bool corroborated(location_id loc, sim_time now) const;
     void note_sighting(const structured_alert& alert, sim_time now);
+    /// Applies max_pending_alerts to one consolidation table after an
+    /// insert: evicts oldest-first (never the entry keyed `keep_key`).
+    template <typename Entry>
+    void enforce_cap(std::unordered_map<std::uint64_t, Entry>& map, std::uint64_t keep_key);
 
     const topology* topo_;
     const alert_type_registry* registry_;
@@ -211,6 +235,7 @@ private:
     template_miner* miner_{nullptr};
     preprocessor_config config_;
     preprocessor_stats stats_;
+    std::uint64_t evicted_pending_{0};
 
     std::unordered_map<std::uint64_t, open_alert> open_;
     std::unordered_map<std::uint64_t, pending_alert> pending_persistence_;

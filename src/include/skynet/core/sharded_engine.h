@@ -86,6 +86,21 @@ struct sharded_config {
     /// crashing mid-command. Drives the worker-failure survivability
     /// tests — production code never sets this.
     std::function<void(std::size_t)> worker_fault{};
+    /// Shard watchdog: wall-clock milliseconds a barrier (or a blocked
+    /// enqueue) tolerates a shard making no progress before intervening.
+    /// A worker parked at the injected stall gate is released and its
+    /// queued work proceeds untouched (reports stay bit-identical); a
+    /// shard wedged with no recovery point is written off like a failed
+    /// one (queued ingest drained and counted, failure surfaced at the
+    /// next barrier). 0 disables the watchdog (the default: a stalled
+    /// shard blocks the barrier indefinitely, as before).
+    std::uint64_t watchdog_deadline_ms = 0;
+    /// Fault hook: each worker consults it (shard index, 1-based command
+    /// ordinal) before executing a command; true parks the worker at the
+    /// stall gate until the watchdog (or the destructor) releases it.
+    /// Drives the watchdog tests and the fault DSL's stall clauses —
+    /// production code never sets this.
+    std::function<bool(std::size_t, std::uint64_t)> worker_stall{};
     /// Per-shard engine configuration. locator deterministic_ids is
     /// forced on so merged ids are stable across shard counts.
     skynet_config engine{};
@@ -168,6 +183,18 @@ public:
     /// ticks (not per-shard fan-outs).
     [[nodiscard]] engine_metrics metrics();
 
+    /// Fully merged metrics as cached at the last tick/finish barrier —
+    /// including every shard's degraded block, so mid-run health reads
+    /// are accurate without forcing an extra sync. Refreshed by every
+    /// tick()/finish() before failures surface.
+    [[nodiscard]] const engine_metrics& barrier_metrics() const noexcept {
+        return barrier_metrics_;
+    }
+
+    /// Live alerts held across all shard engines (memory-footprint
+    /// proxy). Drains pending ingest first.
+    [[nodiscard]] std::size_t live_alert_count();
+
     /// One shard's metrics (stages + that worker's busy time).
     [[nodiscard]] engine_metrics shard_metrics(std::size_t shard);
 
@@ -209,6 +236,17 @@ private:
         std::string failure;
         /// Ingest alerts drained unexecuted after the failure.
         std::atomic<std::uint64_t> dropped_failed{0};
+        /// Stall-injection gate: 0 = running, 1 = worker parked, 2 =
+        /// release requested by the watchdog/destructor.
+        std::atomic<std::uint32_t> stall_gate{0};
+        /// Watchdog write-off: the shard made no progress past the
+        /// deadline and had no recovery point. Drains like `failed`;
+        /// kept separate so the wedged worker and the watchdog never
+        /// race on the `failure` string.
+        std::atomic<bool> written_off{false};
+        /// Commands seen by the worker (worker thread only; the ordinal
+        /// handed to the worker_stall hook).
+        std::uint64_t commands_seen{0};
         std::thread worker;
     };
 
@@ -231,6 +269,17 @@ private:
     /// under a forced-full window the non-blocking drain stalls too.
     void drain_backlog(shard& s, bool blocking, bool pressured);
     [[nodiscard]] bool forced_full() const;
+    /// Blocking enqueue. With the watchdog enabled, supervises the wait:
+    /// a stalled shard is intervened on, and ingest bound for a dead
+    /// shard with a full queue is shed (returns false) instead of
+    /// hanging the producer. `waits` accumulates full-queue waits.
+    [[nodiscard]] bool push_supervised(shard& s, command cmd, std::size_t& waits);
+    /// Watchdog action on a shard stalled past the deadline: release a
+    /// parked stall gate (recovered) or write the shard off. Returns
+    /// true when the stall was recoverable.
+    bool watchdog_intervene(shard& s);
+    /// Rebuilds the merged barrier_metrics_ cache (shards must be idle).
+    void update_barrier_metrics();
     /// Bookkeeping shared by every successful enqueue.
     void note_enqueued(shard& s, std::size_t waits);
     void flush_pending();
@@ -250,6 +299,11 @@ private:
     std::size_t next_region_shard_{0};
     std::uint64_t ticks_{0};
     std::uint64_t batches_in_{0};
+    // Watchdog accounting (caller thread only).
+    std::uint64_t stalls_detected_{0};
+    std::uint64_t stalls_recovered_{0};
+    /// Merged metrics cached at the last tick/finish barrier.
+    engine_metrics barrier_metrics_;
 };
 
 }  // namespace skynet

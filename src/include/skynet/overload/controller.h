@@ -1,0 +1,177 @@
+// Alert-storm overload control: admission guard + per-source circuit
+// breakers in front of the ingest path.
+//
+// Severe failures produce O(10^4-10^5) raw alerts (§1, §4.1). The engine
+// bounds its queues (PR 3) and survives crashes (PR 4), but nothing
+// protects it from a flood that is simply too large, or from a single
+// data source emitting sustained garbage. The overload controller sits
+// *before* the engine — like the fault injector, it transforms the traced
+// alert stream — so the sequential and sharded engines see the identical
+// admitted stream and the report-parity invariant is preserved by
+// construction.
+//
+// Two mechanisms, both off by default (the controller is then a strict
+// pass-through and the pipeline behaves bit-identically to an unwrapped
+// engine):
+//
+//  * Admission guard: a per-tick-window alert/byte budget. When a window
+//    overflows, alerts are shed in priority order — in-window duplicates
+//    first, then abnormal/unclassified ("other") alerts, then root-cause
+//    alerts, failure alerts last — mirroring the paper's observation that
+//    failure alerts dominate the count rules (§4.2), so shedding degrades
+//    severity estimates as little as possible.
+//
+//  * Per-source circuit breakers: a closed -> open -> half-open state
+//    machine per data_source, tripping on a sustained rate of malformed /
+//    unclassifiable alerts (the same reject reasons the preprocessor
+//    uses). An open breaker quarantines its source entirely; after an
+//    exponentially backed-off delay it admits a few probe alerts, closing
+//    again only when the probes come back clean. One poisoned syslog feed
+//    can therefore no longer consume budget that Ping/SNMP need.
+//
+// Everything is accounted in overload_metrics (engine_metrics::overload).
+// Controller state exports/imports through skynet::persist so recovery
+// after a crash resumes with identical admission decisions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "skynet/alert/alert.h"
+#include "skynet/alert/type_registry.h"
+#include "skynet/common/time.h"
+#include "skynet/core/engine_metrics.h"
+#include "skynet/sim/trace.h"
+#include "skynet/topology/topology.h"
+
+namespace skynet::overload {
+
+/// Shedding priority classes, least valuable first. Duplicates go first
+/// (their information is already in the window), failure alerts last
+/// (they drive the count rules and severity estimates).
+enum class shed_class : std::uint8_t { duplicate = 0, other = 1, root_cause = 2, failure = 3 };
+
+/// Per-tick-window admission budget. Zero means "unlimited" for that
+/// dimension; both zero disables the guard.
+struct admission_config {
+    std::uint64_t max_alerts{0};  ///< alerts admitted per tick window
+    std::uint64_t max_bytes{0};   ///< approximate payload bytes per window
+
+    [[nodiscard]] bool enabled() const noexcept { return max_alerts != 0 || max_bytes != 0; }
+};
+
+/// Circuit-breaker tuning. The observation window is tumbling: counts
+/// reset each time it rolls, and the trip condition is evaluated at the
+/// rollover (or at a tick barrier), so decisions depend only on the
+/// simulated timeline — never on wall-clock — and stay deterministic.
+struct breaker_config {
+    bool enabled{false};
+    sim_duration window{seconds(30)};          ///< tumbling observation window
+    std::uint64_t min_samples{20};             ///< don't judge a source on a trickle
+    double trip_ratio{0.5};                    ///< bad/total that trips the breaker
+    sim_duration backoff_initial{seconds(10)};  ///< first open -> half-open delay
+    sim_duration backoff_max{minutes(5)};      ///< cap for the exponential backoff
+    std::uint32_t probe_count{3};              ///< clean probes required to re-close
+};
+
+struct controller_config {
+    admission_config admission;
+    breaker_config breaker;
+
+    /// True when both mechanisms are off: admit() returns batches
+    /// verbatim and touches no counters.
+    [[nodiscard]] bool pass_through() const noexcept {
+        return !admission.enabled() && !breaker.enabled;
+    }
+
+    /// Throws skynet_error on nonsensical settings.
+    void validate() const;
+};
+
+enum class breaker_state : std::uint8_t { closed = 0, open = 1, half_open = 2 };
+
+[[nodiscard]] std::string_view to_string(breaker_state state) noexcept;
+
+/// Observable per-source breaker state (tests, CLI summary, persist).
+struct breaker_status {
+    breaker_state state{breaker_state::closed};
+    std::uint64_t window_good{0};  ///< clean alerts in the current window
+    std::uint64_t window_bad{0};   ///< malformed/unclassifiable in the window
+    sim_time window_start{0};
+    sim_time reopen_at{0};      ///< when an open breaker goes half-open
+    sim_duration backoff{0};    ///< current backoff (doubles per reopen)
+    std::uint32_t probes_left{0};
+    std::uint64_t trips{0};        ///< lifetime closed -> open transitions
+    std::uint64_t quarantined{0};  ///< alerts this breaker refused
+};
+
+class controller {
+public:
+    /// Serializable controller state: admission window progress, the
+    /// in-window dedup keys, and every breaker's state machine. Stored in
+    /// snapshots so a recovered session sheds identically.
+    struct persist_state {
+        std::uint64_t window_alerts{0};
+        std::uint64_t window_bytes{0};
+        std::vector<std::string> dedup_keys;  ///< sorted for determinism
+        std::array<breaker_status, data_source_count> breakers{};
+        overload_metrics counters;  ///< admission + breaker counters
+    };
+
+    controller() = default;
+    /// `topo` and `registry` may be null; the corresponding "bad alert"
+    /// checks (dangling ids, unknown kind) are then skipped.
+    controller(controller_config cfg, const topology* topo, const alert_type_registry* registry);
+
+    [[nodiscard]] const controller_config& config() const noexcept { return cfg_; }
+    [[nodiscard]] bool pass_through() const noexcept { return cfg_.pass_through(); }
+
+    /// Runs the batch through breakers then the admission budget,
+    /// returning the admitted alerts in their original order. Each
+    /// alert's own arrival time drives the breaker state machines.
+    [[nodiscard]] std::vector<traced_alert> admit(std::vector<traced_alert> batch);
+    /// Same, for a raw batch arriving at a single instant.
+    [[nodiscard]] std::vector<raw_alert> admit(std::vector<raw_alert> batch, sim_time now);
+
+    /// Tick barrier: closes the admission window (budget + dedup set
+    /// reset) and rolls/evaluates breaker observation windows.
+    void on_tick(sim_time now);
+
+    [[nodiscard]] const overload_metrics& metrics() const noexcept { return metrics_; }
+    [[nodiscard]] const breaker_status& breaker(data_source source) const noexcept {
+        return breakers_[static_cast<std::size_t>(source)];
+    }
+
+    [[nodiscard]] persist_state export_state() const;
+    void import_state(const persist_state& state);
+
+private:
+    struct verdict {
+        bool keep{true};
+        shed_class cls{shed_class::other};
+        std::uint64_t bytes{0};
+    };
+
+    [[nodiscard]] bool is_bad(const raw_alert& raw) const;
+    [[nodiscard]] shed_class classify(const raw_alert& raw, bool duplicate) const;
+    [[nodiscard]] std::string dedup_key(const raw_alert& raw) const;
+    void run_breaker(const raw_alert& raw, sim_time now, verdict& v);
+    void roll_window(breaker_status& st, sim_time now);
+    /// Computes keep/shed for the batch; positions map 1:1 to input.
+    std::vector<verdict> decide(const std::vector<const raw_alert*>& alerts,
+                                const std::vector<sim_time>& arrivals);
+
+    controller_config cfg_;
+    const topology* topo_{nullptr};
+    const alert_type_registry* registry_{nullptr};
+    std::uint64_t window_alerts_{0};
+    std::uint64_t window_bytes_{0};
+    std::unordered_set<std::string> dedup_seen_;
+    std::array<breaker_status, data_source_count> breakers_{};
+    overload_metrics metrics_;
+};
+
+}  // namespace skynet::overload

@@ -54,6 +54,10 @@ struct durable_options {
     /// checkpoints) and an optional incident log to snapshot alongside.
     location_table* locations{nullptr};
     incident_log* log{nullptr};
+    /// Optional overload controller guarding this session's ingest;
+    /// checkpoints then capture its admission/breaker state so recovery
+    /// resumes with identical shedding decisions.
+    overload::controller* controller{nullptr};
 };
 
 /// Exit code of a crash_after-triggered exit (mirrors SIGKILL's shell
@@ -175,6 +179,7 @@ private:
                 opts_.locations->path_of(static_cast<location_id>(id)).to_string());
         }
         if (opts_.log != nullptr) data.log = opts_.log->entries();
+        if (opts_.controller != nullptr) data.overload = opts_.controller->export_state();
         if (error e = write_snapshot(opts_.dir, data)) {
             last_error_ = e.message();
             return;

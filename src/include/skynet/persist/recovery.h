@@ -44,6 +44,12 @@ struct recovery_options {
     /// Trim the journal's torn tail on disk so the resumed session can
     /// append after the valid prefix.
     bool repair_journal{true};
+    /// Optional overload controller to restore from the snapshot's
+    /// overload section. Only for direct continuation (no re-streaming):
+    /// a resumed session that re-admits the regenerated stream through a
+    /// fresh controller re-derives the same state deterministically and
+    /// must NOT also import it.
+    overload::controller* controller{nullptr};
 };
 
 struct recovery_result {

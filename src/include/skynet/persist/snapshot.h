@@ -24,6 +24,7 @@
 #include "skynet/common/error.h"
 #include "skynet/core/incident_log.h"
 #include "skynet/core/sharded_engine.h"
+#include "skynet/overload/controller.h"
 
 namespace skynet::persist {
 
@@ -46,6 +47,10 @@ struct snapshot_data {
     /// location_id resolves identically.
     std::vector<std::string> locations;
     sharded_engine::persist_state engines;
+    /// Overload-controller state (admission window, dedup keys, breaker
+    /// machines, counters). All-default when no controller was active —
+    /// the section is always written so the format stays fixed-shape.
+    overload::controller::persist_state overload;
     std::vector<incident_log::entry> log;
 };
 

@@ -20,7 +20,8 @@
 // --faults flag, and the scenario recipes in EXPERIMENTS.md):
 //
 //   seed=3;dropout=0.2;drop:ping@60s+120s;dup=0.05;reorder=0.1;
-//   reorder_max=10s;skew=5s;skew_rate=0.3;corrupt=0.02;pressure=0.5
+//   reorder_max=10s;skew=5s;skew_rate=0.3;corrupt=0.02;pressure=0.5;
+//   stall:1@4;stall=0.01
 //
 // Clauses are ';' or ',' separated; durations take ms/s/m suffixes.
 #pragma once
@@ -44,6 +45,14 @@ struct dropout_window {
     data_source source{data_source::ping};
     sim_time from{0};
     sim_duration duration{0};
+};
+
+/// One scripted worker stall (the `stall:<shard>@<ordinal>` clause):
+/// shard `shard` parks at its `ordinal`-th command (1-based) until the
+/// watchdog releases it.
+struct stall_point {
+    std::size_t shard{0};
+    std::uint64_t ordinal{1};
 };
 
 struct fault_spec {
@@ -82,6 +91,14 @@ struct fault_spec {
     /// forced-full window); drives the sharded engine's overflow policy
     /// via fault_injector::queue_pressure_hook().
     double pressure_rate{0.0};
+
+    /// Scripted worker stalls (the `stall:<shard>@<ordinal>` clause);
+    /// drives sharded_config::worker_stall via worker_stall_hook().
+    std::vector<stall_point> stalls;
+    /// Probability a worker parks at a given command (the `stall=<rate>`
+    /// clause). Decided by a stateless hash of (seed, shard, ordinal), so
+    /// stall placement is independent of thread interleaving.
+    double stall_rate{0.0};
 
     /// True when at least one fault knob is active.
     [[nodiscard]] bool any() const noexcept;
@@ -141,6 +158,12 @@ public:
     /// alert-stream rng so the faulted stream stays identical whether or
     /// not the hook is installed.
     [[nodiscard]] std::function<bool()> queue_pressure_hook();
+
+    /// Stall predicate for sharded_config::worker_stall; fires at every
+    /// scripted stall point and with probability stall_rate per (shard,
+    /// ordinal). Stateless (no shared rng), so concurrent workers can
+    /// consult it without synchronization and placement is replayable.
+    [[nodiscard]] std::function<bool(std::size_t, std::uint64_t)> worker_stall_hook() const;
 
     [[nodiscard]] const fault_stats& stats() const noexcept { return stats_; }
     [[nodiscard]] const fault_spec& spec() const noexcept { return spec_; }

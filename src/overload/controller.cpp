@@ -1,0 +1,327 @@
+#include "skynet/overload/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "skynet/common/error.h"
+
+namespace skynet::overload {
+
+namespace {
+
+std::size_t idx(data_source source) noexcept { return static_cast<std::size_t>(source); }
+
+/// Approximate wire footprint of a raw alert: fixed overhead plus the
+/// variable-length payload strings. Only has to be consistent, not exact.
+std::uint64_t approx_bytes(const raw_alert& raw) {
+    std::uint64_t bytes = 64 + raw.kind.size() + raw.message.size();
+    for (const std::string& segment : raw.loc.segments()) bytes += segment.size() + 1;
+    return bytes;
+}
+
+}  // namespace
+
+std::string_view to_string(breaker_state state) noexcept {
+    switch (state) {
+        case breaker_state::closed: return "closed";
+        case breaker_state::open: return "open";
+        case breaker_state::half_open: return "half-open";
+    }
+    return "?";
+}
+
+void controller_config::validate() const {
+    if (breaker.enabled) {
+        if (breaker.window <= 0) throw skynet_error("overload: breaker window must be positive");
+        if (breaker.min_samples == 0) {
+            throw skynet_error("overload: breaker min_samples must be at least 1");
+        }
+        if (!(breaker.trip_ratio > 0.0) || breaker.trip_ratio > 1.0) {
+            throw skynet_error("overload: breaker trip_ratio must be in (0, 1]");
+        }
+        if (breaker.backoff_initial <= 0) {
+            throw skynet_error("overload: breaker backoff_initial must be positive");
+        }
+        if (breaker.backoff_max < breaker.backoff_initial) {
+            throw skynet_error("overload: breaker backoff_max must be >= backoff_initial");
+        }
+        if (breaker.probe_count == 0) {
+            throw skynet_error("overload: breaker probe_count must be at least 1");
+        }
+    }
+}
+
+controller::controller(controller_config cfg, const topology* topo,
+                       const alert_type_registry* registry)
+    : cfg_(cfg), topo_(topo), registry_(registry) {
+    cfg_.validate();
+}
+
+bool controller::is_bad(const raw_alert& raw) const {
+    // Mirrors preprocessor::reject_reason: alerts the engine would refuse
+    // with a reason count against the source's breaker.
+    if (!std::isfinite(raw.metric)) return true;
+    if (raw.timestamp < 0) return true;
+    if (topo_ != nullptr) {
+        if (raw.device && *raw.device >= topo_->devices().size()) return true;
+        if (raw.link && *raw.link >= topo_->links().size()) return true;
+        const location_table& table = topo_->locations();
+        const location_id ids[] = {raw.loc_id, raw.src_id, raw.dst_id};
+        for (const location_id id : ids) {
+            if (id != invalid_location_id && id >= table.size()) return true;
+        }
+    }
+    // An unknown kind on a structured source would drop as unclassified —
+    // the signature of a corrupting feed (syslog is free text, exempt).
+    if (registry_ != nullptr && raw.source != data_source::syslog && !raw.kind.empty() &&
+        !registry_->find(raw.source, raw.kind)) {
+        return true;
+    }
+    return false;
+}
+
+shed_class controller::classify(const raw_alert& raw, bool duplicate) const {
+    if (duplicate) return shed_class::duplicate;
+    if (registry_ != nullptr && raw.source != data_source::syslog && !raw.kind.empty()) {
+        if (const auto id = registry_->find(raw.source, raw.kind)) {
+            switch (registry_->at(*id).category) {
+                case alert_category::failure: return shed_class::failure;
+                case alert_category::root_cause: return shed_class::root_cause;
+                case alert_category::abnormal: return shed_class::other;
+            }
+        }
+    }
+    return shed_class::other;
+}
+
+std::string controller::dedup_key(const raw_alert& raw) const {
+    std::string key;
+    key.reserve(48 + raw.kind.size());
+    key += std::to_string(static_cast<int>(raw.source));
+    key += '\x1f';
+    key += raw.kind;
+    key += '\x1f';
+    key += raw.loc.to_string();
+    key += '\x1f';
+    key += raw.device ? std::to_string(*raw.device) : std::string("-");
+    key += '\x1f';
+    key += std::to_string(raw.timestamp);
+    // Keys end up in text snapshots; keep them single-line and tab-free.
+    for (char& c : key) {
+        if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    }
+    return key;
+}
+
+void controller::roll_window(breaker_status& st, sim_time now) {
+    if (st.state != breaker_state::closed) return;
+    const std::uint64_t samples = st.window_good + st.window_bad;
+    if (samples == 0) return;
+    if (now - st.window_start < cfg_.breaker.window) return;
+    if (samples >= cfg_.breaker.min_samples &&
+        static_cast<double>(st.window_bad) >= cfg_.breaker.trip_ratio * static_cast<double>(samples)) {
+        st.state = breaker_state::open;
+        st.backoff = cfg_.breaker.backoff_initial;
+        st.reopen_at = now + st.backoff;
+        ++st.trips;
+        ++metrics_.breaker_trips;
+    }
+    st.window_good = 0;
+    st.window_bad = 0;
+    st.window_start = now;
+}
+
+void controller::run_breaker(const raw_alert& raw, sim_time now, verdict& v) {
+    breaker_status& st = breakers_[idx(raw.source)];
+    roll_window(st, now);
+    if (st.state == breaker_state::open && now >= st.reopen_at) {
+        st.state = breaker_state::half_open;
+        st.probes_left = cfg_.breaker.probe_count;
+    }
+    switch (st.state) {
+        case breaker_state::closed: {
+            if (st.window_good + st.window_bad == 0) st.window_start = now;
+            if (is_bad(raw)) {
+                ++st.window_bad;
+            } else {
+                ++st.window_good;
+            }
+            // Bad alerts still pass while closed: the engine rejects them
+            // itself, so closed-breaker behavior is bit-identical to no
+            // breaker at all.
+            break;
+        }
+        case breaker_state::open: {
+            v.keep = false;
+            ++st.quarantined;
+            ++metrics_.quarantined;
+            break;
+        }
+        case breaker_state::half_open: {
+            ++metrics_.probes_admitted;
+            --st.probes_left;
+            if (is_bad(raw)) {
+                st.state = breaker_state::open;
+                st.backoff = std::min<sim_duration>(st.backoff * 2, cfg_.breaker.backoff_max);
+                st.reopen_at = now + st.backoff;
+                ++metrics_.breaker_reopens;
+            } else if (st.probes_left == 0) {
+                st.state = breaker_state::closed;
+                st.window_good = 0;
+                st.window_bad = 0;
+                st.window_start = now;
+                st.backoff = 0;
+                ++metrics_.breaker_closes;
+            }
+            break;  // probes are admitted either way; a bad one the engine rejects
+        }
+    }
+}
+
+std::vector<controller::verdict> controller::decide(const std::vector<const raw_alert*>& alerts,
+                                                    const std::vector<sim_time>& arrivals) {
+    const std::size_t n = alerts.size();
+    std::vector<verdict> verdicts(n);
+    if (cfg_.breaker.enabled) {
+        for (std::size_t i = 0; i < n; ++i) run_breaker(*alerts[i], arrivals[i], verdicts[i]);
+    }
+
+    if (!cfg_.admission.enabled()) {
+        if (cfg_.breaker.enabled) {
+            for (const verdict& v : verdicts) {
+                if (v.keep) ++metrics_.admitted;
+            }
+        }
+        return verdicts;
+    }
+
+    struct candidate {
+        std::size_t pos;
+        shed_class cls;
+        std::uint64_t bytes;
+    };
+    std::vector<candidate> candidates;
+    candidates.reserve(n);
+    std::uint64_t batch_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!verdicts[i].keep) continue;
+        const bool duplicate = !dedup_seen_.insert(dedup_key(*alerts[i])).second;
+        verdicts[i].cls = classify(*alerts[i], duplicate);
+        verdicts[i].bytes = approx_bytes(*alerts[i]);
+        candidates.push_back({i, verdicts[i].cls, verdicts[i].bytes});
+        batch_bytes += verdicts[i].bytes;
+    }
+
+    constexpr std::uint64_t unlimited = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t remaining_alerts =
+        cfg_.admission.max_alerts == 0
+            ? unlimited
+            : (cfg_.admission.max_alerts > window_alerts_ ? cfg_.admission.max_alerts - window_alerts_
+                                                          : 0);
+    std::uint64_t remaining_bytes =
+        cfg_.admission.max_bytes == 0
+            ? unlimited
+            : (cfg_.admission.max_bytes > window_bytes_ ? cfg_.admission.max_bytes - window_bytes_
+                                                        : 0);
+
+    if (candidates.size() > remaining_alerts || batch_bytes > remaining_bytes) {
+        // Over budget: keep the most valuable classes, ties broken by
+        // arrival order, then restore original ordering via the verdicts.
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const candidate& a, const candidate& b) {
+                             return static_cast<int>(a.cls) > static_cast<int>(b.cls);
+                         });
+        for (const candidate& c : candidates) {
+            if (remaining_alerts > 0 && c.bytes <= remaining_bytes) {
+                if (remaining_alerts != unlimited) --remaining_alerts;
+                if (remaining_bytes != unlimited) remaining_bytes -= c.bytes;
+                continue;
+            }
+            verdict& v = verdicts[c.pos];
+            v.keep = false;
+            metrics_.shed_bytes += c.bytes;
+            switch (c.cls) {
+                case shed_class::duplicate: ++metrics_.shed_duplicate; break;
+                case shed_class::other: ++metrics_.shed_other; break;
+                case shed_class::root_cause: ++metrics_.shed_root_cause; break;
+                case shed_class::failure: ++metrics_.shed_failure; break;
+            }
+        }
+    }
+
+    for (const verdict& v : verdicts) {
+        if (!v.keep) continue;
+        ++window_alerts_;
+        window_bytes_ += v.bytes;
+        ++metrics_.admitted;
+    }
+    return verdicts;
+}
+
+std::vector<traced_alert> controller::admit(std::vector<traced_alert> batch) {
+    if (pass_through() || batch.empty()) return batch;
+    std::vector<const raw_alert*> alerts;
+    std::vector<sim_time> arrivals;
+    alerts.reserve(batch.size());
+    arrivals.reserve(batch.size());
+    for (const traced_alert& t : batch) {
+        alerts.push_back(&t.alert);
+        arrivals.push_back(t.arrival);
+    }
+    const std::vector<verdict> verdicts = decide(alerts, arrivals);
+    std::vector<traced_alert> admitted;
+    admitted.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (verdicts[i].keep) admitted.push_back(std::move(batch[i]));
+    }
+    return admitted;
+}
+
+std::vector<raw_alert> controller::admit(std::vector<raw_alert> batch, sim_time now) {
+    if (pass_through() || batch.empty()) return batch;
+    std::vector<const raw_alert*> alerts;
+    alerts.reserve(batch.size());
+    for (const raw_alert& raw : batch) alerts.push_back(&raw);
+    const std::vector<sim_time> arrivals(batch.size(), now);
+    const std::vector<verdict> verdicts = decide(alerts, arrivals);
+    std::vector<raw_alert> admitted;
+    admitted.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (verdicts[i].keep) admitted.push_back(std::move(batch[i]));
+    }
+    return admitted;
+}
+
+void controller::on_tick(sim_time now) {
+    if (pass_through()) return;
+    window_alerts_ = 0;
+    window_bytes_ = 0;
+    dedup_seen_.clear();
+    if (cfg_.breaker.enabled) {
+        for (breaker_status& st : breakers_) roll_window(st, now);
+    }
+}
+
+controller::persist_state controller::export_state() const {
+    persist_state state;
+    state.window_alerts = window_alerts_;
+    state.window_bytes = window_bytes_;
+    state.dedup_keys.assign(dedup_seen_.begin(), dedup_seen_.end());
+    std::sort(state.dedup_keys.begin(), state.dedup_keys.end());
+    state.breakers = breakers_;
+    state.counters = metrics_;
+    return state;
+}
+
+void controller::import_state(const persist_state& state) {
+    window_alerts_ = state.window_alerts;
+    window_bytes_ = state.window_bytes;
+    dedup_seen_.clear();
+    dedup_seen_.insert(state.dedup_keys.begin(), state.dedup_keys.end());
+    breakers_ = state.breakers;
+    metrics_ = state.counters;
+}
+
+}  // namespace skynet::overload

@@ -67,6 +67,7 @@ recovery_result recover_impl(const engine_hooks& hooks, location_table& location
         r.notes.push_back("restored " + pick.file + " (seq " + std::to_string(snap.seq) +
                           ", journal offset " + std::to_string(snap.journal_bytes) + ")");
         if (log != nullptr) log->restore(std::move(snap.log));
+        if (opts.controller != nullptr) opts.controller->import_state(snap.overload);
         if (error e = hooks.import(std::move(snap.engines))) {
             throw skynet_error("recover: " + e.message());
         }

@@ -560,6 +560,46 @@ std::string render_snapshot(const snapshot_data& data) {
         put_engine(out, i, data.engines.shards[i]);
     }
 
+    const overload::controller::persist_state& ov = data.overload;
+    out += "overload";
+    put_u64(out, ov.window_alerts);
+    put_u64(out, ov.window_bytes);
+    put_u64(out, ov.dedup_keys.size());
+    put_u64(out, ov.breakers.size());
+    out += '\n';
+    for (const std::string& key : ov.dedup_keys) {
+        out += "D";
+        put(out, key);
+        out += '\n';
+    }
+    for (const overload::breaker_status& b : ov.breakers) {
+        out += "B";
+        put_u64(out, static_cast<std::uint64_t>(b.state));
+        put_u64(out, b.window_good);
+        put_u64(out, b.window_bad);
+        put_i64(out, b.window_start);
+        put_i64(out, b.reopen_at);
+        put_i64(out, b.backoff);
+        put_u64(out, b.probes_left);
+        put_u64(out, b.trips);
+        put_u64(out, b.quarantined);
+        out += '\n';
+    }
+    const overload_metrics& oc = ov.counters;
+    out += "ocounters";
+    put_u64(out, oc.admitted);
+    put_u64(out, oc.shed_duplicate);
+    put_u64(out, oc.shed_other);
+    put_u64(out, oc.shed_root_cause);
+    put_u64(out, oc.shed_failure);
+    put_u64(out, oc.shed_bytes);
+    put_u64(out, oc.breaker_trips);
+    put_u64(out, oc.breaker_reopens);
+    put_u64(out, oc.breaker_closes);
+    put_u64(out, oc.quarantined);
+    put_u64(out, oc.probes_admitted);
+    out += '\n';
+
     out += "log";
     put_u64(out, data.log.size());
     out += '\n';
@@ -660,6 +700,54 @@ snapshot_parse_result parse_snapshot(std::string_view text) {
             return finish_error();
         }
         if (!get_engine(c, data.engines.shards[i])) return finish_error();
+    }
+
+    {
+        overload::controller::persist_state& ov = data.overload;
+        std::uint64_t n_keys = 0;
+        std::uint64_t n_breakers = 0;
+        if (!c.expect("overload", 4, f)) return finish_error();
+        if (!c.u64(f[1], ov.window_alerts) || !c.u64(f[2], ov.window_bytes) ||
+            !c.u64(f[3], n_keys) || !c.u64(f[4], n_breakers)) {
+            return finish_error();
+        }
+        if (n_breakers != ov.breakers.size()) {
+            c.fail("breaker count: got " + std::to_string(n_breakers) + ", want " +
+                   std::to_string(ov.breakers.size()));
+            return finish_error();
+        }
+        ov.dedup_keys.reserve(n_keys);
+        for (std::uint64_t i = 0; i < n_keys; ++i) {
+            if (!c.expect("D", 1, f)) return finish_error();
+            ov.dedup_keys.emplace_back(f[1]);
+        }
+        for (overload::breaker_status& b : ov.breakers) {
+            std::uint64_t state = 0;
+            std::uint64_t probes = 0;
+            if (!c.expect("B", 9, f)) return finish_error();
+            if (!c.u64(f[1], state) || !c.u64(f[2], b.window_good) || !c.u64(f[3], b.window_bad) ||
+                !c.i64(f[4], b.window_start) || !c.i64(f[5], b.reopen_at) ||
+                !c.i64(f[6], b.backoff) || !c.u64(f[7], probes) || !c.u64(f[8], b.trips) ||
+                !c.u64(f[9], b.quarantined)) {
+                return finish_error();
+            }
+            if (state > 2) {
+                c.fail("bad breaker state " + std::to_string(state));
+                return finish_error();
+            }
+            b.state = static_cast<overload::breaker_state>(state);
+            b.probes_left = static_cast<std::uint32_t>(probes);
+        }
+        overload_metrics& oc = ov.counters;
+        if (!c.expect("ocounters", 11, f)) return finish_error();
+        if (!c.u64(f[1], oc.admitted) || !c.u64(f[2], oc.shed_duplicate) ||
+            !c.u64(f[3], oc.shed_other) || !c.u64(f[4], oc.shed_root_cause) ||
+            !c.u64(f[5], oc.shed_failure) || !c.u64(f[6], oc.shed_bytes) ||
+            !c.u64(f[7], oc.breaker_trips) || !c.u64(f[8], oc.breaker_reopens) ||
+            !c.u64(f[9], oc.breaker_closes) || !c.u64(f[10], oc.quarantined) ||
+            !c.u64(f[11], oc.probes_admitted)) {
+            return finish_error();
+        }
     }
 
     if (!get_count(c, "log", n)) return finish_error();

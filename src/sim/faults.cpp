@@ -65,7 +65,7 @@ std::uint64_t mix64(std::uint64_t x) {
 bool fault_spec::any() const noexcept {
     return !dropouts.empty() || dropout_rate > 0.0 || duplicate_rate > 0.0 ||
            reorder_rate > 0.0 || corrupt_rate > 0.0 || (skew_rate > 0.0 && max_skew > 0) ||
-           pressure_rate > 0.0;
+           pressure_rate > 0.0 || !stalls.empty() || stall_rate > 0.0;
 }
 
 error fault_spec::validate() const {
@@ -75,6 +75,10 @@ error fault_spec::validate() const {
     if (!rate_ok(corrupt_rate)) return error("faults: corrupt rate outside [0,1]");
     if (!rate_ok(skew_rate)) return error("faults: skew_rate outside [0,1]");
     if (!rate_ok(pressure_rate)) return error("faults: pressure rate outside [0,1]");
+    if (!rate_ok(stall_rate)) return error("faults: stall rate outside [0,1]");
+    for (const stall_point& p : stalls) {
+        if (p.ordinal == 0) return error("faults: stall ordinal is 1-based, got 0");
+    }
     if (dropout_period <= 0) return error("faults: dropout_period must be positive");
     if (reorder_max_delay < 0) return error("faults: negative reorder_max_delay");
     if (max_skew < 0) return error("faults: negative skew bound");
@@ -114,6 +118,26 @@ fault_parse_result parse_fault_spec(std::string_view text) {
                 }
                 result.spec.dropouts.push_back(
                     dropout_window{.source = *source, .from = *from, .duration = *dur});
+                continue;
+            }
+
+            // stall:<shard>@<ordinal> — a scripted worker stall.
+            if (part.starts_with("stall:")) {
+                const std::string_view body = part.substr(6);
+                const std::size_t at = body.find('@');
+                if (at == std::string_view::npos) {
+                    fail(part, "expected stall:<shard>@<ordinal>");
+                    continue;
+                }
+                const auto shard = parse_duration_token(body.substr(0, at));
+                const auto ordinal = parse_duration_token(body.substr(at + 1));
+                if (!shard || !ordinal || *ordinal < 1) {
+                    fail(part, "bad shard or ordinal in stall clause");
+                    continue;
+                }
+                result.spec.stalls.push_back(
+                    stall_point{.shard = static_cast<std::size_t>(*shard),
+                                .ordinal = static_cast<std::uint64_t>(*ordinal)});
                 continue;
             }
 
@@ -160,6 +184,9 @@ fault_parse_result parse_fault_spec(std::string_view text) {
             } else if (key == "pressure") {
                 if (rate) result.spec.pressure_rate = *rate;
                 else fail(part, "pressure rate outside [0,1]");
+            } else if (key == "stall") {
+                if (rate) result.spec.stall_rate = *rate;
+                else fail(part, "stall rate outside [0,1]");
             } else {
                 fail(part, "unknown fault clause");
             }
@@ -293,6 +320,25 @@ std::function<bool()> fault_injector::queue_pressure_hook() {
     auto pressure_rng = std::make_shared<rng>(mix64(spec_.seed ^ 0x70726573u));
     const double rate = spec_.pressure_rate;
     return [pressure_rng, rate]() { return pressure_rng->chance(rate); };
+}
+
+std::function<bool(std::size_t, std::uint64_t)> fault_injector::worker_stall_hook() const {
+    if (spec_.stalls.empty() && spec_.stall_rate <= 0.0) return {};
+    // Captured by value: the hook outlives no one, and being stateless it
+    // is safe to call from every worker thread concurrently.
+    const std::vector<stall_point> stalls = spec_.stalls;
+    const double rate = spec_.stall_rate;
+    const std::uint64_t seed = spec_.seed;
+    return [stalls, rate, seed](std::size_t shard, std::uint64_t ordinal) {
+        for (const stall_point& p : stalls) {
+            if (p.shard == shard && p.ordinal == ordinal) return true;
+        }
+        if (rate <= 0.0) return false;
+        const std::uint64_t h =
+            mix64(seed ^ 0x7374616cull ^ mix64(ordinal * 64 + static_cast<std::uint64_t>(shard)));
+        const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return coin < rate;
+    };
 }
 
 }  // namespace skynet

@@ -10,10 +10,12 @@
 // engine_metrics::degraded.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <span>
 
 #include "skynet/core/pipeline.h"
+#include "skynet/overload/controller.h"
 #include "skynet/core/sharded_engine.h"
 #include "skynet/sim/engine.h"
 #include "skynet/sim/faults.h"
@@ -383,6 +385,71 @@ TEST(FaultedOverflowTest, MultiRegionFloodUnderPressureCompletes) {
         EXPECT_GT(m.enqueue_full_waits, 0u);
         EXPECT_NE(m.render().find("degraded"), std::string::npos);
     }
+}
+
+/// Exception-safety at every stage boundary: malformed alerts that slip
+/// past an admission guard (closed breakers deliberately pass them — the
+/// engine owns rejection) must be rejected with a counted reason by both
+/// engine shapes, never abort, and never skew the parity invariant.
+TEST(MalformedAlertTest, GarbageIsRejectedWithReasonNeverAborts) {
+    world w;
+    overload::controller_config ccfg;
+    ccfg.admission.max_alerts = 100;  // generous: nothing shed, all garbage reaches the engine
+    ccfg.breaker.enabled = true;      // default min_samples: stays closed for one batch
+
+    const location good_loc = w.topo.device_at(0).loc;
+    const auto base = [&](data_source src, std::string kind) {
+        raw_alert a;
+        a.source = src;
+        a.kind = std::move(kind);
+        a.timestamp = seconds(1);
+        a.loc = good_loc;
+        a.device = static_cast<device_id>(0);
+        return a;
+    };
+    std::vector<raw_alert> batch;
+    batch.push_back(base(data_source::snmp, "no such kind"));  // unknown type id
+    raw_alert dangling_loc = base(data_source::snmp, "link down");
+    dangling_loc.loc_id = static_cast<location_id>(1u << 30);  // garbled interned id
+    batch.push_back(dangling_loc);
+    raw_alert dangling_dev = base(data_source::snmp, "link down");
+    dangling_dev.device = static_cast<device_id>(999999);
+    batch.push_back(dangling_dev);
+    raw_alert nan_metric = base(data_source::ping, "packet loss");
+    nan_metric.metric = std::nan("");
+    batch.push_back(nan_metric);
+    raw_alert pre_epoch = base(data_source::ping, "packet loss");
+    pre_epoch.timestamp = -5;
+    batch.push_back(pre_epoch);
+    batch.push_back(base(data_source::snmp, "link down"));  // control: one clean alert
+
+    const auto run = [&](auto& eng) {
+        overload::controller guard(ccfg, &w.topo, &w.registry);
+        network_state idle(&w.topo, &w.customers);
+        const std::vector<raw_alert> admitted = guard.admit(batch, seconds(1));
+        EXPECT_EQ(admitted.size(), batch.size()) << "closed breakers must pass everything";
+        eng.ingest_batch(std::span<const raw_alert>(admitted), seconds(1));
+        eng.tick(seconds(2), idle);
+        guard.on_tick(seconds(2));
+        eng.finish(seconds(4), idle);
+    };
+
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine seq(w.deps(), cfg);
+    run(seq);
+
+    sharded_config scfg;
+    scfg.shards = 4;
+    sharded_engine par(w.deps(), scfg);
+    run(par);
+
+    // 4 structurally malformed + 1 unclassifiable, counted identically.
+    EXPECT_EQ(seq.metrics().degraded.alerts_rejected, 4u);
+    EXPECT_EQ(par.metrics().degraded.alerts_rejected, 4u);
+    EXPECT_EQ(seq.preprocessing_stats().dropped_unclassified, 1);
+    EXPECT_EQ(seq.preprocessing_stats(), par.preprocessing_stats());
+    expect_identical_reports(seq.take_reports(), par.take_reports());
 }
 
 TEST(DegradedMetricsTest, RenderOmitsBlockWhenClean) {

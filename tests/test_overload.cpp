@@ -1,0 +1,545 @@
+// Overload-control tests: the admission guard's priority shedding, the
+// per-source circuit-breaker state machine, the shard watchdog, and
+// bounded-memory degradation — plus the two invariants the layer must
+// never break: a default-configured controller is a strict pass-through,
+// and an *active* guard still preserves sequential/sharded report parity
+// because it degrades the single ordered stream before ingest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <span>
+#include <thread>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/overload/controller.h"
+#include "skynet/sim/engine.h"
+#include "skynet/sim/faults.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+using overload::admission_config;
+using overload::breaker_state;
+using overload::controller;
+using overload::controller_config;
+
+// ------------------------------------------------------------ fixtures
+
+/// Hand-built two-device topology for controller unit tests (same shape
+/// as the preprocessor fixture; the controller only needs valid ids).
+struct small_topo {
+    topology topo;
+    device_id tor1, agg1;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+
+    small_topo() {
+        const location cl{"R", "C", "LS", "S", "CL"};
+        tor1 = topo.add_device("tor1", device_role::tor, cl.child("tor1"));
+        agg1 = topo.add_device("agg1", device_role::agg, cl.child("agg1"));
+        const circuit_set_id cs = topo.add_circuit_set("t1a1", tor1, agg1);
+        topo.add_link(tor1, agg1, cs, 100.0);
+    }
+
+    [[nodiscard]] controller make(controller_config cfg) const {
+        return controller(cfg, &topo, &registry);
+    }
+
+    [[nodiscard]] raw_alert alert(data_source source, std::string kind, sim_time t) const {
+        raw_alert a;
+        a.source = source;
+        a.timestamp = t;
+        a.kind = std::move(kind);
+        a.loc = topo.device_at(tor1).loc;
+        a.device = tor1;
+        return a;
+    }
+};
+
+/// Generated world for end-to-end tests (mirrors the faults suite).
+struct world {
+    topology topo;
+    customer_registry customers;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    explicit world(generator_params p = generator_params::small()) {
+        p.legacy_snmp_fraction = 0.0;
+        topo = generate_topology(p);
+        rng crand(71);
+        customers = customer_registry::generate(topo, 300, crand);
+    }
+
+    [[nodiscard]] skynet_engine::deps deps() { return {&topo, &customers, &registry, &syslog}; }
+};
+
+using scenario_factory = std::function<std::unique_ptr<scenario>()>;
+
+/// Replays one deterministic episode through `eng`, routing every batch
+/// through a fresh controller built from `ccfg` (and optionally through
+/// a fault injector first, like the faults suite). Because admission
+/// decisions depend only on the stream and the simulated clock, two
+/// calls with identical inputs feed two engines the identical admitted
+/// stream — the parity argument for the whole overload layer.
+template <typename Engine>
+overload_metrics drive_guarded(world& w, Engine& eng, const controller_config& ccfg,
+                               const fault_spec& spec, const scenario_factory& make,
+                               sim_duration duration, std::uint64_t seed) {
+    controller guard(ccfg, &w.topo, &w.registry);
+    fault_injector faults(spec);
+    simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = seed});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.01});
+    sim.inject(make(), minutes(1), duration);
+    const auto deliver = [&](std::vector<traced_alert> batch) {
+        const std::vector<traced_alert> admitted = guard.admit(std::move(batch));
+        if (!admitted.empty()) eng.ingest_batch(std::span<const traced_alert>(admitted));
+    };
+    sim.run_until_batched(
+        minutes(1) + duration + minutes(1),
+        [&](std::span<const traced_alert> batch) {
+            deliver(faults.apply(batch));
+        },
+        [&](sim_time now) {
+            deliver(faults.release(now));
+            eng.tick(now, sim.state());
+            guard.on_tick(now);
+        });
+    deliver(faults.drain());
+    eng.finish(sim.clock().now(), sim.state());
+    return guard.metrics();
+}
+
+void expect_identical_reports(const std::vector<incident_report>& seq,
+                              const std::vector<incident_report>& sharded) {
+    ASSERT_EQ(seq.size(), sharded.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE("report " + std::to_string(i));
+        EXPECT_EQ(seq[i].inc.id, sharded[i].inc.id);
+        EXPECT_EQ(seq[i].inc.alerts.size(), sharded[i].inc.alerts.size());
+        EXPECT_EQ(seq[i].severity.score, sharded[i].severity.score);
+        EXPECT_EQ(seq[i].render(), sharded[i].render());
+    }
+}
+
+// ------------------------------------------------------- admission guard
+
+TEST(OverloadControllerTest, DefaultConfigIsStrictPassThrough) {
+    small_topo f;
+    controller guard = f.make(controller_config{});
+    EXPECT_TRUE(guard.pass_through());
+
+    std::vector<raw_alert> batch;
+    batch.push_back(f.alert(data_source::ping, "packet loss", 10));
+    batch.push_back(f.alert(data_source::snmp, "martian kind", 20));  // even garbage passes
+    const std::vector<raw_alert> out = guard.admit(std::move(batch), 20);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].kind, "packet loss");
+    EXPECT_EQ(out[1].kind, "martian kind");
+    EXPECT_FALSE(guard.metrics().any());
+    guard.on_tick(seconds(2));
+    EXPECT_FALSE(guard.metrics().any());
+}
+
+TEST(OverloadControllerTest, ShedsLowestValueClassesFirst) {
+    small_topo f;
+    controller_config cfg;
+    cfg.admission.max_alerts = 2;
+    controller guard = f.make(cfg);
+
+    // failure > root_cause > other > duplicate, per the builtin catalog.
+    std::vector<raw_alert> batch;
+    batch.push_back(f.alert(data_source::ping, "packet loss", 0));          // failure
+    batch.push_back(f.alert(data_source::ping, "packet loss", 0));          // duplicate
+    batch.push_back(f.alert(data_source::traffic_stats, "traffic surge", 0));  // other
+    batch.push_back(f.alert(data_source::snmp, "link down", 0));            // root_cause
+    const std::vector<raw_alert> out = guard.admit(std::move(batch), 0);
+
+    // Survivors keep their original order.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].kind, "packet loss");
+    EXPECT_EQ(out[1].kind, "link down");
+
+    const overload_metrics& m = guard.metrics();
+    EXPECT_EQ(m.admitted, 2u);
+    EXPECT_EQ(m.shed_duplicate, 1u);
+    EXPECT_EQ(m.shed_other, 1u);
+    EXPECT_EQ(m.shed_root_cause, 0u);
+    EXPECT_EQ(m.shed_failure, 0u);
+    EXPECT_GT(m.shed_bytes, 0u);
+}
+
+TEST(OverloadControllerTest, ByteBudgetShedsEvenFailures) {
+    small_topo f;
+    controller_config cfg;
+    cfg.admission.max_bytes = 1;  // nothing fits
+    controller guard = f.make(cfg);
+    std::vector<raw_alert> batch;
+    batch.push_back(f.alert(data_source::ping, "packet loss", 0));
+    const std::vector<raw_alert> out = guard.admit(std::move(batch), 0);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(guard.metrics().admitted, 0u);
+    EXPECT_EQ(guard.metrics().shed_failure, 1u);
+}
+
+TEST(OverloadControllerTest, TickResetsWindowBudgetAndDedup) {
+    small_topo f;
+    controller_config cfg;
+    cfg.admission.max_alerts = 1;
+    controller guard = f.make(cfg);
+
+    std::vector<raw_alert> one;
+    one.push_back(f.alert(data_source::ping, "packet loss", 0));
+    EXPECT_EQ(guard.admit(one, 0).size(), 1u);
+    // Window budget spent *and* the key is now a known duplicate.
+    EXPECT_TRUE(guard.admit(one, 1).empty());
+    EXPECT_EQ(guard.metrics().shed_duplicate, 1u);
+
+    guard.on_tick(seconds(2));
+    // Fresh window: the same alert is neither over budget nor a dup.
+    const std::vector<raw_alert> out = guard.admit(one, seconds(2));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(guard.metrics().shed_duplicate, 1u);
+    EXPECT_EQ(guard.metrics().admitted, 2u);
+}
+
+// ------------------------------------------------------ circuit breaker
+
+controller_config breaker_cfg() {
+    controller_config cfg;
+    cfg.breaker.enabled = true;
+    cfg.breaker.window = seconds(10);
+    cfg.breaker.min_samples = 4;
+    cfg.breaker.trip_ratio = 0.5;
+    cfg.breaker.backoff_initial = seconds(20);
+    cfg.breaker.backoff_max = seconds(40);
+    cfg.breaker.probe_count = 2;
+    return cfg;
+}
+
+/// Feeds one alert and returns whether it survived the breaker.
+bool feed_one(controller& guard, const raw_alert& a, sim_time now) {
+    return !guard.admit(std::vector<raw_alert>{a}, now).empty();
+}
+
+TEST(BreakerTest, TripsThenHalfOpensThenRecloses) {
+    small_topo f;
+    controller guard = f.make(breaker_cfg());
+    const raw_alert bad = f.alert(data_source::snmp, "martian kind", 0);
+    const raw_alert good = f.alert(data_source::snmp, "link down", 0);
+
+    // A closed breaker passes everything — the engine itself rejects bad
+    // alerts, which keeps closed-breaker behaviour bit-identical to no
+    // breaker at all.
+    for (sim_time t : {seconds(0), seconds(1), seconds(2), seconds(3)}) {
+        EXPECT_TRUE(feed_one(guard, bad, t));
+    }
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::closed);
+
+    // The window rolls at 10s with 4/4 bad samples: trip. The tripping
+    // alert itself is then quarantined.
+    EXPECT_FALSE(feed_one(guard, good, seconds(11)));
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::open);
+    EXPECT_EQ(guard.breaker(data_source::snmp).trips, 1u);
+    EXPECT_EQ(guard.metrics().breaker_trips, 1u);
+    EXPECT_EQ(guard.metrics().quarantined, 1u);
+
+    // Still dark before the backoff elapses.
+    EXPECT_FALSE(feed_one(guard, good, seconds(25)));
+
+    // reopen_at = 11s + 20s: the first alert after that is a probe and is
+    // admitted; two clean probes re-close the breaker.
+    EXPECT_TRUE(feed_one(guard, good, seconds(31)));
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::half_open);
+    EXPECT_TRUE(feed_one(guard, good, seconds(32)));
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::closed);
+    EXPECT_EQ(guard.metrics().probes_admitted, 2u);
+    EXPECT_EQ(guard.metrics().breaker_closes, 1u);
+    EXPECT_EQ(guard.breaker(data_source::snmp).backoff, 0);
+
+    // Back to normal service.
+    EXPECT_TRUE(feed_one(guard, good, seconds(33)));
+}
+
+TEST(BreakerTest, FailedProbeReopensWithDoubledBackoff) {
+    small_topo f;
+    controller guard = f.make(breaker_cfg());
+    const raw_alert bad = f.alert(data_source::snmp, "martian kind", 0);
+    const raw_alert good = f.alert(data_source::snmp, "link down", 0);
+
+    for (sim_time t : {seconds(0), seconds(1), seconds(2), seconds(3)}) {
+        feed_one(guard, bad, t);
+    }
+    EXPECT_FALSE(feed_one(guard, good, seconds(11)));  // trips; reopen at 31s
+
+    // A bad probe is still admitted (the engine rejects it) but slams the
+    // breaker shut with doubled backoff, capped at backoff_max.
+    EXPECT_TRUE(feed_one(guard, bad, seconds(31)));
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::open);
+    EXPECT_EQ(guard.breaker(data_source::snmp).backoff, seconds(40));
+    EXPECT_EQ(guard.metrics().breaker_reopens, 1u);
+
+    EXPECT_FALSE(feed_one(guard, good, seconds(60)));  // 31s + 40s not reached
+    EXPECT_TRUE(feed_one(guard, good, seconds(71)));
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::half_open);
+}
+
+TEST(BreakerTest, QuarantineIsolatesThePoisonedSourceOnly) {
+    small_topo f;
+    controller guard = f.make(breaker_cfg());
+    const raw_alert bad = f.alert(data_source::snmp, "martian kind", 0);
+
+    for (sim_time t : {seconds(0), seconds(1), seconds(2), seconds(3)}) {
+        feed_one(guard, bad, t);
+    }
+    EXPECT_FALSE(feed_one(guard, bad, seconds(11)));
+    EXPECT_EQ(guard.breaker(data_source::snmp).state, breaker_state::open);
+
+    // Ping is a different breaker: unaffected.
+    EXPECT_TRUE(feed_one(guard, f.alert(data_source::ping, "packet loss", seconds(12)),
+                         seconds(12)));
+    EXPECT_EQ(guard.breaker(data_source::ping).state, breaker_state::closed);
+    EXPECT_EQ(guard.breaker(data_source::ping).quarantined, 0u);
+    EXPECT_GT(guard.breaker(data_source::snmp).quarantined, 0u);
+}
+
+// -------------------------------------------------------------- persist
+
+void expect_states_equal(const controller::persist_state& a, const controller::persist_state& b) {
+    EXPECT_EQ(a.window_alerts, b.window_alerts);
+    EXPECT_EQ(a.window_bytes, b.window_bytes);
+    EXPECT_EQ(a.dedup_keys, b.dedup_keys);
+    for (std::size_t i = 0; i < a.breakers.size(); ++i) {
+        SCOPED_TRACE("breaker " + std::to_string(i));
+        EXPECT_EQ(a.breakers[i].state, b.breakers[i].state);
+        EXPECT_EQ(a.breakers[i].window_good, b.breakers[i].window_good);
+        EXPECT_EQ(a.breakers[i].window_bad, b.breakers[i].window_bad);
+        EXPECT_EQ(a.breakers[i].window_start, b.breakers[i].window_start);
+        EXPECT_EQ(a.breakers[i].reopen_at, b.breakers[i].reopen_at);
+        EXPECT_EQ(a.breakers[i].backoff, b.breakers[i].backoff);
+        EXPECT_EQ(a.breakers[i].probes_left, b.breakers[i].probes_left);
+        EXPECT_EQ(a.breakers[i].trips, b.breakers[i].trips);
+        EXPECT_EQ(a.breakers[i].quarantined, b.breakers[i].quarantined);
+    }
+    EXPECT_EQ(a.counters.admitted, b.counters.admitted);
+    EXPECT_EQ(a.counters.shed_total(), b.counters.shed_total());
+    EXPECT_EQ(a.counters.quarantined, b.counters.quarantined);
+}
+
+TEST(OverloadPersistTest, ExportImportResumesIdenticalDecisions) {
+    small_topo f;
+    controller_config cfg = breaker_cfg();
+    cfg.admission.max_alerts = 3;
+
+    controller original = f.make(cfg);
+    std::vector<raw_alert> first;
+    first.push_back(f.alert(data_source::ping, "packet loss", 0));
+    first.push_back(f.alert(data_source::ping, "packet loss", 0));  // duplicate
+    first.push_back(f.alert(data_source::snmp, "martian kind", 0));  // bad sample
+    first.push_back(f.alert(data_source::snmp, "link down", 0));
+    (void)original.admit(first, 0);
+
+    controller restored = f.make(cfg);
+    restored.import_state(original.export_state());
+    expect_states_equal(original.export_state(), restored.export_state());
+
+    // From here both controllers must make the same calls forever.
+    std::vector<raw_alert> second;
+    second.push_back(f.alert(data_source::ping, "packet loss", 0));  // dup across batches
+    second.push_back(f.alert(data_source::traffic_stats, "traffic surge", 1));
+    second.push_back(f.alert(data_source::snmp, "link down", 1));
+    const std::vector<raw_alert> out_a = original.admit(second, seconds(1));
+    const std::vector<raw_alert> out_b = restored.admit(second, seconds(1));
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::size_t i = 0; i < out_a.size(); ++i) EXPECT_EQ(out_a[i].kind, out_b[i].kind);
+    original.on_tick(seconds(2));
+    restored.on_tick(seconds(2));
+    expect_states_equal(original.export_state(), restored.export_state());
+}
+
+TEST(OverloadConfigTest, ValidateRejectsNonsense) {
+    small_topo f;
+    controller_config cfg;
+    cfg.breaker.enabled = true;
+    cfg.breaker.trip_ratio = 1.5;
+    EXPECT_THROW(f.make(cfg), skynet_error);
+    cfg = controller_config{};
+    cfg.breaker.enabled = true;
+    cfg.breaker.backoff_max = cfg.breaker.backoff_initial - 1;
+    EXPECT_THROW(f.make(cfg), skynet_error);
+}
+
+// ------------------------------------------------------- shard watchdog
+
+TEST(WatchdogTest, RecoversInjectedStallWithReportParity) {
+    world w;
+    const scenario_factory make = [&] {
+        rng srand(82);
+        return make_security_ddos(w.topo, srand, 3);
+    };
+    const controller_config inert{};  // overload layer off: pure watchdog test
+    const fault_spec no_faults{};
+
+    sharded_config base;
+    base.shards = 4;
+    sharded_engine clean(w.deps(), base);
+    (void)drive_guarded(w, clean, inert, no_faults, make, minutes(4), 83);
+    const std::vector<incident_report> clean_reports = clean.take_reports();
+
+    sharded_config stalled_cfg = base;
+    stalled_cfg.watchdog_deadline_ms = 100;
+    stalled_cfg.worker_stall = [](std::size_t shard, std::uint64_t ordinal) {
+        return shard == 1 && ordinal == 4;
+    };
+    sharded_engine stalled(w.deps(), stalled_cfg);
+    (void)drive_guarded(w, stalled, inert, no_faults, make, minutes(4), 83);
+    const std::vector<incident_report> stalled_reports = stalled.take_reports();
+
+    // The parked worker was released with its queued work untouched, so
+    // the run is bit-identical to the unstalled one.
+    expect_identical_reports(clean_reports, stalled_reports);
+    const engine_metrics m = stalled.metrics();
+    EXPECT_GE(m.overload.stalls_detected, 1u);
+    EXPECT_EQ(m.overload.stalls_detected, m.overload.stalls_recovered);
+    EXPECT_EQ(m.overload.shards_written_off, 0u);
+    EXPECT_EQ(stalled.failed_shard_count(), 0u);
+}
+
+TEST(WatchdogTest, WritesOffShardWedgedPastDeadline) {
+    world w(generator_params::tiny());
+    sharded_config scfg;
+    scfg.shards = 2;
+    scfg.watchdog_deadline_ms = 100;
+    // A genuinely wedged worker: no stall gate to release, just a command
+    // that outlives the deadline. The watchdog must write the shard off
+    // rather than hang the barrier.
+    std::atomic<bool> wedged_once{false};
+    scfg.worker_fault = [&wedged_once](std::size_t shard) {
+        if (shard == 1 && !wedged_once.exchange(true)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        }
+    };
+    sharded_engine eng(w.deps(), scfg);
+    network_state idle(&w.topo, &w.customers);
+    EXPECT_THROW(eng.tick(seconds(2), idle), skynet_error);
+
+    EXPECT_EQ(eng.failed_shard_count(), 1u);
+    const std::vector<std::string> msgs = eng.failed_shard_messages();
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_NE(msgs[0].find("watchdog"), std::string::npos);
+    const engine_metrics m = eng.metrics();
+    EXPECT_EQ(m.overload.shards_written_off, 1u);
+    EXPECT_EQ(m.overload.stalls_recovered, 0u);
+}
+
+// -------------------------------------------- bounded-memory degradation
+
+/// Tight caps + a three-seed fault storm: eviction must fire, and two
+/// runs of the same seed must agree exactly (deterministic oldest-first
+/// eviction, not load-dependent shedding).
+TEST(EvictionTest, DeterministicUnderFaultStormForThreeSeeds) {
+    world w;
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    cfg.pre.max_pending_alerts = 16;
+    cfg.loc.max_node_alerts = 4;
+    cfg.loc.max_open_incidents = 3;
+
+    fault_spec spec;
+    spec.duplicate_rate = 0.3;
+    spec.corrupt_rate = 0.05;
+    spec.skew_rate = 0.2;
+    spec.max_skew = seconds(5);
+
+    const controller_config inert{};
+    for (const std::uint64_t fault_seed : {3u, 17u, 4242u}) {
+        SCOPED_TRACE("fault seed " + std::to_string(fault_seed));
+        spec.seed = fault_seed;
+        const scenario_factory make = [&] {
+            rng srand(82);
+            return make_security_ddos(w.topo, srand, 3);
+        };
+        const auto run = [&](skynet_engine& eng) {
+            return drive_guarded(w, eng, inert, spec, make, minutes(4), 83);
+        };
+        skynet_engine a(w.deps(), cfg);
+        skynet_engine b(w.deps(), cfg);
+        run(a);
+        run(b);
+        const std::vector<incident_report> ra = a.take_reports();
+        const std::vector<incident_report> rb = b.take_reports();
+        expect_identical_reports(ra, rb);
+
+        const overload_metrics& om = a.metrics().overload;
+        EXPECT_GT(om.evicted_node_alerts + om.evicted_incidents + om.evicted_pending, 0u)
+            << "caps this tight must evict under a storm";
+        EXPECT_EQ(om.evicted_node_alerts, b.metrics().overload.evicted_node_alerts);
+        EXPECT_EQ(om.evicted_incidents, b.metrics().overload.evicted_incidents);
+        EXPECT_EQ(om.evicted_pending, b.metrics().overload.evicted_pending);
+    }
+}
+
+// ------------------------------------------------------ e2e parity/json
+
+/// The layer's headline invariant: an *active* admission guard still
+/// preserves sequential/sharded parity, because it sheds from the single
+/// ordered stream before region partitioning.
+TEST(GuardedParityTest, ActiveAdmissionPreservesEngineParity) {
+    world w;
+    controller_config ccfg;
+    ccfg.admission.max_alerts = 10;  // tight enough to shed during the flood
+    ccfg.breaker.enabled = true;
+    const fault_spec no_faults{};
+    const scenario_factory make = [&] {
+        rng srand(82);
+        return make_security_ddos(w.topo, srand, 3);
+    };
+
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine seq(w.deps(), cfg);
+    const overload_metrics seq_m =
+        drive_guarded(w, seq, ccfg, no_faults, make, minutes(5), 83);
+    const std::vector<incident_report> seq_reports = seq.take_reports();
+
+    sharded_config scfg;
+    scfg.shards = 4;
+    sharded_engine par(w.deps(), scfg);
+    const overload_metrics par_m =
+        drive_guarded(w, par, ccfg, no_faults, make, minutes(5), 83);
+    const std::vector<incident_report> par_reports = par.take_reports();
+
+    // Identical stream, identical admission calls.
+    EXPECT_EQ(seq_m.admitted, par_m.admitted);
+    EXPECT_EQ(seq_m.shed_total(), par_m.shed_total());
+    EXPECT_GT(seq_m.shed_total(), 0u) << "budget must actually bite for this test to mean much";
+    expect_identical_reports(seq_reports, par_reports);
+    EXPECT_EQ(seq.preprocessing_stats(), par.preprocessing_stats());
+}
+
+TEST(OverloadMetricsTest, ToJsonCarriesEveryBlock) {
+    engine_metrics m;
+    m.overload.shed_other = 2;
+    m.overload.breaker_trips = 1;
+    m.degraded.alerts_rejected = 3;
+    const std::string json = m.to_json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    for (const char* key : {"\"stages\"", "\"queue\"", "\"degraded\"", "\"recovery\"",
+                            "\"overload\"", "\"shed_other\":2", "\"breaker_trips\":1",
+                            "\"alerts_rejected\":3", "\"stalls_detected\":0"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(OverloadMetricsTest, RenderShowsOverloadOnlyWhenActive) {
+    engine_metrics m;
+    EXPECT_EQ(m.render().find("overload"), std::string::npos);
+    m.overload.quarantined = 5;
+    EXPECT_NE(m.render().find("overload"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skynet
