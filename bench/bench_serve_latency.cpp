@@ -1,0 +1,159 @@
+// Daemon query latency under active ingest.
+//
+// The serve-mode promise is that reads never wait for the flood: the
+// HTTP surface answers from the incident store and the published health
+// snapshot (snapshot-at-barrier), so a query during a storm costs a
+// shared lock and a copy, not a walk of the live engine. This bench
+// measures that promise end to end: a daemon on unix sockets runs the
+// 4-shard engine while a client thread re-streams a recorded flood at
+// it, and the full HTTP round-trip (dial, request, parse, close) is
+// sampled for the three read endpoints. Reported as p50/p99 per
+// endpoint.
+//
+// Emits machine-readable results to BENCH_serve_latency.json (override
+// with argv[1]).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "skynet/serve/daemon.h"
+#include "skynet/serve/http.h"
+#include "skynet/serve/wire.h"
+
+namespace {
+
+using namespace skynet;
+
+constexpr int kSamplesPerEndpoint = 400;
+
+struct endpoint_stats {
+    const char* name;
+    const char* target;
+    std::vector<double> micros;
+};
+
+double percentile(std::vector<double>& v, double p) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+    return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = argc > 1 ? argv[1] : "BENCH_serve_latency.json";
+    bench::world w;
+
+    // One recorded flood, replayed at the daemon for the whole
+    // measurement window.
+    std::vector<traced_alert> flood;
+    {
+        simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = 41});
+        sim.add_default_monitors();
+        rng srand(42);
+        sim.inject(make_security_ddos(w.topo, srand, 3), minutes(1), minutes(5));
+        sim.run_until_batched(minutes(7),
+                              [&](std::span<const traced_alert> batch) {
+                                  flood.insert(flood.end(), batch.begin(), batch.end());
+                              },
+                              [](sim_time) {});
+    }
+
+    serve::engine_options opts;
+    opts.shards = 4;
+    opts.serve.ingest_addr = "unix:/tmp/skynet_bench_serve_in.sock";
+    opts.serve.http_addr = "unix:/tmp/skynet_bench_serve_api.sock";
+    serve::daemon d(w.topo, w.customers, w.registry, &w.syslog, opts);
+    if (error e = d.start()) {
+        std::fprintf(stderr, "daemon start failed: %s\n", e.message().c_str());
+        return 1;
+    }
+    const auto ingest_addr = serve::parse_addr(d.ingest_addr());
+    const auto http_addr = serve::parse_addr(d.http_addr());
+
+    // Prime the store with one full pass so /v1/report and /v1/incidents
+    // answer over real incidents, then keep the ingest path hot.
+    std::string err;
+    if (const auto primed =
+            serve::stream_trace(*ingest_addr, flood, seconds(2), minutes(20), err);
+        !primed || !primed->ok()) {
+        std::fprintf(stderr, "priming stream failed: %s\n", err.c_str());
+        return 1;
+    }
+    std::atomic<bool> stop_streaming{false};
+    std::thread streamer([&] {
+        while (!stop_streaming.load()) {
+            std::string serr;
+            (void)serve::stream_trace(*ingest_addr, flood, seconds(2), minutes(20), serr);
+        }
+    });
+
+    endpoint_stats endpoints[] = {
+        {"health", "/v1/health", {}},
+        {"incidents", "/v1/incidents?limit=20", {}},
+        {"report", "/v1/report?json=1", {}},
+    };
+
+    bool ok = true;
+    for (int i = 0; i < kSamplesPerEndpoint && ok; ++i) {
+        for (endpoint_stats& ep : endpoints) {
+            serve::http_response resp;
+            const auto t0 = std::chrono::steady_clock::now();
+            if (!serve::http_call(*http_addr, "GET", ep.target, "", resp, err) ||
+                resp.status != 200) {
+                std::fprintf(stderr, "%s failed: HTTP %d %s\n", ep.target, resp.status,
+                             err.c_str());
+                ok = false;
+                break;
+            }
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            ep.micros.push_back(
+                std::chrono::duration<double, std::micro>(dt).count());
+        }
+    }
+
+    stop_streaming.store(true);
+    streamer.join();
+    d.request_stop();
+    if (d.run() != 0) {
+        std::fprintf(stderr, "daemon shutdown was not clean\n");
+        ok = false;
+    }
+    if (!ok) return 1;
+
+    std::printf("serve latency under active 4-shard ingest (%zu alerts/pass, %d samples)\n",
+                flood.size(), kSamplesPerEndpoint);
+    std::printf("%-10s %10s %10s %10s\n", "endpoint", "p50_us", "p99_us", "max_us");
+    std::string json = "{\n  \"samples_per_endpoint\": " +
+                       std::to_string(kSamplesPerEndpoint) + ",\n  \"shards\": 4,\n";
+    for (std::size_t i = 0; i < std::size(endpoints); ++i) {
+        endpoint_stats& ep = endpoints[i];
+        const double p50 = percentile(ep.micros, 0.50);
+        const double p99 = percentile(ep.micros, 0.99);
+        const double mx = ep.micros.empty() ? 0.0 : ep.micros.back();
+        std::printf("%-10s %10.1f %10.1f %10.1f\n", ep.name, p50, p99, mx);
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "  \"%s\": {\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f}%s\n",
+                      ep.name, p50, p99, mx, i + 1 < std::size(endpoints) ? "," : "");
+        json += buf;
+        // Reads must stay interactive while the flood streams: a very
+        // generous ceiling that only trips if queries start waiting on
+        // the ingest path.
+        if (p99 > 500000.0) {
+            std::fprintf(stderr, "%s p99 %.0f us exceeds the 500ms ceiling\n", ep.name, p99);
+            ok = false;
+        }
+    }
+    json += "}\n";
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json;
+    std::printf("wrote %s\n", json_path);
+    return ok ? 0 : 1;
+}

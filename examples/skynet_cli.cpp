@@ -2,14 +2,19 @@
 //
 // Builds (or imports) a topology, injects a failure scenario, streams the
 // monitoring flood through SkyNet and prints the ranked incident reports,
-// optionally as JSON digests. A practical entry point for exploring the
-// system without writing code.
+// optionally as JSON digests. With --serve it becomes a long-running
+// daemon (streaming ingest + HTTP query API); with --connect it is the
+// matching client. One option surface (serve::engine_options) covers all
+// three modes.
 //
 //   skynet_cli                                  # random severe failure
 //   skynet_cli --scenario ddos --severe
 //   skynet_cli --topo medium --duration 6 --json
 //   skynet_cli --export-topo inventory.topo     # dump the topology format
 //   skynet_cli --topo-file inventory.topo       # ... and load it back
+//   skynet_cli --serve unix:/tmp/skynet.sock --http tcp:127.0.0.1:8080
+//   skynet_cli --connect tcp:127.0.0.1:8080 --get /v1/health
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -24,6 +29,10 @@
 #include "skynet/monitors/extended_monitors.h"
 #include "skynet/persist/durable.h"
 #include "skynet/persist/recovery.h"
+#include "skynet/serve/daemon.h"
+#include "skynet/serve/engine_options.h"
+#include "skynet/serve/report_text.h"
+#include "skynet/serve/wire.h"
 #include "skynet/sim/engine.h"
 #include "skynet/sim/faults.h"
 #include "skynet/sim/trace.h"
@@ -34,79 +43,7 @@ using namespace skynet;
 
 namespace {
 
-struct options {
-    std::string topo_preset = "small";
-    std::string topo_file;
-    std::string export_topo;
-    std::string record_file;
-    std::string replay_file;
-    std::string faults_spec;
-    std::string checkpoint_dir;
-    std::string health_json;
-    std::string overflow = "block";
-    std::string scenario_name = "random";
-    bool severe = true;
-    bool json = false;
-    bool timeline = false;
-    bool extended = false;
-    bool metrics = false;
-    bool recover = false;
-    bool breaker = false;
-    int shards = 0;  // 0 = sequential engine
-    int checkpoint_every = 8;
-    std::uint64_t crash_after = 0;
-    std::uint64_t admission_budget = 0;  // alerts per tick window; 0 = off
-    std::uint64_t watchdog_deadline = 0;  // ms; 0 = off (auto with stall faults)
-    int duration_min = 5;
-    int customers = 400;
-    double noise = 0.02;
-    std::uint64_t seed = 1;
-};
-
-void usage() {
-    std::printf(
-        "usage: skynet_cli [options]\n"
-        "  --topo tiny|small|medium|large   topology preset (default small)\n"
-        "  --topo-file FILE                 import topology from the text format\n"
-        "  --export-topo FILE               write the topology and exit\n"
-        "  --scenario NAME                  random|hardware|link|modification|software|\n"
-        "                                   infrastructure|route|ddos|config|cable-cut\n"
-        "  --minor                          inject the minor variant (default severe)\n"
-        "  --duration MIN                   failure duration in minutes (default 5)\n"
-        "  --customers N                    synthetic customers (default 400)\n"
-        "  --noise R                        monitor glitch rate (default 0.02)\n"
-        "  --seed N                         simulation seed (default 1)\n"
-        "  --extended                       also run the user-telemetry/SRTE sources\n"
-        "  --shards N                       run the region-sharded engine with N workers\n"
-        "  --metrics                        print per-stage engine metrics\n"
-        "  --json                           print incidents as JSON digests\n"
-        "  --timeline                       print an ASCII incident timeline\n"
-        "  --record FILE                    save the raw alert trace\n"
-        "  --replay FILE                    replay a recorded trace (skips the simulator)\n"
-        "  --faults SPEC                    degrade the ingest stream deterministically, e.g.\n"
-        "                                   'seed=3;dropout=0.2;dup=0.05;reorder=0.1;skew=5s;\n"
-        "                                   skew_rate=0.3;corrupt=0.02;drop:ping@60s+120s;\n"
-        "                                   pressure=0.5' (see DESIGN.md fault model)\n"
-        "  --overflow block|drop_oldest|reject\n"
-        "                                   shard-queue policy when full (default block)\n"
-        "  --checkpoint-dir DIR             journal every --replay batch/tick and write\n"
-        "                                   barrier-consistent checkpoints into DIR\n"
-        "  --checkpoint-every N             barriers between checkpoints (default 8)\n"
-        "  --recover                        restore from --checkpoint-dir (newest valid\n"
-        "                                   snapshot + journal replay) before streaming\n"
-        "  --crash-after N                  crash drill: exit %d after the Nth journal\n"
-        "                                   record is durable, before it is applied\n"
-        "  --admission-budget N             overload guard: admit at most N alerts per\n"
-        "                                   tick window, shedding duplicates/other first\n"
-        "  --breaker                        per-source circuit breakers (quarantine a\n"
-        "                                   source emitting sustained garbage)\n"
-        "  --watchdog-deadline MS           sharded only: write off / recover a shard\n"
-        "                                   making no progress for MS wall-clock ms\n"
-        "                                   (defaults to 250 when --faults has stalls)\n"
-        "  --health-json FILE               write the merged engine health report as\n"
-        "                                   JSON at every tick barrier (atomic rename)\n",
-        persist::crash_exit_code);
-}
+using options = serve::engine_options;
 
 std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo, rng& rand) {
     const std::string& n = opt.scenario_name;
@@ -384,18 +321,105 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
         std::printf("%s", m.render().c_str());
     }
 
-    // take_reports is already globally ranked (severity desc, id asc).
+    // take_reports is already globally ranked (severity desc, id asc);
+    // the shared renderer keeps this listing byte-identical to the
+    // daemon's GET /v1/report.
     const auto reports = engine.take_reports();
-    std::printf("incidents: %zu\n\n", reports.size());
-    if (opt.timeline && !reports.empty()) {
-        std::printf("%s\n", render_timeline(reports).c_str());
+    const serve::report_listing_options lopts{.json = opt.json, .timeline = opt.timeline};
+    std::printf("%s", serve::render_report_listing(reports, lopts).c_str());
+    return 0;
+}
+
+serve::daemon* g_daemon = nullptr;
+
+void handle_stop_signal(int) {
+    if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+/// --serve / --http: run the daemon until SIGTERM/SIGINT.
+int run_serve(const options& opt, const topology& topo, const customer_registry& customers,
+              const alert_type_registry& registry, const syslog_classifier& syslog) {
+    serve::daemon d(topo, customers, registry, &syslog, opt);
+    if (error e = d.start()) {
+        std::fprintf(stderr, "serve: %s\n", e.message().c_str());
+        return 1;
     }
-    for (const incident_report& r : reports) {
-        if (opt.json) {
-            std::printf("%s\n", incident_digest_json(r).c_str());
-        } else {
-            std::printf("%s\n", r.render().c_str());
+    g_daemon = &d;
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    if (!d.ingest_addr().empty()) {
+        std::printf("serve: ingest on %s\n", d.ingest_addr().c_str());
+    }
+    if (!d.http_addr().empty()) std::printf("serve: http on %s\n", d.http_addr().c_str());
+    std::fflush(stdout);
+    const int rc = d.run();
+    g_daemon = nullptr;
+    return rc;
+}
+
+/// --connect: HTTP GET/POST or stream a trace into a daemon.
+int run_client(const options& opt) {
+    const auto addr = serve::parse_addr(opt.client.connect);  // validated upstream
+    std::string err;
+    if (!opt.client.stream_file.empty()) {
+        std::ifstream in(opt.client.stream_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", opt.client.stream_file.c_str());
+            return 1;
         }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        trace_parse_result trace = parse_trace(buffer.str());
+        for (const trace_parse_error& e : trace.errors) {
+            std::fprintf(stderr, "%s:%d: %s\n", opt.client.stream_file.c_str(), e.line,
+                         e.message.c_str());
+        }
+        // Same cadence as --replay (2s tick batching, finish 20min after
+        // the last arrival) so the daemon reaches bit-identical reports.
+        const auto stats =
+            serve::stream_trace(*addr, trace.alerts, seconds(2), minutes(20), err);
+        if (!stats) {
+            std::fprintf(stderr, "stream: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("streamed %llu records (%llu alerts): %s\n",
+                    static_cast<unsigned long long>(stats->records),
+                    static_cast<unsigned long long>(stats->alerts), stats->status.c_str());
+        return stats->ok() ? 0 : 1;
+    }
+
+    const bool post = !opt.client.post_path.empty();
+    std::string path = post ? opt.client.post_path : opt.client.get_path;
+    // Spare the shell user from percent-encoding: spaces in query values
+    // ("--get '/v1/incidents?loc=Region A'") are escaped here.
+    std::string encoded;
+    for (const char c : path) {
+        if (c == ' ') {
+            encoded += "%20";
+        } else {
+            encoded += c;
+        }
+    }
+    std::string body;
+    if (!opt.client.data_file.empty()) {
+        std::ifstream in(opt.client.data_file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", opt.client.data_file.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        body = buffer.str();
+    }
+    serve::http_response response;
+    if (!serve::http_call(*addr, post ? "POST" : "GET", encoded, body, response, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    std::fputs(response.body.c_str(), stdout);
+    if (response.status < 200 || response.status >= 300) {
+        std::fprintf(stderr, "HTTP %d\n", response.status);
+        return 1;
     }
     return 0;
 }
@@ -403,91 +427,26 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
 }  // namespace
 
 int main(int argc, char** argv) {
-    options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string_view arg = argv[i];
-        auto value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", argv[i]);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--topo") {
-            opt.topo_preset = value();
-        } else if (arg == "--topo-file") {
-            opt.topo_file = value();
-        } else if (arg == "--export-topo") {
-            opt.export_topo = value();
-        } else if (arg == "--scenario") {
-            opt.scenario_name = value();
-        } else if (arg == "--minor") {
-            opt.severe = false;
-        } else if (arg == "--duration") {
-            opt.duration_min = std::atoi(value());
-        } else if (arg == "--customers") {
-            opt.customers = std::atoi(value());
-        } else if (arg == "--noise") {
-            opt.noise = std::atof(value());
-        } else if (arg == "--seed") {
-            opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
-        } else if (arg == "--extended") {
-            opt.extended = true;
-        } else if (arg == "--shards") {
-            opt.shards = std::atoi(value());
-        } else if (arg == "--metrics") {
-            opt.metrics = true;
-        } else if (arg == "--json") {
-            opt.json = true;
-        } else if (arg == "--timeline") {
-            opt.timeline = true;
-        } else if (arg == "--record") {
-            opt.record_file = value();
-        } else if (arg == "--replay") {
-            opt.replay_file = value();
-        } else if (arg == "--faults") {
-            opt.faults_spec = value();
-        } else if (arg == "--overflow") {
-            opt.overflow = value();
-        } else if (arg == "--checkpoint-dir") {
-            opt.checkpoint_dir = value();
-        } else if (arg == "--checkpoint-every") {
-            opt.checkpoint_every = std::atoi(value());
-        } else if (arg == "--recover") {
-            opt.recover = true;
-        } else if (arg == "--crash-after") {
-            opt.crash_after = static_cast<std::uint64_t>(std::atoll(value()));
-        } else if (arg == "--admission-budget") {
-            opt.admission_budget = static_cast<std::uint64_t>(std::atoll(value()));
-        } else if (arg == "--breaker") {
-            opt.breaker = true;
-        } else if (arg == "--watchdog-deadline") {
-            opt.watchdog_deadline = static_cast<std::uint64_t>(std::atoll(value()));
-        } else if (arg == "--health-json") {
-            opt.health_json = value();
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-            usage();
-            return 2;
-        }
+    serve::cli_parse_result parsed = serve::parse_cli(argc, argv);
+    if (parsed.mode == serve::run_mode::help) {
+        std::printf("%s", serve::cli_usage().c_str());
+        return 0;
     }
+    for (const serve::option_error& e : parsed.errors) {
+        std::fprintf(stderr, "%s\n", e.render().c_str());
+    }
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s", serve::cli_usage().c_str());
+        return 2;
+    }
+    const options& opt = parsed.opts;
+    const std::vector<serve::option_error> issues = opt.validate(parsed.mode);
+    for (const serve::option_error& e : issues) {
+        std::fprintf(stderr, "%s\n", e.render().c_str());
+    }
+    if (!issues.empty()) return 2;
 
-    if (opt.checkpoint_dir.empty() && (opt.recover || opt.crash_after > 0)) {
-        std::fprintf(stderr, "--recover and --crash-after require --checkpoint-dir\n");
-        return 2;
-    }
-    if (!opt.checkpoint_dir.empty() && opt.replay_file.empty() && !opt.recover) {
-        std::fprintf(stderr, "--checkpoint-dir requires --replay or --recover (the\n"
-                             "journal records replayed traces; use --record to make one)\n");
-        return 2;
-    }
-    if (opt.checkpoint_every < 1) {
-        std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
-        return 2;
-    }
+    if (parsed.mode == serve::run_mode::client) return run_client(opt);
 
     // Topology: preset, or imported file.
     topology topo;
@@ -499,16 +458,16 @@ int main(int argc, char** argv) {
         }
         std::stringstream buffer;
         buffer << in.rdbuf();
-        topology_parse_result parsed = import_topology(buffer.str());
-        for (const topology_parse_error& e : parsed.errors) {
+        topology_parse_result parsed_topo = import_topology(buffer.str());
+        for (const topology_parse_error& e : parsed_topo.errors) {
             std::fprintf(stderr, "%s:%d: %s\n", opt.topo_file.c_str(), e.line,
                          e.message.c_str());
             if (!e.text.empty()) {
                 std::fprintf(stderr, "  | %s\n", e.text.c_str());
             }
         }
-        if (!parsed.ok()) return 1;
-        topo = std::move(parsed.topo);
+        if (!parsed_topo.ok()) return 1;
+        topo = std::move(parsed_topo.topo);
     } else {
         generator_params params = opt.topo_preset == "tiny"     ? generator_params::tiny()
                                   : opt.topo_preset == "medium" ? generator_params::medium()
@@ -537,35 +496,23 @@ int main(int argc, char** argv) {
     if (opt.extended) register_extended_alert_types(registry);
     const syslog_classifier syslog = syslog_classifier::train_from_catalog();
 
-    const auto policy = parse_overflow_policy(opt.overflow);
-    if (!policy) {
-        std::fprintf(stderr, "unknown overflow policy: %s\n", opt.overflow.c_str());
-        usage();
-        return 2;
+    if (parsed.mode == serve::run_mode::serve) {
+        return run_serve(opt, topo, customers, registry, syslog);
     }
 
     std::unique_ptr<fault_injector> faults;
     if (!opt.faults_spec.empty()) {
-        fault_parse_result parsed = parse_fault_spec(opt.faults_spec);
-        for (const fault_parse_error& e : parsed.errors) {
+        fault_parse_result parsed_faults = parse_fault_spec(opt.faults_spec);
+        for (const fault_parse_error& e : parsed_faults.errors) {
             std::fprintf(stderr, "--faults: bad clause '%s': %s\n", e.clause.c_str(),
                          e.message.c_str());
         }
-        if (!parsed.ok()) return 2;
-        faults = std::make_unique<fault_injector>(parsed.spec);
+        if (!parsed_faults.ok()) return 2;
+        faults = std::make_unique<fault_injector>(parsed_faults.spec);
         std::printf("faults: injecting '%s'\n", opt.faults_spec.c_str());
     }
 
-    overload::controller_config ocfg;
-    ocfg.admission.max_alerts = opt.admission_budget;
-    ocfg.breaker.enabled = opt.breaker;
-    try {
-        ocfg.validate();
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 2;
-    }
-    overload::controller guard(ocfg, &topo, &registry);
+    overload::controller guard(opt.overload_config(), &topo, &registry);
     if (!guard.pass_through()) {
         std::printf("overload: admission budget %llu/window, breakers %s\n",
                     static_cast<unsigned long long>(opt.admission_budget),
@@ -574,10 +521,7 @@ int main(int argc, char** argv) {
 
     const skynet_engine::deps deps{&topo, &customers, &registry, &syslog};
     if (opt.shards > 0) {
-        sharded_config scfg;
-        scfg.shards = static_cast<std::size_t>(opt.shards);
-        scfg.overflow = *policy;
-        scfg.watchdog_deadline_ms = opt.watchdog_deadline;
+        sharded_config scfg = opt.sharded();
         if (faults) {
             scfg.force_full = faults->queue_pressure_hook();
             scfg.worker_stall = faults->worker_stall_hook();
@@ -589,7 +533,7 @@ int main(int argc, char** argv) {
         }
         sharded_engine engine(deps, scfg);
         std::printf("engine: region-sharded, %zu shards, overflow=%s%s\n", engine.shard_count(),
-                    std::string(to_string(*policy)).c_str(),
+                    std::string(to_string(scfg.overflow)).c_str(),
                     scfg.watchdog_deadline_ms > 0 ? ", watchdog on" : "");
         return run_session(engine, opt, topo, customers, faults.get(), &guard);
     }

@@ -84,12 +84,14 @@ std::string engine_metrics::render() const {
     if (degraded.any()) {
         std::snprintf(buf, sizeof buf,
                       "  degraded: %llu rejected, %llu dropped (overflow), %llu skew-clamped, "
-                      "%llu sources in dropout, %llu dropped (failed shard)\n",
+                      "%llu sources in dropout, %llu dropped (failed shard), "
+                      "%llu log out-of-order\n",
                       static_cast<unsigned long long>(degraded.alerts_rejected),
                       static_cast<unsigned long long>(degraded.alerts_dropped_overflow),
                       static_cast<unsigned long long>(degraded.skew_clamped),
                       static_cast<unsigned long long>(degraded.sources_in_dropout),
-                      static_cast<unsigned long long>(degraded.alerts_dropped_failed_shard));
+                      static_cast<unsigned long long>(degraded.alerts_dropped_failed_shard),
+                      static_cast<unsigned long long>(degraded.log_out_of_order));
         out += buf;
     }
     if (recovery.any()) {
@@ -178,7 +180,8 @@ std::string engine_metrics::to_json() const {
     u("alerts_dropped_overflow", degraded.alerts_dropped_overflow);
     u("skew_clamped", degraded.skew_clamped);
     u("sources_in_dropout", degraded.sources_in_dropout);
-    u("alerts_dropped_failed_shard", degraded.alerts_dropped_failed_shard, true);
+    u("alerts_dropped_failed_shard", degraded.alerts_dropped_failed_shard);
+    u("log_out_of_order", degraded.log_out_of_order, true);
     out += "},\"recovery\":{";
     u("journal_records_written", recovery.journal_records_written);
     u("journal_flushes", recovery.journal_flushes);

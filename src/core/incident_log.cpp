@@ -14,22 +14,30 @@ void incident_log::append(incident_report report, sim_time closed_at) {
     entries_.push_back(entry{.report = std::move(report),
                              .closed_at = closed_at,
                              .attributed_to_failure = std::nullopt});
-    if (fast_query_ &&
-        !entry_keeps_invariant(entries_.back(),
+    if (!entry_keeps_invariant(entries_.back(),
                                entries_.size() > 1 ? &entries_[entries_.size() - 2] : nullptr)) {
         fast_query_ = false;
+        ++out_of_order_;
     }
 }
 
 void incident_log::restore(std::vector<entry> entries) {
     entries_ = std::move(entries);
     fast_query_ = true;
+    out_of_order_ = 0;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (!entry_keeps_invariant(entries_[i], i > 0 ? &entries_[i - 1] : nullptr)) {
             fast_query_ = false;
-            break;
+            ++out_of_order_;
         }
     }
+}
+
+std::size_t incident_log::first_closed_at_or_after(sim_time t) const noexcept {
+    if (!fast_query_) return 0;
+    const auto it = std::partition_point(entries_.begin(), entries_.end(),
+                                         [&](const entry& e) { return e.closed_at < t; });
+    return static_cast<std::size_t>(it - entries_.begin());
 }
 
 bool incident_log::label(std::uint64_t incident_id, bool is_failure) {
@@ -50,9 +58,8 @@ std::vector<const incident_log::entry*> incident_log::query(const query_filter& 
     if (use_window && fast_query_) {
         // Entries closed before the window opened ended at/before their
         // close time, so they cannot overlap [begin, end].
-        first = std::partition_point(entries_.begin(), entries_.end(), [&](const entry& e) {
-            return e.closed_at < filter.window.begin;
-        });
+        first = entries_.begin() +
+                static_cast<std::ptrdiff_t>(first_closed_at_or_after(filter.window.begin));
     }
     for (auto it = first; it != entries_.end(); ++it) {
         const entry& e = *it;

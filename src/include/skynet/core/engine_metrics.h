@@ -70,10 +70,15 @@ struct degraded_metrics {
     std::uint64_t sources_in_dropout{0};      ///< distinct sources seen dark (fault layer)
     /// Ingest alerts drained unexecuted on a shard whose worker failed.
     std::uint64_t alerts_dropped_failed_shard{0};
+    /// Incident-log appends that broke the close-order invariant: the
+    /// history query silently degraded from a binary-searched start to a
+    /// full linear scan (see incident_log::out_of_order_appends()).
+    std::uint64_t log_out_of_order{0};
 
     [[nodiscard]] bool any() const noexcept {
         return alerts_rejected != 0 || alerts_dropped_overflow != 0 || skew_clamped != 0 ||
-               sources_in_dropout != 0 || alerts_dropped_failed_shard != 0;
+               sources_in_dropout != 0 || alerts_dropped_failed_shard != 0 ||
+               log_out_of_order != 0;
     }
 
     degraded_metrics& operator+=(const degraded_metrics& other) noexcept {
@@ -82,6 +87,7 @@ struct degraded_metrics {
         skew_clamped += other.skew_clamped;
         sources_in_dropout += other.sources_in_dropout;
         alerts_dropped_failed_shard += other.alerts_dropped_failed_shard;
+        log_out_of_order += other.log_out_of_order;
         return *this;
     }
 };

@@ -42,6 +42,24 @@ public:
     [[nodiscard]] const std::vector<entry>& entries() const noexcept { return entries_; }
     [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+    /// True while the close-order invariant holds and time-window
+    /// queries binary-search their starting point; false once any
+    /// append broke it (query() then degrades to a full linear scan).
+    [[nodiscard]] bool fast_query() const noexcept { return fast_query_; }
+
+    /// Appends (or restored entries) that broke the close-order
+    /// invariant. A non-zero count means query()'s complexity class
+    /// silently changed from O(log n + hits) to O(n) — surfaced in
+    /// engine_metrics::degraded.log_out_of_order so the degradation is
+    /// observable instead of a latent slowdown.
+    [[nodiscard]] std::uint64_t out_of_order_appends() const noexcept { return out_of_order_; }
+
+    /// First index whose closed_at is >= `t` under the fast-query
+    /// invariant; 0 when the invariant is broken (callers must then
+    /// scan from the start). The building block the serve-layer
+    /// incident store uses for cursor-paginated window queries.
+    [[nodiscard]] std::size_t first_closed_at_or_after(sim_time t) const noexcept;
+
     struct query_filter {
         /// Only incidents whose window overlaps this (ignored when both 0).
         time_range window{0, 0};
@@ -79,6 +97,9 @@ private:
     /// at/after its incident window's end — the precondition for the
     /// binary-searched query start.
     bool fast_query_{true};
+    /// Lifetime count of invariant-breaking appends (see
+    /// out_of_order_appends()).
+    std::uint64_t out_of_order_{0};
 };
 
 }  // namespace skynet

@@ -46,6 +46,14 @@ struct durable_options {
     std::uint64_t crash_after{0};
     /// Resume: records already durable and applied via recover().
     std::uint64_t resume_records{0};
+    /// Resume style. false (the default) is the re-streaming convention:
+    /// the caller regenerates the input from the start, so the first
+    /// resume_records records are skipped (already durable and applied).
+    /// true is direct continuation (the daemon's convention): the engine
+    /// already holds the recovered state and only *new* input follows,
+    /// so nothing is skipped — resume_records only seeds the record
+    /// count for checkpoint bookkeeping.
+    bool continue_after_recovery{false};
     /// Resume: recovery_result::next_snapshot_seq.
     std::uint64_t next_snapshot_seq{1};
     /// Resume: recovery_result::metrics, folded into metrics().
@@ -92,7 +100,7 @@ public:
           opts_(std::move(opts)),
           journal_(detail::ensure_dir(opts_.dir), opts_.flush_every),
           records_total_(opts_.resume_records),
-          skip_remaining_(opts_.resume_records),
+          skip_remaining_(opts_.continue_after_recovery ? 0 : opts_.resume_records),
           seq_(opts_.next_snapshot_seq) {}
 
     void ingest_batch(std::span<const traced_alert> batch) {
@@ -140,6 +148,16 @@ public:
         return m;
     }
 
+    /// Unconditional barrier-consistent checkpoint (graceful-shutdown
+    /// path: the daemon drains ingest, then checkpoints before exiting
+    /// regardless of the checkpoint_every cadence). No-op without a
+    /// location table. Returns false when the snapshot failed to write
+    /// (the reason lands in last_error()).
+    bool checkpoint_now(sim_time now) {
+        if (opts_.locations == nullptr) return true;
+        return write_checkpoint(now);
+    }
+
     /// Non-fatal durability degradation (a checkpoint that failed to
     /// write); empty while healthy. The journal stays authoritative, so
     /// a failed checkpoint costs replay time, not correctness.
@@ -163,6 +181,10 @@ private:
     void maybe_checkpoint(sim_time now) {
         if (opts_.checkpoint_every == 0 || opts_.locations == nullptr) return;
         if (barriers_ % opts_.checkpoint_every != 0) return;
+        (void)write_checkpoint(now);
+    }
+
+    bool write_checkpoint(sim_time now) {
         journal_.flush();  // the snapshot references bytes_written()
         snapshot_data data;
         data.seq = seq_;
@@ -182,10 +204,11 @@ private:
         if (opts_.controller != nullptr) data.overload = opts_.controller->export_state();
         if (error e = write_snapshot(opts_.dir, data)) {
             last_error_ = e.message();
-            return;
+            return false;
         }
         ++seq_;
         ++checkpoints_;
+        return true;
     }
 
     Engine& engine_;

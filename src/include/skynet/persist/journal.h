@@ -47,6 +47,25 @@ struct journal_record {
     sim_time now{0};                  ///< tick/finish records only
 };
 
+/// Bytes of a record frame header: [u8 type][u32 len LE][u32 crc32c LE].
+inline constexpr std::size_t record_header_bytes = 1 + 4 + 4;
+
+/// Encodes `batch` into the compact binary batch payload (clears `out`
+/// first). Public because the format doubles as the daemon's streaming
+/// ingest wire format: a client frames these payloads exactly like
+/// journal records and the server replays them bit-exactly.
+void encode_batch_payload(std::string& out, std::span<const traced_alert> batch);
+
+/// Decodes a batch payload produced by encode_batch_payload; false on
+/// malformed/truncated bytes (out may then hold a partial prefix).
+[[nodiscard]] bool decode_batch_payload(std::string_view payload, std::vector<traced_alert>& out);
+
+/// Encodes a tick/finish barrier payload (the 8-byte LE sim time).
+[[nodiscard]] std::string encode_barrier_payload(sim_time now);
+
+/// Decodes a barrier payload; false unless it is exactly 8 bytes.
+[[nodiscard]] bool decode_barrier_payload(std::string_view payload, sim_time& now);
+
 class journal_writer {
 public:
     /// Opens `path` for appending, writing the magic when the file is

@@ -1,0 +1,158 @@
+// skynet::serve::daemon — the long-running service mode.
+//
+// One process, two sockets, one engine:
+//   - streaming ingest (--serve): clients stream SKYNETJ1-framed alert
+//     batches and tick/finish barriers (see wire.h); every batch passes
+//     the overload admission guard before reaching the engine, exactly
+//     like the batch CLI's guarded replay;
+//   - HTTP/JSON API (--http): GET /v1/health (the canonical
+//     engine_metrics::to_json() schema), GET /v1/report (the batch
+//     CLI's report listing, byte-identical for the same input), GET
+//     /v1/incidents (windowed, filtered, cursor-paginated queries
+//     against the incident store), POST /v1/ingest (one-shot trace-text
+//     ingest for curl).
+//
+// Concurrency model — snapshot-at-barrier:
+//   - engine_mu_ serializes every engine mutation (wire connections,
+//     POST /v1/ingest, shutdown drain). The engine is never read or
+//     written outside it.
+//   - At each barrier the daemon drains the engine's finished reports
+//     into the incident_store (reader/writer locked) and publishes an
+//     immutable health snapshot. Queries touch only the store and the
+//     published snapshot, so they run concurrently with ingest and
+//     always observe a barrier-consistent state, never a half-applied
+//     batch.
+//
+// Durability: with --checkpoint-dir every applied record is journaled
+// first (the wire format IS the journal format, so the journal is a
+// byte-accurate capture of the stream) and checkpoints ride the barrier
+// cadence. --recover restores the newest valid snapshot + journal
+// suffix, then continues serving — direct continuation, nothing
+// re-streamed. SIGTERM drains in-flight connections, takes a final
+// checkpoint, and exits 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/overload/controller.h"
+#include "skynet/persist/durable.h"
+#include "skynet/serve/engine_options.h"
+#include "skynet/serve/http.h"
+#include "skynet/serve/incident_store.h"
+#include "skynet/serve/net.h"
+#include "skynet/sim/network_state.h"
+
+namespace skynet::serve {
+
+class daemon {
+public:
+    /// All references non-owning and must outlive the daemon. `syslog`
+    /// may be null. `opts` must have passed validate(run_mode::serve).
+    daemon(const topology& topo, const customer_registry& customers,
+           const alert_type_registry& registry, const syslog_classifier* syslog,
+           engine_options opts);
+    ~daemon();
+
+    daemon(const daemon&) = delete;
+    daemon& operator=(const daemon&) = delete;
+
+    /// Builds the engine (recovering first with --recover), binds the
+    /// configured sockets and starts serving. Empty error = running.
+    [[nodiscard]] error start();
+
+    /// Blocks until request_stop(), then drains, checkpoints and tears
+    /// down. Returns the process exit code (0 = clean shutdown).
+    int run();
+
+    /// Async-signal-safe shutdown trigger (call from SIGTERM/SIGINT
+    /// handlers or another thread).
+    void request_stop() noexcept;
+
+    /// Bound addresses with ephemeral ports resolved; empty when that
+    /// surface is not configured. Valid after start().
+    [[nodiscard]] std::string ingest_addr() const;
+    [[nodiscard]] std::string http_addr() const;
+
+    /// The HTTP routing table, callable without sockets (unit tests
+    /// drive the API through this; the real server calls it too).
+    [[nodiscard]] http_reply handle(const http_request& req);
+
+    [[nodiscard]] incident_store& store() noexcept { return store_; }
+
+private:
+    void handle_ingest_conn(int fd);
+    /// Admission guard + engine ingest for one batch (takes engine_mu_).
+    void apply_batch(std::vector<traced_alert> batch);
+    /// Tick/finish barrier + report drain + snapshot publish (takes
+    /// engine_mu_). Backwards barriers (a replayed stream older than
+    /// the engine's clock) are dropped.
+    void apply_barrier(sim_time now, bool finish);
+    /// Recomputes and swaps the published health snapshot. engine_mu_
+    /// must be held (reads engine metrics).
+    void publish_locked();
+
+    [[nodiscard]] http_reply get_health() const;
+    [[nodiscard]] http_reply get_report(const http_request& req) const;
+    [[nodiscard]] http_reply get_incidents(const http_request& req) const;
+    [[nodiscard]] http_reply post_ingest(const http_request& req);
+
+    template <typename Fn>
+    decltype(auto) with_engine(Fn&& fn) {
+        return sharded_ ? fn(*sharded_) : fn(*seq_);
+    }
+    template <typename Fn>
+    void with_sink(Fn&& fn) {
+        if (dur_sharded_) {
+            fn(*dur_sharded_);
+        } else if (dur_seq_) {
+            fn(*dur_seq_);
+        } else if (sharded_) {
+            fn(*sharded_);
+        } else {
+            fn(*seq_);
+        }
+    }
+    [[nodiscard]] recovery_metrics durable_metrics() const;
+    bool durable_checkpoint(sim_time now);
+
+    const topology& topo_;
+    const customer_registry& customers_;
+    const alert_type_registry& registry_;
+    const syslog_classifier* syslog_;
+    engine_options opts_;
+    network_state idle_;
+    overload::controller guard_;
+
+    std::optional<skynet_engine> seq_;
+    std::optional<sharded_engine> sharded_;
+    std::unique_ptr<persist::durable_session<skynet_engine>> dur_seq_;
+    std::unique_ptr<persist::durable_session<sharded_engine>> dur_sharded_;
+    recovery_metrics recovered_base_{};
+
+    incident_store store_;
+    listener ingest_listener_;
+    http_server http_;
+
+    std::mutex engine_mu_;
+    sim_time last_barrier_{0};
+    bool saw_finish_{false};
+
+    mutable std::mutex pub_mu_;
+    std::string pub_health_{"{}\n"};
+
+    std::atomic<bool> stopping_{false};
+    int stop_pipe_[2]{-1, -1};
+
+    std::atomic<std::uint64_t> wire_conns_{0};
+    std::atomic<std::uint64_t> wire_records_{0};
+    std::atomic<std::uint64_t> wire_alerts_{0};
+};
+
+}  // namespace skynet::serve

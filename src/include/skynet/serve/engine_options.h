@@ -1,0 +1,140 @@
+// One service-facing option surface for the whole stack.
+//
+// Five PRs of growth accreted options in layers: the pipeline's
+// skynet_config, the sharded engine's overflow/watchdog knobs, the
+// persist layer's checkpoint settings, the overload controller's
+// admission/breaker switches, and now the daemon's listen addresses.
+// engine_options is the single aggregate the batch CLI and the daemon
+// both parse into, with one validate() that cross-checks every block
+// and returns structured errors (option + message) instead of
+// exit(2)-ing from scattered call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/overload/controller.h"
+
+namespace skynet::serve {
+
+/// One rejected setting: which option and why.
+struct option_error {
+    std::string option;   ///< flag spelling, e.g. "--checkpoint-every"
+    std::string message;
+
+    [[nodiscard]] std::string render() const { return option + ": " + message; }
+};
+
+/// What the process is being asked to be.
+enum class run_mode : std::uint8_t {
+    batch,   ///< classic one-shot: simulate/replay, print, exit
+    serve,   ///< long-running daemon (--serve / --http)
+    client,  ///< talk to a daemon (--connect)
+    help,    ///< --help
+};
+
+/// Daemon-only settings.
+struct serve_options {
+    std::string ingest_addr;  ///< --serve: streaming-ingest socket
+    std::string http_addr;    ///< --http: JSON API socket
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return !ingest_addr.empty() || !http_addr.empty();
+    }
+};
+
+/// Client-only settings (--connect and friends).
+struct client_options {
+    std::string connect;      ///< daemon address to talk to
+    std::string get_path;     ///< --get: HTTP GET this path (with query)
+    std::string post_path;    ///< --post: HTTP POST this path
+    std::string data_file;    ///< --data-file: body for --post
+    std::string stream_file;  ///< --stream-trace: trace to stream-ingest
+
+    [[nodiscard]] bool enabled() const noexcept { return !connect.empty(); }
+};
+
+/// The unified option aggregate. Field defaults are the library
+/// defaults; parse_cli() fills it from argv and validate() cross-checks
+/// the blocks for the chosen run mode.
+struct engine_options {
+    // Topology & scenario.
+    std::string topo_preset{"small"};
+    std::string topo_file;
+    std::string export_topo;
+    std::string scenario_name{"random"};
+    bool severe{true};
+    bool extended{false};
+    int duration_min{5};
+    int customers{400};
+    double noise{0.02};
+    std::uint64_t seed{1};
+
+    // Pipeline & sharding.
+    skynet_config pipeline{};
+    int shards{0};  ///< 0 = sequential engine
+    std::string overflow{"block"};
+    std::uint64_t watchdog_deadline{0};  ///< ms; 0 = off
+
+    // Overload control.
+    std::uint64_t admission_budget{0};  ///< alerts per tick window; 0 = off
+    bool breaker{false};
+
+    // Durability.
+    std::string checkpoint_dir;
+    int checkpoint_every{8};
+    bool recover{false};
+    std::uint64_t crash_after{0};
+
+    // Recording / replay / fault injection.
+    std::string record_file;
+    std::string replay_file;
+    std::string faults_spec;
+
+    // Reporting.
+    bool json{false};
+    bool timeline{false};
+    bool metrics{false};
+    std::string health_json;
+
+    // Service surfaces.
+    serve_options serve;
+    client_options client;
+
+    /// The overload controller config these options describe.
+    [[nodiscard]] overload::controller_config overload_config() const;
+
+    /// The sharded-engine config these options describe (overflow must
+    /// have validated; an unparsable token falls back to block).
+    [[nodiscard]] sharded_config sharded(const std::string& parsed_overflow = {}) const;
+
+    /// Cross-checks every block for `mode`. Empty vector = valid. Each
+    /// entry names the offending flag, so callers can print
+    ///   skynet_cli: --crash-after: requires --checkpoint-dir
+    /// or serialize the list into an API error.
+    [[nodiscard]] std::vector<option_error> validate(run_mode mode) const;
+};
+
+/// parse_cli() outcome: the aggregate, the mode argv implies, and any
+/// parse-level errors (unknown flag, missing value, malformed number).
+struct cli_parse_result {
+    engine_options opts;
+    run_mode mode{run_mode::batch};
+    std::vector<option_error> errors;
+
+    [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses argv (both the batch CLI's classic flags and the daemon's)
+/// without exiting; callers decide how to surface the errors. Mode:
+/// --help wins, then --connect (client), then --serve/--http (serve),
+/// else batch.
+[[nodiscard]] cli_parse_result parse_cli(int argc, const char* const* argv);
+
+/// The full usage text (batch + daemon + client flags).
+[[nodiscard]] std::string cli_usage();
+
+}  // namespace skynet::serve

@@ -1,0 +1,78 @@
+// Minimal embedded HTTP/1.1 surface for the daemon's JSON API.
+//
+// Deliberately tiny: request-per-connection ("Connection: close"), no
+// TLS, no chunked encoding, percent-decoded query parameters, bounded
+// header and body sizes. Enough to serve /v1/health, /v1/report,
+// /v1/incidents and POST /v1/ingest to curl and the CLI's --connect
+// client without pulling in a dependency the container does not have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "skynet/serve/net.h"
+
+namespace skynet::serve {
+
+struct http_request {
+    std::string method;  ///< uppercase: GET, POST, ...
+    std::string path;    ///< percent-decoded, query string stripped
+    /// Percent-decoded query parameters in order of appearance.
+    std::vector<std::pair<std::string, std::string>> params;
+    std::string body;
+
+    /// Last value for `key`, or nullptr when absent.
+    [[nodiscard]] const std::string* param(std::string_view key) const;
+};
+
+struct http_reply {
+    int status{200};
+    std::string content_type{"application/json"};
+    std::string body;
+};
+
+using http_handler = std::function<http_reply(const http_request&)>;
+
+/// Parses a request target ("/v1/incidents?loc=R1&limit=5") into path +
+/// params. Exposed for the daemon's unit tests.
+[[nodiscard]] http_request parse_target(std::string_view method, std::string_view target);
+
+/// Percent-decodes %XX escapes and '+' (as space).
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+/// One-listener HTTP server: accepts on a background thread, parses the
+/// request, calls the handler, writes the reply, closes. Malformed
+/// requests get a 400 without reaching the handler.
+class http_server {
+public:
+    static constexpr std::size_t max_head_bytes = 64u << 10;
+    static constexpr std::size_t max_body_bytes = 16u << 20;
+
+    [[nodiscard]] error start(const socket_addr& addr, http_handler handler);
+    void stop() { listener_.stop(); }
+    [[nodiscard]] const socket_addr& bound() const noexcept { return listener_.bound(); }
+
+private:
+    void handle(int fd);
+
+    listener listener_;
+    http_handler handler_;
+};
+
+/// Blocking HTTP/1.1 client for the CLI, tests and bench.
+struct http_response {
+    int status{0};
+    std::string body;
+};
+
+/// Sends one request to `addr` and reads the reply; false with `err` on
+/// transport or parse failure. `path_and_query` is sent verbatim.
+[[nodiscard]] bool http_call(const socket_addr& addr, std::string_view method,
+                             std::string_view path_and_query, std::string_view body,
+                             http_response& out, std::string& err);
+
+}  // namespace skynet::serve

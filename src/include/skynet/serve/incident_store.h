@@ -1,0 +1,101 @@
+// Persistent windowed incident store behind GET /v1/incidents.
+//
+// Wraps the core incident_log with what a long-running query service
+// needs and the batch CLI never did: an id index, a per-entry alert-type
+// index, cursor pagination, and a reader/writer lock so queries run
+// concurrently with streaming ingest. Writes happen only at tick/finish
+// barriers (the daemon drains the engine's finished reports under the
+// store's exclusive lock), so every query observes a
+// snapshot-at-barrier: all incidents closed by some barrier, never a
+// half-applied batch.
+//
+// Pagination is by log ordinal (append position), not offset: a cursor
+// taken from one page stays valid as later barriers append more
+// entries, and re-reading a page is stable because the log is
+// append-only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/core/incident_log.h"
+
+namespace skynet::serve {
+
+class incident_store {
+public:
+    static constexpr std::size_t default_page_limit = 100;
+    static constexpr std::size_t max_page_limit = 1000;
+
+    /// One /v1/incidents query. Unset optionals mean "no constraint".
+    struct query_params {
+        std::optional<std::uint64_t> id;  ///< exact incident id (still filtered)
+        location scope;                   ///< root = anywhere
+        std::string type;                 ///< structured alert type name
+        std::optional<sim_time> from;     ///< window overlap, inclusive
+        std::optional<sim_time> to;
+        double min_score{0.0};
+        bool only_actionable{false};
+        std::uint64_t cursor{0};               ///< resume ordinal from a prior page
+        std::optional<std::size_t> limit;      ///< page size; 0 probes without items
+    };
+
+    /// One matched entry, copied out so the result outlives the lock.
+    struct item {
+        incident_log::entry entry;
+        std::uint64_t ordinal{0};  ///< append position in the log
+    };
+
+    struct query_result {
+        std::vector<item> items;
+        /// Ordinal to pass as `cursor` to continue the scan.
+        std::uint64_t next_cursor{0};
+        bool has_more{false};
+        /// Log size at query time (not the match count).
+        std::uint64_t total{0};
+        /// Barrier the answered snapshot corresponds to.
+        sim_time barrier_time{0};
+    };
+
+    /// Appends the reports closed by the barrier at `now` and publishes
+    /// `now` as the store's barrier time (also when `reports` is empty).
+    /// Exclusive lock: queries observe either none or all of them.
+    void append_closed(const std::vector<incident_report>& reports, sim_time now);
+
+    /// Rebuilds the id/type indexes from log() after an external restore
+    /// (crash recovery populates the log behind the store's back).
+    void reindex();
+
+    [[nodiscard]] query_result query(const query_params& params) const;
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::uint64_t out_of_order() const;
+    [[nodiscard]] sim_time barrier_time() const;
+
+    /// Every stored report in the global report_before ranking — the
+    /// same order the batch CLI prints, used to build /v1/report.
+    [[nodiscard]] std::vector<incident_report> ranked_reports() const;
+
+    /// The wrapped log, for recovery wiring (checkpoint snapshots point
+    /// at it). Not thread-safe: barrier/startup thread only, never while
+    /// listeners are serving.
+    [[nodiscard]] incident_log& log() noexcept { return log_; }
+
+private:
+    void index_entry(std::size_t ordinal);
+    [[nodiscard]] bool matches(const incident_log::entry& e, std::size_t ordinal,
+                               const query_params& params) const;
+
+    mutable std::shared_mutex mu_;
+    incident_log log_;
+    std::unordered_map<std::uint64_t, std::size_t> by_id_;
+    /// Per-entry sorted distinct structured-alert type names.
+    std::vector<std::vector<std::string>> types_;
+    sim_time barrier_{0};
+};
+
+}  // namespace skynet::serve

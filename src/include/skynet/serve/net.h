@@ -1,0 +1,89 @@
+// POSIX socket plumbing for the serve subsystem.
+//
+// Small, dependency-free wrappers shared by the daemon's two listeners
+// (streaming ingest + HTTP API) and the client helpers (CLI --connect,
+// tests, bench): address parsing, a blocking dial, bounded read/write,
+// and an accept-loop listener that handles one connection at a time on
+// its own thread. Addresses use an explicit scheme so drills can pick
+// collision-free unix sockets and production runs a TCP port:
+//   unix:/path/to.sock      stream socket in the filesystem namespace
+//   tcp:HOST:PORT           IPv4; PORT 0 binds an ephemeral port, the
+//                           resolved port is reported via bound()
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "skynet/common/error.h"
+
+namespace skynet::serve {
+
+/// A parsed listen/dial address (see the header comment for syntax).
+struct socket_addr {
+    bool is_unix{false};
+    std::string path;  ///< unix: filesystem path
+    std::string host;  ///< tcp: dotted quad or name (resolved at dial/bind)
+    std::uint16_t port{0};
+
+    /// Canonical "unix:..." / "tcp:host:port" rendering.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "unix:PATH" or "tcp:HOST:PORT"; nullopt on malformed input.
+[[nodiscard]] std::optional<socket_addr> parse_addr(std::string_view text);
+
+/// Blocking connect. Returns the connected fd, or -1 with the reason in
+/// `err`.
+[[nodiscard]] int dial(const socket_addr& addr, std::string& err);
+
+/// Writes all of `data` (retrying short writes); false on error.
+[[nodiscard]] bool write_all(int fd, std::string_view data);
+
+/// Reads until EOF or `max_bytes`, appending to `out`; false on a read
+/// error (EOF is success).
+[[nodiscard]] bool read_all(int fd, std::string& out, std::size_t max_bytes = 64u << 20);
+
+/// Reads whatever is available within `timeout_ms` (poll + one recv).
+/// Returns bytes read, 0 on timeout, -1 on EOF/error.
+[[nodiscard]] int read_some(int fd, char* buf, std::size_t cap, int timeout_ms);
+
+/// Accept loop on a dedicated thread. Connections are handled one at a
+/// time by the provided handler, which borrows the fd (the listener
+/// closes it afterwards). stop() closes the listen socket, wakes the
+/// loop, and joins the thread — an in-flight handler should watch its
+/// own stop flag so shutdown stays prompt.
+class listener {
+public:
+    listener() = default;
+    ~listener() { stop(); }
+
+    listener(const listener&) = delete;
+    listener& operator=(const listener&) = delete;
+
+    /// Binds `addr` (unlinking a stale unix socket path, resolving an
+    /// ephemeral tcp port) and starts accepting. Empty error = running.
+    [[nodiscard]] error start(const socket_addr& addr, std::function<void(int fd)> handler);
+
+    /// Idempotent: closes the listen socket and joins the accept thread.
+    void stop();
+
+    /// The bound address with the real port filled in (valid after a
+    /// successful start()).
+    [[nodiscard]] const socket_addr& bound() const noexcept { return bound_; }
+
+private:
+    void loop();
+
+    socket_addr bound_{};
+    std::function<void(int)> handler_;
+    int fd_{-1};
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+}  // namespace skynet::serve

@@ -1,0 +1,26 @@
+// The one report-listing renderer.
+//
+// The batch CLI's stdout listing and the daemon's GET /v1/report body
+// must never drift apart — the serve_drill parity check diffs them
+// byte for byte. Both call this instead of hand-rolling the loop.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "skynet/core/pipeline.h"
+
+namespace skynet::serve {
+
+struct report_listing_options {
+    bool json{false};      ///< digest JSON per incident instead of render()
+    bool timeline{false};  ///< prepend the ASCII timeline
+};
+
+/// "incidents: N\n\n" header, optional timeline, then one rendered
+/// incident per line group — exactly what the batch CLI prints after
+/// its run summary. `reports` must already be report_before-ranked.
+[[nodiscard]] std::string render_report_listing(std::span<const incident_report> reports,
+                                                const report_listing_options& options = {});
+
+}  // namespace skynet::serve

@@ -1,0 +1,92 @@
+// Streaming-ingest wire protocol.
+//
+// The daemon's ingest socket speaks the SKYNETJ1 journal stream format,
+// verbatim: the 8-byte magic, then framed records
+//   [u8 type][u32 payload_len LE][u32 crc32c(payload) LE][payload]
+// with the journal's batch/tick/finish record types and payload
+// encodings (see skynet/persist/journal.h). One format, two transports:
+// a recorded journal file can be streamed to a live daemon unchanged,
+// and a capture of the socket bytes is a replayable journal. After the
+// finish record the server answers a single status line —
+//   OK <records> <alerts>\n        every record applied
+//   ERR <reason>\n                 stream rejected (corrupt frame, ...)
+// — and closes the connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "skynet/persist/journal.h"
+#include "skynet/serve/net.h"
+
+namespace skynet::serve {
+
+/// Frames one wire/journal record (header + payload, no magic).
+[[nodiscard]] std::string frame_record(persist::record_type type, std::string_view payload);
+
+/// Incremental decoder for the wire byte stream: feed() arbitrary
+/// chunks, drain complete records with next(). The magic is consumed
+/// first; any framing violation (bad magic, unknown type, CRC mismatch,
+/// oversized payload) latches corrupt() with a reason — a TCP stream
+/// has no torn-tail ambiguity to tolerate, unlike a crashed journal.
+class wire_decoder {
+public:
+    /// Upper bound on a single payload; a length field beyond this is
+    /// treated as corruption rather than an allocation request.
+    static constexpr std::uint32_t max_payload_bytes = 64u << 20;
+
+    void feed(std::string_view bytes);
+
+    /// Next complete record, or nullopt when more bytes are needed (or
+    /// the stream is corrupt).
+    [[nodiscard]] std::optional<persist::journal_record> next();
+
+    [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+    [[nodiscard]] const std::string& corruption_reason() const noexcept { return reason_; }
+    [[nodiscard]] std::uint64_t records_decoded() const noexcept { return records_; }
+
+private:
+    void fail(std::string reason);
+
+    std::string buf_;
+    std::size_t pos_{0};
+    bool seen_magic_{false};
+    bool corrupt_{false};
+    std::string reason_;
+    std::uint64_t records_{0};
+};
+
+/// Outcome of one streaming-ingest session.
+struct stream_stats {
+    std::uint64_t records{0};  ///< wire records sent (batches + barriers)
+    std::uint64_t alerts{0};   ///< alerts inside the batch records
+    std::string status;        ///< server status line, trailing newline stripped
+    [[nodiscard]] bool ok() const noexcept { return status.starts_with("OK"); }
+};
+
+/// Streams a trace to a daemon's ingest socket with the batch CLI's
+/// replay cadence: alerts accumulate into a batch record until the next
+/// arrival is `tick_every` or more past the last barrier, a tick record
+/// follows at that arrival, and a finish record lands `finish_grace`
+/// after the last arrival. Identical batching to examples/skynet_cli's
+/// --replay path, so a daemon fed this stream reaches bit-identical
+/// reports. Returns nullopt with `err` set on transport failure.
+[[nodiscard]] std::optional<stream_stats> stream_trace(const socket_addr& addr,
+                                                       std::span<const traced_alert> alerts,
+                                                       sim_duration tick_every,
+                                                       sim_duration finish_grace,
+                                                       std::string& err);
+
+/// Streams pre-decoded journal records (e.g. read_journal() output) to
+/// a daemon's ingest socket, re-framing them unchanged. The stream must
+/// end with a finish record for the server to acknowledge; when
+/// `append_finish_if_missing` is set one is synthesized at the last
+/// barrier/arrival time plus `finish_grace`.
+[[nodiscard]] std::optional<stream_stats> stream_records(
+    const socket_addr& addr, std::span<const persist::journal_record> records,
+    bool append_finish_if_missing, sim_duration finish_grace, std::string& err);
+
+}  // namespace skynet::serve

@@ -13,7 +13,7 @@ namespace skynet::persist {
 
 namespace {
 
-constexpr std::size_t header_bytes = 1 + 4 + 4;  // type + len + crc
+constexpr std::size_t header_bytes = record_header_bytes;
 
 void put_u32(std::string& out, std::uint32_t v) {
     out.push_back(static_cast<char>(v & 0xFF));
@@ -38,18 +38,6 @@ void put_str(std::string& out, std::string_view s) {
     out += s;
 }
 
-std::string barrier_payload(sim_time now) {
-    std::string payload;
-    put_u64(payload, static_cast<std::uint64_t>(now));
-    return payload;
-}
-
-sim_time parse_barrier_payload(std::string_view payload) {
-    const std::uint64_t lo = get_u32(payload.data());
-    const std::uint64_t hi = get_u32(payload.data() + 4);
-    return static_cast<sim_time>(lo | (hi << 32));
-}
-
 // --- binary batch codec -------------------------------------------------------
 // Text formats cost too much on the hot ingest path (double formatting
 // alone blows the journal-overhead budget), so batches use a direct
@@ -68,7 +56,23 @@ void put_loc(std::string& out, const location& loc) {
     for (const std::string& seg : loc.segments()) put_str(out, seg);
 }
 
-void encode_batch(std::string& out, std::span<const traced_alert> batch) {
+}  // namespace
+
+std::string encode_barrier_payload(sim_time now) {
+    std::string payload;
+    put_u64(payload, static_cast<std::uint64_t>(now));
+    return payload;
+}
+
+bool decode_barrier_payload(std::string_view payload, sim_time& now) {
+    if (payload.size() != 8) return false;
+    const std::uint64_t lo = get_u32(payload.data());
+    const std::uint64_t hi = get_u32(payload.data() + 4);
+    now = static_cast<sim_time>(lo | (hi << 32));
+    return true;
+}
+
+void encode_batch_payload(std::string& out, std::span<const traced_alert> batch) {
     out.clear();
     out.reserve(4 + batch.size() * 96);
     put_u32(out, static_cast<std::uint32_t>(batch.size()));
@@ -93,6 +97,8 @@ void encode_batch(std::string& out, std::span<const traced_alert> batch) {
         if (a.dst_loc) put_loc(out, *a.dst_loc);
     }
 }
+
+namespace {
 
 /// Bounds-checked reader over a batch payload; any overrun flips `ok`.
 struct payload_cursor {
@@ -142,7 +148,9 @@ struct payload_cursor {
     }
 };
 
-bool parse_batch_payload(std::string_view payload, std::vector<traced_alert>& out) {
+}  // namespace
+
+bool decode_batch_payload(std::string_view payload, std::vector<traced_alert>& out) {
     payload_cursor c{.bytes = payload};
     const std::uint32_t count = c.u32();
     if (!c.ok || count > payload.size()) return false;  // count can't exceed bytes
@@ -167,8 +175,6 @@ bool parse_batch_payload(std::string_view payload, std::vector<traced_alert>& ou
     }
     return c.ok && c.pos == payload.size();
 }
-
-}  // namespace
 
 journal_writer::journal_writer(const std::string& path, std::size_t flush_every)
     : flush_every_(flush_every == 0 ? 1 : flush_every) {
@@ -209,7 +215,7 @@ void journal_writer::append(record_type type, std::string_view payload, bool for
 }
 
 void journal_writer::append_batch(std::span<const traced_alert> batch) {
-    encode_batch(payload_buf_, batch);
+    encode_batch_payload(payload_buf_, batch);
     append(record_type::batch, payload_buf_, /*force_flush=*/false);
 }
 
@@ -218,7 +224,7 @@ void journal_writer::append_barrier(record_type type, sim_time now) {
     // the durable session flushes explicitly where durability is load-
     // bearing (checkpoints, finish, crash drill). A finish barrier ends
     // the stream, so it flushes here.
-    append(type, barrier_payload(now), /*force_flush=*/type == record_type::finish);
+    append(type, encode_barrier_payload(now), /*force_flush=*/type == record_type::finish);
 }
 
 void journal_writer::flush() {
@@ -278,7 +284,7 @@ journal_read_result read_journal(const std::string& path, std::uint64_t from) {
         journal_record record;
         record.type = type;
         if (type == record_type::batch) {
-            if (!parse_batch_payload(payload, record.batch)) {
+            if (!decode_batch_payload(payload, record.batch)) {
                 // The CRC matched, so this is a writer/reader version
                 // mismatch, not a torn write — still cut here, the
                 // record cannot be replayed faithfully.
@@ -286,11 +292,10 @@ journal_read_result read_journal(const std::string& path, std::uint64_t from) {
                 break;
             }
         } else {
-            if (len != 8) {
+            if (!decode_barrier_payload(payload, record.now)) {
                 result.truncation_reason = "barrier payload size mismatch";
                 break;
             }
-            record.now = parse_barrier_payload(payload);
         }
         result.records.push_back(std::move(record));
         pos += header_bytes + len;

@@ -1,0 +1,313 @@
+#include "skynet/serve/engine_options.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "skynet/persist/durable.h"
+#include "skynet/serve/net.h"
+
+namespace skynet::serve {
+
+namespace {
+
+/// Strict unsigned parse (the old CLI's atoll accepted trailing junk
+/// silently; the unified parser reports it).
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_int(std::string_view text, int& out) {
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_double(std::string_view text, double& out) {
+    char* end = nullptr;
+    const std::string copy(text);
+    out = std::strtod(copy.c_str(), &end);
+    return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+void check_addr(std::vector<option_error>& errors, const char* flag, const std::string& text) {
+    if (text.empty()) return;
+    if (!parse_addr(text)) {
+        errors.push_back({flag, "expected unix:PATH or tcp:HOST:PORT, got '" + text + "'"});
+    }
+}
+
+}  // namespace
+
+overload::controller_config engine_options::overload_config() const {
+    overload::controller_config cfg;
+    cfg.admission.max_alerts = admission_budget;
+    cfg.breaker.enabled = breaker;
+    return cfg;
+}
+
+sharded_config engine_options::sharded(const std::string& parsed_overflow) const {
+    sharded_config cfg;
+    cfg.shards = static_cast<std::size_t>(shards);
+    const std::string& token = parsed_overflow.empty() ? overflow : parsed_overflow;
+    if (const auto policy = parse_overflow_policy(token)) cfg.overflow = *policy;
+    cfg.watchdog_deadline_ms = watchdog_deadline;
+    return cfg;
+}
+
+std::vector<option_error> engine_options::validate(run_mode mode) const {
+    std::vector<option_error> errors;
+    if (mode == run_mode::help) return errors;
+
+    // Blocks shared by batch and serve runs.
+    if (mode != run_mode::client) {
+        if (error e = pipeline.validate()) errors.push_back({"pipeline config", e.message()});
+        if (!parse_overflow_policy(overflow)) {
+            errors.push_back({"--overflow", "unknown policy '" + overflow + "'"});
+        }
+        try {
+            overload_config().validate();
+        } catch (const std::exception& e) {
+            errors.push_back({"--admission-budget/--breaker", e.what()});
+        }
+        if (shards < 0) errors.push_back({"--shards", "must be >= 0"});
+        if (checkpoint_every < 1) errors.push_back({"--checkpoint-every", "must be >= 1"});
+        if (duration_min < 1) errors.push_back({"--duration", "must be >= 1 minute"});
+        if (customers < 0) errors.push_back({"--customers", "must be >= 0"});
+        if (noise < 0.0 || noise > 1.0) errors.push_back({"--noise", "must be in [0, 1]"});
+        if (checkpoint_dir.empty()) {
+            if (recover) errors.push_back({"--recover", "requires --checkpoint-dir"});
+            if (crash_after > 0) {
+                errors.push_back({"--crash-after", "requires --checkpoint-dir"});
+            }
+        }
+        if (!topo_file.empty() && topo_preset != "small") {
+            errors.push_back({"--topo", "mutually exclusive with --topo-file"});
+        }
+    }
+
+    switch (mode) {
+        case run_mode::batch:
+            if (!checkpoint_dir.empty() && replay_file.empty() && !recover) {
+                errors.push_back({"--checkpoint-dir",
+                                  "requires --replay or --recover (the journal records "
+                                  "replayed traces; use --record to make one)"});
+            }
+            if (serve.enabled()) {
+                errors.push_back({"--serve/--http", "internal: serve options in batch mode"});
+            }
+            break;
+        case run_mode::serve: {
+            check_addr(errors, "--serve", serve.ingest_addr);
+            check_addr(errors, "--http", serve.http_addr);
+            // One-shot inputs make no sense for a long-running service;
+            // stream traces in through the ingest socket instead.
+            const std::pair<const char*, bool> rejected[] = {
+                {"--replay", !replay_file.empty()},   {"--record", !record_file.empty()},
+                {"--export-topo", !export_topo.empty()}, {"--faults", !faults_spec.empty()},
+                {"--crash-after", crash_after > 0},
+            };
+            for (const auto& [flag, set] : rejected) {
+                if (set) errors.push_back({flag, "not available with --serve/--http"});
+            }
+            break;
+        }
+        case run_mode::client: {
+            check_addr(errors, "--connect", client.connect);
+            const int actions = (client.get_path.empty() ? 0 : 1) +
+                                (client.post_path.empty() ? 0 : 1) +
+                                (client.stream_file.empty() ? 0 : 1);
+            if (actions != 1) {
+                errors.push_back({"--connect",
+                                  "needs exactly one of --get, --post, --stream-trace"});
+            }
+            if (!client.post_path.empty() && client.data_file.empty()) {
+                errors.push_back({"--post", "requires --data-file"});
+            }
+            if (client.post_path.empty() && !client.data_file.empty()) {
+                errors.push_back({"--data-file", "only meaningful with --post"});
+            }
+            break;
+        }
+        case run_mode::help:
+            break;
+    }
+    return errors;
+}
+
+cli_parse_result parse_cli(int argc, const char* const* argv) {
+    cli_parse_result result;
+    engine_options& opt = result.opts;
+    bool help = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                result.errors.push_back({std::string(arg), "missing value"});
+                return "";
+            }
+            return argv[++i];
+        };
+        const auto int_value = [&](int& out) {
+            const std::string_view text = value();
+            if (!text.empty() && !parse_int(text, out)) {
+                result.errors.push_back(
+                    {std::string(arg), "expected an integer, got '" + std::string(text) + "'"});
+            }
+        };
+        const auto u64_value = [&](std::uint64_t& out) {
+            const std::string_view text = value();
+            if (!text.empty() && !parse_u64(text, out)) {
+                result.errors.push_back(
+                    {std::string(arg),
+                     "expected a non-negative integer, got '" + std::string(text) + "'"});
+            }
+        };
+        if (arg == "--topo") {
+            opt.topo_preset = value();
+        } else if (arg == "--topo-file") {
+            opt.topo_file = value();
+        } else if (arg == "--export-topo") {
+            opt.export_topo = value();
+        } else if (arg == "--scenario") {
+            opt.scenario_name = value();
+        } else if (arg == "--minor") {
+            opt.severe = false;
+        } else if (arg == "--duration") {
+            int_value(opt.duration_min);
+        } else if (arg == "--customers") {
+            int_value(opt.customers);
+        } else if (arg == "--noise") {
+            const std::string_view text = value();
+            if (!text.empty() && !parse_double(text, opt.noise)) {
+                result.errors.push_back(
+                    {"--noise", "expected a number, got '" + std::string(text) + "'"});
+            }
+        } else if (arg == "--seed") {
+            u64_value(opt.seed);
+        } else if (arg == "--extended") {
+            opt.extended = true;
+        } else if (arg == "--shards") {
+            int_value(opt.shards);
+        } else if (arg == "--metrics") {
+            opt.metrics = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--timeline") {
+            opt.timeline = true;
+        } else if (arg == "--record") {
+            opt.record_file = value();
+        } else if (arg == "--replay") {
+            opt.replay_file = value();
+        } else if (arg == "--faults") {
+            opt.faults_spec = value();
+        } else if (arg == "--overflow") {
+            opt.overflow = value();
+        } else if (arg == "--checkpoint-dir") {
+            opt.checkpoint_dir = value();
+        } else if (arg == "--checkpoint-every") {
+            int_value(opt.checkpoint_every);
+        } else if (arg == "--recover") {
+            opt.recover = true;
+        } else if (arg == "--crash-after") {
+            u64_value(opt.crash_after);
+        } else if (arg == "--admission-budget") {
+            u64_value(opt.admission_budget);
+        } else if (arg == "--breaker") {
+            opt.breaker = true;
+        } else if (arg == "--watchdog-deadline") {
+            u64_value(opt.watchdog_deadline);
+        } else if (arg == "--health-json") {
+            opt.health_json = value();
+        } else if (arg == "--serve") {
+            opt.serve.ingest_addr = value();
+        } else if (arg == "--http") {
+            opt.serve.http_addr = value();
+        } else if (arg == "--connect") {
+            opt.client.connect = value();
+        } else if (arg == "--get") {
+            opt.client.get_path = value();
+        } else if (arg == "--post") {
+            opt.client.post_path = value();
+        } else if (arg == "--data-file") {
+            opt.client.data_file = value();
+        } else if (arg == "--stream-trace") {
+            opt.client.stream_file = value();
+        } else if (arg == "--help" || arg == "-h") {
+            help = true;
+        } else {
+            result.errors.push_back({std::string(arg), "unknown option"});
+        }
+    }
+    result.mode = help                      ? run_mode::help
+                  : opt.client.enabled()    ? run_mode::client
+                  : opt.serve.enabled()     ? run_mode::serve
+                                            : run_mode::batch;
+    return result;
+}
+
+std::string cli_usage() {
+    std::string out =
+        "usage: skynet_cli [options]\n"
+        "  --topo tiny|small|medium|large   topology preset (default small)\n"
+        "  --topo-file FILE                 import topology from the text format\n"
+        "  --export-topo FILE               write the topology and exit\n"
+        "  --scenario NAME                  random|hardware|link|modification|software|\n"
+        "                                   infrastructure|route|ddos|config|cable-cut\n"
+        "  --minor                          inject the minor variant (default severe)\n"
+        "  --duration MIN                   failure duration in minutes (default 5)\n"
+        "  --customers N                    synthetic customers (default 400)\n"
+        "  --noise R                        monitor glitch rate (default 0.02)\n"
+        "  --seed N                         simulation seed (default 1)\n"
+        "  --extended                       also run the user-telemetry/SRTE sources\n"
+        "  --shards N                       run the region-sharded engine with N workers\n"
+        "  --metrics                        print per-stage engine metrics\n"
+        "  --json                           print incidents as JSON digests\n"
+        "  --timeline                       print an ASCII incident timeline\n"
+        "  --record FILE                    save the raw alert trace\n"
+        "  --replay FILE                    replay a recorded trace (skips the simulator)\n"
+        "  --faults SPEC                    degrade the ingest stream deterministically, e.g.\n"
+        "                                   'seed=3;dropout=0.2;dup=0.05;reorder=0.1;skew=5s;\n"
+        "                                   skew_rate=0.3;corrupt=0.02;drop:ping@60s+120s;\n"
+        "                                   pressure=0.5' (see DESIGN.md fault model)\n"
+        "  --overflow block|drop_oldest|reject\n"
+        "                                   shard-queue policy when full (default block)\n"
+        "  --checkpoint-dir DIR             journal every batch/tick and write\n"
+        "                                   barrier-consistent checkpoints into DIR\n"
+        "  --checkpoint-every N             barriers between checkpoints (default 8)\n"
+        "  --recover                        restore from --checkpoint-dir (newest valid\n"
+        "                                   snapshot + journal replay) before streaming\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  --crash-after N                  crash drill: exit %d after the Nth journal\n"
+                  "                                   record is durable, before it is applied\n",
+                  persist::crash_exit_code);
+    out += buf;
+    out +=
+        "  --admission-budget N             overload guard: admit at most N alerts per\n"
+        "                                   tick window, shedding duplicates/other first\n"
+        "  --breaker                        per-source circuit breakers (quarantine a\n"
+        "                                   source emitting sustained garbage)\n"
+        "  --watchdog-deadline MS           sharded only: write off / recover a shard\n"
+        "                                   making no progress for MS wall-clock ms\n"
+        "                                   (defaults to 250 when --faults has stalls)\n"
+        "  --health-json FILE               write the merged engine health report as\n"
+        "                                   JSON at every tick barrier (atomic rename;\n"
+        "                                   same schema as GET /v1/health)\n"
+        "daemon mode:\n"
+        "  --serve ADDR                     run as a daemon: streaming alert ingest on\n"
+        "                                   ADDR (unix:PATH or tcp:HOST:PORT; the wire\n"
+        "                                   format is the SKYNETJ1 journal stream)\n"
+        "  --http ADDR                      JSON API: GET /v1/health /v1/report\n"
+        "                                   /v1/incidents, POST /v1/ingest\n"
+        "                                   (tcp:HOST:0 picks a free port, printed)\n"
+        "client mode:\n"
+        "  --connect ADDR                   talk to a daemon instead of running one\n"
+        "  --get PATH                       HTTP GET (e.g. '/v1/incidents?loc=Region A')\n"
+        "  --post PATH --data-file FILE     HTTP POST the file body\n"
+        "  --stream-trace FILE              stream a recorded trace into --connect's\n"
+        "                                   ingest socket with replay batching\n";
+    return out;
+}
+
+}  // namespace skynet::serve

@@ -1,0 +1,221 @@
+#include "skynet/serve/http.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace skynet::serve {
+
+namespace {
+
+const char* status_text(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 202: return "Accepted";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 413: return "Payload Too Large";
+        case 503: return "Service Unavailable";
+        default: return status >= 500 ? "Internal Server Error" : "Unknown";
+    }
+}
+
+std::string render_reply(const http_reply& reply) {
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  reply.status, status_text(reply.status), reply.content_type.c_str(),
+                  reply.body.size());
+    return head + reply.body;
+}
+
+/// Case-insensitive header lookup in a raw head block; empty when absent.
+std::string_view header_value(std::string_view head, std::string_view name) {
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string_view::npos) eol = head.size();
+        const std::string_view line = head.substr(pos, eol - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos && colon == name.size()) {
+            bool match = true;
+            for (std::size_t i = 0; i < name.size(); ++i) {
+                if (std::tolower(static_cast<unsigned char>(line[i])) !=
+                    std::tolower(static_cast<unsigned char>(name[i]))) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                std::string_view value = line.substr(colon + 1);
+                while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+                return value;
+            }
+        }
+        pos = eol + 2;
+    }
+    return {};
+}
+
+}  // namespace
+
+const std::string* http_request::param(std::string_view key) const {
+    const std::string* found = nullptr;
+    for (const auto& [k, v] : params) {
+        if (k == key) found = &v;
+    }
+    return found;
+}
+
+std::string url_decode(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '+') {
+            out.push_back(' ');
+        } else if (c == '%' && i + 2 < text.size() &&
+                   std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+                   std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+            unsigned value = 0;
+            std::from_chars(text.data() + i + 1, text.data() + i + 3, value, 16);
+            out.push_back(static_cast<char>(value));
+            i += 2;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+http_request parse_target(std::string_view method, std::string_view target) {
+    http_request req;
+    req.method = std::string(method);
+    const std::size_t qmark = target.find('?');
+    req.path = url_decode(target.substr(0, qmark));
+    if (qmark == std::string_view::npos) return req;
+    std::string_view query = target.substr(qmark + 1);
+    while (!query.empty()) {
+        std::size_t amp = query.find('&');
+        const std::string_view pair = query.substr(0, amp);
+        const std::size_t eq = pair.find('=');
+        if (!pair.empty()) {
+            req.params.emplace_back(
+                url_decode(pair.substr(0, eq)),
+                eq == std::string_view::npos ? std::string() : url_decode(pair.substr(eq + 1)));
+        }
+        if (amp == std::string_view::npos) break;
+        query.remove_prefix(amp + 1);
+    }
+    return req;
+}
+
+error http_server::start(const socket_addr& addr, http_handler handler) {
+    handler_ = std::move(handler);
+    return listener_.start(addr, [this](int fd) { handle(fd); });
+}
+
+void http_server::handle(int fd) {
+    std::string data;
+    char buf[16384];
+    std::size_t head_end = std::string::npos;
+    // Read the head (bounded), then the declared body.
+    while (head_end == std::string::npos && data.size() < max_head_bytes) {
+        const int n = read_some(fd, buf, sizeof buf, 5000);
+        if (n < 0) return;  // client went away
+        if (n == 0) return;  // idle connection; drop it
+        data.append(buf, static_cast<std::size_t>(n));
+        head_end = data.find("\r\n\r\n");
+    }
+    if (head_end == std::string::npos) {
+        (void)write_all(fd, render_reply({400, "application/json",
+                                          "{\"error\":\"request head too large\"}"}));
+        return;
+    }
+    const std::string_view head = std::string_view(data).substr(0, head_end);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view request_line = head.substr(0, line_end);
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? std::string_view::npos : request_line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) {
+        (void)write_all(
+            fd, render_reply({400, "application/json", "{\"error\":\"malformed request\"}"}));
+        return;
+    }
+    std::size_t body_len = 0;
+    const std::string_view cl = header_value(head.substr(line_end + 2), "Content-Length");
+    if (!cl.empty()) {
+        const auto [ptr, ec] = std::from_chars(cl.data(), cl.data() + cl.size(), body_len);
+        if (ec != std::errc{} || ptr != cl.data() + cl.size() || body_len > max_body_bytes) {
+            (void)write_all(fd, render_reply({413, "application/json",
+                                              "{\"error\":\"body too large\"}"}));
+            return;
+        }
+    }
+    const std::size_t body_start = head_end + 4;
+    while (data.size() < body_start + body_len) {
+        const int n = read_some(fd, buf, sizeof buf, 5000);
+        if (n <= 0) return;
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+
+    http_request req =
+        parse_target(request_line.substr(0, sp1), request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    req.body = data.substr(body_start, body_len);
+    http_reply reply;
+    try {
+        reply = handler_(req);
+    } catch (const std::exception& e) {
+        reply = {500, "application/json",
+                 std::string("{\"error\":\"") + e.what() + "\"}"};
+    }
+    (void)write_all(fd, render_reply(reply));
+}
+
+bool http_call(const socket_addr& addr, std::string_view method,
+               std::string_view path_and_query, std::string_view body, http_response& out,
+               std::string& err) {
+    const int fd = dial(addr, err);
+    if (fd < 0) return false;
+    std::string request;
+    request.reserve(path_and_query.size() + body.size() + 128);
+    request += method;
+    request += ' ';
+    request += path_and_query;
+    request += " HTTP/1.1\r\nHost: skynet\r\nConnection: close\r\n";
+    if (!body.empty() || method == "POST") {
+        request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    request += "\r\n";
+    request += body;
+    if (!write_all(fd, request)) {
+        err = "short write to " + addr.to_string();
+        ::close(fd);
+        return false;
+    }
+    std::string reply;
+    const bool read_ok = read_all(fd, reply);
+    ::close(fd);
+    if (!read_ok) {
+        err = "read from " + addr.to_string() + " failed";
+        return false;
+    }
+    const std::size_t head_end = reply.find("\r\n\r\n");
+    if (head_end == std::string::npos || reply.size() < 12 ||
+        reply.compare(0, 5, "HTTP/") != 0) {
+        err = "malformed HTTP response";
+        return false;
+    }
+    const std::size_t sp = reply.find(' ');
+    out.status = std::atoi(reply.c_str() + sp + 1);
+    out.body = reply.substr(head_end + 4);
+    return true;
+}
+
+}  // namespace skynet::serve

@@ -1,0 +1,135 @@
+#include "skynet/serve/incident_store.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+namespace skynet::serve {
+
+void incident_store::index_entry(std::size_t ordinal) {
+    const incident_log::entry& e = log_.entries()[ordinal];
+    by_id_.emplace(e.report.inc.id, ordinal);  // first close of an id wins
+    std::vector<std::string> names;
+    names.reserve(e.report.inc.alerts.size());
+    for (const structured_alert& a : e.report.inc.alerts) names.push_back(a.type_name);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    types_.push_back(std::move(names));
+}
+
+void incident_store::append_closed(const std::vector<incident_report>& reports, sim_time now) {
+    std::unique_lock lock(mu_);
+    for (const incident_report& r : reports) {
+        log_.append(r, now);
+        index_entry(log_.size() - 1);
+    }
+    barrier_ = now;
+}
+
+void incident_store::reindex() {
+    std::unique_lock lock(mu_);
+    by_id_.clear();
+    types_.clear();
+    for (std::size_t i = 0; i < log_.size(); ++i) index_entry(i);
+    for (const incident_log::entry& e : log_.entries()) {
+        barrier_ = std::max(barrier_, e.closed_at);
+    }
+}
+
+bool incident_store::matches(const incident_log::entry& e, std::size_t ordinal,
+                             const query_params& params) const {
+    const incident_report& r = e.report;
+    if (params.id && r.inc.id != *params.id) return false;
+    if (params.from && r.inc.when.end < *params.from) return false;
+    if (params.to && r.inc.when.begin > *params.to) return false;
+    if (!params.scope.is_root() && !params.scope.contains(r.inc.root)) return false;
+    if (r.severity.score < params.min_score) return false;
+    if (params.only_actionable && !r.actionable) return false;
+    if (!params.type.empty() &&
+        !std::binary_search(types_[ordinal].begin(), types_[ordinal].end(), params.type)) {
+        return false;
+    }
+    return true;
+}
+
+incident_store::query_result incident_store::query(const query_params& params) const {
+    std::shared_lock lock(mu_);
+    query_result result;
+    result.total = log_.size();
+    result.barrier_time = barrier_;
+
+    const std::size_t limit =
+        std::min(params.limit.value_or(default_page_limit), max_page_limit);
+
+    // Reversed bounds can never match; report "scan finished" so a
+    // paginating client stops instead of spinning on the same cursor.
+    if (params.from && params.to && *params.from > *params.to) {
+        result.next_cursor = log_.size();
+        return result;
+    }
+
+    std::size_t start = static_cast<std::size_t>(
+        std::min<std::uint64_t>(params.cursor, log_.size()));
+    if (params.id) {
+        // Id lookups skip the scan entirely.
+        const auto it = by_id_.find(*params.id);
+        if (it != by_id_.end() && it->second >= start) {
+            const incident_log::entry& e = log_.entries()[it->second];
+            if (matches(e, it->second, params) && limit > 0) {
+                result.items.push_back(item{e, it->second});
+            }
+        }
+        result.next_cursor = log_.size();
+        return result;
+    }
+    if (params.from) {
+        // Entries closing before `from` cannot overlap [from, to]; under
+        // the close-order invariant the scan starts past all of them.
+        start = std::max(start, log_.first_closed_at_or_after(*params.from));
+    }
+
+    std::size_t scanned_to = start;
+    for (std::size_t i = start; i < log_.size(); ++i) {
+        const incident_log::entry& e = log_.entries()[i];
+        if (!matches(e, i, params)) {
+            scanned_to = i + 1;
+            continue;
+        }
+        if (result.items.size() >= limit) {
+            // Page full (or limit=0 probe): the match at `i` is not
+            // consumed — the cursor stays before it.
+            result.has_more = true;
+            break;
+        }
+        result.items.push_back(item{e, i});
+        scanned_to = i + 1;
+    }
+    result.next_cursor = scanned_to;
+    return result;
+}
+
+std::size_t incident_store::size() const {
+    std::shared_lock lock(mu_);
+    return log_.size();
+}
+
+std::uint64_t incident_store::out_of_order() const {
+    std::shared_lock lock(mu_);
+    return log_.out_of_order_appends();
+}
+
+sim_time incident_store::barrier_time() const {
+    std::shared_lock lock(mu_);
+    return barrier_;
+}
+
+std::vector<incident_report> incident_store::ranked_reports() const {
+    std::shared_lock lock(mu_);
+    std::vector<incident_report> reports;
+    reports.reserve(log_.size());
+    for (const incident_log::entry& e : log_.entries()) reports.push_back(e.report);
+    std::stable_sort(reports.begin(), reports.end(), report_before);
+    return reports;
+}
+
+}  // namespace skynet::serve

@@ -1,0 +1,191 @@
+#include "skynet/serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace skynet::serve {
+
+namespace {
+
+/// Builds the sockaddr for `addr`; returns the usable length, 0 on a
+/// path/host that does not fit or parse.
+socklen_t fill_sockaddr(const socket_addr& addr, sockaddr_storage& out) {
+    std::memset(&out, 0, sizeof out);
+    if (addr.is_unix) {
+        auto* sun = reinterpret_cast<sockaddr_un*>(&out);
+        if (addr.path.size() + 1 > sizeof sun->sun_path) return 0;
+        sun->sun_family = AF_UNIX;
+        std::memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+        return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + addr.path.size() + 1);
+    }
+    auto* sin = reinterpret_cast<sockaddr_in*>(&out);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(addr.port);
+    const std::string host = addr.host.empty() ? "127.0.0.1" : addr.host;
+    if (host == "localhost") {
+        sin->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else if (host == "0.0.0.0" || host == "*") {
+        sin->sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+        return 0;  // keep it resolver-free: dotted quads only
+    }
+    return sizeof(sockaddr_in);
+}
+
+std::string errno_text(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string socket_addr::to_string() const {
+    if (is_unix) return "unix:" + path;
+    return "tcp:" + (host.empty() ? std::string("127.0.0.1") : host) + ":" +
+           std::to_string(port);
+}
+
+std::optional<socket_addr> parse_addr(std::string_view text) {
+    socket_addr addr;
+    if (text.starts_with("unix:")) {
+        addr.is_unix = true;
+        addr.path = std::string(text.substr(5));
+        if (addr.path.empty()) return std::nullopt;
+        return addr;
+    }
+    if (!text.starts_with("tcp:")) return std::nullopt;
+    const std::string_view rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon + 1 == rest.size()) return std::nullopt;
+    addr.host = std::string(rest.substr(0, colon));
+    const std::string_view port_text = rest.substr(colon + 1);
+    unsigned port = 0;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() || port > 65535) {
+        return std::nullopt;
+    }
+    addr.port = static_cast<std::uint16_t>(port);
+    return addr;
+}
+
+int dial(const socket_addr& addr, std::string& err) {
+    sockaddr_storage storage;
+    const socklen_t len = fill_sockaddr(addr, storage);
+    if (len == 0) {
+        err = "unusable address: " + addr.to_string();
+        return -1;
+    }
+    const int fd = ::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = errno_text("socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len) != 0) {
+        err = errno_text("connect") + " (" + addr.to_string() + ")";
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool write_all(int fd, std::string_view data) {
+    while (!data.empty()) {
+        const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool read_all(int fd, std::string& out, std::size_t max_bytes) {
+    char buf[16384];
+    while (out.size() < max_bytes) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n == 0) return true;
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+int read_some(int fd, char* buf, std::size_t cap, int timeout_ms) {
+    pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return 0;
+    if (ready < 0) return errno == EINTR ? 0 : -1;
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    if (n == 0) return -1;  // orderly EOF
+    return static_cast<int>(n);
+}
+
+error listener::start(const socket_addr& addr, std::function<void(int)> handler) {
+    sockaddr_storage storage;
+    socklen_t len = fill_sockaddr(addr, storage);
+    if (len == 0) return error{"listen: unusable address: " + addr.to_string()};
+    fd_ = ::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return error{errno_text("socket")};
+    if (addr.is_unix) {
+        ::unlink(addr.path.c_str());  // stale socket from a crashed run
+    } else {
+        const int one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    }
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&storage), len) != 0 ||
+        ::listen(fd_, 16) != 0) {
+        const error bound_err{errno_text("bind/listen") + " (" + addr.to_string() + ")"};
+        ::close(fd_);
+        fd_ = -1;
+        return bound_err;
+    }
+    bound_ = addr;
+    if (!addr.is_unix) {
+        sockaddr_in resolved{};
+        socklen_t rlen = sizeof resolved;
+        if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&resolved), &rlen) == 0) {
+            bound_.port = ntohs(resolved.sin_port);
+        }
+    }
+    handler_ = std::move(handler);
+    stopping_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { loop(); });
+    return {};
+}
+
+void listener::loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0) continue;
+        const int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn < 0) continue;
+        handler_(conn);
+        ::close(conn);
+    }
+}
+
+void listener::stop() {
+    if (fd_ < 0) return;
+    stopping_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    ::close(fd_);
+    fd_ = -1;
+    if (bound_.is_unix) ::unlink(bound_.path.c_str());
+}
+
+}  // namespace skynet::serve

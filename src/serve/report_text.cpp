@@ -1,0 +1,27 @@
+#include "skynet/serve/report_text.h"
+
+#include <cstdio>
+
+#include "skynet/core/digest.h"
+#include "skynet/viz/timeline.h"
+
+namespace skynet::serve {
+
+std::string render_report_listing(std::span<const incident_report> reports,
+                                  const report_listing_options& options) {
+    std::string out;
+    char head[64];
+    std::snprintf(head, sizeof head, "incidents: %zu\n\n", reports.size());
+    out += head;
+    if (options.timeline && !reports.empty()) {
+        out += render_timeline(std::vector<incident_report>(reports.begin(), reports.end()));
+        out += "\n";
+    }
+    for (const incident_report& r : reports) {
+        out += options.json ? incident_digest_json(r) : r.render();
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace skynet::serve

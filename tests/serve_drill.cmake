@@ -1,0 +1,141 @@
+# Serve drill (registered in tests/CMakeLists.txt). End-to-end over real
+# process boundaries: a daemon is started on unix sockets with
+# durability on, a recorded alert flood is streamed into it with the
+# CLI client, the HTTP API is queried while it runs, and SIGTERM must
+# produce a clean drain + checkpoint. A second daemon then recovers from
+# that checkpoint and must serve the same report. Throughout, the
+# daemon's report listing must stay byte-identical to the batch CLI
+# replay of the same trace.
+# Expects -DSKYNET_CLI=<path> and -DDRILL_DIR=<scratch dir>.
+file(REMOVE_RECURSE "${DRILL_DIR}")
+file(MAKE_DIRECTORY "${DRILL_DIR}")
+
+function(run_cli out_var expect_code)
+  execute_process(COMMAND ${SKYNET_CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL expect_code)
+    message(FATAL_ERROR "skynet_cli ${ARGN}: exit ${code} (wanted ${expect_code})\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Unix socket paths must stay short (sun_path is ~108 bytes), so the
+# sockets live in /tmp keyed by this process's unique scratch dir name.
+string(MD5 drill_key "${DRILL_DIR}")
+string(SUBSTRING "${drill_key}" 0 8 drill_key)
+set(ingest_sock "/tmp/skynet_drill_${drill_key}_in.sock")
+set(http_sock "/tmp/skynet_drill_${drill_key}_api.sock")
+set(ckpt_dir "${DRILL_DIR}/ckpt")
+set(health_file "${DRILL_DIR}/health.json")
+set(serve_log "${DRILL_DIR}/serve.log")
+
+function(stop_daemon pid)
+  execute_process(COMMAND kill -TERM ${pid} RESULT_VARIABLE ignored)
+  foreach(i RANGE 50)
+    execute_process(COMMAND kill -0 ${pid} RESULT_VARIABLE alive
+                    ERROR_QUIET OUTPUT_QUIET)
+    if(NOT alive EQUAL 0)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  execute_process(COMMAND kill -KILL ${pid})
+  message(FATAL_ERROR "daemon ${pid} did not exit within 10s of SIGTERM")
+endfunction()
+
+function(start_daemon pid_var)
+  execute_process(COMMAND sh -c "${SKYNET_CLI} --topo tiny --seed 5 \
+      --serve unix:${ingest_sock} --http unix:${http_sock} \
+      --checkpoint-dir '${ckpt_dir}' --health-json '${health_file}' ${ARGN} \
+      > '${serve_log}' 2>&1 & echo $!"
+                  OUTPUT_VARIABLE pid OUTPUT_STRIP_TRAILING_WHITESPACE
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "failed to launch daemon")
+  endif()
+  # Wait until the API answers.
+  foreach(i RANGE 50)
+    execute_process(COMMAND ${SKYNET_CLI} --connect unix:${http_sock} --get /v1/health
+                    RESULT_VARIABLE up OUTPUT_QUIET ERROR_QUIET)
+    if(up EQUAL 0)
+      set(${pid_var} ${pid} PARENT_SCOPE)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  execute_process(COMMAND kill -KILL ${pid} ERROR_QUIET OUTPUT_QUIET)
+  file(READ "${serve_log}" log_text)
+  message(FATAL_ERROR "daemon never answered /v1/health:\n${log_text}")
+endfunction()
+
+function(extract_reports text out_var)
+  string(FIND "${text}" "incidents:" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "no report section in:\n${text}")
+  endif()
+  string(SUBSTRING "${text}" ${at} -1 section)
+  set(${out_var} "${section}" PARENT_SCOPE)
+endfunction()
+
+# 1. Record a flood and take the batch CLI's replay as ground truth.
+set(trace "${DRILL_DIR}/trace.txt")
+run_cli(record_out 0 --topo tiny --seed 5 --record ${trace})
+run_cli(batch_out 0 --topo tiny --seed 5 --replay ${trace} --json)
+extract_reports("${batch_out}" batch_reports)
+
+# 2. Start the daemon, stream the same trace into it.
+start_daemon(daemon_pid)
+run_cli(stream_out 0 --connect unix:${ingest_sock} --stream-trace ${trace})
+if(NOT stream_out MATCHES "streamed [0-9]+ records .*: OK")
+  message(FATAL_ERROR "stream client did not report a clean OK:\n${stream_out}")
+endif()
+
+# 3. The live API must agree with the batch run, byte for byte.
+run_cli(daemon_reports 0 --connect unix:${http_sock} --get /v1/report?json=1)
+if(NOT batch_reports STREQUAL daemon_reports)
+  message(FATAL_ERROR "daemon report differs from the batch replay:\n"
+                      "--- batch\n${batch_reports}\n--- daemon\n${daemon_reports}")
+endif()
+
+# 4. One canonical health schema: GET /v1/health and the --health-json
+# file must be byte-identical (same published snapshot).
+run_cli(health_api 0 --connect unix:${http_sock} --get /v1/health)
+file(READ "${health_file}" health_disk)
+if(NOT health_api STREQUAL health_disk)
+  message(FATAL_ERROR "GET /v1/health and --health-json diverge:\n"
+                      "--- api\n${health_api}\n--- file\n${health_disk}")
+endif()
+if(NOT health_api MATCHES "\"alerts_in\":[1-9]")
+  message(FATAL_ERROR "health report shows no ingested alerts:\n${health_api}")
+endif()
+
+# 5. Windowed queries answer while the daemon runs.
+run_cli(page 0 --connect unix:${http_sock} --get /v1/incidents?limit=1)
+if(NOT page MATCHES "\"total\":[1-9]")
+  message(FATAL_ERROR "incident query returned no incidents:\n${page}")
+endif()
+
+# 6. SIGTERM: drain, checkpoint, exit 0.
+stop_daemon(${daemon_pid})
+file(READ "${serve_log}" log_text)
+if(NOT log_text MATCHES "serve: shutdown clean")
+  message(FATAL_ERROR "daemon did not log a clean shutdown:\n${log_text}")
+endif()
+file(GLOB snapshots "${ckpt_dir}/*.skysnap")
+if(snapshots STREQUAL "")
+  message(FATAL_ERROR "shutdown left no checkpoint snapshot in ${ckpt_dir}")
+endif()
+
+# 7. A recovered daemon serves the same incidents without re-streaming.
+start_daemon(recovered_pid --recover)
+run_cli(recovered_reports 0 --connect unix:${http_sock} --get /v1/report?json=1)
+stop_daemon(${recovered_pid})
+if(NOT batch_reports STREQUAL recovered_reports)
+  message(FATAL_ERROR "recovered daemon report differs from the batch replay:\n"
+                      "--- batch\n${batch_reports}\n--- recovered\n${recovered_reports}")
+endif()
+
+file(REMOVE "${ingest_sock}" "${http_sock}")
+message(STATUS "serve drill passed: parity, health schema, clean shutdown, recovery")

@@ -163,6 +163,56 @@ TEST(IncidentLogTest, CloseBeforeWindowEndAlsoDowngrades) {
     EXPECT_EQ(hits[0]->report.inc.id, 1u);
 }
 
+TEST(IncidentLogTest, OutOfOrderCounterTracksTheComplexityDowngrade) {
+    // The binary-search/linear boundary: in-order appends keep
+    // fast_query() and the counter at zero; the first invariant-breaking
+    // append flips the mode and every further violation is counted, so
+    // the silent complexity-class change is observable in metrics.
+    incident_log log;
+    for (int i = 0; i < 8; ++i) {
+        const sim_time begin = minutes(10 * i);
+        log.append(report(static_cast<std::uint64_t>(i + 1), location{"R1"},
+                          {begin, begin + minutes(5)}, 1.0, false),
+                   begin + minutes(6));
+    }
+    EXPECT_TRUE(log.fast_query());
+    EXPECT_EQ(log.out_of_order_appends(), 0u);
+    EXPECT_EQ(log.first_closed_at_or_after(minutes(26)), 2u);
+
+    // Exactly at the boundary: closing at the same instant as the
+    // previous entry (ties allowed) keeps the invariant...
+    log.append(report(100, location{"R1"}, {minutes(70), minutes(75)}, 1.0, false),
+               minutes(76));
+    EXPECT_TRUE(log.fast_query());
+    EXPECT_EQ(log.out_of_order_appends(), 0u);
+
+    // ...one millisecond earlier than the predecessor breaks it.
+    log.append(report(101, location{"R1"}, {minutes(60), minutes(70)}, 1.0, false),
+               minutes(76) - 1);
+    EXPECT_FALSE(log.fast_query());
+    EXPECT_EQ(log.out_of_order_appends(), 1u);
+    // The binary-search start is disabled — callers must scan from 0.
+    EXPECT_EQ(log.first_closed_at_or_after(minutes(26)), 0u);
+
+    // Further violations keep counting; queries stay correct throughout.
+    log.append(report(102, location{"R1"}, {minutes(1), minutes(2)}, 1.0, false), minutes(3));
+    EXPECT_EQ(log.out_of_order_appends(), 2u);
+    incident_log::query_filter f;
+    f.window = time_range{0, minutes(30)};
+    EXPECT_EQ(log.query(f), brute_query(log, f));
+
+    // restore() re-derives both the invariant and the counter.
+    incident_log clean;
+    clean.restore(std::vector<incident_log::entry>(log.entries().begin(),
+                                                   log.entries().begin() + 8));
+    EXPECT_TRUE(clean.fast_query());
+    EXPECT_EQ(clean.out_of_order_appends(), 0u);
+    incident_log dirty;
+    dirty.restore(std::vector<incident_log::entry>(log.entries()));
+    EXPECT_FALSE(dirty.fast_query());
+    EXPECT_EQ(dirty.out_of_order_appends(), 2u);
+}
+
 TEST(IncidentLogTest, RestoreRederivesTheFastQueryInvariant) {
     incident_log ordered = sample_log();
     incident_log copy;
