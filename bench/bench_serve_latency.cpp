@@ -16,7 +16,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -130,19 +129,18 @@ int main(int argc, char** argv) {
     std::printf("serve latency under active 4-shard ingest (%zu alerts/pass, %d samples)\n",
                 flood.size(), kSamplesPerEndpoint);
     std::printf("%-10s %10s %10s %10s\n", "endpoint", "p50_us", "p99_us", "max_us");
-    std::string json = "{\n  \"samples_per_endpoint\": " +
-                       std::to_string(kSamplesPerEndpoint) + ",\n  \"shards\": 4,\n";
-    for (std::size_t i = 0; i < std::size(endpoints); ++i) {
-        endpoint_stats& ep = endpoints[i];
+    bench::bench_json doc("serve_latency");
+    doc.field("samples_per_endpoint", std::uint64_t{kSamplesPerEndpoint});
+    doc.field("shards", std::uint64_t{4});
+    for (endpoint_stats& ep : endpoints) {
         const double p50 = percentile(ep.micros, 0.50);
         const double p99 = percentile(ep.micros, 0.99);
         const double mx = ep.micros.empty() ? 0.0 : ep.micros.back();
         std::printf("%-10s %10.1f %10.1f %10.1f\n", ep.name, p50, p99, mx);
         char buf[160];
         std::snprintf(buf, sizeof buf,
-                      "  \"%s\": {\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f}%s\n",
-                      ep.name, p50, p99, mx, i + 1 < std::size(endpoints) ? "," : "");
-        json += buf;
+                      "{\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f}", p50, p99, mx);
+        doc.raw(ep.name, buf);
         // Reads must stay interactive while the flood streams: a very
         // generous ceiling that only trips if queries start waiting on
         // the ingest path.
@@ -151,9 +149,6 @@ int main(int argc, char** argv) {
             ok = false;
         }
     }
-    json += "}\n";
-    std::ofstream out(json_path, std::ios::trunc);
-    out << json;
-    std::printf("wrote %s\n", json_path);
+    if (!bench::write_bench_json(json_path, doc)) ok = false;
     return ok ? 0 : 1;
 }

@@ -251,27 +251,18 @@ int main(int argc, char** argv) {
         std::printf("survivor parity (4x budget, 4 shards): %s\n", parity ? "ok" : "MISMATCH");
     }
 
-    std::string json = "{\n  \"bench\": \"storm_shedding\",\n";
-    char head[160];
-    std::snprintf(head, sizeof head,
-                  "  \"flood_alerts\": %zu,\n  \"windows\": %zu,\n"
-                  "  \"base_budget_per_window\": %llu,\n  \"survivor_parity\": %s,\n"
-                  "  \"runs\": [\n",
-                  kWindows * kBatchesPerWindow * kBatchSize, kWindows,
-                  static_cast<unsigned long long>(kBaseBudget), parity ? "true" : "false");
-    json += head;
+    bench::bench_json doc("storm_shedding");
+    doc.field("flood_alerts", std::uint64_t{kWindows * kBatchesPerWindow * kBatchSize});
+    doc.field("windows", std::uint64_t{kWindows});
+    doc.field("base_budget_per_window", kBaseBudget);
+    doc.field("survivor_parity", parity);
+    std::string runs = "[\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        append_json(json, results[i]);
-        json += i + 1 < results.size() ? ",\n" : "\n";
+        append_json(runs, results[i]);
+        runs += i + 1 < results.size() ? ",\n" : "\n";
     }
-    json += "  ]\n}\n";
-    if (std::FILE* f = std::fopen(json_path, "w")) {
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fclose(f);
-        std::printf("wrote %s\n", json_path);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", json_path);
-        ok = false;
-    }
+    runs += "  ]";
+    doc.raw("runs", runs);
+    if (!bench::write_bench_json(json_path, doc)) ok = false;
     return ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace skynet::bench {
 
@@ -88,6 +89,77 @@ accuracy_counts score_all(const std::vector<episode_result>& results) {
     accuracy_counts total;
     for (const episode_result& r : results) total += score(r);
     return total;
+}
+
+bench_json::bench_json(std::string bench_name) {
+    text("bench", bench_name);
+}
+
+bench_json& bench_json::field(std::string_view key, std::uint64_t value) {
+    fields_.emplace_back(std::string(key), std::to_string(value));
+    return *this;
+}
+
+bench_json& bench_json::field(std::string_view key, std::int64_t value) {
+    fields_.emplace_back(std::string(key), std::to_string(value));
+    return *this;
+}
+
+bench_json& bench_json::field(std::string_view key, double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    fields_.emplace_back(std::string(key), buf);
+    return *this;
+}
+
+bench_json& bench_json::field(std::string_view key, bool value) {
+    fields_.emplace_back(std::string(key), value ? "true" : "false");
+    return *this;
+}
+
+bench_json& bench_json::text(std::string_view key, std::string_view value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+        if (c == '"' || c == '\\') quoted += '\\';
+        quoted += c;
+    }
+    quoted += '"';
+    fields_.emplace_back(std::string(key), std::move(quoted));
+    return *this;
+}
+
+bench_json& bench_json::raw(std::string_view key, std::string_view json) {
+    fields_.emplace_back(std::string(key), std::string(json));
+    return *this;
+}
+
+std::string bench_json::render() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        out += "  \"" + fields_[i].first + "\": " + fields_[i].second;
+        out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+bool write_bench_json(const std::string& path, const bench_json& doc) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+        return false;
+    }
+    const std::string body = doc.render();
+    const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
 }
 
 double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }

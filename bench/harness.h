@@ -8,10 +8,13 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "skynet/core/accuracy.h"
@@ -94,6 +97,42 @@ using skynet::accuracy_counts;
 
 /// Accumulates scores across episodes.
 [[nodiscard]] accuracy_counts score_all(const std::vector<episode_result>& results);
+
+// --- machine-readable results (BENCH_*.json) -------------------------------------
+//
+// Every bench that publishes numbers writes one committed BENCH_<name>.json
+// through this builder, so the files share a shape (a top-level "bench"
+// tag plus ordered fields) and a durability story (tmp file + rename;
+// a crashed bench can never leave a torn baseline behind). Before this
+// existed each bench hand-rolled its own ofstream/fopen writer and the
+// files drifted: some had no bench tag, none were atomic.
+
+/// Ordered flat JSON object: fields render in insertion order, one per
+/// line, so committed baselines diff cleanly run over run.
+class bench_json {
+public:
+    /// Starts the document with its identifying "bench" tag.
+    explicit bench_json(std::string bench_name);
+
+    bench_json& field(std::string_view key, std::uint64_t value);
+    bench_json& field(std::string_view key, std::int64_t value);
+    bench_json& field(std::string_view key, double value, int decimals = 4);
+    bench_json& field(std::string_view key, bool value);
+    /// Quoted + escaped string field.
+    bench_json& text(std::string_view key, std::string_view value);
+    /// Pre-rendered JSON (an array or object) inserted verbatim.
+    bench_json& raw(std::string_view key, std::string_view json);
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes doc.render() to `path` atomically (tmp + rename) and prints
+/// the standard "wrote PATH" line. False (with a stderr note) on I/O
+/// failure.
+bool write_bench_json(const std::string& path, const bench_json& doc);
 
 // --- small stats helpers ---------------------------------------------------------
 

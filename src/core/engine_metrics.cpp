@@ -41,6 +41,7 @@ engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept
     degraded += other.degraded;
     recovery += other.recovery;
     overload += other.overload;
+    steal += other.steal;
     alerts_in += other.alerts_in;
     batches_in += other.batches_in;
     ticks += other.ticks;
@@ -139,6 +140,25 @@ std::string engine_metrics::render() const {
             out += buf;
         }
     }
+    if (steal.any()) {
+        std::snprintf(buf, sizeof buf,
+                      "  steal: %llu batches (%llu alerts) prepared by thieves; "
+                      "%llu attempts, %llu misses, %llu owner waits, %llu parks\n",
+                      static_cast<unsigned long long>(steal.batches_stolen),
+                      static_cast<unsigned long long>(steal.alerts_stolen),
+                      static_cast<unsigned long long>(steal.steal_attempts),
+                      static_cast<unsigned long long>(steal.steal_misses),
+                      static_cast<unsigned long long>(steal.owner_waits),
+                      static_cast<unsigned long long>(steal.worker_parks));
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "         thief prepare %.1fms; interning: %llu entries, "
+                      "%llu contended locks\n",
+                      static_cast<double>(steal.prepare_ns) / 1e6,
+                      static_cast<unsigned long long>(steal.intern_entries),
+                      static_cast<unsigned long long>(steal.intern_lock_contention));
+        out += buf;
+    }
     return out;
 }
 
@@ -207,6 +227,16 @@ std::string engine_metrics::to_json() const {
     u("evicted_node_alerts", overload.evicted_node_alerts);
     u("evicted_incidents", overload.evicted_incidents);
     u("evicted_pending", overload.evicted_pending, true);
+    out += "},\"steal\":{";
+    u("batches_stolen", steal.batches_stolen);
+    u("alerts_stolen", steal.alerts_stolen);
+    u("steal_attempts", steal.steal_attempts);
+    u("steal_misses", steal.steal_misses);
+    u("owner_waits", steal.owner_waits);
+    u("worker_parks", steal.worker_parks);
+    u("prepare_ns", steal.prepare_ns);
+    u("intern_lock_contention", steal.intern_lock_contention);
+    u("intern_entries", steal.intern_entries, true);
     out += "}}";
     return out;
 }

@@ -109,6 +109,47 @@ void skynet_engine::ingest_batch(std::span<const traced_alert> batch) {
     for (const traced_alert& t : batch) ingest(t.alert, t.arrival);
 }
 
+prepared_batch skynet_engine::prepare_batch(std::span<const traced_alert> batch) const {
+    prepared_batch out;
+    out.alerts.reserve(batch.size());
+    for (const traced_alert& t : batch) out.alerts.push_back(pre_.prepare(t.alert, t.arrival));
+    return out;
+}
+
+void skynet_engine::ingest_batch_prepared(std::span<const traced_alert> batch,
+                                          prepared_batch&& prep) {
+    if (prep.alerts.size() != batch.size())
+        throw skynet_error("ingest_batch_prepared: misaligned prepared batch");
+    ++metrics_.batches_in;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ingest_one_prepared(batch[i].alert, batch[i].arrival, std::move(prep.alerts[i]));
+    }
+}
+
+void skynet_engine::ingest_one_prepared(const raw_alert& raw, sim_time now,
+                                        prepared_alert&& prep) {
+    ++metrics_.alerts_in;
+    stage_timer pre(metrics_.preprocess);
+    std::vector<preprocess_event> events = pre_.apply_prepared(raw, now, std::move(prep));
+    pre.stop(1);
+    // Snapshot (not increment): the preprocessor owns the running counts.
+    metrics_.degraded.alerts_rejected =
+        static_cast<std::uint64_t>(pre_.stats().rejected_malformed);
+    metrics_.degraded.skew_clamped = static_cast<std::uint64_t>(pre_.stats().skew_clamped);
+    sync_overload_counters();
+
+    stage_timer locate(metrics_.locate);
+    for (preprocess_event& ev : events) {
+        ++structured_count_;
+        if (ev.is_update) {
+            locator_.refresh(ev.alert, now);
+        } else {
+            locator_.insert(ev.alert, now);
+        }
+    }
+    locate.stop(events.size());
+}
+
 void skynet_engine::tick(sim_time now, const network_state& state) {
     ++metrics_.ticks;
     stage_timer pre(metrics_.preprocess);

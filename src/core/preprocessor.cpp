@@ -318,12 +318,17 @@ const char* preprocessor::reject_reason(const raw_alert& raw) const {
 }
 
 std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_time now) {
-    ++stats_.raw_in;
-    std::vector<preprocess_event> out;
+    // One source of truth: process() is the prepare/apply pair run
+    // back-to-back, so the stolen-batch path cannot drift from this one.
+    return apply_prepared(raw, now, prepare(raw, now));
+}
+
+prepared_alert preprocessor::prepare(const raw_alert& raw, sim_time now) const {
+    prepared_alert p;
 
     if (reject_reason(raw) != nullptr) {
-        ++stats_.rejected_malformed;
-        return out;
+        p.rejected = true;
+        return p;
     }
 
     // Clock skew: a generation timestamp ahead of the arrival time would
@@ -334,16 +339,13 @@ std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_ti
         clamped = raw;
         clamped.timestamp = now;
         input = &clamped;
-        ++stats_.skew_clamped;
+        p.skew_clamped = true;
     }
 
     auto structured = to_structured(*input);
     if (!structured) {
-        ++stats_.dropped_unclassified;
-        if (miner_ != nullptr && raw.source == data_source::syslog) {
-            miner_->observe(raw.message, now);
-        }
-        return out;
+        p.unclassified = true;
+        return p;
     }
 
     // Link alerts split into one alert per endpoint device (§4.1).
@@ -356,9 +358,9 @@ std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_ti
             split.loc = d.loc;
             split.loc_id = d.loc_id;
             split.device = endpoint;
-            route(std::move(split), now, out);
+            p.routes[p.route_count++] = std::move(split);
         }
-        return out;
+        return p;
     }
 
     // End-to-end pair alerts are the same shape as link alerts — the
@@ -377,12 +379,36 @@ std::vector<preprocess_event> preprocessor::process(const raw_alert& raw, sim_ti
             structured_alert split = *structured;
             split.loc = *endpoint;
             split.loc_id = endpoint_id;
-            route(std::move(split), now, out);
+            p.routes[p.route_count++] = std::move(split);
+        }
+        return p;
+    }
+
+    p.routes[p.route_count++] = std::move(*structured);
+    return p;
+}
+
+std::vector<preprocess_event> preprocessor::apply_prepared(const raw_alert& raw, sim_time now,
+                                                           prepared_alert&& prep) {
+    ++stats_.raw_in;
+    std::vector<preprocess_event> out;
+
+    if (prep.rejected) {
+        ++stats_.rejected_malformed;
+        return out;
+    }
+    if (prep.skew_clamped) ++stats_.skew_clamped;
+    if (prep.unclassified) {
+        ++stats_.dropped_unclassified;
+        if (miner_ != nullptr && raw.source == data_source::syslog) {
+            miner_->observe(raw.message, now);
         }
         return out;
     }
 
-    route(std::move(*structured), now, out);
+    for (std::uint8_t i = 0; i < prep.route_count; ++i) {
+        route(std::move(prep.routes[i]), now, out);
+    }
     return out;
 }
 

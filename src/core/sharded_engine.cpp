@@ -40,9 +40,15 @@ sharded_engine::sharded_engine(skynet_engine::deps d, sharded_config config)
     if (config_.backlog_batches == 0) config_.backlog_batches = 1;
     // Shard ids must agree with a sequential engine on the same trace.
     config_.engine.loc.deterministic_ids = true;
+    steal_enabled_ = config_.steal && config_.shards > 1;
+    // The done queue must hold one token per in-flight ingest command,
+    // worst case queue + backlog (plus slack), so thieves never block on
+    // a full handoff ring.
+    const std::size_t done_capacity = config_.queue_capacity + config_.backlog_batches + 8;
     shards_.reserve(config_.shards);
     for (std::size_t i = 0; i < config_.shards; ++i) {
-        shards_.push_back(std::make_unique<shard>(d, config_.engine, config_.queue_capacity, i));
+        shards_.push_back(
+            std::make_unique<shard>(d, config_.engine, config_.queue_capacity, done_capacity, i));
     }
     for (auto& s : shards_) {
         s->worker = std::thread(&sharded_engine::worker_loop, this, std::ref(*s));
@@ -77,69 +83,193 @@ sharded_engine::~sharded_engine() {
 
 void sharded_engine::worker_loop(shard& s) {
     command cmd;
-    for (;;) {
-        s.queue.pop_blocking(cmd);
-        const auto start = std::chrono::steady_clock::now();
-        bool stop = false;
-        if (s.failed.load(std::memory_order_relaxed) ||
-            s.written_off.load(std::memory_order_relaxed)) {
-            // Dead shard: drain without executing so the producer's
-            // push() and barrier() never hang; count what was lost.
-            if (cmd.what == command::op::ingest) {
-                s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
-            }
-            stop = cmd.what == command::op::stop;
-        } else {
-            ++s.commands_seen;
-            if (cmd.what != command::op::stop && config_.worker_stall &&
-                config_.worker_stall(s.index, s.commands_seen)) {
-                // Injected stall: park at the gate until the watchdog (or
-                // the destructor) flips it to release. The command then
-                // executes normally — a recovered stall loses nothing.
-                s.stall_gate.store(1, std::memory_order_release);
-                s.stall_gate.notify_all();
-                s.stall_gate.wait(1, std::memory_order_acquire);
-                s.stall_gate.store(0, std::memory_order_release);
-                s.stall_gate.notify_all();
-            }
-            try {
-                if (config_.worker_fault) config_.worker_fault(s.index);
-                switch (cmd.what) {
-                    case command::op::ingest:
-                        s.engine.ingest_batch(std::span<const traced_alert>(cmd.batch));
-                        break;
-                    case command::op::tick:
-                        s.engine.tick(cmd.now, *cmd.state);
-                        break;
-                    case command::op::finish:
-                        s.engine.finish(cmd.now, *cmd.state);
-                        break;
-                    case command::op::stop:
-                        stop = true;
-                        break;
-                }
-            } catch (const std::exception& e) {
-                // Never std::terminate the process: record, mark, keep
-                // consuming. The failure surfaces at the next barrier.
-                if (cmd.what == command::op::ingest) {
-                    s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
-                }
-                s.failure = e.what();
-                s.failed.store(true, std::memory_order_release);
-            } catch (...) {
-                if (cmd.what == command::op::ingest) {
-                    s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
-                }
-                s.failure = "unknown exception";
-                s.failed.store(true, std::memory_order_release);
-            }
+    if (!steal_enabled_) {
+        // No stealing: the classic loop, parked on the shard's own queue.
+        for (;;) {
+            s.queue.pop_blocking(cmd);
+            if (execute_command(s, cmd)) return;
         }
-        cmd.batch.clear();
-        s.busy_ns.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
-        s.completed.fetch_add(1, std::memory_order_release);
-        s.completed.notify_all();
-        if (stop) return;
     }
+    for (;;) {
+        drain_done(s);
+        if (s.queue.try_pop(cmd)) {
+            if (execute_command(s, cmd)) return;
+            continue;
+        }
+        // Load the work version BEFORE the re-check: an enqueue between
+        // the re-check and wait() bumps the version, so wait(signal)
+        // returns immediately — no missed wakeups.
+        const std::uint64_t signal = work_signal_.load(std::memory_order_acquire);
+        if (s.queue.try_pop(cmd)) {
+            if (execute_command(s, cmd)) return;
+            continue;
+        }
+        if (try_steal(s)) continue;
+        s.parks.fetch_add(1, std::memory_order_relaxed);
+        work_signal_.wait(signal, std::memory_order_acquire);
+    }
+}
+
+bool sharded_engine::execute_command(shard& s, command& cmd) {
+    const auto start = std::chrono::steady_clock::now();
+    bool stop = false;
+    if (s.failed.load(std::memory_order_relaxed) ||
+        s.written_off.load(std::memory_order_relaxed)) {
+        // Dead shard: drain without executing so the producer's
+        // push() and barrier() never hang; count what was lost.
+        if (cmd.what == command::op::ingest && cmd.job) {
+            s.dropped_failed.fetch_add(cmd.job->batch.size(), std::memory_order_relaxed);
+        }
+        stop = cmd.what == command::op::stop;
+    } else {
+        ++s.commands_seen;
+        if (cmd.what != command::op::stop && config_.worker_stall &&
+            config_.worker_stall(s.index, s.commands_seen)) {
+            // Injected stall: park at the gate until the watchdog (or
+            // the destructor) flips it to release. The command then
+            // executes normally — a recovered stall loses nothing.
+            // Thieves keep preparing this shard's queued batches in the
+            // meantime; on release the owner applies them in order.
+            s.stall_gate.store(1, std::memory_order_release);
+            s.stall_gate.notify_all();
+            s.stall_gate.wait(1, std::memory_order_acquire);
+            s.stall_gate.store(0, std::memory_order_release);
+            s.stall_gate.notify_all();
+        }
+        try {
+            if (config_.worker_fault) config_.worker_fault(s.index);
+            switch (cmd.what) {
+                case command::op::ingest:
+                    run_ingest(s, *cmd.job);
+                    break;
+                case command::op::tick:
+                    s.engine.tick(cmd.now, *cmd.state);
+                    break;
+                case command::op::finish:
+                    s.engine.finish(cmd.now, *cmd.state);
+                    break;
+                case command::op::stop:
+                    stop = true;
+                    break;
+            }
+        } catch (const std::exception& e) {
+            // Never std::terminate the process: record, mark, keep
+            // consuming. The failure surfaces at the next barrier.
+            if (cmd.what == command::op::ingest && cmd.job) {
+                s.dropped_failed.fetch_add(cmd.job->batch.size(), std::memory_order_relaxed);
+            }
+            s.failure = e.what();
+            s.failed.store(true, std::memory_order_release);
+        } catch (...) {
+            if (cmd.what == command::op::ingest && cmd.job) {
+                s.dropped_failed.fetch_add(cmd.job->batch.size(), std::memory_order_relaxed);
+            }
+            s.failure = "unknown exception";
+            s.failed.store(true, std::memory_order_release);
+        }
+    }
+    cmd.job.reset();
+    s.busy_ns.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+    s.completed.fetch_add(1, std::memory_order_release);
+    s.completed.notify_all();
+    return stop;
+}
+
+void sharded_engine::run_ingest(shard& s, ingest_job& job) {
+    const std::span<const traced_alert> batch(job.batch);
+    if (!steal_enabled_) {
+        s.engine.ingest_batch(batch);
+        return;
+    }
+    std::uint32_t seen = 0;
+    if (job.stage.compare_exchange_strong(seen, 1, std::memory_order_acq_rel)) {
+        // We won our own batch: prepare + apply inline (the same two
+        // halves a steal goes through, so the paths cannot diverge).
+        s.engine.ingest_batch_prepared(batch, s.engine.prepare_batch(batch));
+        job.stage.store(2, std::memory_order_release);  // lets the board prune
+        return;
+    }
+    if (seen == 1) wait_for_prepared(s, job);
+    if (job.stage.load(std::memory_order_acquire) == 2) {
+        s.engine.ingest_batch_prepared(batch, std::move(job.prep));
+    } else {
+        // Thief aborted (classification threw on its thread): run the
+        // whole batch inline; a real fault will resurface here.
+        s.engine.ingest_batch(batch);
+    }
+}
+
+void sharded_engine::wait_for_prepared(shard& s, ingest_job& job) {
+    s.owner_waits.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<ingest_job> token;
+    while (job.stage.load(std::memory_order_acquire) < 2) {
+        // The thief stores stage (release) before pushing its token, so
+        // once we observe stage < 2 a token is still in flight and this
+        // pop cannot block forever. Tokens for other jobs are harmless:
+        // their stage is already ≥ 2 when the owner reaches them.
+        s.done.pop_blocking(token);
+        token.reset();
+    }
+}
+
+void sharded_engine::drain_done(shard& s) {
+    std::shared_ptr<ingest_job> token;
+    while (s.done.try_pop(token)) token.reset();
+}
+
+bool sharded_engine::try_steal(shard& self) {
+    self.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t n = shards_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        shard& victim = *shards_[(self.index + k) % n];
+        std::shared_ptr<ingest_job> job = claim_from(victim);
+        if (!job) continue;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            // The stateless stage only: classify + intern + split against
+            // the victim engine's immutable config/topology. The victim's
+            // owner may be applying earlier batches concurrently — the
+            // two halves share no mutable state (see
+            // preprocessor::prepare).
+            job->prep = victim.engine.prepare_batch(std::span<const traced_alert>(job->batch));
+            job->stage.store(2, std::memory_order_release);
+        } catch (...) {
+            // Abort the steal; the owner falls back to the plain path and
+            // any real fault surfaces on the owning shard.
+            job->stage.store(3, std::memory_order_release);
+        }
+        self.prepare_ns.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+        self.stolen_batches.fetch_add(1, std::memory_order_relaxed);
+        self.stolen_alerts.fetch_add(job->batch.size(), std::memory_order_relaxed);
+        victim.done.push(job);  // wakes an owner parked in wait_for_prepared
+        return true;
+    }
+    self.steal_misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+std::shared_ptr<sharded_engine::ingest_job> sharded_engine::claim_from(shard& victim) {
+    std::lock_guard<spin_mutex> guard(victim.board_mu);
+    while (!victim.board.empty()) {
+        std::shared_ptr<ingest_job>& front = victim.board.front();
+        std::uint32_t unclaimed = 0;
+        if (front->stage.compare_exchange_strong(unclaimed, 1, std::memory_order_acq_rel)) {
+            std::shared_ptr<ingest_job> job = std::move(front);
+            victim.board.pop_front();
+            return job;
+        }
+        victim.board.pop_front();  // claimed or done already: prune
+    }
+    return nullptr;
+}
+
+void sharded_engine::publish_stealable(shard& s, const std::shared_ptr<ingest_job>& job) {
+    std::lock_guard<spin_mutex> guard(s.board_mu);
+    // Lazy prune keeps the board bounded by the in-flight command count.
+    while (!s.board.empty() && s.board.front()->stage.load(std::memory_order_acquire) != 0) {
+        s.board.pop_front();
+    }
+    s.board.push_back(job);
 }
 
 std::size_t sharded_engine::shard_of(const raw_alert& raw, location_id& interned) {
@@ -147,8 +277,19 @@ std::size_t sharded_engine::shard_of(const raw_alert& raw, location_id& interned
     // A dangling (garbled) id is preserved for the shard's preprocessor
     // to reject with a reason; routing must not walk the table with it.
     const bool dangling = raw.loc_id != invalid_location_id && raw.loc_id >= table.size();
-    interned = (raw.loc_id != invalid_location_id) ? raw.loc_id : table.intern(raw.loc);
-    location_id region = dangling ? root_location_id : table.region_of(interned);
+    location_id region = root_location_id;
+    if (dangling) {
+        interned = raw.loc_id;
+    } else if (raw.loc_id != invalid_location_id) {
+        interned = raw.loc_id;
+        region = table.region_of(interned);
+    } else {
+        // Routing only needs the region prefix; the full path interns on
+        // the owning shard (prepare is thread-safe), keeping the producer
+        // off the deep-path insert stripes.
+        interned = invalid_location_id;
+        region = table.region_of(table.intern_prefix(raw.loc, depth_of(hierarchy_level::region)));
+    }
     if (region == root_location_id && raw.device && topo_ != nullptr &&
         *raw.device < topo_->devices().size()) {
         // Device-attributed alert with an unset location: fall back to
@@ -173,7 +314,9 @@ void sharded_engine::append(std::size_t idx, const raw_alert& raw, location_id i
     if (s.pending.size() >= config_.max_ingest_batch) {
         command cmd;
         cmd.what = command::op::ingest;
-        cmd.batch = std::move(s.pending);
+        cmd.job = std::make_shared<ingest_job>();
+        cmd.job->batch = std::move(s.pending);
+        cmd.job->seq = next_job_seq_++;
         submit_ingest(s, std::move(cmd));
         s.pending = {};
     }
@@ -183,10 +326,20 @@ bool sharded_engine::forced_full() const {
     return config_.force_full && config_.force_full();
 }
 
-void sharded_engine::note_enqueued(shard& s, std::size_t waits) {
+void sharded_engine::note_enqueued(shard& s, std::size_t waits,
+                                   const std::shared_ptr<ingest_job>& job) {
     s.full_waits += waits;
     s.max_depth = std::max(s.max_depth, static_cast<std::uint64_t>(s.queue.size()));
     ++s.submitted;
+    if (!steal_enabled_) return;
+    // Publish only after the command is actually enqueued: the steal
+    // board must never hold a batch that could still be shed from the
+    // backlog, or a thief would prepare work the owner never applies.
+    if (job) publish_stealable(s, job);
+    // Version bump for every command (ingest, barrier, stop): idle
+    // thieves parked on the signal must recheck their own queue too.
+    work_signal_.fetch_add(1, std::memory_order_release);
+    work_signal_.notify_all();
 }
 
 bool sharded_engine::watchdog_intervene(shard& s) {
@@ -235,7 +388,9 @@ bool sharded_engine::push_supervised(shard& s, command cmd, std::size_t& waits) 
             // itself be stuck. Barrier commands are never shed — the
             // worker drains dead-shard queues, so they go through
             // eventually.
-            s.dropped_failed.fetch_add(cmd.batch.size(), std::memory_order_relaxed);
+            if (cmd.job) {
+                s.dropped_failed.fetch_add(cmd.job->batch.size(), std::memory_order_relaxed);
+            }
             return false;
         }
         const std::uint64_t done = s.completed.load(std::memory_order_acquire);
@@ -252,15 +407,18 @@ bool sharded_engine::push_supervised(shard& s, command cmd, std::size_t& waits) 
 
 void sharded_engine::drain_backlog(shard& s, bool blocking, bool pressured) {
     while (!s.backlog.empty()) {
+        // Capture the job handle first: a successful push moves the
+        // command out of the backlog slot.
+        std::shared_ptr<ingest_job> job = s.backlog.front().job;
         if (blocking) {
             std::size_t waits = 0;
             const bool pushed = push_supervised(s, std::move(s.backlog.front()), waits);
-            if (pushed) note_enqueued(s, waits);
+            if (pushed) note_enqueued(s, waits, job);
             s.backlog.pop_front();
             continue;
         }
         if (pressured || !s.queue.try_push(s.backlog.front())) return;
-        note_enqueued(s, 0);
+        note_enqueued(s, 0, job);
         s.backlog.pop_front();
     }
 }
@@ -270,8 +428,9 @@ void sharded_engine::submit(shard& s, command cmd) {
     // is the correctness contract — and always block; a forced-full
     // window may shed data, never a barrier.
     drain_backlog(s, /*blocking=*/true, /*pressured=*/false);
+    std::shared_ptr<ingest_job> job = cmd.job;
     std::size_t waits = 0;
-    if (push_supervised(s, std::move(cmd), waits)) note_enqueued(s, waits);
+    if (push_supervised(s, std::move(cmd), waits)) note_enqueued(s, waits, job);
 }
 
 void sharded_engine::submit_ingest(shard& s, command cmd) {
@@ -284,27 +443,31 @@ void sharded_engine::submit_ingest(shard& s, command cmd) {
             if (pressured) ++s.full_waits;
             submit(s, std::move(cmd));
             return;
-        case overflow_policy::reject:
+        case overflow_policy::reject: {
+            std::shared_ptr<ingest_job> job = cmd.job;
             if (!pressured && s.queue.try_push(cmd)) {
-                note_enqueued(s, 0);
+                note_enqueued(s, 0, job);
                 return;
             }
             ++s.full_waits;
-            s.dropped_overflow += cmd.batch.size();
+            s.dropped_overflow += job->batch.size();
             return;
-        case overflow_policy::drop_oldest:
+        }
+        case overflow_policy::drop_oldest: {
             drain_backlog(s, /*blocking=*/false, pressured);
+            std::shared_ptr<ingest_job> job = cmd.job;
             if (s.backlog.empty() && !pressured && s.queue.try_push(cmd)) {
-                note_enqueued(s, 0);
+                note_enqueued(s, 0, job);
                 return;
             }
             ++s.full_waits;
             s.backlog.push_back(std::move(cmd));
             while (s.backlog.size() > config_.backlog_batches) {
-                s.dropped_overflow += s.backlog.front().batch.size();
+                s.dropped_overflow += s.backlog.front().job->batch.size();
                 s.backlog.pop_front();
             }
             return;
+        }
     }
 }
 
@@ -313,7 +476,9 @@ void sharded_engine::flush_pending() {
         if (s->pending.empty()) continue;
         command cmd;
         cmd.what = command::op::ingest;
-        cmd.batch = std::move(s->pending);
+        cmd.job = std::make_shared<ingest_job>();
+        cmd.job->batch = std::move(s->pending);
+        cmd.job->seq = next_job_seq_++;
         submit_ingest(*s, std::move(cmd));
         s->pending = {};
     }
@@ -546,6 +711,22 @@ void sharded_engine::update_barrier_metrics() {
     total.overload.stalls_detected = stalls_detected_;
     total.overload.stalls_recovered = stalls_recovered_;
     total.overload.shards_written_off = written_off;
+    steal_metrics st;
+    for (auto& s : shards_) {
+        st.batches_stolen += s->stolen_batches.load(std::memory_order_relaxed);
+        st.alerts_stolen += s->stolen_alerts.load(std::memory_order_relaxed);
+        st.steal_attempts += s->steal_attempts.load(std::memory_order_relaxed);
+        st.steal_misses += s->steal_misses.load(std::memory_order_relaxed);
+        st.owner_waits += s->owner_waits.load(std::memory_order_relaxed);
+        st.worker_parks += s->parks.load(std::memory_order_relaxed);
+        st.prepare_ns += s->prepare_ns.load(std::memory_order_relaxed);
+    }
+    if (topo_ != nullptr) {
+        const location_table& table = topo_->locations();
+        st.intern_lock_contention = table.lock_contention();
+        st.intern_entries = table.size();
+    }
+    total.steal = st;
     barrier_metrics_ = std::move(total);
 }
 

@@ -1,0 +1,218 @@
+// Striped concurrent dictionary with lock-free reads.
+//
+// The ingest hot path is read-mostly: once a storm's first alerts intern
+// their location paths, every later alert resolves the same keys. This
+// dictionary makes that fast path wait-free — find() never takes a lock,
+// never retries, and never blocks behind a writer — while inserts touch
+// exactly one stripe (netdata's libnetdata/dictionary is the exemplar:
+// per-stripe bucket arrays, atomic chain heads, read-mostly bias).
+//
+// Shape: the key space is split across power-of-two stripes by hash.
+// Each stripe owns a chain-bucket hash table whose bucket heads are
+// atomic pointers; a reader walks `current table → prev tables` with
+// acquire loads only. A writer takes the stripe's spin lock, rechecks,
+// and publishes a fully-constructed node with a release store — nodes
+// are immutable after publication and never move, so value pointers
+// returned by find() stay valid for the dictionary's lifetime.
+//
+// Growth never rehashes in place: a full stripe publishes a doubled
+// table whose `prev` points at the old one. Old tables (log-many per
+// stripe) are retained until destruction, which is what makes reads
+// safe without hazard pointers or epochs. Erase is deliberately not
+// offered — every user of this container (interning, registries) is
+// insert-only.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "skynet/common/spin_mutex.h"
+
+namespace skynet {
+
+template <typename Key, typename T, typename Hash = std::hash<Key>, typename Eq = std::equal_to<>>
+class striped_dict {
+public:
+    explicit striped_dict(std::size_t stripes = 64, std::size_t initial_buckets = 16) {
+        std::size_t n = 1;
+        while (n < stripes) n <<= 1;
+        stripe_mask_ = n - 1;
+        std::size_t buckets = 4;
+        while (buckets < initial_buckets) buckets <<= 1;
+        initial_buckets_ = buckets;
+        stripes_ = std::vector<stripe>(n);
+        for (stripe& s : stripes_) s.current.store(new table(buckets, nullptr), std::memory_order_relaxed);
+    }
+
+    ~striped_dict() { destroy(); }
+
+    striped_dict(const striped_dict&) = delete;
+    striped_dict& operator=(const striped_dict&) = delete;
+
+    /// Moves require exclusive use of both sides (no concurrent readers
+    /// or writers) — same contract as moving any standard container.
+    striped_dict(striped_dict&& other) noexcept
+        : stripes_(std::move(other.stripes_)),
+          stripe_mask_(other.stripe_mask_),
+          initial_buckets_(other.initial_buckets_) {
+        other.stripes_.clear();
+    }
+
+    striped_dict& operator=(striped_dict&& other) noexcept {
+        if (this == &other) return *this;
+        destroy();
+        stripes_ = std::move(other.stripes_);
+        stripe_mask_ = other.stripe_mask_;
+        initial_buckets_ = other.initial_buckets_;
+        other.stripes_.clear();
+        return *this;
+    }
+
+    /// Wait-free lookup; accepts any key type the hash/eq are transparent
+    /// over. The returned pointer stays valid for the dict's lifetime.
+    template <typename K>
+    [[nodiscard]] const T* find(const K& key) const {
+        const std::size_t h = mix(Hash{}(key));
+        const stripe& s = stripes_[stripe_of(h)];
+        for (const table* t = s.current.load(std::memory_order_acquire); t != nullptr;
+             t = t->prev) {
+            for (const node* n = t->buckets[h & t->mask].load(std::memory_order_acquire);
+                 n != nullptr; n = n->next) {
+                if (n->hash == h && Eq{}(n->key, key)) return &n->value;
+            }
+        }
+        return nullptr;
+    }
+
+    /// Returns the existing value or inserts `make()` under the stripe
+    /// lock (make runs at most once, while the slot is reserved — safe
+    /// for id allocation). `inserted` reports which happened.
+    template <typename K, typename Make>
+    T get_or_insert(const K& key, Make&& make, bool* inserted = nullptr) {
+        if (const T* hit = find(key)) {
+            if (inserted != nullptr) *inserted = false;
+            return *hit;
+        }
+        const std::size_t h = mix(Hash{}(key));
+        stripe& s = stripes_[stripe_of(h)];
+        std::lock_guard<spin_mutex> guard(s.mu);
+        // Recheck under the lock — another writer may have won the race.
+        for (const table* t = s.current.load(std::memory_order_relaxed); t != nullptr;
+             t = t->prev) {
+            for (const node* n = t->buckets[h & t->mask].load(std::memory_order_relaxed);
+                 n != nullptr; n = n->next) {
+                if (n->hash == h && Eq{}(n->key, key)) {
+                    if (inserted != nullptr) *inserted = false;
+                    return n->value;
+                }
+            }
+        }
+        table* t = s.current.load(std::memory_order_relaxed);
+        if (s.count.load(std::memory_order_relaxed) + 1 > t->mask + 1) t = grow(s, t);
+        node* n = new node{h, Key(key), std::forward<Make>(make)(),
+                           t->buckets[h & t->mask].load(std::memory_order_relaxed)};
+        t->buckets[h & t->mask].store(n, std::memory_order_release);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        if (inserted != nullptr) *inserted = true;
+        return n->value;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        std::size_t total = 0;
+        for (const stripe& s : stripes_) total += s.count.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /// Writer lock acquisitions that found the stripe contended.
+    [[nodiscard]] std::uint64_t lock_contention() const noexcept {
+        std::uint64_t total = 0;
+        for (const stripe& s : stripes_) total += s.mu.contended();
+        return total;
+    }
+
+    [[nodiscard]] std::size_t stripe_count() const noexcept { return stripe_mask_ + 1; }
+
+private:
+    struct node {
+        std::size_t hash;
+        Key key;
+        T value;
+        node* next;
+    };
+    struct table {
+        table(std::size_t buckets, table* previous)
+            : mask(buckets - 1),
+              prev(previous),
+              bucket_store(new std::atomic<node*>[buckets]),
+              buckets(bucket_store.get()) {
+            for (std::size_t b = 0; b < buckets_of(); ++b)
+                bucket_store[b].store(nullptr, std::memory_order_relaxed);
+        }
+        [[nodiscard]] std::size_t buckets_of() const noexcept { return mask + 1; }
+
+        std::size_t mask;
+        table* prev;
+        std::unique_ptr<std::atomic<node*>[]> bucket_store;
+        std::atomic<node*>* buckets;
+    };
+    struct stripe {
+        std::atomic<table*> current{nullptr};
+        mutable spin_mutex mu;
+        std::atomic<std::size_t> count{0};
+    };
+
+    /// Finalizer-style avalanche so clustered hashes still spread across
+    /// stripes (high bits) and buckets (low bits).
+    [[nodiscard]] static std::size_t mix(std::size_t h) noexcept {
+        std::uint64_t x = static_cast<std::uint64_t>(h);
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+    }
+
+    [[nodiscard]] std::size_t stripe_of(std::size_t mixed) const noexcept {
+        return (mixed >> 40) & stripe_mask_;
+    }
+
+    /// Publishes a doubled table in front of `old` (stripe lock held).
+    table* grow(stripe& s, table* old) {
+        table* bigger = new table(old->buckets_of() * 2, old);
+        s.current.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    void destroy() noexcept {
+        for (stripe& s : stripes_) {
+            table* t = s.current.load(std::memory_order_relaxed);
+            while (t != nullptr) {
+                for (std::size_t b = 0; b < t->buckets_of(); ++b) {
+                    node* n = t->buckets[b].load(std::memory_order_relaxed);
+                    while (n != nullptr) {
+                        node* next = n->next;
+                        delete n;
+                        n = next;
+                    }
+                }
+                table* prev = t->prev;
+                delete t;
+                t = prev;
+            }
+            s.current.store(nullptr, std::memory_order_relaxed);
+        }
+    }
+
+    std::vector<stripe> stripes_;
+    std::size_t stripe_mask_{0};
+    std::size_t initial_buckets_{16};
+};
+
+}  // namespace skynet

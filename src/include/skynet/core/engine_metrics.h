@@ -178,6 +178,44 @@ struct overload_metrics {
     }
 };
 
+/// Work-stealing + lock-free-interning accounting for the sharded
+/// engine: how often idle workers prepared batches for loaded peers, how
+/// often owners had to wait on a thief, and how contended the
+/// location_table's stripes were. All zero for the sequential engine
+/// and when stealing is disabled (--steal off).
+struct steal_metrics {
+    std::uint64_t batches_stolen{0};   ///< batches a thief prepared for a peer
+    std::uint64_t alerts_stolen{0};    ///< alerts inside those batches
+    std::uint64_t steal_attempts{0};   ///< idle-worker scans of peer boards
+    std::uint64_t steal_misses{0};     ///< scans that found nothing stealable
+    std::uint64_t owner_waits{0};      ///< owner reached a batch still being prepared
+    std::uint64_t worker_parks{0};     ///< idle workers that went to sleep
+    std::uint64_t prepare_ns{0};       ///< thief time spent preparing stolen work
+    /// Gauges sampled at the barrier, not counters (merged by max).
+    std::uint64_t intern_lock_contention{0};  ///< location_table contended locks
+    std::uint64_t intern_entries{0};          ///< interned location count
+
+    [[nodiscard]] bool any() const noexcept {
+        return batches_stolen != 0 || alerts_stolen != 0 || steal_attempts != 0 ||
+               steal_misses != 0 || owner_waits != 0 || worker_parks != 0 || prepare_ns != 0 ||
+               intern_lock_contention != 0 || intern_entries != 0;
+    }
+
+    steal_metrics& operator+=(const steal_metrics& other) noexcept {
+        batches_stolen += other.batches_stolen;
+        alerts_stolen += other.alerts_stolen;
+        steal_attempts += other.steal_attempts;
+        steal_misses += other.steal_misses;
+        owner_waits += other.owner_waits;
+        worker_parks += other.worker_parks;
+        prepare_ns += other.prepare_ns;
+        if (other.intern_lock_contention > intern_lock_contention)
+            intern_lock_contention = other.intern_lock_contention;
+        if (other.intern_entries > intern_entries) intern_entries = other.intern_entries;
+        return *this;
+    }
+};
+
 struct engine_metrics {
     stage_metrics preprocess;  ///< raw -> structured conversion + flush
     stage_metrics locate;      ///< main-tree insert/refresh + incident checks
@@ -185,6 +223,7 @@ struct engine_metrics {
     degraded_metrics degraded;  ///< graceful-degradation accounting
     recovery_metrics recovery;  ///< durability / crash-recovery accounting
     overload_metrics overload;  ///< overload-control accounting
+    steal_metrics steal;        ///< work-stealing / interning accounting
     std::uint64_t alerts_in{0};
     std::uint64_t batches_in{0};
     std::uint64_t ticks{0};

@@ -32,6 +32,14 @@ struct skynet_config {
     [[nodiscard]] error validate() const;
 };
 
+/// One prepare_batch() result: per-alert classification outputs, index-
+/// aligned with the batch they were prepared from, ready to be applied
+/// by ingest_batch_prepared(). This is the unit of work the sharded
+/// engine's thieves compute on behalf of a loaded peer.
+struct prepared_batch {
+    std::vector<prepared_alert> alerts;
+};
+
 /// A finished (or snapshot of an open) incident with its evaluation.
 struct incident_report {
     incident inc;
@@ -113,6 +121,17 @@ public:
     /// tick's deliveries); equivalent to looping ingest() in order.
     void ingest_batch(std::span<const traced_alert> batch);
 
+    /// The stateless half of ingest_batch() for stolen work: classifies
+    /// every alert without touching engine state. Thread-safe (see
+    /// preprocessor::prepare) — a thief worker may run it while the
+    /// owner is ingesting other batches.
+    [[nodiscard]] prepared_batch prepare_batch(std::span<const traced_alert> batch) const;
+
+    /// Applies a prepare_batch() result; equivalent to
+    /// ingest_batch(batch) byte-for-byte, with the classification work
+    /// already paid. `prep` must be index-aligned with `batch`.
+    void ingest_batch_prepared(std::span<const traced_alert> batch, prepared_batch&& prep);
+
     /// Periodic maintenance (call ~once per simulated tick): preprocessor
     /// flush, locator timeout checks, live severity evaluation of open
     /// incidents against `state`. Closed incidents move to the finished
@@ -157,6 +176,7 @@ public:
     }
 
 private:
+    void ingest_one_prepared(const raw_alert& raw, sim_time now, prepared_alert&& prep);
     [[nodiscard]] incident_report finalize(const incident& inc, sim_time now,
                                            const network_state& state);
     [[nodiscard]] std::vector<incident_report> ranked_finished();

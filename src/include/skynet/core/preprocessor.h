@@ -14,6 +14,7 @@
 // link alerts are split onto both endpoint devices.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -104,6 +105,23 @@ struct preprocess_event {
     bool is_update{false};
 };
 
+/// Result of the pure classification stage (prepare()): everything
+/// process() computes *before* touching consolidation state — the
+/// reject check, the skew clamp, syslog classification, interning, and
+/// the link/pair split. A thief worker can run this stage for a batch
+/// it stole; the owning shard later replays apply_prepared() in
+/// submission order, which is where every counter and consolidation
+/// table is touched — so outputs stay byte-identical to plain process().
+struct prepared_alert {
+    bool rejected{false};
+    bool skew_clamped{false};
+    bool unclassified{false};
+    /// Routed split outputs; a link/pair alert fans out to at most two
+    /// endpoints, so the storage is inline (no per-alert allocation).
+    std::array<structured_alert, 2> routes;
+    std::uint8_t route_count{0};
+};
+
 class preprocessor {
 public:
     /// Snapshot of the consolidation state, exported at a barrier and
@@ -156,6 +174,22 @@ public:
     /// never asserted on — degraded monitor streams must not take the
     /// pipeline down.
     [[nodiscard]] std::vector<preprocess_event> process(const raw_alert& raw, sim_time now);
+
+    /// The stateless first half of process(): classify + clamp + split,
+    /// no counters, no consolidation state. Thread-safe — it touches
+    /// only the immutable topology/registry/classifier/config (interning
+    /// into the location_table is itself thread-safe), so concurrent
+    /// prepare() calls may race with each other and with process() on
+    /// *other* preprocessor instances sharing the topology.
+    [[nodiscard]] prepared_alert prepare(const raw_alert& raw, sim_time now) const;
+
+    /// The stateful second half: consumes a prepare() result for `raw`,
+    /// bumping exactly the counters process() would and routing each
+    /// split through the consolidation tables. process(raw, now) ≡
+    /// apply_prepared(raw, now, prepare(raw, now)) — process() is
+    /// literally implemented that way, so the two paths cannot drift.
+    [[nodiscard]] std::vector<preprocess_event> apply_prepared(const raw_alert& raw, sim_time now,
+                                                               prepared_alert&& prep);
 
     /// Why a raw alert would be refused, or nullptr when it is
     /// well-formed. Checks references (device/link/location ids) against

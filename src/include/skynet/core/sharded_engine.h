@@ -31,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "skynet/common/mpsc_queue.h"
+#include "skynet/common/spin_mutex.h"
 #include "skynet/common/spsc_queue.h"
 #include "skynet/core/pipeline.h"
 
@@ -101,6 +103,14 @@ struct sharded_config {
     /// Drives the watchdog tests and the fault DSL's stall clauses —
     /// production code never sets this.
     std::function<bool(std::size_t, std::uint64_t)> worker_stall{};
+    /// Deterministic work stealing: a worker whose own queue is empty
+    /// prepares (classifies, interns, splits — the stateless stage)
+    /// queued ingest batches of loaded peers, always the victim's
+    /// lowest-sequence unclaimed batch. The owning shard applies every
+    /// batch in submission order — stolen or not — so merged reports are
+    /// bit-identical with stealing on, off, or forced. Ignored with one
+    /// shard.
+    bool steal = true;
     /// Per-shard engine configuration. locator deterministic_ids is
     /// forced on so merged ids are stable across shard counts.
     skynet_config engine{};
@@ -203,21 +213,55 @@ public:
     [[nodiscard]] std::size_t region_count() const noexcept { return region_to_shard_.size(); }
 
 private:
+    /// One submitted ingest batch, shared between the owner's command
+    /// queue and the steal board. `stage` is the claim protocol:
+    /// 0 = unclaimed, 1 = claimed (being prepared), 2 = prepared,
+    /// 3 = prepare aborted (thief hit an exception; owner falls back).
+    /// A thief moves 0→1 (CAS), fills `prep`, stores 2 (release), and
+    /// hands the job back through the owner's `done` queue; the owner
+    /// either wins the CAS itself and runs inline, or waits for stage ≥ 2
+    /// and applies the thief's result — in submission order either way.
+    struct ingest_job {
+        std::vector<traced_alert> batch;
+        /// Engine-wide submission sequence: the deterministic steal
+        /// priority (thieves always take the victim's lowest seq).
+        std::uint64_t seq{0};
+        std::atomic<std::uint32_t> stage{0};
+        prepared_batch prep;
+    };
+
     struct command {
         enum class op : std::uint8_t { ingest, tick, finish, stop } what{op::ingest};
-        std::vector<traced_alert> batch;  // ingest only
+        std::shared_ptr<ingest_job> job;  // ingest only
         sim_time now{0};
         const network_state* state{nullptr};  // tick/finish only
     };
 
     struct shard {
         shard(skynet_engine::deps d, const skynet_config& cfg, std::size_t queue_capacity,
-              std::size_t idx)
-            : engine(d, cfg), queue(queue_capacity), index(idx) {}
+              std::size_t done_capacity, std::size_t idx)
+            : engine(d, cfg), queue(queue_capacity), done(done_capacity), index(idx) {}
 
         skynet_engine engine;
         spsc_queue<command> queue;
+        /// Prepared-batch handoff from thieves back to this shard's
+        /// owner. Sized queue + backlog + slack, so a thief's push can
+        /// never block indefinitely (tokens ≤ in-flight ingest commands).
+        mpsc_queue<std::shared_ptr<ingest_job>> done;
         std::size_t index{0};
+        /// Steal board: this shard's queued ingest jobs a thief may
+        /// claim, oldest (lowest seq) first. Caller pushes after a
+        /// successful enqueue; completed front entries pruned lazily.
+        spin_mutex board_mu;
+        std::deque<std::shared_ptr<ingest_job>> board;
+        // Steal accounting (relaxed atomics; read at barriers).
+        std::atomic<std::uint64_t> stolen_batches{0};
+        std::atomic<std::uint64_t> stolen_alerts{0};
+        std::atomic<std::uint64_t> steal_attempts{0};
+        std::atomic<std::uint64_t> steal_misses{0};
+        std::atomic<std::uint64_t> owner_waits{0};
+        std::atomic<std::uint64_t> parks{0};
+        std::atomic<std::uint64_t> prepare_ns{0};
         // Producer-side accounting (caller thread only).
         std::vector<traced_alert> pending;
         /// Ingest commands waiting out a full queue (drop_oldest only).
@@ -251,6 +295,24 @@ private:
     };
 
     void worker_loop(shard& s);
+    /// One command on the worker: dead-shard drain, stall gate, fault
+    /// hooks, steal-aware ingest. Returns true on stop.
+    bool execute_command(shard& s, command& cmd);
+    /// The steal-aware ingest path: claim-or-wait on the job's stage.
+    void run_ingest(shard& s, ingest_job& job);
+    /// Owner reached a job a thief is still preparing: drain `done`
+    /// tokens until its stage advances (the thief publishes stage before
+    /// pushing the token, so this cannot miss).
+    void wait_for_prepared(shard& s, ingest_job& job);
+    /// Discards pending done-tokens (each token's work is recorded in
+    /// its job's stage; the token itself is only a wakeup).
+    void drain_done(shard& s);
+    /// Scans peers in ring order from `self`; claims and prepares the
+    /// first victim's lowest-seq unclaimed batch. True if work was done.
+    bool try_steal(shard& self);
+    [[nodiscard]] std::shared_ptr<ingest_job> claim_from(shard& victim);
+    /// Caller side: expose a freshly enqueued job to thieves.
+    void publish_stealable(shard& s, const std::shared_ptr<ingest_job>& job);
     /// Shard owning the alert's region, keyed by the interned region id
     /// (the root id groups unattributable alerts). Also interns the
     /// alert's full location into `interned` so the shard's preprocessor
@@ -280,8 +342,10 @@ private:
     bool watchdog_intervene(shard& s);
     /// Rebuilds the merged barrier_metrics_ cache (shards must be idle).
     void update_barrier_metrics();
-    /// Bookkeeping shared by every successful enqueue.
-    void note_enqueued(shard& s, std::size_t waits);
+    /// Bookkeeping shared by every successful enqueue; publishes ingest
+    /// jobs to the steal board and wakes parked workers.
+    void note_enqueued(shard& s, std::size_t waits,
+                       const std::shared_ptr<ingest_job>& job = nullptr);
     void flush_pending();
     /// Waits until every shard has executed everything submitted to it.
     void barrier();
@@ -294,9 +358,17 @@ private:
     sharded_config config_;
     /// For routing device-attributed alerts whose location is unset.
     const topology* topo_{nullptr};
+    /// config_.steal with more than one shard.
+    bool steal_enabled_{false};
     std::vector<std::unique_ptr<shard>> shards_;
     std::unordered_map<location_id, std::size_t> region_to_shard_;
     std::size_t next_region_shard_{0};
+    /// Caller-side ingest sequence numbers (the steal priority).
+    std::uint64_t next_job_seq_{0};
+    /// Global work version: bumped (and notified) on every enqueue so
+    /// idle workers parked between steal scans wake up. Only used when
+    /// stealing is enabled; otherwise workers park on their own queue.
+    alignas(64) std::atomic<std::uint64_t> work_signal_{0};
     std::uint64_t ticks_{0};
     std::uint64_t batches_in_{0};
     // Watchdog accounting (caller thread only).

@@ -74,8 +74,14 @@ struct engine_options {
     std::uint64_t seed{1};
 
     // Pipeline & sharding.
+    /// Upper bound for --shards. Shards cost a thread, a bounded queue
+    /// and a steal board each; past a few hundred the fan-out stops
+    /// meaning "one worker per region" and starts meaning "misparsed
+    /// flag", so validate() refuses rather than oversubscribing.
+    static constexpr int kMaxShards = 256;
     skynet_config pipeline{};
-    int shards{0};  ///< 0 = sequential engine
+    int shards{0};  ///< 0 = sequential engine; --shards auto = hardware_concurrency
+    bool steal{true};  ///< --steal on|off: deterministic work stealing between shards
     std::string overflow{"block"};
     std::uint64_t watchdog_deadline{0};  ///< ms; 0 = off
 

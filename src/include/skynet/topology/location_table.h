@@ -22,20 +22,27 @@
 // String paths survive only at the I/O boundary (trace parsing,
 // serialization, viz, CLI rendering); everything in between carries ids.
 //
-// Thread safety: interning and lookups may race across threads (the
-// sharded engine's caller routes by region while shard workers intern
-// derived paths); all operations are guarded by a shared mutex —
-// readers take it shared, a miss during intern upgrades to exclusive.
+// Thread safety: lock-free for every read — path_of(), find(),
+// ancestor walks, and the hit path of intern() take no lock at all and
+// never wait on a writer (the old design put a global shared_mutex in
+// front of all of it; under a sharded mega-storm the interning of
+// derived paths serialized every worker on that one lock). Entries live
+// in an append-only segmented store (geometrically sized blocks, so
+// addresses never move) published by a release store of size_; the
+// (parent, segment) → id index is a striped_dict whose inserts touch a
+// single stripe. Writers contend only on the short append lock and the
+// one stripe owning their key; lock_contention() surfaces how often.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
+#include "skynet/common/spin_mutex.h"
+#include "skynet/common/striped_dict.h"
 #include "skynet/topology/location.h"
 
 namespace skynet {
@@ -53,7 +60,12 @@ inline constexpr location_id invalid_location_id = 0xffffffffu;
 class location_table {
 public:
     location_table();
+    ~location_table();
 
+    /// Copies snapshot a consistent prefix of the source (safe while the
+    /// source keeps interning; parents precede children, so any dense
+    /// prefix is a valid table). Moves require exclusive use of both
+    /// sides, like moving any standard container.
     location_table(const location_table& other);
     location_table& operator=(const location_table& other);
     location_table(location_table&& other) noexcept;
@@ -62,6 +74,12 @@ public:
     /// Interns the full path, creating any missing ancestors. Returns the
     /// existing id when the path is already known.
     location_id intern(const location& loc);
+
+    /// Interns at most the first `max_depth` segments of `loc` (creating
+    /// missing prefix entries). The sharded router's cheap region step:
+    /// routing only needs the region prefix, so the full-path intern can
+    /// happen later, on a worker, in parallel.
+    location_id intern_prefix(const location& loc, std::size_t max_depth);
 
     /// Interns one child step below an already-interned parent.
     location_id intern_child(location_id parent, std::string_view segment);
@@ -103,31 +121,81 @@ public:
     /// Number of interned paths (including the root).
     [[nodiscard]] std::size_t size() const;
 
+    /// Contended lock acquisitions so far: child-index stripes plus the
+    /// append lock. The sharded engine surfaces this as
+    /// steal.intern_lock_contention.
+    [[nodiscard]] std::uint64_t lock_contention() const noexcept;
+
 private:
-    struct sv_hash {
-        using is_transparent = void;
-        [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
-            return std::hash<std::string_view>{}(s);
-        }
-    };
     struct entry {
         location_id parent{root_location_id};
         std::uint32_t depth{0};
         std::string segment;
         /// Full path, cached so path_of() is a pointer dereference.
         location path;
-        /// Children by segment; the interner's walk structure.
-        std::unordered_map<std::string, location_id, sv_hash, std::equal_to<>> children;
     };
 
-    // Lock-free variants used internally while a lock is already held.
-    [[nodiscard]] location_id ancestor_at_unlocked(location_id id, std::size_t want) const;
-    void check_id(location_id id) const;
+    /// Borrowed lookup key — no allocation on the hit path.
+    struct child_ref {
+        location_id parent;
+        std::string_view segment;
+    };
+    /// Owning key of the child index: one (parent, segment) edge.
+    struct child_key {
+        location_id parent;
+        std::string segment;
 
-    mutable std::shared_mutex mutex_;
-    /// Deque: entry addresses are stable across growth, so references
-    /// returned by path_of()/segment_of() never dangle.
-    std::deque<entry> entries_;
+        child_key(location_id p, std::string_view s) : parent(p), segment(s) {}
+        explicit child_key(const child_ref& r);
+    };
+    struct child_hash {
+        using is_transparent = void;
+        [[nodiscard]] std::size_t operator()(const child_key& k) const noexcept {
+            return hash(k.parent, k.segment);
+        }
+        [[nodiscard]] std::size_t operator()(const child_ref& k) const noexcept {
+            return hash(k.parent, k.segment);
+        }
+        [[nodiscard]] static std::size_t hash(location_id parent, std::string_view seg) noexcept {
+            return std::hash<std::string_view>{}(seg) ^
+                   (static_cast<std::size_t>(parent) * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+    struct child_eq {
+        using is_transparent = void;
+        [[nodiscard]] bool operator()(const child_key& a, const child_key& b) const noexcept {
+            return a.parent == b.parent && a.segment == b.segment;
+        }
+        [[nodiscard]] bool operator()(const child_key& a, const child_ref& b) const noexcept {
+            return a.parent == b.parent && a.segment == b.segment;
+        }
+    };
+    using child_index = striped_dict<child_key, location_id, child_hash, child_eq>;
+
+    // Append-only segmented entry store: block b holds
+    // kFirstBlock << b entries, so ~32 blocks cover the whole id space
+    // and entry addresses never move (path_of() references stay valid).
+    static constexpr std::size_t kFirstBlock = 256;
+    static constexpr std::size_t kMaxBlocks = 24;
+
+    [[nodiscard]] static std::pair<std::size_t, std::size_t> block_of(std::size_t id) noexcept;
+    [[nodiscard]] const entry& at(location_id id) const noexcept;
+    void check_id(location_id id) const;
+    /// Appends a fully-built entry; returns its id (append lock held by
+    /// caller via intern paths).
+    location_id append_entry(location_id parent, std::string_view segment);
+    location_id intern_edge(location_id parent, std::string_view segment);
+    void copy_from(const location_table& other);
+    void steal_from(location_table&& other) noexcept;
+    void destroy() noexcept;
+
+    std::array<std::atomic<entry*>, kMaxBlocks> blocks_{};
+    /// Published count: entries [0, size_) are fully constructed.
+    std::atomic<std::size_t> size_{0};
+    child_index children_;
+    /// Serializes id allocation + entry construction (short critical
+    /// section; taken after a stripe lock, never before).
+    mutable spin_mutex append_mu_;
 };
 
 }  // namespace skynet

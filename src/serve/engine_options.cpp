@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "skynet/persist/durable.h"
 #include "skynet/serve/net.h"
@@ -52,6 +53,7 @@ sharded_config engine_options::sharded(const std::string& parsed_overflow) const
     const std::string& token = parsed_overflow.empty() ? overflow : parsed_overflow;
     if (const auto policy = parse_overflow_policy(token)) cfg.overflow = *policy;
     cfg.watchdog_deadline_ms = watchdog_deadline;
+    cfg.steal = steal;
     return cfg;
 }
 
@@ -71,6 +73,10 @@ std::vector<option_error> engine_options::validate(run_mode mode) const {
             errors.push_back({"--admission-budget/--breaker", e.what()});
         }
         if (shards < 0) errors.push_back({"--shards", "must be >= 0"});
+        if (shards > kMaxShards) {
+            errors.push_back({"--shards", "must be <= " + std::to_string(kMaxShards) +
+                                              " (each shard costs a worker thread)"});
+        }
         if (checkpoint_every < 1) errors.push_back({"--checkpoint-every", "must be >= 1"});
         if (duration_min < 1) errors.push_back({"--duration", "must be >= 1 minute"});
         if (customers < 0) errors.push_back({"--customers", "must be >= 0"});
@@ -188,7 +194,26 @@ cli_parse_result parse_cli(int argc, const char* const* argv) {
         } else if (arg == "--extended") {
             opt.extended = true;
         } else if (arg == "--shards") {
-            int_value(opt.shards);
+            const std::string_view text = value();
+            if (text == "auto") {
+                // One worker per hardware thread; the container may
+                // report 0 (unknown), which means "sequential" here.
+                opt.shards = static_cast<int>(std::thread::hardware_concurrency());
+            } else if (!text.empty() && !parse_int(text, opt.shards)) {
+                result.errors.push_back(
+                    {"--shards",
+                     "expected an integer or 'auto', got '" + std::string(text) + "'"});
+            }
+        } else if (arg == "--steal") {
+            const std::string_view text = value();
+            if (text == "on") {
+                opt.steal = true;
+            } else if (text == "off") {
+                opt.steal = false;
+            } else if (!text.empty()) {
+                result.errors.push_back(
+                    {"--steal", "expected on or off, got '" + std::string(text) + "'"});
+            }
         } else if (arg == "--metrics") {
             opt.metrics = true;
         } else if (arg == "--json") {
@@ -260,7 +285,10 @@ std::string cli_usage() {
         "  --noise R                        monitor glitch rate (default 0.02)\n"
         "  --seed N                         simulation seed (default 1)\n"
         "  --extended                       also run the user-telemetry/SRTE sources\n"
-        "  --shards N                       run the region-sharded engine with N workers\n"
+        "  --shards N|auto                  run the region-sharded engine with N workers\n"
+        "                                   (auto = hardware threads; max 256)\n"
+        "  --steal on|off                   deterministic work stealing between shards\n"
+        "                                   (default on; reports stay byte-identical)\n"
         "  --metrics                        print per-stage engine metrics\n"
         "  --json                           print incidents as JSON digests\n"
         "  --timeline                       print an ASCII incident timeline\n"

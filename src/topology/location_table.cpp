@@ -1,200 +1,233 @@
 #include "skynet/topology/location_table.h"
 
+#include <algorithm>
+#include <bit>
 #include <mutex>
+#include <utility>
 
 #include "skynet/common/error.h"
 
 namespace skynet {
 
-location_table::location_table() {
-    entries_.emplace_back();  // id 0: the root (empty path)
+location_table::child_key::child_key(const child_ref& r) : parent(r.parent), segment(r.segment) {}
+
+std::pair<std::size_t, std::size_t> location_table::block_of(std::size_t id) noexcept {
+    // Block b covers ids [kFirstBlock*(2^b - 1), kFirstBlock*(2^(b+1) - 1)).
+    const std::size_t q = id / kFirstBlock + 1;
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(q)) - 1;
+    const std::size_t off = id - kFirstBlock * ((std::size_t{1} << b) - 1);
+    return {b, off};
 }
 
-location_table::location_table(const location_table& other) {
-    std::shared_lock lock(other.mutex_);
-    entries_ = other.entries_;
+const location_table::entry& location_table::at(location_id id) const noexcept {
+    const auto [b, off] = block_of(id);
+    return blocks_[b].load(std::memory_order_acquire)[off];
+}
+
+void location_table::check_id(location_id id) const {
+    if (id >= size_.load(std::memory_order_acquire))
+        throw skynet_error("location_table: bad id");
+}
+
+location_table::location_table() {
+    // Entry 0: the root (empty path). Defaults are already right.
+    blocks_[0].store(new entry[kFirstBlock], std::memory_order_relaxed);
+    size_.store(1, std::memory_order_release);
+}
+
+location_table::~location_table() { destroy(); }
+
+void location_table::destroy() noexcept {
+    for (auto& slot : blocks_) {
+        entry* block = slot.load(std::memory_order_relaxed);
+        delete[] block;
+        slot.store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
+}
+
+void location_table::copy_from(const location_table& other) {
+    // Snapshot a dense prefix: entries [0, n) are fully published and
+    // parents precede children, so replaying appends in id order
+    // reproduces identical ids.
+    const std::size_t n = other.size_.load(std::memory_order_acquire);
+    for (std::size_t id = 1; id < n; ++id) {
+        const entry& e = other.at(static_cast<location_id>(id));
+        intern_edge(e.parent, e.segment);
+    }
+}
+
+void location_table::steal_from(location_table&& other) noexcept {
+    for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+        blocks_[b].store(other.blocks_[b].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        other.blocks_[b].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+    children_ = std::move(other.children_);
+}
+
+location_table::location_table(const location_table& other) : location_table() {
+    copy_from(other);
 }
 
 location_table& location_table::operator=(const location_table& other) {
     if (this == &other) return *this;
-    std::deque<entry> copy;
-    {
-        std::shared_lock lock(other.mutex_);
-        copy = other.entries_;
-    }
-    std::unique_lock lock(mutex_);
-    entries_ = std::move(copy);
+    destroy();
+    children_ = child_index();
+    blocks_[0].store(new entry[kFirstBlock], std::memory_order_relaxed);
+    size_.store(1, std::memory_order_release);
+    copy_from(other);
     return *this;
 }
 
 location_table::location_table(location_table&& other) noexcept {
-    std::unique_lock lock(other.mutex_);
-    entries_ = std::move(other.entries_);
+    steal_from(std::move(other));
 }
 
 location_table& location_table::operator=(location_table&& other) noexcept {
     if (this == &other) return *this;
-    std::scoped_lock lock(mutex_, other.mutex_);
-    entries_ = std::move(other.entries_);
+    destroy();
+    steal_from(std::move(other));
     return *this;
 }
 
-void location_table::check_id(location_id id) const {
-    if (id >= entries_.size()) throw skynet_error("location_table: bad id");
+location_id location_table::append_entry(location_id parent, std::string_view segment) {
+    std::lock_guard<spin_mutex> guard(append_mu_);
+    const std::size_t id = size_.load(std::memory_order_relaxed);
+    // Capacity of the segmented store: kFirstBlock * (2^kMaxBlocks - 1).
+    constexpr std::size_t max_entries =
+        kFirstBlock * ((std::size_t{1} << kMaxBlocks) - 1);
+    if (id >= max_entries) throw skynet_error("location_table: full");
+    const auto [b, off] = block_of(id);
+    entry* block = blocks_[b].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+        block = new entry[kFirstBlock << b];
+        blocks_[b].store(block, std::memory_order_release);
+    }
+    const entry& p = at(parent);
+    entry& e = block[off];
+    e.parent = parent;
+    e.depth = p.depth + 1;
+    e.segment = std::string(segment);
+    e.path = p.path.child(e.segment);
+    // Publish: the release pairs with check_id()'s acquire, so any id a
+    // reader can see names a fully-constructed entry.
+    size_.store(id + 1, std::memory_order_release);
+    return static_cast<location_id>(id);
+}
+
+location_id location_table::intern_edge(location_id parent, std::string_view segment) {
+    return children_.get_or_insert(child_ref{parent, segment},
+                                   [&] { return append_entry(parent, segment); });
 }
 
 location_id location_table::intern(const location& loc) {
-    // Fast path: the whole chain already exists.
-    {
-        std::shared_lock lock(mutex_);
-        location_id cur = root_location_id;
-        bool hit = true;
-        for (const std::string& seg : loc.segments()) {
-            const auto it = entries_[cur].children.find(std::string_view(seg));
-            if (it == entries_[cur].children.end()) {
-                hit = false;
-                break;
-            }
-            cur = it->second;
-        }
-        if (hit) return cur;
-    }
-    // Slow path: create the missing suffix under the exclusive lock
-    // (re-walking from the root — another thread may have interned part
-    // of the chain between the two locks).
-    std::unique_lock lock(mutex_);
     location_id cur = root_location_id;
+    for (const std::string& seg : loc.segments()) cur = intern_edge(cur, seg);
+    return cur;
+}
+
+location_id location_table::intern_prefix(const location& loc, std::size_t max_depth) {
+    location_id cur = root_location_id;
+    std::size_t taken = 0;
     for (const std::string& seg : loc.segments()) {
-        const auto it = entries_[cur].children.find(std::string_view(seg));
-        if (it != entries_[cur].children.end()) {
-            cur = it->second;
-            continue;
-        }
-        const auto id = static_cast<location_id>(entries_.size());
-        entry e;
-        e.parent = cur;
-        e.depth = entries_[cur].depth + 1;
-        e.segment = seg;
-        e.path = entries_[cur].path.child(seg);
-        entries_.push_back(std::move(e));
-        entries_[cur].children.emplace(seg, id);
-        cur = id;
+        if (taken++ >= max_depth) break;
+        cur = intern_edge(cur, seg);
     }
     return cur;
 }
 
 location_id location_table::intern_child(location_id parent, std::string_view segment) {
-    {
-        std::shared_lock lock(mutex_);
-        check_id(parent);
-        const auto it = entries_[parent].children.find(segment);
-        if (it != entries_[parent].children.end()) return it->second;
-    }
-    std::unique_lock lock(mutex_);
     check_id(parent);
-    const auto it = entries_[parent].children.find(segment);
-    if (it != entries_[parent].children.end()) return it->second;
-    const auto id = static_cast<location_id>(entries_.size());
-    entry e;
-    e.parent = parent;
-    e.depth = entries_[parent].depth + 1;
-    e.segment = std::string(segment);
-    e.path = entries_[parent].path.child(std::string(segment));
-    entries_.push_back(std::move(e));
-    entries_[parent].children.emplace(std::string(segment), id);
-    return id;
+    return intern_edge(parent, segment);
 }
 
 std::optional<location_id> location_table::find(const location& loc) const {
-    std::shared_lock lock(mutex_);
     location_id cur = root_location_id;
     for (const std::string& seg : loc.segments()) {
-        const auto it = entries_[cur].children.find(std::string_view(seg));
-        if (it == entries_[cur].children.end()) return std::nullopt;
-        cur = it->second;
+        const location_id* hit = children_.find(child_ref{cur, std::string_view(seg)});
+        if (hit == nullptr) return std::nullopt;
+        cur = *hit;
     }
     return cur;
 }
 
 const location& location_table::path_of(location_id id) const {
-    std::shared_lock lock(mutex_);
     check_id(id);
-    return entries_[id].path;
+    return at(id).path;
 }
 
 std::string_view location_table::segment_of(location_id id) const {
-    std::shared_lock lock(mutex_);
     check_id(id);
-    return entries_[id].segment;
+    return at(id).segment;
 }
 
 location_id location_table::parent_of(location_id id) const {
-    std::shared_lock lock(mutex_);
     check_id(id);
-    return entries_[id].parent;
+    return at(id).parent;
 }
 
 std::size_t location_table::depth(location_id id) const {
-    std::shared_lock lock(mutex_);
     check_id(id);
-    return entries_[id].depth;
+    return at(id).depth;
 }
 
 hierarchy_level location_table::level_of(location_id id) const {
-    std::shared_lock lock(mutex_);
     check_id(id);
-    const std::size_t d = entries_[id].depth;
+    const std::size_t d = at(id).depth;
     if (d >= depth_of(hierarchy_level::device)) return hierarchy_level::device;
     return static_cast<hierarchy_level>(d);
 }
 
-location_id location_table::ancestor_at_unlocked(location_id id, std::size_t want) const {
+location_id location_table::ancestor_at(location_id id, hierarchy_level level) const {
+    check_id(id);
+    const std::size_t want = depth_of(level);
     location_id cur = id;
-    while (entries_[cur].depth > want) cur = entries_[cur].parent;
+    while (at(cur).depth > want) cur = at(cur).parent;
     return cur;
 }
 
-location_id location_table::ancestor_at(location_id id, hierarchy_level level) const {
-    std::shared_lock lock(mutex_);
-    check_id(id);
-    const std::size_t want = depth_of(level);
-    if (want >= entries_[id].depth) return id;
-    return ancestor_at_unlocked(id, want);
-}
-
 bool location_table::contains(location_id anc, location_id desc) const {
-    std::shared_lock lock(mutex_);
     check_id(anc);
     check_id(desc);
-    if (entries_[anc].depth > entries_[desc].depth) return false;
-    return ancestor_at_unlocked(desc, entries_[anc].depth) == anc;
+    const std::size_t want = at(anc).depth;
+    if (want > at(desc).depth) return false;
+    location_id cur = desc;
+    while (at(cur).depth > want) cur = at(cur).parent;
+    return cur == anc;
 }
 
 bool location_table::is_ancestor_of(location_id anc, location_id desc) const {
-    std::shared_lock lock(mutex_);
     check_id(anc);
     check_id(desc);
-    if (entries_[anc].depth >= entries_[desc].depth) return false;
-    return ancestor_at_unlocked(desc, entries_[anc].depth) == anc;
+    const std::size_t want = at(anc).depth;
+    if (want >= at(desc).depth) return false;
+    location_id cur = desc;
+    while (at(cur).depth > want) cur = at(cur).parent;
+    return cur == anc;
 }
 
 location_id location_table::common_ancestor(location_id a, location_id b) const {
-    std::shared_lock lock(mutex_);
     check_id(a);
     check_id(b);
-    const std::size_t want = std::min<std::size_t>(entries_[a].depth, entries_[b].depth);
-    location_id x = ancestor_at_unlocked(a, want);
-    location_id y = ancestor_at_unlocked(b, want);
+    const std::size_t want = std::min<std::size_t>(at(a).depth, at(b).depth);
+    location_id x = a;
+    while (at(x).depth > want) x = at(x).parent;
+    location_id y = b;
+    while (at(y).depth > want) y = at(y).parent;
     while (x != y) {
-        x = entries_[x].parent;
-        y = entries_[y].parent;
+        x = at(x).parent;
+        y = at(y).parent;
     }
     return x;
 }
 
-std::size_t location_table::size() const {
-    std::shared_lock lock(mutex_);
-    return entries_.size();
+std::size_t location_table::size() const { return size_.load(std::memory_order_acquire); }
+
+std::uint64_t location_table::lock_contention() const noexcept {
+    return children_.lock_contention() + append_mu_.contended();
 }
 
 }  // namespace skynet

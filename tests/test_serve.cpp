@@ -229,6 +229,42 @@ TEST(EngineOptionsTest, ServeModeRejectsBatchOnlyFlags) {
     EXPECT_FALSE(bad_addr.validate(run_mode::serve).empty());
 }
 
+TEST(EngineOptionsTest, ShardsAcceptsAutoAndEnforcesUpperBound) {
+    const auto automatic = parse({"--shards", "auto"});
+    ASSERT_TRUE(automatic.ok());
+    EXPECT_EQ(automatic.opts.shards,
+              static_cast<int>(std::thread::hardware_concurrency()));
+    EXPECT_TRUE(automatic.opts.validate(run_mode::batch).empty());
+
+    const auto bad = parse({"--shards", "lots"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.errors[0].option, "--shards");
+
+    engine_options too_many;
+    too_many.shards = engine_options::kMaxShards + 1;
+    const auto errors = offending_flags(too_many.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--shards"), errors.end());
+
+    engine_options at_cap;
+    at_cap.shards = engine_options::kMaxShards;
+    EXPECT_TRUE(at_cap.validate(run_mode::batch).empty());
+}
+
+TEST(EngineOptionsTest, StealFlagParsesOnOffAndReachesShardedConfig) {
+    EXPECT_TRUE(parse({}).opts.steal);  // stealing is the default
+    EXPECT_TRUE(parse({"--steal", "on"}).opts.steal);
+
+    const auto off = parse({"--steal", "off"});
+    ASSERT_TRUE(off.ok());
+    EXPECT_FALSE(off.opts.steal);
+    EXPECT_FALSE(off.opts.sharded().steal);
+    EXPECT_TRUE(parse({"--steal", "on"}).opts.sharded().steal);
+
+    const auto bad = parse({"--steal", "maybe"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.errors[0].option, "--steal");
+}
+
 TEST(EngineOptionsTest, ClientModeRequiresExactlyOneAction) {
     engine_options opt;
     opt.client.connect = "tcp:127.0.0.1:1";

@@ -157,6 +157,81 @@ TEST(ShardedEquivalenceTest, TinyQueueBackpressureStaysCorrect) {
     expect_identical_reports(a.take_reports(), b.take_reports());
 }
 
+TEST(StealParityTest, StealOnAndOffMatchSequential) {
+    // Deterministic stealing moves *where* a batch is prepared, never
+    // the order its effects apply in, so toggling it cannot change a
+    // byte of the merged ranking.
+    world w;
+    const scenario_factory make = [&] {
+        rng srand(84);
+        return make_security_ddos(w.topo, srand, 3);
+    };
+
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine seq(w.deps(), cfg);
+    drive(w, seq, make, minutes(5), 85);
+    const std::vector<incident_report> seq_reports = seq.take_reports();
+
+    for (const bool steal : {true, false}) {
+        SCOPED_TRACE(steal ? "steal on" : "steal off");
+        sharded_config scfg;
+        scfg.shards = 4;
+        scfg.steal = steal;
+        // Unbatched ingest: many small stealable jobs per shard.
+        scfg.max_ingest_batch = 1;
+        sharded_engine par(w.deps(), scfg);
+        drive(w, par, make, minutes(5), 85);
+        expect_identical_reports(seq_reports, par.take_reports());
+        const steal_metrics st = par.metrics().steal;
+        if (!steal) {
+            EXPECT_EQ(st.batches_stolen, 0u);
+            EXPECT_EQ(st.steal_attempts, 0u);
+        }
+    }
+}
+
+TEST(StealParityTest, StealUnderStallKeepsParityAndStealsBatches) {
+    // Composes stealing with the PR 5 watchdog stall clause: one shard
+    // parks at its gate long enough for idle peers to prepare its queued
+    // batches, the watchdog releases it, and the recovered owner applies
+    // the thief-prepared work in submission order. The report must stay
+    // byte-identical to the sequential run and at least one batch must
+    // actually have been stolen — otherwise the test silently stopped
+    // covering the thief path.
+    world w;
+    const scenario_factory make = [&] {
+        rng srand(86);
+        return make_security_ddos(w.topo, srand, 3);
+    };
+
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    skynet_engine seq(w.deps(), cfg);
+    drive(w, seq, make, minutes(4), 87);
+    const std::vector<incident_report> seq_reports = seq.take_reports();
+
+    sharded_config scfg;
+    scfg.shards = 4;
+    scfg.max_ingest_batch = 1;
+    // A long leash: the stall must outlive the thieves' scan-and-prepare
+    // cycle, and the watchdog must recover (not write off) the shard.
+    scfg.watchdog_deadline_ms = 500;
+    scfg.worker_stall = [](std::size_t shard, std::uint64_t ordinal) {
+        return shard == 1 && ordinal == 2;
+    };
+    sharded_engine par(w.deps(), scfg);
+    drive(w, par, make, minutes(4), 87);
+    const std::vector<incident_report> par_reports = par.take_reports();
+
+    expect_identical_reports(seq_reports, par_reports);
+    const engine_metrics m = par.metrics();
+    EXPECT_GE(m.overload.stalls_detected, 1u);
+    EXPECT_EQ(m.overload.shards_written_off, 0u);
+    EXPECT_GE(m.steal.batches_stolen, 1u);
+    EXPECT_GE(m.steal.alerts_stolen, m.steal.batches_stolen);
+}
+
 TEST(ShardedEngineTest, RoutesRegionsAndCountsShards) {
     world w;
     sharded_config scfg;
