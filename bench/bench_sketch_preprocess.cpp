@@ -1,0 +1,204 @@
+// Sketch hot-path bench: single-shard preprocessor under a mega-flood.
+//
+// The paper's alert floods stress the consolidation tables with
+// cardinalities far past the steady state. This bench synthesizes a
+// deterministic flood (hot set + long uniform tail) at two cardinalities
+// — both well past the sketch threshold — and drives it through one
+// preprocessor, measuring ingest throughput and the peak live size of
+// the counting structures.
+//
+// Two gates:
+//
+//  * bounded memory (always armed): the live consolidation entry count
+//    must stay at the configured threshold, *independent of flood
+//    cardinality* — quadrupling the distinct-key count must not move
+//    the peak. This is the whole point of the sketched regime.
+//  * throughput (armed only in optimized, unsanitized builds): >= 10^6
+//    alerts/s sustained through process() on a single shard.
+//
+// Both decisions are printed as gate:armed(...)/gate:skipped(...) — a
+// skipped gate must read as skipped, never as silently passed. Emits
+// machine-readable results to BENCH_sketch_preprocess.json (override
+// with argv[1]).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "skynet/core/preprocessor.h"
+
+#if defined(NDEBUG) && !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+#define SKYNET_SKETCH_GATE_THROUGHPUT 0
+#else
+#define SKYNET_SKETCH_GATE_THROUGHPUT 1
+#endif
+#else
+#define SKYNET_SKETCH_GATE_THROUGHPUT 1
+#endif
+#else
+#define SKYNET_SKETCH_GATE_THROUGHPUT 0
+#endif
+
+namespace {
+
+using namespace skynet;
+
+constexpr std::size_t kAlerts = 1u << 20;       // 1,048,576 per run
+constexpr std::size_t kHotKeys = 64;            // half the flood repeats these
+constexpr std::size_t kThreshold = 4096;        // exact-regime ceiling under test
+constexpr std::size_t kSampleEvery = 1u << 12;  // live-size sampling cadence
+constexpr std::size_t kFlushEvery = 1u << 17;   // periodic maintenance ticks
+constexpr int kRepetitions = 3;                 // best-of wall clock
+
+/// Deterministic flood: 50% hot-set repeats, 50% uniform over
+/// `cardinality` distinct locations. Key choice uses a fixed LCG so two
+/// runs (and two cardinalities) draw structurally identical streams.
+std::vector<raw_alert> synthesize_flood(std::size_t cardinality) {
+    std::vector<raw_alert> flood;
+    flood.reserve(kAlerts);
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    for (std::size_t i = 0; i < kAlerts; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t draw = state >> 33;
+        const std::size_t key =
+            (draw & 1) ? (draw >> 1) % kHotKeys : (draw >> 1) % cardinality;
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.kind = "high cpu";
+        a.timestamp = static_cast<sim_time>(i);
+        a.loc = location{"R", "B" + std::to_string(key)};
+        flood.push_back(std::move(a));
+    }
+    return flood;
+}
+
+struct run_result {
+    double wall_s{0.0};
+    double alerts_per_sec{0.0};
+    std::size_t peak_live_entries{0};
+    std::size_t sketch_bytes{0};
+    std::uint64_t sketched_counts{0};
+    std::int64_t emitted_new{0};
+};
+
+run_result run_flood(const bench::world& w, const std::vector<raw_alert>& flood) {
+    preprocessor_config cfg;
+    cfg.sketch.mode = sketch::counting_mode::auto_switch;
+    cfg.sketch.threshold = kThreshold;
+    preprocessor pre(&w.topo, &w.registry, &w.syslog, cfg);
+
+    run_result r;
+    r.sketch_bytes = cfg.sketch.width * cfg.sketch.depth * sizeof(std::uint64_t);
+    const bench::stopwatch timer;
+    for (std::size_t i = 0; i < flood.size(); ++i) {
+        (void)pre.process(flood[i], flood[i].timestamp);
+        if ((i + 1) % kSampleEvery == 0 && pre.pending_count() > r.peak_live_entries) {
+            r.peak_live_entries = pre.pending_count();
+        }
+        if ((i + 1) % kFlushEvery == 0) {
+            (void)pre.flush(flood[i].timestamp);
+        }
+    }
+    (void)pre.flush(static_cast<sim_time>(flood.size()) + minutes(10));
+    r.wall_s = timer.seconds();
+    if (pre.pending_count() > r.peak_live_entries) r.peak_live_entries = pre.pending_count();
+    r.alerts_per_sec = static_cast<double>(flood.size()) / r.wall_s;
+    r.sketched_counts = pre.sketched_counts();
+    r.emitted_new = pre.stats().emitted_new;
+    return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = argc > 1 ? argv[1] : "BENCH_sketch_preprocess.json";
+    // A minimal world: the flood keys on synthetic locations, so the
+    // topology itself stays empty and every cost measured is the
+    // preprocessor's.
+    const bench::world w(generator_params::small(), 0, 1);
+
+    bool ok = true;
+    std::printf("sketch preprocess: %zu alerts/run, threshold %zu, %d repetitions\n",
+                kAlerts, kThreshold, kRepetitions);
+    std::printf("%-12s %10s %12s %12s %12s %12s\n", "cardinality", "wall_s", "alerts/s",
+                "peak_live", "sketch_KiB", "sketched");
+
+    const std::size_t cardinalities[] = {32768, 131072};
+    run_result best[2];
+    for (int c = 0; c < 2; ++c) {
+        const std::vector<raw_alert> flood = synthesize_flood(cardinalities[c]);
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+            const run_result r = run_flood(w, flood);
+            if (rep == 0 || r.wall_s < best[c].wall_s) best[c] = r;
+        }
+        std::printf("%-12zu %10.3f %12.0f %12zu %12zu %12llu\n", cardinalities[c],
+                    best[c].wall_s, best[c].alerts_per_sec, best[c].peak_live_entries,
+                    best[c].sketch_bytes / 1024,
+                    static_cast<unsigned long long>(best[c].sketched_counts));
+        if (best[c].sketched_counts == 0) {
+            std::fprintf(stderr, "FAIL: cardinality %zu never reached the sketched regime\n",
+                         cardinalities[c]);
+            ok = false;
+        }
+    }
+
+    // Bounded-memory gate, always armed: the peak live entry count must
+    // sit at the threshold (plus persistence/correlation slack) at BOTH
+    // cardinalities, and quadrupling the cardinality must not move it.
+    std::printf("gate:armed(memory)\n");
+    for (int c = 0; c < 2; ++c) {
+        if (best[c].peak_live_entries > kThreshold + 16) {
+            std::fprintf(stderr, "FAIL: peak live entries %zu at cardinality %zu, cap %zu\n",
+                         best[c].peak_live_entries, cardinalities[c], kThreshold + 16);
+            ok = false;
+        }
+    }
+    if (best[1].peak_live_entries > best[0].peak_live_entries + 64) {
+        std::fprintf(stderr,
+                     "FAIL: peak live entries grew with cardinality (%zu -> %zu); "
+                     "sketched memory must be cardinality-independent\n",
+                     best[0].peak_live_entries, best[1].peak_live_entries);
+        ok = false;
+    }
+
+#if SKYNET_SKETCH_GATE_THROUGHPUT
+    std::printf("gate:armed(throughput)\n");
+    for (int c = 0; c < 2; ++c) {
+        if (best[c].alerts_per_sec < 1e6) {
+            std::fprintf(stderr, "FAIL: %.0f alerts/s at cardinality %zu, need >= 1e6\n",
+                         best[c].alerts_per_sec, cardinalities[c]);
+            ok = false;
+        }
+    }
+#else
+    std::printf("gate:skipped(throughput, build=debug-or-sanitized)\n");
+#endif
+
+    bench::bench_json doc("sketch_preprocess");
+    doc.field("alerts_per_run", std::uint64_t{kAlerts});
+    doc.field("repetitions", std::uint64_t{kRepetitions});
+    doc.field("sketch_threshold", std::uint64_t{kThreshold});
+    doc.field("throughput_gate_active", bool{SKYNET_SKETCH_GATE_THROUGHPUT != 0});
+    doc.field("memory_gate_active", true);
+    std::string runs = "[\n";
+    for (int c = 0; c < 2; ++c) {
+        char buf[320];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"cardinality\":%zu,\"wall_s\":%.3f,\"alerts_per_sec\":%.0f,"
+                      "\"peak_live_entries\":%zu,\"sketch_bytes\":%zu,"
+                      "\"sketched_counts\":%llu,\"emitted_new\":%lld}",
+                      cardinalities[c], best[c].wall_s, best[c].alerts_per_sec,
+                      best[c].peak_live_entries, best[c].sketch_bytes,
+                      static_cast<unsigned long long>(best[c].sketched_counts),
+                      static_cast<long long>(best[c].emitted_new));
+        runs += buf;
+        runs += c == 0 ? ",\n" : "\n";
+    }
+    runs += "  ]";
+    doc.raw("runs", runs);
+    if (!bench::write_bench_json(json_path, doc)) ok = false;
+    return ok ? 0 : 1;
+}

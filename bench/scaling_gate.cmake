@@ -1,0 +1,30 @@
+# ctest wrapper for bench_shard_scaling: runs the sweep and asserts the
+# throughput gate reported its decision explicitly. A bench that skips
+# its gate (too few hardware threads) must say so — silent non-arming
+# once made a 1-cpu CI container look like it had verified 6x scaling.
+#
+# Expects: -DBENCH_BIN=<bench_shard_scaling> -DJSON_OUT=<BENCH_*.json>
+if(NOT DEFINED BENCH_BIN OR NOT DEFINED JSON_OUT)
+  message(FATAL_ERROR "scaling_gate.cmake needs -DBENCH_BIN and -DJSON_OUT")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_BIN} ${JSON_OUT}
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err
+  RESULT_VARIABLE bench_rc
+)
+message("${bench_out}")
+if(NOT bench_err STREQUAL "")
+  message("${bench_err}")
+endif()
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_shard_scaling failed (exit ${bench_rc})")
+endif()
+
+if(NOT bench_out MATCHES "gate:armed\\(scaling, hw_threads=[0-9]+\\)" AND
+   NOT bench_out MATCHES "gate:skipped\\(hw_threads=[0-9]+\\)")
+  message(FATAL_ERROR
+    "bench_shard_scaling printed neither gate:armed(scaling, hw_threads=N) "
+    "nor gate:skipped(hw_threads=N) — the gate decision must be explicit")
+endif()

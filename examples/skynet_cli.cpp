@@ -134,7 +134,10 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
         if (guard != nullptr) guard->on_tick(now);
         if (opt.health_json.empty()) return;
         engine_metrics m = engine.barrier_metrics();
-        if (guard != nullptr) m.overload += guard->metrics();
+        if (guard != nullptr) {
+            m.overload += guard->metrics();
+            m.degraded.sketched += guard->sketched_decisions();
+        }
         write_atomic(opt.health_json, m.to_json() + "\n");
     };
 
@@ -313,7 +316,10 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
     if (opt.metrics) {
         engine_metrics m = engine.metrics();
         m.recovery += persist_metrics;
-        if (guard != nullptr) m.overload += guard->metrics();
+        if (guard != nullptr) {
+            m.overload += guard->metrics();
+            m.degraded.sketched += guard->sketched_decisions();
+        }
         if (faults != nullptr) {
             // The injector, not the engine, knows which sources went dark.
             m.degraded.sources_in_dropout = faults->stats().sources_in_dropout;
@@ -537,6 +543,6 @@ int main(int argc, char** argv) {
                     scfg.watchdog_deadline_ms > 0 ? ", watchdog on" : "");
         return run_session(engine, opt, topo, customers, faults.get(), &guard);
     }
-    skynet_engine engine(deps);
+    skynet_engine engine(deps, opt.pipeline);
     return run_session(engine, opt, topo, customers, faults.get(), &guard);
 }

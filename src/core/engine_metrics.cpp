@@ -86,13 +86,14 @@ std::string engine_metrics::render() const {
         std::snprintf(buf, sizeof buf,
                       "  degraded: %llu rejected, %llu dropped (overflow), %llu skew-clamped, "
                       "%llu sources in dropout, %llu dropped (failed shard), "
-                      "%llu log out-of-order\n",
+                      "%llu log out-of-order, %llu sketched\n",
                       static_cast<unsigned long long>(degraded.alerts_rejected),
                       static_cast<unsigned long long>(degraded.alerts_dropped_overflow),
                       static_cast<unsigned long long>(degraded.skew_clamped),
                       static_cast<unsigned long long>(degraded.sources_in_dropout),
                       static_cast<unsigned long long>(degraded.alerts_dropped_failed_shard),
-                      static_cast<unsigned long long>(degraded.log_out_of_order));
+                      static_cast<unsigned long long>(degraded.log_out_of_order),
+                      static_cast<unsigned long long>(degraded.sketched));
         out += buf;
     }
     if (recovery.any()) {
@@ -201,7 +202,8 @@ std::string engine_metrics::to_json() const {
     u("skew_clamped", degraded.skew_clamped);
     u("sources_in_dropout", degraded.sources_in_dropout);
     u("alerts_dropped_failed_shard", degraded.alerts_dropped_failed_shard);
-    u("log_out_of_order", degraded.log_out_of_order, true);
+    u("log_out_of_order", degraded.log_out_of_order);
+    u("sketched", degraded.sketched, true);
     out += "},\"recovery\":{";
     u("journal_records_written", recovery.journal_records_written);
     u("journal_flushes", recovery.journal_flushes);

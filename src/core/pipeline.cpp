@@ -12,6 +12,9 @@ error skynet_config::validate() const {
     if (pre.persistence_threshold < 0) {
         return error("preprocessor: negative persistence_threshold");
     }
+    if (const char* msg = pre.sketch.check()) {
+        return error(std::string("preprocessor: ") + msg);
+    }
     if (loc.node_timeout <= 0) return error("locator: node_timeout must be positive");
     if (loc.incident_timeout <= 0) return error("locator: incident_timeout must be positive");
     const incident_thresholds& t = loc.thresholds;
@@ -204,6 +207,7 @@ void skynet_engine::sync_overload_counters() noexcept {
     metrics_.overload.evicted_pending = pre_.evicted_pending();
     metrics_.overload.evicted_node_alerts = locator_.evicted_node_alerts();
     metrics_.overload.evicted_incidents = locator_.evicted_incidents();
+    metrics_.degraded.sketched = pre_.sketched_counts();
 }
 
 incident_report skynet_engine::finalize(const incident& inc, sim_time now,

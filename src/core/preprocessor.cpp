@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "skynet/common/error.h"
@@ -20,11 +21,26 @@ bool canonical_before(const structured_alert& a, const structured_alert& b) {
     return a.loc < b.loc;
 }
 
+/// Per-table key salts: the three consolidation tables share one sketch,
+/// so the same (type, location) key must land on different cells per
+/// table — otherwise an open-table repeat would inflate the persistence
+/// count of the same alert.
+constexpr std::uint64_t kOpenSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kPersistSalt = 0xc2b2ae3d27d4eb4full;
+constexpr std::uint64_t kCorrelSalt = 0x165667b19e3779f9ull;
+
+/// Sketch estimates flow into structured_alert::count, which is int.
+int clamp_count(std::uint64_t estimate) noexcept {
+    constexpr std::uint64_t cap = std::numeric_limits<int>::max();
+    return static_cast<int>(std::min(estimate, cap));
+}
+
 }  // namespace
 
 preprocessor::preprocessor(const topology* topo, const alert_type_registry* registry,
                            const syslog_classifier* syslog, preprocessor_config config)
-    : topo_(topo), registry_(registry), syslog_(syslog), config_(config) {
+    : topo_(topo), registry_(registry), syslog_(syslog), config_(config),
+      policy_(config.sketch) {
     if (topo_ == nullptr || registry_ == nullptr) {
         throw skynet_error("preprocessor: null topology or registry");
     }
@@ -89,6 +105,13 @@ void preprocessor::import_state(persist_state state) {
     for (const persist_state::sighting_entry& s : state.sightings) {
         sightings_.push_back(sighting{.loc = s.loc, .at = s.at});
     }
+    // Reset-on-recover: sketch state is approximate and deliberately not
+    // part of snapshots. A recovered sketched-regime run re-learns its
+    // counts from scratch; the direction of the error is conservative —
+    // forgotten repeats re-emit as new alerts rather than being merged
+    // away silently. See DESIGN.md "Sketched counting".
+    policy_.reset_all();
+    sketch_epoch_ = 0;
 }
 
 std::optional<structured_alert> preprocessor::to_structured(const raw_alert& raw) const {
@@ -180,12 +203,39 @@ void preprocessor::enforce_cap(std::unordered_map<std::uint64_t, Entry>& map,
 void preprocessor::emit(structured_alert alert, sim_time now, std::vector<preprocess_event>& out) {
     note_sighting(alert, now);
     const std::uint64_t key = key_of(alert);
-    auto [it, inserted] = open_.try_emplace(key);
-    if (inserted || now - it->second.last_seen > config_.dedup_window) {
+    auto it = open_.find(key);
+    if (it == open_.end() && policy_.enabled() && policy_.overflowing(open_.size())) {
+        // Sketched dedup: the open table is full of *other* keys, so this
+        // key's repeat count lives in the sketch. A zero pre-estimate is
+        // exact for count-min, so "new alert" decisions are never wrong;
+        // repeats become consolidation updates whose count may be
+        // overestimated (never under). No per-key state is stored — the
+        // update event carries the incoming alert's own time range.
+        const sketch::counted c =
+            policy_.sketch_add(key ^ kOpenSalt, static_cast<std::uint64_t>(std::max(1, alert.count)));
+        if (c.first) {
+            ++stats_.emitted_new;
+            out.push_back(preprocess_event{.alert = std::move(alert), .is_update = false});
+            return;
+        }
+        alert.count = clamp_count(c.count);
+        ++stats_.merged_identical;
+        ++stats_.emitted_update;
+        out.push_back(preprocess_event{.alert = std::move(alert), .is_update = true});
+        return;
+    }
+    if (it == open_.end()) {
+        it = open_.try_emplace(key).first;
         it->second = open_alert{.alert = alert, .last_seen = now};
         ++stats_.emitted_new;
         out.push_back(preprocess_event{.alert = std::move(alert), .is_update = false});
-        if (inserted) enforce_cap(open_, key);
+        enforce_cap(open_, key);
+        return;
+    }
+    if (now - it->second.last_seen > config_.dedup_window) {
+        it->second = open_alert{.alert = alert, .last_seen = now};
+        ++stats_.emitted_new;
+        out.push_back(preprocess_event{.alert = std::move(alert), .is_update = false});
         return;
     }
     // Identical-alert consolidation: refresh the open alert.
@@ -220,9 +270,32 @@ void preprocessor::route(structured_alert alert, sim_time now,
         alert.source == data_source::out_of_band && alert.type_name == "device inaccessible";
     if ((probe_loss || liveness_probe) && config_.persistence_threshold > 1) {
         const std::uint64_t key = key_of(alert);
-        auto [it, inserted] = pending_persistence_.try_emplace(
-            key, pending_alert{.alert = alert, .occurrences = 0, .first_seen = now, .last_seen = now});
-        if (inserted) enforce_cap(pending_persistence_, key);
+        auto it = pending_persistence_.find(key);
+        const bool inserted = it == pending_persistence_.end();
+        if (inserted) {
+            if (policy_.enabled() && policy_.overflowing(pending_persistence_.size())) {
+                // Sketched persistence: count occurrences in the sketch
+                // and release the incoming alert once the estimate
+                // crosses the threshold. Overestimation releases a probe
+                // blip *earlier* than exact counting would — degraded
+                // toward emitting, never toward losing a persistent
+                // failure. (The per-poll burst dedup of last_counted_ts
+                // is not modeled here; same direction of error.)
+                const sketch::counted c = policy_.sketch_add(key ^ kPersistSalt, 1);
+                if (c.count < static_cast<std::uint64_t>(config_.persistence_threshold)) {
+                    return;  // hold
+                }
+                emit(std::move(alert), now, out);
+                return;
+            }
+            it = pending_persistence_
+                     .try_emplace(key, pending_alert{.alert = alert,
+                                                     .occurrences = 0,
+                                                     .first_seen = now,
+                                                     .last_seen = now})
+                     .first;
+            enforce_cap(pending_persistence_, key);
+        }
         pending_alert& p = it->second;
         if (!inserted && now - p.last_seen > config_.persistence_window) {
             // Stale entry: restart the observation window.
@@ -260,13 +333,31 @@ void preprocessor::route(structured_alert alert, sim_time now,
             return;
         }
         const std::uint64_t key = key_of(alert);
-        auto [it, inserted] = pending_correlation_.try_emplace(
-            key, pending_alert{.alert = alert, .occurrences = 1, .first_seen = now, .last_seen = now});
-        if (inserted) enforce_cap(pending_correlation_, key);
-        if (!inserted) {
-            it->second.last_seen = now;
-            it->second.alert.when.extend(alert.when.end);
+        auto it = pending_correlation_.find(key);
+        if (it == pending_correlation_.end()) {
+            if (policy_.enabled() && policy_.overflowing(pending_correlation_.size())) {
+                // Sketched correlation: there is no stored alert to
+                // release on later corroboration, so an uncorroborated
+                // drop past the cardinality ceiling is discarded now
+                // (the exact regime would hold it for up to
+                // correlation_window and usually discard it then). The
+                // sketch records the occurrence so the degraded marker
+                // and estimates reflect the flood.
+                (void)policy_.sketch_add(key ^ kCorrelSalt, 1);
+                ++stats_.dropped_uncorroborated;
+                return;
+            }
+            it = pending_correlation_
+                     .try_emplace(key, pending_alert{.alert = alert,
+                                                     .occurrences = 1,
+                                                     .first_seen = now,
+                                                     .last_seen = now})
+                     .first;
+            enforce_cap(pending_correlation_, key);
+            return;  // waits for corroboration or expiry
         }
+        it->second.last_seen = now;
+        it->second.alert.when.extend(alert.when.end);
         return;  // waits for corroboration or expiry
     }
 
@@ -470,6 +561,19 @@ std::vector<preprocess_event> preprocessor::flush(sim_time now) {
     // Prune the corroboration history.
     while (!sightings_.empty() && now - sightings_.front().at > config_.correlation_window) {
         sightings_.pop_front();
+    }
+
+    // Sketch epoch rollover: the sketched analog of open-table expiry.
+    // One dedup_window after the sketch first activates, its cells are
+    // zeroed so stale floods stop inflating estimates forever. Keyed on
+    // sim time only, so replays roll the epoch at identical points.
+    if (policy_.sketch_active()) {
+        if (sketch_epoch_ == 0) {
+            sketch_epoch_ = now;
+        } else if (now - sketch_epoch_ >= config_.dedup_window) {
+            policy_.clear_sketch();
+            sketch_epoch_ = 0;
+        }
     }
     return out;
 }

@@ -74,11 +74,16 @@ struct degraded_metrics {
     /// history query silently degraded from a binary-searched start to a
     /// full linear scan (see incident_log::out_of_order_appends()).
     std::uint64_t log_out_of_order{0};
+    /// Counting decisions served by the count-min sketch instead of an
+    /// exact table (preprocessor consolidation past the cardinality
+    /// threshold, overload-guard dedup past it). Nonzero means counts in
+    /// the current window may be overestimates — never underestimates.
+    std::uint64_t sketched{0};
 
     [[nodiscard]] bool any() const noexcept {
         return alerts_rejected != 0 || alerts_dropped_overflow != 0 || skew_clamped != 0 ||
                sources_in_dropout != 0 || alerts_dropped_failed_shard != 0 ||
-               log_out_of_order != 0;
+               log_out_of_order != 0 || sketched != 0;
     }
 
     degraded_metrics& operator+=(const degraded_metrics& other) noexcept {
@@ -88,6 +93,7 @@ struct degraded_metrics {
         sources_in_dropout += other.sources_in_dropout;
         alerts_dropped_failed_shard += other.alerts_dropped_failed_shard;
         log_out_of_order += other.log_out_of_order;
+        sketched += other.sketched;
         return *this;
     }
 };

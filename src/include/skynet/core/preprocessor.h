@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "skynet/alert/type_registry.h"
+#include "skynet/sketch/counting.h"
 #include "skynet/syslog/classifier.h"
 #include "skynet/syslog/template_miner.h"
 #include "skynet/topology/topology.h"
@@ -58,6 +59,13 @@ struct preprocessor_config {
     /// Cap on the cross-source corroboration history (oldest sightings
     /// dropped first). 0 = unbounded.
     std::size_t max_sightings = 0;
+    /// Sketch-based counting for flood-scale cardinalities: below
+    /// sketch.threshold distinct keys per consolidation table everything
+    /// is exact (bit-identical to sketch-off), above it new keys are
+    /// counted in a count-min sketch with bounded memory and bounded
+    /// overestimation (never undercounts). See DESIGN.md "Sketched
+    /// counting".
+    sketch::sketch_config sketch{};
 };
 
 /// Counters for the Figure 8b before/after comparison.
@@ -209,6 +217,15 @@ public:
     /// Deliberately outside preprocessor_stats (which is persisted in
     /// snapshots with a fixed field count); resets with the process.
     [[nodiscard]] std::uint64_t evicted_pending() const noexcept { return evicted_pending_; }
+    /// Lifetime consolidation decisions served by the count-min sketch
+    /// instead of an exact table (the degraded.sketched marker). Outside
+    /// preprocessor_stats for the same fixed-field-count reason as
+    /// evicted_pending(); resets on import_state (reset-on-recover).
+    [[nodiscard]] std::uint64_t sketched_counts() const noexcept {
+        return policy_.sketched_adds();
+    }
+    /// True once any consolidation table has spilled into the sketch.
+    [[nodiscard]] bool sketch_active() const noexcept { return policy_.sketch_active(); }
     /// Live consolidation entries (open + persistence + correlation):
     /// the preprocessor's share of the engine's memory footprint.
     [[nodiscard]] std::size_t pending_count() const noexcept {
@@ -270,6 +287,16 @@ private:
     preprocessor_config config_;
     preprocessor_stats stats_;
     std::uint64_t evicted_pending_{0};
+    /// Count-min overflow shared by all three consolidation tables
+    /// (per-table key salts keep their streams from colliding by
+    /// construction). Only apply-side code (emit/route/flush) touches it
+    /// — prepare() stays const and thread-safe, so the single-writer
+    /// contract of the conservative update holds under work stealing.
+    sketch::counting_policy policy_;
+    /// Simulated time the sketch epoch started; the sketch is zeroed one
+    /// dedup_window after it first activates (the sketched analog of
+    /// open-table expiry), keyed purely off sim time for determinism.
+    sim_time sketch_epoch_{0};
 
     std::unordered_map<std::uint64_t, open_alert> open_;
     std::unordered_map<std::uint64_t, pending_alert> pending_persistence_;

@@ -45,6 +45,7 @@
 #include "skynet/common/time.h"
 #include "skynet/core/engine_metrics.h"
 #include "skynet/sim/trace.h"
+#include "skynet/sketch/counting.h"
 #include "skynet/topology/topology.h"
 
 namespace skynet::overload {
@@ -80,6 +81,12 @@ struct breaker_config {
 struct controller_config {
     admission_config admission;
     breaker_config breaker;
+    /// Counting policy for the in-window dedup set and the per-source
+    /// alert/byte usage tallies. Below the cardinality threshold both run
+    /// exact (bit-identical to a plain set/map); past it new dedup keys
+    /// fall back to a count-min sketch whose one-sided error can only
+    /// overestimate — i.e. shed *more* duplicates, never fewer.
+    sketch::sketch_config sketch{};
 
     /// True when both mechanisms are off: admit() returns batches
     /// verbatim and touches no counters.
@@ -145,6 +152,17 @@ public:
         return breakers_[static_cast<std::size_t>(source)];
     }
 
+    /// Alerts admitted from `source` in the current tick window.
+    [[nodiscard]] std::uint64_t source_window_alerts(data_source source) const;
+    /// Approximate bytes admitted from `source` in the current tick window.
+    [[nodiscard]] std::uint64_t source_window_bytes(data_source source) const;
+    /// Lifetime count of dedup/usage decisions served by the sketch
+    /// instead of an exact container. Callers fold this into
+    /// engine_metrics::degraded.sketched.
+    [[nodiscard]] std::uint64_t sketched_decisions() const noexcept {
+        return dedup_policy_.sketched_adds() + usage_.sketched_adds();
+    }
+
     [[nodiscard]] persist_state export_state() const;
     void import_state(const persist_state& state);
 
@@ -158,6 +176,11 @@ private:
     [[nodiscard]] bool is_bad(const raw_alert& raw) const;
     [[nodiscard]] shed_class classify(const raw_alert& raw, bool duplicate) const;
     [[nodiscard]] std::string dedup_key(const raw_alert& raw) const;
+    /// Records `key` in the window dedup structure and reports whether it
+    /// was already seen. Exact below the cardinality threshold; sketched
+    /// (may over-report duplicates, never under-report) above it.
+    [[nodiscard]] bool note_dedup(const std::string& key);
+    void account_usage(data_source source, std::uint64_t bytes);
     void run_breaker(const raw_alert& raw, sim_time now, verdict& v);
     void roll_window(breaker_status& st, sim_time now);
     /// Computes keep/shed for the batch; positions map 1:1 to input.
@@ -172,6 +195,14 @@ private:
     std::unordered_set<std::string> dedup_seen_;
     std::array<breaker_status, data_source_count> breakers_{};
     overload_metrics metrics_;
+    /// Window dedup overflow: once dedup_seen_ crosses the configured
+    /// threshold, new keys are counted in the sketch instead of growing
+    /// the exact set. Reset each tick window; never persisted — a
+    /// recovered session starts in the exact regime (see DESIGN.md).
+    sketch::counting_policy dedup_policy_;
+    /// Per-source admitted alert/byte tallies for the current window,
+    /// keyed 2*source (alerts) and 2*source+1 (bytes).
+    sketch::counting_policy usage_;
 };
 
 }  // namespace skynet::overload

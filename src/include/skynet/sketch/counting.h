@@ -1,0 +1,199 @@
+// Sketch-based hot-path counting (count-min with conservative update).
+//
+// The paper's central stressor is alert flooding: duplicate/frequency
+// consolidation must survive floods whose cardinality dwarfs the steady
+// state. Exact hash maps pay memory and cache misses proportional to
+// flood cardinality — exactly the bill a mega-storm runs up. A count-min
+// sketch bounds both at a fixed width*depth grid of counters at the cost
+// of bounded *over*estimation (never underestimation): for width w and
+// depth d, P[estimate - true > (e/w) * N] <= e^-d over N total adds.
+//
+// counting_policy packages the sketch behind an exact front regime: below
+// a configurable cardinality threshold every count is exact (callers'
+// outputs stay bit-identical to the pre-sketch code), above it new keys
+// overflow into the sketch and the policy reports degraded.sketched
+// activity. Both the preprocessor's consolidation tables and the overload
+// guard's per-source accounting sit on this policy.
+//
+// Concurrency contract: add() (conservative update) is single-writer —
+// two racing conservative updates can both observe a stale minimum and
+// *undercount*, which would break the one invariant everything here
+// leans on. estimate() may run concurrently with the single writer
+// (cells are relaxed atomics). add_concurrent() is a plain count-min
+// update (fetch_add) that is safe from any number of threads and still
+// never undercounts, at the cost of more overestimation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+namespace skynet::sketch {
+
+/// When the policy is allowed to trade exactness for bounded memory.
+enum class counting_mode : std::uint8_t {
+    off = 0,          ///< always exact, unbounded (pre-sketch behavior)
+    auto_switch = 1,  ///< exact below the cardinality threshold, sketched above
+    always = 2,       ///< sketch from the first key (tests, worst-case drills)
+};
+
+[[nodiscard]] std::string_view to_string(counting_mode mode) noexcept;
+/// "off" | "auto" | "on" (the CLI spellings); nullopt on anything else.
+[[nodiscard]] std::optional<counting_mode> parse_counting_mode(std::string_view text) noexcept;
+
+struct sketch_config {
+    counting_mode mode{counting_mode::auto_switch};
+    /// Exact-regime cardinality ceiling (distinct keys tracked exactly
+    /// before new keys overflow into the sketch). The default is far
+    /// above every regime the parity drills exercise, so reports stay
+    /// bit-identical there by construction.
+    std::size_t threshold{65536};
+    /// Cells per sketch row; must be a power of two. epsilon = e/width.
+    std::size_t width{8192};
+    /// Rows (independent hash functions); delta = e^-depth. Max 8.
+    std::size_t depth{4};
+
+    [[nodiscard]] bool enabled() const noexcept { return mode != counting_mode::off; }
+    /// Overestimation bound: P[err > epsilon()*N] <= delta() over N adds.
+    [[nodiscard]] double epsilon() const noexcept;
+    [[nodiscard]] double delta() const noexcept;
+    /// Nullptr when valid, else a static message describing the problem.
+    [[nodiscard]] const char* check() const noexcept;
+    /// Throws skynet_error on invalid settings.
+    void validate() const;
+};
+
+/// Stable 64-bit string hash (FNV-1a) for callers whose natural keys are
+/// strings (the overload guard's dedup keys). Deliberately not
+/// std::hash: the value feeds deterministic replay comparisons, so it
+/// must not vary with the standard library build.
+[[nodiscard]] std::uint64_t hash64(std::string_view text) noexcept;
+
+class count_min_sketch {
+public:
+    static constexpr std::size_t max_depth = 8;
+
+    count_min_sketch() = default;
+    /// width must be a power of two >= 2, depth in [1, max_depth].
+    count_min_sketch(std::size_t width, std::size_t depth);
+
+    count_min_sketch(const count_min_sketch& other);
+    count_min_sketch& operator=(const count_min_sketch& other);
+    count_min_sketch(count_min_sketch&&) noexcept = default;
+    count_min_sketch& operator=(count_min_sketch&&) noexcept = default;
+
+    /// Conservative update: raises only the cells that bound this key's
+    /// estimate, so collisions inflate estimates as little as possible.
+    /// Returns the new estimate. SINGLE WRITER ONLY (see file comment);
+    /// concurrent estimate() calls are fine.
+    std::uint64_t add(std::uint64_t key, std::uint64_t n = 1) noexcept;
+
+    /// Plain count-min update (fetch_add on every row): safe from any
+    /// number of threads, still never undercounts, overestimates more
+    /// than add(). No return value — a racing estimate would be stale.
+    void add_concurrent(std::uint64_t key, std::uint64_t n = 1) noexcept;
+
+    /// Min over rows; >= the true count of `key`, with the epsilon/delta
+    /// bound above. Thread-safe against one concurrent add().
+    [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const noexcept;
+
+    void clear() noexcept;
+    [[nodiscard]] std::size_t width() const noexcept { return width_; }
+    [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return width_ * depth_ * sizeof(std::uint64_t);
+    }
+
+private:
+    [[nodiscard]] std::size_t cell_of(std::size_t row, std::uint64_t key) const noexcept;
+
+    std::size_t width_{0};
+    std::size_t depth_{0};
+    std::uint64_t mask_{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+/// One counted add: the (possibly estimated) running count, whether the
+/// key was new (for a count-min sketch a pre-add estimate of zero is
+/// exact, so `first` is reliable even in the sketched regime), and which
+/// regime served it.
+struct counted {
+    std::uint64_t count{0};
+    bool first{false};
+    bool sketched{false};
+};
+
+/// Exact-map front + count-min overflow. Two usage styles:
+///
+///  * Callers that own rich exact entries (the preprocessor's
+///    consolidation tables, the guard's dedup set) keep their own maps
+///    and only ask the policy two questions: overflowing(my_size) — has
+///    the exact regime run out? — and sketch_add(key) for keys past the
+///    ceiling. Their exact entries stay authoritative.
+///
+///  * Self-contained counting (per-source accounting, differential
+///    tests) goes through add(): the policy keeps its own u64 -> count
+///    map below the threshold and spills new keys to the sketch above
+///    it.
+///
+/// The sketch is allocated lazily on first sketched add, so exact-regime
+/// policies cost one pointer.
+class counting_policy {
+public:
+    counting_policy() = default;
+    /// Throws skynet_error on an invalid config.
+    explicit counting_policy(sketch_config cfg);
+
+    [[nodiscard]] const sketch_config& config() const noexcept { return cfg_; }
+    [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled(); }
+    /// True when a caller-owned exact table of `exact_entries` entries
+    /// must stop growing and route new keys through the sketch.
+    [[nodiscard]] bool overflowing(std::size_t exact_entries) const noexcept {
+        return cfg_.mode == counting_mode::always ||
+               (cfg_.mode == counting_mode::auto_switch && exact_entries >= cfg_.threshold);
+    }
+
+    /// Sketch-side count of one occurrence batch (style one: the caller
+    /// owns the exact regime). Single writer, like count_min_sketch::add.
+    counted sketch_add(std::uint64_t key, std::uint64_t n = 1);
+    /// Current sketch estimate; 0 when the sketch was never touched.
+    [[nodiscard]] std::uint64_t sketch_estimate(std::uint64_t key) const noexcept;
+
+    /// Self-contained count (style two): exact until the internal map
+    /// reaches the threshold, sketched for new keys after. Keys counted
+    /// exactly stay exact forever (the front cache is never demoted).
+    counted add(std::uint64_t key, std::uint64_t n = 1);
+    /// Current count of `key` under either regime (0 if never seen).
+    [[nodiscard]] std::uint64_t count(std::uint64_t key) const noexcept;
+
+    /// Lifetime adds served by the sketch — the degraded.sketched marker.
+    [[nodiscard]] std::uint64_t sketched_adds() const noexcept { return sketched_adds_; }
+    /// Latched true by the first sketched add; cleared by clear_sketch().
+    [[nodiscard]] bool sketch_active() const noexcept { return sketch_active_; }
+    [[nodiscard]] std::size_t exact_size() const noexcept { return exact_.size(); }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+    /// Zeroes the sketch cells (epoch rollover): estimates restart, the
+    /// lifetime sketched_adds() marker is preserved.
+    void clear_sketch() noexcept;
+    /// Window rollover: forgets every count (exact + sketch), keeps the
+    /// lifetime marker.
+    void reset_counts() noexcept;
+    /// Recover-time reset: everything, marker included (see DESIGN.md
+    /// "Sketched counting" — sketch state is not persisted).
+    void reset_all() noexcept;
+
+private:
+    void ensure_sketch();
+
+    sketch_config cfg_{};
+    count_min_sketch sketch_;
+    std::unordered_map<std::uint64_t, std::uint64_t> exact_;
+    std::uint64_t sketched_adds_{0};
+    bool sketch_active_{false};
+};
+
+}  // namespace skynet::sketch

@@ -51,12 +51,17 @@ void controller_config::validate() const {
             throw skynet_error("overload: breaker probe_count must be at least 1");
         }
     }
+    if (const char* msg = sketch.check()) {
+        throw skynet_error(std::string("overload: ") + msg);
+    }
 }
 
 controller::controller(controller_config cfg, const topology* topo,
                        const alert_type_registry* registry)
     : cfg_(cfg), topo_(topo), registry_(registry) {
     cfg_.validate();
+    dedup_policy_ = sketch::counting_policy(cfg_.sketch);
+    usage_ = sketch::counting_policy(cfg_.sketch);
 }
 
 bool controller::is_bad(const raw_alert& raw) const {
@@ -113,6 +118,32 @@ std::string controller::dedup_key(const raw_alert& raw) const {
         if (c == '\t' || c == '\n' || c == '\r') c = ' ';
     }
     return key;
+}
+
+bool controller::note_dedup(const std::string& key) {
+    if (!dedup_policy_.enabled() || !dedup_policy_.overflowing(dedup_seen_.size())) {
+        return !dedup_seen_.insert(key).second;
+    }
+    // Sketched regime: keys captured exactly before the overflow still
+    // dedup precisely; new keys are counted in the sketch, whose one-sided
+    // error can flag a first sighting as a duplicate but never the reverse.
+    if (dedup_seen_.contains(key)) return true;
+    const sketch::counted c = dedup_policy_.sketch_add(sketch::hash64(key), 1);
+    return !c.first;
+}
+
+void controller::account_usage(data_source source, std::uint64_t bytes) {
+    const std::uint64_t slot = 2 * static_cast<std::uint64_t>(idx(source));
+    (void)usage_.add(slot, 1);
+    (void)usage_.add(slot + 1, bytes);
+}
+
+std::uint64_t controller::source_window_alerts(data_source source) const {
+    return usage_.count(2 * static_cast<std::uint64_t>(idx(source)));
+}
+
+std::uint64_t controller::source_window_bytes(data_source source) const {
+    return usage_.count(2 * static_cast<std::uint64_t>(idx(source)) + 1);
 }
 
 void controller::roll_window(breaker_status& st, sim_time now) {
@@ -190,8 +221,10 @@ std::vector<controller::verdict> controller::decide(const std::vector<const raw_
 
     if (!cfg_.admission.enabled()) {
         if (cfg_.breaker.enabled) {
-            for (const verdict& v : verdicts) {
-                if (v.keep) ++metrics_.admitted;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!verdicts[i].keep) continue;
+                ++metrics_.admitted;
+                account_usage(alerts[i]->source, approx_bytes(*alerts[i]));
             }
         }
         return verdicts;
@@ -207,7 +240,7 @@ std::vector<controller::verdict> controller::decide(const std::vector<const raw_
     std::uint64_t batch_bytes = 0;
     for (std::size_t i = 0; i < n; ++i) {
         if (!verdicts[i].keep) continue;
-        const bool duplicate = !dedup_seen_.insert(dedup_key(*alerts[i])).second;
+        const bool duplicate = note_dedup(dedup_key(*alerts[i]));
         verdicts[i].cls = classify(*alerts[i], duplicate);
         verdicts[i].bytes = approx_bytes(*alerts[i]);
         candidates.push_back({i, verdicts[i].cls, verdicts[i].bytes});
@@ -251,11 +284,12 @@ std::vector<controller::verdict> controller::decide(const std::vector<const raw_
         }
     }
 
-    for (const verdict& v : verdicts) {
-        if (!v.keep) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!verdicts[i].keep) continue;
         ++window_alerts_;
-        window_bytes_ += v.bytes;
+        window_bytes_ += verdicts[i].bytes;
         ++metrics_.admitted;
+        account_usage(alerts[i]->source, verdicts[i].bytes);
     }
     return verdicts;
 }
@@ -299,6 +333,10 @@ void controller::on_tick(sim_time now) {
     window_alerts_ = 0;
     window_bytes_ = 0;
     dedup_seen_.clear();
+    // Window rollover drops the per-window counting state but keeps the
+    // lifetime sketched-decision counters for the degraded metric.
+    dedup_policy_.reset_counts();
+    usage_.reset_counts();
     if (cfg_.breaker.enabled) {
         for (breaker_status& st : breakers_) roll_window(st, now);
     }
@@ -322,6 +360,11 @@ void controller::import_state(const persist_state& state) {
     dedup_seen_.insert(state.dedup_keys.begin(), state.dedup_keys.end());
     breakers_ = state.breakers;
     metrics_ = state.counters;
+    // Sketch state is deliberately not persisted: a recovered session
+    // restarts in the exact regime and re-enters the sketched one only if
+    // the live window overflows again (reset-on-recover, see DESIGN.md).
+    dedup_policy_.reset_all();
+    usage_.reset_all();
 }
 
 }  // namespace skynet::overload

@@ -79,7 +79,7 @@ error daemon::start() {
     if (opts_.shards > 0) {
         sharded_.emplace(deps, opts_.sharded());
     } else {
-        seq_.emplace(deps);
+        seq_.emplace(deps, opts_.pipeline);
     }
 
     persist::recovery_result recovered;
@@ -283,6 +283,7 @@ void daemon::apply_barrier(sim_time now, bool finish) {
 void daemon::publish_locked() {
     engine_metrics m = with_engine([](auto& e) { return engine_metrics(e.barrier_metrics()); });
     m.overload += guard_.metrics();
+    m.degraded.sketched += guard_.sketched_decisions();
     m.recovery += durable_metrics();
     m.degraded.log_out_of_order += store_.out_of_order();
     std::string health = m.to_json() + "\n";

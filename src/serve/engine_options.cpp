@@ -44,11 +44,15 @@ overload::controller_config engine_options::overload_config() const {
     overload::controller_config cfg;
     cfg.admission.max_alerts = admission_budget;
     cfg.breaker.enabled = breaker;
+    // The guard's dedup/usage accounting follows the same counting policy
+    // as the preprocessor, so one --sketch flag governs both layers.
+    cfg.sketch = pipeline.pre.sketch;
     return cfg;
 }
 
 sharded_config engine_options::sharded(const std::string& parsed_overflow) const {
     sharded_config cfg;
+    cfg.engine = pipeline;
     cfg.shards = static_cast<std::size_t>(shards);
     const std::string& token = parsed_overflow.empty() ? overflow : parsed_overflow;
     if (const auto policy = parse_overflow_policy(token)) cfg.overflow = *policy;
@@ -240,6 +244,16 @@ cli_parse_result parse_cli(int argc, const char* const* argv) {
             u64_value(opt.admission_budget);
         } else if (arg == "--breaker") {
             opt.breaker = true;
+        } else if (arg == "--sketch") {
+            const std::string_view text = value();
+            if (const auto mode = sketch::parse_counting_mode(text)) {
+                opt.pipeline.pre.sketch.mode = *mode;
+            } else if (!text.empty()) {
+                result.errors.push_back(
+                    {"--sketch", "expected on, off or auto, got '" + std::string(text) + "'"});
+            }
+        } else if (arg == "--sketch-threshold") {
+            u64_value(opt.pipeline.pre.sketch.threshold);
         } else if (arg == "--watchdog-deadline") {
             u64_value(opt.watchdog_deadline);
         } else if (arg == "--health-json") {
@@ -316,6 +330,11 @@ std::string cli_usage() {
         "                                   tick window, shedding duplicates/other first\n"
         "  --breaker                        per-source circuit breakers (quarantine a\n"
         "                                   source emitting sustained garbage)\n"
+        "  --sketch on|off|auto             count-min sketch for hot-path counting\n"
+        "                                   (default auto: exact below --sketch-threshold,\n"
+        "                                   sketched past it; surfaces as degraded.sketched)\n"
+        "  --sketch-threshold N             exact-table cardinality that flips auto mode\n"
+        "                                   to the sketch (default 65536)\n"
         "  --watchdog-deadline MS           sharded only: write off / recover a shard\n"
         "                                   making no progress for MS wall-clock ms\n"
         "                                   (defaults to 250 when --faults has stalls)\n"

@@ -1,0 +1,214 @@
+#include "skynet/sketch/counting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "skynet/common/error.h"
+
+namespace skynet::sketch {
+
+namespace {
+
+/// splitmix64 finalizer: one multiply-xor round per row turns the row
+/// seed + key into an independent-enough hash for count-min's pairwise
+/// independence needs. Fixed constants, so every run of every binary
+/// agrees on cell placement.
+std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kRowSeeds[count_min_sketch::max_depth] = {
+    0x8bad'f00d'0000'0001ull, 0x8bad'f00d'0000'0002ull, 0x8bad'f00d'0000'0003ull,
+    0x8bad'f00d'0000'0004ull, 0x8bad'f00d'0000'0005ull, 0x8bad'f00d'0000'0006ull,
+    0x8bad'f00d'0000'0007ull, 0x8bad'f00d'0000'0008ull,
+};
+
+}  // namespace
+
+std::string_view to_string(counting_mode mode) noexcept {
+    switch (mode) {
+        case counting_mode::off: return "off";
+        case counting_mode::auto_switch: return "auto";
+        case counting_mode::always: return "on";
+    }
+    return "?";
+}
+
+std::optional<counting_mode> parse_counting_mode(std::string_view text) noexcept {
+    if (text == "off") return counting_mode::off;
+    if (text == "auto") return counting_mode::auto_switch;
+    if (text == "on") return counting_mode::always;
+    return std::nullopt;
+}
+
+double sketch_config::epsilon() const noexcept {
+    return width == 0 ? 0.0 : std::exp(1.0) / static_cast<double>(width);
+}
+
+double sketch_config::delta() const noexcept {
+    return std::exp(-static_cast<double>(depth));
+}
+
+const char* sketch_config::check() const noexcept {
+    if (!enabled()) return nullptr;  // off: the other knobs are inert
+    if (threshold == 0 && mode == counting_mode::auto_switch) {
+        return "sketch threshold must be >= 1 (0 would sketch everything; use mode on)";
+    }
+    if (width < 2 || (width & (width - 1)) != 0) {
+        return "sketch width must be a power of two >= 2";
+    }
+    if (depth < 1 || depth > count_min_sketch::max_depth) {
+        return "sketch depth must be in [1, 8]";
+    }
+    return nullptr;
+}
+
+void sketch_config::validate() const {
+    if (const char* msg = check()) throw skynet_error(std::string("sketch: ") + msg);
+}
+
+std::uint64_t hash64(std::string_view text) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;  // FNV prime
+    }
+    return h;
+}
+
+count_min_sketch::count_min_sketch(std::size_t width, std::size_t depth)
+    : width_(width), depth_(depth), mask_(width - 1) {
+    if (width < 2 || (width & (width - 1)) != 0) {
+        throw skynet_error("count_min_sketch: width must be a power of two >= 2");
+    }
+    if (depth < 1 || depth > max_depth) {
+        throw skynet_error("count_min_sketch: depth must be in [1, 8]");
+    }
+    // make_unique value-initializes: all cells start at zero.
+    cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(width_ * depth_);
+}
+
+count_min_sketch::count_min_sketch(const count_min_sketch& other)
+    : width_(other.width_), depth_(other.depth_), mask_(other.mask_) {
+    if (other.cells_ != nullptr) {
+        const std::size_t n = width_ * depth_;
+        cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            cells_[i].store(other.cells_[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+        }
+    }
+}
+
+count_min_sketch& count_min_sketch::operator=(const count_min_sketch& other) {
+    if (this != &other) *this = count_min_sketch(other);
+    return *this;
+}
+
+std::size_t count_min_sketch::cell_of(std::size_t row, std::uint64_t key) const noexcept {
+    return row * width_ + static_cast<std::size_t>(mix(key ^ kRowSeeds[row]) & mask_);
+}
+
+std::uint64_t count_min_sketch::add(std::uint64_t key, std::uint64_t n) noexcept {
+    std::size_t idx[max_depth];
+    std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t r = 0; r < depth_; ++r) {
+        idx[r] = cell_of(r, key);
+        est = std::min(est, cells_[idx[r]].load(std::memory_order_relaxed));
+    }
+    const std::uint64_t updated = est + n;
+    for (std::size_t r = 0; r < depth_; ++r) {
+        // Conservative update: only the cells below the new estimate
+        // move, and only upward — cells shared with hotter keys are left
+        // alone, so their estimates do not inflate. Correct only with a
+        // single writer (a racing writer could publish a smaller value).
+        if (cells_[idx[r]].load(std::memory_order_relaxed) < updated) {
+            cells_[idx[r]].store(updated, std::memory_order_relaxed);
+        }
+    }
+    return updated;
+}
+
+void count_min_sketch::add_concurrent(std::uint64_t key, std::uint64_t n) noexcept {
+    for (std::size_t r = 0; r < depth_; ++r) {
+        cells_[cell_of(r, key)].fetch_add(n, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t count_min_sketch::estimate(std::uint64_t key) const noexcept {
+    if (cells_ == nullptr) return 0;
+    std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t r = 0; r < depth_; ++r) {
+        est = std::min(est, cells_[cell_of(r, key)].load(std::memory_order_relaxed));
+    }
+    return est;
+}
+
+void count_min_sketch::clear() noexcept {
+    const std::size_t n = width_ * depth_;
+    for (std::size_t i = 0; i < n; ++i) cells_[i].store(0, std::memory_order_relaxed);
+}
+
+counting_policy::counting_policy(sketch_config cfg) : cfg_(cfg) { cfg_.validate(); }
+
+void counting_policy::ensure_sketch() {
+    if (sketch_.width() == 0) sketch_ = count_min_sketch(cfg_.width, cfg_.depth);
+}
+
+counted counting_policy::sketch_add(std::uint64_t key, std::uint64_t n) {
+    ensure_sketch();
+    const std::uint64_t before = sketch_.estimate(key);
+    const std::uint64_t after = sketch_.add(key, n);
+    ++sketched_adds_;
+    sketch_active_ = true;
+    return counted{.count = after, .first = before == 0, .sketched = true};
+}
+
+std::uint64_t counting_policy::sketch_estimate(std::uint64_t key) const noexcept {
+    return sketch_.estimate(key);
+}
+
+counted counting_policy::add(std::uint64_t key, std::uint64_t n) {
+    const auto it = exact_.find(key);
+    if (it != exact_.end()) {
+        it->second += n;
+        return counted{.count = it->second, .first = false, .sketched = false};
+    }
+    if (!enabled() || !overflowing(exact_.size())) {
+        exact_.emplace(key, n);
+        return counted{.count = n, .first = true, .sketched = false};
+    }
+    return sketch_add(key, n);
+}
+
+std::uint64_t counting_policy::count(std::uint64_t key) const noexcept {
+    const auto it = exact_.find(key);
+    if (it != exact_.end()) return it->second;
+    return sketch_.estimate(key);
+}
+
+std::size_t counting_policy::memory_bytes() const noexcept {
+    return sketch_.memory_bytes() +
+           exact_.size() * (sizeof(std::uint64_t) * 2 + sizeof(void*) * 2);
+}
+
+void counting_policy::clear_sketch() noexcept {
+    if (sketch_.width() != 0) sketch_.clear();
+    sketch_active_ = false;
+}
+
+void counting_policy::reset_counts() noexcept {
+    exact_.clear();
+    clear_sketch();
+}
+
+void counting_policy::reset_all() noexcept {
+    reset_counts();
+    sketched_adds_ = 0;
+}
+
+}  // namespace skynet::sketch

@@ -26,9 +26,12 @@ run_cli(base 0 --topo tiny --seed 5 --replay ${trace} --shards 4)
 
 # The storm run: shard 2 parks at its 5th command, and ~30% of enqueues
 # see a forced-full window. The run must complete (watchdog releases the
-# stall) rather than wedge until the test times out.
+# stall) rather than wedge until the test times out. --sketch auto is
+# spelled out (it is also the default): below the cardinality threshold
+# the sketched counting path must be byte-invisible, so the parity diff
+# against the clean replay doubles as the e2e check of that claim.
 run_cli(storm 0 --topo tiny --seed 5 --replay ${trace} --shards 4 --metrics
-        --faults "seed=7\;stall:2@5\;pressure=0.3")
+        --sketch auto --faults "seed=7\;stall:2@5\;pressure=0.3")
 
 if(NOT storm MATCHES "watchdog on")
   message(FATAL_ERROR "storm run did not arm the watchdog:\n${storm}")

@@ -285,6 +285,74 @@ TEST(PreprocessorTest, VolumeReductionUnderRepetition) {
     EXPECT_EQ(pre.stats().raw_in, 1000);
 }
 
+TEST(PreprocessorEvictionTest, CapEvictsOldestFirst) {
+    // max_pending_alerts eviction order: the entry with the oldest
+    // last_seen leaves first, so a storm forgets stale keys, not hot ones.
+    fixture f;
+    preprocessor pre = f.make(preprocessor_config{.max_pending_alerts = 2});
+    const auto at = [&](const std::string& leaf, sim_time t) {
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.timestamp = t;
+        a.kind = "high cpu";
+        a.loc = location{"R", leaf};
+        return a;
+    };
+    (void)pre.process(at("k0", 0), 0);
+    (void)pre.process(at("k1", 1000), 1000);
+    (void)pre.process(at("k2", 2000), 2000);  // cap hit: k0 (oldest) evicted
+    EXPECT_EQ(pre.evicted_pending(), 1u);
+
+    // k0 is gone, so its repeat opens a fresh alert (count 1, not an
+    // update) — and its insert in turn evicts k1, now the oldest.
+    const auto again = pre.process(at("k0", 3000), 3000);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_FALSE(again[0].is_update);
+    EXPECT_EQ(again[0].alert.count, 1);
+    EXPECT_EQ(pre.evicted_pending(), 2u);
+
+    const auto k1_again = pre.process(at("k1", 4000), 4000);
+    ASSERT_EQ(k1_again.size(), 1u);
+    EXPECT_FALSE(k1_again[0].is_update);
+}
+
+TEST(PreprocessorEvictionTest, EvictionIsDeterministicAcrossRuns) {
+    // Three seeded storms over the cap: two preprocessors fed the same
+    // stream must emit byte-identical events and evict identically —
+    // hash-map iteration order must never leak into which entry dies.
+    for (const std::uint64_t seed : {std::uint64_t{11}, std::uint64_t{17}, std::uint64_t{23}}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        fixture f;
+        rng rand(seed);
+        std::vector<raw_alert> storm;
+        for (int i = 0; i < 600; ++i) {
+            raw_alert a;
+            a.source = data_source::snmp;
+            a.timestamp = i * 250;
+            a.kind = "high cpu";
+            a.loc = location{"R", "B" + std::to_string(rand.uniform_int(0, 63))};
+            storm.push_back(std::move(a));
+        }
+
+        const preprocessor_config cfg{.max_pending_alerts = 8};
+        preprocessor lhs = f.make(cfg);
+        preprocessor rhs = f.make(cfg);
+        for (const raw_alert& raw : storm) {
+            const auto a = lhs.process(raw, raw.timestamp);
+            const auto b = rhs.process(raw, raw.timestamp);
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                ASSERT_EQ(a[i].is_update, b[i].is_update);
+                ASSERT_EQ(a[i].alert.loc.to_string(), b[i].alert.loc.to_string());
+                ASSERT_EQ(a[i].alert.count, b[i].alert.count);
+            }
+        }
+        EXPECT_EQ(lhs.stats(), rhs.stats());
+        EXPECT_EQ(lhs.evicted_pending(), rhs.evicted_pending());
+        EXPECT_GT(lhs.evicted_pending(), 0u);  // the cap actually bit
+    }
+}
+
 TEST(PreprocessorTest, MetricKeepsMaximum) {
     fixture f;
     preprocessor pre = f.make();

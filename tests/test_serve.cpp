@@ -229,6 +229,36 @@ TEST(EngineOptionsTest, ServeModeRejectsBatchOnlyFlags) {
     EXPECT_FALSE(bad_addr.validate(run_mode::serve).empty());
 }
 
+TEST(EngineOptionsTest, SketchFlagsParseAndPropagate) {
+    using sketch::counting_mode;
+    // Default: auto mode with the drill-safe threshold.
+    EXPECT_EQ(parse({}).opts.pipeline.pre.sketch.mode, counting_mode::auto_switch);
+
+    const auto on = parse({"--sketch", "on", "--sketch-threshold", "4096"});
+    ASSERT_TRUE(on.ok());
+    EXPECT_EQ(on.opts.pipeline.pre.sketch.mode, counting_mode::always);
+    EXPECT_EQ(on.opts.pipeline.pre.sketch.threshold, 4096u);
+    EXPECT_EQ(parse({"--sketch", "off"}).opts.pipeline.pre.sketch.mode, counting_mode::off);
+    EXPECT_EQ(parse({"--sketch", "auto"}).opts.pipeline.pre.sketch.mode,
+              counting_mode::auto_switch);
+
+    const auto bad = parse({"--sketch", "sometimes"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.errors[0].option, "--sketch");
+
+    // One flag governs both layers: the guard inherits the same policy.
+    EXPECT_EQ(on.opts.overload_config().sketch.mode, counting_mode::always);
+    EXPECT_EQ(on.opts.overload_config().sketch.threshold, 4096u);
+    // And the sharded engine's per-shard pipelines carry it too.
+    EXPECT_EQ(on.opts.sharded().engine.pre.sketch.mode, counting_mode::always);
+
+    // A zero threshold leaves auto mode with no exact regime; validate
+    // rejects it through the pipeline block.
+    const auto zero = parse({"--sketch", "auto", "--sketch-threshold", "0"});
+    ASSERT_TRUE(zero.ok());
+    EXPECT_FALSE(zero.opts.validate(run_mode::batch).empty());
+}
+
 TEST(EngineOptionsTest, ShardsAcceptsAutoAndEnforcesUpperBound) {
     const auto automatic = parse({"--shards", "auto"});
     ASSERT_TRUE(automatic.ok());

@@ -1,0 +1,646 @@
+// Sketch-based counting tests: count-min conservative update, the
+// exact-front counting_policy, and the differential harness that proves
+// the two regimes relate the way DESIGN.md promises — bit-identical
+// below the cardinality threshold, one-sided (never undercounting)
+// above it, with the epsilon/delta overestimation bound holding
+// empirically at flood scale.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "skynet/common/error.h"
+#include "skynet/common/rng.h"
+#include "skynet/core/pipeline.h"
+#include "skynet/core/preprocessor.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/overload/controller.h"
+#include "skynet/sim/engine.h"
+#include "skynet/sketch/counting.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+using sketch::counted;
+using sketch::count_min_sketch;
+using sketch::counting_mode;
+using sketch::counting_policy;
+using sketch::sketch_config;
+
+// ---------------------------------------------------------------------------
+// Config surface.
+
+TEST(SketchConfigTest, ParsesCliSpellings) {
+    EXPECT_EQ(sketch::parse_counting_mode("off"), counting_mode::off);
+    EXPECT_EQ(sketch::parse_counting_mode("auto"), counting_mode::auto_switch);
+    EXPECT_EQ(sketch::parse_counting_mode("on"), counting_mode::always);
+    EXPECT_FALSE(sketch::parse_counting_mode("maybe").has_value());
+    EXPECT_FALSE(sketch::parse_counting_mode("").has_value());
+}
+
+TEST(SketchConfigTest, RoundTripsToString) {
+    for (const counting_mode mode :
+         {counting_mode::off, counting_mode::auto_switch, counting_mode::always}) {
+        EXPECT_EQ(sketch::parse_counting_mode(sketch::to_string(mode)), mode);
+    }
+}
+
+TEST(SketchConfigTest, RejectsBadShapes) {
+    sketch_config cfg;
+    EXPECT_EQ(cfg.check(), nullptr);  // defaults are valid
+
+    cfg.width = 1000;  // not a power of two
+    EXPECT_NE(cfg.check(), nullptr);
+    cfg.width = 8192;
+
+    cfg.depth = 0;
+    EXPECT_NE(cfg.check(), nullptr);
+    cfg.depth = count_min_sketch::max_depth + 1;
+    EXPECT_NE(cfg.check(), nullptr);
+    cfg.depth = 4;
+
+    cfg.threshold = 0;  // auto mode with no exact regime at all
+    EXPECT_NE(cfg.check(), nullptr);
+
+    // Off mode never consults the shape, so nothing to reject.
+    cfg.mode = counting_mode::off;
+    EXPECT_EQ(cfg.check(), nullptr);
+}
+
+TEST(SketchConfigTest, ErrorBoundsFollowShape) {
+    sketch_config cfg;
+    cfg.width = 8192;
+    cfg.depth = 4;
+    EXPECT_NEAR(cfg.epsilon(), 2.718281828 / 8192.0, 1e-9);
+    EXPECT_NEAR(cfg.delta(), 0.018315639, 1e-6);
+    cfg.depth = 8;
+    EXPECT_LT(cfg.delta(), 0.001);
+}
+
+TEST(SketchConfigTest, InvalidConfigThrowsFromPolicy) {
+    sketch_config cfg;
+    cfg.width = 7;
+    EXPECT_THROW(counting_policy{cfg}, skynet_error);
+}
+
+TEST(SketchConfigTest, Hash64IsStableAcrossBuilds) {
+    // FNV-1a reference values; these must never change (persisted
+    // comparisons and deterministic replay depend on them).
+    EXPECT_EQ(sketch::hash64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(sketch::hash64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_NE(sketch::hash64("skynet"), sketch::hash64("skynets"));
+}
+
+// ---------------------------------------------------------------------------
+// count_min_sketch core.
+
+TEST(CountMinTest, NeverUndercounts) {
+    count_min_sketch cm(1024, 4);
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    rng rand(7);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rand.uniform_int(0, 4999);
+        const std::uint64_t n = rand.uniform_int(1, 3);
+        truth[key] += n;
+        const std::uint64_t est = cm.add(key, n);
+        ASSERT_GE(est, truth[key]);
+    }
+    for (const auto& [key, count] : truth) {
+        ASSERT_GE(cm.estimate(key), count);
+    }
+}
+
+TEST(CountMinTest, ConservativeUpdateBeatsPlainUpdate) {
+    // Same stream through both update rules: the conservative estimates
+    // must never exceed the fetch_add ones (they raise fewer cells).
+    count_min_sketch conservative(512, 4);
+    count_min_sketch plain(512, 4);
+    rng rand(11);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t key = rand.uniform_int(0, 2999);
+        keys.push_back(key);
+        (void)conservative.add(key);
+        plain.add_concurrent(key);
+    }
+    std::uint64_t conservative_total = 0;
+    std::uint64_t plain_total = 0;
+    for (std::uint64_t key = 0; key < 3000; ++key) {
+        ASSERT_LE(conservative.estimate(key), plain.estimate(key));
+        conservative_total += conservative.estimate(key);
+        plain_total += plain.estimate(key);
+    }
+    EXPECT_LE(conservative_total, plain_total);
+}
+
+TEST(CountMinTest, ClearZeroesEstimates) {
+    count_min_sketch cm(64, 2);
+    (void)cm.add(42, 100);
+    EXPECT_GE(cm.estimate(42), 100u);
+    cm.clear();
+    EXPECT_EQ(cm.estimate(42), 0u);
+}
+
+TEST(CountMinTest, CopyPreservesEstimates) {
+    count_min_sketch cm(128, 3);
+    for (std::uint64_t key = 0; key < 50; ++key) (void)cm.add(key, key + 1);
+    const count_min_sketch copy = cm;  // NOLINT(performance-unnecessary-copy-initialization)
+    for (std::uint64_t key = 0; key < 50; ++key) {
+        EXPECT_EQ(copy.estimate(key), cm.estimate(key));
+    }
+    EXPECT_EQ(copy.memory_bytes(), cm.memory_bytes());
+}
+
+TEST(CountMinTest, EmptySketchEstimatesZero) {
+    const count_min_sketch cm;
+    EXPECT_EQ(cm.estimate(123), 0u);
+    EXPECT_EQ(cm.memory_bytes(), 0u);
+}
+
+TEST(CountMinTest, EpsilonDeltaBoundHoldsEmpirically) {
+    // 10^5 distinct keys, one add each: the fraction of keys whose
+    // estimate exceeds truth by more than epsilon*N must stay within
+    // delta. Conservative update only tightens the classic bound, so a
+    // clean pass here is the expected outcome, not a lucky one.
+    constexpr std::size_t kKeys = 100000;
+    constexpr std::size_t kWidth = 4096;
+    constexpr std::size_t kDepth = 4;
+    sketch_config cfg;
+    cfg.width = kWidth;
+    cfg.depth = kDepth;
+    count_min_sketch cm(kWidth, kDepth);
+    for (std::uint64_t key = 0; key < kKeys; ++key) (void)cm.add(key);
+
+    const double bound = cfg.epsilon() * static_cast<double>(kKeys);
+    std::size_t violations = 0;
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+        const std::uint64_t est = cm.estimate(key);
+        ASSERT_GE(est, 1u);  // one-sided: never under the true count
+        if (static_cast<double>(est - 1) > bound) ++violations;
+    }
+    const double observed = static_cast<double>(violations) / static_cast<double>(kKeys);
+    EXPECT_LE(observed, cfg.delta())
+        << violations << " of " << kKeys << " keys exceeded eps*N=" << bound;
+}
+
+// ---------------------------------------------------------------------------
+// counting_policy regimes.
+
+TEST(CountingPolicyTest, ExactBelowThreshold) {
+    sketch_config cfg;
+    cfg.threshold = 100;
+    counting_policy policy(cfg);
+    for (std::uint64_t key = 0; key < 99; ++key) {
+        const counted c = policy.add(key);
+        EXPECT_FALSE(c.sketched);
+        EXPECT_TRUE(c.first);
+        EXPECT_EQ(c.count, 1u);
+    }
+    const counted repeat = policy.add(5);
+    EXPECT_FALSE(repeat.sketched);
+    EXPECT_FALSE(repeat.first);
+    EXPECT_EQ(repeat.count, 2u);
+    EXPECT_EQ(policy.sketched_adds(), 0u);
+    EXPECT_FALSE(policy.sketch_active());
+}
+
+TEST(CountingPolicyTest, SpillsToSketchAtThreshold) {
+    sketch_config cfg;
+    cfg.threshold = 10;
+    counting_policy policy(cfg);
+    for (std::uint64_t key = 0; key < 10; ++key) (void)policy.add(key);
+    EXPECT_EQ(policy.exact_size(), 10u);
+
+    const counted spilled = policy.add(1000);
+    EXPECT_TRUE(spilled.sketched);
+    EXPECT_TRUE(policy.sketch_active());
+    EXPECT_EQ(policy.sketched_adds(), 1u);
+    // Keys already exact stay exact: the front cache is never demoted.
+    const counted cached = policy.add(3);
+    EXPECT_FALSE(cached.sketched);
+    EXPECT_EQ(cached.count, 2u);
+    EXPECT_EQ(policy.exact_size(), 10u);
+}
+
+TEST(CountingPolicyTest, AlwaysModeSketchesFromFirstKey) {
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    EXPECT_TRUE(policy.overflowing(0));
+    const counted c = policy.add(7, 3);
+    EXPECT_TRUE(c.sketched);
+    EXPECT_TRUE(c.first);
+    EXPECT_GE(c.count, 3u);
+    EXPECT_EQ(policy.exact_size(), 0u);
+}
+
+TEST(CountingPolicyTest, OffModeNeverOverflows) {
+    sketch_config cfg;
+    cfg.mode = counting_mode::off;
+    cfg.threshold = 1;
+    counting_policy policy(cfg);
+    EXPECT_FALSE(policy.enabled());
+    EXPECT_FALSE(policy.overflowing(1u << 20));
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+        EXPECT_FALSE(policy.add(key).sketched);
+    }
+    EXPECT_EQ(policy.sketched_adds(), 0u);
+}
+
+TEST(CountingPolicyTest, SketchAddReportsFirstReliably) {
+    // A pre-add estimate of zero is exact for count-min, so `first` on
+    // the very first sketched key is trustworthy even above threshold.
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    const counted first = policy.sketch_add(99);
+    EXPECT_TRUE(first.first);
+    const counted second = policy.sketch_add(99);
+    EXPECT_FALSE(second.first);
+    EXPECT_GE(second.count, 2u);
+}
+
+TEST(CountingPolicyTest, ResetSemantics) {
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    (void)policy.add(1);
+    (void)policy.add(1);
+    EXPECT_EQ(policy.sketched_adds(), 2u);
+
+    policy.clear_sketch();  // epoch rollover: counts reset, marker kept
+    EXPECT_EQ(policy.count(1), 0u);
+    EXPECT_EQ(policy.sketched_adds(), 2u);
+    EXPECT_FALSE(policy.sketch_active());
+
+    (void)policy.add(2);
+    policy.reset_counts();  // window rollover: same, plus exact map
+    EXPECT_EQ(policy.count(2), 0u);
+    EXPECT_EQ(policy.sketched_adds(), 3u);
+
+    (void)policy.add(3);
+    policy.reset_all();  // recover: marker included
+    EXPECT_EQ(policy.sketched_adds(), 0u);
+    EXPECT_FALSE(policy.sketch_active());
+    EXPECT_EQ(policy.count(3), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: exact vs sketched preprocessor runs.
+
+struct storm_fixture {
+    topology topo;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    preprocessor make(preprocessor_config cfg = {}) const {
+        return preprocessor(&topo, &registry, &syslog, cfg);
+    }
+
+    /// One storm alert keyed purely by location (SNMP "high cpu" needs
+    /// no device reference, so cardinality is ours to choose).
+    [[nodiscard]] static raw_alert storm_alert(int key, sim_time t) {
+        raw_alert a;
+        a.source = data_source::snmp;
+        a.timestamp = t;
+        a.kind = "high cpu";
+        a.loc = location{"R", "B" + std::to_string(key)};
+        return a;
+    }
+};
+
+/// A seeded storm: `alerts` draws over `cardinality` distinct keys, hot
+/// keys repeating (zipf-ish via two draws) the way real floods do.
+std::vector<raw_alert> make_storm(std::uint64_t seed, int alerts, int cardinality) {
+    rng rand(seed);
+    std::vector<raw_alert> out;
+    out.reserve(static_cast<std::size_t>(alerts));
+    for (int i = 0; i < alerts; ++i) {
+        int key = static_cast<int>(rand.uniform_int(0, cardinality - 1));
+        if (rand.chance(0.5)) key = static_cast<int>(rand.uniform_int(0, 9));  // hot set
+        out.push_back(storm_fixture::storm_alert(key, i * 50));
+    }
+    return out;
+}
+
+std::vector<preprocess_event> run_storm(preprocessor& pre, const std::vector<raw_alert>& storm) {
+    std::vector<preprocess_event> events;
+    for (const raw_alert& raw : storm) {
+        for (auto& ev : pre.process(raw, raw.timestamp)) events.push_back(std::move(ev));
+    }
+    for (auto& ev : pre.flush(storm.back().timestamp + minutes(10))) {
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+TEST(SketchDifferentialTest, BelowThresholdIsBitIdentical) {
+    // Three seeded storms, each under the auto threshold: the sketched
+    // preprocessor must emit the byte-identical event stream the exact
+    // one does, and never touch the sketch.
+    for (const std::uint64_t seed : {11ull, 17ull, 23ull}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const storm_fixture f;
+        const std::vector<raw_alert> storm = make_storm(seed, 4000, 1500);
+
+        preprocessor_config exact_cfg;
+        exact_cfg.sketch.mode = counting_mode::off;
+        preprocessor exact = f.make(exact_cfg);
+        const auto exact_events = run_storm(exact, storm);
+
+        preprocessor_config auto_cfg;  // defaults: auto, threshold 65536
+        preprocessor sketched = f.make(auto_cfg);
+        const auto sketched_events = run_storm(sketched, storm);
+
+        ASSERT_EQ(exact_events.size(), sketched_events.size());
+        for (std::size_t i = 0; i < exact_events.size(); ++i) {
+            const auto& a = exact_events[i].alert;
+            const auto& b = sketched_events[i].alert;
+            ASSERT_EQ(exact_events[i].is_update, sketched_events[i].is_update) << "event " << i;
+            ASSERT_EQ(a.type_name, b.type_name) << "event " << i;
+            ASSERT_EQ(a.loc.to_string(), b.loc.to_string()) << "event " << i;
+            ASSERT_EQ(a.count, b.count) << "event " << i;
+            ASSERT_EQ(a.when.begin, b.when.begin) << "event " << i;
+            ASSERT_EQ(a.when.end, b.when.end) << "event " << i;
+        }
+        EXPECT_EQ(exact.stats(), sketched.stats());
+        EXPECT_EQ(sketched.sketched_counts(), 0u);
+        EXPECT_FALSE(sketched.sketch_active());
+    }
+}
+
+TEST(SketchDifferentialTest, AboveThresholdNeverUndercounts) {
+    // Same storms forced fully into the sketched regime: every alert
+    // still produces exactly one event, and each event's running count
+    // is >= the exact run's — the one-sided error, observed end to end.
+    for (const std::uint64_t seed : {11ull, 17ull, 23ull}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const storm_fixture f;
+        const std::vector<raw_alert> storm = make_storm(seed, 4000, 1500);
+
+        preprocessor_config exact_cfg;
+        exact_cfg.sketch.mode = counting_mode::off;
+        preprocessor exact = f.make(exact_cfg);
+        const auto exact_events = run_storm(exact, storm);
+
+        preprocessor_config sketch_cfg;
+        sketch_cfg.sketch.mode = counting_mode::always;
+        preprocessor sketched = f.make(sketch_cfg);
+        const auto sketched_events = run_storm(sketched, storm);
+
+        ASSERT_EQ(exact_events.size(), sketched_events.size());
+        for (std::size_t i = 0; i < exact_events.size(); ++i) {
+            const auto& a = exact_events[i].alert;
+            const auto& b = sketched_events[i].alert;
+            // The alert identity is input-driven, so the survivor stream
+            // lines up 1:1; only the count may (one-sidedly) differ.
+            ASSERT_EQ(a.type_name, b.type_name) << "event " << i;
+            ASSERT_EQ(a.loc.to_string(), b.loc.to_string()) << "event " << i;
+            ASSERT_GE(b.count, a.count) << "event " << i;
+        }
+        EXPECT_GT(sketched.sketched_counts(), 0u);
+        EXPECT_TRUE(sketched.sketch_active());
+        // Bounded memory is the point: no consolidation entries accrue.
+        EXPECT_EQ(sketched.pending_count(), 0u);
+    }
+}
+
+TEST(SketchDifferentialTest, RecoveryResetsSketchState) {
+    const storm_fixture f;
+    preprocessor_config cfg;
+    cfg.sketch.mode = counting_mode::always;
+    preprocessor pre = f.make(cfg);
+    const std::vector<raw_alert> storm = make_storm(29, 500, 200);
+    (void)run_storm(pre, storm);
+    ASSERT_GT(pre.sketched_counts(), 0u);
+
+    // Reset-on-recover: sketch state is not persisted, so a restored
+    // preprocessor restarts in the exact regime with a clean marker.
+    preprocessor::persist_state state = pre.export_state();
+    pre.import_state(std::move(state));
+    EXPECT_EQ(pre.sketched_counts(), 0u);
+    EXPECT_FALSE(pre.sketch_active());
+}
+
+// ---------------------------------------------------------------------------
+// Engine surface: the degraded.sketched marker.
+
+TEST(SketchEngineTest, DegradedSketchedSurfacesInMetrics) {
+    const storm_fixture f;
+    customer_registry customers;
+    const skynet_engine::deps deps{&f.topo, &customers, &f.registry, &f.syslog};
+    skynet_config cfg;
+    cfg.pre.sketch.mode = counting_mode::always;
+    skynet_engine eng(deps, cfg);
+    for (const raw_alert& raw : make_storm(31, 300, 100)) eng.ingest(raw, raw.timestamp);
+    EXPECT_GT(eng.metrics().degraded.sketched, 0u);
+    EXPECT_NE(eng.metrics().to_json().find("\"sketched\":"), std::string::npos);
+    EXPECT_NE(eng.metrics().render().find("sketched"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Overload guard on the counting policy.
+
+raw_alert guard_alert(int key, sim_time t) {
+    raw_alert a = storm_fixture::storm_alert(key, t);
+    return a;
+}
+
+TEST(SketchControllerTest, BelowThresholdMatchesExactGuard) {
+    // Same flood through a sketch-off guard and an auto guard under the
+    // threshold: every admission counter must agree.
+    overload::controller_config exact_cfg;
+    exact_cfg.admission.max_alerts = 50;
+    overload::controller_config auto_cfg = exact_cfg;
+    auto_cfg.sketch.mode = counting_mode::auto_switch;
+    exact_cfg.sketch.mode = counting_mode::off;
+
+    overload::controller exact(exact_cfg, nullptr, nullptr);
+    overload::controller sketched(auto_cfg, nullptr, nullptr);
+    for (int round = 0; round < 3; ++round) {
+        std::vector<raw_alert> batch;
+        for (int i = 0; i < 200; ++i) batch.push_back(guard_alert(i % 40, round * 100));
+        auto batch2 = batch;
+        const auto kept_a = exact.admit(std::move(batch), round * 100);
+        const auto kept_b = sketched.admit(std::move(batch2), round * 100);
+        ASSERT_EQ(kept_a.size(), kept_b.size());
+        exact.on_tick((round + 1) * 100);
+        sketched.on_tick((round + 1) * 100);
+    }
+    EXPECT_EQ(exact.metrics().admitted, sketched.metrics().admitted);
+    EXPECT_EQ(exact.metrics().shed_duplicate, sketched.metrics().shed_duplicate);
+    EXPECT_EQ(exact.metrics().shed_other, sketched.metrics().shed_other);
+    EXPECT_EQ(sketched.sketched_decisions(), 0u);
+}
+
+TEST(SketchControllerTest, SketchedDedupStillShedsDuplicates) {
+    overload::controller_config cfg;
+    cfg.admission.max_alerts = 10;
+    cfg.sketch.mode = counting_mode::always;
+    overload::controller guard(cfg, nullptr, nullptr);
+
+    std::vector<raw_alert> batch;
+    for (int i = 0; i < 100; ++i) batch.push_back(guard_alert(i % 5, 0));  // 95 duplicates
+    const auto kept = guard.admit(std::move(batch), 0);
+    EXPECT_EQ(kept.size(), 10u);
+    EXPECT_GT(guard.metrics().shed_duplicate, 0u);
+    EXPECT_GT(guard.sketched_decisions(), 0u);
+}
+
+TEST(SketchControllerTest, PerSourceUsageIsTracked) {
+    overload::controller_config cfg;
+    cfg.admission.max_alerts = 1000;  // roomy: nothing shed
+    overload::controller guard(cfg, nullptr, nullptr);
+
+    std::vector<raw_alert> batch;
+    for (int i = 0; i < 25; ++i) batch.push_back(guard_alert(i, 0));
+    const auto kept = guard.admit(std::move(batch), 0);
+    ASSERT_EQ(kept.size(), 25u);
+    EXPECT_EQ(guard.source_window_alerts(data_source::snmp), 25u);
+    EXPECT_GT(guard.source_window_bytes(data_source::snmp), 25u * 64u);
+    EXPECT_EQ(guard.source_window_alerts(data_source::ping), 0u);
+
+    guard.on_tick(100);  // window rollover clears the tallies
+    EXPECT_EQ(guard.source_window_alerts(data_source::snmp), 0u);
+}
+
+TEST(SketchControllerTest, ImportStateResetsSketch) {
+    overload::controller_config cfg;
+    cfg.admission.max_alerts = 10;
+    cfg.sketch.mode = counting_mode::always;
+    overload::controller guard(cfg, nullptr, nullptr);
+    std::vector<raw_alert> batch;
+    for (int i = 0; i < 50; ++i) batch.push_back(guard_alert(i % 5, 0));
+    (void)guard.admit(std::move(batch), 0);
+    ASSERT_GT(guard.sketched_decisions(), 0u);
+
+    const overload::controller::persist_state state = guard.export_state();
+    guard.import_state(state);
+    EXPECT_EQ(guard.sketched_decisions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (tsan label): concurrent updates and the stealing drill.
+
+TEST(SketchConcurrencyTest, ConcurrentAddsNeverUndercount) {
+    // 8 writers hammer overlapping keys through add_concurrent; after
+    // the barrier every estimate must cover the true total.
+    constexpr int kThreads = 8;
+    constexpr int kAddsPerThread = 20000;
+    constexpr std::uint64_t kKeys = 257;
+    count_min_sketch cm(2048, 4);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&cm, t] {
+            for (int i = 0; i < kAddsPerThread; ++i) {
+                cm.add_concurrent((static_cast<std::uint64_t>(t) * 131 + i) % kKeys);
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+
+    std::vector<std::uint64_t> truth(kKeys, 0);
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kAddsPerThread; ++i) {
+            ++truth[(static_cast<std::uint64_t>(t) * 131 + i) % kKeys];
+        }
+    }
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+        ASSERT_GE(cm.estimate(key), truth[key]) << "key " << key;
+    }
+}
+
+TEST(SketchConcurrencyTest, EstimateRacesSingleWriterCleanly) {
+    // The documented contract: one conservative writer, any number of
+    // readers. Run under tsan this validates the relaxed-atomic cells.
+    count_min_sketch cm(1024, 4);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    readers.reserve(7);
+    for (int t = 0; t < 7; ++t) {
+        readers.emplace_back([&] {
+            std::uint64_t sink = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                for (std::uint64_t key = 0; key < 64; ++key) sink += cm.estimate(key);
+            }
+            (void)sink;
+        });
+    }
+    for (int i = 0; i < 50000; ++i) (void)cm.add(static_cast<std::uint64_t>(i) % 64);
+    stop.store(true, std::memory_order_release);
+    for (std::thread& r : readers) r.join();
+    for (std::uint64_t key = 0; key < 64; ++key) {
+        EXPECT_GE(cm.estimate(key), 50000u / 64);
+    }
+}
+
+struct engine_world {
+    topology topo;
+    customer_registry customers;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    engine_world() {
+        generator_params p = generator_params::small();
+        p.legacy_snmp_fraction = 0.0;
+        topo = generate_topology(p);
+        rng crand(71);
+        customers = customer_registry::generate(topo, 300, crand);
+    }
+
+    [[nodiscard]] skynet_engine::deps deps() { return {&topo, &customers, &registry, &syslog}; }
+};
+
+template <typename Engine>
+void drive_episode(engine_world& w, Engine& eng, std::uint64_t seed) {
+    simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = seed});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.01});
+    rng srand(84);
+    sim.inject(make_security_ddos(w.topo, srand, 3), minutes(1), minutes(5));
+    sim.run_until_batched(
+        minutes(7), [&](std::span<const traced_alert> batch) { eng.ingest_batch(batch); },
+        [&](sim_time now) { eng.tick(now, sim.state()); });
+    eng.finish(sim.clock().now(), sim.state());
+}
+
+TEST(SketchConcurrencyTest, StealParityHoldsWithSketchAlways) {
+    // The sketch is touched only on the apply side (prepare() stays
+    // const), so work stealing — which moves *where* a batch is prepared,
+    // never the order effects apply in — cannot change a sketched count.
+    // Same episode, sketch forced on, steal on vs off: byte-identical
+    // reports and identical merged degraded.sketched at the barrier.
+    engine_world w;
+    std::vector<std::vector<incident_report>> reports;
+    std::vector<std::uint64_t> sketched;
+    for (const bool steal : {true, false}) {
+        SCOPED_TRACE(steal ? "steal on" : "steal off");
+        sharded_config scfg;
+        scfg.shards = 4;
+        scfg.steal = steal;
+        scfg.max_ingest_batch = 1;  // many small stealable jobs
+        scfg.engine.pre.sketch.mode = counting_mode::always;
+        sharded_engine par(w.deps(), scfg);
+        drive_episode(w, par, 85);
+        engine_metrics m = par.metrics();
+        EXPECT_GT(m.degraded.sketched, 0u);
+        sketched.push_back(m.degraded.sketched);
+        reports.push_back(par.take_reports());
+    }
+    EXPECT_EQ(sketched[0], sketched[1]);
+    ASSERT_EQ(reports[0].size(), reports[1].size());
+    for (std::size_t i = 0; i < reports[0].size(); ++i) {
+        SCOPED_TRACE("report " + std::to_string(i));
+        EXPECT_EQ(reports[0][i].inc.id, reports[1][i].inc.id);
+        EXPECT_EQ(reports[0][i].severity.score, reports[1][i].severity.score);
+        EXPECT_EQ(reports[0][i].render(), reports[1][i].render());
+    }
+}
+
+}  // namespace
+}  // namespace skynet
