@@ -1,0 +1,159 @@
+// Federation digest path throughput.
+//
+// The federation layer rides every barrier: the emitter encodes the
+// closed reports into a digest (and journals it), the aggregator
+// decodes and merges it. This bench measures the three hot pieces in
+// isolation — encode_digest_payload, frame+decode through fed_decoder,
+// and aggregator::apply_digest + merged_ranked — over real incident
+// reports from a flood episode, so the costs include the report codec's
+// full field surface, not toy payloads.
+//
+// Emits machine-readable results to BENCH_federation.json (override
+// with argv[1]).
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "harness.h"
+#include "skynet/federate/aggregator.h"
+#include "skynet/federate/digest.h"
+#include "skynet/sim/engine.h"
+
+namespace {
+
+using namespace skynet;
+
+constexpr int kEncodeIters = 2000;
+constexpr int kRegions = 8;
+constexpr int kDigestsPerRegion = 250;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = argc > 1 ? argv[1] : "BENCH_federation.json";
+    bench::world w;
+
+    // Real reports from one flood episode: the digest payload is the
+    // persist report codec, so field-rich incidents are the honest load.
+    std::vector<incident_report> reports;
+    {
+        simulation_engine sim(&w.topo, &w.customers,
+                              engine_params{.tick = seconds(2), .seed = 61});
+        sim.add_default_monitors();
+        rng srand(62);
+        sim.inject(make_security_ddos(w.topo, srand, 3), minutes(1), minutes(5));
+        skynet_engine engine(
+            skynet_engine::deps{&w.topo, &w.customers, &w.registry, &w.syslog});
+        sim.run_until(minutes(7),
+                      [&](const raw_alert& a, sim_time arrival) { engine.ingest(a, arrival); },
+                      [&](sim_time now) { engine.tick(now, sim.state()); });
+        engine.finish(sim.clock().now(), sim.state());
+        reports = engine.take_reports();
+    }
+    if (reports.empty()) {
+        std::fprintf(stderr, "episode produced no incident reports\n");
+        return 1;
+    }
+
+    federate::region_digest digest;
+    digest.region = "bench-region";
+    digest.seq = 1;
+    digest.barrier = minutes(7);
+    digest.reports = reports;
+
+    // 1. Encode: reports -> digest payload text.
+    std::string payload;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEncodeIters; ++i) {
+        payload = federate::encode_digest_payload(digest);
+    }
+    const double encode_s = seconds_since(t0);
+    const double encode_per_s = kEncodeIters / encode_s;
+    const double encode_mb_s =
+        static_cast<double>(payload.size()) * kEncodeIters / encode_s / 1e6;
+
+    // 2. Frame + decode: the aggregator's receive path, through the
+    // incremental fed_decoder exactly as bytes arrive off a socket.
+    const std::string frame = federate::frame_fed_record(federate::fed_record::digest, payload);
+    bool ok = true;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEncodeIters && ok; ++i) {
+        federate::fed_decoder dec;
+        dec.feed(federate::fed_magic);
+        dec.feed(frame);
+        const auto got = dec.next();
+        federate::region_digest out;
+        std::string err;
+        if (!got || dec.corrupt() ||
+            !federate::decode_digest_payload(got->payload, out, err) ||
+            out.reports.size() != reports.size()) {
+            std::fprintf(stderr, "decode round-trip failed: %s\n", err.c_str());
+            ok = false;
+        }
+    }
+    const double decode_s = seconds_since(t0);
+    const double decode_per_s = kEncodeIters / decode_s;
+
+    // 3. Merge: apply_digest across regions (seq gating + move-in), then
+    // one merged_ranked pass — the /v1/report cost at full fan-in.
+    federate::aggregator agg({});
+    const std::size_t slice = reports.size() < 4 ? reports.size() : 4;
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRegions; ++r) {
+        for (int s = 1; s <= kDigestsPerRegion; ++s) {
+            federate::region_digest d;
+            d.region = "region-" + std::to_string(r);
+            d.seq = static_cast<std::uint64_t>(s);
+            d.barrier = seconds(2 * s);
+            d.reports.assign(reports.begin(), reports.begin() + static_cast<long>(slice));
+            if (!agg.apply_digest(std::move(d)).applied) {
+                std::fprintf(stderr, "apply_digest rejected a fresh sequence\n");
+                ok = false;
+            }
+        }
+    }
+    const double apply_s = seconds_since(t0);
+    const double apply_per_s = kRegions * kDigestsPerRegion / apply_s;
+
+    t0 = std::chrono::steady_clock::now();
+    const auto merged = agg.merged_ranked();
+    const double merge_s = seconds_since(t0);
+    if (merged.size() != static_cast<std::size_t>(kRegions) * kDigestsPerRegion * slice) {
+        std::fprintf(stderr, "merged_ranked lost reports: %zu\n", merged.size());
+        ok = false;
+    }
+
+    std::printf("federation digest path (%zu reports/digest, payload %zu bytes)\n",
+                reports.size(), payload.size());
+    std::printf("  encode        %10.0f digests/s  (%.1f MB/s)\n", encode_per_s, encode_mb_s);
+    std::printf("  frame+decode  %10.0f digests/s\n", decode_per_s);
+    std::printf("  apply_digest  %10.0f digests/s  (%d regions x %d)\n", apply_per_s,
+                kRegions, kDigestsPerRegion);
+    std::printf("  merged_ranked %10.3f ms for %zu reports\n", merge_s * 1e3, merged.size());
+
+    // Digests ride the barrier cadence (one per ~2s of sim time per
+    // region), so anything above a few hundred per second means the
+    // federation layer can never be the bottleneck. Generous floors that
+    // only trip on a real regression.
+    if (encode_per_s < 500.0 || decode_per_s < 500.0 || apply_per_s < 1000.0) {
+        std::fprintf(stderr, "federation digest path below the throughput floor\n");
+        ok = false;
+    }
+
+    bench::bench_json doc("federation");
+    doc.field("reports_per_digest", static_cast<std::uint64_t>(reports.size()));
+    doc.field("payload_bytes", static_cast<std::uint64_t>(payload.size()));
+    doc.field("encode_digests_per_s", encode_per_s, 1);
+    doc.field("encode_mb_per_s", encode_mb_s, 1);
+    doc.field("decode_digests_per_s", decode_per_s, 1);
+    doc.field("apply_digests_per_s", apply_per_s, 1);
+    doc.field("merged_ranked_ms", merge_s * 1e3, 3);
+    doc.field("merged_reports", static_cast<std::uint64_t>(merged.size()));
+    if (!bench::write_bench_json(json_path, doc)) ok = false;
+    return ok ? 0 : 1;
+}

@@ -19,9 +19,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "skynet/core/digest.h"
+#include "skynet/federate/aggregator.h"
+#include "skynet/federate/emitter.h"
 #include "skynet/overload/controller.h"
 #include "skynet/viz/timeline.h"
 #include "skynet/core/pipeline.h"
@@ -337,15 +341,64 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
 }
 
 serve::daemon* g_daemon = nullptr;
+federate::aggregator* g_aggregator = nullptr;
 
 void handle_stop_signal(int) {
     if (g_daemon != nullptr) g_daemon->request_stop();
+    if (g_aggregator != nullptr) g_aggregator->request_stop();
+}
+
+/// The reconnect policy the client and the federation emitter share.
+serve::retry_policy retry_from(const options& opt) {
+    serve::retry_policy policy;
+    policy.attempts = opt.retry;
+    policy.base_ms = opt.retry_base_ms;
+    return policy;
 }
 
 /// --serve / --http: run the daemon until SIGTERM/SIGINT.
 int run_serve(const options& opt, const topology& topo, const customer_registry& customers,
               const alert_type_registry& registry, const syslog_classifier& syslog) {
     serve::daemon d(topo, customers, registry, &syslog, opt);
+
+    // --federate emit: hang the digest emitter off the daemon's barrier
+    // hook. The emitter journals next to the engine checkpoints unless
+    // --fed-journal picks its own directory.
+    std::unique_ptr<federate::digest_emitter> emitter;
+    if (opt.federate.emit()) {
+        federate::emitter_config ecfg;
+        ecfg.region = opt.federate.emit_region;
+        ecfg.aggregator_addr = opt.federate.emit_addr;
+        ecfg.journal_dir = !opt.federate.journal_dir.empty() ? opt.federate.journal_dir
+                                                             : opt.checkpoint_dir;
+        ecfg.heartbeat_ms = opt.federate.heartbeat_ms;
+        ecfg.retry = retry_from(opt);
+        emitter = std::make_unique<federate::digest_emitter>(std::move(ecfg));
+        federate::digest_emitter* em = emitter.get();
+        d.set_barrier_hook([em](const std::vector<incident_report>& reports, sim_time now,
+                                bool finish) { em->publish(reports, now, finish); });
+        d.set_metrics_hook([em](engine_metrics& m) { m.federation += em->metrics(); });
+        d.set_recovered_hook([em, &d, &opt] {
+            if (error e = em->start()) {
+                // Surface it loudly but keep serving: a daemon that can't
+                // federate is degraded, not dead.
+                std::fprintf(stderr, "federate: %s (emitter disabled)\n", e.message().c_str());
+                return;
+            }
+            // The engine journal can be ahead of the digest journal (it
+            // fsyncs on a different cadence, or the digests lived in
+            // memory only): re-digest what recovery closed past the
+            // emitter's last barrier so the aggregator still converges.
+            const sim_time have = em->last_barrier();
+            const sim_time engine_at = d.last_barrier();
+            if (have < engine_at) {
+                em->publish(d.store().reports_closed_after(have), engine_at, d.finished());
+            }
+            std::printf("federate: emitting as region '%s' to %s\n",
+                        opt.federate.emit_region.c_str(), opt.federate.emit_addr.c_str());
+        });
+    }
+
     if (error e = d.start()) {
         std::fprintf(stderr, "serve: %s\n", e.message().c_str());
         return 1;
@@ -359,8 +412,47 @@ int run_serve(const options& opt, const topology& topo, const customer_registry&
     if (!d.http_addr().empty()) std::printf("serve: http on %s\n", d.http_addr().c_str());
     std::fflush(stdout);
     const int rc = d.run();
+    if (emitter) emitter->stop();  // final flush of anything unacked
     g_daemon = nullptr;
     return rc;
+}
+
+/// --federate aggregate: run the global aggregator until SIGTERM/SIGINT.
+int run_aggregator(const options& opt) {
+    federate::aggregator_config cfg;
+    cfg.listen_addr = opt.federate.aggregate_addr;
+    cfg.http_addr = opt.serve.http_addr;
+    cfg.health = {opt.federate.lag_ms, opt.federate.stale_ms, opt.federate.partition_ms};
+    cfg.report_json = opt.json;
+    cfg.report_timeline = opt.timeline;
+    federate::aggregator agg(std::move(cfg));
+    if (error e = agg.start()) {
+        std::fprintf(stderr, "federate: %s\n", e.message().c_str());
+        return 1;
+    }
+    g_aggregator = &agg;
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    const int rc = agg.run();
+    g_aggregator = nullptr;
+    return rc;
+}
+
+/// Runs `action` with the options' bounded-retry schedule: up to
+/// opt.retry reconnect attempts after the first, exponential backoff
+/// with deterministic jitter between them. `err` carries the last
+/// transport failure out.
+template <typename Action>
+bool with_retries(const options& opt, std::string& err, Action&& action) {
+    const serve::retry_policy policy = retry_from(opt);
+    for (int attempt = 0;; ++attempt) {
+        if (action(err)) return true;
+        if (attempt >= policy.attempts) return false;
+        const auto delay = serve::backoff_delay(policy, attempt);
+        std::fprintf(stderr, "connect: %s; retry %d/%d in %lldms\n", err.c_str(), attempt + 1,
+                     policy.attempts, static_cast<long long>(delay.count()));
+        std::this_thread::sleep_for(delay);
+    }
 }
 
 /// --connect: HTTP GET/POST or stream a trace into a daemon.
@@ -382,8 +474,15 @@ int run_client(const options& opt) {
         }
         // Same cadence as --replay (2s tick batching, finish 20min after
         // the last arrival) so the daemon reaches bit-identical reports.
-        const auto stats =
-            serve::stream_trace(*addr, trace.alerts, seconds(2), minutes(20), err);
+        // Retries re-stream from the top, which covers the two intended
+        // cases exactly: a daemon that is not up yet (nothing applied),
+        // and a daemon restarted with --recover --resume-stream (the
+        // already-journaled prefix is skipped, the rest replays).
+        std::optional<serve::stream_stats> stats;
+        (void)with_retries(opt, err, [&](std::string& e) {
+            stats = serve::stream_trace(*addr, trace.alerts, seconds(2), minutes(20), e);
+            return stats.has_value();
+        });
         if (!stats) {
             std::fprintf(stderr, "stream: %s\n", err.c_str());
             return 1;
@@ -418,7 +517,9 @@ int run_client(const options& opt) {
         body = buffer.str();
     }
     serve::http_response response;
-    if (!serve::http_call(*addr, post ? "POST" : "GET", encoded, body, response, err)) {
+    if (!with_retries(opt, err, [&](std::string& e) {
+            return serve::http_call(*addr, post ? "POST" : "GET", encoded, body, response, e);
+        })) {
         std::fprintf(stderr, "%s\n", err.c_str());
         return 1;
     }
@@ -453,6 +554,9 @@ int main(int argc, char** argv) {
     if (!issues.empty()) return 2;
 
     if (parsed.mode == serve::run_mode::client) return run_client(opt);
+    // The aggregator runs no engine, so it needs no topology or
+    // registries — dispatch before any of that is built.
+    if (opt.federate.aggregate()) return run_aggregator(opt);
 
     // Topology: preset, or imported file.
     topology topo;

@@ -42,6 +42,7 @@ engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept
     recovery += other.recovery;
     overload += other.overload;
     steal += other.steal;
+    federation += other.federation;
     alerts_in += other.alerts_in;
     batches_in += other.batches_in;
     ticks += other.ticks;
@@ -160,6 +161,29 @@ std::string engine_metrics::render() const {
                       static_cast<unsigned long long>(steal.intern_lock_contention));
         out += buf;
     }
+    if (federation.any()) {
+        std::snprintf(buf, sizeof buf,
+                      "  federation: %llu digests emitted (%llu bytes, acked seq %llu); "
+                      "%llu sessions ok, %llu failed, %llu retries\n",
+                      static_cast<unsigned long long>(federation.digests_emitted),
+                      static_cast<unsigned long long>(federation.digest_bytes),
+                      static_cast<unsigned long long>(federation.acked_seq),
+                      static_cast<unsigned long long>(federation.sessions_ok),
+                      static_cast<unsigned long long>(federation.sessions_failed),
+                      static_cast<unsigned long long>(federation.send_retries));
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "              %llu applied, %llu duplicates dropped, %llu gaps; "
+                      "regions %llu live / %llu lagging / %llu stale / %llu partitioned\n",
+                      static_cast<unsigned long long>(federation.digests_applied),
+                      static_cast<unsigned long long>(federation.duplicates_dropped),
+                      static_cast<unsigned long long>(federation.gaps_detected),
+                      static_cast<unsigned long long>(federation.regions_live),
+                      static_cast<unsigned long long>(federation.regions_lagging),
+                      static_cast<unsigned long long>(federation.regions_stale),
+                      static_cast<unsigned long long>(federation.regions_partitioned));
+        out += buf;
+    }
     return out;
 }
 
@@ -239,6 +263,20 @@ std::string engine_metrics::to_json() const {
     u("prepare_ns", steal.prepare_ns);
     u("intern_lock_contention", steal.intern_lock_contention);
     u("intern_entries", steal.intern_entries, true);
+    out += "},\"federation\":{";
+    u("digests_emitted", federation.digests_emitted);
+    u("digest_bytes", federation.digest_bytes);
+    u("acked_seq", federation.acked_seq);
+    u("sessions_ok", federation.sessions_ok);
+    u("sessions_failed", federation.sessions_failed);
+    u("send_retries", federation.send_retries);
+    u("digests_applied", federation.digests_applied);
+    u("duplicates_dropped", federation.duplicates_dropped);
+    u("gaps_detected", federation.gaps_detected);
+    u("regions_live", federation.regions_live);
+    u("regions_lagging", federation.regions_lagging);
+    u("regions_stale", federation.regions_stale);
+    u("regions_partitioned", federation.regions_partitioned, true);
     out += "}}";
     return out;
 }

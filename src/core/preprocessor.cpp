@@ -564,15 +564,17 @@ std::vector<preprocess_event> preprocessor::flush(sim_time now) {
     }
 
     // Sketch epoch rollover: the sketched analog of open-table expiry.
-    // One dedup_window after the sketch first activates, its cells are
-    // zeroed so stale floods stop inflating estimates forever. Keyed on
-    // sim time only, so replays roll the epoch at identical points.
+    // Every dedup_window after the sketch first activates, the halves
+    // rotate — the current window becomes the decaying previous half and
+    // estimates fade over two windows instead of cliffing to zero, while
+    // stale floods still stop inflating estimates forever. Keyed on sim
+    // time only, so replays roll the epoch at identical points.
     if (policy_.sketch_active()) {
         if (sketch_epoch_ == 0) {
             sketch_epoch_ = now;
         } else if (now - sketch_epoch_ >= config_.dedup_window) {
-            policy_.clear_sketch();
-            sketch_epoch_ = 0;
+            policy_.rotate_sketch();
+            sketch_epoch_ = now;
         }
     }
     return out;

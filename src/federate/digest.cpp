@@ -1,0 +1,234 @@
+#include "skynet/federate/digest.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "skynet/persist/crc32c.h"
+#include "skynet/persist/journal.h"
+#include "skynet/persist/report_codec.h"
+
+namespace skynet::federate {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+    const auto* u = reinterpret_cast<const unsigned char*>(p);
+    return static_cast<std::uint32_t>(u[0]) | (static_cast<std::uint32_t>(u[1]) << 8) |
+           (static_cast<std::uint32_t>(u[2]) << 16) | (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+}  // namespace
+
+std::string encode_digest_payload(const region_digest& d) {
+    namespace codec = persist::codec;
+    std::string out = "DIG";
+    codec::put_u64(out, d.seq);
+    codec::put_i64(out, d.barrier);
+    codec::put(out, d.finish ? "1" : "0");
+    codec::put_u64(out, d.reports.size());
+    codec::put(out, d.region);
+    out += '\n';
+    for (const incident_report& r : d.reports) codec::put_report(out, r);
+    return out;
+}
+
+bool decode_digest_payload(std::string_view payload, region_digest& d, std::string& err) {
+    namespace codec = persist::codec;
+    codec::cursor c;
+    c.text = payload;
+    std::vector<std::string_view> f;
+    auto finish_error = [&]() {
+        err = c.err.empty() ? "digest parse error" : c.err;
+        return false;
+    };
+    std::uint64_t n_reports = 0;
+    bool finish = false;
+    if (!c.expect("DIG", 5, f)) return finish_error();
+    if (!c.u64(f[1], d.seq)) return finish_error();
+    if (!c.i64(f[2], d.barrier)) return finish_error();
+    if (!c.flag(f[3], finish)) return finish_error();
+    if (!c.u64(f[4], n_reports)) return finish_error();
+    d.region = std::string(f[5]);
+    d.finish = finish;
+    if (d.region.empty()) {
+        err = "digest with empty region";
+        return false;
+    }
+    d.reports.clear();
+    d.reports.reserve(n_reports);
+    for (std::uint64_t i = 0; i < n_reports; ++i) {
+        incident_report r;
+        if (!codec::get_report(c, r)) return finish_error();
+        d.reports.push_back(std::move(r));
+    }
+    if (c.pos < c.text.size()) {
+        err = "trailing bytes after digest reports";
+        return false;
+    }
+    return true;
+}
+
+std::string frame_fed_record(fed_record type, std::string_view payload) {
+    std::string out;
+    out.reserve(persist::record_header_bytes + payload.size());
+    out.push_back(static_cast<char>(type));
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    put_u32(out, persist::crc32c(payload));
+    out += payload;
+    return out;
+}
+
+void fed_decoder::fail(std::string reason) {
+    corrupt_ = true;
+    reason_ = std::move(reason);
+}
+
+void fed_decoder::feed(std::string_view bytes) {
+    if (corrupt_) return;
+    buf_ += bytes;
+    if (pos_ > 1u << 20 && pos_ > buf_.size() / 2) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+}
+
+std::optional<fed_frame> fed_decoder::next() {
+    if (corrupt_) return std::nullopt;
+    if (!seen_magic_) {
+        if (buf_.size() - pos_ < fed_magic.size()) return std::nullopt;
+        if (std::string_view(buf_).substr(pos_, fed_magic.size()) != fed_magic) {
+            fail("bad federation magic");
+            return std::nullopt;
+        }
+        pos_ += fed_magic.size();
+        seen_magic_ = true;
+    }
+    if (buf_.size() - pos_ < persist::record_header_bytes) return std::nullopt;
+    const char* header = buf_.data() + pos_;
+    const auto type = static_cast<fed_record>(static_cast<unsigned char>(header[0]));
+    const std::uint32_t len = get_u32(header + 1);
+    const std::uint32_t crc = get_u32(header + 5);
+    if (type != fed_record::hello && type != fed_record::digest) {
+        fail("unknown federation record type " +
+             std::to_string(static_cast<unsigned char>(header[0])));
+        return std::nullopt;
+    }
+    if (len > max_payload_bytes) {
+        fail("payload length " + std::to_string(len) + " exceeds limit");
+        return std::nullopt;
+    }
+    if (buf_.size() - pos_ < persist::record_header_bytes + len) return std::nullopt;
+    const std::string_view payload(buf_.data() + pos_ + persist::record_header_bytes, len);
+    if (persist::crc32c(payload) != crc) {
+        fail("payload CRC mismatch");
+        return std::nullopt;
+    }
+    fed_frame frame;
+    frame.type = type;
+    frame.payload = std::string(payload);
+    pos_ += persist::record_header_bytes + len;
+    ++frames_;
+    return frame;
+}
+
+digest_journal_read read_digest_journal(const std::string& path) {
+    digest_journal_read result;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        result.missing = true;
+        return result;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+    auto truncate_at = [&](std::uint64_t at, std::string reason) {
+        result.valid_bytes = at;
+        result.truncated_tail_bytes = bytes.size() - at;
+        result.truncation_reason = std::move(reason);
+        return result;
+    };
+
+    if (bytes.size() < fed_magic.size() ||
+        std::string_view(bytes).substr(0, fed_magic.size()) != fed_magic) {
+        // An empty or headerless file is a torn-at-byte-zero journal:
+        // drop everything, the writer re-creates the magic.
+        return truncate_at(0, "missing digest journal magic");
+    }
+
+    std::size_t pos = fed_magic.size();
+    while (true) {
+        if (pos == bytes.size()) break;  // clean end
+        if (bytes.size() - pos < persist::record_header_bytes) {
+            return truncate_at(pos, "torn record header");
+        }
+        const char* header = bytes.data() + pos;
+        const auto type = static_cast<fed_record>(static_cast<unsigned char>(header[0]));
+        const std::uint32_t len = get_u32(header + 1);
+        const std::uint32_t crc = get_u32(header + 5);
+        if (type != fed_record::digest) {
+            return truncate_at(pos, "unexpected record type in digest journal");
+        }
+        if (len > fed_decoder::max_payload_bytes ||
+            bytes.size() - pos - persist::record_header_bytes < len) {
+            return truncate_at(pos, "payload overruns the file");
+        }
+        const std::string_view payload(bytes.data() + pos + persist::record_header_bytes, len);
+        if (persist::crc32c(payload) != crc) {
+            return truncate_at(pos, "payload CRC mismatch");
+        }
+        region_digest d;
+        std::string err;
+        if (!decode_digest_payload(payload, d, err)) {
+            return truncate_at(pos, "undecodable digest: " + err);
+        }
+        result.digests.push_back(std::move(d));
+        pos += persist::record_header_bytes + len;
+    }
+    result.valid_bytes = pos;
+    return result;
+}
+
+digest_journal_writer::digest_journal_writer(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr) {
+        throw skynet_error("digest journal: cannot open " + path);
+    }
+    struct stat st{};
+    const bool fresh = ::fstat(::fileno(file_), &st) != 0 || st.st_size == 0;
+    if (fresh) {
+        if (std::fwrite(fed_magic.data(), 1, fed_magic.size(), file_) != fed_magic.size()) {
+            std::fclose(file_);
+            file_ = nullptr;
+            throw skynet_error("digest journal: cannot write magic to " + path);
+        }
+        std::fflush(file_);
+        offset_ = fed_magic.size();
+    } else {
+        offset_ = static_cast<std::uint64_t>(st.st_size);
+    }
+}
+
+digest_journal_writer::~digest_journal_writer() {
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        std::fclose(file_);
+    }
+}
+
+void digest_journal_writer::append_frame(std::string_view frame) {
+    if (file_ == nullptr) return;
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) == frame.size()) {
+        offset_ += frame.size();
+    }
+    std::fflush(file_);
+}
+
+}  // namespace skynet::federate

@@ -222,6 +222,57 @@ struct steal_metrics {
     }
 };
 
+/// Federation accounting: the emitter side counts digests leaving a
+/// region, the aggregator side counts digests merging into the global
+/// view. A process is one or the other, so each health report naturally
+/// renders only its own half; the merged struct carries both so the
+/// /v1/health JSON shape is identical everywhere.
+struct federation_metrics {
+    // Emitter side (per-region daemon with --federate emit:).
+    std::uint64_t digests_emitted{0};  ///< digests published (journal + queue)
+    std::uint64_t digest_bytes{0};     ///< framed digest bytes published
+    std::uint64_t sessions_ok{0};      ///< emitter sessions acked by the aggregator
+    std::uint64_t sessions_failed{0};  ///< sessions that died before the ack
+    std::uint64_t send_retries{0};     ///< backoff retries across all sessions
+    /// Highest digest sequence the aggregator has acked (gauge, max-merge).
+    std::uint64_t acked_seq{0};
+    // Aggregator side (--federate aggregate:).
+    std::uint64_t digests_applied{0};     ///< digests merged into the global view
+    std::uint64_t duplicates_dropped{0};  ///< re-sent digests skipped by seq gating
+    std::uint64_t gaps_detected{0};       ///< missing sequence numbers observed
+    /// Region-health gauges sampled at query time (merged by max).
+    std::uint64_t regions_live{0};
+    std::uint64_t regions_lagging{0};
+    std::uint64_t regions_stale{0};
+    std::uint64_t regions_partitioned{0};
+
+    [[nodiscard]] bool any() const noexcept {
+        return digests_emitted != 0 || digest_bytes != 0 || sessions_ok != 0 ||
+               sessions_failed != 0 || send_retries != 0 || acked_seq != 0 ||
+               digests_applied != 0 || duplicates_dropped != 0 || gaps_detected != 0 ||
+               regions_live != 0 || regions_lagging != 0 || regions_stale != 0 ||
+               regions_partitioned != 0;
+    }
+
+    federation_metrics& operator+=(const federation_metrics& other) noexcept {
+        digests_emitted += other.digests_emitted;
+        digest_bytes += other.digest_bytes;
+        sessions_ok += other.sessions_ok;
+        sessions_failed += other.sessions_failed;
+        send_retries += other.send_retries;
+        if (other.acked_seq > acked_seq) acked_seq = other.acked_seq;
+        digests_applied += other.digests_applied;
+        duplicates_dropped += other.duplicates_dropped;
+        gaps_detected += other.gaps_detected;
+        if (other.regions_live > regions_live) regions_live = other.regions_live;
+        if (other.regions_lagging > regions_lagging) regions_lagging = other.regions_lagging;
+        if (other.regions_stale > regions_stale) regions_stale = other.regions_stale;
+        if (other.regions_partitioned > regions_partitioned)
+            regions_partitioned = other.regions_partitioned;
+        return *this;
+    }
+};
+
 struct engine_metrics {
     stage_metrics preprocess;  ///< raw -> structured conversion + flush
     stage_metrics locate;      ///< main-tree insert/refresh + incident checks
@@ -230,6 +281,7 @@ struct engine_metrics {
     recovery_metrics recovery;  ///< durability / crash-recovery accounting
     overload_metrics overload;  ///< overload-control accounting
     steal_metrics steal;        ///< work-stealing / interning accounting
+    federation_metrics federation;  ///< multi-region digest streaming accounting
     std::uint64_t alerts_in{0};
     std::uint64_t batches_in{0};
     std::uint64_t ticks{0};

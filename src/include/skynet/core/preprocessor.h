@@ -293,9 +293,10 @@ private:
     /// — prepare() stays const and thread-safe, so the single-writer
     /// contract of the conservative update holds under work stealing.
     sketch::counting_policy policy_;
-    /// Simulated time the sketch epoch started; the sketch is zeroed one
-    /// dedup_window after it first activates (the sketched analog of
-    /// open-table expiry), keyed purely off sim time for determinism.
+    /// Simulated time the sketch epoch started; the sketch halves rotate
+    /// every dedup_window after it first activates (the sketched analog
+    /// of open-table expiry, with estimates decaying over two windows
+    /// instead of cliffing), keyed purely off sim time for determinism.
     sim_time sketch_epoch_{0};
 
     std::unordered_map<std::uint64_t, open_alert> open_;

@@ -1,0 +1,130 @@
+// Global aggregator: merges per-region digests into one ranked view.
+//
+// Two sockets, no engine:
+//   - federation ingest (--federate aggregate:ADDR): emitters run short
+//     sessions (hello -> "HAVE <seq>" -> digest frames -> "OK ...");
+//     sequence gating makes the merge exactly-once — a digest at or
+//     below the region's high-water mark is dropped as a duplicate, a
+//     jump past it is counted as a gap (the next session's HAVE triggers
+//     the replay);
+//   - HTTP/JSON API (--http): GET /v1/report is the cross-region ranked
+//     listing in the exact batch-CLI format, GET /v1/health the
+//     canonical engine_metrics JSON with the federation block populated,
+//     GET /v1/regions the per-region staleness detail.
+//
+// Graceful degradation is structural: the merged view is a plain
+// in-memory map guarded by a shared_mutex, so queries never wait on the
+// network — a partitioned region simply stops updating its slice and
+// ages through the health states (see health.h) while its last known
+// reports keep serving. Determinism: merged reports are ordered by
+// (score desc, region asc, incident id asc) — a total order independent
+// of digest arrival interleaving, which is what makes the partition
+// parity guarantee ("recovered region converges to the byte-identical
+// report") hold by construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "skynet/common/error.h"
+#include "skynet/core/engine_metrics.h"
+#include "skynet/federate/digest.h"
+#include "skynet/federate/health.h"
+#include "skynet/serve/http.h"
+#include "skynet/serve/net.h"
+
+namespace skynet::federate {
+
+struct aggregator_config {
+    std::string listen_addr;  ///< federation ingest ("unix:..." / "tcp:...")
+    std::string http_addr;    ///< HTTP API; empty = none (tests drive handle())
+    health_config health{};
+    /// A session silent for this long is dropped so one hung emitter
+    /// cannot wedge the one-connection-at-a-time listener.
+    int session_timeout_ms{2000};
+    bool report_json{false};      ///< default /v1/report json flag
+    bool report_timeline{false};  ///< default /v1/report timeline flag
+};
+
+class aggregator {
+public:
+    explicit aggregator(aggregator_config cfg);
+    ~aggregator();
+
+    aggregator(const aggregator&) = delete;
+    aggregator& operator=(const aggregator&) = delete;
+
+    /// Binds both sockets. Empty error = running.
+    [[nodiscard]] error start();
+
+    /// Blocks until request_stop(); returns the process exit code.
+    int run();
+
+    /// Async-signal-safe shutdown trigger.
+    void request_stop() noexcept;
+
+    /// Bound addresses with ephemeral ports resolved (after start()).
+    [[nodiscard]] std::string fed_addr() const;
+    [[nodiscard]] std::string http_addr() const;
+
+    /// The HTTP routing table, callable without sockets.
+    [[nodiscard]] serve::http_reply handle(const serve::http_request& req);
+
+    /// Outcome of merging one digest (exposed for tests).
+    struct apply_result {
+        bool applied{false};     ///< false = duplicate, dropped
+        std::uint64_t gap{0};    ///< sequence numbers skipped before it
+    };
+
+    /// Merges one digest directly (the socket path and tests both land
+    /// here). Thread-safe.
+    apply_result apply_digest(region_digest d);
+
+    /// Region's acked high-water sequence (0 = never heard from it).
+    [[nodiscard]] std::uint64_t last_seq(const std::string& region) const;
+
+    /// The merged cross-region ranking (score desc, region, id).
+    [[nodiscard]] std::vector<incident_report> merged_ranked() const;
+
+    /// Aggregator-side federation counters + region-health gauges.
+    [[nodiscard]] federation_metrics metrics() const;
+
+    [[nodiscard]] std::size_t region_count() const;
+
+private:
+    struct region_entry {
+        std::uint64_t last_seq{0};
+        sim_time last_barrier{0};
+        bool finished{false};
+        std::uint64_t digests_applied{0};
+        std::uint64_t duplicates_dropped{0};
+        std::uint64_t gaps_detected{0};
+        std::chrono::steady_clock::time_point last_contact{};
+        std::vector<incident_report> reports;
+    };
+
+    void handle_fed_conn(int fd);
+    void touch(const std::string& region);
+    [[nodiscard]] serve::http_reply get_health();
+    [[nodiscard]] serve::http_reply get_report(const serve::http_request& req) const;
+    [[nodiscard]] serve::http_reply get_regions() const;
+
+    aggregator_config cfg_;
+    serve::listener fed_listener_;
+    serve::http_server http_;
+
+    mutable std::shared_mutex mu_;
+    std::map<std::string, region_entry> regions_;
+
+    std::atomic<bool> stopping_{false};
+    int stop_pipe_[2]{-1, -1};
+    std::atomic<std::uint64_t> sessions_{0};
+    std::atomic<std::uint64_t> sessions_rejected_{0};
+};
+
+}  // namespace skynet::federate

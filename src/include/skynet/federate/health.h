@@ -1,0 +1,56 @@
+// Region health: the aggregator's staleness state machine.
+//
+// Every emitter session (digests or a bare heartbeat handshake) touches
+// the region's last-contact clock; health is then a pure function of the
+// elapsed wall time since that touch:
+//
+//   live ──lag_ms──▶ lagging ──stale_ms──▶ stale ──partition_ms──▶ partitioned
+//
+// The transitions are thresholds on one monotonically growing quantity,
+// so the state machine needs no events, no timers, and no per-region
+// threads — the aggregator classifies at query time. A reconnect resets
+// the clock and the region snaps straight back to live; the catch-up
+// digests it replays restore the *content* independently of the health
+// label (graceful degradation: a stale region's last known reports keep
+// serving, annotated, until then).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace skynet::federate {
+
+enum class region_state : std::uint8_t {
+    live = 0,         ///< heard from within lag_ms
+    lagging = 1,      ///< quiet for lag_ms, digests likely queuing
+    stale = 2,        ///< quiet for stale_ms, view is old but served
+    partitioned = 3,  ///< quiet for partition_ms, link presumed down
+};
+
+[[nodiscard]] constexpr std::string_view to_string(region_state s) noexcept {
+    switch (s) {
+        case region_state::live: return "live";
+        case region_state::lagging: return "lagging";
+        case region_state::stale: return "stale";
+        case region_state::partitioned: return "partitioned";
+    }
+    return "?";
+}
+
+/// Thresholds in wall-clock milliseconds since last contact; must be
+/// strictly increasing (validated at the options layer).
+struct health_config {
+    std::int64_t lag_ms{2000};
+    std::int64_t stale_ms{5000};
+    std::int64_t partition_ms{15000};
+};
+
+[[nodiscard]] constexpr region_state classify(std::int64_t since_contact_ms,
+                                              const health_config& cfg) noexcept {
+    if (since_contact_ms >= cfg.partition_ms) return region_state::partitioned;
+    if (since_contact_ms >= cfg.stale_ms) return region_state::stale;
+    if (since_contact_ms >= cfg.lag_ms) return region_state::lagging;
+    return region_state::live;
+}
+
+}  // namespace skynet::federate

@@ -1,0 +1,95 @@
+#pragma once
+
+/// Shared tab-separated text codec for incident reports and their parts.
+///
+/// Extracted from the snapshot writer/parser so that every persist-format
+/// consumer — checkpoints, and the federation digests built on top of them —
+/// renders and parses alerts, severities, incidents, and reports with the
+/// *same* byte-exact encoding. The format is line-oriented: each record is a
+/// tag followed by tab-separated fields, doubles travel as 16-hex-digit bit
+/// patterns (exact round-trip, no locale), and multi-line records (INC, REP)
+/// nest their children on the following lines.
+///
+/// The `cursor` is the matching incremental parser: it walks a
+/// `std::string_view` line by line, reports the first error with its line
+/// number, and latches — once failed, every subsequent call returns false, so
+/// callers can chain parses and check once at the end.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skynet/core/pipeline.h"
+
+namespace skynet::persist::codec {
+
+// ---------------------------------------------------------------- writing
+
+/// Appends one field preceded by its tab separator.
+void put(std::string& out, std::string_view field);
+void put_u64(std::string& out, std::uint64_t v);
+void put_i64(std::string& out, std::int64_t v);
+
+/// Doubles as 16-hex-digit bit patterns: exact round-trip, no locale.
+void put_double(std::string& out, double v);
+
+/// The 15 tab-separated alert fields (no leading tag, no newline).
+void put_alert(std::string& out, const structured_alert& a);
+
+/// The 8 tab-separated severity fields (no leading tag, no newline).
+void put_severity(std::string& out, const severity_breakdown& s);
+
+/// "INC" record plus one "IA" line per alert, newline-terminated.
+void put_incident(std::string& out, const incident& inc);
+
+/// "REP" record plus its nested incident, newline-terminated.
+void put_report(std::string& out, const incident_report& r);
+
+// ---------------------------------------------------------------- parsing
+
+std::vector<std::string_view> split_tabs(std::string_view line);
+
+bool parse_u64(std::string_view s, std::uint64_t& out);
+bool parse_i64(std::string_view s, std::int64_t& out);
+bool parse_double_hex(std::string_view s, double& out);
+
+/// Line cursor over a text body with one-line error reporting.
+struct cursor {
+    std::string_view text;
+    std::size_t pos{0};
+    int line_no{0};
+    std::string err;
+
+    bool fail(const std::string& message);
+
+    /// Next line split on tabs; fails at end of input.
+    bool next(std::vector<std::string_view>& fields);
+
+    /// Next line, required to carry `tag` and exactly `n` fields after it.
+    bool expect(std::string_view tag, std::size_t n, std::vector<std::string_view>& fields);
+
+    bool u64(std::string_view s, std::uint64_t& out);
+    bool i64(std::string_view s, std::int64_t& out);
+    bool u32(std::string_view s, std::uint32_t& out);
+    bool dbl(std::string_view s, double& out);
+    bool flag(std::string_view s, bool& out);
+};
+
+inline constexpr std::size_t alert_fields = 15;
+
+/// Parses the 15 alert fields starting at fields[at].
+bool get_alert(cursor& c, const std::vector<std::string_view>& fields, std::size_t at,
+               structured_alert& a);
+
+/// Parses the 8 severity fields starting at fields[at].
+bool get_severity(cursor& c, const std::vector<std::string_view>& fields, std::size_t at,
+                  severity_breakdown& s);
+
+/// Parses an "INC" record and its "IA" alert lines.
+bool get_incident(cursor& c, incident& inc);
+
+/// Parses a "REP" record and its nested incident.
+bool get_report(cursor& c, incident_report& r);
+
+}  // namespace skynet::persist::codec

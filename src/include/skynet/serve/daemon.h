@@ -34,10 +34,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "skynet/core/pipeline.h"
 #include "skynet/core/sharded_engine.h"
@@ -85,6 +87,37 @@ public:
     [[nodiscard]] http_reply handle(const http_request& req);
 
     [[nodiscard]] incident_store& store() noexcept { return store_; }
+
+    // Federation hooks — how the digest emitter rides the daemon without
+    // the serve layer linking against skynet_federate. All three must be
+    // set before start() (the daemon never synchronizes hook swaps).
+
+    /// Called at the end of every applied barrier, under engine_mu_,
+    /// with the reports that barrier closed. Keep it non-blocking: the
+    /// emitter only encodes and queues here.
+    void set_barrier_hook(
+        std::function<void(const std::vector<incident_report>&, sim_time, bool)> hook) {
+        barrier_hook_ = std::move(hook);
+    }
+    /// Called while building each health snapshot so external
+    /// subsystems (the emitter) can merge their metrics blocks in.
+    void set_metrics_hook(std::function<void(engine_metrics&)> hook) {
+        metrics_hook_ = std::move(hook);
+    }
+    /// Called once in start() after recovery completes and before any
+    /// listener binds — the emitter's chance to resync a digest journal
+    /// that fell behind the recovered engine state.
+    void set_recovered_hook(std::function<void()> hook) { recovered_hook_ = std::move(hook); }
+
+    /// Barrier clock / finish flag as of the last applied barrier.
+    [[nodiscard]] sim_time last_barrier() {
+        std::lock_guard lock(engine_mu_);
+        return last_barrier_;
+    }
+    [[nodiscard]] bool finished() {
+        std::lock_guard lock(engine_mu_);
+        return saw_finish_;
+    }
 
 private:
     void handle_ingest_conn(int fd);
@@ -143,6 +176,17 @@ private:
     std::mutex engine_mu_;
     sim_time last_barrier_{0};
     bool saw_finish_{false};
+
+    std::function<void(const std::vector<incident_report>&, sim_time, bool)> barrier_hook_;
+    std::function<void(engine_metrics&)> metrics_hook_;
+    std::function<void()> recovered_hook_;
+
+    /// --resume-stream: wire records in this ingest prefix were already
+    /// applied from the journal during recovery; skip them instead of
+    /// re-applying. Only the single-threaded ingest listener touches the
+    /// position counter.
+    std::uint64_t resume_skip_{0};
+    std::uint64_t resume_pos_{0};
 
     mutable std::mutex pub_mu_;
     std::string pub_health_{"{}\n"};

@@ -46,6 +46,29 @@ struct serve_options {
     }
 };
 
+/// Federation settings (--federate and friends). A process is either a
+/// per-region emitter (a daemon whose barrier reports stream out as
+/// digests) or the global aggregator (no engine, merges digests from
+/// every region); the one --federate flag picks the role:
+///   --federate emit:REGION@ADDR    this daemon is region REGION, its
+///                                  digests go to the aggregator at ADDR
+///   --federate aggregate:ADDR      run the aggregator, listening on ADDR
+struct federate_options {
+    std::string emit_region;     ///< emit: region name
+    std::string emit_addr;       ///< emit: aggregator address to dial
+    std::string aggregate_addr;  ///< aggregate: federation listen address
+    std::string journal_dir;     ///< --fed-journal: digest journal directory
+    int heartbeat_ms{1000};      ///< --fed-heartbeat-ms; 0 = no idle sessions
+    // Staleness thresholds (see federate::health_config); must increase.
+    std::int64_t lag_ms{2000};
+    std::int64_t stale_ms{5000};
+    std::int64_t partition_ms{15000};
+
+    [[nodiscard]] bool emit() const noexcept { return !emit_addr.empty(); }
+    [[nodiscard]] bool aggregate() const noexcept { return !aggregate_addr.empty(); }
+    [[nodiscard]] bool enabled() const noexcept { return emit() || aggregate(); }
+};
+
 /// Client-only settings (--connect and friends).
 struct client_options {
     std::string connect;      ///< daemon address to talk to
@@ -109,6 +132,19 @@ struct engine_options {
     // Service surfaces.
     serve_options serve;
     client_options client;
+    federate_options federate;
+
+    // Reconnect policy shared by the --connect client and the federation
+    // emitter: --retry N attempts after the first try, exponential
+    // backoff from --retry-base-ms with deterministic jitter.
+    int retry{0};
+    int retry_base_ms{100};
+
+    /// --resume-stream: a recovered daemon expects its feeder to replay
+    /// the original stream from the top and silently skips the prefix the
+    /// journal already applied (instead of re-closing incidents). Only
+    /// meaningful with --recover.
+    bool resume_stream{false};
 
     /// The overload controller config these options describe.
     [[nodiscard]] overload::controller_config overload_config() const;

@@ -80,6 +80,11 @@ public:
     /// same order the batch CLI prints, used to build /v1/report.
     [[nodiscard]] std::vector<incident_report> ranked_reports() const;
 
+    /// Reports closed strictly after barrier `t`, in log order. The
+    /// federation emitter's recovery resync uses this to rebuild the
+    /// digests its journal is missing relative to a recovered engine.
+    [[nodiscard]] std::vector<incident_report> reports_closed_after(sim_time t) const;
+
     /// The wrapped log, for recovery wiring (checkpoint snapshots point
     /// at it). Not thread-safe: barrier/startup thread only, never while
     /// listeners are serving.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -51,6 +52,31 @@ struct socket_addr {
 /// Reads whatever is available within `timeout_ms` (poll + one recv).
 /// Returns bytes read, 0 on timeout, -1 on EOF/error.
 [[nodiscard]] int read_some(int fd, char* buf, std::size_t cap, int timeout_ms);
+
+/// Reads up to and including one '\n' (stripped from `line`, trailing
+/// '\r' too), waiting at most `timeout_ms` overall. False on
+/// EOF-before-newline, error, timeout, or a line longer than `max_len`.
+[[nodiscard]] bool read_line(int fd, std::string& line, int timeout_ms,
+                             std::size_t max_len = 4096);
+
+/// Bounded-retry schedule with exponential backoff and deterministic
+/// jitter, shared by the --connect client and the federation emitter.
+/// `attempts` counts retries *after* the first try; attempt 0's delay is
+/// the base, doubling per attempt up to `max_ms`. The jitter is a pure
+/// function of (seed, attempt), so replays and tests see identical
+/// schedules while distinct seeds (e.g. per region) de-synchronize
+/// reconnect storms.
+struct retry_policy {
+    int attempts{0};
+    int base_ms{100};
+    int max_ms{5000};
+    std::uint64_t seed{0};
+};
+
+/// Delay before retry number `attempt` (0-based): a deterministic point
+/// in [cap/2, cap] where cap = min(base_ms << attempt, max_ms).
+[[nodiscard]] std::chrono::milliseconds backoff_delay(const retry_policy& policy,
+                                                      int attempt) noexcept;
 
 /// Accept loop on a dedicated thread. Connections are handled one at a
 /// time by the provided handler, which borrows the fd (the listener

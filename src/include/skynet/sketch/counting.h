@@ -159,7 +159,8 @@ public:
     /// Sketch-side count of one occurrence batch (style one: the caller
     /// owns the exact regime). Single writer, like count_min_sketch::add.
     counted sketch_add(std::uint64_t key, std::uint64_t n = 1);
-    /// Current sketch estimate; 0 when the sketch was never touched.
+    /// Current sketch estimate (current + previous half after a
+    /// rotate_sketch()); 0 when the sketch was never touched.
     [[nodiscard]] std::uint64_t sketch_estimate(std::uint64_t key) const noexcept;
 
     /// Self-contained count (style two): exact until the internal map
@@ -176,7 +177,17 @@ public:
     [[nodiscard]] std::size_t exact_size() const noexcept { return exact_.size(); }
     [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
-    /// Zeroes the sketch cells (epoch rollover): estimates restart, the
+    /// Epoch rollover, rotating-halves style: the current sketch becomes
+    /// the previous half and a zeroed sketch takes over as current.
+    /// Estimates are served as current + previous, so a key's count
+    /// decays over two windows instead of cliffing to zero — after two
+    /// quiet rotations it is fully forgotten. Adds always land in the
+    /// current half, so the never-undercount direction is preserved:
+    /// every add since the last rotation is in current, every add from
+    /// the window before is still in previous. Lifetime sketched_adds()
+    /// and the active marker are preserved.
+    void rotate_sketch() noexcept;
+    /// Zeroes both sketch halves (hard reset): estimates restart, the
     /// lifetime sketched_adds() marker is preserved.
     void clear_sketch() noexcept;
     /// Window rollover: forgets every count (exact + sketch), keeps the
@@ -191,6 +202,9 @@ private:
 
     sketch_config cfg_{};
     count_min_sketch sketch_;
+    /// Previous rotation window (rotating halves); unallocated until the
+    /// first rotate_sketch(), so non-rotating policies pay nothing.
+    count_min_sketch prev_;
     std::unordered_map<std::uint64_t, std::uint64_t> exact_;
     std::uint64_t sketched_adds_{0};
     bool sketch_active_{false};

@@ -9,88 +9,19 @@
 #include <system_error>
 
 #include "skynet/persist/crc32c.h"
+#include "skynet/persist/report_codec.h"
 #include "skynet/sim/trace.h"
 
 namespace skynet::persist {
 
 namespace {
 
+// The alert/severity/incident/report codec and the line cursor live in
+// persist::codec (shared with the federation digests); this file keeps only
+// the snapshot-specific record shapes layered on top of them.
+using namespace codec;
+
 // ---------------------------------------------------------------- writing
-
-void put(std::string& out, std::string_view field) {
-    out += '\t';
-    out += field;
-}
-
-void put_u64(std::string& out, std::uint64_t v) { put(out, std::to_string(v)); }
-void put_i64(std::string& out, std::int64_t v) { put(out, std::to_string(v)); }
-
-/// Doubles as 16-hex-digit bit patterns: exact round-trip, no locale.
-void put_double(std::string& out, double v) {
-    char buf[20];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
-    put(out, buf);
-}
-
-void put_alert(std::string& out, const structured_alert& a) {
-    put_u64(out, a.type);
-    put(out, a.type_name);
-    put(out, source_token(a.source));
-    switch (a.category) {
-        case alert_category::failure: put(out, "f"); break;
-        case alert_category::abnormal: put(out, "a"); break;
-        case alert_category::root_cause: put(out, "r"); break;
-    }
-    put_i64(out, a.when.begin);
-    put_i64(out, a.when.end);
-    put_u64(out, a.loc_id);
-    put_i64(out, a.count);
-    put_double(out, a.metric);
-    put(out, a.device ? std::to_string(*a.device) : "-");
-    put_u64(out, a.src_id);
-    put_u64(out, a.dst_id);
-    put(out, a.loc.to_string());
-    put(out, a.src_loc ? a.src_loc->to_string() : "-");
-    put(out, a.dst_loc ? a.dst_loc->to_string() : "-");
-}
-
-void put_severity(std::string& out, const severity_breakdown& s) {
-    put_double(out, s.impact_factor);
-    put_double(out, s.time_factor);
-    put_double(out, s.score);
-    put_double(out, s.avg_ping_loss);
-    put_double(out, s.max_sla_overload);
-    put_i64(out, s.important_customers);
-    put_i64(out, s.duration);
-    put_i64(out, s.circuit_sets);
-}
-
-void put_incident(std::string& out, const incident& inc) {
-    out += "INC";
-    put_u64(out, inc.id);
-    put_u64(out, inc.root_id);
-    put_i64(out, inc.when.begin);
-    put_i64(out, inc.when.end);
-    put(out, inc.closed ? "1" : "0");
-    put_u64(out, inc.alerts.size());
-    put(out, inc.root.to_string());
-    out += '\n';
-    for (const structured_alert& a : inc.alerts) {
-        out += "IA";
-        put_alert(out, a);
-        out += '\n';
-    }
-}
-
-void put_report(std::string& out, const incident_report& r) {
-    out += "REP";
-    put(out, r.actionable ? "1" : "0");
-    put(out, r.zoomed ? r.zoomed->to_string() : "-");
-    put_severity(out, r.severity);
-    out += '\n';
-    put_incident(out, r.inc);
-}
 
 void put_node(std::string& out, const locator::persist_state::node_state& n) {
     out += "N";
@@ -209,192 +140,6 @@ void put_engine(std::string& out, std::size_t index, const skynet_engine::persis
 }
 
 // ---------------------------------------------------------------- parsing
-
-std::vector<std::string_view> split_tabs(std::string_view line) {
-    std::vector<std::string_view> fields;
-    std::size_t start = 0;
-    while (true) {
-        const std::size_t tab = line.find('\t', start);
-        if (tab == std::string_view::npos) {
-            fields.push_back(line.substr(start));
-            return fields;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-}
-
-bool parse_u64(std::string_view s, std::uint64_t& out) {
-    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-    return ec == std::errc{} && p == s.data() + s.size();
-}
-
-bool parse_i64(std::string_view s, std::int64_t& out) {
-    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-    return ec == std::errc{} && p == s.data() + s.size();
-}
-
-bool parse_double_hex(std::string_view s, double& out) {
-    std::uint64_t bits = 0;
-    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), bits, 16);
-    if (ec != std::errc{} || p != s.data() + s.size()) return false;
-    out = std::bit_cast<double>(bits);
-    return true;
-}
-
-/// Line cursor over the snapshot body with one-line error reporting.
-struct cursor {
-    std::string_view text;
-    std::size_t pos{0};
-    int line_no{0};
-    std::string err;
-
-    bool fail(const std::string& message) {
-        if (err.empty()) err = "line " + std::to_string(line_no) + ": " + message;
-        return false;
-    }
-
-    /// Next line split on tabs; fails at end of input.
-    bool next(std::vector<std::string_view>& fields) {
-        if (!err.empty()) return false;
-        if (pos >= text.size()) {
-            ++line_no;
-            return fail("unexpected end of snapshot");
-        }
-        std::size_t end = text.find('\n', pos);
-        if (end == std::string_view::npos) end = text.size();
-        fields = split_tabs(text.substr(pos, end - pos));
-        pos = end + 1;
-        ++line_no;
-        return true;
-    }
-
-    /// Next line, required to carry `tag` and exactly `n` fields after it.
-    bool expect(std::string_view tag, std::size_t n, std::vector<std::string_view>& fields) {
-        if (!next(fields)) return false;
-        if (fields.empty() || fields[0] != tag) {
-            return fail("expected '" + std::string(tag) + "' record");
-        }
-        if (fields.size() != n + 1) {
-            return fail("'" + std::string(tag) + "' field count: got " +
-                        std::to_string(fields.size() - 1) + ", want " + std::to_string(n));
-        }
-        return true;
-    }
-
-    bool u64(std::string_view s, std::uint64_t& out) {
-        return parse_u64(s, out) || fail("bad integer '" + std::string(s) + "'");
-    }
-    bool i64(std::string_view s, std::int64_t& out) {
-        return parse_i64(s, out) || fail("bad integer '" + std::string(s) + "'");
-    }
-    bool u32(std::string_view s, std::uint32_t& out) {
-        std::uint64_t wide = 0;
-        if (!parse_u64(s, wide) || wide > 0xFFFFFFFFull) {
-            return fail("bad u32 '" + std::string(s) + "'");
-        }
-        out = static_cast<std::uint32_t>(wide);
-        return true;
-    }
-    bool dbl(std::string_view s, double& out) {
-        return parse_double_hex(s, out) || fail("bad double bits '" + std::string(s) + "'");
-    }
-    bool flag(std::string_view s, bool& out) {
-        if (s == "0") out = false;
-        else if (s == "1") out = true;
-        else return fail("bad flag '" + std::string(s) + "'");
-        return true;
-    }
-};
-
-constexpr std::size_t alert_fields = 15;
-
-/// Parses the 15 alert fields starting at fields[at].
-bool get_alert(cursor& c, const std::vector<std::string_view>& fields, std::size_t at,
-               structured_alert& a) {
-    std::uint64_t count = 0;
-    if (!c.u32(fields[at + 0], a.type)) return false;
-    a.type_name = std::string(fields[at + 1]);
-    if (const auto src = parse_source(fields[at + 2])) a.source = *src;
-    else return c.fail("bad source '" + std::string(fields[at + 2]) + "'");
-    if (fields[at + 3] == "f") a.category = alert_category::failure;
-    else if (fields[at + 3] == "a") a.category = alert_category::abnormal;
-    else if (fields[at + 3] == "r") a.category = alert_category::root_cause;
-    else return c.fail("bad category '" + std::string(fields[at + 3]) + "'");
-    if (!c.i64(fields[at + 4], a.when.begin)) return false;
-    if (!c.i64(fields[at + 5], a.when.end)) return false;
-    if (!c.u32(fields[at + 6], a.loc_id)) return false;
-    if (!c.u64(fields[at + 7], count)) return false;
-    a.count = static_cast<int>(count);
-    if (!c.dbl(fields[at + 8], a.metric)) return false;
-    if (fields[at + 9] == "-") {
-        a.device = std::nullopt;
-    } else {
-        std::uint32_t dev = 0;
-        if (!c.u32(fields[at + 9], dev)) return false;
-        a.device = dev;
-    }
-    if (!c.u32(fields[at + 10], a.src_id)) return false;
-    if (!c.u32(fields[at + 11], a.dst_id)) return false;
-    a.loc = location::parse(fields[at + 12]);
-    a.src_loc = fields[at + 13] == "-" ? std::nullopt
-                                       : std::optional(location::parse(fields[at + 13]));
-    a.dst_loc = fields[at + 14] == "-" ? std::nullopt
-                                       : std::optional(location::parse(fields[at + 14]));
-    return true;
-}
-
-bool get_severity(cursor& c, const std::vector<std::string_view>& fields, std::size_t at,
-                  severity_breakdown& s) {
-    std::int64_t important = 0;
-    std::int64_t csets = 0;
-    if (!c.dbl(fields[at + 0], s.impact_factor)) return false;
-    if (!c.dbl(fields[at + 1], s.time_factor)) return false;
-    if (!c.dbl(fields[at + 2], s.score)) return false;
-    if (!c.dbl(fields[at + 3], s.avg_ping_loss)) return false;
-    if (!c.dbl(fields[at + 4], s.max_sla_overload)) return false;
-    if (!c.i64(fields[at + 5], important)) return false;
-    if (!c.i64(fields[at + 6], s.duration)) return false;
-    if (!c.i64(fields[at + 7], csets)) return false;
-    s.important_customers = static_cast<int>(important);
-    s.circuit_sets = static_cast<int>(csets);
-    return true;
-}
-
-bool get_incident(cursor& c, incident& inc) {
-    std::vector<std::string_view> f;
-    if (!c.expect("INC", 7, f)) return false;
-    std::uint64_t n_alerts = 0;
-    bool closed = false;
-    if (!c.u64(f[1], inc.id)) return false;
-    if (!c.u32(f[2], inc.root_id)) return false;
-    if (!c.i64(f[3], inc.when.begin)) return false;
-    if (!c.i64(f[4], inc.when.end)) return false;
-    if (!c.flag(f[5], closed)) return false;
-    if (!c.u64(f[6], n_alerts)) return false;
-    inc.root = location::parse(f[7]);
-    inc.closed = closed;
-    inc.alerts.clear();
-    inc.alerts.reserve(n_alerts);
-    for (std::uint64_t i = 0; i < n_alerts; ++i) {
-        if (!c.expect("IA", alert_fields, f)) return false;
-        structured_alert a;
-        if (!get_alert(c, f, 1, a)) return false;
-        inc.alerts.push_back(std::move(a));
-    }
-    return true;
-}
-
-bool get_report(cursor& c, incident_report& r) {
-    std::vector<std::string_view> f;
-    if (!c.expect("REP", 10, f)) return false;
-    bool actionable = false;
-    if (!c.flag(f[1], actionable)) return false;
-    r.actionable = actionable;
-    r.zoomed = f[2] == "-" ? std::nullopt : std::optional(location::parse(f[2]));
-    if (!get_severity(c, f, 3, r.severity)) return false;
-    return get_incident(c, r.inc);
-}
 
 bool get_node(cursor& c, locator::persist_state::node_state& n) {
     std::vector<std::string_view> f;

@@ -102,6 +102,9 @@ error daemon::start() {
         recovered_base_ = recovered.metrics;
         last_barrier_ = recovered.last_barrier_time;
         saw_finish_ = recovered.saw_finish;
+        // --resume-stream: the feeder will restream from the top; this
+        // many wire records are already applied and must be skipped.
+        if (opts_.resume_stream) resume_skip_ = recovered.journal_records;
         for (const std::string& note : recovered.notes) {
             std::printf("recover: %s\n", note.c_str());
         }
@@ -112,6 +115,7 @@ error daemon::start() {
         dopts.dir = opts_.checkpoint_dir;
         dopts.checkpoint_every = static_cast<std::uint64_t>(opts_.checkpoint_every);
         dopts.resume_records = recovered.journal_records;
+        dopts.crash_after = opts_.crash_after;
         dopts.continue_after_recovery = true;
         dopts.next_snapshot_seq = recovered.next_snapshot_seq;
         dopts.base = recovered.metrics;
@@ -135,6 +139,10 @@ error daemon::start() {
         std::lock_guard lock(engine_mu_);
         publish_locked();
     }
+
+    // Before any listener can race it: let the federation emitter resync
+    // a digest journal that fell behind the recovered engine state.
+    if (recovered_hook_) recovered_hook_();
 
     if (!opts_.serve.ingest_addr.empty()) {
         const auto addr = parse_addr(opts_.serve.ingest_addr);
@@ -178,6 +186,9 @@ int daemon::run() {
         const auto reports = with_engine([](auto& e) { return e.take_reports(); });
         store_.append_closed(reports, last_barrier_);
         publish_locked();
+        if (barrier_hook_ && !reports.empty()) {
+            barrier_hook_(reports, last_barrier_, saw_finish_);
+        }
         if (!durable_checkpoint(last_barrier_)) {
             std::fprintf(stderr, "serve: final checkpoint failed\n");
         }
@@ -216,6 +227,17 @@ void daemon::handle_ingest_conn(int fd) {
             auto record = decoder.next();
             if (!record) break;
             ++records;
+            // --resume-stream: the journal already applied this prefix
+            // during recovery; consume the re-streamed copies without
+            // touching the engine (a skipped finish still completes the
+            // session so the feeder gets its OK line). The ingest
+            // listener is single-threaded, so the position counter needs
+            // no lock.
+            if (resume_pos_ < resume_skip_) {
+                ++resume_pos_;
+                if (record->type == persist::record_type::finish) finished = true;
+                continue;
+            }
             switch (record->type) {
                 case persist::record_type::batch:
                     alerts += record->batch.size();
@@ -278,6 +300,7 @@ void daemon::apply_barrier(sim_time now, bool finish) {
     const auto reports = with_engine([](auto& e) { return e.take_reports(); });
     store_.append_closed(reports, now);
     publish_locked();
+    if (barrier_hook_) barrier_hook_(reports, now, finish);
 }
 
 void daemon::publish_locked() {
@@ -286,6 +309,7 @@ void daemon::publish_locked() {
     m.degraded.sketched += guard_.sketched_decisions();
     m.recovery += durable_metrics();
     m.degraded.log_out_of_order += store_.out_of_order();
+    if (metrics_hook_) metrics_hook_(m);
     std::string health = m.to_json() + "\n";
     if (!opts_.health_json.empty()) write_atomic(opts_.health_json, health);
     std::lock_guard lock(pub_mu_);

@@ -65,6 +65,12 @@ std::vector<option_error> engine_options::validate(run_mode mode) const {
     std::vector<option_error> errors;
     if (mode == run_mode::help) return errors;
 
+    // Reconnect policy: shared by the client and the federation emitter.
+    if (retry < 0 || retry > 100) errors.push_back({"--retry", "must be in [0, 100]"});
+    if (retry_base_ms < 1 || retry_base_ms > 60000) {
+        errors.push_back({"--retry-base-ms", "must be in [1, 60000] ms"});
+    }
+
     // Blocks shared by batch and serve runs.
     if (mode != run_mode::client) {
         if (error e = pipeline.validate()) errors.push_back({"pipeline config", e.message()});
@@ -106,19 +112,75 @@ std::vector<option_error> engine_options::validate(run_mode mode) const {
             if (serve.enabled()) {
                 errors.push_back({"--serve/--http", "internal: serve options in batch mode"});
             }
+            if (federate.emit()) {
+                errors.push_back({"--federate", "emit needs a daemon; add --serve"});
+            }
+            if (!federate.journal_dir.empty() && !federate.emit()) {
+                errors.push_back({"--fed-journal", "only meaningful with --federate emit:"});
+            }
+            if (resume_stream) {
+                errors.push_back(
+                    {"--resume-stream", "needs a recovering daemon (--serve with --recover)"});
+            }
             break;
         case run_mode::serve: {
             check_addr(errors, "--serve", serve.ingest_addr);
             check_addr(errors, "--http", serve.http_addr);
             // One-shot inputs make no sense for a long-running service;
             // stream traces in through the ingest socket instead.
+            // (--crash-after stays available: the partition drill kills a
+            // daemon at an exact journal-record boundary with it.)
             const std::pair<const char*, bool> rejected[] = {
                 {"--replay", !replay_file.empty()},   {"--record", !record_file.empty()},
                 {"--export-topo", !export_topo.empty()}, {"--faults", !faults_spec.empty()},
-                {"--crash-after", crash_after > 0},
             };
             for (const auto& [flag, set] : rejected) {
                 if (set) errors.push_back({flag, "not available with --serve/--http"});
+            }
+            if (federate.emit() && federate.aggregate()) {
+                errors.push_back(
+                    {"--federate", "a process is either an emitter or the aggregator, not both"});
+            } else if (federate.emit()) {
+                check_addr(errors, "--federate", federate.emit_addr);
+                if (serve.ingest_addr.empty()) {
+                    errors.push_back({"--federate", "emit needs the daemon's --serve ingest"});
+                }
+                if (federate.emit_region.find_first_of("\t\n\r ") != std::string::npos) {
+                    errors.push_back(
+                        {"--federate", "region names cannot contain whitespace"});
+                }
+            } else if (federate.aggregate()) {
+                check_addr(errors, "--federate", federate.aggregate_addr);
+                if (serve.http_addr.empty()) {
+                    errors.push_back(
+                        {"--federate", "aggregate needs --http to serve the merged view"});
+                }
+                // The aggregator runs no engine: digests are its only
+                // input and the emitters' journals its only durability.
+                const std::pair<const char*, bool> engine_only[] = {
+                    {"--serve", !serve.ingest_addr.empty()},
+                    {"--checkpoint-dir", !checkpoint_dir.empty()},
+                    {"--recover", recover},
+                };
+                for (const auto& [flag, set] : engine_only) {
+                    if (set) {
+                        errors.push_back({flag, "not available with --federate aggregate:"});
+                    }
+                }
+            }
+            if (!federate.journal_dir.empty() && !federate.emit()) {
+                errors.push_back({"--fed-journal", "only meaningful with --federate emit:"});
+            }
+            if (federate.heartbeat_ms < 0 || federate.heartbeat_ms > 600000) {
+                errors.push_back({"--fed-heartbeat-ms", "must be in [0, 600000] ms"});
+            }
+            if (federate.lag_ms < 1 || federate.lag_ms >= federate.stale_ms ||
+                federate.stale_ms >= federate.partition_ms) {
+                errors.push_back({"--fed-lag-ms/--fed-stale-ms/--fed-partition-ms",
+                                  "staleness thresholds must be strictly increasing and >= 1"});
+            }
+            if (resume_stream && !recover) {
+                errors.push_back({"--resume-stream", "requires --recover"});
             }
             break;
         }
@@ -136,6 +198,12 @@ std::vector<option_error> engine_options::validate(run_mode mode) const {
             }
             if (client.post_path.empty() && !client.data_file.empty()) {
                 errors.push_back({"--data-file", "only meaningful with --post"});
+            }
+            if (federate.enabled()) {
+                errors.push_back({"--federate", "not available with --connect"});
+            }
+            if (resume_stream) {
+                errors.push_back({"--resume-stream", "not available with --connect"});
             }
             break;
         }
@@ -161,6 +229,15 @@ cli_parse_result parse_cli(int argc, const char* const* argv) {
         const auto int_value = [&](int& out) {
             const std::string_view text = value();
             if (!text.empty() && !parse_int(text, out)) {
+                result.errors.push_back(
+                    {std::string(arg), "expected an integer, got '" + std::string(text) + "'"});
+            }
+        };
+        const auto i64_value = [&](std::int64_t& out) {
+            const std::string_view text = value();
+            if (text.empty()) return;
+            const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+            if (ec != std::errc{} || ptr != text.data() + text.size()) {
                 result.errors.push_back(
                     {std::string(arg), "expected an integer, got '" + std::string(text) + "'"});
             }
@@ -258,6 +335,47 @@ cli_parse_result parse_cli(int argc, const char* const* argv) {
             u64_value(opt.watchdog_deadline);
         } else if (arg == "--health-json") {
             opt.health_json = value();
+        } else if (arg == "--federate") {
+            const std::string_view text = value();
+            if (text.starts_with("emit:")) {
+                const std::string_view rest = text.substr(5);
+                const std::size_t at = rest.find('@');
+                if (at == std::string_view::npos || at == 0 || at + 1 == rest.size()) {
+                    result.errors.push_back(
+                        {"--federate", "emit needs REGION@ADDR, got '" + std::string(text) + "'"});
+                } else {
+                    opt.federate.emit_region = std::string(rest.substr(0, at));
+                    opt.federate.emit_addr = std::string(rest.substr(at + 1));
+                }
+            } else if (text.starts_with("aggregate:")) {
+                const std::string_view rest = text.substr(10);
+                if (rest.empty()) {
+                    result.errors.push_back({"--federate", "aggregate needs an address"});
+                } else {
+                    opt.federate.aggregate_addr = std::string(rest);
+                }
+            } else if (!text.empty()) {
+                result.errors.push_back(
+                    {"--federate",
+                     "expected emit:REGION@ADDR or aggregate:ADDR, got '" + std::string(text) +
+                         "'"});
+            }
+        } else if (arg == "--fed-journal") {
+            opt.federate.journal_dir = value();
+        } else if (arg == "--fed-heartbeat-ms") {
+            int_value(opt.federate.heartbeat_ms);
+        } else if (arg == "--fed-lag-ms") {
+            i64_value(opt.federate.lag_ms);
+        } else if (arg == "--fed-stale-ms") {
+            i64_value(opt.federate.stale_ms);
+        } else if (arg == "--fed-partition-ms") {
+            i64_value(opt.federate.partition_ms);
+        } else if (arg == "--retry") {
+            int_value(opt.retry);
+        } else if (arg == "--retry-base-ms") {
+            int_value(opt.retry_base_ms);
+        } else if (arg == "--resume-stream") {
+            opt.resume_stream = true;
         } else if (arg == "--serve") {
             opt.serve.ingest_addr = value();
         } else if (arg == "--http") {
@@ -278,10 +396,12 @@ cli_parse_result parse_cli(int argc, const char* const* argv) {
             result.errors.push_back({std::string(arg), "unknown option"});
         }
     }
-    result.mode = help                      ? run_mode::help
-                  : opt.client.enabled()    ? run_mode::client
-                  : opt.serve.enabled()     ? run_mode::serve
-                                            : run_mode::batch;
+    result.mode = help                   ? run_mode::help
+                  : opt.client.enabled() ? run_mode::client
+                  // The aggregator is a long-running service too, even
+                  // though it runs no ingest listener of its own.
+                  : opt.serve.enabled() || opt.federate.aggregate() ? run_mode::serve
+                                                                    : run_mode::batch;
     return result;
 }
 
@@ -348,12 +468,32 @@ std::string cli_usage() {
         "  --http ADDR                      JSON API: GET /v1/health /v1/report\n"
         "                                   /v1/incidents, POST /v1/ingest\n"
         "                                   (tcp:HOST:0 picks a free port, printed)\n"
+        "  --resume-stream                  with --recover: the feeder restreams from\n"
+        "                                   the top; skip the prefix the journal already\n"
+        "                                   applied instead of re-closing incidents\n"
+        "federation:\n"
+        "  --federate emit:REGION@ADDR      stream this daemon's per-barrier incident\n"
+        "                                   digests to the aggregator at ADDR\n"
+        "  --federate aggregate:ADDR        run the global aggregator: merge region\n"
+        "                                   digests from ADDR, serve the cross-region\n"
+        "                                   ranking on --http (/v1/report /v1/regions)\n"
+        "  --fed-journal DIR                emit: journal digests in DIR so a restarted\n"
+        "                                   emitter still replays everything unacked\n"
+        "  --fed-heartbeat-ms MS            emit: idle session cadence so the aggregator\n"
+        "                                   can tell idle from partitioned (default 1000)\n"
+        "  --fed-lag-ms MS                  aggregate: region health thresholds on the\n"
+        "  --fed-stale-ms MS                time since last contact; must increase\n"
+        "  --fed-partition-ms MS            (defaults 2000 / 5000 / 15000)\n"
         "client mode:\n"
         "  --connect ADDR                   talk to a daemon instead of running one\n"
         "  --get PATH                       HTTP GET (e.g. '/v1/incidents?loc=Region A')\n"
         "  --post PATH --data-file FILE     HTTP POST the file body\n"
         "  --stream-trace FILE              stream a recorded trace into --connect's\n"
-        "                                   ingest socket with replay batching\n";
+        "                                   ingest socket with replay batching\n"
+        "  --retry N                        client/emitter reconnects: N retries after\n"
+        "                                   the first attempt (default 0)\n"
+        "  --retry-base-ms MS               backoff base, doubling per retry with\n"
+        "                                   deterministic jitter (default 100)\n";
     return out;
 }
 

@@ -132,4 +132,13 @@ std::vector<incident_report> incident_store::ranked_reports() const {
     return reports;
 }
 
+std::vector<incident_report> incident_store::reports_closed_after(sim_time t) const {
+    std::shared_lock lock(mu_);
+    std::vector<incident_report> reports;
+    for (const incident_log::entry& e : log_.entries()) {
+        if (e.closed_at > t) reports.push_back(e.report);
+    }
+    return reports;
+}
+
 }  // namespace skynet::serve

@@ -134,6 +134,47 @@ int read_some(int fd, char* buf, std::size_t cap, int timeout_ms) {
     return static_cast<int>(n);
 }
 
+bool read_line(int fd, std::string& line, int timeout_ms, std::size_t max_len) {
+    line.clear();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (line.size() <= max_len) {
+        // Byte-at-a-time keeps this helper usable on connections that
+        // carry framed binary data after the line — it never reads past
+        // the newline. Status/handshake lines are tiny, so the syscall
+        // count is irrelevant.
+        char c = 0;
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0) return false;
+        const int n = read_some(fd, &c, 1, static_cast<int>(left.count()));
+        if (n < 0) return false;  // EOF before newline
+        if (n == 0) continue;     // poll tick; deadline check above bounds it
+        if (c == '\n') {
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            return true;
+        }
+        line += c;
+    }
+    return false;  // line too long
+}
+
+std::chrono::milliseconds backoff_delay(const retry_policy& policy, int attempt) noexcept {
+    const std::uint64_t base = policy.base_ms <= 0 ? 1 : static_cast<std::uint64_t>(policy.base_ms);
+    const std::uint64_t ceiling = policy.max_ms <= 0 ? 1 : static_cast<std::uint64_t>(policy.max_ms);
+    const int shift = attempt < 0 ? 0 : (attempt > 20 ? 20 : attempt);
+    std::uint64_t cap = base << shift;
+    if (cap > ceiling || cap < base) cap = ceiling;  // overflow-safe clamp
+    // splitmix64 over (seed, attempt): deterministic full-jitter point in
+    // [cap/2, cap] — enough spread to break reconnect synchronization,
+    // reproducible enough to unit-test the schedule.
+    std::uint64_t x = policy.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(shift + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    const std::uint64_t half = cap / 2;
+    return std::chrono::milliseconds(half + x % (cap - half + 1));
+}
+
 error listener::start(const socket_addr& addr, std::function<void(int)> handler) {
     sockaddr_storage storage;
     socklen_t len = fill_sockaddr(addr, storage);

@@ -161,15 +161,19 @@ void counting_policy::ensure_sketch() {
 
 counted counting_policy::sketch_add(std::uint64_t key, std::uint64_t n) {
     ensure_sketch();
-    const std::uint64_t before = sketch_.estimate(key);
-    const std::uint64_t after = sketch_.add(key, n);
+    // Estimates span both rotation halves; the add lands in the current
+    // one, so `first` stays reliable (a key still decaying in the
+    // previous half is not re-reported as new).
+    const std::uint64_t carry = prev_.estimate(key);
+    const std::uint64_t before = sketch_.estimate(key) + carry;
+    const std::uint64_t after = sketch_.add(key, n) + carry;
     ++sketched_adds_;
     sketch_active_ = true;
     return counted{.count = after, .first = before == 0, .sketched = true};
 }
 
 std::uint64_t counting_policy::sketch_estimate(std::uint64_t key) const noexcept {
-    return sketch_.estimate(key);
+    return sketch_.estimate(key) + prev_.estimate(key);
 }
 
 counted counting_policy::add(std::uint64_t key, std::uint64_t n) {
@@ -188,16 +192,26 @@ counted counting_policy::add(std::uint64_t key, std::uint64_t n) {
 std::uint64_t counting_policy::count(std::uint64_t key) const noexcept {
     const auto it = exact_.find(key);
     if (it != exact_.end()) return it->second;
-    return sketch_.estimate(key);
+    return sketch_.estimate(key) + prev_.estimate(key);
 }
 
 std::size_t counting_policy::memory_bytes() const noexcept {
-    return sketch_.memory_bytes() +
+    return sketch_.memory_bytes() + prev_.memory_bytes() +
            exact_.size() * (sizeof(std::uint64_t) * 2 + sizeof(void*) * 2);
+}
+
+void counting_policy::rotate_sketch() noexcept {
+    if (sketch_.width() == 0 && prev_.width() == 0) return;  // never touched
+    std::swap(sketch_, prev_);
+    // After the swap the current half holds the *old* previous window
+    // (or is still unallocated on the very first rotation); zero it so
+    // new adds start a fresh window on top of the decaying one.
+    if (sketch_.width() != 0) sketch_.clear();
 }
 
 void counting_policy::clear_sketch() noexcept {
     if (sketch_.width() != 0) sketch_.clear();
+    if (prev_.width() != 0) prev_.clear();
     sketch_active_ = false;
 }
 

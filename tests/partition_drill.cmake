@@ -1,0 +1,239 @@
+# Partition drill (registered in tests/CMakeLists.txt). End-to-end proof
+# that the federation layer survives the failures it monitors, over real
+# process boundaries:
+#
+#   1. Baseline: an aggregator plus one region daemon stream a recorded
+#      flood to completion; the aggregator's merged report must be
+#      byte-identical to the daemon's own report.
+#   2. Drill: a fresh pair runs the same trace, but the daemon is killed
+#      at an exact journal-record boundary (--crash-after) mid-stream.
+#      The aggregator must keep serving its last known view, and
+#      /v1/regions must degrade the region to stale and then partitioned.
+#   3. Recovery: the daemon restarts with --recover --resume-stream, the
+#      feeder re-streams the whole trace from the top (with --retry),
+#      and the aggregator's final merged report must be byte-identical
+#      to the baseline — duplicates deduplicated, nothing lost.
+#
+# Expects -DSKYNET_CLI=<path> and -DDRILL_DIR=<scratch dir>.
+file(REMOVE_RECURSE "${DRILL_DIR}")
+file(MAKE_DIRECTORY "${DRILL_DIR}")
+
+function(run_cli out_var expect_code)
+  execute_process(COMMAND ${SKYNET_CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL expect_code)
+    message(FATAL_ERROR "skynet_cli ${ARGN}: exit ${code} (wanted ${expect_code})\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Unix socket paths must stay short (sun_path is ~108 bytes).
+string(MD5 drill_key "${DRILL_DIR}")
+string(SUBSTRING "${drill_key}" 0 8 drill_key)
+set(fed_sock "/tmp/skynet_fed_${drill_key}_agg.sock")
+set(agg_http "/tmp/skynet_fed_${drill_key}_ah.sock")
+set(ingest_sock "/tmp/skynet_fed_${drill_key}_in.sock")
+set(daemon_http "/tmp/skynet_fed_${drill_key}_dh.sock")
+
+function(stop_process pid what)
+  execute_process(COMMAND kill -TERM ${pid} RESULT_VARIABLE ignored)
+  foreach(i RANGE 50)
+    execute_process(COMMAND kill -0 ${pid} RESULT_VARIABLE alive
+                    ERROR_QUIET OUTPUT_QUIET)
+    if(NOT alive EQUAL 0)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  execute_process(COMMAND kill -KILL ${pid})
+  message(FATAL_ERROR "${what} ${pid} did not exit within 10s of SIGTERM")
+endfunction()
+
+# Short staleness thresholds so the drill observes the live -> stale ->
+# partitioned walk in seconds instead of the production defaults.
+function(start_aggregator pid_var log)
+  execute_process(COMMAND sh -c "${SKYNET_CLI} \
+      --federate aggregate:unix:${fed_sock} --http unix:${agg_http} \
+      --fed-lag-ms 300 --fed-stale-ms 800 --fed-partition-ms 2000 \
+      > '${log}' 2>&1 & echo $!"
+                  OUTPUT_VARIABLE pid OUTPUT_STRIP_TRAILING_WHITESPACE
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "failed to launch aggregator")
+  endif()
+  foreach(i RANGE 50)
+    execute_process(COMMAND ${SKYNET_CLI} --connect unix:${agg_http} --get /v1/health
+                    RESULT_VARIABLE up OUTPUT_QUIET ERROR_QUIET)
+    if(up EQUAL 0)
+      set(${pid_var} ${pid} PARENT_SCOPE)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  execute_process(COMMAND kill -KILL ${pid} ERROR_QUIET OUTPUT_QUIET)
+  file(READ "${log}" log_text)
+  message(FATAL_ERROR "aggregator never answered /v1/health:\n${log_text}")
+endfunction()
+
+# A federated region daemon: durable, emitting digests for region
+# "west" with its own digest journal, heartbeating fast.
+function(start_daemon pid_var ckpt fedj log)
+  string(JOIN " " extra_args ${ARGN})
+  execute_process(COMMAND sh -c "${SKYNET_CLI} --topo tiny --seed 5 \
+      --serve unix:${ingest_sock} --http unix:${daemon_http} \
+      --checkpoint-dir '${ckpt}' --checkpoint-every 4 \
+      --federate emit:west@unix:${fed_sock} --fed-journal '${fedj}' \
+      --fed-heartbeat-ms 100 ${extra_args} \
+      > '${log}' 2>&1 & echo $!"
+                  OUTPUT_VARIABLE pid OUTPUT_STRIP_TRAILING_WHITESPACE
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "failed to launch daemon")
+  endif()
+  foreach(i RANGE 50)
+    execute_process(COMMAND ${SKYNET_CLI} --connect unix:${daemon_http} --get /v1/health
+                    RESULT_VARIABLE up OUTPUT_QUIET ERROR_QUIET)
+    if(up EQUAL 0)
+      set(${pid_var} ${pid} PARENT_SCOPE)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  execute_process(COMMAND kill -KILL ${pid} ERROR_QUIET OUTPUT_QUIET)
+  file(READ "${log}" log_text)
+  message(FATAL_ERROR "daemon never answered /v1/health:\n${log_text}")
+endfunction()
+
+# Waits until the aggregator marks region "west" finished (the finish
+# digest arrived and was applied) or fails after ~20s.
+function(wait_region_finished)
+  foreach(i RANGE 100)
+    execute_process(COMMAND ${SKYNET_CLI} --connect unix:${agg_http} --get /v1/regions
+                    OUTPUT_VARIABLE regions RESULT_VARIABLE code ERROR_QUIET)
+    if(code EQUAL 0 AND regions MATCHES "\"finished\":true")
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  message(FATAL_ERROR "region never reached finished on the aggregator:\n${regions}")
+endfunction()
+
+# 1. Record the flood once.
+set(trace "${DRILL_DIR}/trace.txt")
+run_cli(record_out 0 --topo tiny --seed 5 --record ${trace})
+
+# ---------------------------------------------------------------------------
+# Phase A: baseline — everything stays connected.
+
+start_aggregator(agg_pid "${DRILL_DIR}/agg_a.log")
+start_daemon(daemon_pid "${DRILL_DIR}/ckpt_a" "${DRILL_DIR}/fedj_a" "${DRILL_DIR}/serve_a.log")
+
+run_cli(stream_out 0 --connect unix:${ingest_sock} --stream-trace ${trace})
+if(NOT stream_out MATCHES "streamed [0-9]+ records .*: OK")
+  message(FATAL_ERROR "stream client did not report a clean OK:\n${stream_out}")
+endif()
+wait_region_finished()
+
+# Single region: the merged cross-region report must be byte-identical
+# to the daemon's own report (same ranking, same rendering).
+run_cli(daemon_report 0 --connect unix:${daemon_http} --get /v1/report?json=1)
+run_cli(baseline 0 --connect unix:${agg_http} --get /v1/report?json=1)
+if(NOT baseline STREQUAL daemon_report)
+  message(FATAL_ERROR "aggregator merged report differs from the region daemon's:\n"
+                      "--- daemon\n${daemon_report}\n--- aggregator\n${baseline}")
+endif()
+if(NOT baseline MATCHES "incidents: [1-9]")
+  message(FATAL_ERROR "baseline run produced no incidents:\n${baseline}")
+endif()
+
+stop_process(${daemon_pid} "daemon")
+stop_process(${agg_pid} "aggregator")
+
+# ---------------------------------------------------------------------------
+# Phase B: the drill — kill the region daemon mid-stream.
+
+start_aggregator(agg_pid "${DRILL_DIR}/agg_b.log")
+start_daemon(daemon_pid "${DRILL_DIR}/ckpt_b" "${DRILL_DIR}/fedj_b" "${DRILL_DIR}/serve_b.log"
+             --crash-after 30)
+
+# The feeder hits the crash and fails; the daemon must die with the
+# drill exit code, exactly like the batch crash drill.
+execute_process(COMMAND ${SKYNET_CLI} --connect unix:${ingest_sock} --stream-trace ${trace}
+                OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE feeder_code)
+if(feeder_code EQUAL 0)
+  message(FATAL_ERROR "feeder reported success although the daemon crashed mid-stream")
+endif()
+foreach(i RANGE 50)
+  execute_process(COMMAND kill -0 ${daemon_pid} RESULT_VARIABLE alive
+                  ERROR_QUIET OUTPUT_QUIET)
+  if(NOT alive EQUAL 0)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+if(NOT EXISTS "${DRILL_DIR}/ckpt_b/journal.skywal")
+  message(FATAL_ERROR "crashed daemon left no journal behind")
+endif()
+
+# Graceful degradation: the aggregator keeps answering queries from the
+# region's last known digests while the region is gone...
+run_cli(during 0 --connect unix:${agg_http} --get /v1/report?json=1)
+if(NOT during MATCHES "incidents: [0-9]")
+  message(FATAL_ERROR "aggregator stopped serving during the partition:\n${during}")
+endif()
+
+# ...and the staleness walk shows up: past stale_ms the region is no
+# longer live, past partition_ms it must be partitioned.
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 1.0)
+run_cli(regions_stale 0 --connect unix:${agg_http} --get /v1/regions)
+if(NOT regions_stale MATCHES "\"state\":\"(stale|partitioned)\"")
+  message(FATAL_ERROR "region not degraded after stale_ms:\n${regions_stale}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 1.5)
+run_cli(regions_gone 0 --connect unix:${agg_http} --get /v1/regions)
+if(NOT regions_gone MATCHES "\"state\":\"partitioned\"")
+  message(FATAL_ERROR "region not partitioned after partition_ms:\n${regions_gone}")
+endif()
+run_cli(health_gone 0 --connect unix:${agg_http} --get /v1/health)
+if(NOT health_gone MATCHES "\"regions_partitioned\":1")
+  message(FATAL_ERROR "health does not count the partitioned region:\n${health_gone}")
+endif()
+
+# ---------------------------------------------------------------------------
+# Phase C: recovery — restart, re-stream from the top, converge.
+
+start_daemon(daemon_pid "${DRILL_DIR}/ckpt_b" "${DRILL_DIR}/fedj_b" "${DRILL_DIR}/serve_c.log"
+             --recover --resume-stream)
+run_cli(restream_out 0 --connect unix:${ingest_sock} --stream-trace ${trace}
+        --retry 5 --retry-base-ms 100)
+if(NOT restream_out MATCHES "streamed [0-9]+ records .*: OK")
+  message(FATAL_ERROR "re-stream did not complete cleanly:\n${restream_out}")
+endif()
+wait_region_finished()
+
+# Partition parity: the recovered region's merged report is byte-
+# identical to the never-partitioned baseline.
+run_cli(final 0 --connect unix:${agg_http} --get /v1/report?json=1)
+if(NOT final STREQUAL baseline)
+  message(FATAL_ERROR "post-recovery merged report diverged from the baseline:\n"
+                      "--- baseline\n${baseline}\n--- recovered\n${final}")
+endif()
+
+# The region must be live again with exactly-once accounting intact.
+run_cli(regions_back 0 --connect unix:${agg_http} --get /v1/regions)
+if(NOT regions_back MATCHES "\"state\":\"live\"")
+  message(FATAL_ERROR "recovered region is not live:\n${regions_back}")
+endif()
+
+stop_process(${daemon_pid} "daemon")
+stop_process(${agg_pid} "aggregator")
+file(READ "${DRILL_DIR}/agg_b.log" agg_log)
+if(NOT agg_log MATCHES "federate: shutdown clean")
+  message(FATAL_ERROR "aggregator did not log a clean shutdown:\n${agg_log}")
+endif()
+
+file(REMOVE "${fed_sock}" "${agg_http}" "${ingest_sock}" "${daemon_http}")
+message(STATUS "partition drill passed: baseline parity, graceful degradation, "
+               "staleness walk, recovery convergence")

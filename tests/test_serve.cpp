@@ -5,6 +5,8 @@
 // same trace as the batch CLI serves a byte-identical report listing.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -305,6 +307,160 @@ TEST(EngineOptionsTest, ClientModeRequiresExactlyOneAction) {
 
     opt.client.stream_file = "trace.txt";  // two actions
     EXPECT_FALSE(opt.validate(run_mode::client).empty());
+}
+
+TEST(EngineOptionsTest, RetryFlagsParseAndValidateRanges) {
+    const auto parsed = parse({"--retry", "3", "--retry-base-ms", "50"});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.opts.retry, 3);
+    EXPECT_EQ(parsed.opts.retry_base_ms, 50);
+    EXPECT_EQ(parse({}).opts.retry, 0);  // retries are opt-in
+
+    engine_options negative;
+    negative.retry = -1;
+    auto errors = offending_flags(negative.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--retry"), errors.end());
+
+    engine_options excessive;
+    excessive.retry = 101;
+    errors = offending_flags(excessive.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--retry"), errors.end());
+
+    engine_options zero_base;
+    zero_base.retry_base_ms = 0;
+    errors = offending_flags(zero_base.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--retry-base-ms"), errors.end());
+}
+
+TEST(EngineOptionsTest, FederateFlagParsesEmitAndAggregate) {
+    const auto emit = parse(
+        {"--federate", "emit:west@unix:/tmp/agg.sock", "--serve", "unix:/tmp/in.sock"});
+    ASSERT_TRUE(emit.ok());
+    EXPECT_EQ(emit.mode, run_mode::serve);
+    EXPECT_EQ(emit.opts.federate.emit_region, "west");
+    EXPECT_EQ(emit.opts.federate.emit_addr, "unix:/tmp/agg.sock");
+    EXPECT_TRUE(emit.opts.validate(run_mode::serve).empty());
+
+    // The aggregator is serve mode even without an ingest listener.
+    const auto agg = parse(
+        {"--federate", "aggregate:unix:/tmp/agg.sock", "--http", "tcp:127.0.0.1:0"});
+    ASSERT_TRUE(agg.ok());
+    EXPECT_EQ(agg.mode, run_mode::serve);
+    EXPECT_EQ(agg.opts.federate.aggregate_addr, "unix:/tmp/agg.sock");
+    EXPECT_TRUE(agg.opts.validate(run_mode::serve).empty());
+
+    for (const char* spec : {"bogus", "emit:", "emit:west", "emit:@addr", "emit:west@",
+                             "aggregate:"}) {
+        const auto bad = parse({"--federate", spec});
+        ASSERT_FALSE(bad.ok()) << spec;
+        EXPECT_EQ(bad.errors[0].option, "--federate") << spec;
+    }
+}
+
+TEST(EngineOptionsTest, FederateValidationCrossChecksRoles) {
+    // emit: is meaningless without a daemon to emit from.
+    engine_options batch_emit;
+    batch_emit.federate.emit_region = "west";
+    batch_emit.federate.emit_addr = "unix:/tmp/agg.sock";
+    auto errors = offending_flags(batch_emit.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--federate"), errors.end());
+
+    // ...and in serve mode it needs the ingest listener, not just --http.
+    engine_options no_ingest = batch_emit;
+    no_ingest.serve.http_addr = "tcp:127.0.0.1:0";
+    errors = offending_flags(no_ingest.validate(run_mode::serve));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--federate"), errors.end());
+
+    // The aggregator serves its merged view over HTTP or not at all.
+    engine_options headless;
+    headless.federate.aggregate_addr = "unix:/tmp/agg.sock";
+    errors = offending_flags(headless.validate(run_mode::serve));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--federate"), errors.end());
+
+    // One process is either an emitter or the aggregator, never both,
+    // and the aggregator runs no engine (no ingest/checkpoints).
+    engine_options both;
+    both.federate.emit_region = "west";
+    both.federate.emit_addr = "unix:/tmp/agg.sock";
+    both.federate.aggregate_addr = "unix:/tmp/agg.sock";
+    both.serve.ingest_addr = "unix:/tmp/in.sock";
+    both.serve.http_addr = "tcp:127.0.0.1:0";
+    EXPECT_FALSE(both.validate(run_mode::serve).empty());
+
+    engine_options agg_with_engine;
+    agg_with_engine.federate.aggregate_addr = "unix:/tmp/agg.sock";
+    agg_with_engine.serve.ingest_addr = "unix:/tmp/in.sock";
+    agg_with_engine.serve.http_addr = "tcp:127.0.0.1:0";
+    EXPECT_FALSE(agg_with_engine.validate(run_mode::serve).empty());
+
+    // The digest journal rides the emitter role.
+    engine_options journal_only;
+    journal_only.serve.ingest_addr = "unix:/tmp/in.sock";
+    journal_only.federate.journal_dir = "/tmp/fed";
+    errors = offending_flags(journal_only.validate(run_mode::serve));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--fed-journal"), errors.end());
+
+    // Staleness thresholds must be strictly increasing.
+    engine_options thresholds;
+    thresholds.serve.ingest_addr = "unix:/tmp/in.sock";
+    thresholds.federate.lag_ms = 5000;
+    thresholds.federate.stale_ms = 5000;
+    EXPECT_FALSE(thresholds.validate(run_mode::serve).empty());
+
+    // Federation never applies to the one-shot client.
+    engine_options client;
+    client.client.connect = "tcp:127.0.0.1:1";
+    client.client.get_path = "/v1/health";
+    client.federate.emit_region = "west";
+    client.federate.emit_addr = "unix:/tmp/agg.sock";
+    errors = offending_flags(client.validate(run_mode::client));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--federate"), errors.end());
+}
+
+TEST(EngineOptionsTest, ResumeStreamRequiresARecoveringDaemon) {
+    engine_options opt;
+    opt.serve.ingest_addr = "unix:/tmp/in.sock";
+    opt.resume_stream = true;
+    auto errors = offending_flags(opt.validate(run_mode::serve));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--resume-stream"), errors.end());
+
+    opt.recover = true;
+    opt.checkpoint_dir = "/tmp/ckpt";
+    EXPECT_TRUE(opt.validate(run_mode::serve).empty());
+
+    engine_options batch;
+    batch.resume_stream = true;
+    errors = offending_flags(batch.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--resume-stream"), errors.end());
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect backoff schedule.
+
+TEST(NetTest, BackoffDelayIsDeterministicAndBounded) {
+    const retry_policy policy{.attempts = 5, .base_ms = 100, .max_ms = 5000, .seed = 42};
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto cap = std::min<std::int64_t>(
+            static_cast<std::int64_t>(policy.base_ms) << attempt, policy.max_ms);
+        const auto d = backoff_delay(policy, attempt);
+        // Same (seed, attempt) -> same delay: replays and tests see one
+        // schedule.
+        EXPECT_EQ(d, backoff_delay(policy, attempt));
+        EXPECT_GE(d.count(), cap / 2) << attempt;
+        EXPECT_LE(d.count(), cap) << attempt;
+    }
+    // The exponent saturates at max_ms instead of overflowing.
+    EXPECT_LE(backoff_delay(policy, 62).count(), policy.max_ms);
+
+    // Distinct seeds de-synchronize reconnect storms: at least one
+    // attempt in the window must differ.
+    retry_policy other = policy;
+    other.seed = 43;
+    bool differs = false;
+    for (int attempt = 0; attempt < 8 && !differs; ++attempt) {
+        differs = backoff_delay(policy, attempt) != backoff_delay(other, attempt);
+    }
+    EXPECT_TRUE(differs);
 }
 
 // ---------------------------------------------------------------------------
@@ -630,6 +786,96 @@ TEST(DaemonConcurrencyTest, QueriesRaceWireIngest) {
     reader.join();
     ASSERT_TRUE(stats.has_value()) << err;
     EXPECT_TRUE(stats->ok()) << stats->status;
+
+    d.request_stop();
+    EXPECT_EQ(d.run(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Wire ingest hardening: clients that die mid-frame or send garbage.
+
+/// Dials the daemon's ingest socket and writes `bytes` verbatim.
+/// Returns the connected fd (caller closes).
+int dial_and_write(const std::string& addr_text, std::string_view bytes) {
+    const auto addr = parse_addr(addr_text);
+    if (!addr) return -1;
+    std::string err;
+    const int fd = dial(*addr, err);
+    if (fd < 0) return -1;
+    if (!write_all(fd, bytes)) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::string full_stream_bytes() {
+    std::string payload;
+    persist::encode_batch_payload(payload, tiny_batch(seconds(1)));
+    std::string stream{persist::journal_magic};
+    stream += frame_record(persist::record_type::batch, payload);
+    stream += frame_record(persist::record_type::finish,
+                           persist::encode_barrier_payload(minutes(21)));
+    return stream;
+}
+
+TEST(DaemonTest, AbruptMidFrameDisconnectLeavesNoPartialBatch) {
+    world w;
+    daemon d(w.topo, w.customers, w.registry, &w.syslog,
+             daemon_options(unique_sock("abrupt")));
+    ASSERT_FALSE(d.start());
+
+    // A client dies mid-frame: magic plus a batch frame cut in half.
+    // The truncated record must never reach the engine.
+    const std::string stream = full_stream_bytes();
+    const std::size_t cut = std::string(persist::journal_magic).size() + 7;
+    ASSERT_LT(cut, stream.size());
+    const int fd = dial_and_write(d.ingest_addr(), stream.substr(0, cut));
+    ASSERT_GE(fd, 0);
+    ::close(fd);  // abrupt: no shutdown handshake, no finish record
+
+    // The next connection must be accepted cleanly and stream to
+    // completion (the listener is serial, so the OK here also proves the
+    // dead session's handler exited instead of wedging).
+    const int fd2 = dial_and_write(d.ingest_addr(), stream);
+    ASSERT_GE(fd2, 0);
+    std::string ok_line;
+    ASSERT_TRUE(read_line(fd2, ok_line, 5000));
+    EXPECT_EQ(ok_line, "OK 2 2");  // batch + finish, two alerts — once
+    ::close(fd2);
+
+    // Exactly the complete session's alerts, none from the torn one.
+    const http_reply health = d.handle(parse_target("GET", "/v1/health"));
+    EXPECT_NE(health.body.find("\"alerts_in\":2"), std::string::npos);
+
+    d.request_stop();
+    EXPECT_EQ(d.run(), 0);
+}
+
+TEST(DaemonTest, CorruptFrameGetsErrAndNextConnectionStillServes) {
+    world w;
+    daemon d(w.topo, w.customers, w.registry, &w.syslog,
+             daemon_options(unique_sock("corrupt")));
+    ASSERT_FALSE(d.start());
+
+    // Flip one payload byte: the CRC check must latch the decoder and
+    // the daemon must answer with an ERR line naming the reason.
+    std::string stream = full_stream_bytes();
+    stream[stream.size() / 2] ^= 0x5a;
+    const int fd = dial_and_write(d.ingest_addr(), stream);
+    ASSERT_GE(fd, 0);
+    std::string err_line;
+    ASSERT_TRUE(read_line(fd, err_line, 5000));
+    EXPECT_EQ(err_line.substr(0, 3), "ERR");
+    ::close(fd);
+
+    // The poisoned session must not take the daemon with it.
+    const int fd2 = dial_and_write(d.ingest_addr(), full_stream_bytes());
+    ASSERT_GE(fd2, 0);
+    std::string ok_line;
+    ASSERT_TRUE(read_line(fd2, ok_line, 5000));
+    EXPECT_EQ(ok_line, "OK 2 2");
+    ::close(fd2);
 
     d.request_stop();
     EXPECT_EQ(d.run(), 0);

@@ -291,6 +291,96 @@ TEST(CountingPolicyTest, ResetSemantics) {
 }
 
 // ---------------------------------------------------------------------------
+// Rotating halves: epoch rollover decays counts over two windows
+// instead of cliffing to zero on clear_sketch().
+
+TEST(CountingPolicyTest, RotationDecaysOverTwoWindowsInsteadOfCliffing) {
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    (void)policy.sketch_add(7, 5);
+    EXPECT_EQ(policy.sketch_estimate(7), 5u);
+
+    // One quiet rotation: the count moved to the previous half but is
+    // still served (current 0 + previous 5).
+    policy.rotate_sketch();
+    EXPECT_EQ(policy.sketch_estimate(7), 5u);
+    EXPECT_TRUE(policy.sketch_active());
+
+    // A second quiet rotation fully forgets the key.
+    policy.rotate_sketch();
+    EXPECT_EQ(policy.sketch_estimate(7), 0u);
+    EXPECT_TRUE(policy.sketch_active());  // lifetime marker survives
+
+    // Adds land in the current half, so they outlive the next rotation.
+    (void)policy.sketch_add(7, 2);
+    policy.rotate_sketch();
+    EXPECT_EQ(policy.sketch_estimate(7), 2u);
+}
+
+TEST(CountingPolicyTest, RotationDifferentialNeverUndercountsTheLastTwoWindows) {
+    // Differential against exact per-window counts across four epochs:
+    // at any point the estimate must cover everything added in the
+    // current window plus everything from the window before — the
+    // conservative (never-undercount) direction survives rotation.
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    std::unordered_map<std::uint64_t, std::uint64_t> previous_window;
+    rng rand(77);
+    for (int window = 0; window < 4; ++window) {
+        std::unordered_map<std::uint64_t, std::uint64_t> this_window;
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t key = rand.uniform_int(0, 299);
+            (void)policy.sketch_add(key);
+            ++this_window[key];
+        }
+        for (const auto& [key, count] : this_window) {
+            ASSERT_GE(policy.sketch_estimate(key), count + previous_window[key])
+                << "window " << window << " key " << key;
+        }
+        policy.rotate_sketch();
+        // After the rollover this window's adds are the previous half —
+        // still fully covered.
+        for (const auto& [key, count] : this_window) {
+            ASSERT_GE(policy.sketch_estimate(key), count) << "window " << window;
+        }
+        previous_window = std::move(this_window);
+    }
+}
+
+TEST(CountingPolicyTest, RotationKeepsFirstFlagReliable) {
+    // `first` is "pre-add estimate was zero". A key from the previous
+    // window is still visible (not first); a key quiet for two windows
+    // has genuinely aged out and counts as new again.
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    EXPECT_TRUE(policy.sketch_add(1).first);
+    policy.rotate_sketch();
+    EXPECT_FALSE(policy.sketch_add(1).first);  // alive in the previous half
+    EXPECT_TRUE(policy.sketch_add(2).first);   // genuinely new key
+    policy.rotate_sketch();
+    policy.rotate_sketch();
+    EXPECT_TRUE(policy.sketch_add(1).first);  // two quiet windows: aged out
+}
+
+TEST(CountingPolicyTest, ClearSketchZeroesBothHalves) {
+    sketch_config cfg;
+    cfg.mode = counting_mode::always;
+    counting_policy policy(cfg);
+    (void)policy.sketch_add(5, 10);
+    policy.rotate_sketch();
+    (void)policy.sketch_add(5, 3);
+    EXPECT_EQ(policy.sketch_estimate(5), 13u);
+
+    policy.clear_sketch();  // hard reset must catch the previous half too
+    EXPECT_EQ(policy.sketch_estimate(5), 0u);
+    EXPECT_FALSE(policy.sketch_active());
+    EXPECT_GT(policy.sketched_adds(), 0u);  // lifetime marker survives
+}
+
+// ---------------------------------------------------------------------------
 // Differential harness: exact vs sketched preprocessor runs.
 
 struct storm_fixture {
