@@ -26,6 +26,7 @@
 #include "skynet/core/digest.h"
 #include "skynet/federate/aggregator.h"
 #include "skynet/federate/emitter.h"
+#include "skynet/lifecycle/manager.h"
 #include "skynet/overload/controller.h"
 #include "skynet/viz/timeline.h"
 #include "skynet/core/pipeline.h"
@@ -60,6 +61,11 @@ std::unique_ptr<scenario> pick_scenario(const options& opt, const topology& topo
     if (n == "route") return make_route_error(topo, rand, opt.severe);
     if (n == "ddos") return make_security_ddos(topo, rand, opt.severe ? 3 : 1);
     if (n == "config") return make_configuration_error(topo, rand, opt.severe);
+    if (n == "gray") return make_gray_failure(topo, rand, opt.severe);
+    if (n == "flapping-link") return make_flapping_link(topo, rand, opt.severe);
+    if (n == "storm") return make_multi_cause_storm(topo, rand, opt.severe);
+    if (n == "maintenance") return make_maintenance_window(topo, rand);
+    if (n == "slow-burn") return make_slow_burn_degradation(topo, rand, opt.severe);
     if (n == "cable-cut") {
         for (const device& d : topo.devices()) {
             if (d.role == device_role::isr) {
@@ -105,6 +111,27 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
     recovery_metrics persist_metrics;
     const bool guarded = guard != nullptr && !guard->pass_through();
 
+    // Incident life-cycle layer: consumes the engine's merged barrier
+    // reports (already byte-identical sequential vs sharded vs steal-on),
+    // so its lineages and diffs inherit that parity by construction.
+    std::optional<lifecycle::manager> mgr;
+    if (opt.lifecycle) mgr.emplace(opt.lifecycle_config(), &topo);
+    // In durable runs the session's barrier_hook feeds the manager (so
+    // checkpoints capture its state *through* the barrier); everywhere
+    // else on_barrier below does. Never both.
+    bool lifecycle_fed_by_sink = false;
+    const auto feed_lifecycle = [&](sim_time now, const network_state& state) {
+        if (!mgr) return;
+        std::vector<incident_report> closed = engine.take_reports();
+        const std::vector<incident_report> open = engine.open_reports(now, state);
+        mgr->on_barrier(now, std::move(closed), open, &state);
+        // Quiet barriers stay quiet ("no changes" is for /v1/diff, where
+        // an empty body would be ambiguous; on a tty it is just noise).
+        if (opt.diff && mgr->last_diff().any()) {
+            std::printf("%s", mgr->last_diff().render().c_str());
+        }
+    };
+
     // Generic over the sink so the replay path can route through a
     // persist::durable_session (same ingest/tick/finish surface) while
     // the simulation path keeps feeding the engine directly.
@@ -134,7 +161,8 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
     // Tick-barrier housekeeping: close the admission window and publish
     // the merged health report (engine barrier metrics + controller
     // counters) if asked to.
-    const auto on_barrier = [&](sim_time now) {
+    const auto on_barrier = [&](sim_time now, const network_state& state) {
+        if (!lifecycle_fed_by_sink) feed_lifecycle(now, state);
         if (guard != nullptr) guard->on_tick(now);
         if (opt.health_json.empty()) return;
         engine_metrics m = engine.barrier_metrics();
@@ -142,6 +170,7 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             m.overload += guard->metrics();
             m.degraded.sketched += guard->sketched_decisions();
         }
+        if (mgr) m.lifecycle = mgr->metrics();
         write_atomic(opt.health_json, m.to_json() + "\n");
     };
 
@@ -183,14 +212,14 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
                     batch.clear();
                     release_held(sink, t.arrival);
                     sink.tick(t.arrival, idle);
-                    on_barrier(t.arrival);
+                    on_barrier(t.arrival, idle);
                     last_tick = t.arrival;
                 }
             }
             ingest(sink, std::span<const traced_alert>(batch));
             drain_held(sink);
             sink.finish(last_arrival + minutes(20), idle);
-            on_barrier(last_arrival + minutes(20));
+            on_barrier(last_arrival + minutes(20), idle);
         };
 
         persist::recovery_result recovered;
@@ -202,6 +231,10 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             // controller state is imported; a resume re-streams from the
             // start and re-derives it deterministically instead.
             if (opt.replay_file.empty()) ropts.controller = guard;
+            // The manager is always restored (the resumed engine skips
+            // the durable prefix, so it cannot be re-derived) and fed
+            // every barrier replayed from the journal suffix.
+            if (mgr) ropts.lifecycle = &*mgr;
             try {
                 recovered = persist::recover(engine, topo.locations(), nullptr, ropts);
             } catch (const std::exception& e) {
@@ -220,6 +253,10 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             // journal never reached its finish barrier, then report.
             if (!recovered.saw_finish) {
                 engine.finish(recovered.last_barrier_time + minutes(20), idle);
+                feed_lifecycle(recovered.last_barrier_time + minutes(20), idle);
+            } else if (opt.diff && mgr) {
+                // Nothing new closed; surface the recovered diff as-is.
+                std::printf("%s", mgr->last_diff().render().c_str());
             }
         } else if (!opt.checkpoint_dir.empty()) {
             persist::durable_options dopts;
@@ -231,6 +268,13 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             dopts.base = recovered.metrics;
             dopts.locations = &topo.locations();
             dopts.controller = guard;
+            if (mgr) {
+                dopts.lifecycle = &*mgr;
+                dopts.barrier_hook = [&](sim_time now, const network_state& state) {
+                    feed_lifecycle(now, state);
+                };
+                lifecycle_fed_by_sink = true;
+            }
             persist::durable_session<Engine> session(engine, dopts);
             stream(session);
             persist_metrics = session.metrics();
@@ -271,11 +315,11 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
                               [&](sim_time now) {
                                   release_held(engine, now);
                                   engine.tick(now, sim.state());
-                                  on_barrier(now);
+                                  on_barrier(now, sim.state());
                               });
         drain_held(engine);
         engine.finish(sim.clock().now(), sim.state());
-        on_barrier(sim.clock().now());
+        on_barrier(sim.clock().now(), sim.state());
 
         if (!opt.record_file.empty()) {
             std::ofstream out(opt.record_file);
@@ -328,15 +372,26 @@ int run_session(Engine& engine, const options& opt, const topology& topo,
             // The injector, not the engine, knows which sources went dark.
             m.degraded.sources_in_dropout = faults->stats().sources_in_dropout;
         }
+        if (mgr) m.lifecycle = mgr->metrics();
         std::printf("%s", m.render().c_str());
     }
 
     // take_reports is already globally ranked (severity desc, id asc);
     // the shared renderer keeps this listing byte-identical to the
-    // daemon's GET /v1/report.
-    const auto reports = engine.take_reports();
+    // daemon's GET /v1/report. With the life-cycle layer on, the manager
+    // already drained every barrier's reports, so the managed listing
+    // (one representative per lineage) replaces the raw one.
     const serve::report_listing_options lopts{.json = opt.json, .timeline = opt.timeline};
-    std::printf("%s", serve::render_report_listing(reports, lopts).c_str());
+    if (mgr) {
+        if (opt.json || opt.timeline) {
+            std::printf("%s", serve::render_report_listing(mgr->managed_reports(), lopts).c_str());
+        } else {
+            std::printf("%s", mgr->render_managed().c_str());
+        }
+    } else {
+        const auto reports = engine.take_reports();
+        std::printf("%s", serve::render_report_listing(reports, lopts).c_str());
+    }
     return 0;
 }
 

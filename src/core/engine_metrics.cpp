@@ -43,6 +43,7 @@ engine_metrics& engine_metrics::operator+=(const engine_metrics& other) noexcept
     overload += other.overload;
     steal += other.steal;
     federation += other.federation;
+    lifecycle += other.lifecycle;
     alerts_in += other.alerts_in;
     batches_in += other.batches_in;
     ticks += other.ticks;
@@ -184,6 +185,20 @@ std::string engine_metrics::render() const {
                       static_cast<unsigned long long>(federation.regions_partitioned));
         out += buf;
     }
+    if (lifecycle.any()) {
+        std::snprintf(buf, sizeof buf,
+                      "  lifecycle: %llu lineages tracked, %llu recurrences linked, "
+                      "%llu flapping, %llu re-alerts suppressed; "
+                      "%llu auto-closed, %llu reopened, %llu diffs\n",
+                      static_cast<unsigned long long>(lifecycle.tracked),
+                      static_cast<unsigned long long>(lifecycle.recurrences_linked),
+                      static_cast<unsigned long long>(lifecycle.flaps_collapsed),
+                      static_cast<unsigned long long>(lifecycle.realerts_suppressed),
+                      static_cast<unsigned long long>(lifecycle.auto_closed),
+                      static_cast<unsigned long long>(lifecycle.reopened),
+                      static_cast<unsigned long long>(lifecycle.diffs_emitted));
+        out += buf;
+    }
     return out;
 }
 
@@ -277,6 +292,14 @@ std::string engine_metrics::to_json() const {
     u("regions_lagging", federation.regions_lagging);
     u("regions_stale", federation.regions_stale);
     u("regions_partitioned", federation.regions_partitioned, true);
+    out += "},\"lifecycle\":{";
+    u("tracked", lifecycle.tracked);
+    u("recurrences_linked", lifecycle.recurrences_linked);
+    u("flaps_collapsed", lifecycle.flaps_collapsed);
+    u("realerts_suppressed", lifecycle.realerts_suppressed);
+    u("auto_closed", lifecycle.auto_closed);
+    u("reopened", lifecycle.reopened);
+    u("diffs_emitted", lifecycle.diffs_emitted, true);
     out += "}}";
     return out;
 }

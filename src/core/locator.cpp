@@ -385,9 +385,12 @@ void locator::spawn_incident(const std::vector<const tree_node*>& group, sim_tim
 }
 
 std::vector<incident> locator::check(sim_time now) {
-    // Algorithm 3, main tree: drop nodes idle past the node timeout.
+    // Algorithm 3, main tree: drop nodes idle past the node timeout. A
+    // node is expired exactly AT the deadline (>=): "idle for the
+    // timeout" includes the barrier that completes it, so a 5-minute
+    // timeout means 5 minutes, not 5 minutes plus one tick.
     for (auto it = nodes_.begin(); it != nodes_.end();) {
-        if (now > it->second.last_update + config_.node_timeout) {
+        if (now >= it->second.last_update + config_.node_timeout) {
             it = nodes_.erase(it);
         } else {
             ++it;
@@ -428,7 +431,8 @@ std::vector<incident> locator::check(sim_time now) {
     force_closed_.clear();
     for (incident_state& st : incident_states_) {
         if (st.inc.closed) continue;
-        if (now > st.update_time + config_.incident_timeout) {
+        // Same exact-at-deadline semantics as the node timeout above.
+        if (now >= st.update_time + config_.incident_timeout) {
             st.inc.closed = true;
             closed.push_back(std::move(st.inc));
         }

@@ -273,6 +273,37 @@ struct federation_metrics {
     }
 };
 
+/// Incident life-cycle accounting: what the lifecycle manager linked,
+/// collapsed, suppressed, auto-closed, and re-opened on top of the raw
+/// detection stream. All zero when the lifecycle layer is disabled (the
+/// default).
+struct lifecycle_metrics {
+    std::uint64_t tracked{0};              ///< lineages (managed incidents) created
+    std::uint64_t recurrences_linked{0};   ///< incidents linked to a prior lineage
+    std::uint64_t flaps_collapsed{0};      ///< lineages that crossed the flap threshold
+    std::uint64_t realerts_suppressed{0};  ///< re-alerts swallowed while flapping
+    std::uint64_t auto_closed{0};          ///< quiet + healthy early closes
+    std::uint64_t reopened{0};             ///< auto-closed lineages that recurred
+    std::uint64_t diffs_emitted{0};        ///< non-empty barrier diffs produced
+
+    [[nodiscard]] bool any() const noexcept {
+        return tracked != 0 || recurrences_linked != 0 || flaps_collapsed != 0 ||
+               realerts_suppressed != 0 || auto_closed != 0 || reopened != 0 ||
+               diffs_emitted != 0;
+    }
+
+    lifecycle_metrics& operator+=(const lifecycle_metrics& other) noexcept {
+        tracked += other.tracked;
+        recurrences_linked += other.recurrences_linked;
+        flaps_collapsed += other.flaps_collapsed;
+        realerts_suppressed += other.realerts_suppressed;
+        auto_closed += other.auto_closed;
+        reopened += other.reopened;
+        diffs_emitted += other.diffs_emitted;
+        return *this;
+    }
+};
+
 struct engine_metrics {
     stage_metrics preprocess;  ///< raw -> structured conversion + flush
     stage_metrics locate;      ///< main-tree insert/refresh + incident checks
@@ -282,6 +313,7 @@ struct engine_metrics {
     overload_metrics overload;  ///< overload-control accounting
     steal_metrics steal;        ///< work-stealing / interning accounting
     federation_metrics federation;  ///< multi-region digest streaming accounting
+    lifecycle_metrics lifecycle;    ///< incident life-cycle accounting
     std::uint64_t alerts_in{0};
     std::uint64_t batches_in{0};
     std::uint64_t ticks{0};

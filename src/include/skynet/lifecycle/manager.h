@@ -1,0 +1,215 @@
+// Incident life-cycle management: what happens to an incident *after*
+// the locator opens it and the evaluator ranks it.
+//
+// The detection pipeline stops at reporting — a flapping link re-opens a
+// "new" incident every few minutes, a recovered failure lingers until
+// the 15-minute locator timeout, and the operator re-reads the same
+// ranked listing with no signal of what changed. The life-cycle manager
+// closes that loop. It runs at every engine barrier, *after* the engine
+// has closed/snapshotted incidents and *before* anything is reported,
+// and maintains lineages — managed incidents keyed by a recurrence
+// fingerprint (location subtree root + distinct alert-type set):
+//
+//   * recurrence fingerprinting: a closed incident that recurs within
+//     the configured window links to the prior lineage id instead of
+//     minting a fresh managed incident;
+//   * flap suppression with hysteresis: a lineage that re-occurs
+//     >= flap_threshold times collapses into one `flapping` incident
+//     carrying an occurrence count; further re-alerts are suppressed
+//     (counted, not re-announced) until a quiet period elapses;
+//   * auto-close with recovery confirmation: an engine-open incident
+//     whose subtree has been alert-quiet for the quiet period *and*
+//     whose root answers a healthy ping probe is closed early in the
+//     managed view — and re-opens with its lineage intact if alerts
+//     recur;
+//   * a ranked "what changed" diff between consecutive barriers
+//     (opened / escalated / de-escalated / resolved / flapping),
+//     exposed via the CLI `--diff` and the daemon's `GET /v1/diff`.
+//
+// Determinism contract: the manager consumes the *merged, ranked*
+// barrier reports — which are already byte-identical across the
+// sequential, sharded, and steal-enabled engines — and applies state
+// only at barriers. Its outputs (diffs, managed listing, metrics) are
+// therefore byte-identical across engine configurations by
+// construction, and its state round-trips through persist snapshots so
+// a recovered session reports identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "skynet/core/engine_metrics.h"
+#include "skynet/core/pipeline.h"
+
+namespace skynet {
+class topology;
+class network_state;
+}  // namespace skynet
+
+namespace skynet::lifecycle {
+
+/// Life-cycle policy knobs (CLI: --flap-threshold, --recurrence-window,
+/// --auto-close-quiet).
+struct config {
+    /// Occurrences at which a lineage collapses into `flapping`.
+    int flap_threshold{3};
+    /// How long after a lineage closes a matching incident still links
+    /// to it instead of minting a new managed incident.
+    sim_duration recurrence_window{minutes(30)};
+    /// Clean-signal quiet period: no subtree alert activity for this
+    /// long (plus healthy reachability) auto-closes an open incident,
+    /// and lets a flapping lineage quiesce.
+    sim_duration auto_close_quiet{minutes(6)};
+
+    /// Throws skynet_error on nonsensical settings.
+    void validate() const;
+};
+
+/// Managed-incident state machine:
+///   open -> closed            (engine closed it; lineage remembered)
+///   open/closed -> flapping   (>= flap_threshold occurrences)
+///   flapping -> suppressed    (further re-alerts swallowed)
+///   any -> auto_closed        (quiet period + healthy reachability)
+///   auto_closed -> open       (recurred: same lineage id, re-alerted)
+enum class phase : std::uint8_t {
+    open = 0,
+    closed = 1,
+    flapping = 2,
+    suppressed = 3,
+    auto_closed = 4,
+};
+
+[[nodiscard]] const char* to_string(phase p) noexcept;
+
+/// One managed incident: every engine incident sharing the recurrence
+/// fingerprint, across re-opens. `id` is the first member's incident id
+/// and never changes — that is the "same lineage id" guarantee.
+struct lineage {
+    std::uint64_t id{0};
+    /// Fingerprint, part 1: the incident root location path.
+    std::string root;
+    /// Fingerprint, part 2: sorted distinct alert types seen.
+    std::vector<std::uint32_t> types;
+    phase state{phase::open};
+    /// Engine incidents linked so far (== members.size()).
+    std::uint32_t occurrences{1};
+    /// Re-alerts swallowed while flapping/suppressed.
+    std::uint64_t suppressed_realerts{0};
+    sim_time first_seen{0};
+    /// Latest subtree alert activity (incident when.end) — the clock the
+    /// auto-close quiet period runs against.
+    sim_time last_activity{0};
+    /// Latest barrier at which a member closed.
+    sim_time last_closed{0};
+    /// Score anchor for the escalation hysteresis band.
+    double last_score{0.0};
+    double peak_score{0.0};
+    /// A member is live in the engine as of the latest barrier.
+    bool engine_open{false};
+    /// Member incident ids, in link order; members.front() == id.
+    std::vector<std::uint64_t> members;
+};
+
+/// One line of a diff section.
+struct diff_entry {
+    std::uint64_t lineage{0};
+    std::string root;
+    double score{0.0};
+    /// Previous score anchor (escalated/de-escalated lines).
+    double prev_score{0.0};
+    std::uint32_t occurrences{1};
+};
+
+/// Ranked "what changed" between two consecutive barriers. Sections are
+/// sorted by (score desc, lineage id asc) — same ranking as reports.
+struct barrier_diff {
+    sim_time at{0};
+    std::vector<diff_entry> opened;
+    std::vector<diff_entry> escalated;
+    std::vector<diff_entry> deescalated;
+    std::vector<diff_entry> resolved;
+    std::vector<diff_entry> flapping;
+
+    [[nodiscard]] bool any() const noexcept {
+        return !opened.empty() || !escalated.empty() || !deescalated.empty() ||
+               !resolved.empty() || !flapping.empty();
+    }
+    /// Human-readable rendering (CLI --diff).
+    [[nodiscard]] std::string render() const;
+    /// JSON object (daemon GET /v1/diff).
+    [[nodiscard]] std::string to_json() const;
+};
+
+class manager {
+public:
+    static constexpr sim_time no_barrier = INT64_MIN;
+
+    /// Serializable manager state, stored in persist snapshots so a
+    /// recovered session diffs and suppresses identically.
+    struct persist_state {
+        sim_time last_barrier{no_barrier};
+        lifecycle_metrics counters;
+        std::vector<lineage> lineages;
+        barrier_diff last_diff;
+        /// Closed reports collected across barriers (managed listing).
+        std::vector<incident_report> collected;
+    };
+
+    /// `topo` powers the auto-close reachability probe; null disables
+    /// the probe (quiet period alone decides).
+    explicit manager(config cfg, const topology* topo = nullptr);
+
+    /// Applies one barrier: `closed` are the reports the engine just
+    /// drained (take_reports), `open` the live snapshot (open_reports),
+    /// `state` the network health to confirm recovery against (null =
+    /// assume healthy). Barriers at times before the latest applied one
+    /// are skipped — that makes re-streamed (durable-resume) barriers
+    /// idempotent.
+    void on_barrier(sim_time now, std::vector<incident_report> closed,
+                    std::span<const incident_report> open, const network_state* state);
+
+    [[nodiscard]] const barrier_diff& last_diff() const noexcept { return diff_; }
+    [[nodiscard]] const lifecycle_metrics& metrics() const noexcept { return counters_; }
+    [[nodiscard]] sim_time last_barrier() const noexcept { return last_barrier_; }
+    [[nodiscard]] const std::vector<lineage>& lineages() const noexcept { return lineages_; }
+    [[nodiscard]] const config& options() const noexcept { return cfg_; }
+
+    /// One representative report per lineage — the best-ranked member —
+    /// ranked by (peak score desc, lineage id asc). This is the managed
+    /// answer to take_reports(): N flaps collapse to one entry.
+    [[nodiscard]] std::vector<incident_report> managed_reports() const;
+
+    /// Managed listing: each lineage's representative report plus a
+    /// life-cycle annotation (state, occurrences, suppressed count).
+    [[nodiscard]] std::string render_managed() const;
+
+    [[nodiscard]] persist_state export_state() const;
+    void import_state(persist_state state);
+
+private:
+    struct link_result {
+        std::size_t index{0};
+        bool created{false};
+        bool new_member{false};
+    };
+
+    [[nodiscard]] link_result link(const incident_report& r, sim_time now);
+    [[nodiscard]] std::size_t find_by_member(std::uint64_t incident_id) const;
+    [[nodiscard]] std::size_t match_fingerprint(const std::string& root,
+                                                const std::vector<std::uint32_t>& types,
+                                                sim_time now) const;
+    void note_score(lineage& ln, double score);
+    [[nodiscard]] bool root_healthy(const lineage& ln, const network_state* state) const;
+
+    config cfg_;
+    const topology* topo_;
+    sim_time last_barrier_{no_barrier};
+    lifecycle_metrics counters_;
+    std::vector<lineage> lineages_;
+    barrier_diff diff_;
+    std::vector<incident_report> collected_;
+};
+
+}  // namespace skynet::lifecycle

@@ -22,6 +22,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -66,6 +67,15 @@ struct durable_options {
     /// checkpoints then capture its admission/breaker state so recovery
     /// resumes with identical shedding decisions.
     overload::controller* controller{nullptr};
+    /// Optional life-cycle manager; checkpoints then capture its lineage
+    /// state so a recovered session suppresses and diffs identically.
+    lifecycle::manager* lifecycle{nullptr};
+    /// Invoked after the engine applies each (non-skipped) barrier and
+    /// *before* any checkpoint taken at it. The caller drains the
+    /// engine's closed reports and feeds the life-cycle manager here, so
+    /// a checkpoint at barrier B captures the manager's state *through*
+    /// B — not one barrier behind with B's closures still undrained.
+    std::function<void(sim_time, const network_state&)> barrier_hook{};
 };
 
 /// Exit code of a crash_after-triggered exit (mirrors SIGKILL's shell
@@ -126,6 +136,7 @@ public:
         ++records_total_;
         crash_check();
         engine_.tick(now, state);
+        if (opts_.barrier_hook) opts_.barrier_hook(now, state);
         ++barriers_;
         maybe_checkpoint(now);
     }
@@ -136,6 +147,7 @@ public:
         ++records_total_;
         crash_check();
         engine_.finish(now, state);
+        if (opts_.barrier_hook) opts_.barrier_hook(now, state);
     }
 
     /// Recovery block for engine_metrics: what this session journaled
@@ -202,6 +214,7 @@ private:
         }
         if (opts_.log != nullptr) data.log = opts_.log->entries();
         if (opts_.controller != nullptr) data.overload = opts_.controller->export_state();
+        if (opts_.lifecycle != nullptr) data.lifecycle = opts_.lifecycle->export_state();
         if (error e = write_snapshot(opts_.dir, data)) {
             last_error_ = e.message();
             return false;

@@ -21,6 +21,7 @@
 // from a different topology) throws skynet_error.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,18 @@ struct recovery_options {
     /// fresh controller re-derives the same state deterministically and
     /// must NOT also import it.
     overload::controller* controller{nullptr};
+    /// Optional life-cycle manager. Unlike the controller, it is *always*
+    /// restored from the snapshot (both continuation styles): a resumed
+    /// session skips the durable prefix at the engine, so the manager can
+    /// never re-derive lineage state from a re-streamed input. It is also
+    /// fed every barrier replayed from the journal suffix, so its diffs
+    /// and suppression decisions match the uninterrupted run exactly.
+    lifecycle::manager* lifecycle{nullptr};
+    /// Called after each replayed barrier with the reports the engine
+    /// closed at it (already linked into `lifecycle` when that is set).
+    /// Lets a daemon append them to its incident store at the true
+    /// barrier time instead of batching them into the next live barrier.
+    std::function<void(sim_time, const std::vector<incident_report>&)> replay_closed{};
 };
 
 struct recovery_result {

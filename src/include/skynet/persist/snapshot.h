@@ -24,6 +24,7 @@
 #include "skynet/common/error.h"
 #include "skynet/core/incident_log.h"
 #include "skynet/core/sharded_engine.h"
+#include "skynet/lifecycle/manager.h"
 #include "skynet/overload/controller.h"
 
 namespace skynet::persist {
@@ -51,6 +52,10 @@ struct snapshot_data {
     /// machines, counters). All-default when no controller was active —
     /// the section is always written so the format stays fixed-shape.
     overload::controller::persist_state overload;
+    /// Life-cycle manager state (lineages, diff, collected reports).
+    /// All-default when the lifecycle layer is off; the section is
+    /// always written so the format stays fixed-shape.
+    lifecycle::manager::persist_state lifecycle;
     std::vector<incident_log::entry> log;
 };
 

@@ -43,6 +43,7 @@
 
 #include "skynet/core/pipeline.h"
 #include "skynet/core/sharded_engine.h"
+#include "skynet/lifecycle/manager.h"
 #include "skynet/overload/controller.h"
 #include "skynet/persist/durable.h"
 #include "skynet/serve/engine_options.h"
@@ -134,7 +135,13 @@ private:
     [[nodiscard]] http_reply get_health() const;
     [[nodiscard]] http_reply get_report(const http_request& req) const;
     [[nodiscard]] http_reply get_incidents(const http_request& req) const;
+    [[nodiscard]] http_reply get_diff();
     [[nodiscard]] http_reply post_ingest(const http_request& req);
+
+    /// Drains the engine's finished reports and, with the life-cycle
+    /// layer on, feeds them (plus the live open snapshot) to the
+    /// manager. engine_mu_ must be held.
+    [[nodiscard]] std::vector<incident_report> drain_reports_locked(sim_time now);
 
     template <typename Fn>
     decltype(auto) with_engine(Fn&& fn) {
@@ -162,6 +169,14 @@ private:
     engine_options opts_;
     network_state idle_;
     overload::controller guard_;
+
+    /// --lifecycle on: recurrence linking, flap suppression, auto-close
+    /// and the /v1/diff surface. Mutated only under engine_mu_.
+    std::optional<lifecycle::manager> lifecycle_;
+    /// With a durable session AND the life-cycle layer on, the session's
+    /// barrier_hook drains each barrier's reports here (pre-checkpoint);
+    /// apply_barrier then consumes the stash instead of re-draining.
+    std::vector<incident_report> barrier_reports_;
 
     std::optional<skynet_engine> seq_;
     std::optional<sharded_engine> sharded_;

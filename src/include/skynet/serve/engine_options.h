@@ -16,6 +16,7 @@
 
 #include "skynet/core/pipeline.h"
 #include "skynet/core/sharded_engine.h"
+#include "skynet/lifecycle/manager.h"
 #include "skynet/overload/controller.h"
 
 namespace skynet::serve {
@@ -112,6 +113,13 @@ struct engine_options {
     std::uint64_t admission_budget{0};  ///< alerts per tick window; 0 = off
     bool breaker{false};
 
+    // Incident life-cycle management (--lifecycle and friends).
+    bool lifecycle{false};          ///< --lifecycle on|off (default off)
+    int flap_threshold{3};          ///< re-opens within the window that mark flapping
+    int recurrence_window_min{30};  ///< minutes a closed lineage stays linkable
+    int auto_close_quiet_min{6};    ///< quiet minutes before auto-close
+    bool diff{false};               ///< --diff: print the per-barrier "what changed" diff
+
     // Durability.
     std::string checkpoint_dir;
     int checkpoint_every{8};
@@ -148,6 +156,9 @@ struct engine_options {
 
     /// The overload controller config these options describe.
     [[nodiscard]] overload::controller_config overload_config() const;
+
+    /// The life-cycle manager config these options describe.
+    [[nodiscard]] lifecycle::config lifecycle_config() const;
 
     /// The sharded-engine config these options describe (overflow must
     /// have validated; an unparsable token falls back to block).

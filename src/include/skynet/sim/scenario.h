@@ -129,6 +129,39 @@ struct scenario_record {
 /// counting rule must not turn into an incident.
 [[nodiscard]] std::unique_ptr<scenario> make_flash_crowd(const topology& topo, rng& rand);
 
+// --- adversarial pack (life-cycle stress scenarios) -----------------------
+
+/// Gray failure: a device silently drops a slice of traffic while every
+/// health surface stays green — no syslog, no BGP churn, control plane
+/// up. Only end-to-end loss probes see it (partial observability), so
+/// the alert evidence is thin and intermittent.
+[[nodiscard]] std::unique_ptr<scenario> make_gray_failure(const topology& topo, rng& rand,
+                                                          bool severe);
+
+/// Flapping link: a circuit bundle cycles down/up with a fixed period
+/// for the whole active window. Without flap suppression every down
+/// phase re-alerts as a fresh incident.
+[[nodiscard]] std::unique_ptr<scenario> make_flapping_link(const topology& topo, rng& rand,
+                                                           bool severe);
+
+/// Overlapping multi-root-cause storm: independent failures of distinct
+/// classes at disjoint subtree roots, active simultaneously. Each root
+/// must stay its own managed incident — neither merged nor duplicated.
+[[nodiscard]] std::unique_ptr<scenario> make_multi_cause_storm(const topology& topo, rng& rand,
+                                                               bool severe);
+
+/// Maintenance window: a cluster is drained and its devices rebooted in
+/// a rolling sequence. The symptoms mimic a failure, but the event is
+/// expected (benign): incidents here are false positives the life-cycle
+/// layer should keep collapsed, not re-alert per rebooted device.
+[[nodiscard]] std::unique_ptr<scenario> make_maintenance_window(const topology& topo, rng& rand);
+
+/// Slow-burn degradation: a circuit's corruption loss creeps up a little
+/// every tick, from harmless to SLA-breaking, with no step change for
+/// threshold rules to latch onto.
+[[nodiscard]] std::unique_ptr<scenario> make_slow_burn_degradation(const topology& topo,
+                                                                   rng& rand, bool severe);
+
 /// Samples a scenario of class `cause`.
 [[nodiscard]] std::unique_ptr<scenario> make_scenario(root_cause cause, const topology& topo,
                                                       rng& rand, bool severe);

@@ -1,0 +1,461 @@
+#include "skynet/lifecycle/manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "skynet/common/error.h"
+#include "skynet/sim/network_state.h"
+#include "skynet/topology/topology.h"
+
+namespace skynet::lifecycle {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// Dice overlap of two sorted distinct type sets: 2|A∩B| / (|A|+|B|).
+double type_overlap(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+    if (a.empty() && b.empty()) return 1.0;
+    std::size_t both = 0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+            ++both;
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return 2.0 * static_cast<double>(both) / static_cast<double>(a.size() + b.size());
+}
+
+std::vector<std::uint32_t> fingerprint_types(const incident& inc) {
+    std::vector<std::uint32_t> types;
+    types.reserve(inc.alerts.size());
+    for (const auto& a : inc.alerts) types.push_back(a.type);
+    std::sort(types.begin(), types.end());
+    types.erase(std::unique(types.begin(), types.end()), types.end());
+    return types;
+}
+
+bool entry_before(const diff_entry& a, const diff_entry& b) noexcept {
+    if (a.score != b.score) return a.score > b.score;
+    return a.lineage < b.lineage;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+void config::validate() const {
+    if (flap_threshold < 2) {
+        throw skynet_error("lifecycle: flap threshold must be >= 2 occurrences");
+    }
+    if (recurrence_window <= 0) {
+        throw skynet_error("lifecycle: recurrence window must be positive");
+    }
+    if (auto_close_quiet <= 0) {
+        throw skynet_error("lifecycle: auto-close quiet period must be positive");
+    }
+}
+
+const char* to_string(phase p) noexcept {
+    switch (p) {
+    case phase::open: return "open";
+    case phase::closed: return "closed";
+    case phase::flapping: return "flapping";
+    case phase::suppressed: return "suppressed";
+    case phase::auto_closed: return "auto-closed";
+    }
+    return "?";
+}
+
+std::string barrier_diff::render() const {
+    std::string out = "what changed @ " + format_time(at) + "\n";
+    if (!any()) {
+        out += "  (no changes)\n";
+        return out;
+    }
+    char buf[64];
+    auto section = [&](const char* name, const std::vector<diff_entry>& entries,
+                       bool show_prev) {
+        if (entries.empty()) return;
+        out += "  ";
+        out += name;
+        out += ":\n";
+        for (const auto& e : entries) {
+            std::snprintf(buf, sizeof buf, "    [lineage %llu] ",
+                          static_cast<unsigned long long>(e.lineage));
+            out += buf;
+            out += e.root;
+            if (show_prev) {
+                std::snprintf(buf, sizeof buf, "  score %.4f -> %.4f", e.prev_score, e.score);
+            } else {
+                std::snprintf(buf, sizeof buf, "  score %.4f", e.score);
+            }
+            out += buf;
+            if (e.occurrences > 1) {
+                std::snprintf(buf, sizeof buf, "  x%u", e.occurrences);
+                out += buf;
+            }
+            out += "\n";
+        }
+    };
+    section("opened", opened, false);
+    section("escalated", escalated, true);
+    section("de-escalated", deescalated, true);
+    section("resolved", resolved, false);
+    section("flapping", flapping, false);
+    return out;
+}
+
+std::string barrier_diff::to_json() const {
+    std::string out;
+    out.reserve(256);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "{\"at\":%lld", static_cast<long long>(at));
+    out += buf;
+    auto section = [&](const char* name, const std::vector<diff_entry>& entries) {
+        out += ",\"";
+        out += name;
+        out += "\":[";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const diff_entry& e = entries[i];
+            if (i != 0) out += ',';
+            std::snprintf(buf, sizeof buf, "{\"lineage\":%llu,\"root\":",
+                          static_cast<unsigned long long>(e.lineage));
+            out += buf;
+            append_json_string(out, e.root);
+            std::snprintf(buf, sizeof buf,
+                          ",\"score\":%.4f,\"prev_score\":%.4f,\"occurrences\":%u}", e.score,
+                          e.prev_score, e.occurrences);
+            out += buf;
+        }
+        out += ']';
+    };
+    section("opened", opened);
+    section("escalated", escalated);
+    section("deescalated", deescalated);
+    section("resolved", resolved);
+    section("flapping", flapping);
+    out += '}';
+    return out;
+}
+
+manager::manager(config cfg, const topology* topo) : cfg_(cfg), topo_(topo) {
+    cfg_.validate();
+}
+
+std::size_t manager::find_by_member(std::uint64_t incident_id) const {
+    for (std::size_t i = 0; i < lineages_.size(); ++i) {
+        const auto& m = lineages_[i].members;
+        if (std::find(m.begin(), m.end(), incident_id) != m.end()) return i;
+    }
+    return npos;
+}
+
+std::size_t manager::match_fingerprint(const std::string& root,
+                                       const std::vector<std::uint32_t>& types,
+                                       sim_time now) const {
+    std::size_t best = npos;
+    int best_rank = -1;
+    for (std::size_t i = 0; i < lineages_.size(); ++i) {
+        const lineage& ln = lineages_[i];
+        if (ln.root != root) continue;
+        // Eligible while live, while flapping/suppressed (that is the
+        // whole point of suppression), or within the recurrence window
+        // of the latest activity.
+        const sim_time ref = std::max(ln.last_closed, ln.last_activity);
+        const bool eligible = ln.engine_open || ln.state == phase::flapping ||
+                              ln.state == phase::suppressed ||
+                              now - ref <= cfg_.recurrence_window;
+        if (!eligible) continue;
+        const bool exact = ln.types == types;
+        if (!exact && type_overlap(ln.types, types) < 0.5) continue;
+        const int rank = exact ? 1 : 0;
+        if (rank > best_rank) {
+            best = i;
+            best_rank = rank;
+        }
+    }
+    return best;
+}
+
+manager::link_result manager::link(const incident_report& r, sim_time now) {
+    if (std::size_t i = find_by_member(r.inc.id); i != npos) return {i, false, false};
+    std::string root = r.inc.root.to_string();
+    std::vector<std::uint32_t> types = fingerprint_types(r.inc);
+    if (std::size_t i = match_fingerprint(root, types, now); i != npos) {
+        lineage& ln = lineages_[i];
+        ln.members.push_back(r.inc.id);
+        ln.occurrences = static_cast<std::uint32_t>(ln.members.size());
+        // The fingerprint tracks the union of types seen across members.
+        std::vector<std::uint32_t> merged;
+        merged.reserve(ln.types.size() + types.size());
+        std::set_union(ln.types.begin(), ln.types.end(), types.begin(), types.end(),
+                       std::back_inserter(merged));
+        ln.types = std::move(merged);
+        return {i, false, true};
+    }
+    lineage ln;
+    ln.id = r.inc.id;
+    ln.root = std::move(root);
+    ln.types = std::move(types);
+    ln.first_seen = r.inc.when.begin;
+    ln.last_activity = r.inc.when.end;
+    ln.members.push_back(r.inc.id);
+    lineages_.push_back(std::move(ln));
+    return {lineages_.size() - 1, true, true};
+}
+
+void manager::note_score(lineage& ln, double score) {
+    if (score > ln.peak_score) ln.peak_score = score;
+    if (ln.last_score <= 0.0) {
+        ln.last_score = score;
+        return;
+    }
+    if (score > ln.last_score * 1.2) {
+        diff_.escalated.push_back({ln.id, ln.root, score, ln.last_score, ln.occurrences});
+        ln.last_score = score;
+    } else if (score < ln.last_score * 0.8) {
+        diff_.deescalated.push_back({ln.id, ln.root, score, ln.last_score, ln.occurrences});
+        ln.last_score = score;
+    }
+}
+
+bool manager::root_healthy(const lineage& ln, const network_state* state) const {
+    if (state == nullptr || topo_ == nullptr) return true;
+    const location root = location::parse(ln.root);
+    const auto src = state->representative(root);
+    if (!src) return true;
+    // Probe out of the subtree: the first device not under the root is a
+    // deterministic external vantage point.
+    for (const auto& d : topo_->devices()) {
+        if (root.contains(d.loc)) continue;
+        const auto pr = state->probe(*src, d.id);
+        return pr.reachable && pr.loss <= network_state::sla_loss_limit;
+    }
+    return true;
+}
+
+void manager::on_barrier(sim_time now, std::vector<incident_report> closed,
+                         std::span<const incident_report> open, const network_state* state) {
+    // Durable resume re-streams barriers the snapshot already covers;
+    // skipping them keeps the managed state exactly-once. An equal-time
+    // barrier is a re-fire of the one already applied unless it carries
+    // fresh closures (the recovered engine was drained at the snapshot).
+    if (last_barrier_ != no_barrier &&
+        (now < last_barrier_ || (now == last_barrier_ && closed.empty()))) {
+        return;
+    }
+    last_barrier_ = now;
+    diff_ = barrier_diff{};
+    diff_.at = now;
+
+    std::stable_sort(closed.begin(), closed.end(), report_before);
+
+    std::vector<std::uint8_t> closed_here(lineages_.size(), 0);
+    auto mark_closed = [&](std::size_t i) {
+        if (closed_here.size() < lineages_.size()) closed_here.resize(lineages_.size(), 0);
+        closed_here[i] = 1;
+    };
+    auto entry_of = [](const lineage& ln, double score, double prev = 0.0) {
+        return diff_entry{ln.id, ln.root, score, prev, ln.occurrences};
+    };
+
+    // A linked incident's state transition, shared by the closed drain
+    // and the open snapshot.
+    auto apply = [&](const link_result& lr, lineage& ln, double score, bool fresh_activity,
+                     bool is_open) {
+        if (lr.created) {
+            ++counters_.tracked;
+            ln.state = is_open ? phase::open : phase::closed;
+            ln.last_score = score;
+            ln.peak_score = score;
+            diff_.opened.push_back(entry_of(ln, score));
+            return;
+        }
+        if (lr.new_member) {
+            ++counters_.recurrences_linked;
+            const bool was_auto = ln.state == phase::auto_closed;
+            if (static_cast<int>(ln.occurrences) >= cfg_.flap_threshold) {
+                if (ln.state == phase::flapping || ln.state == phase::suppressed) {
+                    // Hysteresis: past the threshold the lineage was
+                    // already announced as flapping — swallow the
+                    // re-alert instead of re-announcing it.
+                    ln.state = phase::suppressed;
+                    ++ln.suppressed_realerts;
+                    ++counters_.realerts_suppressed;
+                } else {
+                    ln.state = phase::flapping;
+                    ++counters_.flaps_collapsed;
+                    if (was_auto) ++counters_.reopened;
+                    diff_.flapping.push_back(entry_of(ln, score));
+                }
+            } else {
+                if (was_auto) ++counters_.reopened;
+                ln.state = is_open ? phase::open : phase::closed;
+                diff_.opened.push_back(entry_of(ln, score));
+            }
+            if (score > ln.peak_score) ln.peak_score = score;
+            ln.last_score = score;
+            return;
+        }
+        // Continuing member. An auto-closed incident the engine still
+        // holds open re-opens (same lineage id) when alerts recur.
+        if (is_open && fresh_activity && ln.state == phase::auto_closed) {
+            ++counters_.reopened;
+            ln.state = phase::open;
+            ln.last_score = score;
+            if (score > ln.peak_score) ln.peak_score = score;
+            diff_.opened.push_back(entry_of(ln, score));
+            return;
+        }
+        if (is_open) {
+            note_score(ln, score);
+        } else {
+            if (score > ln.peak_score) ln.peak_score = score;
+            ln.last_score = score;
+        }
+    };
+
+    for (auto& r : closed) {
+        const link_result lr = link(r, now);
+        lineage& ln = lineages_[lr.index];
+        const bool fresh = r.inc.when.end > ln.last_activity;
+        if (fresh) ln.last_activity = r.inc.when.end;
+        ln.last_closed = now;
+        apply(lr, ln, r.severity.score, fresh, /*is_open=*/false);
+        mark_closed(lr.index);
+        collected_.push_back(std::move(r));
+    }
+
+    for (auto& ln : lineages_) ln.engine_open = false;
+    for (const auto& r : open) {
+        const link_result lr = link(r, now);
+        lineage& ln = lineages_[lr.index];
+        const bool fresh = r.inc.when.end > ln.last_activity;
+        if (fresh) ln.last_activity = r.inc.when.end;
+        ln.engine_open = true;
+        apply(lr, ln, r.severity.score, fresh, /*is_open=*/true);
+    }
+
+    // Resolution: a lineage that closed this barrier and has no member
+    // left open. Flapping/suppressed lineages resolve only by quiescing
+    // below; auto-closed ones already announced their resolution.
+    for (std::size_t i = 0; i < closed_here.size(); ++i) {
+        if (!closed_here[i]) continue;
+        lineage& ln = lineages_[i];
+        if (ln.engine_open) continue;
+        if (ln.state != phase::open && ln.state != phase::closed) continue;
+        ln.state = phase::closed;
+        diff_.resolved.push_back(entry_of(ln, ln.last_score));
+    }
+
+    // Auto-close: quiet subtree + confirmed-healthy reachability closes
+    // an engine-open incident early; a quiet flapping lineage quiesces,
+    // re-arming its re-alerts.
+    for (auto& ln : lineages_) {
+        if (ln.state == phase::auto_closed) continue;
+        if (now - ln.last_activity < cfg_.auto_close_quiet) continue;
+        if (ln.engine_open) {
+            if (!root_healthy(ln, state)) continue;
+        } else if (ln.state != phase::flapping && ln.state != phase::suppressed) {
+            continue;
+        }
+        ln.state = phase::auto_closed;
+        ++counters_.auto_closed;
+        diff_.resolved.push_back(entry_of(ln, ln.last_score));
+    }
+
+    std::sort(diff_.opened.begin(), diff_.opened.end(), entry_before);
+    std::sort(diff_.escalated.begin(), diff_.escalated.end(), entry_before);
+    std::sort(diff_.deescalated.begin(), diff_.deescalated.end(), entry_before);
+    std::sort(diff_.resolved.begin(), diff_.resolved.end(), entry_before);
+    std::sort(diff_.flapping.begin(), diff_.flapping.end(), entry_before);
+    if (diff_.any()) ++counters_.diffs_emitted;
+}
+
+std::vector<incident_report> manager::managed_reports() const {
+    std::vector<incident_report> out;
+    out.reserve(lineages_.size());
+    for (const auto& ln : lineages_) {
+        const incident_report* best = nullptr;
+        for (const auto& r : collected_) {
+            if (std::find(ln.members.begin(), ln.members.end(), r.inc.id) == ln.members.end())
+                continue;
+            if (best == nullptr || report_before(r, *best)) best = &r;
+        }
+        if (best != nullptr) out.push_back(*best);
+    }
+    std::sort(out.begin(), out.end(), report_before);
+    return out;
+}
+
+std::string manager::render_managed() const {
+    std::uint64_t suppressed = 0;
+    for (const auto& ln : lineages_) suppressed += ln.suppressed_realerts;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "managed incidents: %zu lineages over %zu engine incidents"
+                  " (%llu re-alerts suppressed)\n",
+                  lineages_.size(), collected_.size(),
+                  static_cast<unsigned long long>(suppressed));
+    std::string out = buf;
+    for (const auto& rep : managed_reports()) {
+        const std::size_t i = find_by_member(rep.inc.id);
+        std::string body = rep.render();
+        if (body.empty() || body.back() != '\n') body += '\n';
+        out += body;
+        if (i == npos) continue;
+        const lineage& ln = lineages_[i];
+        std::snprintf(buf, sizeof buf, "    lifecycle: lineage %llu %s x%u",
+                      static_cast<unsigned long long>(ln.id), to_string(ln.state),
+                      ln.occurrences);
+        out += buf;
+        if (ln.suppressed_realerts != 0) {
+            std::snprintf(buf, sizeof buf, ", %llu re-alerts suppressed",
+                          static_cast<unsigned long long>(ln.suppressed_realerts));
+            out += buf;
+        }
+        out += ", span " + format_time(ln.first_seen) + ".." + format_time(ln.last_activity);
+        out += '\n';
+    }
+    return out;
+}
+
+manager::persist_state manager::export_state() const {
+    return {last_barrier_, counters_, lineages_, diff_, collected_};
+}
+
+void manager::import_state(persist_state state) {
+    last_barrier_ = state.last_barrier;
+    counters_ = state.counters;
+    lineages_ = std::move(state.lineages);
+    diff_ = std::move(state.last_diff);
+    collected_ = std::move(state.collected);
+}
+
+}  // namespace skynet::lifecycle

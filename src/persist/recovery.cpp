@@ -15,6 +15,9 @@ struct engine_hooks {
     std::function<void(std::span<const traced_alert>)> ingest;
     std::function<void(sim_time, const network_state&)> tick;
     std::function<void(sim_time, const network_state&)> finish;
+    /// Fired after each replayed barrier; drains the engine's reports
+    /// into the life-cycle manager / the caller's replay_closed hook.
+    std::function<void(sim_time, const network_state&)> barrier_done;
 };
 
 /// Re-interns the snapshot's paths in id order. The fresh topology
@@ -68,6 +71,7 @@ recovery_result recover_impl(const engine_hooks& hooks, location_table& location
                           ", journal offset " + std::to_string(snap.journal_bytes) + ")");
         if (log != nullptr) log->restore(std::move(snap.log));
         if (opts.controller != nullptr) opts.controller->import_state(snap.overload);
+        if (opts.lifecycle != nullptr) opts.lifecycle->import_state(std::move(snap.lifecycle));
         if (error e = hooks.import(std::move(snap.engines))) {
             throw skynet_error("recover: " + e.message());
         }
@@ -98,6 +102,7 @@ recovery_result recover_impl(const engine_hooks& hooks, location_table& location
                         hooks.finish(rec.now, *opts.tick_state);
                         r.saw_finish = true;
                     }
+                    if (hooks.barrier_done) hooks.barrier_done(rec.now, *opts.tick_state);
                     r.last_barrier_time = rec.now;
                     break;
             }
@@ -106,6 +111,24 @@ recovery_result recover_impl(const engine_hooks& hooks, location_table& location
         r.journal_records += suffix.records.size();
     }
     return r;
+}
+
+/// Drains the reports the engine closed at a replayed barrier into the
+/// life-cycle manager and/or the caller's replay_closed hook — the
+/// recovered manager then diffs/suppresses exactly as the uninterrupted
+/// run did.
+template <typename Engine>
+std::function<void(sim_time, const network_state&)> make_barrier_done(
+    Engine& engine, const recovery_options& opts) {
+    if (opts.lifecycle == nullptr && !opts.replay_closed) return {};
+    return [&engine, &opts](sim_time now, const network_state& s) {
+        std::vector<incident_report> closed = engine.take_reports();
+        if (opts.lifecycle != nullptr) {
+            const std::vector<incident_report> open = engine.open_reports(now, s);
+            opts.lifecycle->on_barrier(now, closed, open, &s);
+        }
+        if (opts.replay_closed) opts.replay_closed(now, closed);
+    };
 }
 
 }  // namespace
@@ -124,6 +147,7 @@ recovery_result recover(skynet_engine& engine, location_table& locations, incide
     hooks.ingest = [&engine](std::span<const traced_alert> batch) { engine.ingest_batch(batch); };
     hooks.tick = [&engine](sim_time now, const network_state& s) { engine.tick(now, s); };
     hooks.finish = [&engine](sim_time now, const network_state& s) { engine.finish(now, s); };
+    hooks.barrier_done = make_barrier_done(engine, opts);
     return recover_impl(hooks, locations, log, opts);
 }
 
@@ -141,6 +165,7 @@ recovery_result recover(sharded_engine& engine, location_table& locations, incid
     hooks.ingest = [&engine](std::span<const traced_alert> batch) { engine.ingest_batch(batch); };
     hooks.tick = [&engine](sim_time now, const network_state& s) { engine.tick(now, s); };
     hooks.finish = [&engine](sim_time now, const network_state& s) { engine.finish(now, s); };
+    hooks.barrier_done = make_barrier_done(engine, opts);
     return recover_impl(hooks, locations, log, opts);
 }
 

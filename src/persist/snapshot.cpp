@@ -345,6 +345,76 @@ std::string render_snapshot(const snapshot_data& data) {
     put_u64(out, oc.probes_admitted);
     out += '\n';
 
+    const lifecycle::manager::persist_state& lc = data.lifecycle;
+    out += "lifecycle";
+    put_i64(out, lc.last_barrier);
+    put_u64(out, lc.lineages.size());
+    put_u64(out, lc.collected.size());
+    out += '\n';
+    const lifecycle_metrics& lm = lc.counters;
+    out += "lcounters";
+    put_u64(out, lm.tracked);
+    put_u64(out, lm.recurrences_linked);
+    put_u64(out, lm.flaps_collapsed);
+    put_u64(out, lm.realerts_suppressed);
+    put_u64(out, lm.auto_closed);
+    put_u64(out, lm.reopened);
+    put_u64(out, lm.diffs_emitted);
+    out += '\n';
+    for (const lifecycle::lineage& ln : lc.lineages) {
+        out += "LIN";
+        put_u64(out, ln.id);
+        put(out, ln.root);
+        put_u64(out, static_cast<std::uint64_t>(ln.state));
+        put_u64(out, ln.occurrences);
+        put_u64(out, ln.suppressed_realerts);
+        put_i64(out, ln.first_seen);
+        put_i64(out, ln.last_activity);
+        put_i64(out, ln.last_closed);
+        put_double(out, ln.last_score);
+        put_double(out, ln.peak_score);
+        put(out, ln.engine_open ? "1" : "0");
+        put_u64(out, ln.types.size());
+        put_u64(out, ln.members.size());
+        out += '\n';
+        for (std::uint32_t t : ln.types) {
+            out += "LT";
+            put_u64(out, t);
+            out += '\n';
+        }
+        for (std::uint64_t m : ln.members) {
+            out += "LM";
+            put_u64(out, m);
+            out += '\n';
+        }
+    }
+    for (const incident_report& r : lc.collected) put_report(out, r);
+    const lifecycle::barrier_diff& ld = lc.last_diff;
+    out += "ldiff";
+    put_i64(out, ld.at);
+    put_u64(out, ld.opened.size());
+    put_u64(out, ld.escalated.size());
+    put_u64(out, ld.deescalated.size());
+    put_u64(out, ld.resolved.size());
+    put_u64(out, ld.flapping.size());
+    out += '\n';
+    auto put_entries = [&out](const std::vector<lifecycle::diff_entry>& entries) {
+        for (const lifecycle::diff_entry& e : entries) {
+            out += "LD";
+            put_u64(out, e.lineage);
+            put(out, e.root);
+            put_double(out, e.score);
+            put_double(out, e.prev_score);
+            put_u64(out, e.occurrences);
+            out += '\n';
+        }
+    };
+    put_entries(ld.opened);
+    put_entries(ld.escalated);
+    put_entries(ld.deescalated);
+    put_entries(ld.resolved);
+    put_entries(ld.flapping);
+
     out += "log";
     put_u64(out, data.log.size());
     out += '\n';
@@ -491,6 +561,91 @@ snapshot_parse_result parse_snapshot(std::string_view text) {
             !c.u64(f[7], oc.breaker_trips) || !c.u64(f[8], oc.breaker_reopens) ||
             !c.u64(f[9], oc.breaker_closes) || !c.u64(f[10], oc.quarantined) ||
             !c.u64(f[11], oc.probes_admitted)) {
+            return finish_error();
+        }
+    }
+
+    {
+        lifecycle::manager::persist_state& lc = data.lifecycle;
+        std::uint64_t n_lineages = 0;
+        std::uint64_t n_collected = 0;
+        if (!c.expect("lifecycle", 3, f)) return finish_error();
+        if (!c.i64(f[1], lc.last_barrier) || !c.u64(f[2], n_lineages) ||
+            !c.u64(f[3], n_collected)) {
+            return finish_error();
+        }
+        lifecycle_metrics& lm = lc.counters;
+        if (!c.expect("lcounters", 7, f)) return finish_error();
+        if (!c.u64(f[1], lm.tracked) || !c.u64(f[2], lm.recurrences_linked) ||
+            !c.u64(f[3], lm.flaps_collapsed) || !c.u64(f[4], lm.realerts_suppressed) ||
+            !c.u64(f[5], lm.auto_closed) || !c.u64(f[6], lm.reopened) ||
+            !c.u64(f[7], lm.diffs_emitted)) {
+            return finish_error();
+        }
+        lc.lineages.resize(n_lineages);
+        for (lifecycle::lineage& ln : lc.lineages) {
+            std::uint64_t state = 0;
+            std::uint64_t n_types = 0;
+            std::uint64_t n_members = 0;
+            bool open_flag = false;
+            if (!c.expect("LIN", 13, f)) return finish_error();
+            if (!c.u64(f[1], ln.id) || !c.u64(f[3], state) ||
+                !c.u64(f[5], ln.suppressed_realerts) || !c.i64(f[6], ln.first_seen) ||
+                !c.i64(f[7], ln.last_activity) || !c.i64(f[8], ln.last_closed) ||
+                !c.dbl(f[9], ln.last_score) || !c.dbl(f[10], ln.peak_score) ||
+                !c.flag(f[11], open_flag) || !c.u64(f[12], n_types) ||
+                !c.u64(f[13], n_members)) {
+                return finish_error();
+            }
+            ln.root = std::string(f[2]);
+            std::uint64_t occurrences = 0;
+            if (!c.u64(f[4], occurrences)) return finish_error();
+            ln.occurrences = static_cast<std::uint32_t>(occurrences);
+            if (state > 4) {
+                c.fail("bad lineage state " + std::to_string(state));
+                return finish_error();
+            }
+            ln.state = static_cast<lifecycle::phase>(state);
+            ln.engine_open = open_flag;
+            ln.types.resize(n_types);
+            for (std::uint32_t& t : ln.types) {
+                if (!c.expect("LT", 1, f)) return finish_error();
+                if (!c.u32(f[1], t)) return finish_error();
+            }
+            ln.members.resize(n_members);
+            for (std::uint64_t& m : ln.members) {
+                if (!c.expect("LM", 1, f)) return finish_error();
+                if (!c.u64(f[1], m)) return finish_error();
+            }
+        }
+        lc.collected.resize(n_collected);
+        for (incident_report& r : lc.collected) {
+            if (!get_report(c, r)) return finish_error();
+        }
+        lifecycle::barrier_diff& ld = lc.last_diff;
+        std::uint64_t n_opened = 0, n_esc = 0, n_deesc = 0, n_res = 0, n_flap = 0;
+        if (!c.expect("ldiff", 6, f)) return finish_error();
+        if (!c.i64(f[1], ld.at) || !c.u64(f[2], n_opened) || !c.u64(f[3], n_esc) ||
+            !c.u64(f[4], n_deesc) || !c.u64(f[5], n_res) || !c.u64(f[6], n_flap)) {
+            return finish_error();
+        }
+        auto get_entries = [&](std::vector<lifecycle::diff_entry>& entries, std::uint64_t count) {
+            entries.resize(count);
+            for (lifecycle::diff_entry& e : entries) {
+                std::uint64_t occurrences = 0;
+                if (!c.expect("LD", 5, f)) return false;
+                if (!c.u64(f[1], e.lineage) || !c.dbl(f[3], e.score) ||
+                    !c.dbl(f[4], e.prev_score) || !c.u64(f[5], occurrences)) {
+                    return false;
+                }
+                e.root = std::string(f[2]);
+                e.occurrences = static_cast<std::uint32_t>(occurrences);
+            }
+            return true;
+        };
+        if (!get_entries(ld.opened, n_opened) || !get_entries(ld.escalated, n_esc) ||
+            !get_entries(ld.deescalated, n_deesc) || !get_entries(ld.resolved, n_res) ||
+            !get_entries(ld.flapping, n_flap)) {
             return finish_error();
         }
     }

@@ -81,6 +81,7 @@ error daemon::start() {
     } else {
         seq_.emplace(deps, opts_.pipeline);
     }
+    if (opts_.lifecycle) lifecycle_.emplace(opts_.lifecycle_config(), &topo_);
 
     persist::recovery_result recovered;
     if (opts_.recover) {
@@ -90,6 +91,17 @@ error daemon::start() {
         // Direct continuation: the daemon does not re-stream, so the
         // snapshot's controller state is imported as-is.
         ropts.controller = &guard_;
+        if (lifecycle_) {
+            ropts.lifecycle = &*lifecycle_;
+            // Replayed barriers drain the engine (the manager needs each
+            // barrier's closures); append them to the store at their true
+            // barrier times so the incident history matches the
+            // uninterrupted run.
+            ropts.replay_closed = [this](sim_time when,
+                                         const std::vector<incident_report>& closed) {
+                if (!closed.empty()) store_.append_closed(closed, when);
+            };
+        }
         try {
             recovered = sharded_ ? persist::recover(*sharded_, topo_.locations(),
                                                     &store_.log(), ropts)
@@ -122,6 +134,16 @@ error daemon::start() {
         dopts.locations = &topo_.locations();
         dopts.log = &store_.log();
         dopts.controller = &guard_;
+        if (lifecycle_) {
+            dopts.lifecycle = &*lifecycle_;
+            // Drain + feed inside the session's tick, before any
+            // checkpoint at that barrier: the snapshot then captures the
+            // manager's state *through* the barrier. apply_barrier picks
+            // the stash up right after. engine_mu_ is already held.
+            dopts.barrier_hook = [this](sim_time when, const network_state&) {
+                barrier_reports_ = drain_reports_locked(when);
+            };
+        }
         try {
             if (sharded_) {
                 dur_sharded_ =
@@ -183,7 +205,7 @@ int daemon::run() {
     http_.stop();
     {
         std::lock_guard lock(engine_mu_);
-        const auto reports = with_engine([](auto& e) { return e.take_reports(); });
+        const auto reports = drain_reports_locked(last_barrier_);
         store_.append_closed(reports, last_barrier_);
         publish_locked();
         if (barrier_hook_ && !reports.empty()) {
@@ -287,6 +309,11 @@ void daemon::apply_batch(std::vector<traced_alert> batch) {
 void daemon::apply_barrier(sim_time now, bool finish) {
     std::lock_guard lock(engine_mu_);
     if (now < last_barrier_) return;  // stale barrier from a replayed stream
+    // A durable session with the life-cycle layer on drains the barrier
+    // inside its tick (see the barrier_hook in start()); consume that
+    // stash instead of draining twice.
+    const bool stashed = lifecycle_ && (dur_seq_ || dur_sharded_);
+    barrier_reports_.clear();
     with_sink([&](auto& s) {
         if (finish) {
             s.finish(now, idle_);
@@ -297,10 +324,21 @@ void daemon::apply_barrier(sim_time now, bool finish) {
     guard_.on_tick(now);
     last_barrier_ = now;
     if (finish) saw_finish_ = true;
-    const auto reports = with_engine([](auto& e) { return e.take_reports(); });
+    const auto reports = stashed ? std::move(barrier_reports_) : drain_reports_locked(now);
     store_.append_closed(reports, now);
     publish_locked();
     if (barrier_hook_) barrier_hook_(reports, now, finish);
+}
+
+std::vector<incident_report> daemon::drain_reports_locked(sim_time now) {
+    std::vector<incident_report> reports =
+        with_engine([](auto& e) { return e.take_reports(); });
+    if (lifecycle_) {
+        const std::vector<incident_report> open =
+            with_engine([&](auto& e) { return e.open_reports(now, idle_); });
+        lifecycle_->on_barrier(now, reports, open, &idle_);
+    }
+    return reports;
 }
 
 void daemon::publish_locked() {
@@ -309,6 +347,7 @@ void daemon::publish_locked() {
     m.degraded.sketched += guard_.sketched_decisions();
     m.recovery += durable_metrics();
     m.degraded.log_out_of_order += store_.out_of_order();
+    if (lifecycle_) m.lifecycle = lifecycle_->metrics();
     if (metrics_hook_) metrics_hook_(m);
     std::string health = m.to_json() + "\n";
     if (!opts_.health_json.empty()) write_atomic(opts_.health_json, health);
@@ -341,6 +380,10 @@ http_reply daemon::handle(const http_request& req) {
         if (req.method != "GET") return {405, "application/json", "{\"error\":\"use GET\"}\n"};
         return get_incidents(req);
     }
+    if (req.path == "/v1/diff") {
+        if (req.method != "GET") return {405, "application/json", "{\"error\":\"use GET\"}\n"};
+        return get_diff();
+    }
     if (req.path == "/v1/ingest") {
         if (req.method != "POST") {
             return {405, "application/json", "{\"error\":\"use POST\"}\n"};
@@ -354,6 +397,7 @@ http_reply daemon::handle(const http_request& req) {
                 "  GET  /v1/report?json=0|1&timeline=0|1\n"
                 "  GET  /v1/incidents?id=&loc=&type=&from=&to=&min_score=&actionable=1"
                 "&cursor=&limit=\n"
+                "  GET  /v1/diff              (--lifecycle on: last barrier's changes)\n"
                 "  POST /v1/ingest            (trace text body)\n"};
     }
     return {404, "application/json", "{\"error\":\"no such endpoint\"}\n"};
@@ -436,6 +480,17 @@ http_reply daemon::get_incidents(const http_request& req) const {
     }
     body += "]}\n";
     return {200, "application/json", std::move(body)};
+}
+
+http_reply daemon::get_diff() {
+    if (!lifecycle_) {
+        return {404, "application/json",
+                "{\"error\":\"life-cycle layer disabled; start with --lifecycle on\"}\n"};
+    }
+    // The manager only changes at barriers, under engine_mu_; a short
+    // hold gives a barrier-consistent diff.
+    std::lock_guard lock(engine_mu_);
+    return {200, "application/json", lifecycle_->last_diff().to_json() + "\n"};
 }
 
 http_reply daemon::post_ingest(const http_request& req) {

@@ -50,6 +50,14 @@ overload::controller_config engine_options::overload_config() const {
     return cfg;
 }
 
+lifecycle::config engine_options::lifecycle_config() const {
+    lifecycle::config cfg;
+    cfg.flap_threshold = flap_threshold;
+    cfg.recurrence_window = minutes(recurrence_window_min);
+    cfg.auto_close_quiet = minutes(auto_close_quiet_min);
+    return cfg;
+}
+
 sharded_config engine_options::sharded(const std::string& parsed_overflow) const {
     sharded_config cfg;
     cfg.engine = pipeline;
@@ -81,6 +89,26 @@ std::vector<option_error> engine_options::validate(run_mode mode) const {
             overload_config().validate();
         } catch (const std::exception& e) {
             errors.push_back({"--admission-budget/--breaker", e.what()});
+        }
+        if (lifecycle) {
+            try {
+                lifecycle_config().validate();
+            } catch (const std::exception& e) {
+                errors.push_back(
+                    {"--flap-threshold/--recurrence-window/--auto-close-quiet", e.what()});
+            }
+        } else {
+            // A tuned-but-disabled life-cycle layer is almost certainly a
+            // forgotten --lifecycle on; refuse rather than silently ignore.
+            const std::pair<const char*, bool> tuned[] = {
+                {"--flap-threshold", flap_threshold != 3},
+                {"--recurrence-window", recurrence_window_min != 30},
+                {"--auto-close-quiet", auto_close_quiet_min != 6},
+                {"--diff", diff},
+            };
+            for (const auto& [flag, set] : tuned) {
+                if (set) errors.push_back({flag, "requires --lifecycle on"});
+            }
         }
         if (shards < 0) errors.push_back({"--shards", "must be >= 0"});
         if (shards > kMaxShards) {
@@ -201,6 +229,12 @@ std::vector<option_error> engine_options::validate(run_mode mode) const {
             }
             if (federate.enabled()) {
                 errors.push_back({"--federate", "not available with --connect"});
+            }
+            if (lifecycle) {
+                errors.push_back({"--lifecycle", "not available with --connect"});
+            }
+            if (diff) {
+                errors.push_back({"--diff", "not available with --connect"});
             }
             if (resume_stream) {
                 errors.push_back({"--resume-stream", "not available with --connect"});
@@ -329,6 +363,24 @@ cli_parse_result parse_cli(int argc, const char* const* argv) {
                 result.errors.push_back(
                     {"--sketch", "expected on, off or auto, got '" + std::string(text) + "'"});
             }
+        } else if (arg == "--lifecycle") {
+            const std::string_view text = value();
+            if (text == "on") {
+                opt.lifecycle = true;
+            } else if (text == "off") {
+                opt.lifecycle = false;
+            } else if (!text.empty()) {
+                result.errors.push_back(
+                    {"--lifecycle", "expected on or off, got '" + std::string(text) + "'"});
+            }
+        } else if (arg == "--flap-threshold") {
+            int_value(opt.flap_threshold);
+        } else if (arg == "--recurrence-window") {
+            int_value(opt.recurrence_window_min);
+        } else if (arg == "--auto-close-quiet") {
+            int_value(opt.auto_close_quiet_min);
+        } else if (arg == "--diff") {
+            opt.diff = true;
         } else if (arg == "--sketch-threshold") {
             u64_value(opt.pipeline.pre.sketch.threshold);
         } else if (arg == "--watchdog-deadline") {
@@ -412,7 +464,8 @@ std::string cli_usage() {
         "  --topo-file FILE                 import topology from the text format\n"
         "  --export-topo FILE               write the topology and exit\n"
         "  --scenario NAME                  random|hardware|link|modification|software|\n"
-        "                                   infrastructure|route|ddos|config|cable-cut\n"
+        "                                   infrastructure|route|ddos|config|cable-cut|\n"
+        "                                   gray|flapping-link|storm|maintenance|slow-burn\n"
         "  --minor                          inject the minor variant (default severe)\n"
         "  --duration MIN                   failure duration in minutes (default 5)\n"
         "  --customers N                    synthetic customers (default 400)\n"
@@ -450,6 +503,20 @@ std::string cli_usage() {
         "                                   tick window, shedding duplicates/other first\n"
         "  --breaker                        per-source circuit breakers (quarantine a\n"
         "                                   source emitting sustained garbage)\n"
+        "  --lifecycle on|off               incident life-cycle manager: recurrence\n"
+        "                                   linking, flap suppression, auto-close with\n"
+        "                                   recovery confirmation (default off)\n"
+        "  --flap-threshold N               re-opens within the recurrence window that\n"
+        "                                   collapse a lineage into one flapping\n"
+        "                                   incident (default 3; minimum 2)\n"
+        "  --recurrence-window MIN          minutes a closed lineage stays linkable to\n"
+        "                                   a recurrence at the same root (default 30)\n"
+        "  --auto-close-quiet MIN           quiet minutes (no subtree alerts + healthy\n"
+        "                                   ping) before an incident auto-closes\n"
+        "                                   (default 6)\n"
+        "  --diff                           print the ranked \"what changed\" diff\n"
+        "                                   (new/escalated/de-escalated/resolved/\n"
+        "                                   flapping) at every tick barrier\n"
         "  --sketch on|off|auto             count-min sketch for hot-path counting\n"
         "                                   (default auto: exact below --sketch-threshold,\n"
         "                                   sketched past it; surfaces as degraded.sketched)\n"

@@ -696,7 +696,294 @@ private:
     std::vector<std::pair<circuit_set_id, double>> saved_offered_;
 };
 
+// ---------------------------------------------------------------------------
+// Gray failure: silent loss only. No hardware_fault syslog, no BGP
+// flapping, control plane answers — the device looks healthy on every
+// surface except end-to-end loss probes. The thin, intermittent alert
+// evidence this produces is the hardest case for incident lifetime
+// decisions (is it over, or just quiet?).
+class gray_failure final : public scenario {
+public:
+    gray_failure(const topology& topo, rng& rand, bool severe) : severe_(severe) {
+        victim_ = severe ? pick_device(topo, rand, {device_role::csr, device_role::agg})
+                         : pick_device(topo, rand);
+        loc_ = topo.device_at(victim_).loc;
+    }
+
+    std::string name() const override { return "gray-failure:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::device_hardware; }
+    location scope() const override { return severe_ ? loc_.parent() : loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return victim_; }
+
+    void on_start(network_state& state, rng& rand, sim_time) override {
+        // Loss and nothing else; every other health field stays default.
+        state.device_state(victim_).silent_loss =
+            severe_ ? rand.uniform_real(0.12, 0.25) : rand.uniform_real(0.04, 0.08);
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        state.device_state(victim_) = device_health{};
+    }
+
+private:
+    device_id victim_{invalid_device};
+    location loc_;
+    bool severe_;
+};
+
+// ---------------------------------------------------------------------------
+// Flapping link: a circuit bundle cycles down/up with a fixed period.
+// Every down phase floods link-down alerts at the same root; every up
+// phase heals cleanly — the canonical input for flap suppression.
+class flapping_link final : public scenario {
+public:
+    flapping_link(const topology& topo, rng& rand, bool severe)
+        : severe_(severe), period_(minutes(2)) {
+        std::vector<circuit_set_id> candidates;
+        for (const circuit_set& cs : topo.circuit_sets()) {
+            if (cs.circuits.size() >= 2) candidates.push_back(cs.id);
+        }
+        if (candidates.empty()) {
+            for (const circuit_set& cs : topo.circuit_sets()) candidates.push_back(cs.id);
+        }
+        const circuit_set& cs = topo.circuit_set_at(rand.pick(candidates));
+        const std::size_t n = cs.circuits.size();
+        const std::size_t kill = severe_ ? n : std::max<std::size_t>(1, n / 2);
+        for (std::size_t i = 0; i < kill; ++i) victims_.push_back(cs.circuits[i]);
+        loc_ = location::common_ancestor(topo.device_at(cs.a).loc, topo.device_at(cs.b).loc);
+        if (loc_.is_root()) loc_ = topo.device_at(cs.a).loc.parent();
+        endpoint_a_ = cs.a;
+    }
+
+    std::string name() const override { return "flapping-link:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::link_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return endpoint_a_; }
+
+    void on_start(network_state& state, rng&, sim_time now) override {
+        started_ = now;
+        set_down(state, true);
+    }
+
+    void on_tick(network_state& state, rng&, sim_time now) override {
+        // Phase 0 (down) first, alternating every period_.
+        const bool want_down = ((now - started_) / period_) % 2 == 0;
+        if (want_down != down_) set_down(state, want_down);
+    }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (link_id lid : victims_) state.link_state(lid) = link_health{};
+        down_ = false;
+    }
+
+private:
+    void set_down(network_state& state, bool down) {
+        for (link_id lid : victims_) state.link_state(lid).up = !down;
+        down_ = down;
+    }
+
+    std::vector<link_id> victims_;
+    location loc_;
+    device_id endpoint_a_{invalid_device};
+    bool severe_;
+    bool down_{false};
+    sim_time started_{0};
+    sim_duration period_;
+};
+
+// ---------------------------------------------------------------------------
+// Overlapping multi-root-cause storm: independent failures of distinct
+// classes at disjoint roots, all active at once. The scopes are kept
+// non-overlapping so ground truth is unambiguous: one managed incident
+// per root, nothing merged, nothing duplicated.
+class multi_cause_storm final : public scenario {
+public:
+    multi_cause_storm(const topology& topo, rng& rand, bool severe) {
+        const auto overlaps = [&](const location& l) {
+            for (const auto& p : parts_) {
+                for (const location& s : p->scopes()) {
+                    if (s.contains(l) || l.contains(s)) return true;
+                }
+            }
+            return false;
+        };
+        const auto add = [&](auto&& make_part) {
+            // Scenario constructors pick victims with the rng; retry a
+            // few times for a disjoint root, keep the last try regardless
+            // (a storm with an overlap beats no storm at all).
+            for (int attempt = 0;; ++attempt) {
+                auto part = make_part();
+                if (attempt >= 19 || !overlaps(part->scope())) {
+                    parts_.push_back(std::move(part));
+                    return;
+                }
+            }
+        };
+        add([&] { return make_infrastructure_failure(topo, rand, severe); });
+        add([&] { return make_link_failure(topo, rand, severe); });
+        add([&] { return make_device_software_failure(topo, rand, severe); });
+    }
+
+    std::string name() const override {
+        return "storm:" + std::to_string(parts_.size()) + "-causes";
+    }
+    root_cause cause() const override { return parts_.front()->cause(); }
+    location scope() const override { return parts_.front()->scope(); }
+    std::vector<location> scopes() const override {
+        std::vector<location> all;
+        for (const auto& p : parts_) {
+            for (location& s : p->scopes()) all.push_back(std::move(s));
+        }
+        return all;
+    }
+    bool severe() const override { return true; }
+
+    void on_start(network_state& state, rng& rand, sim_time now) override {
+        for (auto& p : parts_) p->on_start(state, rand, now);
+    }
+    void on_tick(network_state& state, rng& rand, sim_time now) override {
+        for (auto& p : parts_) p->on_tick(state, rand, now);
+    }
+    void on_end(network_state& state, rng& rand, sim_time now) override {
+        for (auto& p : parts_) p->on_end(state, rand, now);
+    }
+
+private:
+    std::vector<std::unique_ptr<scenario>> parts_;
+};
+
+// ---------------------------------------------------------------------------
+// Maintenance window: a cluster drains and its devices reboot one after
+// another (30s apart). Symptom-wise indistinguishable from an
+// infrastructure failure in miniature, but expected: benign() marks any
+// incident here a false positive, and the rolling reboots probe that the
+// life-cycle layer keeps the window collapsed instead of re-alerting per
+// device.
+class maintenance_window final : public scenario {
+public:
+    maintenance_window(const topology& topo, rng& rand) {
+        const device_id seed = pick_device(topo, rand, {device_role::tor});
+        loc_ = topo.device_at(seed).loc.ancestor_at(hierarchy_level::cluster);
+        victims_ = topo.devices_under(loc_);
+    }
+
+    std::string name() const override { return "maintenance:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::modification_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return false; }
+    bool benign() const override { return true; }
+
+    void on_start(network_state& state, rng&, sim_time now) override {
+        started_ = now;
+        advance(state, now);
+    }
+
+    void on_tick(network_state& state, rng&, sim_time now) override { advance(state, now); }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (device_id v : victims_) state.device_state(v) = device_health{};
+    }
+
+private:
+    /// Device i reboots during [started_ + i*gap, started_ + (i+1)*gap).
+    void advance(network_state& state, sim_time now) {
+        for (std::size_t i = 0; i < victims_.size(); ++i) {
+            const sim_time begin = started_ + static_cast<sim_duration>(i) * gap_;
+            const bool rebooting = now >= begin && now < begin + gap_;
+            device_health& h = state.device_state(victims_[i]);
+            h.alive = !rebooting;
+            h.control_plane_ok = !rebooting;
+        }
+    }
+
+    location loc_;
+    std::vector<device_id> victims_;
+    sim_time started_{0};
+    sim_duration gap_{seconds(30)};
+};
+
+// ---------------------------------------------------------------------------
+// Slow-burn degradation: corruption loss on a circuit bundle creeps up a
+// little every tick — harmless at first, SLA-breaking by the end, never
+// a step change. Detection latency and the auto-close quiet period both
+// get exercised at the worst possible gradient.
+class slow_burn_degradation final : public scenario {
+public:
+    slow_burn_degradation(const topology& topo, rng& rand, bool severe)
+        : severe_(severe), ramp_(minutes(6)) {
+        std::vector<circuit_set_id> candidates;
+        for (const circuit_set& cs : topo.circuit_sets()) {
+            if (cs.circuits.size() >= 2) candidates.push_back(cs.id);
+        }
+        if (candidates.empty()) {
+            for (const circuit_set& cs : topo.circuit_sets()) candidates.push_back(cs.id);
+        }
+        const circuit_set& cs = topo.circuit_set_at(rand.pick(candidates));
+        const std::size_t n = severe_ ? cs.circuits.size() : 1;
+        for (std::size_t i = 0; i < n; ++i) victims_.push_back(cs.circuits[i]);
+        loc_ = location::common_ancestor(topo.device_at(cs.a).loc, topo.device_at(cs.b).loc);
+        if (loc_.is_root()) loc_ = topo.device_at(cs.a).loc.parent();
+        endpoint_a_ = cs.a;
+    }
+
+    std::string name() const override { return "slow-burn:" + std::string(loc_.leaf()); }
+    root_cause cause() const override { return root_cause::link_error; }
+    location scope() const override { return loc_; }
+    bool severe() const override { return severe_; }
+    std::optional<device_id> culprit() const override { return endpoint_a_; }
+
+    void on_start(network_state& state, rng&, sim_time now) override {
+        started_ = now;
+        apply(state, now);
+    }
+
+    void on_tick(network_state& state, rng&, sim_time now) override { apply(state, now); }
+
+    void on_end(network_state& state, rng&, sim_time) override {
+        for (link_id lid : victims_) state.link_state(lid) = link_health{};
+    }
+
+private:
+    void apply(network_state& state, sim_time now) {
+        const double cap = severe_ ? 0.15 : 0.05;
+        const double frac = std::min(
+            1.0, static_cast<double>(now - started_) / static_cast<double>(ramp_));
+        const double loss = 0.002 + frac * (cap - 0.002);
+        for (link_id lid : victims_) state.link_state(lid).corruption_loss = loss;
+    }
+
+    std::vector<link_id> victims_;
+    location loc_;
+    device_id endpoint_a_{invalid_device};
+    bool severe_;
+    sim_time started_{0};
+    sim_duration ramp_;
+};
+
 }  // namespace
+
+std::unique_ptr<scenario> make_gray_failure(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<gray_failure>(topo, rand, severe);
+}
+
+std::unique_ptr<scenario> make_flapping_link(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<flapping_link>(topo, rand, severe);
+}
+
+std::unique_ptr<scenario> make_multi_cause_storm(const topology& topo, rng& rand, bool severe) {
+    return std::make_unique<multi_cause_storm>(topo, rand, severe);
+}
+
+std::unique_ptr<scenario> make_maintenance_window(const topology& topo, rng& rand) {
+    return std::make_unique<maintenance_window>(topo, rand);
+}
+
+std::unique_ptr<scenario> make_slow_burn_degradation(const topology& topo, rng& rand,
+                                                     bool severe) {
+    return std::make_unique<slow_burn_degradation>(topo, rand, severe);
+}
 
 std::unique_ptr<scenario> make_flash_crowd(const topology& topo, rng& rand) {
     return std::make_unique<flash_crowd>(topo, rand);

@@ -1,0 +1,79 @@
+# Flap drill (registered in tests/CMakeLists.txt). Drives skynet_cli's
+# life-cycle layer across a real process crash: record a flapping-link
+# replay, run it uninterrupted with --lifecycle on --diff, then journal
+# the same run and kill it at an exact record boundary (--crash-after),
+# recover in a fresh process, and require the recovered diff + managed
+# report output byte-identical to the uninterrupted run — the life-cycle
+# state (lineages, suppression counters, last diff) must survive the
+# snapshot/journal round-trip, not just the engine state.
+# Expects -DSKYNET_CLI=<path> and -DDRILL_DIR=<scratch dir>.
+file(REMOVE_RECURSE "${DRILL_DIR}")
+file(MAKE_DIRECTORY "${DRILL_DIR}")
+
+function(run_cli out_var expect_code)
+  execute_process(COMMAND ${SKYNET_CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL expect_code)
+    message(FATAL_ERROR "skynet_cli ${ARGN}: exit ${code} (wanted ${expect_code})\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+set(lifecycle_flags --lifecycle on --diff --metrics)
+
+set(trace "${DRILL_DIR}/trace.txt")
+run_cli(record_out 0 --topo tiny --seed 7 --scenario flapping-link --duration 12
+        --record ${trace})
+run_cli(base 0 --topo tiny --seed 7 --replay ${trace} ${lifecycle_flags})
+
+# Crash mid-replay: the process must die with the drill exit code (137)
+# after the 30th journal record is durable. Checkpoints are cut at every
+# 4th barrier, so the recovered run restores mid-lifecycle state and
+# replays the journal suffix through the manager.
+execute_process(COMMAND ${SKYNET_CLI} --topo tiny --seed 7 --replay ${trace}
+                        ${lifecycle_flags}
+                        --checkpoint-dir ${DRILL_DIR}/ckpt --checkpoint-every 4
+                        --crash-after 30
+                OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE code)
+if(NOT code EQUAL 137)
+  message(FATAL_ERROR "crash run exited ${code}, wanted 137")
+endif()
+if(NOT EXISTS "${DRILL_DIR}/ckpt/journal.skywal")
+  message(FATAL_ERROR "crash run left no journal behind")
+endif()
+
+run_cli(recovered 0 --topo tiny --seed 7 --replay ${trace} ${lifecycle_flags}
+        --checkpoint-dir ${DRILL_DIR}/ckpt --checkpoint-every 4 --recover)
+
+# Compare everything from the final barrier diff down: the last
+# "what changed" sections, the alert totals, the lifecycle metrics line
+# and the managed incident listing. The recovered run adds recover:
+# notes above that point, and its engine-metrics counters only cover the
+# post-recovery suffix (metrics are observability, deliberately not
+# snapshot state) — so the per-stage counter block between
+# "engine metrics:" and the "lifecycle:" line is cut out of the byte
+# comparison while everything around it must match exactly.
+foreach(v base recovered)
+  set(out "${${v}}")
+  string(FIND "${out}" "what changed @" diff_at REVERSE)
+  if(diff_at EQUAL -1)
+    message(FATAL_ERROR "no diff section in ${v} output:\n${out}")
+  endif()
+  string(SUBSTRING "${out}" ${diff_at} -1 tail)
+
+  string(FIND "${tail}" "engine metrics:" counters_at)
+  string(FIND "${tail}" "lifecycle:" lifecycle_at)
+  if(counters_at EQUAL -1 OR lifecycle_at EQUAL -1)
+    message(FATAL_ERROR "no metrics/lifecycle section in ${v} output:\n${tail}")
+  endif()
+  string(SUBSTRING "${tail}" 0 ${counters_at} head_part)
+  string(SUBSTRING "${tail}" ${lifecycle_at} -1 tail_part)
+  set(${v}_tail "${head_part}<counters elided>${tail_part}")
+endforeach()
+if(NOT base_tail STREQUAL recovered_tail)
+  message(FATAL_ERROR "recovered lifecycle output differs from the uninterrupted run:\n"
+                      "--- uninterrupted\n${base_tail}\n--- recovered\n${recovered_tail}")
+endif()
+message(STATUS "flap drill passed: recovered diff + lifecycle metrics + managed reports identical")

@@ -1,0 +1,470 @@
+// Incident life-cycle manager tests: recurrence fingerprinting, flap
+// suppression with hysteresis, auto-close with recovery confirmation,
+// the per-barrier diff, persist round-trips, byte parity across engine
+// configurations, and the adversarial scenario pack's accuracy
+// assertions (one managed incident per root cause, not duplicates).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "skynet/core/pipeline.h"
+#include "skynet/core/sharded_engine.h"
+#include "skynet/lifecycle/manager.h"
+#include "skynet/persist/snapshot.h"
+#include "skynet/sim/engine.h"
+#include "skynet/topology/generator.h"
+
+namespace skynet {
+namespace {
+
+using lifecycle::manager;
+using lifecycle::phase;
+
+// --- manager unit tests (synthetic reports) --------------------------------
+
+constexpr const char* kRoot = "Region A|City a|LS 1|Site I|Cluster i";
+
+incident_report mk(std::uint64_t id, const std::string& root,
+                   std::initializer_list<std::uint32_t> types, sim_time begin, sim_time end,
+                   double score, bool closed = true) {
+    incident_report r;
+    r.inc.id = id;
+    r.inc.root = location::parse(root);
+    r.inc.when = {begin, end};
+    for (std::uint32_t t : types) {
+        structured_alert a;
+        a.type = t;
+        a.when = {begin, end};
+        r.inc.alerts.push_back(std::move(a));
+    }
+    r.inc.closed = closed;
+    r.severity.score = score;
+    r.actionable = true;
+    return r;
+}
+
+TEST(LifecycleManagerTest, ThreeFlapsCollapseToOneFlappingLineage) {
+    manager m(lifecycle::config{});  // flap_threshold 3, window 30 min
+    m.on_barrier(minutes(1), {mk(11, kRoot, {1, 2}, 0, minutes(1), 80)}, {}, nullptr);
+    ASSERT_EQ(m.lineages().size(), 1u);
+    EXPECT_EQ(m.lineages()[0].state, phase::closed);
+    EXPECT_EQ(m.last_diff().opened.size(), 1u);
+
+    m.on_barrier(minutes(6), {mk(12, kRoot, {1, 2}, minutes(5), minutes(6), 82)}, {}, nullptr);
+    ASSERT_EQ(m.lineages().size(), 1u);  // recurrence links, no new lineage
+    EXPECT_EQ(m.lineages()[0].occurrences, 2u);
+
+    m.on_barrier(minutes(11), {mk(13, kRoot, {1, 2}, minutes(10), minutes(11), 84)}, {},
+                 nullptr);
+    ASSERT_EQ(m.lineages().size(), 1u);
+    const lifecycle::lineage& ln = m.lineages()[0];
+    EXPECT_EQ(ln.state, phase::flapping);
+    EXPECT_EQ(ln.occurrences, 3u);  // 3 flaps -> one incident x3, not 3
+    EXPECT_EQ(ln.id, 11u);          // lineage keeps the first member's id
+    ASSERT_EQ(m.last_diff().flapping.size(), 1u);
+    EXPECT_EQ(m.last_diff().flapping[0].occurrences, 3u);
+    EXPECT_EQ(m.managed_reports().size(), 1u);
+    EXPECT_EQ(m.metrics().flaps_collapsed, 1u);
+    EXPECT_EQ(m.metrics().recurrences_linked, 2u);
+}
+
+TEST(LifecycleManagerTest, FourthFlapIsSuppressedNotReannounced) {
+    manager m(lifecycle::config{});
+    m.on_barrier(minutes(1), {mk(11, kRoot, {1, 2}, 0, minutes(1), 80)}, {}, nullptr);
+    m.on_barrier(minutes(5), {mk(12, kRoot, {1, 2}, minutes(4), minutes(5), 80)}, {}, nullptr);
+    m.on_barrier(minutes(9), {mk(13, kRoot, {1, 2}, minutes(8), minutes(9), 80)}, {}, nullptr);
+    ASSERT_EQ(m.lineages()[0].state, phase::flapping);
+
+    m.on_barrier(minutes(13), {mk(14, kRoot, {1, 2}, minutes(12), minutes(13), 80)}, {},
+                 nullptr);
+    ASSERT_EQ(m.lineages().size(), 1u);
+    EXPECT_EQ(m.lineages()[0].state, phase::suppressed);
+    EXPECT_EQ(m.lineages()[0].suppressed_realerts, 1u);
+    EXPECT_TRUE(m.last_diff().flapping.empty());  // hysteresis: swallowed
+    EXPECT_TRUE(m.last_diff().opened.empty());
+    EXPECT_EQ(m.metrics().realerts_suppressed, 1u);
+}
+
+TEST(LifecycleManagerTest, RecurrenceOutsideWindowMintsNewLineage) {
+    lifecycle::config cfg;
+    cfg.recurrence_window = minutes(10);
+    manager m(cfg);
+    m.on_barrier(minutes(1), {mk(11, kRoot, {1, 2}, 0, minutes(1), 80)}, {}, nullptr);
+    // 11 minutes after the close: past the window, a fresh incident.
+    m.on_barrier(minutes(12), {mk(12, kRoot, {1, 2}, minutes(11), minutes(12), 80)}, {},
+                 nullptr);
+    ASSERT_EQ(m.lineages().size(), 2u);
+    EXPECT_EQ(m.lineages()[1].id, 12u);
+    EXPECT_EQ(m.metrics().recurrences_linked, 0u);
+}
+
+TEST(LifecycleManagerTest, DifferentFingerprintStaysSeparate) {
+    manager m(lifecycle::config{});
+    m.on_barrier(minutes(1), {mk(11, kRoot, {1, 2}, 0, minutes(1), 80)}, {}, nullptr);
+    // Same root, disjoint type set: Dice overlap 0 < 0.5 -> new lineage.
+    m.on_barrier(minutes(3), {mk(12, kRoot, {7, 8}, minutes(2), minutes(3), 70)}, {}, nullptr);
+    EXPECT_EQ(m.lineages().size(), 2u);
+    // Different root, same types: new lineage too.
+    m.on_barrier(minutes(5),
+                 {mk(13, "Region B|City b|LS 1|Site I|Cluster i", {1, 2}, minutes(4),
+                     minutes(5), 60)},
+                 {}, nullptr);
+    EXPECT_EQ(m.lineages().size(), 3u);
+}
+
+TEST(LifecycleManagerTest, AutoCloseAfterQuietThenReopenSameLineage) {
+    manager m(lifecycle::config{});  // auto_close_quiet 6 min
+    const incident_report open0 = mk(21, kRoot, {1, 2}, 0, minutes(1), 70, /*closed=*/false);
+    m.on_barrier(minutes(1), {}, std::span(&open0, 1), nullptr);
+    ASSERT_EQ(m.lineages().size(), 1u);
+    EXPECT_EQ(m.lineages()[0].state, phase::open);
+
+    // Engine still holds it open but the subtree has been quiet for 7
+    // minutes; null state = reachability assumed healthy -> auto-close.
+    m.on_barrier(minutes(8), {}, std::span(&open0, 1), nullptr);
+    EXPECT_EQ(m.lineages()[0].state, phase::auto_closed);
+    ASSERT_EQ(m.last_diff().resolved.size(), 1u);
+    EXPECT_EQ(m.metrics().auto_closed, 1u);
+
+    // Alerts recur: the incident re-opens with its lineage id intact.
+    const incident_report again = mk(21, kRoot, {1, 2}, 0, minutes(9), 75, /*closed=*/false);
+    m.on_barrier(minutes(9), {}, std::span(&again, 1), nullptr);
+    ASSERT_EQ(m.lineages().size(), 1u);
+    EXPECT_EQ(m.lineages()[0].state, phase::open);
+    EXPECT_EQ(m.lineages()[0].id, 21u);
+    EXPECT_EQ(m.metrics().reopened, 1u);
+    ASSERT_EQ(m.last_diff().opened.size(), 1u);
+    EXPECT_EQ(m.last_diff().opened[0].lineage, 21u);
+}
+
+TEST(LifecycleManagerTest, EscalationUsesHysteresisBand) {
+    manager m(lifecycle::config{});
+    const incident_report a = mk(31, kRoot, {1, 2}, 0, minutes(1), 50, /*closed=*/false);
+    m.on_barrier(minutes(1), {}, std::span(&a, 1), nullptr);
+    // +10% stays inside the +-20% band: no diff line.
+    const incident_report b = mk(31, kRoot, {1, 2}, 0, minutes(2), 55, /*closed=*/false);
+    m.on_barrier(minutes(2), {}, std::span(&b, 1), nullptr);
+    EXPECT_TRUE(m.last_diff().escalated.empty());
+    // +40% escapes the band: escalated, and the anchor moves.
+    const incident_report c = mk(31, kRoot, {1, 2}, 0, minutes(3), 70, /*closed=*/false);
+    m.on_barrier(minutes(3), {}, std::span(&c, 1), nullptr);
+    ASSERT_EQ(m.last_diff().escalated.size(), 1u);
+    EXPECT_EQ(m.last_diff().escalated[0].prev_score, 50.0);
+    // Falling below 80% of the new anchor de-escalates.
+    const incident_report d = mk(31, kRoot, {1, 2}, 0, minutes(4), 40, /*closed=*/false);
+    m.on_barrier(minutes(4), {}, std::span(&d, 1), nullptr);
+    ASSERT_EQ(m.last_diff().deescalated.size(), 1u);
+}
+
+TEST(LifecycleManagerTest, BackwardsAndRefiredBarriersAreSkipped) {
+    manager m(lifecycle::config{});
+    m.on_barrier(minutes(5), {mk(11, kRoot, {1, 2}, 0, minutes(5), 80)}, {}, nullptr);
+    const auto diff_json = m.last_diff().to_json();
+    // A durable resume re-streams an older barrier: must be a no-op.
+    m.on_barrier(minutes(3), {mk(99, kRoot, {1, 2}, 0, minutes(3), 90)}, {}, nullptr);
+    EXPECT_EQ(m.lineages().size(), 1u);
+    EXPECT_EQ(m.last_diff().to_json(), diff_json);
+    // An equal-time refire with no fresh closures: also a no-op.
+    m.on_barrier(minutes(5), {}, {}, nullptr);
+    EXPECT_EQ(m.last_diff().to_json(), diff_json);
+}
+
+TEST(LifecycleManagerTest, ConfigValidateRejectsNonsense) {
+    lifecycle::config cfg;
+    cfg.flap_threshold = 1;
+    EXPECT_THROW(cfg.validate(), skynet_error);
+    cfg = {};
+    cfg.recurrence_window = 0;
+    EXPECT_THROW(cfg.validate(), skynet_error);
+    cfg = {};
+    cfg.auto_close_quiet = -1;
+    EXPECT_THROW(cfg.validate(), skynet_error);
+    EXPECT_NO_THROW(lifecycle::config{}.validate());
+}
+
+TEST(LifecycleManagerTest, DiffRenderAndJsonCarryAllSections) {
+    manager m(lifecycle::config{});
+    m.on_barrier(minutes(1), {mk(11, kRoot, {1, 2}, 0, minutes(1), 80)}, {}, nullptr);
+    const std::string text = m.last_diff().render();
+    EXPECT_NE(text.find("what changed @"), std::string::npos);
+    EXPECT_NE(text.find("opened"), std::string::npos);
+    const std::string json = m.last_diff().to_json();
+    for (const char* key : {"\"at\"", "\"opened\"", "\"escalated\"", "\"deescalated\"",
+                            "\"resolved\"", "\"flapping\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+// --- persist round-trip ----------------------------------------------------
+
+TEST(LifecyclePersistTest, SnapshotRoundTripIsBitIdentical) {
+    manager m(lifecycle::config{});
+    m.on_barrier(minutes(1), {mk(11, kRoot, {1, 2}, 0, minutes(1), 80)}, {}, nullptr);
+    m.on_barrier(minutes(5), {mk(12, kRoot, {1, 2}, minutes(4), minutes(5), 85)}, {}, nullptr);
+    m.on_barrier(minutes(9), {mk(13, kRoot, {1, 2}, minutes(8), minutes(9), 90)}, {}, nullptr);
+
+    persist::snapshot_data snap;
+    snap.lifecycle = m.export_state();
+    const std::string text = persist::render_snapshot(snap);
+    const auto parsed = persist::parse_snapshot(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+    manager restored(lifecycle::config{});
+    restored.import_state(parsed.data->lifecycle);
+    EXPECT_EQ(restored.last_barrier(), m.last_barrier());
+    EXPECT_EQ(restored.last_diff().to_json(), m.last_diff().to_json());
+    EXPECT_EQ(restored.render_managed(), m.render_managed());
+    EXPECT_EQ(restored.metrics().flaps_collapsed, m.metrics().flaps_collapsed);
+    EXPECT_EQ(restored.metrics().recurrences_linked, m.metrics().recurrences_linked);
+
+    // Future behavior must be identical too: the suppression hysteresis
+    // survives the round-trip.
+    const auto next = mk(14, kRoot, {1, 2}, minutes(12), minutes(13), 80);
+    m.on_barrier(minutes(13), {next}, {}, nullptr);
+    restored.on_barrier(minutes(13), {next}, {}, nullptr);
+    EXPECT_EQ(restored.last_diff().to_json(), m.last_diff().to_json());
+    EXPECT_EQ(restored.render_managed(), m.render_managed());
+    EXPECT_EQ(restored.metrics().realerts_suppressed, m.metrics().realerts_suppressed);
+}
+
+// --- sim-driven tests ------------------------------------------------------
+
+struct world {
+    topology topo;
+    customer_registry customers;
+    alert_type_registry registry = alert_type_registry::with_builtin_catalog();
+    syslog_classifier syslog = syslog_classifier::train_from_catalog();
+
+    world() {
+        generator_params p = generator_params::small();
+        p.legacy_snmp_fraction = 0.0;
+        topo = generate_topology(p);
+        rng crand(71);
+        customers = customer_registry::generate(topo, 300, crand);
+    }
+
+    [[nodiscard]] skynet_engine::deps deps() {
+        return {&topo, &customers, &registry, &syslog};
+    }
+};
+
+using scenario_factory = std::function<std::unique_ptr<scenario>()>;
+
+/// Locator timeouts and the consolidation window shrunk so a 2-minute
+/// flap gap actually closes the incident between down phases: the
+/// default 15-minute incident timeout (and the 5-minute dedup window,
+/// which would keep refreshing the open alerts across the gap) would
+/// hold one incident open across every flap, hiding the recurrences.
+skynet_config flap_sensitive_config() {
+    skynet_config cfg;
+    cfg.loc.deterministic_ids = true;
+    cfg.loc.node_timeout = seconds(45);
+    cfg.loc.incident_timeout = seconds(90);
+    cfg.pre.dedup_window = seconds(60);
+    return cfg;
+}
+
+/// Replays one deterministic simulated episode through `eng`, feeding
+/// the life-cycle manager at every barrier exactly like the CLI and the
+/// daemon do: engine tick first, then take_reports + open_reports into
+/// on_barrier.
+template <typename Engine>
+void drive_managed(world& w, Engine& eng, manager& mgr, const scenario_factory& make,
+                   sim_duration duration, std::uint64_t seed) {
+    simulation_engine sim(&w.topo, &w.customers, engine_params{.tick = seconds(2), .seed = seed});
+    sim.add_default_monitors(monitor_options{.noise_rate = 0.01});
+    sim.inject(make(), minutes(1), duration);
+    const auto barrier = [&](sim_time now) {
+        std::vector<incident_report> closed = eng.take_reports();
+        const std::vector<incident_report> open = eng.open_reports(now, sim.state());
+        mgr.on_barrier(now, std::move(closed), open, &sim.state());
+    };
+    sim.run_until_batched(
+        minutes(1) + duration + minutes(1),
+        [&](std::span<const traced_alert> batch) { eng.ingest_batch(batch); },
+        [&](sim_time now) {
+            eng.tick(now, sim.state());
+            barrier(now);
+        });
+    const sim_time end = sim.clock().now();
+    eng.finish(end, sim.state());
+    barrier(end);
+}
+
+/// Lineages attributable to a ground-truth scope (either direction:
+/// the located root may sit above or below the injected scope).
+std::vector<const lifecycle::lineage*> lineages_in_scope(const manager& mgr,
+                                                         const location& scope) {
+    std::vector<const lifecycle::lineage*> out;
+    for (const auto& ln : mgr.lineages()) {
+        const location root = location::parse(ln.root);
+        if (scope.contains(root) || root.contains(scope)) out.push_back(&ln);
+    }
+    return out;
+}
+
+TEST(LifecycleFlapTest, ThreeFlapLinkYieldsOneFlappingLineagePerSeed) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        world w;
+        rng srand(seed);
+        auto scen = make_flapping_link(w.topo, srand, /*severe=*/true);
+        const location scope = scen->scope();
+        scenario* raw = scen.get();
+
+        skynet_engine eng(w.deps(), flap_sensitive_config());
+        manager mgr(lifecycle::config{}, &w.topo);
+        // Period 2 min: down phases at [0,2) [4,6) [8,10) -> 3 flaps.
+        bool first = true;
+        drive_managed(
+            w, eng, mgr,
+            [&]() -> std::unique_ptr<scenario> {
+                if (!first) ADD_FAILURE() << "factory called twice";
+                first = false;
+                return std::move(scen);
+            },
+            minutes(10), seed);
+        (void)raw;
+
+        const auto in_scope = lineages_in_scope(mgr, scope);
+        ASSERT_EQ(in_scope.size(), 1u) << "duplicate managed incidents for one flapping link";
+        const lifecycle::lineage& ln = *in_scope[0];
+        EXPECT_EQ(ln.occurrences, 3u) << "expected one incident x3 occurrences, not "
+                                      << ln.occurrences;
+        EXPECT_TRUE(ln.state == phase::flapping || ln.state == phase::suppressed ||
+                    ln.state == phase::auto_closed)
+            << "state " << lifecycle::to_string(ln.state);
+        EXPECT_GE(mgr.metrics().flaps_collapsed, 1u);
+    }
+}
+
+TEST(LifecycleParityTest, SequentialShardedAndStealOnAreByteIdentical) {
+    world w;
+    const std::uint64_t seed = 5;
+    const auto run = [&](auto make_engine) {
+        rng srand(seed);
+        auto scen = make_flapping_link(w.topo, srand, /*severe=*/true);
+        auto eng = make_engine();
+        manager mgr(lifecycle::config{}, &w.topo);
+        drive_managed(
+            w, *eng, mgr, [&] { return std::move(scen); }, minutes(10), seed);
+        return std::make_pair(mgr.render_managed(), mgr.last_diff().to_json());
+    };
+
+    const auto seq = run([&] {
+        return std::make_unique<skynet_engine>(w.deps(), flap_sensitive_config());
+    });
+    const auto sharded = run([&] {
+        sharded_config scfg;
+        scfg.shards = 4;
+        scfg.steal = false;
+        scfg.engine = flap_sensitive_config();
+        return std::make_unique<sharded_engine>(w.deps(), scfg);
+    });
+    const auto stealing = run([&] {
+        sharded_config scfg;
+        scfg.shards = 4;
+        scfg.steal = true;
+        scfg.engine = flap_sensitive_config();
+        return std::make_unique<sharded_engine>(w.deps(), scfg);
+    });
+
+    EXPECT_EQ(seq.first, sharded.first);
+    EXPECT_EQ(seq.second, sharded.second);
+    EXPECT_EQ(seq.first, stealing.first);
+    EXPECT_EQ(seq.second, stealing.second);
+}
+
+// --- adversarial pack accuracy --------------------------------------------
+
+TEST(LifecycleScenarioTest, GrayFailureOneManagedIncident) {
+    world w;
+    rng srand(11);
+    auto scen = make_gray_failure(w.topo, srand, /*severe=*/true);
+    const location scope = scen->scope();
+
+    // Gray failures surface only through thin end-to-end loss evidence;
+    // lower the spawn thresholds so the single-signal incident forms.
+    skynet_config cfg = flap_sensitive_config();
+    cfg.loc.thresholds.any = 2;
+
+    skynet_engine eng(w.deps(), cfg);
+    manager mgr(lifecycle::config{}, &w.topo);
+    drive_managed(
+        w, eng, mgr, [&] { return std::move(scen); }, minutes(8), 11);
+
+    const auto in_scope = lineages_in_scope(mgr, scope);
+    ASSERT_GE(in_scope.size(), 1u) << "gray failure went undetected";
+    EXPECT_EQ(in_scope.size(), 1u) << "intermittent evidence must not mint duplicates";
+}
+
+TEST(LifecycleScenarioTest, MultiCauseStormOneManagedIncidentPerRoot) {
+    world w;
+    rng srand(21);
+    auto scen = make_multi_cause_storm(w.topo, srand, /*severe=*/true);
+    const std::vector<location> scopes = scen->scopes();
+    ASSERT_GE(scopes.size(), 2u);
+
+    skynet_engine eng(w.deps(), flap_sensitive_config());
+    manager mgr(lifecycle::config{}, &w.topo);
+    drive_managed(
+        w, eng, mgr, [&] { return std::move(scen); }, minutes(8), 21);
+
+    // Each injected root cause stays its own managed incident: neither
+    // merged across scopes nor duplicated within one.
+    std::size_t covered = 0;
+    for (const location& scope : scopes) {
+        const auto in_scope = lineages_in_scope(mgr, scope);
+        EXPECT_LE(in_scope.size(), 1u)
+            << "duplicate managed incidents under " << scope.to_string();
+        covered += in_scope.empty() ? 0 : 1;
+    }
+    EXPECT_GE(covered, 2u) << "storm roots went undetected";
+}
+
+TEST(LifecycleScenarioTest, MaintenanceWindowCollapsesToOneManagedIncident) {
+    world w;
+    rng srand(31);
+    auto scen = make_maintenance_window(w.topo, srand);
+    ASSERT_TRUE(scen->benign());
+    const location scope = scen->scope();
+
+    skynet_config cfg = flap_sensitive_config();
+    cfg.loc.thresholds.any = 2;
+
+    skynet_engine eng(w.deps(), cfg);
+    manager mgr(lifecycle::config{}, &w.topo);
+    drive_managed(
+        w, eng, mgr, [&] { return std::move(scen); }, minutes(8), 31);
+
+    // Rolling per-device reboots must not fan out into one managed
+    // incident per device.
+    const auto in_scope = lineages_in_scope(mgr, scope);
+    EXPECT_LE(in_scope.size(), 1u) << "rolling maintenance minted duplicates";
+}
+
+TEST(LifecycleScenarioTest, SlowBurnDegradationOneManagedIncident) {
+    world w;
+    rng srand(41);
+    auto scen = make_slow_burn_degradation(w.topo, srand, /*severe=*/true);
+    const location scope = scen->scope();
+
+    skynet_config cfg = flap_sensitive_config();
+    cfg.loc.thresholds.any = 2;
+
+    skynet_engine eng(w.deps(), cfg);
+    manager mgr(lifecycle::config{}, &w.topo);
+    drive_managed(
+        w, eng, mgr, [&] { return std::move(scen); }, minutes(10), 41);
+
+    const auto in_scope = lineages_in_scope(mgr, scope);
+    ASSERT_GE(in_scope.size(), 1u) << "slow burn went undetected";
+    EXPECT_EQ(in_scope.size(), 1u) << "a slow ramp must stay one managed incident";
+}
+
+}  // namespace
+}  // namespace skynet

@@ -281,6 +281,66 @@ TEST(LocatorTest, IncidentTimesOutAfterQuietPeriod) {
     EXPECT_TRUE(loc.open_incidents().empty());
 }
 
+TEST(LocatorTest, NodeTimeoutExactAtDeadline) {
+    // Regression for the boundary semantics: expiry is >=, so a node
+    // idle for exactly node_timeout is gone AT the deadline — a
+    // 5-minute timeout means 5 minutes, not 5 minutes plus one tick.
+    fixture f;
+    locator_config cfg;
+    cfg.node_timeout = minutes(5);
+    locator loc(&f.topo, cfg);
+    loc.insert(f.alert("packet loss", data_source::ping, f.a1, 0), 0);
+    (void)loc.check(minutes(5) - 1);
+    EXPECT_EQ(loc.main_tree_size(), 1u);  // one ms before: still alive
+    (void)loc.check(minutes(5));
+    EXPECT_EQ(loc.main_tree_size(), 0u);  // exactly at: expired
+}
+
+TEST(LocatorTest, NodeTimeoutJustPastDeadline) {
+    fixture f;
+    locator_config cfg;
+    cfg.node_timeout = minutes(5);
+    locator loc(&f.topo, cfg);
+    loc.insert(f.alert("packet loss", data_source::ping, f.a1, 0), 0);
+    (void)loc.check(minutes(5) + 1);
+    EXPECT_EQ(loc.main_tree_size(), 0u);
+}
+
+TEST(LocatorTest, IncidentTimeoutExactAtDeadline) {
+    // Same >= boundary for the incident quiet period. The incident's
+    // update_time is the check() that spawned it (5s here).
+    fixture f;
+    locator_config cfg;
+    cfg.incident_timeout = minutes(15);
+    locator loc(&f.topo, cfg);
+    loc.insert(f.alert("packet loss", data_source::ping, f.a1, 0), 0);
+    loc.insert(f.alert("sflow packet loss", data_source::traffic_stats, f.a2, 0), 0);
+    (void)loc.check(seconds(5));
+    ASSERT_EQ(loc.open_incidents().size(), 1u);
+
+    const sim_time deadline = seconds(5) + minutes(15);
+    EXPECT_TRUE(loc.check(deadline - 1).empty());  // one ms before: open
+    ASSERT_EQ(loc.open_incidents().size(), 1u);
+    const auto closed = loc.check(deadline);  // exactly at: closed
+    ASSERT_EQ(closed.size(), 1u);
+    EXPECT_TRUE(closed[0].closed);
+    EXPECT_TRUE(loc.open_incidents().empty());
+}
+
+TEST(LocatorTest, IncidentTimeoutJustPastDeadline) {
+    fixture f;
+    locator_config cfg;
+    cfg.incident_timeout = minutes(15);
+    locator loc(&f.topo, cfg);
+    loc.insert(f.alert("packet loss", data_source::ping, f.a1, 0), 0);
+    loc.insert(f.alert("sflow packet loss", data_source::traffic_stats, f.a2, 0), 0);
+    (void)loc.check(seconds(5));
+    ASSERT_EQ(loc.open_incidents().size(), 1u);
+    const auto closed = loc.check(seconds(5) + minutes(15) + 1);
+    ASSERT_EQ(closed.size(), 1u);
+    EXPECT_TRUE(loc.open_incidents().empty());
+}
+
 TEST(LocatorTest, DrainClosesEverything) {
     fixture f;
     locator loc(&f.topo);

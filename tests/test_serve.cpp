@@ -297,6 +297,101 @@ TEST(EngineOptionsTest, StealFlagParsesOnOffAndReachesShardedConfig) {
     EXPECT_EQ(bad.errors[0].option, "--steal");
 }
 
+TEST(EngineOptionsTest, LifecycleFlagsParseAndPropagate) {
+    EXPECT_FALSE(parse({}).opts.lifecycle);  // the layer is opt-in
+    EXPECT_FALSE(parse({}).opts.diff);
+
+    const auto on = parse({"--lifecycle", "on", "--flap-threshold", "4", "--recurrence-window",
+                           "45", "--auto-close-quiet", "9", "--diff"});
+    ASSERT_TRUE(on.ok());
+    EXPECT_TRUE(on.opts.lifecycle);
+    EXPECT_TRUE(on.opts.diff);
+    EXPECT_EQ(on.opts.flap_threshold, 4);
+    EXPECT_EQ(on.opts.recurrence_window_min, 45);
+    EXPECT_EQ(on.opts.auto_close_quiet_min, 9);
+    EXPECT_TRUE(on.opts.validate(run_mode::batch).empty());
+    // The derived manager config carries the converted durations.
+    const lifecycle::config cfg = on.opts.lifecycle_config();
+    EXPECT_EQ(cfg.flap_threshold, 4);
+    EXPECT_EQ(cfg.recurrence_window, minutes(45));
+    EXPECT_EQ(cfg.auto_close_quiet, minutes(9));
+
+    EXPECT_FALSE(parse({"--lifecycle", "off"}).opts.lifecycle);
+
+    const auto bad = parse({"--lifecycle", "sometimes"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.errors[0].option, "--lifecycle");
+
+    const auto bad_threshold = parse({"--flap-threshold", "many"});
+    ASSERT_FALSE(bad_threshold.ok());
+    EXPECT_EQ(bad_threshold.errors[0].option, "--flap-threshold");
+
+    const auto missing = parse({"--recurrence-window"});
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.errors[0].option, "--recurrence-window");
+}
+
+TEST(EngineOptionsTest, LifecycleValidateCrossChecks) {
+    // Each tuning knob without --lifecycle on is rejected by name.
+    engine_options threshold;
+    threshold.flap_threshold = 5;
+    auto errors = offending_flags(threshold.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--flap-threshold"), errors.end());
+
+    engine_options window;
+    window.recurrence_window_min = 10;
+    errors = offending_flags(window.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--recurrence-window"), errors.end());
+
+    engine_options quiet;
+    quiet.auto_close_quiet_min = 2;
+    errors = offending_flags(quiet.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--auto-close-quiet"), errors.end());
+
+    engine_options diff_only;
+    diff_only.diff = true;
+    errors = offending_flags(diff_only.validate(run_mode::batch));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--diff"), errors.end());
+
+    // Nonsense manager settings surface through config::validate.
+    engine_options degenerate;
+    degenerate.lifecycle = true;
+    degenerate.flap_threshold = 1;  // hysteresis needs >= 2
+    EXPECT_FALSE(degenerate.validate(run_mode::batch).empty());
+
+    engine_options zero_window;
+    zero_window.lifecycle = true;
+    zero_window.recurrence_window_min = 0;
+    EXPECT_FALSE(zero_window.validate(run_mode::batch).empty());
+
+    // The layer is valid in serve mode (the daemon hosts /v1/diff).
+    engine_options serve_ok;
+    serve_ok.lifecycle = true;
+    serve_ok.diff = true;
+    serve_ok.serve.ingest_addr = "unix:/tmp/x.sock";
+    EXPECT_TRUE(serve_ok.validate(run_mode::serve).empty());
+}
+
+TEST(EngineOptionsTest, ClientModeRejectsLifecycleFlags) {
+    // The client proxies a remote daemon; the life-cycle layer lives
+    // server-side, so both flags are refused with --connect.
+    engine_options opt;
+    opt.client.connect = "tcp:127.0.0.1:1";
+    opt.client.get_path = "/v1/diff";  // querying the diff is fine
+    EXPECT_TRUE(opt.validate(run_mode::client).empty());
+
+    opt.lifecycle = true;
+    auto errors = offending_flags(opt.validate(run_mode::client));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--lifecycle"), errors.end());
+
+    engine_options diff_client;
+    diff_client.client.connect = "tcp:127.0.0.1:1";
+    diff_client.client.get_path = "/v1/health";
+    diff_client.diff = true;
+    errors = offending_flags(diff_client.validate(run_mode::client));
+    EXPECT_NE(std::find(errors.begin(), errors.end(), "--diff"), errors.end());
+}
+
 TEST(EngineOptionsTest, ClientModeRequiresExactlyOneAction) {
     engine_options opt;
     opt.client.connect = "tcp:127.0.0.1:1";
